@@ -1,0 +1,34 @@
+//! C10: rewriter-expanded vs kernel-native SQL functions.
+use vw_bench::tpch::load_lineitem;
+use vw_core::Database;
+
+fn bench(c: &mut Criterion) {
+    let db = Database::open_in_memory();
+    load_lineitem(&db, 20_000, 10);
+    let mut g = c.benchmark_group("c10");
+    quick(&mut g);
+    g.bench_function("kernel_upper_like", |b| {
+        b.iter(|| {
+            db.execute("SELECT COUNT(*) FROM lineitem WHERE UPPER(l_returnflag) = 'A'")
+                .unwrap()
+        })
+    });
+    g.bench_function("rewriter_coalesce", |b| {
+        b.iter(|| {
+            db.execute("SELECT SUM(COALESCE(l_quantity, 0)) FROM lineitem").unwrap()
+        })
+    });
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! C11: monitoring/profiling overhead per query.
+use vw_bench::tpch::load_lineitem;
+use vw_core::Database;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c11");
+    quick(&mut g);
+    for (name, on) in [("monitoring_on", 1), ("monitoring_off", 0)] {
+        let db = Database::open_in_memory();
+        load_lineitem(&db, 20_000, 11);
+        db.execute(&format!("SET profiling = {on}")).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                db.execute("SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity < 25")
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! C2: PFOR/PFOR-DELTA/PDICT compress + decompress throughput.
+use vw_compress::{compress_with, decompress_into, Encoding};
+
+fn bench(c: &mut Criterion) {
+    let n = 64 * 1024;
+    let sorted: Vec<i64> = (0..n as i64).map(|i| 1_000_000 + i * 7).collect();
+    let small: Vec<i64> = (0..n as i64).map(|i| (i * 2654435761) % 1000).collect();
+    let mut g = c.benchmark_group("c2");
+    quick(&mut g);
+    for (name, data, enc) in [
+        ("pfor_small", &small, Encoding::Pfor),
+        ("pfordelta_sorted", &sorted, Encoding::PforDelta),
+        ("dict_small", &small, Encoding::Dict),
+        ("raw", &small, Encoding::Raw),
+    ] {
+        g.bench_function(format!("compress_{name}"), |b| {
+            b.iter(|| compress_with(data, enc).unwrap())
+        });
+        let compressed = compress_with(data, enc).unwrap();
+        let mut out = Vec::new();
+        g.bench_function(format!("decompress_{name}"), |b| {
+            b.iter(|| decompress_into(&compressed, &mut out).unwrap())
+        });
+    }
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! C3: cooperative scan policies under concurrency.
+use vw_bench::experiments::c3 as run_c3;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c3");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    g.bench_function("three_policies_16x4", |b| b.iter(|| run_c3(16, 4, 3)));
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! C5: rewriter-parallelized aggregation (structure; 1 physical core host).
+use vw_bench::tpch::load_lineitem;
+use vw_core::Database;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5");
+    quick(&mut g);
+    for dop in [1usize, 4] {
+        let db = Database::open_in_memory();
+        load_lineitem(&db, 20_000, 5);
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        g.bench_function(format!("group_agg_dop{dop}"), |b| {
+            b.iter(|| {
+                db.execute(
+                    "SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag",
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

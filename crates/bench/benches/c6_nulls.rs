@@ -1,0 +1,39 @@
+//! C6: two-column vs branchy NULL handling.
+use vw_common::config::{CheckMode, NullMode};
+use vw_common::{ColData, TypeId};
+use vw_exec::expr::{BinOp, ExprCtx, PhysExpr};
+use vw_exec::{Batch, Vector};
+
+fn bench(c: &mut Criterion) {
+    let n = 64 * 1024;
+    let mask: Vec<bool> = (0..n).map(|i| i % 10 == 0).collect();
+    let batch = Batch::new(vec![
+        Vector::with_nulls(ColData::I64((0..n as i64).collect()), Some(mask)),
+        Vector::new(ColData::I64(vec![3; n])),
+    ]);
+    let expr = PhysExpr::Arith {
+        op: BinOp::Mul,
+        lhs: Box::new(PhysExpr::ColRef(0, TypeId::I64)),
+        rhs: Box::new(PhysExpr::ColRef(1, TypeId::I64)),
+        ty: TypeId::I64,
+    };
+    let mut g = c.benchmark_group("c6");
+    quick(&mut g);
+    for (name, mode) in [("two_column", NullMode::TwoColumn), ("branchy", NullMode::Branchy)] {
+        let ctx = ExprCtx { check: CheckMode::Lazy, null_mode: mode };
+        g.bench_function(name, |b| b.iter(|| expr.eval(&batch, &ctx).unwrap()));
+    }
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

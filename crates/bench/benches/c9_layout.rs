@@ -1,0 +1,50 @@
+//! C9: DSM vs PAX column-subset scans.
+use std::sync::Arc;
+use vw_bench::tpch::gen_lineitem;
+use vw_common::{Field, Schema, TypeId};
+use vw_storage::{BufferPool, Layout, SimulatedDisk, TableStorage};
+
+fn bench(c: &mut Criterion) {
+    let cols = gen_lineitem(50_000, 9).into_columns();
+    let schema = Schema::new(vec![
+        Field::not_null("a", TypeId::I64),
+        Field::not_null("b", TypeId::I64),
+        Field::not_null("q", TypeId::I64),
+        Field::not_null("p", TypeId::F64),
+        Field::not_null("d", TypeId::F64),
+        Field::not_null("t", TypeId::F64),
+        Field::not_null("rf", TypeId::Str),
+        Field::not_null("ls", TypeId::Str),
+        Field::not_null("sd", TypeId::Date),
+    ]).unwrap();
+    let nulls = vec![None; 9];
+    let mut g = c.benchmark_group("c9");
+    quick(&mut g);
+    for (name, layout) in [("dsm", Layout::Dsm), ("pax", Layout::Pax)] {
+        let disk = SimulatedDisk::instant();
+        let mut t = TableStorage::new(disk.clone(), schema.clone(), layout);
+        t.append_columns(&cols, &nulls, 16 * 1024).unwrap();
+        let t = Arc::new(t);
+        let pool = BufferPool::new(disk, 1 << 16);
+        g.bench_function(format!("{name}_scan_1of9"), |b| {
+            b.iter(|| {
+                for p in 0..t.n_packs() {
+                    std::hint::black_box(t.read_pack(&pool, p, &[0]).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(150));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

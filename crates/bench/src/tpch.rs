@@ -1,0 +1,183 @@
+//! A deterministic TPC-H-like `lineitem` generator.
+//!
+//! Substitution for the real dbgen (DESIGN.md §2): same distributions that
+//! matter to the experiments — clustered ascending order keys, small
+//! enumerated flag domains, uniform quantities/prices, a bounded date range
+//! with the classic shipdate offsets.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vw_common::{ColData, Date, Value};
+
+/// One generated lineitem row (columnar container below).
+#[derive(Debug, Clone)]
+pub struct Lineitem {
+    /// Order key (clustered ascending, ~4 lines per order).
+    pub orderkey: i64,
+    /// Part key (uniform).
+    pub partkey: i64,
+    /// Quantity 1..=50.
+    pub quantity: i64,
+    /// Extended price.
+    pub extendedprice: f64,
+    /// Discount 0.00..=0.10.
+    pub discount: f64,
+    /// Tax 0.00..=0.08.
+    pub tax: f64,
+    /// Return flag: A/N/R.
+    pub returnflag: &'static str,
+    /// Line status: O/F.
+    pub linestatus: &'static str,
+    /// Ship date within 1992-01-01..1998-12-01.
+    pub shipdate: Date,
+}
+
+/// Columnar lineitem table.
+pub struct LineitemColumns {
+    /// l_orderkey.
+    pub orderkey: ColData,
+    /// l_partkey.
+    pub partkey: ColData,
+    /// l_quantity.
+    pub quantity: ColData,
+    /// l_extendedprice.
+    pub extendedprice: ColData,
+    /// l_discount.
+    pub discount: ColData,
+    /// l_tax.
+    pub tax: ColData,
+    /// l_returnflag.
+    pub returnflag: ColData,
+    /// l_linestatus.
+    pub linestatus: ColData,
+    /// l_shipdate.
+    pub shipdate: ColData,
+}
+
+impl LineitemColumns {
+    /// As a column vector in schema order.
+    pub fn into_columns(self) -> Vec<ColData> {
+        vec![
+            self.orderkey,
+            self.partkey,
+            self.quantity,
+            self.extendedprice,
+            self.discount,
+            self.tax,
+            self.returnflag,
+            self.linestatus,
+            self.shipdate,
+        ]
+    }
+}
+
+/// The lineitem DDL used by examples/benches.
+pub const LINEITEM_DDL: &str = "CREATE TABLE lineitem (\
+    l_orderkey BIGINT NOT NULL, \
+    l_partkey BIGINT NOT NULL, \
+    l_quantity BIGINT NOT NULL, \
+    l_extendedprice DOUBLE NOT NULL, \
+    l_discount DOUBLE NOT NULL, \
+    l_tax DOUBLE NOT NULL, \
+    l_returnflag VARCHAR NOT NULL, \
+    l_linestatus VARCHAR NOT NULL, \
+    l_shipdate DATE NOT NULL)";
+
+/// Generate `n` rows deterministically (seeded).
+pub fn gen_lineitem(n: usize, seed: u64) -> LineitemColumns {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base = Date::from_ymd(1992, 1, 1).unwrap().0;
+    let span = Date::from_ymd(1998, 12, 1).unwrap().0 - base;
+    let mut orderkey = Vec::with_capacity(n);
+    let mut partkey = Vec::with_capacity(n);
+    let mut quantity = Vec::with_capacity(n);
+    let mut extendedprice = Vec::with_capacity(n);
+    let mut discount = Vec::with_capacity(n);
+    let mut tax = Vec::with_capacity(n);
+    let mut returnflag = Vec::with_capacity(n);
+    let mut linestatus = Vec::with_capacity(n);
+    let mut shipdate = Vec::with_capacity(n);
+    for i in 0..n {
+        let ok = (i / 4 + 1) as i64;
+        orderkey.push(ok);
+        partkey.push(rng.gen_range(1..=(n as i64 / 4).max(10)));
+        let q = rng.gen_range(1..=50i64);
+        quantity.push(q);
+        let price = q as f64 * rng.gen_range(900.0..=11000.0) / 10.0;
+        extendedprice.push((price * 100.0).round() / 100.0);
+        discount.push(rng.gen_range(0..=10) as f64 / 100.0);
+        tax.push(rng.gen_range(0..=8) as f64 / 100.0);
+        let day = base + rng.gen_range(0..span);
+        shipdate.push(day);
+        let (flag, status) = if day < base + span / 2 {
+            (if rng.gen_bool(0.5) { "A" } else { "R" }, "F")
+        } else {
+            ("N", "O")
+        };
+        returnflag.push(flag.to_string());
+        linestatus.push(status.to_string());
+    }
+    LineitemColumns {
+        orderkey: ColData::I64(orderkey),
+        partkey: ColData::I64(partkey),
+        quantity: ColData::I64(quantity),
+        extendedprice: ColData::F64(extendedprice),
+        discount: ColData::F64(discount),
+        tax: ColData::F64(tax),
+        returnflag: ColData::Str(returnflag),
+        linestatus: ColData::Str(linestatus),
+        shipdate: ColData::Date(shipdate),
+    }
+}
+
+/// Row-wise view for the Volcano baseline.
+pub fn gen_lineitem_rows(n: usize, seed: u64) -> Vec<Vec<Value>> {
+    let cols = gen_lineitem(n, seed).into_columns();
+    (0..n)
+        .map(|i| cols.iter().map(|c| c.get_value(i)).collect())
+        .collect()
+}
+
+/// Create + bulk-load lineitem into a database.
+pub fn load_lineitem(db: &std::sync::Arc<vw_core::Database>, n: usize, seed: u64) -> u64 {
+    db.execute(LINEITEM_DDL).expect("ddl");
+    let cols = gen_lineitem(n, seed).into_columns();
+    let nulls = vec![None; cols.len()];
+    vw_core::bulk_load(db, "lineitem", &cols, &nulls).expect("load")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = gen_lineitem(100, 7).into_columns();
+        let b = gen_lineitem(100, 7).into_columns();
+        assert_eq!(a, b);
+        let c = gen_lineitem(100, 8).into_columns();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_match_tpch() {
+        let cols = gen_lineitem(1000, 1);
+        // Orderkeys ascending, ~4 lines per order.
+        let ok = cols.orderkey.as_i64();
+        assert!(ok.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ok[999], 250);
+        // Flags in the enumerated domain.
+        for f in cols.returnflag.as_str() {
+            assert!(["A", "N", "R"].contains(&f.as_str()));
+        }
+    }
+
+    #[test]
+    fn loads_into_database() {
+        let db = vw_core::Database::open_in_memory();
+        let n = load_lineitem(&db, 500, 42);
+        assert_eq!(n, 500);
+        let r = db.execute("SELECT COUNT(*) FROM lineitem").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::I64(500));
+    }
+}

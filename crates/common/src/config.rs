@@ -1,0 +1,120 @@
+//! Engine-wide tuning knobs, threaded from `Database` down to the kernels.
+
+/// How arithmetic error checking (overflow, division by zero) is performed.
+///
+/// The paper: "Naive implementation for some of these would incur a
+/// significant overhead, and special algorithms in the kernel had to be
+/// devised." Benchmark C7 compares these modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// No checking at all — the research-prototype behaviour (wrapping).
+    /// Kept only for the C7 baseline; never used by the SQL layer.
+    Unchecked,
+    /// Branch per value: test every operation's result immediately.
+    Naive,
+    /// Vectorized lazy checking: compute the whole vector with wrapping
+    /// arithmetic while OR-accumulating an error flag, inspect once per
+    /// vector, and only on failure re-run a slow path to pinpoint the error.
+    Lazy,
+}
+
+/// How NULLs are represented during execution (benchmark C6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NullMode {
+    /// Vectorwise production design: a boolean indicator column plus a value
+    /// column holding safe values; kernels stay NULL-oblivious and the
+    /// rewriter composes indicator propagation separately.
+    TwoColumn,
+    /// Strawman: every kernel checks a null mask per value (branchy).
+    Branchy,
+}
+
+/// Tuning knobs for one engine instance.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Values per vector in the X100 kernel (the C1 sweep parameter).
+    pub vector_size: usize,
+    /// Buffer pool capacity in bytes for the storage layer.
+    pub buffer_pool_bytes: usize,
+    /// Default degree of parallelism the rewriter targets when inserting
+    /// exchange (Xchg) operators. 1 disables parallelization.
+    pub parallelism: usize,
+    /// Arithmetic checking strategy.
+    pub check_mode: CheckMode,
+    /// NULL representation strategy.
+    pub null_mode: NullMode,
+    /// Enable cooperative scans (relevance policy) instead of plain
+    /// attach-style LRU scans.
+    pub cooperative_scans: bool,
+    /// Rows per storage pack (the compression granule).
+    pub pack_size: usize,
+    /// Enable per-operator profiling counters.
+    pub profiling: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vector_size: crate::DEFAULT_VECTOR_SIZE,
+            buffer_pool_bytes: 64 << 20,
+            parallelism: 1,
+            check_mode: CheckMode::Lazy,
+            null_mode: NullMode::TwoColumn,
+            cooperative_scans: false,
+            pack_size: 16 * 1024,
+            profiling: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Override the vector size (builder style).
+    pub fn with_vector_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "vector size must be positive");
+        self.vector_size = n;
+        self
+    }
+
+    /// Override the parallelism target (builder style).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        assert!(n > 0, "parallelism must be positive");
+        self.parallelism = n;
+        self
+    }
+
+    /// Override the checking mode (builder style).
+    pub fn with_check_mode(mut self, m: CheckMode) -> Self {
+        self.check_mode = m;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_production_shape() {
+        let c = EngineConfig::default();
+        assert_eq!(c.vector_size, 1024);
+        assert_eq!(c.check_mode, CheckMode::Lazy);
+        assert_eq!(c.null_mode, NullMode::TwoColumn);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = EngineConfig::default()
+            .with_vector_size(64)
+            .with_parallelism(4)
+            .with_check_mode(CheckMode::Naive);
+        assert_eq!(c.vector_size, 64);
+        assert_eq!(c.parallelism, 4);
+        assert_eq!(c.check_mode, CheckMode::Naive);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vector_size_rejected() {
+        let _ = EngineConfig::default().with_vector_size(0);
+    }
+}

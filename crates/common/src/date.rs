@@ -1,0 +1,212 @@
+//! Proleptic-Gregorian date arithmetic on "days since 1970-01-01".
+//!
+//! The paper's "Many Functions" section notes that the SQL standard (and
+//! migrating users) demand a plethora of date functions. Everything in the
+//! SQL function library (`vw-sql::functions`) bottoms out in these routines,
+//! so they are written to be branch-light and exhaustively tested.
+
+use crate::error::{Result, VwError};
+
+/// Days in each month of a non-leap year.
+const MDAYS: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Is `y` a Gregorian leap year?
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in month `m` (1-based) of year `y`.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    if m == 2 && is_leap_year(y) {
+        29
+    } else {
+        MDAYS[(m - 1) as usize]
+    }
+}
+
+/// Convert a civil date to days since the Unix epoch.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm (public domain),
+/// restricted to years 1..=9999 to match typical SQL DATE ranges.
+pub fn days_from_ymd(y: i32, m: u32, d: u32) -> Result<i32> {
+    if !(1..=9999).contains(&y) || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        return Err(VwError::InvalidParameter(format!(
+            "invalid date {y:04}-{m:02}-{d:02}"
+        )));
+    }
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11], March == 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    Ok((era as i64 * 146097 + doe - 719468) as i32)
+}
+
+/// Convert days since the Unix epoch back to (year, month, day).
+pub fn ymd_from_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + (m <= 2) as i64) as i32, m, d)
+}
+
+/// ISO day of week, 1 = Monday ... 7 = Sunday.
+pub fn day_of_week(days: i32) -> u32 {
+    // 1970-01-01 was a Thursday (ISO 4).
+    (((days as i64 % 7 + 7) % 7 + 3) % 7 + 1) as u32
+}
+
+/// Day of year, 1-based.
+pub fn day_of_year(days: i32) -> u32 {
+    let (y, _, _) = ymd_from_days(days);
+    let jan1 = days_from_ymd(y, 1, 1).expect("jan 1 always valid");
+    (days - jan1 + 1) as u32
+}
+
+/// Add `months` to a date, clamping the day to the target month's length
+/// (SQL `ADD_MONTHS` semantics: Jan 31 + 1 month = Feb 28/29).
+pub fn add_months(days: i32, months: i32) -> Result<i32> {
+    let (y, m, d) = ymd_from_days(days);
+    let total = (y as i64) * 12 + (m as i64 - 1) + months as i64;
+    let ny = (total.div_euclid(12)) as i32;
+    let nm = (total.rem_euclid(12)) as u32 + 1;
+    if !(1..=9999).contains(&ny) {
+        return Err(VwError::Overflow("add_months"));
+    }
+    let nd = d.min(days_in_month(ny, nm));
+    days_from_ymd(ny, nm, nd)
+}
+
+/// The EXTRACT fields supported by the SQL layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateField {
+    /// Calendar year.
+    Year,
+    /// Quarter of the year (1-4).
+    Quarter,
+    /// Month of the year (1-12).
+    Month,
+    /// Day of the month (1-31).
+    Day,
+    /// ISO day of week (1=Mon..7=Sun).
+    DayOfWeek,
+    /// Day of the year (1-366).
+    DayOfYear,
+}
+
+impl DateField {
+    /// Parse a field name as used in `EXTRACT(field FROM date)`.
+    pub fn parse(s: &str) -> Option<DateField> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "YEAR" => DateField::Year,
+            "QUARTER" => DateField::Quarter,
+            "MONTH" => DateField::Month,
+            "DAY" => DateField::Day,
+            "DOW" | "DAYOFWEEK" => DateField::DayOfWeek,
+            "DOY" | "DAYOFYEAR" => DateField::DayOfYear,
+            _ => return None,
+        })
+    }
+
+    /// Extract this field from a days-since-epoch value.
+    pub fn extract(self, days: i32) -> i32 {
+        let (y, m, d) = ymd_from_days(days);
+        match self {
+            DateField::Year => y,
+            DateField::Quarter => ((m - 1) / 3 + 1) as i32,
+            DateField::Month => m as i32,
+            DateField::Day => d as i32,
+            DateField::DayOfWeek => day_of_week(days) as i32,
+            DateField::DayOfYear => day_of_year(days) as i32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(days_from_ymd(1970, 1, 1).unwrap(), 0);
+        assert_eq!(ymd_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(ymd_from_days(days_from_ymd(1992, 1, 1).unwrap()), (1992, 1, 1));
+        assert_eq!(ymd_from_days(days_from_ymd(1998, 12, 31).unwrap()), (1998, 12, 31));
+        // A couple of independently checked day numbers.
+        assert_eq!(days_from_ymd(2000, 3, 1).unwrap(), 11017);
+        assert_eq!(days_from_ymd(1969, 12, 31).unwrap(), -1);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1997));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(days_from_ymd(1996, 2, 30).is_err());
+        assert!(days_from_ymd(1996, 13, 1).is_err());
+        assert!(days_from_ymd(1996, 0, 1).is_err());
+        assert!(days_from_ymd(0, 1, 1).is_err());
+        assert!(days_from_ymd(10000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn roundtrip_every_day_of_four_years() {
+        let start = days_from_ymd(1995, 1, 1).unwrap();
+        let end = days_from_ymd(1999, 1, 1).unwrap();
+        for day in start..end {
+            let (y, m, d) = ymd_from_days(day);
+            assert_eq!(days_from_ymd(y, m, d).unwrap(), day);
+        }
+    }
+
+    #[test]
+    fn weekday_progresses() {
+        // 1970-01-01 = Thursday.
+        assert_eq!(day_of_week(0), 4);
+        assert_eq!(day_of_week(1), 5);
+        assert_eq!(day_of_week(3), 7); // Sunday
+        assert_eq!(day_of_week(4), 1); // Monday
+        assert_eq!(day_of_week(-1), 3); // Wednesday
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        let jan31 = days_from_ymd(1997, 1, 31).unwrap();
+        assert_eq!(ymd_from_days(add_months(jan31, 1).unwrap()), (1997, 2, 28));
+        let leap = days_from_ymd(1996, 1, 31).unwrap();
+        assert_eq!(ymd_from_days(add_months(leap, 1).unwrap()), (1996, 2, 29));
+        assert_eq!(ymd_from_days(add_months(jan31, -2).unwrap()), (1996, 11, 30));
+        assert!(add_months(jan31, 12 * 20000).is_err());
+    }
+
+    #[test]
+    fn extract_fields() {
+        let d = days_from_ymd(1996, 3, 13).unwrap();
+        assert_eq!(DateField::Year.extract(d), 1996);
+        assert_eq!(DateField::Quarter.extract(d), 1);
+        assert_eq!(DateField::Month.extract(d), 3);
+        assert_eq!(DateField::Day.extract(d), 13);
+        assert_eq!(DateField::DayOfYear.extract(d), 31 + 29 + 13);
+        assert_eq!(DateField::parse("quarter"), Some(DateField::Quarter));
+        assert_eq!(DateField::parse("fortnight"), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Error taxonomy for the whole engine.
+//!
+//! The paper devotes a section to *error handling and reporting*: "the
+//! original X100 functions often assumed a simplified view of the world,
+//! where a user never issues a query that can fail". A production system must
+//! detect division by zero, incorrect function parameters, arithmetic
+//! overflows, cancelled queries, conflicting transactions, and more — and it
+//! must do so without wrecking per-tuple performance (see
+//! `vw-exec::primitives::checked` for the vectorized lazy-checking kernels).
+
+use std::fmt;
+
+/// Convenience alias used across all `vw-*` crates.
+pub type Result<T> = std::result::Result<T, VwError>;
+
+/// Every error the engine can surface to a user or an embedding application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VwError {
+    /// Integer or date arithmetic overflowed the target type.
+    Overflow(&'static str),
+    /// Division (or modulo) by zero in an expression.
+    DivideByZero,
+    /// A SQL function received an out-of-domain argument
+    /// (e.g. `SUBSTRING` with negative length, `SQRT` of a negative number).
+    InvalidParameter(String),
+    /// Cast failed (value does not fit or cannot be parsed).
+    InvalidCast(String),
+    /// The query was cancelled (user `kill`, session drop, or timeout).
+    Cancelled,
+    /// SQL lexing/parsing failed.
+    Parse(String),
+    /// Name resolution / typing failed (unknown table, column, function,
+    /// type mismatch...).
+    Bind(String),
+    /// Plan construction or rewriting failed; indicates an engine bug or an
+    /// unsupported construct.
+    Plan(String),
+    /// Catalog manipulation failed (duplicate table, unknown table...).
+    Catalog(String),
+    /// Storage layer failure (block out of range, corrupted header...).
+    Storage(String),
+    /// Compressed block failed validation during decode.
+    Corruption(String),
+    /// Transaction aborted due to a write-write conflict (PDT positional
+    /// overlap) or user `ABORT`.
+    TxnConflict(String),
+    /// Transaction API misuse (commit of an unknown transaction, DML outside
+    /// a transaction where one is required...).
+    TxnState(String),
+    /// Execution-time failure not covered by a more precise variant.
+    Exec(String),
+    /// Feature intentionally out of scope for this reproduction.
+    Unsupported(String),
+}
+
+impl VwError {
+    /// Short machine-readable classification code, stable across releases;
+    /// the monitoring subsystem logs these.
+    pub fn code(&self) -> &'static str {
+        match self {
+            VwError::Overflow(_) => "E_OVERFLOW",
+            VwError::DivideByZero => "E_DIV_ZERO",
+            VwError::InvalidParameter(_) => "E_INVALID_PARAM",
+            VwError::InvalidCast(_) => "E_INVALID_CAST",
+            VwError::Cancelled => "E_CANCELLED",
+            VwError::Parse(_) => "E_PARSE",
+            VwError::Bind(_) => "E_BIND",
+            VwError::Plan(_) => "E_PLAN",
+            VwError::Catalog(_) => "E_CATALOG",
+            VwError::Storage(_) => "E_STORAGE",
+            VwError::Corruption(_) => "E_CORRUPTION",
+            VwError::TxnConflict(_) => "E_TXN_CONFLICT",
+            VwError::TxnState(_) => "E_TXN_STATE",
+            VwError::Exec(_) => "E_EXEC",
+            VwError::Unsupported(_) => "E_UNSUPPORTED",
+        }
+    }
+
+    /// True for errors caused by the data/query rather than engine state;
+    /// such errors fail the statement but leave the session usable.
+    pub fn is_user_error(&self) -> bool {
+        matches!(
+            self,
+            VwError::Overflow(_)
+                | VwError::DivideByZero
+                | VwError::InvalidParameter(_)
+                | VwError::InvalidCast(_)
+                | VwError::Parse(_)
+                | VwError::Bind(_)
+                | VwError::Catalog(_)
+                | VwError::Unsupported(_)
+        )
+    }
+}
+
+impl fmt::Display for VwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VwError::Overflow(what) => write!(f, "{}: arithmetic overflow in {what}", self.code()),
+            VwError::DivideByZero => write!(f, "{}: division by zero", self.code()),
+            VwError::InvalidParameter(m) => write!(f, "{}: invalid parameter: {m}", self.code()),
+            VwError::InvalidCast(m) => write!(f, "{}: invalid cast: {m}", self.code()),
+            VwError::Cancelled => write!(f, "{}: query cancelled", self.code()),
+            VwError::Parse(m) => write!(f, "{}: parse error: {m}", self.code()),
+            VwError::Bind(m) => write!(f, "{}: binder error: {m}", self.code()),
+            VwError::Plan(m) => write!(f, "{}: planner error: {m}", self.code()),
+            VwError::Catalog(m) => write!(f, "{}: catalog error: {m}", self.code()),
+            VwError::Storage(m) => write!(f, "{}: storage error: {m}", self.code()),
+            VwError::Corruption(m) => write!(f, "{}: corrupted data: {m}", self.code()),
+            VwError::TxnConflict(m) => write!(f, "{}: transaction conflict: {m}", self.code()),
+            VwError::TxnState(m) => write!(f, "{}: transaction state error: {m}", self.code()),
+            VwError::Exec(m) => write!(f, "{}: execution error: {m}", self.code()),
+            VwError::Unsupported(m) => write!(f, "{}: unsupported: {m}", self.code()),
+        }
+    }
+}
+
+impl std::error::Error for VwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let errs = vec![
+            VwError::Overflow("add"),
+            VwError::DivideByZero,
+            VwError::InvalidParameter("p".into()),
+            VwError::InvalidCast("c".into()),
+            VwError::Cancelled,
+            VwError::Parse("p".into()),
+            VwError::Bind("b".into()),
+            VwError::Plan("p".into()),
+            VwError::Catalog("c".into()),
+            VwError::Storage("s".into()),
+            VwError::Corruption("c".into()),
+            VwError::TxnConflict("t".into()),
+            VwError::TxnState("t".into()),
+            VwError::Exec("e".into()),
+            VwError::Unsupported("u".into()),
+        ];
+        let mut codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 15, "every variant must map to a unique code");
+    }
+
+    #[test]
+    fn user_errors_classified() {
+        assert!(VwError::DivideByZero.is_user_error());
+        assert!(VwError::Overflow("x").is_user_error());
+        assert!(!VwError::Cancelled.is_user_error());
+        assert!(!VwError::Storage("x".into()).is_user_error());
+        assert!(!VwError::TxnConflict("x".into()).is_user_error());
+    }
+
+    #[test]
+    fn display_contains_code() {
+        let e = VwError::DivideByZero;
+        assert!(e.to_string().contains("E_DIV_ZERO"));
+        let e = VwError::Parse("near 'FROM'".into());
+        assert!(e.to_string().contains("near 'FROM'"));
+    }
+}

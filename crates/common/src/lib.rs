@@ -1,0 +1,38 @@
+//! # vw-common — shared substrate for the Vectorwise reproduction
+//!
+//! This crate hosts the pieces every other layer of the system needs:
+//!
+//! * the SQL-ish [type system](types) (`TypeId`, `Value`, `Date`),
+//! * [schemas](schema) (`Field`, `Schema`),
+//! * the [error taxonomy](error) the paper calls out (division by zero,
+//!   arithmetic overflow, invalid function parameters, cancellation, ...),
+//! * [selection vectors](sel), the X100 mechanism for processing filtered
+//!   vectors without copying,
+//! * a fast non-cryptographic [hasher](hash) used by hash join / aggregation,
+//! * [date arithmetic](date) backing the SQL date function library,
+//! * engine-wide [configuration](config) knobs (vector size above all).
+//!
+//! Nothing here depends on any other crate in the workspace.
+
+pub mod coldata;
+pub mod config;
+pub mod date;
+pub mod error;
+pub mod hash;
+pub mod schema;
+pub mod sel;
+pub mod types;
+
+pub use coldata::ColData;
+pub use config::EngineConfig;
+pub use error::{Result, VwError};
+pub use schema::{Field, Schema};
+pub use sel::SelVec;
+pub use types::{Date, TypeId, Value};
+
+/// The default number of values processed per primitive invocation.
+///
+/// X100's headline design decision: work on vectors of ~1000 values, large
+/// enough to amortize interpretation overhead, small enough to stay resident
+/// in the CPU cache. Benchmark `c1_vectorized_vs_tuple` sweeps this knob.
+pub const DEFAULT_VECTOR_SIZE: usize = 1024;

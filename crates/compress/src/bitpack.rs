@@ -1,0 +1,194 @@
+//! Fixed-width bit packing with a frame-of-reference base.
+//!
+//! The workhorse under PFOR, PFOR-DELTA and PDICT codes. Values are reduced
+//! to `v - base` (wrapping, in `u64` space) and the residuals stored in `b`
+//! bits each, packed little-endian into 64-bit words. The inner loops are
+//! branch-free per value — the "super-scalar" property the ICDE'06 paper is
+//! named for — so the compiler can keep multiple packs in flight.
+
+use crate::io::{ByteReader, ByteWriter};
+use crate::bits_for;
+use vw_common::Result;
+
+/// Pack `values` (already reduced residuals) with `bits` bits each.
+/// `bits == 0` writes nothing (all residuals are zero);
+/// `bits == 64` degenerates to raw words.
+pub fn pack(values: &[u64], bits: u32, w: &mut ByteWriter) {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    for &v in values {
+        debug_assert!(bits == 64 || v < (1u64 << bits));
+        acc |= v << filled;
+        let used = 64 - filled;
+        if bits >= used {
+            w.put_u64(acc);
+            // `v >> used` is UB-free because used > 0 here (filled < 64).
+            acc = if used == 64 { 0 } else { v >> used };
+            filled = bits - used;
+        } else {
+            filled += bits;
+        }
+    }
+    if filled > 0 {
+        w.put_u64(acc);
+    }
+}
+
+/// Unpack `n` residuals of `bits` bits each, appending to `out`.
+pub fn unpack(r: &mut ByteReader, n: usize, bits: u32, out: &mut Vec<u64>) -> Result<()> {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        out.resize(out.len() + n, 0);
+        return Ok(());
+    }
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut acc: u64 = 0;
+    let mut avail: u32 = 0;
+    for _ in 0..n {
+        let v = if avail >= bits {
+            let v = acc & mask;
+            acc >>= bits;
+            avail -= bits;
+            v
+        } else {
+            let next = r.get_u64()?;
+            let lo_bits = avail;
+            let v = (acc | (next << lo_bits)) & mask;
+            // Take the remaining (bits - lo_bits) from `next`.
+            let taken = bits - lo_bits;
+            acc = if taken == 64 { 0 } else { next >> taken };
+            avail = 64 - taken;
+            v
+        };
+        out.push(v);
+    }
+    Ok(())
+}
+
+/// Encode with frame-of-reference: header = (base, bits), then packed
+/// residuals `v.wrapping_sub(base)`.
+pub fn encode_for(values: &[i64], w: &mut ByteWriter) {
+    if values.is_empty() {
+        return;
+    }
+    let base = *values.iter().min().unwrap();
+    // Residuals are computed in wrapping u64 space so i64::MIN..=i64::MAX
+    // frames work; the max residual determines the width.
+    let max_resid = values
+        .iter()
+        .map(|&v| (v as u64).wrapping_sub(base as u64))
+        .max()
+        .unwrap();
+    let bits = bits_for(max_resid);
+    w.put_u64(base as u64);
+    w.put_u8(bits as u8);
+    let residuals: Vec<u64> = values
+        .iter()
+        .map(|&v| (v as u64).wrapping_sub(base as u64))
+        .collect();
+    pack(&residuals, bits, w);
+}
+
+/// Decode a frame-of-reference block of `n` values.
+pub fn decode_for(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()> {
+    if n == 0 {
+        return Ok(());
+    }
+    let base = r.get_u64()?;
+    let bits = r.get_u8()? as u32;
+    let mut residuals = Vec::with_capacity(n);
+    unpack(r, n, bits.min(64), &mut residuals)?;
+    out.extend(residuals.iter().map(|&d| base.wrapping_add(d) as i64));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bits(values: &[u64], bits: u32) {
+        let mut w = ByteWriter::new();
+        pack(values, bits, &mut w);
+        let bytes = w.into_bytes();
+        let expected_words = if bits == 0 {
+            0
+        } else {
+            (values.len() * bits as usize).div_ceil(64)
+        };
+        assert_eq!(bytes.len(), expected_words * 8, "packed size for {bits} bits");
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        unpack(&mut r, values.len(), bits, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn pack_every_width() {
+        for bits in 0..=64u32 {
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let values: Vec<u64> = (0..257u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask)
+                .collect();
+            roundtrip_bits(&values, bits);
+        }
+    }
+
+    #[test]
+    fn pack_empty() {
+        roundtrip_bits(&[], 13);
+    }
+
+    #[test]
+    fn for_negative_range() {
+        let values: Vec<i64> = (-500..500).collect();
+        let mut w = ByteWriter::new();
+        encode_for(&values, &mut w);
+        let bytes = w.into_bytes();
+        // base (8) + bits (1) + 1000 values at 10 bits.
+        assert!(bytes.len() < 9 + (1000 * 10 / 8) + 16);
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        decode_for(&mut r, values.len(), &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn for_full_i64_domain() {
+        let values = vec![i64::MIN, i64::MAX, 0, -1, 1];
+        let mut w = ByteWriter::new();
+        encode_for(&values, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        decode_for(&mut r, values.len(), &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn constant_column_is_one_header() {
+        let values = vec![123_456i64; 4096];
+        let mut w = ByteWriter::new();
+        encode_for(&values, &mut w);
+        // base + bits byte, zero payload.
+        assert_eq!(w.len(), 9);
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let values: Vec<i64> = (0..100).collect();
+        let mut w = ByteWriter::new();
+        encode_for(&values, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 1]);
+        let mut out = Vec::new();
+        assert!(decode_for(&mut r, values.len(), &mut out).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! PDICT — dictionary compression for low-cardinality columns.
+//!
+//! Values are replaced by codes into a per-block dictionary; codes are
+//! bit-packed at `ceil(log2(|dict|))` bits. Works for integers (this module)
+//! and strings ([`encode_strings`]/[`decode_strings`]), which is how
+//! Vectorwise stores enumerated VARCHAR columns like `l_returnflag`.
+
+use crate::bitpack;
+use crate::bits_for;
+use crate::io::{ByteReader, ByteWriter};
+use vw_common::hash::FxHashMap;
+use vw_common::{Result, VwError};
+
+/// Maximum dictionary entries per block; beyond this PDICT stops paying off
+/// and the scheme chooser falls back to PFOR/RAW.
+pub const MAX_DICT: usize = 4096;
+
+/// Encode integers via dictionary. Errors if cardinality exceeds [`MAX_DICT`].
+///
+/// Layout: `dict_len u32 | dict values (u64)* | packed codes`.
+/// The dictionary is sorted, so decoded blocks also expose min/max cheaply.
+pub fn encode_i64(values: &[i64], w: &mut ByteWriter) -> Result<()> {
+    let mut dict: Vec<i64> = values.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    if dict.len() > MAX_DICT {
+        return Err(VwError::Unsupported(format!(
+            "dictionary too large: {} > {MAX_DICT}",
+            dict.len()
+        )));
+    }
+    let index: FxHashMap<i64, u32> =
+        dict.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    w.put_u32(dict.len() as u32);
+    for &v in &dict {
+        w.put_u64(v as u64);
+    }
+    let bits = code_bits(dict.len());
+    let codes: Vec<u64> = values.iter().map(|v| index[v] as u64).collect();
+    bitpack::pack(&codes, bits, w);
+    Ok(())
+}
+
+/// Decode a PDICT integer block of `n` values.
+pub fn decode_i64(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()> {
+    let dict_len = r.get_u32()? as usize;
+    if dict_len == 0 {
+        return if n == 0 {
+            Ok(())
+        } else {
+            Err(VwError::Corruption("empty dictionary for nonempty block".into()))
+        };
+    }
+    // Guard the allocation: a corrupted header must not trigger a huge
+    // reserve before the reads below would fail anyway.
+    if dict_len.saturating_mul(8) > r.remaining() {
+        return Err(VwError::Corruption(format!(
+            "dictionary of {dict_len} entries larger than block payload"
+        )));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(r.get_u64()? as i64);
+    }
+    let bits = code_bits(dict_len);
+    let mut codes = Vec::with_capacity(n);
+    bitpack::unpack(r, n, bits, &mut codes)?;
+    for c in codes {
+        let v = *dict.get(c as usize).ok_or_else(|| {
+            VwError::Corruption(format!("dict code {c} out of range {dict_len}"))
+        })?;
+        out.push(v);
+    }
+    Ok(())
+}
+
+/// Bits per code for a dictionary of `len` entries (at least 1 so that a
+/// single-entry dictionary still emits decodable codes).
+fn code_bits(len: usize) -> u32 {
+    bits_for(len.saturating_sub(1) as u64).max(1)
+}
+
+/// A dictionary-compressed string block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringDict {
+    /// Sorted distinct strings.
+    pub dict: Vec<String>,
+    /// Packed codes (one per row) referencing `dict`.
+    pub bytes: Vec<u8>,
+    /// Number of rows.
+    pub len: usize,
+}
+
+impl StringDict {
+    /// Compressed size in bytes (dictionary + codes).
+    pub fn compressed_bytes(&self) -> usize {
+        self.dict.iter().map(|s| s.len() + 4).sum::<usize>() + self.bytes.len()
+    }
+}
+
+/// Dictionary-encode strings. Unlike the integer path this never fails:
+/// string blocks with huge cardinality simply get a big dictionary (the
+/// storage layer decides whether that is acceptable by inspecting the ratio).
+pub fn encode_strings(values: &[String]) -> StringDict {
+    let mut dict: Vec<String> = values.to_vec();
+    dict.sort_unstable();
+    dict.dedup();
+    let index: FxHashMap<&str, u32> = dict
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i as u32))
+        .collect();
+    let bits = code_bits(dict.len());
+    let codes: Vec<u64> = values.iter().map(|s| index[s.as_str()] as u64).collect();
+    let mut w = ByteWriter::new();
+    bitpack::pack(&codes, bits, &mut w);
+    StringDict { dict, bytes: w.into_bytes(), len: values.len() }
+}
+
+/// Decode a string dictionary block into owned strings.
+pub fn decode_strings(sd: &StringDict, out: &mut Vec<String>) -> Result<()> {
+    out.clear();
+    if sd.len == 0 {
+        return Ok(());
+    }
+    if sd.dict.is_empty() {
+        return Err(VwError::Corruption("empty string dictionary".into()));
+    }
+    let bits = code_bits(sd.dict.len());
+    let mut r = ByteReader::new(&sd.bytes);
+    let mut codes = Vec::with_capacity(sd.len);
+    bitpack::unpack(&mut r, sd.len, bits, &mut codes)?;
+    for c in codes {
+        let s = sd.dict.get(c as usize).ok_or_else(|| {
+            VwError::Corruption(format!("string code {c} out of range {}", sd.dict.len()))
+        })?;
+        out.push(s.clone());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_dict_roundtrip() {
+        let dict_vals = [10i64, -3, 1_000_000, 0];
+        let values: Vec<i64> = (0..5000).map(|i| dict_vals[i % 4]).collect();
+        let mut w = ByteWriter::new();
+        encode_i64(&values, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        // 4 entries → 2 bits/code.
+        assert!(bytes.len() < 4 + 32 + 5000 / 4 + 16);
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        decode_i64(&mut r, values.len(), &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn single_value_dict() {
+        let values = vec![42i64; 1000];
+        let mut w = ByteWriter::new();
+        encode_i64(&values, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        decode_i64(&mut r, 1000, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn oversized_dict_rejected() {
+        let values: Vec<i64> = (0..(MAX_DICT as i64 + 1)).collect();
+        let mut w = ByteWriter::new();
+        assert!(encode_i64(&values, &mut w).is_err());
+    }
+
+    #[test]
+    fn string_dict_roundtrip() {
+        let flags = ["A", "N", "R"];
+        let values: Vec<String> = (0..999).map(|i| flags[i % 3].to_string()).collect();
+        let sd = encode_strings(&values);
+        assert_eq!(sd.dict, vec!["A".to_string(), "N".into(), "R".into()]);
+        assert!(sd.compressed_bytes() < 999); // ~2 bits per row
+        let mut out = Vec::new();
+        decode_strings(&sd, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn string_dict_empty_and_unique() {
+        let sd = encode_strings(&[]);
+        let mut out = vec!["junk".to_string()];
+        decode_strings(&sd, &mut out).unwrap();
+        assert!(out.is_empty());
+
+        let values: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let sd = encode_strings(&values);
+        decode_strings(&sd, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn corrupt_code_detected() {
+        let values = vec![1i64, 2, 1, 2];
+        let mut w = ByteWriter::new();
+        encode_i64(&values, &mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        // dict_len=2 → 1 bit codes; flip packed bits to all-ones is still
+        // in-range, so instead shrink the dictionary claim.
+        bytes[0] = 1; // dict_len = 1 → every code must be 0, but codes contain 1s
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        assert!(decode_i64(&mut r, 4, &mut out).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Run-length encoding for long constant stretches.
+//!
+//! Vectorwise uses RLE-style coding for columns dominated by repeated values
+//! (flags, status codes, denormalized dimensions). Layout:
+//! `n_runs u32 | (value u64, run_len u32)*`.
+
+use crate::io::{ByteReader, ByteWriter};
+use vw_common::{Result, VwError};
+
+/// Encode `values` as runs.
+pub fn encode(values: &[i64], w: &mut ByteWriter) {
+    if values.is_empty() {
+        w.put_u32(0);
+        return;
+    }
+    let mut runs: Vec<(i64, u32)> = Vec::new();
+    let mut cur = values[0];
+    let mut len = 1u32;
+    for &v in &values[1..] {
+        if v == cur && len < u32::MAX {
+            len += 1;
+        } else {
+            runs.push((cur, len));
+            cur = v;
+            len = 1;
+        }
+    }
+    runs.push((cur, len));
+    w.put_u32(runs.len() as u32);
+    for (v, l) in runs {
+        w.put_u64(v as u64);
+        w.put_u32(l);
+    }
+}
+
+/// Decode `n` values from runs into `out`.
+pub fn decode(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()> {
+    let n_runs = r.get_u32()? as usize;
+    let mut total = 0usize;
+    for _ in 0..n_runs {
+        let v = r.get_u64()? as i64;
+        let l = r.get_u32()? as usize;
+        total += l;
+        if total > n {
+            return Err(VwError::Corruption(format!(
+                "rle runs decode to more than {n} values"
+            )));
+        }
+        out.resize(out.len() + l, v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) -> usize {
+        let mut w = ByteWriter::new();
+        encode(values, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        decode(&mut r, values.len(), &mut out).unwrap();
+        assert_eq!(out, values);
+        bytes.len()
+    }
+
+    #[test]
+    fn constant_is_one_run() {
+        let size = roundtrip(&vec![5i64; 100_000]);
+        assert_eq!(size, 4 + 12);
+    }
+
+    #[test]
+    fn alternating_degrades_gracefully() {
+        let values: Vec<i64> = (0..100).map(|i| i % 2).collect();
+        let size = roundtrip(&values);
+        assert_eq!(size, 4 + 100 * 12);
+    }
+
+    #[test]
+    fn blocks_of_runs() {
+        let mut values = Vec::new();
+        for v in 0..50i64 {
+            values.extend(std::iter::repeat(v).take(37));
+        }
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(roundtrip(&[]), 4);
+    }
+
+    #[test]
+    fn oversized_run_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u64(9);
+        w.put_u32(1000); // claims 1000 values
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut out = Vec::new();
+        assert!(decode(&mut r, 10, &mut out).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! The catalog: both table kinds of Figure 1 under one namespace.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vw_common::Schema;
+use vw_pdt::PdtStore;
+use vw_storage::{TableStats, TableStorage};
+use vw_volcano::RowStore;
+
+/// Storage engine of a table.
+pub enum TableKind {
+    /// Compressed column store + PDT delta layer (the default).
+    Vectorwise {
+        /// Stable compressed storage.
+        storage: Arc<RwLock<TableStorage>>,
+        /// Differential update layer.
+        pdt: Arc<PdtStore>,
+    },
+    /// Classic row-store heap.
+    Heap {
+        /// The heap.
+        store: Arc<RwLock<RowStore>>,
+    },
+}
+
+impl TableKind {
+    /// Wrap a fresh column store.
+    pub fn new_vectorwise(storage: TableStorage) -> TableKind {
+        let n = storage.n_rows();
+        TableKind::Vectorwise {
+            storage: Arc::new(RwLock::new(storage)),
+            pdt: Arc::new(PdtStore::new(n)),
+        }
+    }
+
+    /// Wrap a fresh heap store.
+    pub fn new_heap(store: RowStore) -> TableKind {
+        TableKind::Heap { store: Arc::new(RwLock::new(store)) }
+    }
+}
+
+/// One catalog entry.
+pub struct TableEntry {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    /// Storage engine.
+    pub kind: TableKind,
+    /// Optimizer statistics.
+    pub stats: Arc<RwLock<TableStats>>,
+}
+
+/// The table namespace.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<TableEntry>>,
+}
+
+impl Catalog {
+    /// Lookup, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<Arc<TableEntry>> {
+        self.tables.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Insert (replaces any existing entry of the same name).
+    pub fn insert(&mut self, entry: TableEntry) {
+        self.tables.insert(entry.name.to_ascii_lowercase(), Arc::new(entry));
+    }
+
+    /// Remove and return an entry.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<TableEntry>> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.values().map(|t| t.name.clone()).collect();
+        v.sort();
+        v
+    }
+}

@@ -1,0 +1,250 @@
+//! System monitoring — the paper's "mundane" but mandatory work: event logging, query
+//! listing, load/resource monitoring, and the kill switch behind query
+//! cancellation.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use vw_common::{Result, VwError};
+use vw_exec::CancelToken;
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventLevel {
+    /// Informational.
+    Info,
+    /// Something recoverable went wrong.
+    Warn,
+    /// A statement failed.
+    Error,
+}
+
+/// One log event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: EventLevel,
+    /// Milliseconds since the monitor started.
+    pub at_ms: u64,
+    /// Message.
+    pub message: String,
+}
+
+/// Lifecycle state of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryState {
+    /// Executing.
+    Running,
+    /// Finished successfully.
+    Finished,
+    /// Failed (message attached).
+    Failed(String),
+    /// Killed by `KILL`.
+    Cancelled,
+}
+
+/// Registry entry for one query.
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// Query id (KILL target).
+    pub id: u64,
+    /// Statement text (label).
+    pub sql: String,
+    /// Current state.
+    pub state: QueryState,
+    /// Wall-clock runtime so far / total.
+    pub elapsed: Duration,
+    /// Rows produced (when finished).
+    pub rows: u64,
+}
+
+struct QuerySlot {
+    info: QueryInfo,
+    cancel: CancelToken,
+    started: Instant,
+}
+
+/// Ring-buffer capacity of the event log.
+const EVENT_CAPACITY: usize = 1024;
+
+/// The monitoring subsystem: event log + query registry.
+pub struct Monitor {
+    epoch: Instant,
+    events: Mutex<std::collections::VecDeque<Event>>,
+    queries: Mutex<HashMap<u64, QuerySlot>>,
+    next_id: AtomicU64,
+    total_queries: AtomicU64,
+    total_failed: AtomicU64,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new()
+    }
+}
+
+impl Monitor {
+    /// Fresh monitor.
+    pub fn new() -> Monitor {
+        Monitor {
+            epoch: Instant::now(),
+            events: Mutex::new(std::collections::VecDeque::with_capacity(EVENT_CAPACITY)),
+            queries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            total_queries: AtomicU64::new(0),
+            total_failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event (ring semantics: oldest dropped at capacity).
+    pub fn log(&self, level: EventLevel, message: String) {
+        let mut ev = self.events.lock();
+        if ev.len() == EVENT_CAPACITY {
+            ev.pop_front();
+        }
+        ev.push_back(Event {
+            level,
+            at_ms: self.epoch.elapsed().as_millis() as u64,
+            message,
+        });
+    }
+
+    /// Snapshot of recent events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Register a running query; returns its id.
+    pub fn register_query(&self, sql: &str, cancel: CancelToken) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.total_queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.lock().insert(
+            id,
+            QuerySlot {
+                info: QueryInfo {
+                    id,
+                    sql: sql.to_string(),
+                    state: QueryState::Running,
+                    elapsed: Duration::ZERO,
+                    rows: 0,
+                },
+                cancel,
+                started: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Mark a query finished.
+    pub fn finish_query(&self, id: u64, rows: u64) {
+        if let Some(slot) = self.queries.lock().get_mut(&id) {
+            if slot.info.state == QueryState::Running {
+                slot.info.state = QueryState::Finished;
+            }
+            slot.info.rows = rows;
+            slot.info.elapsed = slot.started.elapsed();
+        }
+    }
+
+    /// Mark a query failed.
+    pub fn fail_query(&self, id: u64, err: &VwError) {
+        self.total_failed.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.queries.lock();
+        if let Some(slot) = q.get_mut(&id) {
+            slot.info.state = if matches!(err, VwError::Cancelled) {
+                QueryState::Cancelled
+            } else {
+                QueryState::Failed(err.code().to_string())
+            };
+            slot.info.elapsed = slot.started.elapsed();
+        }
+        drop(q);
+        self.log(EventLevel::Error, format!("query {id} failed: {err}"));
+    }
+
+    /// Cancel a running query.
+    pub fn kill(&self, id: u64) -> Result<()> {
+        let q = self.queries.lock();
+        let slot = q
+            .get(&id)
+            .ok_or_else(|| VwError::InvalidParameter(format!("no query with id {id}")))?;
+        slot.cancel.cancel();
+        Ok(())
+    }
+
+    /// List queries (most recent first), the `SHOW QUERIES` equivalent.
+    pub fn list_queries(&self) -> Vec<QueryInfo> {
+        let q = self.queries.lock();
+        let mut out: Vec<QueryInfo> = q
+            .values()
+            .map(|s| {
+                let mut info = s.info.clone();
+                if info.state == QueryState::Running {
+                    info.elapsed = s.started.elapsed();
+                }
+                info
+            })
+            .collect();
+        out.sort_by_key(|i| std::cmp::Reverse(i.id));
+        out
+    }
+
+    /// (total queries, failed queries) counters.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.total_queries.load(Ordering::Relaxed),
+            self.total_failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_rings() {
+        let m = Monitor::new();
+        for i in 0..(EVENT_CAPACITY + 10) {
+            m.log(EventLevel::Info, format!("e{i}"));
+        }
+        let ev = m.events();
+        assert_eq!(ev.len(), EVENT_CAPACITY);
+        assert_eq!(ev[0].message, "e10");
+    }
+
+    #[test]
+    fn query_lifecycle() {
+        let m = Monitor::new();
+        let t = CancelToken::new();
+        let id = m.register_query("SELECT 1", t.clone());
+        assert_eq!(m.list_queries()[0].state, QueryState::Running);
+        m.finish_query(id, 42);
+        let info = &m.list_queries()[0];
+        assert_eq!(info.state, QueryState::Finished);
+        assert_eq!(info.rows, 42);
+        assert_eq!(m.totals(), (1, 0));
+    }
+
+    #[test]
+    fn kill_sets_token() {
+        let m = Monitor::new();
+        let t = CancelToken::new();
+        let id = m.register_query("SELECT long", t.clone());
+        m.kill(id).unwrap();
+        assert!(t.is_cancelled());
+        m.fail_query(id, &VwError::Cancelled);
+        assert_eq!(m.list_queries()[0].state, QueryState::Cancelled);
+        assert!(m.kill(999).is_err());
+    }
+
+    #[test]
+    fn failures_logged() {
+        let m = Monitor::new();
+        let id = m.register_query("SELECT 1/0", CancelToken::new());
+        m.fail_query(id, &VwError::DivideByZero);
+        assert!(m.events().iter().any(|e| e.message.contains("E_DIV_ZERO")));
+        assert_eq!(m.totals().1, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # vw-exec — the X100 vectorized execution kernel
+//!
+//! The "Vectorized Execution" box of Figure 1 and the performance heart of
+//! the system: operators exchange **vectors** (~1000 values, configurable)
+//! instead of single tuples, so interpretation overhead is paid once per
+//! vector while the data stays resident in the CPU cache.
+//!
+//! Layout of the crate:
+//!
+//! * [`vector`] — [`Vector`] (typed values + optional NULL indicator) and
+//!   [`Batch`] (a set of equally-long vectors plus an optional selection
+//!   vector);
+//! * [`primitives`] — the branch-light per-type kernels (map, compare/select,
+//!   hash, gather) in *full* and *selective* variants, including the three
+//!   overflow-checking strategies of benchmark C7;
+//! * [`expr`] — vectorized expression interpretation ([`expr::PhysExpr`]):
+//!   arithmetic, comparisons, CASE, casts, and the SQL function library
+//!   ("many functions" — §1 of the paper);
+//! * [`op`] — the relational operators: scan (with PDT merge), select,
+//!   project, hash join (inner/left/semi/anti/**NULL-aware anti**), hash
+//!   aggregation, sort, top-n, limit, union, and the Volcano-style **Xchg**
+//!   exchange operators that the rewriter uses for multi-core parallelism;
+//! * [`cancel`] — cooperative query cancellation (checked once per vector);
+//! * [`profile`] — per-operator profiling counters for the monitoring layer.
+
+pub mod cancel;
+pub mod expr;
+pub mod op;
+pub mod primitives;
+pub mod profile;
+pub mod vector;
+
+pub use cancel::CancelToken;
+pub use expr::PhysExpr;
+pub use op::Operator;
+pub use vector::{Batch, Vector};

@@ -1,0 +1,575 @@
+//! Vectorized hash aggregation (GROUP BY).
+//!
+//! Build: drain the child, hashing group keys a vector at a time and
+//! accumulating per-group aggregate states. Emit: stream the groups out in
+//! vector-sized batches. NULL group keys form their own group (SQL
+//! semantics); aggregate inputs skip NULLs (except `COUNT(*)`).
+
+use super::{BoxedOp, Operator};
+use crate::cancel::CancelToken;
+use crate::expr::{ExprCtx, PhysExpr};
+use crate::vector::{Batch, Vector};
+use vw_common::hash::{hash_bytes, hash_combine, hash_u64, FxHashMap};
+use vw_common::{ColData, Result, Schema, TypeId, Value, VwError};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-NULL values.
+    Count,
+    /// `SUM(expr)` — BIGINT (checked) or DOUBLE.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)` — always DOUBLE.
+    Avg,
+}
+
+/// One aggregate column specification.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input expression (`None` only for `COUNT(*)`).
+    pub input: Option<PhysExpr>,
+    /// Output type (determined by the binder).
+    pub out_ty: TypeId,
+}
+
+enum AggState {
+    Count(Vec<i64>),
+    SumI64 { sums: Vec<i64>, seen: Vec<bool> },
+    SumF64 { sums: Vec<f64>, seen: Vec<bool> },
+    MinMax { vals: Vec<Value>, is_min: bool },
+    Avg { sums: Vec<f64>, counts: Vec<i64> },
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> Result<AggState> {
+        Ok(match spec.func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(Vec::new()),
+            AggFunc::Sum => match spec.out_ty {
+                TypeId::I64 => AggState::SumI64 { sums: Vec::new(), seen: Vec::new() },
+                TypeId::F64 => AggState::SumF64 { sums: Vec::new(), seen: Vec::new() },
+                other => {
+                    return Err(VwError::Plan(format!(
+                        "SUM output must be BIGINT or DOUBLE, got {}",
+                        other.sql_name()
+                    )))
+                }
+            },
+            AggFunc::Min => AggState::MinMax { vals: Vec::new(), is_min: true },
+            AggFunc::Max => AggState::MinMax { vals: Vec::new(), is_min: false },
+            AggFunc::Avg => AggState::Avg { sums: Vec::new(), counts: Vec::new() },
+        })
+    }
+
+    fn push_group(&mut self) {
+        match self {
+            AggState::Count(c) => c.push(0),
+            AggState::SumI64 { sums, seen } => {
+                sums.push(0);
+                seen.push(false);
+            }
+            AggState::SumF64 { sums, seen } => {
+                sums.push(0.0);
+                seen.push(false);
+            }
+            AggState::MinMax { vals, .. } => vals.push(Value::Null),
+            AggState::Avg { sums, counts } => {
+                sums.push(0.0);
+                counts.push(0);
+            }
+        }
+    }
+
+    fn update(&mut self, g: usize, input: Option<(&Vector, usize)>, func: AggFunc) -> Result<()> {
+        match (self, func) {
+            (AggState::Count(c), AggFunc::CountStar) => c[g] += 1,
+            (AggState::Count(c), AggFunc::Count) => {
+                let (v, i) = input.expect("COUNT has input");
+                if !v.is_null(i) {
+                    c[g] += 1;
+                }
+            }
+            (AggState::SumI64 { sums, seen }, _) => {
+                let (v, i) = input.expect("SUM has input");
+                if !v.is_null(i) {
+                    let x = match &v.data {
+                        ColData::I64(d) => d[i],
+                        other => other.get_value(i).as_i64()?,
+                    };
+                    sums[g] = sums[g].checked_add(x).ok_or(VwError::Overflow("SUM"))?;
+                    seen[g] = true;
+                }
+            }
+            (AggState::SumF64 { sums, seen }, _) => {
+                let (v, i) = input.expect("SUM has input");
+                if !v.is_null(i) {
+                    sums[g] += v.data.get_value(i).as_f64()?;
+                    seen[g] = true;
+                }
+            }
+            (AggState::MinMax { vals, is_min }, _) => {
+                let (v, i) = input.expect("MIN/MAX has input");
+                if !v.is_null(i) {
+                    let x = v.data.get_value(i);
+                    let better = match vals[g].sql_cmp(&x) {
+                        None => true, // current is NULL
+                        Some(o) => {
+                            if *is_min {
+                                o == std::cmp::Ordering::Greater
+                            } else {
+                                o == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if better {
+                        vals[g] = x;
+                    }
+                }
+            }
+            (AggState::Avg { sums, counts }, _) => {
+                let (v, i) = input.expect("AVG has input");
+                if !v.is_null(i) {
+                    sums[g] += v.data.get_value(i).as_f64()?;
+                    counts[g] += 1;
+                }
+            }
+            (_, f) => return Err(VwError::Plan(format!("bad aggregate state for {f:?}"))),
+        }
+        Ok(())
+    }
+
+    fn finish(&self, g: usize) -> Value {
+        match self {
+            AggState::Count(c) => Value::I64(c[g]),
+            AggState::SumI64 { sums, seen } => {
+                if seen[g] {
+                    Value::I64(sums[g])
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumF64 { sums, seen } => {
+                if seen[g] {
+                    Value::F64(sums[g])
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::MinMax { vals, .. } => vals[g].clone(),
+            AggState::Avg { sums, counts } => {
+                if counts[g] > 0 {
+                    Value::F64(sums[g] / counts[g] as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+/// Hash GROUP BY operator.
+pub struct HashAggregate {
+    input: Option<BoxedOp>,
+    group_exprs: Vec<PhysExpr>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    ctx: ExprCtx,
+    cancel: CancelToken,
+    vector_size: usize,
+    // Build state.
+    table: FxHashMap<u64, Vec<u32>>,
+    group_keys: Vec<Vector>,
+    states: Vec<AggState>,
+    n_groups: usize,
+    emit_pos: usize,
+    built: bool,
+}
+
+impl HashAggregate {
+    /// Aggregate `input` by `group_exprs` computing `aggs`. `schema` covers
+    /// group columns followed by aggregate outputs.
+    pub fn new(
+        input: BoxedOp,
+        group_exprs: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        schema: Schema,
+        ctx: ExprCtx,
+        vector_size: usize,
+        cancel: CancelToken,
+    ) -> Result<HashAggregate> {
+        let states = aggs.iter().map(AggState::new).collect::<Result<_>>()?;
+        let group_keys = group_exprs
+            .iter()
+            .map(|e| Vector::new(ColData::new(e.type_id())))
+            .collect();
+        Ok(HashAggregate {
+            input: Some(input),
+            group_exprs,
+            aggs,
+            schema,
+            ctx,
+            cancel,
+            vector_size,
+            table: FxHashMap::default(),
+            group_keys,
+            states,
+            n_groups: 0,
+            emit_pos: 0,
+            built: false,
+        })
+    }
+
+    fn hash_row(keys: &[Vector], pos: usize) -> u64 {
+        let mut h = 0x2545_f491_4f6c_dd1du64;
+        for k in keys {
+            let vh = if k.is_null(pos) {
+                0x6b43_1293
+            } else {
+                match &k.data {
+                    ColData::Bool(v) => v[pos] as u64,
+                    ColData::I8(v) => v[pos] as u64,
+                    ColData::I16(v) => v[pos] as u64,
+                    ColData::I32(v) => v[pos] as u64,
+                    ColData::I64(v) => v[pos] as u64,
+                    ColData::F64(v) => v[pos].to_bits(),
+                    ColData::Date(v) => v[pos] as u64,
+                    ColData::Str(v) => hash_bytes(v[pos].as_bytes()),
+                }
+            };
+            h = hash_combine(h, hash_u64(vh));
+        }
+        h
+    }
+
+    fn keys_equal(stored: &[Vector], g: usize, probe: &[Vector], pos: usize) -> bool {
+        stored.iter().zip(probe).all(|(s, p)| {
+            match (s.is_null(g), p.is_null(pos)) {
+                (true, true) => true, // grouping treats NULLs as equal
+                (false, false) => s.data.get_value(g) == p.data.get_value(pos),
+                _ => false,
+            }
+        })
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("build once");
+        while let Some(batch) = input.next()? {
+            self.cancel.check()?;
+            let keys: Vec<Vector> = self
+                .group_exprs
+                .iter()
+                .map(|e| e.eval(&batch, &self.ctx))
+                .collect::<Result<_>>()?;
+            let agg_inputs: Vec<Option<Vector>> = self
+                .aggs
+                .iter()
+                .map(|a| a.input.as_ref().map(|e| e.eval(&batch, &self.ctx)).transpose())
+                .collect::<Result<_>>()?;
+            for pos in batch.live() {
+                let h = Self::hash_row(&keys, pos);
+                let bucket = self.table.entry(h).or_default();
+                let mut gidx = None;
+                for &g in bucket.iter() {
+                    if Self::keys_equal(&self.group_keys, g as usize, &keys, pos) {
+                        gidx = Some(g as usize);
+                        break;
+                    }
+                }
+                let g = match gidx {
+                    Some(g) => g,
+                    None => {
+                        let g = self.n_groups;
+                        self.n_groups += 1;
+                        bucket.push(g as u32);
+                        for (gk, k) in self.group_keys.iter_mut().zip(&keys) {
+                            gk.push(&k.get(pos))?;
+                        }
+                        for st in &mut self.states {
+                            st.push_group();
+                        }
+                        g
+                    }
+                };
+                for ((spec, state), inp) in
+                    self.aggs.iter().zip(&mut self.states).zip(&agg_inputs)
+                {
+                    state.update(g, inp.as_ref().map(|v| (v, pos)), spec.func)?;
+                }
+            }
+        }
+        // Global aggregation over zero rows still yields one group.
+        if self.group_exprs.is_empty() && self.n_groups == 0 {
+            self.n_groups = 1;
+            for st in &mut self.states {
+                st.push_group();
+            }
+            // COUNT over nothing is 0 (already the initial state).
+        }
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "HashAggr"
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.cancel.check()?;
+        if !self.built {
+            self.build()?;
+        }
+        if self.emit_pos >= self.n_groups {
+            return Ok(None);
+        }
+        let end = (self.emit_pos + self.vector_size).min(self.n_groups);
+        let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
+        for gk in &self.group_keys {
+            let mut v = Vector::new(ColData::with_capacity(gk.type_id(), end - self.emit_pos));
+            for g in self.emit_pos..end {
+                v.push(&gk.get(g))?;
+            }
+            columns.push(v);
+        }
+        for (spec, st) in self.aggs.iter().zip(&self.states) {
+            let mut v = Vector::new(ColData::with_capacity(spec.out_ty, end - self.emit_pos));
+            for g in self.emit_pos..end {
+                v.push(&st.finish(g))?;
+            }
+            columns.push(v);
+        }
+        self.emit_pos = end;
+        Ok(Some(Batch::new(columns)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::simple::Values;
+    use crate::op::drain;
+    use vw_common::Field;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Field::nullable("k", TypeId::Str),
+            Field::nullable("v", TypeId::I64),
+        ])
+        .unwrap()
+    }
+
+    fn source(rows: Vec<(Option<&str>, Option<i64>)>) -> BoxedOp {
+        let rows = rows
+            .into_iter()
+            .map(|(k, v)| {
+                vec![
+                    k.map_or(Value::Null, |s| Value::Str(s.into())),
+                    v.map_or(Value::Null, Value::I64),
+                ]
+            })
+            .collect();
+        Box::new(Values::new(schema2(), rows, 3, CancelToken::new()))
+    }
+
+    fn agg(
+        src: BoxedOp,
+        group: bool,
+        specs: Vec<AggSpec>,
+        out: Vec<Field>,
+    ) -> HashAggregate {
+        let group_exprs = if group {
+            vec![PhysExpr::ColRef(0, TypeId::Str)]
+        } else {
+            vec![]
+        };
+        HashAggregate::new(
+            src,
+            group_exprs,
+            specs,
+            Schema::unchecked(out),
+            ExprCtx::default(),
+            1024,
+            CancelToken::new(),
+        )
+        .unwrap()
+    }
+
+    fn col_v() -> PhysExpr {
+        PhysExpr::ColRef(1, TypeId::I64)
+    }
+
+    #[test]
+    fn grouped_sum_count() {
+        let src = source(vec![
+            (Some("a"), Some(1)),
+            (Some("b"), Some(10)),
+            (Some("a"), Some(2)),
+            (Some("b"), None),
+            (Some("a"), Some(3)),
+        ]);
+        let mut op = agg(
+            src,
+            true,
+            vec![
+                AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Count, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+            ],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("sum", TypeId::I64),
+                Field::not_null("cnt", TypeId::I64),
+                Field::not_null("cntstar", TypeId::I64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        let mut rows: Vec<Vec<Value>> = (0..2).map(|i| out.row_values(i)).collect();
+        rows.sort_by_key(|r| r[0].to_string());
+        assert_eq!(rows[0], vec![Value::Str("a".into()), Value::I64(6), Value::I64(3), Value::I64(3)]);
+        assert_eq!(rows[1], vec![Value::Str("b".into()), Value::I64(10), Value::I64(1), Value::I64(2)]);
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let src = source(vec![(None, Some(1)), (None, Some(2)), (Some("x"), Some(3))]);
+        let mut op = agg(
+            src,
+            true,
+            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("sum", TypeId::I64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        let null_group = (0..2)
+            .map(|i| out.row_values(i))
+            .find(|r| r[0].is_null())
+            .unwrap();
+        assert_eq!(null_group[1], Value::I64(3));
+    }
+
+    #[test]
+    fn global_agg_on_empty_input_yields_one_row() {
+        let src = source(vec![]);
+        let mut op = agg(
+            src,
+            false,
+            vec![
+                AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: Some(col_v()), out_ty: TypeId::F64 },
+            ],
+            vec![
+                Field::not_null("cnt", TypeId::I64),
+                Field::nullable("sum", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(
+            out.row_values(0),
+            vec![Value::I64(0), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let src = source(vec![
+            (Some("g"), Some(5)),
+            (Some("g"), Some(-3)),
+            (Some("g"), None),
+            (Some("g"), Some(10)),
+        ]);
+        let mut op = agg(
+            src,
+            true,
+            vec![
+                AggSpec { func: AggFunc::Min, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: Some(col_v()), out_ty: TypeId::F64 },
+            ],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("min", TypeId::I64),
+                Field::nullable("max", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(
+            out.row_values(0),
+            vec![
+                Value::Str("g".into()),
+                Value::I64(-3),
+                Value::I64(10),
+                Value::F64(4.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let src = source(vec![(Some("g"), Some(i64::MAX)), (Some("g"), Some(1))]);
+        let mut op = agg(
+            src,
+            true,
+            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("sum", TypeId::I64),
+            ],
+        );
+        assert!(matches!(op.next(), Err(VwError::Overflow(_))));
+    }
+
+    #[test]
+    fn many_groups_stream_in_vector_sized_batches() {
+        let rows: Vec<(Option<String>, Option<i64>)> =
+            (0..5000).map(|i| (Some(format!("k{}", i % 2500)), Some(1))).collect();
+        let rows = rows
+            .into_iter()
+            .map(|(k, v)| vec![k.map_or(Value::Null, Value::Str), v.map_or(Value::Null, Value::I64)])
+            .collect();
+        let src: BoxedOp = Box::new(Values::new(schema2(), rows, 512, CancelToken::new()));
+        let mut op = HashAggregate::new(
+            src,
+            vec![PhysExpr::ColRef(0, TypeId::Str)],
+            vec![AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
+            Schema::unchecked(vec![
+                Field::nullable("k", TypeId::Str),
+                Field::not_null("c", TypeId::I64),
+            ]),
+            ExprCtx::default(),
+            1000,
+            CancelToken::new(),
+        )
+        .unwrap();
+        let mut batches = 0;
+        let mut total = 0;
+        while let Some(b) = op.next().unwrap() {
+            batches += 1;
+            total += b.rows();
+            for i in 0..b.rows() {
+                assert_eq!(b.row_values(i)[1], Value::I64(2));
+            }
+        }
+        assert_eq!(total, 2500);
+        assert_eq!(batches, 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! Relational operators of the vectorized kernel.
+//!
+//! Operators follow the X100 iterator model: `next()` returns a [`Batch`]
+//! of up to `vector_size` rows, or `None` at end of stream. All call
+//! [`CancelToken::check`](crate::cancel::CancelToken::check) at vector
+//! granularity.
+
+pub mod hashagg;
+pub mod hashjoin;
+pub mod scan;
+pub mod simple;
+pub mod sort;
+pub mod xchg;
+
+pub use hashagg::{AggFunc, AggSpec, HashAggregate};
+pub use hashjoin::{HashJoin, JoinType};
+pub use scan::VectorScan;
+pub use simple::{Limit, Project, Select, UnionAll, Values};
+pub use sort::{Sort, SortKey, TopN};
+pub use xchg::Xchg;
+
+use crate::vector::Batch;
+use vw_common::{Result, Schema};
+
+/// A vectorized operator.
+pub trait Operator: Send {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next batch, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Batch>>;
+    /// Operator display name (EXPLAIN / profiling).
+    fn name(&self) -> &'static str;
+}
+
+/// Owned boxed operator.
+pub type BoxedOp = Box<dyn Operator>;
+
+/// Drain an operator into a single dense batch (tests, DML, sorts).
+pub fn drain(op: &mut dyn Operator) -> Result<Batch> {
+    let mut acc: Option<Batch> = None;
+    while let Some(b) = op.next()? {
+        let b = b.compact();
+        match &mut acc {
+            None => acc = Some(b),
+            Some(a) => {
+                for (dst, src) in a.columns.iter_mut().zip(&b.columns) {
+                    dst.extend_range(src, 0, src.len());
+                }
+            }
+        }
+    }
+    Ok(acc.unwrap_or_else(|| Batch::empty(op.schema())))
+}

@@ -1,0 +1,219 @@
+//! Xchg — the Volcano-style exchange operator for multi-core parallelism.
+//!
+//! The paper: "The Vectorwise rewriter was used to implement a Volcano-style
+//! query parallelizer". The rewriter splits an order-insensitive plan
+//! fragment into `DOP` partitions (see `vw_rewriter::parallel`); `Xchg`
+//! runs each partition's operator tree on its own thread and merges their
+//! batch streams through a bounded channel. Cancellation propagates through
+//! the shared [`CancelToken`]; errors from any worker surface on the
+//! consumer side.
+
+use super::{BoxedOp, Operator};
+use crate::cancel::CancelToken;
+use crate::vector::Batch;
+use crossbeam::channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+use vw_common::{Result, Schema, VwError};
+
+/// Exchange operator: merges the outputs of N worker-driven partitions.
+pub struct Xchg {
+    schema: Schema,
+    rx: Option<Receiver<Result<Batch>>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Local shutdown signal for this operator's workers only. The
+    /// query-wide token is shared with every operator in the plan and must
+    /// NOT be cancelled when the exchange is merely dropped after a normal
+    /// drain — that would poison the rest of the still-running query.
+    local_cancel: CancelToken,
+    done: bool,
+}
+
+impl Xchg {
+    /// Spawn one worker per partition operator. Each worker drains its
+    /// operator and pushes batches into a bounded channel (capacity 2 per
+    /// worker keeps producers slightly ahead without unbounded buffering).
+    pub fn spawn(partitions: Vec<BoxedOp>, query_cancel: CancelToken) -> Xchg {
+        assert!(!partitions.is_empty());
+        let schema = partitions[0].schema().clone();
+        let local_cancel = CancelToken::new();
+        let (tx, rx) = bounded::<Result<Batch>>(partitions.len() * 2);
+        let mut workers = Vec::with_capacity(partitions.len());
+        for mut part in partitions {
+            let tx = tx.clone();
+            let query_cancel = query_cancel.clone();
+            let local_cancel = local_cancel.clone();
+            workers.push(std::thread::spawn(move || loop {
+                if local_cancel.is_cancelled() {
+                    break; // silent: the consumer initiated shutdown
+                }
+                if query_cancel.is_cancelled() {
+                    let _ = tx.send(Err(VwError::Cancelled));
+                    break;
+                }
+                match part.next() {
+                    Ok(Some(batch)) => {
+                        if tx.send(Ok(batch)).is_err() {
+                            break; // consumer dropped
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(tx); // channel closes when the last worker finishes
+        Xchg { schema, rx: Some(rx), workers, local_cancel, done: false }
+    }
+}
+
+impl Operator for Xchg {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "Xchg"
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(batch)) => Ok(Some(batch)),
+            Ok(Err(e)) => {
+                // Stop the sibling workers; the error propagates upward.
+                self.local_cancel.cancel();
+                self.done = true;
+                Err(e)
+            }
+            Err(_) => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for Xchg {
+    fn drop(&mut self) {
+        // Stop our own workers (never the query-wide token) and unblock any
+        // producer parked on the channel, then join.
+        self.local_cancel.cancel();
+        self.rx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::drain;
+    use crate::op::simple::Values;
+    use vw_common::{Field, Schema, TypeId, Value};
+
+    fn part(range: std::ops::Range<i64>, fail_at: Option<i64>) -> BoxedOp {
+        struct Failing {
+            inner: Values,
+            fail_at: Option<i64>,
+            seen: i64,
+        }
+        impl Operator for Failing {
+            fn schema(&self) -> &Schema {
+                self.inner.schema()
+            }
+            fn name(&self) -> &'static str {
+                "Failing"
+            }
+            fn next(&mut self) -> Result<Option<Batch>> {
+                if let Some(f) = self.fail_at {
+                    if self.seen >= f {
+                        return Err(VwError::Exec("boom".into()));
+                    }
+                }
+                let b = self.inner.next()?;
+                if let Some(b) = &b {
+                    self.seen += b.rows() as i64;
+                }
+                Ok(b)
+            }
+        }
+        let schema = Schema::new(vec![Field::not_null("v", TypeId::I64)]).unwrap();
+        let rows = range.map(|v| vec![Value::I64(v)]).collect();
+        Box::new(Failing {
+            inner: Values::new(schema, rows, 16, CancelToken::new()),
+            fail_at,
+            seen: 0,
+        })
+    }
+
+    #[test]
+    fn merges_all_partitions() {
+        let parts = vec![part(0..100, None), part(100..250, None), part(250..300, None)];
+        let mut x = Xchg::spawn(parts, CancelToken::new());
+        let out = drain(&mut x).unwrap();
+        assert_eq!(out.rows(), 300);
+        let mut vals: Vec<i64> = (0..300)
+            .map(|i| match out.row_values(i)[0] {
+                Value::I64(v) => v,
+                _ => panic!(),
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_error_propagates() {
+        let parts = vec![part(0..1000, None), part(0..1000, Some(32))];
+        let mut x = Xchg::spawn(parts, CancelToken::new());
+        let mut saw_error = false;
+        loop {
+            match x.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    saw_error = true;
+                    assert!(matches!(e, VwError::Exec(_)));
+                    break;
+                }
+            }
+        }
+        assert!(saw_error);
+    }
+
+    #[test]
+    fn cancellation_stops_workers() {
+        let cancel = CancelToken::new();
+        let parts = vec![part(0..1_000_000, None), part(0..1_000_000, None)];
+        let mut x = Xchg::spawn(parts, cancel.clone());
+        x.next().unwrap();
+        cancel.cancel();
+        // Drain to completion: must terminate promptly with Cancelled or
+        // clean end-of-stream, never hang.
+        loop {
+            match x.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(VwError::Cancelled) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_mid_stream_joins_workers() {
+        let parts = vec![part(0..100_000, None)];
+        let mut x = Xchg::spawn(parts, CancelToken::new());
+        x.next().unwrap();
+        drop(x); // must not deadlock
+    }
+}

@@ -1,0 +1,274 @@
+//! Vectors and batches — the unit of data flow between operators.
+
+use vw_common::{ColData, Result, Schema, SelVec, TypeId, Value, VwError};
+
+/// A typed value vector with the Vectorwise two-column NULL representation:
+/// `data` always holds a well-typed ("safe") value at every position, and
+/// `nulls`, when present, flags the positions that are SQL NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    /// The values.
+    pub data: ColData,
+    /// NULL indicator; `None` means "no NULLs in this vector".
+    pub nulls: Option<Vec<bool>>,
+}
+
+impl Vector {
+    /// A non-nullable vector.
+    pub fn new(data: ColData) -> Vector {
+        Vector { data, nulls: None }
+    }
+
+    /// A vector with an explicit indicator (normalized: all-false → None).
+    pub fn with_nulls(data: ColData, nulls: Option<Vec<bool>>) -> Vector {
+        let nulls = nulls.filter(|m| m.iter().any(|&b| b));
+        Vector { data, nulls }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.len() == 0
+    }
+
+    /// The type.
+    pub fn type_id(&self) -> TypeId {
+        self.data.type_id()
+    }
+
+    /// Is position `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|m| m[i])
+    }
+
+    /// Value at `i` as a [`Value`] (NULL-aware slow path).
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            Value::Null
+        } else {
+            self.data.get_value(i)
+        }
+    }
+
+    /// Append a [`Value`] (NULL extends the indicator).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            let n = self.len();
+            self.nulls.get_or_insert_with(|| vec![false; n]).push(true);
+            self.data.push_safe_default();
+        } else {
+            if let Some(m) = &mut self.nulls {
+                m.push(false);
+            }
+            self.data.push_value(v)?;
+        }
+        Ok(())
+    }
+
+    /// Overwrite position `i` (PDT modification overlay during scans).
+    pub fn set(&mut self, i: usize, v: &Value) -> Result<()> {
+        if v.is_null() {
+            let n = self.len();
+            self.nulls.get_or_insert_with(|| vec![false; n])[i] = true;
+            self.data.set_value(i, &Value::Null)?;
+        } else {
+            if let Some(m) = &mut self.nulls {
+                m[i] = false;
+            }
+            self.data.set_value(i, v)?;
+        }
+        Ok(())
+    }
+
+    /// Gather `positions` into a new vector.
+    pub fn gather(&self, positions: &SelVec) -> Vector {
+        let mut data = ColData::with_capacity(self.type_id(), positions.len());
+        data.extend_gather(&self.data, positions.iter());
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|m| positions.iter().map(|p| m[p]).collect::<Vec<bool>>());
+        Vector::with_nulls(data, nulls)
+    }
+
+    /// Concatenate `other[start..end]` onto this vector.
+    pub fn extend_range(&mut self, other: &Vector, start: usize, end: usize) {
+        match (&mut self.nulls, &other.nulls) {
+            (Some(a), Some(b)) => a.extend_from_slice(&b[start..end]),
+            (Some(a), None) => a.extend(std::iter::repeat_n(false, end - start)),
+            (None, Some(b)) => {
+                if b[start..end].iter().any(|&x| x) {
+                    let mut m = vec![false; self.len()];
+                    m.extend_from_slice(&b[start..end]);
+                    self.nulls = Some(m);
+                }
+            }
+            (None, None) => {}
+        }
+        self.data.extend_from_range(&other.data, start, end);
+    }
+}
+
+/// A batch: equally-long vectors plus an optional selection vector marking
+/// the *live* rows (the X100 way of representing filtered data without
+/// copying).
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// The column vectors.
+    pub columns: Vec<Vector>,
+    /// Live positions; `None` = all rows live.
+    pub sel: Option<SelVec>,
+}
+
+impl Batch {
+    /// A batch from columns, no selection.
+    pub fn new(columns: Vec<Vector>) -> Batch {
+        debug_assert!(columns.windows(2).all(|w| w[0].len() == w[1].len()));
+        Batch { columns, sel: None }
+    }
+
+    /// Empty batch of a given schema (0 rows).
+    pub fn empty(schema: &Schema) -> Batch {
+        Batch {
+            columns: schema
+                .fields
+                .iter()
+                .map(|f| Vector::new(ColData::new(f.ty)))
+                .collect(),
+            sel: None,
+        }
+    }
+
+    /// Physical length of the vectors (including filtered-out rows).
+    pub fn capacity(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of *live* rows.
+    pub fn rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.capacity(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Iterate live positions.
+    pub fn live(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match &self.sel {
+            Some(s) => Box::new(s.iter()),
+            None => Box::new(0..self.capacity()),
+        }
+    }
+
+    /// Compact to dense vectors (materialize the selection).
+    pub fn compact(self) -> Batch {
+        match &self.sel {
+            None => self,
+            Some(sel) => {
+                let columns = self.columns.iter().map(|c| c.gather(sel)).collect();
+                Batch { columns, sel: None }
+            }
+        }
+    }
+
+    /// Row `i` (live-position index) as Values — result/test convenience.
+    pub fn row_values(&self, live_idx: usize) -> Vec<Value> {
+        let pos = match &self.sel {
+            Some(s) => s.as_slice()[live_idx] as usize,
+            None => live_idx,
+        };
+        self.columns.iter().map(|c| c.get(pos)).collect()
+    }
+}
+
+/// Build a `Vector` from `Value`s, inferring the type from `ty`.
+pub fn vector_from_values(ty: TypeId, values: &[Value]) -> Result<Vector> {
+    let mut v = Vector::new(ColData::with_capacity(ty, values.len()));
+    for val in values {
+        if !val.is_null() && val.type_id() != Some(ty) {
+            return Err(VwError::Exec(format!(
+                "value {val:?} does not fit column type {}",
+                ty.sql_name()
+            )));
+        }
+        v.push(val)?;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_with_nulls() {
+        let mut v = Vector::new(ColData::new(TypeId::I32));
+        v.push(&Value::I32(1)).unwrap();
+        v.push(&Value::Null).unwrap();
+        v.push(&Value::I32(3)).unwrap();
+        assert_eq!(v.get(0), Value::I32(1));
+        assert_eq!(v.get(1), Value::Null);
+        assert_eq!(v.get(2), Value::I32(3));
+        assert!(v.is_null(1));
+        assert!(!v.is_null(2));
+    }
+
+    #[test]
+    fn with_nulls_normalizes_all_false() {
+        let v = Vector::with_nulls(ColData::I32(vec![1, 2]), Some(vec![false, false]));
+        assert!(v.nulls.is_none());
+    }
+
+    #[test]
+    fn gather_keeps_nulls() {
+        let mut v = Vector::new(ColData::new(TypeId::I64));
+        for val in [Value::I64(10), Value::Null, Value::I64(30), Value::I64(40)] {
+            v.push(&val).unwrap();
+        }
+        let sel = SelVec::from_positions(vec![1, 3]);
+        let g = v.gather(&sel);
+        assert_eq!(g.get(0), Value::Null);
+        assert_eq!(g.get(1), Value::I64(40));
+    }
+
+    #[test]
+    fn extend_range_merges_null_masks() {
+        let mut a = Vector::new(ColData::I32(vec![1, 2]));
+        let b = Vector::with_nulls(ColData::I32(vec![0, 4]), Some(vec![true, false]));
+        a.extend_range(&b, 0, 2);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(2), Value::Null);
+        assert_eq!(a.get(3), Value::I32(4));
+    }
+
+    #[test]
+    fn batch_selection_rows() {
+        let b = Batch {
+            columns: vec![Vector::new(ColData::I32(vec![1, 2, 3, 4]))],
+            sel: Some(SelVec::from_positions(vec![0, 2])),
+        };
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.capacity(), 4);
+        assert_eq!(b.row_values(1), vec![Value::I32(3)]);
+        let dense = b.compact();
+        assert_eq!(dense.rows(), 2);
+        assert_eq!(dense.columns[0].data, ColData::I32(vec![1, 3]));
+    }
+
+    #[test]
+    fn vector_from_values_type_checked() {
+        let v = vector_from_values(TypeId::I32, &[Value::I32(5), Value::Null]).unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(vector_from_values(TypeId::I32, &[Value::I64(5)]).is_err());
+    }
+}

@@ -1,0 +1,770 @@
+//! The PDT store: committed master image, snapshot transactions, positional
+//! delta logs, commit-time conflict detection, and checkpoint reset.
+//!
+//! Commit strategy:
+//!
+//! * **Serial fast path** — if no other transaction committed since this
+//!   one's snapshot, the transaction's private image *is* the next master
+//!   image (persistent structure, O(1) swap). This preserves exact
+//!   positional semantics, including the ordering of the transaction's own
+//!   inserts.
+//! * **Concurrent path** — after the write-write conflict check (positional
+//!   overlap of written SIDs, as in the PDT paper), the transaction's delta
+//!   log is replayed against the *current* master image: deletes/modifies
+//!   address rows by SID; inserts are re-anchored to the nearest surviving
+//!   stable predecessor. The interleaving order of different transactions'
+//!   inserts at the same anchor is unspecified (any serializable order is
+//!   legal).
+
+use crate::treap::{
+    find_stable_at_or_before, for_each_piece, get_at, leaf, merge, prio_for, size, split, Link,
+    Piece,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vw_common::hash::{FxHashMap, FxHashSet};
+use vw_common::{Result, Value, VwError};
+
+/// One element of the merged (current-image) row stream, produced by
+/// traversing the PDT during a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeItem {
+    /// `len` untouched stable rows starting at `sid` — the scan serves these
+    /// straight from column storage.
+    Stable {
+        /// First stable id.
+        sid: u64,
+        /// Run length.
+        len: u64,
+    },
+    /// A stable row with modified columns overlaid.
+    StableMod {
+        /// Stable id.
+        sid: u64,
+        /// `(column, new value)` overrides.
+        mods: Arc<Vec<(usize, Value)>>,
+    },
+    /// A row that exists only in the delta structure.
+    Insert {
+        /// Full row values.
+        row: Arc<Vec<Value>>,
+    },
+}
+
+/// Where an insert lands, in stable coordinates (survives image changes
+/// between snapshot and commit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Anchor {
+    /// Before any stable row.
+    Front,
+    /// Immediately after stable row `sid` (or its nearest surviving
+    /// predecessor if `sid` was deleted concurrently).
+    AfterSid(u64),
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    DeleteStable { sid: u64 },
+    ModifyStable { sid: u64, col: usize, value: Value },
+}
+
+/// Aggregate delta counters of the committed image.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PdtStats {
+    /// Committed inserted rows currently pending in the PDT.
+    pub inserts: u64,
+    /// Committed deletes of stable rows.
+    pub deletes: u64,
+    /// Committed column modifications (distinct (row, column) pairs).
+    pub modifies: u64,
+}
+
+impl PdtStats {
+    /// Total pending deltas — the checkpoint trigger metric.
+    pub fn total(&self) -> u64 {
+        self.inserts + self.deletes + self.modifies
+    }
+}
+
+struct Master {
+    root: Link,
+    version: u64,
+    n_stable: u64,
+    /// Version at the last checkpoint; transactions older than this cannot
+    /// commit (their stable coordinates no longer exist).
+    checkpoint_version: u64,
+    /// (commit version, sids written) since the last checkpoint.
+    commit_log: Vec<(u64, FxHashSet<u64>)>,
+}
+
+/// Thread-safe store of the committed PDT image for one table.
+pub struct PdtStore {
+    inner: Mutex<Master>,
+    counter: AtomicU64,
+}
+
+/// A private snapshot of the table image plus a positional delta log.
+///
+/// Obtained from [`PdtStore::begin`]; apply updates positioned by RID (row id
+/// in *this transaction's* current image), then [`PdtStore::commit`].
+pub struct Transaction {
+    root: Link,
+    snapshot_version: u64,
+    log: Vec<Op>,
+    own_inserts: FxHashSet<u64>,
+    write_set: FxHashSet<u64>,
+    /// True when this transaction modified or deleted rows that were
+    /// inserted by earlier *committed* transactions (still PDT-resident,
+    /// not yet checkpointed). Such edits have no stable (SID) coordinates,
+    /// so they can only commit through the serial fast path; a concurrent
+    /// commit forces a retry.
+    touched_foreign_inserts: bool,
+}
+
+impl PdtStore {
+    /// A store over a stable table of `n_stable` rows (no deltas yet).
+    pub fn new(n_stable: u64) -> PdtStore {
+        let root = if n_stable == 0 {
+            None
+        } else {
+            leaf(prio_for(0), Piece::StableRun { sid: 0, len: n_stable })
+        };
+        PdtStore {
+            inner: Mutex::new(Master {
+                root,
+                version: 0,
+                n_stable,
+                checkpoint_version: 0,
+                commit_log: Vec::new(),
+            }),
+            counter: AtomicU64::new(1),
+        }
+    }
+
+    fn next_id(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Begin a transaction on the current committed image.
+    pub fn begin(&self) -> Transaction {
+        let m = self.inner.lock();
+        Transaction {
+            root: m.root.clone(),
+            snapshot_version: m.version,
+            log: Vec::new(),
+            own_inserts: FxHashSet::default(),
+            write_set: FxHashSet::default(),
+            touched_foreign_inserts: false,
+        }
+    }
+
+    /// The committed image for a read-only scan: (root, version, row count).
+    pub fn snapshot(&self) -> (Link, u64, u64) {
+        let m = self.inner.lock();
+        (m.root.clone(), m.version, size(&m.root))
+    }
+
+    /// Rows visible in the committed image.
+    pub fn visible_rows(&self) -> u64 {
+        size(&self.inner.lock().root)
+    }
+
+    /// Committed delta counters, recomputed from the image (O(#deltas)).
+    pub fn stats(&self) -> PdtStats {
+        let m = self.inner.lock();
+        compute_stats(&m.root, m.n_stable)
+    }
+
+    /// Commit `txn`, returning the new version.
+    ///
+    /// Fails with [`VwError::TxnConflict`] if any stable row written by this
+    /// transaction was also written by a transaction that committed after
+    /// this one's snapshot (write-write conflict on position), or if a
+    /// checkpoint invalidated the snapshot's stable coordinates.
+    pub fn commit(&self, txn: Transaction) -> Result<u64> {
+        let mut m = self.inner.lock();
+        if txn.snapshot_version < m.checkpoint_version {
+            return Err(VwError::TxnConflict(
+                "snapshot predates a checkpoint; restart transaction".into(),
+            ));
+        }
+
+        if txn.touched_foreign_inserts && m.version != txn.snapshot_version {
+            return Err(VwError::TxnConflict(
+                "a concurrent commit raced with edits to PDT-resident inserted rows;                  retry the transaction"
+                    .into(),
+            ));
+        }
+
+        if m.version == txn.snapshot_version {
+            // Serial fast path: nothing committed since the snapshot, so the
+            // transaction's image is exactly the next master image.
+            m.version += 1;
+            let version = m.version;
+            if !txn.write_set.is_empty() {
+                m.commit_log.push((version, txn.write_set));
+            }
+            m.root = txn.root;
+            return Ok(version);
+        }
+
+        for (ver, sids) in m.commit_log.iter().rev() {
+            if *ver <= txn.snapshot_version {
+                break;
+            }
+            if !txn.write_set.is_disjoint(sids) {
+                return Err(VwError::TxnConflict(format!(
+                    "write-write conflict with commit version {ver}"
+                )));
+            }
+        }
+
+        // Replay deletes/modifies by SID onto the current master image.
+        let mut root = m.root.clone();
+        for op in &txn.log {
+            match op {
+                Op::DeleteStable { sid } => {
+                    let rid = locate_sid(&root, *sid)?;
+                    let (a, b) = split(root, rid);
+                    let (_, c) = split(b, 1);
+                    root = merge(a, c);
+                }
+                Op::ModifyStable { sid, col, value } => {
+                    let rid = locate_sid(&root, *sid)?;
+                    let (piece, _) = get_at(&root, rid).expect("rid in range");
+                    let mods = match piece {
+                        Piece::StableMod { mods, .. } => {
+                            let mut v = (*mods).clone();
+                            match v.iter_mut().find(|(c, _)| c == col) {
+                                Some(slot) => slot.1 = value.clone(),
+                                None => v.push((*col, value.clone())),
+                            }
+                            Arc::new(v)
+                        }
+                        Piece::StableRun { .. } => Arc::new(vec![(*col, value.clone())]),
+                        Piece::Insert { .. } => unreachable!("sid lookup returned insert"),
+                    };
+                    let (a, b) = split(root, rid);
+                    let (_, c) = split(b, 1);
+                    let node =
+                        leaf(prio_for(self.next_id()), Piece::StableMod { sid: *sid, mods });
+                    root = merge(a, merge(node, c));
+                }
+            }
+        }
+
+        // Replay the transaction's own inserts in its image order,
+        // re-anchored to surviving stable predecessors.
+        let mut planned: Vec<(Anchor, Arc<Vec<Value>>)> = Vec::new();
+        {
+            let mut last_anchor = Anchor::Front;
+            for_each_piece(&txn.root, &mut |p| match p {
+                Piece::StableRun { sid, len } => {
+                    last_anchor = Anchor::AfterSid(sid + len - 1);
+                }
+                Piece::StableMod { sid, .. } => {
+                    last_anchor = Anchor::AfterSid(*sid);
+                }
+                Piece::Insert { id, row } => {
+                    if txn.own_inserts.contains(id) {
+                        planned.push((last_anchor, row.clone()));
+                    }
+                }
+            });
+        }
+        let mut anchor_offsets: FxHashMap<Anchor, u64> = FxHashMap::default();
+        for (anchor, row) in planned {
+            let base = match anchor {
+                Anchor::Front => 0,
+                Anchor::AfterSid(sid) => match find_stable_at_or_before(&root, sid) {
+                    Some((rid, _)) => rid + 1,
+                    None => 0,
+                },
+            };
+            let off = anchor_offsets.entry(anchor).or_insert(0);
+            let pos = (base + *off).min(size(&root));
+            *off += 1;
+            let (a, b) = split(root, pos);
+            let node = leaf(
+                prio_for(self.next_id()),
+                Piece::Insert { id: self.next_id(), row },
+            );
+            root = merge(a, merge(node, b));
+        }
+
+        m.version += 1;
+        let version = m.version;
+        if !txn.write_set.is_empty() {
+            m.commit_log.push((version, txn.write_set));
+        }
+        m.root = root;
+        Ok(version)
+    }
+
+    /// Discard all deltas and point at a freshly checkpointed stable table of
+    /// `n_stable` rows. In-flight transactions will fail their commit.
+    pub fn reset_after_checkpoint(&self, n_stable: u64) {
+        let mut m = self.inner.lock();
+        m.root = if n_stable == 0 {
+            None
+        } else {
+            leaf(prio_for(self.next_id()), Piece::StableRun { sid: 0, len: n_stable })
+        };
+        m.version += 1;
+        m.n_stable = n_stable;
+        m.checkpoint_version = m.version;
+        m.commit_log.clear();
+    }
+}
+
+/// Find the RID of exactly `sid`, or report the row as vanished.
+fn locate_sid(root: &Link, sid: u64) -> Result<u64> {
+    match find_stable_at_or_before(root, sid) {
+        Some((rid, found)) if found == sid => Ok(rid),
+        _ => Err(VwError::TxnConflict(format!("row sid={sid} vanished"))),
+    }
+}
+
+fn compute_stats(root: &Link, n_stable: u64) -> PdtStats {
+    let mut stable_visible = 0u64;
+    let mut inserts = 0u64;
+    let mut modifies = 0u64;
+    for_each_piece(root, &mut |p| match p {
+        Piece::StableRun { len, .. } => stable_visible += len,
+        Piece::StableMod { mods, .. } => {
+            stable_visible += 1;
+            modifies += mods.len() as u64;
+        }
+        Piece::Insert { .. } => inserts += 1,
+    });
+    PdtStats { inserts, deletes: n_stable - stable_visible, modifies }
+}
+
+/// Collect the merge stream of an image root (scan driver).
+pub fn items(root: &Link) -> Vec<MergeItem> {
+    let mut out: Vec<MergeItem> = Vec::new();
+    for_each_piece(root, &mut |p| {
+        let item = match p {
+            Piece::StableRun { sid, len } => MergeItem::Stable { sid: *sid, len: *len },
+            Piece::StableMod { sid, mods } => {
+                MergeItem::StableMod { sid: *sid, mods: mods.clone() }
+            }
+            Piece::Insert { row, .. } => MergeItem::Insert { row: row.clone() },
+        };
+        // Coalesce adjacent stable runs (splits leave seams that would
+        // otherwise fragment scans forever).
+        if let (Some(MergeItem::Stable { sid, len }), MergeItem::Stable { sid: s2, len: l2 }) =
+            (out.last_mut(), &item)
+        {
+            if *sid + *len == *s2 {
+                *len += l2;
+                return;
+            }
+        }
+        out.push(item);
+    });
+    out
+}
+
+impl Transaction {
+    /// Rows visible to this transaction.
+    pub fn n_rows(&self) -> u64 {
+        size(&self.root)
+    }
+
+    /// This transaction's private image root (for scanning its own view).
+    pub fn image(&self) -> &Link {
+        &self.root
+    }
+
+    fn check_rid(&self, rid: u64, inclusive_end: bool) -> Result<()> {
+        let n = self.n_rows();
+        let ok = if inclusive_end { rid <= n } else { rid < n };
+        if !ok {
+            return Err(VwError::Exec(format!(
+                "row position {rid} out of range (visible rows: {n})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Insert `row` so that it becomes the row at position `rid`
+    /// (`rid == n_rows()` appends).
+    pub fn insert_at(&mut self, rid: u64, row: Vec<Value>) -> Result<()> {
+        self.check_rid(rid, true)?;
+        let insert_id = NEXT_LOCAL.fetch_add(1, Ordering::Relaxed);
+        let node = leaf(
+            prio_for(insert_id),
+            Piece::Insert { id: insert_id, row: Arc::new(row) },
+        );
+        let (before, after) = split(self.root.clone(), rid);
+        self.root = merge(before, merge(node, after));
+        self.own_inserts.insert(insert_id);
+        Ok(())
+    }
+
+    /// Append `row` at the end of the image.
+    pub fn append(&mut self, row: Vec<Value>) -> Result<()> {
+        self.insert_at(self.n_rows(), row)
+    }
+
+    /// Delete the row at position `rid`.
+    pub fn delete_at(&mut self, rid: u64) -> Result<()> {
+        self.check_rid(rid, false)?;
+        let (piece, off) = get_at(&self.root, rid).expect("checked rid");
+        match &piece {
+            Piece::StableRun { sid, .. } => {
+                let sid = sid + off;
+                self.write_set.insert(sid);
+                self.log.push(Op::DeleteStable { sid });
+            }
+            Piece::StableMod { sid, .. } => {
+                self.write_set.insert(*sid);
+                self.log.push(Op::DeleteStable { sid: *sid });
+            }
+            Piece::Insert { id, .. } => {
+                if !self.own_inserts.remove(id) {
+                    // A committed-but-unckeckpointed insert: the removal is
+                    // only expressible through the serial fast path.
+                    self.touched_foreign_inserts = true;
+                }
+            }
+        }
+        let (a, b) = split(self.root.clone(), rid);
+        let (_, c) = split(b, 1);
+        self.root = merge(a, c);
+        Ok(())
+    }
+
+    /// Set column `col` of the row at position `rid` to `value`.
+    pub fn update_at(&mut self, rid: u64, col: usize, value: Value) -> Result<()> {
+        self.check_rid(rid, false)?;
+        let (piece, off) = get_at(&self.root, rid).expect("checked rid");
+        let new_piece = match &piece {
+            Piece::StableRun { sid, .. } => {
+                let sid = sid + off;
+                self.write_set.insert(sid);
+                self.log.push(Op::ModifyStable { sid, col, value: value.clone() });
+                Piece::StableMod { sid, mods: Arc::new(vec![(col, value)]) }
+            }
+            Piece::StableMod { sid, mods } => {
+                self.write_set.insert(*sid);
+                self.log.push(Op::ModifyStable { sid: *sid, col, value: value.clone() });
+                let mut v = (**mods).clone();
+                match v.iter_mut().find(|(c, _)| *c == col) {
+                    Some(slot) => slot.1 = value,
+                    None => v.push((col, value)),
+                }
+                Piece::StableMod { sid: *sid, mods: Arc::new(v) }
+            }
+            Piece::Insert { id, row } => {
+                if !self.own_inserts.contains(id) {
+                    self.touched_foreign_inserts = true;
+                }
+                let mut r = (**row).clone();
+                if col >= r.len() {
+                    return Err(VwError::Exec(format!("column {col} out of range")));
+                }
+                r[col] = value;
+                Piece::Insert { id: *id, row: Arc::new(r) }
+            }
+        };
+        let (a, b) = split(self.root.clone(), rid);
+        let (_, c) = split(b, 1);
+        let node = leaf(prio_for(NEXT_LOCAL.fetch_add(1, Ordering::Relaxed)), new_piece);
+        self.root = merge(a, merge(node, c));
+        Ok(())
+    }
+
+    /// Number of pending logged operations plus live own inserts
+    /// (diagnostics).
+    pub fn pending_ops(&self) -> usize {
+        self.log.len() + self.own_inserts.len()
+    }
+}
+
+static NEXT_LOCAL: AtomicU64 = AtomicU64::new(1 << 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Vec<Value> {
+        vec![Value::I64(v)]
+    }
+
+    /// Flatten an image into (Option<sid>, Option<row>) for assertions.
+    fn flat(root: &Link) -> Vec<(Option<u64>, Option<i64>)> {
+        let mut out = Vec::new();
+        for item in items(root) {
+            match item {
+                MergeItem::Stable { sid, len } => {
+                    for s in sid..sid + len {
+                        out.push((Some(s), None));
+                    }
+                }
+                MergeItem::StableMod { sid, .. } => out.push((Some(sid), None)),
+                MergeItem::Insert { row } => {
+                    let Value::I64(v) = row[0] else { panic!() };
+                    out.push((None, Some(v)));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn insert_delete_modify_roundtrip() {
+        let store = PdtStore::new(10);
+        let mut t = store.begin();
+        t.insert_at(3, row(100)).unwrap();
+        assert_eq!(t.n_rows(), 11);
+        t.delete_at(0).unwrap();
+        assert_eq!(t.n_rows(), 10);
+        t.update_at(5, 0, Value::I64(-1)).unwrap();
+        store.commit(t).unwrap();
+
+        let (root, _, n) = store.snapshot();
+        assert_eq!(n, 10);
+        let f = flat(&root);
+        // Started 0..10; deleted sid0; inserted before old rid3 (sid 3).
+        assert_eq!(f[0], (Some(1), None));
+        assert_eq!(f[2], (None, Some(100)));
+        assert_eq!(f[3], (Some(3), None));
+        let stats = store.stats();
+        assert_eq!(stats, PdtStats { inserts: 1, deletes: 1, modifies: 1 });
+    }
+
+    #[test]
+    fn append_and_visible_rows() {
+        let store = PdtStore::new(0);
+        let mut t = store.begin();
+        for i in 0..5 {
+            t.append(row(i)).unwrap();
+        }
+        store.commit(t).unwrap();
+        assert_eq!(store.visible_rows(), 5);
+        let (root, _, _) = store.snapshot();
+        let f = flat(&root);
+        assert_eq!(
+            f.iter().map(|x| x.1.unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_image_order() {
+        let store = PdtStore::new(0);
+        let mut t = store.begin();
+        t.insert_at(0, row(1)).unwrap(); // [1]
+        t.insert_at(0, row(2)).unwrap(); // [2,1]
+        t.insert_at(1, row(3)).unwrap(); // [2,3,1]
+        store.commit(t).unwrap();
+        let (root, _, _) = store.snapshot();
+        let vals: Vec<i64> = flat(&root).iter().map(|x| x.1.unwrap()).collect();
+        assert_eq!(vals, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let store = PdtStore::new(4);
+        let t_reader = store.begin();
+        let mut t_writer = store.begin();
+        t_writer.delete_at(0).unwrap();
+        store.commit(t_writer).unwrap();
+        // Reader still sees 4 rows; new snapshot sees 3.
+        assert_eq!(t_reader.n_rows(), 4);
+        assert_eq!(store.visible_rows(), 3);
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let store = PdtStore::new(4);
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.update_at(2, 0, Value::I64(1)).unwrap();
+        b.update_at(2, 0, Value::I64(2)).unwrap();
+        store.commit(a).unwrap();
+        let err = store.commit(b).unwrap_err();
+        assert!(matches!(err, VwError::TxnConflict(_)));
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        let store = PdtStore::new(4);
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.update_at(1, 0, Value::I64(1)).unwrap();
+        b.update_at(3, 0, Value::I64(2)).unwrap();
+        store.commit(a).unwrap();
+        store.commit(b).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.modifies, 2);
+    }
+
+    #[test]
+    fn concurrent_inserts_merge() {
+        let store = PdtStore::new(2);
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.insert_at(1, row(10)).unwrap();
+        b.insert_at(1, row(20)).unwrap();
+        store.commit(a).unwrap();
+        store.commit(b).unwrap();
+        assert_eq!(store.visible_rows(), 4);
+        let (root, _, _) = store.snapshot();
+        let f = flat(&root);
+        assert_eq!(f[0], (Some(0), None));
+        assert_eq!(f[3], (Some(1), None));
+        // Both inserts landed between the stable rows (order unspecified).
+        assert!(f[1].1.is_some() && f[2].1.is_some());
+    }
+
+    #[test]
+    fn delete_own_insert_cancels() {
+        let store = PdtStore::new(2);
+        let mut t = store.begin();
+        t.insert_at(1, row(10)).unwrap();
+        t.delete_at(1).unwrap();
+        assert_eq!(t.pending_ops(), 0, "insert+delete must cancel out");
+        store.commit(t).unwrap();
+        assert_eq!(store.visible_rows(), 2);
+        assert_eq!(store.stats().total(), 0);
+    }
+
+    #[test]
+    fn update_own_insert_keeps_value() {
+        let store = PdtStore::new(0);
+        let mut t = store.begin();
+        t.append(row(1)).unwrap();
+        t.update_at(0, 0, Value::I64(42)).unwrap();
+        store.commit(t).unwrap();
+        let (root, _, _) = store.snapshot();
+        assert_eq!(flat(&root)[0].1, Some(42));
+    }
+
+    #[test]
+    fn delete_then_insert_at_same_position() {
+        let store = PdtStore::new(5);
+        let mut t = store.begin();
+        t.delete_at(2).unwrap(); // deletes sid2
+        t.insert_at(2, row(99)).unwrap();
+        store.commit(t).unwrap();
+        let (root, _, _) = store.snapshot();
+        let f = flat(&root);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[2], (None, Some(99)));
+        assert_eq!(f[3], (Some(3), None));
+    }
+
+    #[test]
+    fn conflicting_delete_delete() {
+        let store = PdtStore::new(3);
+        let mut a = store.begin();
+        let mut b = store.begin();
+        a.delete_at(1).unwrap();
+        b.delete_at(1).unwrap();
+        store.commit(a).unwrap();
+        assert!(store.commit(b).is_err());
+        assert_eq!(store.visible_rows(), 2);
+    }
+
+    #[test]
+    fn concurrent_insert_replay_against_changed_image() {
+        let store = PdtStore::new(10);
+        // Txn B inserts after sid 5 while txn A deletes sids 4..=6.
+        let mut a = store.begin();
+        let mut b = store.begin();
+        b.insert_at(6, row(77)).unwrap(); // lands after sid 5 in b's image
+        for _ in 0..3 {
+            a.delete_at(4).unwrap(); // deletes sids 4,5,6
+        }
+        store.commit(a).unwrap();
+        store.commit(b).unwrap();
+        let (root, _, _) = store.snapshot();
+        let f = flat(&root);
+        assert_eq!(f.len(), 8); // 10 - 3 + 1
+        // The insert re-anchored to the nearest surviving predecessor (sid 3).
+        let pos = f.iter().position(|x| x.1 == Some(77)).unwrap();
+        assert_eq!(f[pos - 1], (Some(3), None));
+        assert_eq!(f[pos + 1], (Some(7), None));
+    }
+
+    #[test]
+    fn checkpoint_invalidates_old_snapshots() {
+        let store = PdtStore::new(3);
+        let mut t = store.begin();
+        t.delete_at(0).unwrap();
+        store.reset_after_checkpoint(3);
+        assert!(matches!(store.commit(t), Err(VwError::TxnConflict(_))));
+        assert_eq!(store.visible_rows(), 3);
+        assert_eq!(store.stats().total(), 0);
+    }
+
+    #[test]
+    fn out_of_range_positions_error() {
+        let store = PdtStore::new(2);
+        let mut t = store.begin();
+        assert!(t.delete_at(2).is_err());
+        assert!(t.update_at(5, 0, Value::I64(0)).is_err());
+        assert!(t.insert_at(3, row(0)).is_err());
+        t.insert_at(2, row(0)).unwrap(); // == n_rows: append OK
+    }
+
+    #[test]
+    fn modify_same_column_twice_counts_once() {
+        let store = PdtStore::new(2);
+        let mut t = store.begin();
+        t.update_at(0, 0, Value::I64(1)).unwrap();
+        t.update_at(0, 0, Value::I64(2)).unwrap();
+        store.commit(t).unwrap();
+        assert_eq!(store.stats().modifies, 1);
+        let (root, _, _) = store.snapshot();
+        match &items(&root)[0] {
+            MergeItem::StableMod { mods, .. } => {
+                assert_eq!(mods.as_slice(), &[(0, Value::I64(2))]);
+            }
+            other => panic!("expected StableMod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn items_coalesce_seams() {
+        let store = PdtStore::new(100);
+        let mut t = store.begin();
+        // Insert then delete elsewhere leaves run splits behind.
+        t.insert_at(50, row(1)).unwrap();
+        t.delete_at(50).unwrap();
+        store.commit(t).unwrap();
+        let (root, _, _) = store.snapshot();
+        let it = items(&root);
+        assert_eq!(it, vec![MergeItem::Stable { sid: 0, len: 100 }]);
+    }
+
+    #[test]
+    fn many_scattered_updates_stay_fast() {
+        let store = PdtStore::new(100_000);
+        let mut t = store.begin();
+        // 10k scattered ops; O(log n) each.
+        for i in 0..10_000u64 {
+            let pos = (i * 7919) % t.n_rows();
+            match i % 3 {
+                0 => t.delete_at(pos).unwrap(),
+                1 => t.insert_at(pos, row(i as i64)).unwrap(),
+                _ => {
+                    // Position may hit an insert from this txn; both paths OK.
+                    let _ = t.update_at(pos, 0, Value::I64(i as i64));
+                }
+            }
+        }
+        store.commit(t).unwrap();
+        let stats = store.stats();
+        assert!(stats.total() > 6000);
+        // Image size must be consistent: 100k - deletes + inserts.
+        assert_eq!(
+            store.visible_rows(),
+            100_000 - stats.deletes + stats.inserts
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! A persistent (path-copying) counted treap over the visible table image.
+//!
+//! Leaves-as-nodes: every node carries a payload describing either a run of
+//! stable rows, a modified stable row, or an inserted row. Subtree sizes
+//! enable O(log n) positional access; subtree max-SID enables O(log n)
+//! SID → position lookup (needed for commit-time replay of delta logs).
+//!
+//! Persistence (Arc-shared immutable nodes) is what makes snapshot isolation
+//! cheap: a transaction's snapshot is a root pointer clone.
+
+use std::sync::Arc;
+use vw_common::Value;
+
+/// Payload of one treap node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Piece {
+    /// `len` untouched stable rows starting at `sid`.
+    StableRun {
+        /// First stable id of the run.
+        sid: u64,
+        /// Number of rows in the run.
+        len: u64,
+    },
+    /// One stable row with modified column values.
+    StableMod {
+        /// Stable id of the row.
+        sid: u64,
+        /// `(column index, new value)` pairs, each column at most once.
+        mods: Arc<Vec<(usize, Value)>>,
+    },
+    /// One inserted row (not present in stable storage).
+    Insert {
+        /// Transaction-unique id used to find/cancel the insert in delta logs.
+        id: u64,
+        /// Full row values in schema order.
+        row: Arc<Vec<Value>>,
+    },
+}
+
+impl Piece {
+    /// Number of visible rows this piece contributes.
+    pub fn rows(&self) -> u64 {
+        match self {
+            Piece::StableRun { len, .. } => *len,
+            _ => 1,
+        }
+    }
+
+    fn max_sid(&self) -> Option<u64> {
+        match self {
+            Piece::StableRun { sid, len } => Some(sid + len - 1),
+            Piece::StableMod { sid, .. } => Some(*sid),
+            Piece::Insert { .. } => None,
+        }
+    }
+
+    fn min_sid(&self) -> Option<u64> {
+        match self {
+            Piece::StableRun { sid, .. } => Some(*sid),
+            Piece::StableMod { sid, .. } => Some(*sid),
+            Piece::Insert { .. } => None,
+        }
+    }
+}
+
+/// One immutable treap node.
+#[derive(Debug)]
+pub struct Node {
+    prio: u64,
+    size: u64,
+    max_sid: Option<u64>,
+    min_sid: Option<u64>,
+    piece: Piece,
+    left: Link,
+    right: Link,
+}
+
+/// Shared pointer to a node (None = empty tree).
+pub type Link = Option<Arc<Node>>;
+
+/// Total rows in a subtree.
+pub fn size(t: &Link) -> u64 {
+    t.as_ref().map_or(0, |n| n.size)
+}
+
+fn max_sid(t: &Link) -> Option<u64> {
+    t.as_ref().and_then(|n| n.max_sid)
+}
+
+fn min_sid(t: &Link) -> Option<u64> {
+    t.as_ref().and_then(|n| n.min_sid)
+}
+
+/// Deterministic node priority from a counter (no RNG dependency; the mix
+/// gives heap-balanced shapes for sequential ids).
+pub fn prio_for(counter: u64) -> u64 {
+    vw_common::hash::hash_u64(counter)
+}
+
+fn mk(prio: u64, piece: Piece, left: Link, right: Link) -> Link {
+    let size = size(&left) + piece.rows() + size(&right);
+    let max_sid = [max_sid(&left), piece.max_sid(), max_sid(&right)]
+        .into_iter()
+        .flatten()
+        .max();
+    let min_sid = [min_sid(&left), piece.min_sid(), min_sid(&right)]
+        .into_iter()
+        .flatten()
+        .min();
+    Some(Arc::new(Node { prio, size, max_sid, min_sid, piece, left, right }))
+}
+
+fn clone_with(n: &Node, left: Link, right: Link) -> Link {
+    mk(n.prio, n.piece.clone(), left, right)
+}
+
+/// Merge two treaps (all rows of `a` before all rows of `b`).
+pub fn merge(a: Link, b: Link) -> Link {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(x), Some(y)) => {
+            if x.prio >= y.prio {
+                let right = merge(x.right.clone(), Some(y));
+                clone_with(&x, x.left.clone(), right)
+            } else {
+                let left = merge(Some(x), y.left.clone());
+                clone_with(&y, left, y.right.clone())
+            }
+        }
+    }
+}
+
+/// Split `t` into (first `k` rows, rest). Splits stable runs at interior
+/// offsets by synthesizing two run pieces sharing the original priority
+/// (heap order stays valid: equal priorities are allowed).
+pub fn split(t: Link, k: u64) -> (Link, Link) {
+    let Some(n) = t else {
+        return (None, None);
+    };
+    let lsize = size(&n.left);
+    let own = n.piece.rows();
+    if k <= lsize {
+        let (a, b) = split(n.left.clone(), k);
+        (a, clone_with(&n, b, n.right.clone()))
+    } else if k >= lsize + own {
+        let (a, b) = split(n.right.clone(), k - lsize - own);
+        (clone_with(&n, n.left.clone(), a), b)
+    } else {
+        // Split inside this node's piece — only possible for StableRun.
+        let off = k - lsize;
+        match &n.piece {
+            Piece::StableRun { sid, len } => {
+                debug_assert!(off > 0 && off < *len);
+                let left_run = mk(
+                    n.prio,
+                    Piece::StableRun { sid: *sid, len: off },
+                    n.left.clone(),
+                    None,
+                );
+                let right_run = mk(
+                    n.prio,
+                    Piece::StableRun { sid: sid + off, len: len - off },
+                    None,
+                    n.right.clone(),
+                );
+                (left_run, right_run)
+            }
+            _ => unreachable!("interior split of a single-row piece"),
+        }
+    }
+}
+
+/// Build a leaf.
+pub fn leaf(prio: u64, piece: Piece) -> Link {
+    mk(prio, piece, None, None)
+}
+
+/// The piece covering row `rid`, with the offset of `rid` inside it.
+pub fn get_at(t: &Link, rid: u64) -> Option<(Piece, u64)> {
+    let n = t.as_ref()?;
+    let lsize = size(&n.left);
+    let own = n.piece.rows();
+    if rid < lsize {
+        get_at(&n.left, rid)
+    } else if rid < lsize + own {
+        Some((n.piece.clone(), rid - lsize))
+    } else {
+        get_at(&n.right, rid - lsize - own)
+    }
+}
+
+/// Position (RID) of the last visible stable row with `sid' <= sid`, plus
+/// that `sid'`. Returns None if no such row is visible.
+///
+/// Stable sids ascend in traversal order, so the search descends a single
+/// path guided by the subtree min/max sid aggregates: O(log n).
+pub fn find_stable_at_or_before(t: &Link, sid: u64) -> Option<(u64, u64)> {
+    let n = t.as_ref()?;
+    // If the right subtree contains any stable sid <= target, the rightmost
+    // qualifying row is there.
+    if min_sid(&n.right).is_some_and(|m| m <= sid) {
+        let (rid, s) = find_stable_at_or_before(&n.right, sid)?;
+        return Some((size(&n.left) + n.piece.rows() + rid, s));
+    }
+    // Otherwise this node's own piece is the candidate...
+    match &n.piece {
+        Piece::StableRun { sid: s0, len } if *s0 <= sid => {
+            let off = (sid - s0).min(len - 1);
+            return Some((size(&n.left) + off, s0 + off));
+        }
+        Piece::StableMod { sid: s0, .. } if *s0 <= sid => {
+            return Some((size(&n.left), *s0));
+        }
+        _ => {}
+    }
+    // ...else it is somewhere in the left subtree (or absent).
+    find_stable_at_or_before(&n.left, sid)
+}
+
+/// In-order traversal of pieces (merge-scan driver).
+pub fn for_each_piece(t: &Link, f: &mut impl FnMut(&Piece)) {
+    if let Some(n) = t {
+        for_each_piece(&n.left, f);
+        f(&n.piece);
+        for_each_piece(&n.right, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sid: u64, len: u64) -> Piece {
+        Piece::StableRun { sid, len }
+    }
+
+    fn ins(id: u64) -> Piece {
+        Piece::Insert { id, row: Arc::new(vec![Value::I64(id as i64)]) }
+    }
+
+    fn build(pieces: Vec<Piece>) -> Link {
+        let mut t = None;
+        for (i, p) in pieces.into_iter().enumerate() {
+            t = merge(t, leaf(prio_for(i as u64), p));
+        }
+        t
+    }
+
+    fn collect(t: &Link) -> Vec<Piece> {
+        let mut out = Vec::new();
+        for_each_piece(t, &mut |p| out.push(p.clone()));
+        out
+    }
+
+    #[test]
+    fn merge_preserves_order_and_size() {
+        let t = build(vec![run(0, 10), ins(100), run(10, 5)]);
+        assert_eq!(size(&t), 16);
+        let pieces = collect(&t);
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0], run(0, 10));
+        assert_eq!(pieces[2], run(10, 5));
+    }
+
+    #[test]
+    fn split_at_piece_boundary() {
+        let t = build(vec![run(0, 4), ins(1), run(4, 4)]);
+        let (a, b) = split(t, 4);
+        assert_eq!(size(&a), 4);
+        assert_eq!(size(&b), 5);
+        assert_eq!(collect(&a), vec![run(0, 4)]);
+    }
+
+    #[test]
+    fn split_inside_run() {
+        let t = build(vec![run(0, 100)]);
+        let (a, b) = split(t, 37);
+        assert_eq!(collect(&a), vec![run(0, 37)]);
+        assert_eq!(collect(&b), vec![run(37, 63)]);
+    }
+
+    #[test]
+    fn split_edges() {
+        let t = build(vec![run(0, 10)]);
+        let (a, b) = split(t.clone(), 0);
+        assert!(a.is_none());
+        assert_eq!(size(&b), 10);
+        let (a, b) = split(t, 10);
+        assert_eq!(size(&a), 10);
+        assert!(b.is_none());
+    }
+
+    #[test]
+    fn get_at_walks_pieces() {
+        let t = build(vec![run(0, 3), ins(7), run(3, 3)]);
+        assert_eq!(get_at(&t, 0), Some((run(0, 3), 0)));
+        assert_eq!(get_at(&t, 2), Some((run(0, 3), 2)));
+        assert_eq!(get_at(&t, 3), Some((ins(7), 0)));
+        assert_eq!(get_at(&t, 4), Some((run(3, 3), 0)));
+        assert_eq!(get_at(&t, 6), Some((run(3, 3), 2)));
+        assert_eq!(get_at(&t, 7), None);
+    }
+
+    #[test]
+    fn persistence_snapshots_unaffected() {
+        let t1 = build(vec![run(0, 10)]);
+        let (a, b) = split(t1.clone(), 5);
+        let t2 = merge(a, merge(leaf(prio_for(99), ins(1)), b));
+        assert_eq!(size(&t1), 10, "snapshot untouched");
+        assert_eq!(size(&t2), 11);
+        assert_eq!(collect(&t1), vec![run(0, 10)]);
+    }
+
+    #[test]
+    fn find_stable_lookup() {
+        // Image: [0..5) ins [7..10)   (sids 5,6 deleted)
+        let t = build(vec![run(0, 5), ins(1), run(7, 3)]);
+        // sid 3 visible at rid 3.
+        assert_eq!(find_stable_at_or_before(&t, 3), Some((3, 3)));
+        // sid 6 deleted → nearest at-or-before is 4 at rid 4.
+        assert_eq!(find_stable_at_or_before(&t, 6), Some((4, 4)));
+        // sid 8 at rid 6+1 = rid 7? rows: 0,1,2,3,4, ins, 7,8,9 → sid8 rid=7.
+        assert_eq!(find_stable_at_or_before(&t, 8), Some((7, 8)));
+        // below everything → None only if no stable ≤ sid; sid 0 exists.
+        assert_eq!(find_stable_at_or_before(&t, 0), Some((0, 0)));
+    }
+
+    #[test]
+    fn find_stable_none_when_all_above() {
+        let t = build(vec![ins(1), run(5, 2)]);
+        assert_eq!(find_stable_at_or_before(&t, 3), None);
+        assert_eq!(find_stable_at_or_before(&t, 5), Some((1, 5)));
+    }
+
+    #[test]
+    fn deep_sequential_build_stays_logarithmic() {
+        // 10k single-row pieces; recursion would overflow the stack if the
+        // treap degenerated to a list.
+        let mut t = None;
+        for i in 0..10_000u64 {
+            t = merge(t, leaf(prio_for(i), run(i, 1)));
+        }
+        assert_eq!(size(&t), 10_000);
+        assert_eq!(get_at(&t, 9_999), Some((run(9_999, 1), 0)));
+    }
+}

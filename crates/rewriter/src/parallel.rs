@@ -1,0 +1,351 @@
+//! Volcano-style parallelization — "add turbo".
+//!
+//! The rewriter decides where to insert exchange (Xchg) operators. A plan
+//! fragment is *partitionable* when it is a pipeline of
+//! Scan → Filter* → Project* (one base table, order-insensitive consumers).
+//!
+//! Two rewrite shapes:
+//!
+//! * **Parallel pipeline** — `frag` → `Xchg(frag)` when the fragment's
+//!   consumer doesn't care about row order (aggregation, or the fragment is
+//!   the whole query and ends under a Sort, which materializes anyway);
+//! * **Parallel aggregation** — `Aggr(frag)` →
+//!   `Project(finalize) ∘ AggrFinal ∘ Xchg ∘ AggrPartial(frag)`, with AVG
+//!   decomposed into SUM + COUNT and re-divided in the finalizing
+//!   projection, COUNT re-summed, MIN/MAX re-min/maxed.
+//!
+//! Whether parallelism pays off is a cost call: fragments below
+//! `parallel_threshold_rows` estimated input rows are left serial (the
+//! "getting the best out of modern multi-core CPUs is not simple" caveat).
+
+use crate::RewriterConfig;
+use vw_common::{Field, Schema, TypeId};
+use vw_sql::plan::{AggCall, AggFunc, LogicalPlan};
+use vw_sql::SqlExpr;
+
+/// Insert Xchg markers where profitable.
+pub fn parallelize(plan: LogicalPlan, config: &RewriterConfig) -> LogicalPlan {
+    rewrite(plan, config)
+}
+
+fn rewrite(plan: LogicalPlan, config: &RewriterConfig) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            if is_partitionable(&input) && fragment_rows(&input) >= config.parallel_threshold_rows
+            {
+                return build_parallel_aggregate(*input, group, aggs, schema, config.dop);
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(rewrite(*input, config)),
+                group,
+                aggs,
+                schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(rewrite(*input, config)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(rewrite(*input, config)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
+            left: Box::new(rewrite(*left, config)),
+            right: Box::new(rewrite(*right, config)),
+            kind,
+            keys,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(rewrite(*input, config)), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            LogicalPlan::Limit { input: Box::new(rewrite(*input, config)), offset, limit }
+        }
+        other => other,
+    }
+}
+
+/// Scan → Filter* → Project* pipelines are partitionable.
+fn is_partitionable(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            is_partitionable(input)
+        }
+        _ => false,
+    }
+}
+
+/// Crude fragment cardinality for the profitability check (the real
+/// estimate came from the optimizer; at this stage the scan row count is
+/// not in the plan, so we use a structural proxy: unknown scans count as
+/// large). The engine substitutes precise numbers via the optimizer's
+/// estimator when available.
+fn fragment_rows(plan: &LogicalPlan) -> f64 {
+    match plan {
+        LogicalPlan::Scan { .. } => f64::INFINITY,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            fragment_rows(input)
+        }
+        _ => 0.0,
+    }
+}
+
+fn build_parallel_aggregate(
+    input: LogicalPlan,
+    group: Vec<SqlExpr>,
+    aggs: Vec<AggCall>,
+    final_schema: Schema,
+    dop: usize,
+) -> LogicalPlan {
+    // Partial aggregation: same groups; AVG splits into SUM + COUNT.
+    let mut partial_aggs: Vec<AggCall> = Vec::new();
+    // For each original agg: how to finalize (list of partial agg indices).
+    enum Finalize {
+        /// final agg at index i, passthrough.
+        Direct(usize),
+        /// AVG = sum(partial sums at i) / sum(partial counts at j).
+        AvgOf(usize, usize),
+    }
+    let mut finalize: Vec<Finalize> = Vec::new();
+    for a in &aggs {
+        match a.func {
+            AggFunc::Avg => {
+                let sum_idx = partial_aggs.len();
+                let sum_input = a.input.clone().map(|e| {
+                    if e.type_id() == TypeId::F64 {
+                        e
+                    } else {
+                        SqlExpr::Cast { input: Box::new(e), to: TypeId::F64 }
+                    }
+                });
+                partial_aggs.push(AggCall {
+                    func: AggFunc::Sum,
+                    input: sum_input,
+                    out_ty: TypeId::F64,
+                });
+                let cnt_idx = partial_aggs.len();
+                partial_aggs.push(AggCall {
+                    func: AggFunc::Count,
+                    input: a.input.clone(),
+                    out_ty: TypeId::I64,
+                });
+                finalize.push(Finalize::AvgOf(sum_idx, cnt_idx));
+            }
+            _ => {
+                finalize.push(Finalize::Direct(partial_aggs.len()));
+                partial_aggs.push(a.clone());
+            }
+        }
+    }
+
+    // Partial output schema: group cols + partial aggs.
+    let mut partial_fields: Vec<Field> = Vec::new();
+    for (i, g) in group.iter().enumerate() {
+        partial_fields.push(Field { name: format!("__g{i}"), ty: g.type_id(), nullable: true });
+    }
+    for (i, a) in partial_aggs.iter().enumerate() {
+        partial_fields.push(Field { name: format!("__p{i}"), ty: a.out_ty, nullable: true });
+    }
+    let partial_schema = Schema::unchecked(partial_fields);
+
+    let partial = LogicalPlan::Aggregate {
+        input: Box::new(input),
+        group: group.clone(),
+        aggs: partial_aggs.clone(),
+        schema: partial_schema.clone(),
+    };
+    let exchange = LogicalPlan::Exchange { input: Box::new(partial), dop };
+
+    // Final aggregation: group on the partial group columns; merge partial
+    // aggregate states.
+    let final_group: Vec<SqlExpr> = group
+        .iter()
+        .enumerate()
+        .map(|(i, g)| SqlExpr::Col(i, g.type_id()))
+        .collect();
+    let g = group.len();
+    let final_aggs: Vec<AggCall> = partial_aggs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let input_col = SqlExpr::Col(g + i, a.out_ty);
+            let merge_func = match a.func {
+                AggFunc::CountStar | AggFunc::Count => AggFunc::Sum,
+                AggFunc::Sum => AggFunc::Sum,
+                AggFunc::Min => AggFunc::Min,
+                AggFunc::Max => AggFunc::Max,
+                AggFunc::Avg => unreachable!("AVG was decomposed"),
+            };
+            AggCall { func: merge_func, input: Some(input_col), out_ty: a.out_ty }
+        })
+        .collect();
+    let mut merged_fields: Vec<Field> = Vec::new();
+    for (i, gexpr) in group.iter().enumerate() {
+        merged_fields.push(Field {
+            name: format!("__g{i}"),
+            ty: gexpr.type_id(),
+            nullable: true,
+        });
+    }
+    for (i, a) in final_aggs.iter().enumerate() {
+        merged_fields.push(Field { name: format!("__m{i}"), ty: a.out_ty, nullable: true });
+    }
+    let merged_schema = Schema::unchecked(merged_fields);
+    let final_agg = LogicalPlan::Aggregate {
+        input: Box::new(exchange),
+        group: final_group,
+        aggs: final_aggs,
+        schema: merged_schema,
+    };
+
+    // Finalizing projection restores the original output layout.
+    let mut exprs: Vec<SqlExpr> = Vec::with_capacity(final_schema.len());
+    for (i, gexpr) in group.iter().enumerate() {
+        exprs.push(SqlExpr::Col(i, gexpr.type_id()));
+    }
+    for (a, fin) in aggs.iter().zip(&finalize) {
+        match fin {
+            Finalize::Direct(pi) => exprs.push(SqlExpr::Col(g + pi, a.out_ty)),
+            Finalize::AvgOf(si, ci) => {
+                // sum / count, NULL-safe: count 0 → NULL via CASE.
+                let sum = SqlExpr::Col(g + si, TypeId::F64);
+                let cnt = SqlExpr::Col(g + ci, TypeId::I64);
+                let cnt_f = SqlExpr::Cast { input: Box::new(cnt.clone()), to: TypeId::F64 };
+                exprs.push(SqlExpr::Case {
+                    branches: vec![(
+                        SqlExpr::Cmp {
+                            op: vw_sql::expr::CmpOp::Gt,
+                            l: Box::new(cnt),
+                            r: Box::new(SqlExpr::Lit(vw_common::Value::I64(0), TypeId::I64)),
+                        },
+                        SqlExpr::Arith {
+                            op: vw_sql::expr::BinOp::Div,
+                            l: Box::new(sum),
+                            r: Box::new(cnt_f),
+                            ty: TypeId::F64,
+                        },
+                    )],
+                    else_expr: Some(Box::new(SqlExpr::Lit(vw_common::Value::Null, TypeId::F64))),
+                    ty: TypeId::F64,
+                });
+            }
+        }
+    }
+    LogicalPlan::Project { input: Box::new(final_agg), exprs, schema: final_schema }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Value;
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            projection: vec![0, 1],
+            schema: Schema::new(vec![
+                Field::nullable("k", TypeId::I32),
+                Field::nullable("v", TypeId::I64),
+            ])
+            .unwrap(),
+            hints: vec![],
+        }
+    }
+
+    fn agg_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group: vec![SqlExpr::Col(0, TypeId::I32)],
+            aggs: vec![
+                AggCall {
+                    func: AggFunc::Sum,
+                    input: Some(SqlExpr::Col(1, TypeId::I64)),
+                    out_ty: TypeId::I64,
+                },
+                AggCall {
+                    func: AggFunc::Avg,
+                    input: Some(SqlExpr::Col(1, TypeId::I64)),
+                    out_ty: TypeId::F64,
+                },
+                AggCall { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+            ],
+            schema: Schema::unchecked(vec![
+                Field::nullable("k", TypeId::I32),
+                Field::nullable("sum", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+                Field::not_null("cnt", TypeId::I64),
+            ]),
+        }
+    }
+
+    #[test]
+    fn aggregate_parallelized_with_partial_final() {
+        let cfg = RewriterConfig { dop: 4, parallel_threshold_rows: 0.0 };
+        let out = parallelize(agg_plan(), &cfg);
+        let text = out.explain();
+        assert!(text.contains("Xchg dop=4"), "{text}");
+        // Project(finalize) over Aggr(final) over Xchg over Aggr(partial).
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("Project"));
+        assert!(text.matches("Aggr").count() == 2, "{text}");
+        // Schema preserved.
+        assert_eq!(out.schema(), agg_plan().schema());
+    }
+
+    #[test]
+    fn avg_decomposed_into_sum_count() {
+        let cfg = RewriterConfig { dop: 2, parallel_threshold_rows: 0.0 };
+        let out = parallelize(agg_plan(), &cfg);
+        // Partial aggregate has 4 calls: SUM, (AVG→)SUM+COUNT, COUNT(*).
+        fn find_partial(p: &LogicalPlan) -> Option<&Vec<AggCall>> {
+            match p {
+                LogicalPlan::Aggregate { input, aggs, .. } => {
+                    if matches!(**input, LogicalPlan::Exchange { .. }) {
+                        find_partial(input)
+                    } else {
+                        Some(aggs)
+                    }
+                }
+                other => other.children().into_iter().find_map(find_partial),
+            }
+        }
+        let partial = find_partial(&out).expect("partial aggregate");
+        assert_eq!(partial.len(), 4);
+        assert!(partial.iter().all(|a| a.func != AggFunc::Avg));
+    }
+
+    #[test]
+    fn small_fragments_stay_serial() {
+        // A Values input is not partitionable: no Xchg.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Values {
+                schema: Schema::unchecked(vec![Field::not_null("v", TypeId::I64)]),
+                rows: vec![vec![Value::I64(1)]],
+            }),
+            group: vec![],
+            aggs: vec![AggCall { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
+            schema: Schema::unchecked(vec![Field::not_null("cnt", TypeId::I64)]),
+        };
+        let cfg = RewriterConfig { dop: 8, parallel_threshold_rows: 0.0 };
+        let out = parallelize(plan, &cfg);
+        assert!(!out.explain().contains("Xchg"));
+    }
+
+    #[test]
+    fn join_inputs_recurse() {
+        let join = LogicalPlan::Join {
+            left: Box::new(agg_plan()),
+            right: Box::new(scan()),
+            kind: vw_sql::plan::JoinKind::Inner,
+            keys: vec![(SqlExpr::Col(0, TypeId::I32), SqlExpr::Col(0, TypeId::I32))],
+            schema: agg_plan().schema().join(scan().schema()),
+        };
+        let cfg = RewriterConfig { dop: 2, parallel_threshold_rows: 0.0 };
+        let out = parallelize(join, &cfg);
+        assert!(out.explain().contains("Xchg"), "aggregate under join parallelizes");
+    }
+}

@@ -1,0 +1,381 @@
+//! The production rule set: function expansion, IN-list expansion, logical
+//! simplification, and nullability-driven NULL-handling erasure.
+
+use crate::engine::ExprRule;
+use vw_common::{TypeId, Value};
+use vw_sql::expr::{CmpOp, ExtFunc};
+use vw_sql::SqlExpr;
+
+/// The default rule set, in application order.
+pub fn default_rules() -> Vec<Box<dyn ExprRule>> {
+    vec![
+        Box::new(ExpandExtFuncs),
+        Box::new(ExpandInList),
+        Box::new(SimplifyLogic),
+        Box::new(NullabilityRule),
+    ]
+}
+
+fn lit_bool(b: bool) -> SqlExpr {
+    SqlExpr::Lit(Value::Bool(b), TypeId::Bool)
+}
+
+/// Expand extended functions into CASE/comparison trees.
+pub struct ExpandExtFuncs;
+
+impl ExprRule for ExpandExtFuncs {
+    fn name(&self) -> &'static str {
+        "expand-ext-funcs"
+    }
+
+    fn apply(&self, e: &SqlExpr, _n: &[bool]) -> Option<SqlExpr> {
+        let SqlExpr::Ext { func, args, ty } = e else {
+            return None;
+        };
+        let ty = *ty;
+        Some(match func {
+            ExtFunc::Coalesce => {
+                // COALESCE(a, b, c) → CASE WHEN a IS NOT NULL THEN a
+                //                          WHEN b IS NOT NULL THEN b ELSE c END
+                let mut branches = Vec::new();
+                for a in &args[..args.len() - 1] {
+                    branches.push((
+                        SqlExpr::IsNotNull(Box::new(a.clone())),
+                        a.clone(),
+                    ));
+                }
+                SqlExpr::Case {
+                    branches,
+                    else_expr: Some(Box::new(args.last().unwrap().clone())),
+                    ty,
+                }
+            }
+            ExtFunc::IfNull => SqlExpr::Case {
+                branches: vec![(
+                    SqlExpr::IsNull(Box::new(args[0].clone())),
+                    args[1].clone(),
+                )],
+                else_expr: Some(Box::new(args[0].clone())),
+                ty,
+            },
+            ExtFunc::NullIf => SqlExpr::Case {
+                branches: vec![(
+                    SqlExpr::Cmp {
+                        op: CmpOp::Eq,
+                        l: Box::new(args[0].clone()),
+                        r: Box::new(args[1].clone()),
+                    },
+                    SqlExpr::Lit(Value::Null, ty),
+                )],
+                else_expr: Some(Box::new(args[0].clone())),
+                ty,
+            },
+            ExtFunc::Greatest | ExtFunc::Least => {
+                let op = if *func == ExtFunc::Greatest { CmpOp::Ge } else { CmpOp::Le };
+                let mut acc = args[0].clone();
+                for a in &args[1..] {
+                    acc = SqlExpr::Case {
+                        branches: vec![(
+                            SqlExpr::Cmp {
+                                op,
+                                l: Box::new(acc.clone()),
+                                r: Box::new(a.clone()),
+                            },
+                            acc,
+                        )],
+                        else_expr: Some(Box::new(a.clone())),
+                        ty,
+                    };
+                }
+                acc
+            }
+            ExtFunc::Sign => {
+                let zero = match args[0].type_id() {
+                    TypeId::F64 => SqlExpr::Lit(Value::F64(0.0), TypeId::F64),
+                    _ => SqlExpr::Lit(Value::I64(0), TypeId::I64),
+                };
+                SqlExpr::Case {
+                    branches: vec![
+                        (
+                            SqlExpr::Cmp {
+                                op: CmpOp::Gt,
+                                l: Box::new(args[0].clone()),
+                                r: Box::new(zero.clone()),
+                            },
+                            SqlExpr::Lit(Value::I64(1), TypeId::I64),
+                        ),
+                        (
+                            SqlExpr::Cmp {
+                                op: CmpOp::Lt,
+                                l: Box::new(args[0].clone()),
+                                r: Box::new(zero),
+                            },
+                            SqlExpr::Lit(Value::I64(-1), TypeId::I64),
+                        ),
+                    ],
+                    else_expr: Some(Box::new(SqlExpr::Lit(Value::I64(0), TypeId::I64))),
+                    ty: TypeId::I64,
+                }
+            }
+        })
+    }
+}
+
+/// Expand IN-lists into OR chains (NOT IN into a negated chain).
+pub struct ExpandInList;
+
+impl ExprRule for ExpandInList {
+    fn name(&self) -> &'static str {
+        "expand-in-list"
+    }
+
+    fn apply(&self, e: &SqlExpr, _n: &[bool]) -> Option<SqlExpr> {
+        let SqlExpr::InList { input, list, negated } = e else {
+            return None;
+        };
+        if list.is_empty() {
+            return Some(lit_bool(*negated));
+        }
+        let ors = SqlExpr::Or(
+            list.iter()
+                .map(|m| SqlExpr::Cmp {
+                    op: CmpOp::Eq,
+                    l: input.clone(),
+                    r: Box::new(m.clone()),
+                })
+                .collect(),
+        );
+        Some(if *negated { SqlExpr::Not(Box::new(ors)) } else { ors })
+    }
+}
+
+/// Logical simplifications: double negation, De Morgan-free comparison
+/// flips, constant CASE conditions, single-branch AND/OR unwrapping.
+pub struct SimplifyLogic;
+
+impl ExprRule for SimplifyLogic {
+    fn name(&self) -> &'static str {
+        "simplify-logic"
+    }
+
+    fn apply(&self, e: &SqlExpr, _n: &[bool]) -> Option<SqlExpr> {
+        match e {
+            SqlExpr::Not(inner) => match inner.as_ref() {
+                SqlExpr::Not(x) => Some((**x).clone()),
+                SqlExpr::Cmp { op, l, r } => {
+                    let flipped = match op {
+                        CmpOp::Eq => CmpOp::Ne,
+                        CmpOp::Ne => CmpOp::Eq,
+                        CmpOp::Lt => CmpOp::Ge,
+                        CmpOp::Le => CmpOp::Gt,
+                        CmpOp::Gt => CmpOp::Le,
+                        CmpOp::Ge => CmpOp::Lt,
+                    };
+                    Some(SqlExpr::Cmp { op: flipped, l: l.clone(), r: r.clone() })
+                }
+                SqlExpr::Lit(Value::Bool(b), _) => Some(lit_bool(!b)),
+                _ => None,
+            },
+            SqlExpr::And(parts) if parts.len() == 1 => Some(parts[0].clone()),
+            SqlExpr::Or(parts) if parts.len() == 1 => Some(parts[0].clone()),
+            SqlExpr::Case { branches, else_expr, ty } => {
+                // Drop constant-FALSE branches; collapse leading TRUE.
+                if let Some((SqlExpr::Lit(Value::Bool(true), _), v)) = branches.first() {
+                    return Some(v.clone());
+                }
+                if branches
+                    .iter()
+                    .any(|(c, _)| matches!(c, SqlExpr::Lit(Value::Bool(false), _)))
+                {
+                    let kept: Vec<(SqlExpr, SqlExpr)> = branches
+                        .iter()
+                        .filter(|(c, _)| !matches!(c, SqlExpr::Lit(Value::Bool(false), _)))
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        return Some(match else_expr {
+                            Some(x) => (**x).clone(),
+                            None => SqlExpr::Lit(Value::Null, *ty),
+                        });
+                    }
+                    return Some(SqlExpr::Case {
+                        branches: kept,
+                        else_expr: else_expr.clone(),
+                        ty: *ty,
+                    });
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Nullability-driven erasure: NULL tests on provably non-nullable
+/// expressions fold to constants, saving the kernel all indicator work —
+/// the rewriter side of the paper's two-column NULL design.
+pub struct NullabilityRule;
+
+/// Can `e` ever produce NULL, given input column nullability?
+pub fn maybe_null(e: &SqlExpr, nullable: &[bool]) -> bool {
+    match e {
+        SqlExpr::Col(i, _) => nullable.get(*i).copied().unwrap_or(true),
+        SqlExpr::Lit(v, _) => v.is_null(),
+        SqlExpr::Arith { l, r, .. } => maybe_null(l, nullable) || maybe_null(r, nullable),
+        SqlExpr::Cmp { l, r, .. } => maybe_null(l, nullable) || maybe_null(r, nullable),
+        SqlExpr::And(v) | SqlExpr::Or(v) => v.iter().any(|x| maybe_null(x, nullable)),
+        SqlExpr::Not(x) | SqlExpr::Cast { input: x, .. } => maybe_null(x, nullable),
+        SqlExpr::IsNull(_) | SqlExpr::IsNotNull(_) => false,
+        SqlExpr::Case { branches, else_expr, .. } => {
+            else_expr.is_none()
+                || branches.iter().any(|(_, v)| maybe_null(v, nullable))
+                || else_expr.as_ref().is_some_and(|x| maybe_null(x, nullable))
+        }
+        SqlExpr::Func { args, .. } | SqlExpr::Ext { args, .. } => {
+            args.iter().any(|x| maybe_null(x, nullable))
+        }
+        SqlExpr::Like { input, .. } => maybe_null(input, nullable),
+        SqlExpr::InList { input, list, .. } => {
+            maybe_null(input, nullable) || list.iter().any(|x| maybe_null(x, nullable))
+        }
+    }
+}
+
+impl ExprRule for NullabilityRule {
+    fn name(&self) -> &'static str {
+        "null-erasure"
+    }
+
+    fn apply(&self, e: &SqlExpr, nullable: &[bool]) -> Option<SqlExpr> {
+        match e {
+            SqlExpr::IsNull(x) if !maybe_null(x, nullable) => Some(lit_bool(false)),
+            SqlExpr::IsNotNull(x) if !maybe_null(x, nullable) => Some(lit_bool(true)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::rewrite_fixpoint;
+
+    fn run(e: SqlExpr, nullable: &[bool]) -> SqlExpr {
+        rewrite_fixpoint(e, &default_rules(), nullable)
+    }
+
+    fn col(i: usize) -> SqlExpr {
+        SqlExpr::Col(i, TypeId::I64)
+    }
+
+    fn lit(v: i64) -> SqlExpr {
+        SqlExpr::Lit(Value::I64(v), TypeId::I64)
+    }
+
+    #[test]
+    fn coalesce_expands_to_case() {
+        let e = SqlExpr::Ext {
+            func: ExtFunc::Coalesce,
+            args: vec![col(0), col(1), lit(0)],
+            ty: TypeId::I64,
+        };
+        let out = run(e, &[true, true]);
+        let SqlExpr::Case { branches, else_expr, .. } = &out else {
+            panic!("got {out:?}")
+        };
+        assert_eq!(branches.len(), 2);
+        assert!(else_expr.is_some());
+    }
+
+    #[test]
+    fn coalesce_on_not_null_first_arg_collapses_entirely() {
+        // COALESCE(not_null_col, 0) → CASE WHEN TRUE THEN col ... → col.
+        let e = SqlExpr::Ext {
+            func: ExtFunc::Coalesce,
+            args: vec![col(0), lit(0)],
+            ty: TypeId::I64,
+        };
+        let out = run(e, &[false]);
+        assert_eq!(out, col(0), "rewriter chain should fold to the bare column");
+    }
+
+    #[test]
+    fn nullif_and_ifnull() {
+        let e = SqlExpr::Ext { func: ExtFunc::NullIf, args: vec![col(0), lit(5)], ty: TypeId::I64 };
+        assert!(matches!(run(e, &[true]), SqlExpr::Case { .. }));
+        let e = SqlExpr::Ext { func: ExtFunc::IfNull, args: vec![col(0), lit(5)], ty: TypeId::I64 };
+        assert!(matches!(run(e, &[true]), SqlExpr::Case { .. }));
+    }
+
+    #[test]
+    fn greatest_folds_pairwise() {
+        let e = SqlExpr::Ext {
+            func: ExtFunc::Greatest,
+            args: vec![col(0), col(1), col(2)],
+            ty: TypeId::I64,
+        };
+        let out = run(e, &[true; 3]);
+        assert!(matches!(out, SqlExpr::Case { .. }));
+    }
+
+    #[test]
+    fn in_list_expands_to_or() {
+        let e = SqlExpr::InList {
+            input: Box::new(col(0)),
+            list: vec![lit(1), lit(2)],
+            negated: false,
+        };
+        let out = run(e, &[true]);
+        let SqlExpr::Or(parts) = &out else { panic!("got {out:?}") };
+        assert_eq!(parts.len(), 2);
+        // NOT IN → the Not simplifies into flipped comparisons or stays Not(Or).
+        let e = SqlExpr::InList {
+            input: Box::new(col(0)),
+            list: vec![lit(1)],
+            negated: true,
+        };
+        let out = run(e, &[true]);
+        assert!(matches!(out, SqlExpr::Cmp { op: CmpOp::Ne, .. }), "got {out:?}");
+    }
+
+    #[test]
+    fn empty_in_list_is_constant() {
+        let e = SqlExpr::InList { input: Box::new(col(0)), list: vec![], negated: false };
+        assert_eq!(run(e, &[true]), lit_bool(false));
+    }
+
+    #[test]
+    fn double_not_and_cmp_flip() {
+        let cmp = SqlExpr::Cmp { op: CmpOp::Lt, l: Box::new(col(0)), r: Box::new(lit(5)) };
+        let e = SqlExpr::Not(Box::new(cmp.clone()));
+        assert!(matches!(run(e, &[true]), SqlExpr::Cmp { op: CmpOp::Ge, .. }));
+        let e = SqlExpr::Not(Box::new(SqlExpr::Not(Box::new(cmp.clone()))));
+        assert_eq!(run(e, &[true]), cmp);
+    }
+
+    #[test]
+    fn null_tests_erased_on_not_null_columns() {
+        assert_eq!(run(SqlExpr::IsNull(Box::new(col(0))), &[false]), lit_bool(false));
+        assert_eq!(run(SqlExpr::IsNotNull(Box::new(col(0))), &[false]), lit_bool(true));
+        // On nullable columns they stay.
+        assert!(matches!(
+            run(SqlExpr::IsNull(Box::new(col(0))), &[true]),
+            SqlExpr::IsNull(_)
+        ));
+    }
+
+    #[test]
+    fn maybe_null_analysis() {
+        assert!(!maybe_null(&lit(1), &[]));
+        assert!(maybe_null(&SqlExpr::Lit(Value::Null, TypeId::I64), &[]));
+        assert!(maybe_null(&col(0), &[true]));
+        assert!(!maybe_null(&col(0), &[false]));
+        // CASE without ELSE can produce NULL.
+        let case = SqlExpr::Case {
+            branches: vec![(lit_bool(true), lit(1))],
+            else_expr: None,
+            ty: TypeId::I64,
+        };
+        assert!(maybe_null(&case, &[]));
+    }
+}

@@ -1,0 +1,300 @@
+//! The raw (unbound) SQL abstract syntax tree.
+
+use vw_common::{TypeId, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT query.
+    Select(Box<SelectStmt>),
+    /// INSERT INTO ... VALUES / SELECT.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Rows or source query.
+        source: InsertSource,
+    },
+    /// UPDATE ... SET ... WHERE.
+    Update {
+        /// Target table.
+        table: String,
+        /// (column, new value) assignments.
+        sets: Vec<(String, Expr)>,
+        /// Optional filter.
+        filter: Option<Expr>,
+    },
+    /// DELETE FROM ... WHERE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter.
+        filter: Option<Expr>,
+    },
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// (name, type, nullable) triples.
+        columns: Vec<(String, TypeId, bool)>,
+        /// Storage engine: the paper's `VECTORWISE` (default) or classic
+        /// `HEAP`.
+        table_type: TableType,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS?
+        if_exists: bool,
+    },
+    /// EXPLAIN <query>.
+    Explain(Box<Statement>),
+    /// BEGIN [TRANSACTION].
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK / ABORT.
+    Rollback,
+    /// CHECKPOINT [table] — propagate PDT deltas to stable storage.
+    Checkpoint {
+        /// Specific table, or all when None.
+        table: Option<String>,
+    },
+    /// KILL <query id> — cancel a running query.
+    Kill {
+        /// Query id from the monitoring view.
+        query_id: u64,
+    },
+    /// SET <knob> = <value>.
+    Set {
+        /// Knob name.
+        name: String,
+        /// Value literal.
+        value: Value,
+    },
+}
+
+/// Storage engine choice in CREATE TABLE (Figure 1's two table kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableType {
+    /// Compressed column store scanned by the X100 kernel (default).
+    #[default]
+    Vectorwise,
+    /// Classic row-store heap (OLTP-style access).
+    Heap,
+}
+
+/// INSERT data source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// Explicit VALUES rows.
+    Values(Vec<Vec<Expr>>),
+    /// INSERT INTO ... SELECT.
+    Query(Box<SelectStmt>),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause (None = one-row dual).
+    pub from: Option<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY (expr, ascending, nulls_first).
+    pub order_by: Vec<(Expr, bool, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+    /// OFFSET row count.
+    pub offset: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table with optional alias.
+    Named {
+        /// Table name.
+        name: String,
+        /// Alias.
+        alias: Option<String>,
+    },
+    /// Explicit join.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: AstJoinKind,
+        /// ON condition.
+        on: Expr,
+    },
+    /// Comma-separated cross product (joined by WHERE predicates).
+    Cross(Vec<TableRef>),
+}
+
+/// Join kinds at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT [OUTER] JOIN.
+    Left,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified identifier (`t.c` → `["t","c"]`).
+    Ident(Vec<String>),
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// NOT.
+    Not(Box<Expr>),
+    /// Function call (aggregates included; resolved by the binder).
+    Func {
+        /// Function name (uppercased).
+        name: String,
+        /// Arguments (`COUNT(*)` has a single `Wildcard`).
+        args: Vec<Expr>,
+    },
+    /// `*` inside COUNT(*).
+    Wildcard,
+    /// CASE WHEN ... THEN ... [ELSE ...] END.
+    Case {
+        /// WHEN/THEN pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// ELSE.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// CAST(e AS type).
+    Cast {
+        /// Input.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: TypeId,
+    },
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Input.
+        expr: Box<Expr>,
+        /// IS NOT NULL?
+        negated: bool,
+    },
+    /// `e [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Input.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// `e [NOT] LIKE 'pattern'`.
+    Like {
+        /// Input.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// `e [NOT] IN (list...)`.
+    InList {
+        /// Input.
+        expr: Box<Expr>,
+        /// List members.
+        list: Vec<Expr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// `e [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Input.
+        expr: Box<Expr>,
+        /// Subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// Subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT EXISTS?
+        negated: bool,
+    },
+    /// `EXTRACT(field FROM e)`.
+    Extract {
+        /// Field name (YEAR, MONTH, ...).
+        field: String,
+        /// Input.
+        expr: Box<Expr>,
+    },
+}

@@ -1,0 +1,1150 @@
+//! The binder: resolves names against a catalog, types every expression,
+//! and produces a [`LogicalPlan`].
+//!
+//! Subqueries bind to joins (the anti-join NULL intricacies the paper warns
+//! about are decided *here*): `IN` → semi join, `EXISTS` → semi join on a
+//! constant key, `NOT EXISTS` → anti join, `NOT IN` → NULL-aware anti join.
+
+use crate::ast::{self, AstJoinKind, Expr, SelectItem, SelectStmt, TableRef};
+use crate::expr::{BinOp, CmpOp, KernelFunc, SqlExpr};
+use crate::functions::{self, FuncImpl};
+use crate::plan::{AggCall, AggFunc, JoinKind, LogicalPlan};
+use vw_common::date::DateField;
+use vw_common::{Field, Result, Schema, TypeId, Value, VwError};
+
+/// Read-only view of the catalog the binder needs.
+pub trait CatalogView {
+    /// Schema of `name`, if the table exists.
+    fn table_schema(&self, name: &str) -> Option<Schema>;
+    /// Row-count estimate for the optimizer.
+    fn table_rows(&self, name: &str) -> Option<u64>;
+}
+
+fn berr(msg: impl Into<String>) -> VwError {
+    VwError::Bind(msg.into())
+}
+
+/// One visible column during binding.
+#[derive(Debug, Clone)]
+struct ScopeCol {
+    qualifier: Option<String>,
+    name: String,
+    ty: TypeId,
+    nullable: bool,
+}
+
+/// The set of columns visible to expressions.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn from_schema(qualifier: Option<&str>, schema: &Schema) -> Scope {
+        Scope {
+            cols: schema
+                .fields
+                .iter()
+                .map(|f| ScopeCol {
+                    qualifier: qualifier.map(|s| s.to_string()),
+                    name: f.name.clone(),
+                    ty: f.ty,
+                    nullable: f.nullable,
+                })
+                .collect(),
+        }
+    }
+
+    fn concat(mut self, other: Scope) -> Scope {
+        self.cols.extend(other.cols);
+        self
+    }
+
+    fn resolve(&self, parts: &[String]) -> Result<(usize, TypeId)> {
+        let (qual, name) = match parts {
+            [n] => (None, n.as_str()),
+            [q, n] => (Some(q.as_str()), n.as_str()),
+            _ => return Err(berr(format!("bad identifier {parts:?}"))),
+        };
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            let qual_ok = match (qual, &c.qualifier) {
+                (None, _) => true,
+                (Some(q), Some(cq)) => q.eq_ignore_ascii_case(cq),
+                (Some(_), None) => false,
+            };
+            if qual_ok && c.name.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    return Err(berr(format!("ambiguous column '{}'", parts.join("."))));
+                }
+                found = Some((i, c.ty));
+            }
+        }
+        found.ok_or_else(|| berr(format!("unknown column '{}'", parts.join("."))))
+    }
+
+    fn to_schema(&self) -> Schema {
+        Schema::unchecked(
+            self.cols
+                .iter()
+                .map(|c| Field { name: c.name.clone(), ty: c.ty, nullable: c.nullable })
+                .collect(),
+        )
+    }
+}
+
+/// The binder.
+pub struct Binder<'a> {
+    catalog: &'a dyn CatalogView,
+}
+
+const AGG_NAMES: [&str; 5] = ["COUNT", "SUM", "MIN", "MAX", "AVG"];
+
+fn contains_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Func { name, .. } if AGG_NAMES.contains(&name.as_str()) => true,
+        Expr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
+        Expr::Neg(e) | Expr::Not(e) | Expr::Cast { expr: e, .. } => contains_agg(e),
+        Expr::IsNull { expr, .. } => contains_agg(expr),
+        Expr::Between { expr, low, high, .. } => {
+            contains_agg(expr) || contains_agg(low) || contains_agg(high)
+        }
+        Expr::Like { expr, .. } => contains_agg(expr),
+        Expr::InList { expr, list, .. } => contains_agg(expr) || list.iter().any(contains_agg),
+        Expr::Case { branches, else_expr } => {
+            branches.iter().any(|(c, v)| contains_agg(c) || contains_agg(v))
+                || else_expr.as_deref().is_some_and(contains_agg)
+        }
+        Expr::Func { args, .. } => args.iter().any(contains_agg),
+        Expr::Extract { expr, .. } => contains_agg(expr),
+        _ => false,
+    }
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over `catalog`.
+    pub fn new(catalog: &'a dyn CatalogView) -> Binder<'a> {
+        Binder { catalog }
+    }
+
+    /// Bind a full SELECT into a logical plan.
+    pub fn bind_select(&self, stmt: &SelectStmt) -> Result<LogicalPlan> {
+        // FROM.
+        let (mut plan, scope) = match &stmt.from {
+            Some(tr) => self.bind_table_ref(tr)?,
+            None => {
+                // One-row dual for FROM-less SELECT.
+                let schema = Schema::unchecked(vec![Field::not_null("__dual", TypeId::I64)]);
+                (
+                    LogicalPlan::Values { schema: schema.clone(), rows: vec![vec![Value::I64(0)]] },
+                    Scope::from_schema(None, &schema),
+                )
+            }
+        };
+
+        // WHERE: ordinary conjuncts filter; subquery conjuncts become joins.
+        if let Some(w) = &stmt.where_clause {
+            let mut plain: Vec<SqlExpr> = Vec::new();
+            for conjunct in split_conjuncts(w) {
+                // `NOT EXISTS` / `NOT (x IN (...))` arrive wrapped in Not.
+                let (conjunct, flip) = match conjunct {
+                    Expr::Not(inner)
+                        if matches!(
+                            inner.as_ref(),
+                            Expr::Exists { .. } | Expr::InSubquery { .. }
+                        ) =>
+                    {
+                        (inner.as_ref(), true)
+                    }
+                    other => (other, false),
+                };
+                match conjunct {
+                    Expr::InSubquery { expr, subquery, negated } => {
+                        plan = self.bind_in_subquery(
+                            plan,
+                            &scope,
+                            expr,
+                            subquery,
+                            *negated != flip,
+                        )?;
+                    }
+                    Expr::Exists { subquery, negated } => {
+                        plan = self.bind_exists(plan, subquery, *negated != flip)?;
+                    }
+                    other => plain.push(self.bind_expr(other, &scope)?),
+                }
+            }
+            for p in plain {
+                if p.type_id() != TypeId::Bool {
+                    return Err(berr("WHERE predicate must be boolean"));
+                }
+                plan = LogicalPlan::Filter { input: Box::new(plan), predicate: p };
+            }
+        }
+
+        // Aggregation?
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => contains_agg(expr),
+                SelectItem::Wildcard => false,
+            })
+            || stmt.having.as_ref().is_some_and(contains_agg);
+
+        let (mut plan, out_schema) = if has_agg {
+            self.bind_aggregate_query(plan, scope, stmt)?
+        } else {
+            self.bind_plain_projection(plan, &scope, stmt)?
+        };
+
+        // ORDER BY over the output schema.
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (e, asc, nulls_first) in &stmt.order_by {
+                let idx = self.resolve_order_key(e, &out_schema)?;
+                keys.push((idx, *asc, *nulls_first));
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+
+        if stmt.limit.is_some() || stmt.offset.is_some() {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                offset: stmt.offset.unwrap_or(0),
+                limit: stmt.limit.unwrap_or(u64::MAX),
+            };
+        }
+        Ok(plan)
+    }
+
+    fn resolve_order_key(&self, e: &Expr, out: &Schema) -> Result<usize> {
+        match e {
+            Expr::Lit(Value::I64(pos)) => {
+                let p = *pos;
+                if p >= 1 && (p as usize) <= out.len() {
+                    Ok(p as usize - 1)
+                } else {
+                    Err(berr(format!("ORDER BY position {p} out of range")))
+                }
+            }
+            Expr::Ident(parts) => {
+                let name = parts.last().expect("nonempty identifier");
+                out.index_of(name).ok_or_else(|| {
+                    berr(format!("ORDER BY: unknown output column '{name}'"))
+                })
+            }
+            _ => Err(berr(
+                "ORDER BY supports output column names or positions",
+            )),
+        }
+    }
+
+    fn bind_plain_projection(
+        &self,
+        plan: LogicalPlan,
+        scope: &Scope,
+        stmt: &SelectStmt,
+    ) -> Result<(LogicalPlan, Schema)> {
+        let mut exprs = Vec::new();
+        let mut fields = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in scope.cols.iter().enumerate() {
+                        exprs.push(SqlExpr::Col(i, c.ty));
+                        fields.push(Field { name: c.name.clone(), ty: c.ty, nullable: c.nullable });
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_expr(expr, scope)?;
+                    let name = alias.clone().unwrap_or_else(|| display_name(expr));
+                    fields.push(Field { name, ty: bound.type_id(), nullable: true });
+                    exprs.push(bound);
+                }
+            }
+        }
+        let schema = Schema::unchecked(fields);
+        Ok((
+            LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() },
+            schema,
+        ))
+    }
+
+    fn bind_aggregate_query(
+        &self,
+        plan: LogicalPlan,
+        scope: Scope,
+        stmt: &SelectStmt,
+    ) -> Result<(LogicalPlan, Schema)> {
+        // 1. Group expressions.
+        let mut group: Vec<SqlExpr> = Vec::new();
+        let mut group_names: Vec<String> = Vec::new();
+        for g in &stmt.group_by {
+            let bound = self.bind_expr(g, &scope)?;
+            if !group.contains(&bound) {
+                group.push(bound);
+                group_names.push(display_name(g));
+            }
+        }
+        // 2. Collect aggregate calls from items and HAVING.
+        let mut aggs: Vec<AggCall> = Vec::new();
+        let mut collect = |e: &Expr| -> Result<()> {
+            self.collect_aggs(e, &scope, &mut aggs)
+        };
+        for item in &stmt.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect(expr)?;
+            } else {
+                return Err(berr("SELECT * cannot be combined with GROUP BY"));
+            }
+        }
+        if let Some(h) = &stmt.having {
+            collect(h)?;
+        }
+        // 3. Aggregate output schema.
+        let mut agg_fields: Vec<Field> = Vec::new();
+        for (i, g) in group.iter().enumerate() {
+            agg_fields.push(Field {
+                name: group_names[i].clone(),
+                ty: g.type_id(),
+                nullable: true,
+            });
+        }
+        for (i, a) in aggs.iter().enumerate() {
+            agg_fields.push(Field { name: format!("__agg{i}"), ty: a.out_ty, nullable: true });
+        }
+        let agg_schema = Schema::unchecked(agg_fields);
+        let mut plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group: group.clone(),
+            aggs: aggs.clone(),
+            schema: agg_schema.clone(),
+        };
+        // 4. HAVING over the aggregate output.
+        if let Some(h) = &stmt.having {
+            let bound = self.bind_post_agg(h, &scope, &stmt.group_by, &group, &aggs)?;
+            if bound.type_id() != TypeId::Bool {
+                return Err(berr("HAVING must be boolean"));
+            }
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: bound };
+        }
+        // 5. Final projection.
+        let mut exprs = Vec::new();
+        let mut fields = Vec::new();
+        for item in &stmt.items {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let bound = self.bind_post_agg(expr, &scope, &stmt.group_by, &group, &aggs)?;
+            let name = alias.clone().unwrap_or_else(|| display_name(expr));
+            fields.push(Field { name, ty: bound.type_id(), nullable: true });
+            exprs.push(bound);
+        }
+        let schema = Schema::unchecked(fields);
+        Ok((
+            LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() },
+            schema,
+        ))
+    }
+
+    /// Bind one aggregate AST call to an [`AggCall`], registering it.
+    fn collect_aggs(&self, e: &Expr, scope: &Scope, aggs: &mut Vec<AggCall>) -> Result<()> {
+        if let Expr::Func { name, args } = e {
+            if AGG_NAMES.contains(&name.as_str()) {
+                let call = self.bind_agg_call(name, args, scope)?;
+                if !aggs.contains(&call) {
+                    aggs.push(call);
+                }
+                return Ok(());
+            }
+        }
+        match e {
+            Expr::Binary { left, right, .. } => {
+                self.collect_aggs(left, scope, aggs)?;
+                self.collect_aggs(right, scope, aggs)?;
+            }
+            Expr::Neg(x) | Expr::Not(x) | Expr::Cast { expr: x, .. } => {
+                self.collect_aggs(x, scope, aggs)?;
+            }
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } | Expr::Extract { expr, .. } => {
+                self.collect_aggs(expr, scope, aggs)?;
+            }
+            Expr::Between { expr, low, high, .. } => {
+                self.collect_aggs(expr, scope, aggs)?;
+                self.collect_aggs(low, scope, aggs)?;
+                self.collect_aggs(high, scope, aggs)?;
+            }
+            Expr::InList { expr, list, .. } => {
+                self.collect_aggs(expr, scope, aggs)?;
+                for l in list {
+                    self.collect_aggs(l, scope, aggs)?;
+                }
+            }
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    self.collect_aggs(c, scope, aggs)?;
+                    self.collect_aggs(v, scope, aggs)?;
+                }
+                if let Some(x) = else_expr {
+                    self.collect_aggs(x, scope, aggs)?;
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    self.collect_aggs(a, scope, aggs)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn bind_agg_call(&self, name: &str, args: &[Expr], scope: &Scope) -> Result<AggCall> {
+        let func = match name {
+            "COUNT" => {
+                if args.len() == 1 && matches!(args[0], Expr::Wildcard) {
+                    return Ok(AggCall { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 });
+                }
+                AggFunc::Count
+            }
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            other => return Err(berr(format!("unknown aggregate {other}"))),
+        };
+        if args.len() != 1 {
+            return Err(berr(format!("{name} takes exactly one argument")));
+        }
+        let input = self.bind_expr(&args[0], scope)?;
+        let ity = input.type_id();
+        let (input, out_ty) = match func {
+            AggFunc::Count => (input, TypeId::I64),
+            AggFunc::Sum => {
+                if ity == TypeId::F64 {
+                    (input, TypeId::F64)
+                } else if ity.is_integer() {
+                    (cast_to(input, TypeId::I64), TypeId::I64)
+                } else {
+                    return Err(berr(format!("SUM over non-numeric type {ity}")));
+                }
+            }
+            AggFunc::Avg => {
+                if !ity.is_numeric() {
+                    return Err(berr(format!("AVG over non-numeric type {ity}")));
+                }
+                (input, TypeId::F64)
+            }
+            AggFunc::Min | AggFunc::Max => (input, ity),
+            AggFunc::CountStar => unreachable!(),
+        };
+        Ok(AggCall { func, input: Some(input), out_ty })
+    }
+
+    /// Bind an expression in post-aggregation context: aggregate calls and
+    /// group expressions become references into the aggregate output.
+    fn bind_post_agg(
+        &self,
+        e: &Expr,
+        scope: &Scope,
+        group_asts: &[Expr],
+        group: &[SqlExpr],
+        aggs: &[AggCall],
+    ) -> Result<SqlExpr> {
+        // Aggregate call → its output column.
+        if let Expr::Func { name, args } = e {
+            if AGG_NAMES.contains(&name.as_str()) {
+                let call = self.bind_agg_call(name, args, scope)?;
+                let idx = aggs
+                    .iter()
+                    .position(|a| *a == call)
+                    .ok_or_else(|| berr("aggregate not collected (engine bug)"))?;
+                return Ok(SqlExpr::Col(group.len() + idx, call.out_ty));
+            }
+        }
+        // Whole expression structurally equal to a GROUP BY expression?
+        if group_asts.iter().any(|g| g == e) || matches!(e, Expr::Ident(_)) {
+            if let Ok(bound) = self.bind_expr(e, scope) {
+                if let Some(idx) = group.iter().position(|g| *g == bound) {
+                    return Ok(SqlExpr::Col(idx, bound.type_id()));
+                }
+                if matches!(e, Expr::Ident(_)) {
+                    return Err(berr(format!(
+                        "column {e:?} must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+            }
+        }
+        // Recurse structurally.
+        match e {
+            Expr::Lit(v) => self.bind_expr(e, scope).or_else(|_| {
+                Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64)))
+            }),
+            Expr::Binary { op, left, right } => {
+                let l = self.bind_post_agg(left, scope, group_asts, group, aggs)?;
+                let r = self.bind_post_agg(right, scope, group_asts, group, aggs)?;
+                combine_binary(*op, l, r)
+            }
+            Expr::Neg(x) => {
+                let b = self.bind_post_agg(x, scope, group_asts, group, aggs)?;
+                negate(b)
+            }
+            Expr::Not(x) => {
+                let b = self.bind_post_agg(x, scope, group_asts, group, aggs)?;
+                Ok(SqlExpr::Not(Box::new(b)))
+            }
+            Expr::Cast { expr, ty } => {
+                let b = self.bind_post_agg(expr, scope, group_asts, group, aggs)?;
+                Ok(cast_to(b, *ty))
+            }
+            Expr::Case { branches, else_expr } => {
+                let mut bs = Vec::new();
+                for (c, v) in branches {
+                    bs.push((
+                        self.bind_post_agg(c, scope, group_asts, group, aggs)?,
+                        self.bind_post_agg(v, scope, group_asts, group, aggs)?,
+                    ));
+                }
+                let el = match else_expr {
+                    Some(x) => Some(Box::new(self.bind_post_agg(x, scope, group_asts, group, aggs)?)),
+                    None => None,
+                };
+                build_case(bs, el)
+            }
+            Expr::Func { name, args } => {
+                let bound_args: Vec<SqlExpr> = args
+                    .iter()
+                    .map(|a| self.bind_post_agg(a, scope, group_asts, group, aggs))
+                    .collect::<Result<_>>()?;
+                bind_function(name, bound_args)
+            }
+            other => Err(berr(format!(
+                "expression {other:?} not supported after aggregation"
+            ))),
+        }
+    }
+
+    fn bind_table_ref(&self, tr: &TableRef) -> Result<(LogicalPlan, Scope)> {
+        match tr {
+            TableRef::Named { name, alias } => {
+                let schema = self
+                    .catalog
+                    .table_schema(name)
+                    .ok_or_else(|| VwError::Catalog(format!("unknown table '{name}'")))?;
+                let qual = alias.clone().unwrap_or_else(|| name.clone());
+                let scope = Scope::from_schema(Some(&qual), &schema);
+                let plan = LogicalPlan::Scan {
+                    table: name.clone(),
+                    projection: (0..schema.len()).collect(),
+                    schema,
+                    hints: vec![],
+                };
+                Ok((plan, scope))
+            }
+            TableRef::Join { left, right, kind, on } => {
+                let (lp, ls) = self.bind_table_ref(left)?;
+                let (rp, rs) = self.bind_table_ref(right)?;
+                let lwidth = ls.cols.len();
+                let combined = ls.clone().concat(rs.clone());
+                // Split the ON condition into equi-keys and residual.
+                let mut keys = Vec::new();
+                let mut residual = Vec::new();
+                for c in split_conjuncts(on) {
+                    if let Some((le, re)) = self.try_equi_key(c, &ls, &rs, lwidth)? {
+                        keys.push((le, re));
+                    } else {
+                        residual.push(self.bind_expr(c, &combined)?);
+                    }
+                }
+                if keys.is_empty() {
+                    return Err(berr(
+                        "join requires at least one equality key (t.a = s.b)",
+                    ));
+                }
+                let kind = match kind {
+                    AstJoinKind::Inner => JoinKind::Inner,
+                    AstJoinKind::Left => JoinKind::Left,
+                };
+                // Left join output: right side columns become nullable.
+                let mut out_scope = combined.clone();
+                if kind == JoinKind::Left {
+                    for c in &mut out_scope.cols[lwidth..] {
+                        c.nullable = true;
+                    }
+                }
+                let mut plan = LogicalPlan::Join {
+                    left: Box::new(lp),
+                    right: Box::new(rp),
+                    kind,
+                    keys,
+                    schema: out_scope.to_schema(),
+                };
+                for r in residual {
+                    plan = LogicalPlan::Filter { input: Box::new(plan), predicate: r };
+                }
+                Ok((plan, out_scope))
+            }
+            TableRef::Cross(parts) => {
+                // Comma-join: the optimizer later orders these using the
+                // WHERE equi-predicates; the binder emits a left-deep chain
+                // requiring WHERE to provide keys, so here we produce scans
+                // and let `bind_select` connect them via predicates. For
+                // simplicity we require explicit JOIN syntax for >2 tables
+                // unless the WHERE clause links them; the common TPC-H-ish
+                // pattern `FROM a, b WHERE a.k = b.k` is handled by the
+                // optimizer converting Filter-over-CrossJoin. We bind a
+                // nested-loop-free representation: chain of Inner joins on
+                // constant TRUE is not supported by the hash kernel, so we
+                // reject unlinked cross products up front.
+                Err(berr(format!(
+                    "comma-separated FROM with {} tables: use explicit JOIN ... ON syntax",
+                    parts.len()
+                )))
+            }
+        }
+    }
+
+    /// Try to interpret `e` as `left_col = right_col` across the join.
+    fn try_equi_key(
+        &self,
+        e: &Expr,
+        ls: &Scope,
+        rs: &Scope,
+        lwidth: usize,
+    ) -> Result<Option<(SqlExpr, SqlExpr)>> {
+        let Expr::Binary { op: ast::BinaryOp::Eq, left, right } = e else {
+            return Ok(None);
+        };
+        let combined = ls.clone().concat(rs.clone());
+        let l = self.bind_expr(left, &combined)?;
+        let r = self.bind_expr(right, &combined)?;
+        let side = |x: &SqlExpr| -> Option<bool> {
+            // true = purely left, false = purely right
+            let mut cols = Vec::new();
+            x.collect_cols(&mut cols);
+            if cols.is_empty() {
+                return None;
+            }
+            if cols.iter().all(|&c| c < lwidth) {
+                Some(true)
+            } else if cols.iter().all(|&c| c >= lwidth) {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        match (side(&l), side(&r)) {
+            (Some(true), Some(false)) => {
+                let r = r.remap_cols(&|i| Some(i - lwidth))?;
+                let (l, r) = unify_key_types(l, r)?;
+                Ok(Some((l, r)))
+            }
+            (Some(false), Some(true)) => {
+                let l = l.remap_cols(&|i| Some(i - lwidth))?;
+                let (r, l) = unify_key_types(r, l)?;
+                Ok(Some((r, l)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn bind_in_subquery(
+        &self,
+        plan: LogicalPlan,
+        scope: &Scope,
+        expr: &Expr,
+        subquery: &SelectStmt,
+        negated: bool,
+    ) -> Result<LogicalPlan> {
+        let sub = self.bind_select(subquery)?;
+        if sub.schema().len() != 1 {
+            return Err(berr("IN subquery must return exactly one column"));
+        }
+        let left_key = self.bind_expr(expr, scope)?;
+        let right_key = SqlExpr::Col(0, sub.schema().field(0).ty);
+        let (left_key, right_key) = unify_key_types(left_key, right_key)?;
+        let kind = if negated { JoinKind::NullAwareAnti } else { JoinKind::Semi };
+        Ok(LogicalPlan::Join {
+            schema: plan.schema().clone(),
+            left: Box::new(plan),
+            right: Box::new(sub),
+            kind,
+            keys: vec![(left_key, right_key)],
+        })
+    }
+
+    fn bind_exists(
+        &self,
+        plan: LogicalPlan,
+        subquery: &SelectStmt,
+        negated: bool,
+    ) -> Result<LogicalPlan> {
+        let sub = self.bind_select(subquery)?;
+        // Uncorrelated EXISTS: semi/anti join on the constant key 1 = 1.
+        let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
+        // Project the subquery down to the constant key.
+        let sub_key = LogicalPlan::Project {
+            schema: Schema::unchecked(vec![Field::not_null("__one", TypeId::I64)]),
+            exprs: vec![one.clone()],
+            input: Box::new(sub),
+        };
+        let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+        Ok(LogicalPlan::Join {
+            schema: plan.schema().clone(),
+            left: Box::new(plan),
+            right: Box::new(sub_key),
+            kind,
+            keys: vec![(one, SqlExpr::Col(0, TypeId::I64))],
+        })
+    }
+
+    /// Bind a scalar expression against a scope.
+    fn bind_expr(&self, e: &Expr, scope: &Scope) -> Result<SqlExpr> {
+        match e {
+            Expr::Ident(parts) => {
+                let (i, ty) = scope.resolve(parts)?;
+                Ok(SqlExpr::Col(i, ty))
+            }
+            Expr::Lit(v) => Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64))),
+            Expr::Binary { op, left, right } => {
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                combine_binary(*op, l, r)
+            }
+            Expr::Neg(x) => negate(self.bind_expr(x, scope)?),
+            Expr::Not(x) => Ok(SqlExpr::Not(Box::new(self.bind_expr(x, scope)?))),
+            Expr::Cast { expr, ty } => Ok(cast_to(self.bind_expr(expr, scope)?, *ty)),
+            Expr::IsNull { expr, negated } => {
+                let b = self.bind_expr(expr, scope)?;
+                Ok(if *negated {
+                    SqlExpr::IsNotNull(Box::new(b))
+                } else {
+                    SqlExpr::IsNull(Box::new(b))
+                })
+            }
+            Expr::Between { expr, low, high, negated } => {
+                // BETWEEN expands here (a rewrite the paper would do in the
+                // rewriter; it is pure syntax, so the binder handles it).
+                let x = self.bind_expr(expr, scope)?;
+                let lo = self.bind_expr(low, scope)?;
+                let hi = self.bind_expr(high, scope)?;
+                let ge = combine_binary(ast::BinaryOp::Ge, x.clone(), lo)?;
+                let le = combine_binary(ast::BinaryOp::Le, x, hi)?;
+                let both = SqlExpr::And(vec![ge, le]);
+                Ok(if *negated { SqlExpr::Not(Box::new(both)) } else { both })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let input = self.bind_expr(expr, scope)?;
+                if input.type_id() != TypeId::Str {
+                    return Err(berr("LIKE requires a string input"));
+                }
+                Ok(SqlExpr::Like {
+                    input: Box::new(input),
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                })
+            }
+            Expr::InList { expr, list, negated } => {
+                let input = self.bind_expr(expr, scope)?;
+                let mut ty = input.type_id();
+                let mut bound = Vec::with_capacity(list.len());
+                for m in list {
+                    let b = self.bind_expr(m, scope)?;
+                    ty = TypeId::promote(ty, b.type_id())
+                        .ok_or_else(|| berr("IN list has incompatible types"))?;
+                    bound.push(b);
+                }
+                let input = cast_to(input, ty);
+                let bound = bound.into_iter().map(|b| cast_to(b, ty)).collect();
+                Ok(SqlExpr::InList { input: Box::new(input), list: bound, negated: *negated })
+            }
+            Expr::InSubquery { .. } | Expr::Exists { .. } => Err(berr(
+                "subqueries are only supported as top-level WHERE conjuncts",
+            )),
+            Expr::Case { branches, else_expr } => {
+                let mut bs = Vec::new();
+                for (c, v) in branches {
+                    bs.push((self.bind_expr(c, scope)?, self.bind_expr(v, scope)?));
+                }
+                let el = match else_expr {
+                    Some(x) => Some(Box::new(self.bind_expr(x, scope)?)),
+                    None => None,
+                };
+                build_case(bs, el)
+            }
+            Expr::Func { name, args } => {
+                let bound: Vec<SqlExpr> = args
+                    .iter()
+                    .map(|a| self.bind_expr(a, scope))
+                    .collect::<Result<_>>()?;
+                bind_function(name, bound)
+            }
+            Expr::Wildcard => Err(berr("'*' only valid in COUNT(*)")),
+            Expr::Extract { field, expr } => {
+                let f = DateField::parse(field)
+                    .ok_or_else(|| berr(format!("unknown EXTRACT field {field}")))?;
+                let d = self.bind_expr(expr, scope)?;
+                if d.type_id() != TypeId::Date {
+                    return Err(berr("EXTRACT requires a DATE input"));
+                }
+                Ok(SqlExpr::Func {
+                    func: KernelFunc::Extract,
+                    args: vec![
+                        d,
+                        SqlExpr::Lit(
+                            Value::I64(vw_exec::expr::encode_field(f)),
+                            TypeId::I64,
+                        ),
+                    ],
+                    ty: TypeId::I64,
+                })
+            }
+        }
+    }
+
+    /// Bind an expression against a bare schema (UPDATE SET / DELETE WHERE).
+    pub fn bind_expr_on_schema(&self, e: &Expr, schema: &Schema) -> Result<SqlExpr> {
+        self.bind_expr(e, &Scope::from_schema(None, schema))
+    }
+}
+
+fn split_conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Binary { op: ast::BinaryOp::And, left, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Ident(parts) => parts.last().cloned().unwrap_or_else(|| "?column?".into()),
+        Expr::Func { name, .. } => name.to_ascii_lowercase(),
+        _ => "?column?".into(),
+    }
+}
+
+fn cast_to(e: SqlExpr, ty: TypeId) -> SqlExpr {
+    if e.type_id() == ty {
+        e
+    } else if matches!(&e, SqlExpr::Lit(v, _) if v.is_null()) {
+        // NULL literals retype for free.
+        SqlExpr::Lit(Value::Null, ty)
+    } else {
+        SqlExpr::Cast { input: Box::new(e), to: ty }
+    }
+}
+
+fn unify_key_types(l: SqlExpr, r: SqlExpr) -> Result<(SqlExpr, SqlExpr)> {
+    let ty = TypeId::promote(l.type_id(), r.type_id()).ok_or_else(|| {
+        berr(format!(
+            "join/IN key types {} and {} are incompatible",
+            l.type_id(),
+            r.type_id()
+        ))
+    })?;
+    Ok((cast_to(l, ty), cast_to(r, ty)))
+}
+
+fn negate(e: SqlExpr) -> Result<SqlExpr> {
+    let ty = e.type_id();
+    if !ty.is_numeric() {
+        return Err(berr(format!("cannot negate {ty}")));
+    }
+    let zero = if ty == TypeId::F64 {
+        SqlExpr::Lit(Value::F64(0.0), TypeId::F64)
+    } else {
+        SqlExpr::Lit(Value::I64(0), TypeId::I64)
+    };
+    combine_binary(ast::BinaryOp::Sub, zero, e)
+}
+
+fn build_case(
+    branches: Vec<(SqlExpr, SqlExpr)>,
+    else_expr: Option<Box<SqlExpr>>,
+) -> Result<SqlExpr> {
+    let mut ty = branches
+        .first()
+        .map(|(_, v)| v.type_id())
+        .ok_or_else(|| berr("CASE needs at least one WHEN"))?;
+    for (c, v) in &branches {
+        if c.type_id() != TypeId::Bool {
+            return Err(berr("CASE WHEN condition must be boolean"));
+        }
+        ty = TypeId::promote(ty, v.type_id())
+            .ok_or_else(|| berr("CASE branches have incompatible types"))?;
+    }
+    if let Some(e) = &else_expr {
+        ty = TypeId::promote(ty, e.type_id())
+            .ok_or_else(|| berr("CASE ELSE has incompatible type"))?;
+    }
+    let branches = branches
+        .into_iter()
+        .map(|(c, v)| (c, cast_to(v, ty)))
+        .collect();
+    let else_expr = else_expr.map(|e| Box::new(cast_to(*e, ty)));
+    Ok(SqlExpr::Case { branches, else_expr, ty })
+}
+
+/// Bind a non-aggregate function call by name.
+pub fn bind_function(name: &str, args: Vec<SqlExpr>) -> Result<SqlExpr> {
+    let imp = functions::resolve(name)
+        .ok_or_else(|| berr(format!("unknown function {name}")))?;
+    let (args, ty) = functions::type_check(name, imp, args)?;
+    Ok(match imp {
+        FuncImpl::Kernel(func) => SqlExpr::Func { func, args, ty },
+        FuncImpl::Ext(func) => SqlExpr::Ext { func, args, ty },
+    })
+}
+
+/// Combine a binary AST operator over two bound operands, inserting
+/// promotions/casts and lowering date arithmetic to kernel functions.
+pub fn combine_binary(op: ast::BinaryOp, l: SqlExpr, r: SqlExpr) -> Result<SqlExpr> {
+    use ast::BinaryOp as B;
+    let (lt, rt) = (l.type_id(), r.type_id());
+    match op {
+        B::And => Ok(SqlExpr::And(vec![l, r])),
+        B::Or => Ok(SqlExpr::Or(vec![l, r])),
+        B::Eq | B::Ne | B::Lt | B::Le | B::Gt | B::Ge => {
+            let cmp = match op {
+                B::Eq => CmpOp::Eq,
+                B::Ne => CmpOp::Ne,
+                B::Lt => CmpOp::Lt,
+                B::Le => CmpOp::Le,
+                B::Gt => CmpOp::Gt,
+                B::Ge => CmpOp::Ge,
+                _ => unreachable!(),
+            };
+            // NULL literals are type-flexible: adopt the other side's type.
+            let ty = if matches!(&l, SqlExpr::Lit(v, _) if v.is_null()) {
+                rt
+            } else if matches!(&r, SqlExpr::Lit(v, _) if v.is_null()) {
+                lt
+            } else {
+                TypeId::promote(lt, rt)
+                    .ok_or_else(|| berr(format!("cannot compare {lt} with {rt}")))?
+            };
+            Ok(SqlExpr::Cmp {
+                op: cmp,
+                l: Box::new(cast_to(l, ty)),
+                r: Box::new(cast_to(r, ty)),
+            })
+        }
+        B::Add | B::Sub | B::Mul | B::Div | B::Rem => {
+            // Date arithmetic lowers to kernel date functions.
+            if lt == TypeId::Date && rt.is_integer() && matches!(op, B::Add | B::Sub) {
+                let days = if op == B::Sub { negate(cast_to(r, TypeId::I64))? } else { cast_to(r, TypeId::I64) };
+                return Ok(SqlExpr::Func {
+                    func: KernelFunc::DateAddDays,
+                    args: vec![l, days],
+                    ty: TypeId::Date,
+                });
+            }
+            if lt == TypeId::Date && rt == TypeId::Date && op == B::Sub {
+                return Ok(SqlExpr::Func {
+                    func: KernelFunc::DateDiffDays,
+                    args: vec![l, r],
+                    ty: TypeId::I64,
+                });
+            }
+            if !lt.is_numeric() || !rt.is_numeric() {
+                return Err(berr(format!("arithmetic on {lt} and {rt}")));
+            }
+            let target = if lt == TypeId::F64 || rt == TypeId::F64 {
+                TypeId::F64
+            } else {
+                TypeId::I64
+            };
+            let bop = match op {
+                B::Add => BinOp::Add,
+                B::Sub => BinOp::Sub,
+                B::Mul => BinOp::Mul,
+                B::Div => BinOp::Div,
+                B::Rem => BinOp::Rem,
+                _ => unreachable!(),
+            };
+            Ok(SqlExpr::Arith {
+                op: bop,
+                l: Box::new(cast_to(l, target)),
+                r: Box::new(cast_to(r, target)),
+                ty: target,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExtFunc;
+    use crate::parse;
+
+    struct MockCatalog;
+
+    impl CatalogView for MockCatalog {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            match name {
+                "t" => Some(
+                    Schema::new(vec![
+                        Field::not_null("id", TypeId::I64),
+                        Field::nullable("qty", TypeId::I32),
+                        Field::nullable("name", TypeId::Str),
+                        Field::nullable("d", TypeId::Date),
+                    ])
+                    .unwrap(),
+                ),
+                "s" => Some(
+                    Schema::new(vec![
+                        Field::not_null("id", TypeId::I64),
+                        Field::nullable("v", TypeId::F64),
+                    ])
+                    .unwrap(),
+                ),
+                _ => None,
+            }
+        }
+
+        fn table_rows(&self, _name: &str) -> Option<u64> {
+            Some(1000)
+        }
+    }
+
+    fn bind(sql: &str) -> Result<LogicalPlan> {
+        let stmts = parse(sql)?;
+        let ast::Statement::Select(s) = &stmts[0] else { panic!("not a select") };
+        Binder::new(&MockCatalog).bind_select(s)
+    }
+
+    #[test]
+    fn simple_select() {
+        let p = bind("SELECT id, qty + 1 FROM t WHERE qty > 5").unwrap();
+        let text = p.explain();
+        assert!(text.contains("Project"));
+        assert!(text.contains("Select"));
+        assert!(text.contains("Scan t"));
+        assert_eq!(p.schema().len(), 2);
+        // qty+1 is promoted to I64.
+        assert_eq!(p.schema().field(1).ty, TypeId::I64);
+    }
+
+    #[test]
+    fn wildcard_expands() {
+        let p = bind("SELECT * FROM t").unwrap();
+        assert_eq!(p.schema().len(), 4);
+        assert_eq!(p.schema().field(2).name, "name");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(bind("SELECT nope FROM t"), Err(VwError::Bind(_))));
+        assert!(matches!(
+            bind("SELECT id FROM missing"),
+            Err(VwError::Catalog(_))
+        ));
+        assert!(matches!(bind("SELECT NOSUCHFN(id) FROM t"), Err(VwError::Bind(_))));
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        assert!(bind("SELECT name + 1 FROM t").is_err());
+        assert!(bind("SELECT id FROM t WHERE name > 5").is_err());
+        assert!(bind("SELECT UPPER(id) FROM t").is_err());
+    }
+
+    #[test]
+    fn aggregate_binding() {
+        let p = bind(
+            "SELECT name, SUM(qty), COUNT(*) FROM t GROUP BY name HAVING SUM(qty) > 10",
+        )
+        .unwrap();
+        let text = p.explain();
+        assert!(text.contains("Aggr groups=1 aggs=2"));
+        assert!(text.contains("Select")); // HAVING
+        assert_eq!(p.schema().field(1).ty, TypeId::I64);
+    }
+
+    #[test]
+    fn agg_with_expression_over_aggs() {
+        let p = bind("SELECT SUM(qty) / COUNT(*) FROM t").unwrap();
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.schema().field(0).ty, TypeId::I64);
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        assert!(bind("SELECT id, SUM(qty) FROM t GROUP BY name").is_err());
+    }
+
+    #[test]
+    fn join_binding_and_left_nullability() {
+        let p = bind("SELECT t.id, s.v FROM t LEFT JOIN s ON t.id = s.id").unwrap();
+        let text = p.explain();
+        assert!(text.contains("HashJoin Left"));
+        assert_eq!(p.schema().len(), 2);
+    }
+
+    #[test]
+    fn join_requires_equality() {
+        assert!(bind("SELECT t.id FROM t JOIN s ON t.id < s.id").is_err());
+    }
+
+    #[test]
+    fn in_subquery_becomes_semi_join() {
+        let p = bind("SELECT id FROM t WHERE id IN (SELECT id FROM s)").unwrap();
+        assert!(p.explain().contains("HashJoin Semi"));
+        let p = bind("SELECT id FROM t WHERE id NOT IN (SELECT id FROM s)").unwrap();
+        assert!(p.explain().contains("HashJoin NullAwareAnti"));
+    }
+
+    #[test]
+    fn exists_becomes_semi_join_on_const() {
+        let p = bind("SELECT id FROM t WHERE EXISTS (SELECT id FROM s)").unwrap();
+        assert!(p.explain().contains("HashJoin Semi"));
+        let p = bind("SELECT id FROM t WHERE NOT EXISTS (SELECT id FROM s)").unwrap();
+        assert!(p.explain().contains("HashJoin Anti"));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let p = bind("SELECT id, qty FROM t ORDER BY qty DESC, 1 ASC LIMIT 5 OFFSET 2").unwrap();
+        let text = p.explain();
+        assert!(text.contains("Limit 5 offset 2"));
+        assert!(text.contains("Sort keys=[(1, false, true), (0, true, false)]"));
+    }
+
+    #[test]
+    fn date_arith_lowered() {
+        let p = bind("SELECT d + 30, d - DATE '1996-01-01' FROM t").unwrap();
+        assert_eq!(p.schema().field(0).ty, TypeId::Date);
+        assert_eq!(p.schema().field(1).ty, TypeId::I64);
+    }
+
+    #[test]
+    fn between_and_extract() {
+        let p = bind(
+            "SELECT EXTRACT(YEAR FROM d) FROM t WHERE qty BETWEEN 1 AND 10",
+        )
+        .unwrap();
+        assert_eq!(p.schema().field(0).ty, TypeId::I64);
+    }
+
+    #[test]
+    fn ext_functions_stay_extended() {
+        let p = bind("SELECT COALESCE(qty, 0), NULLIF(id, 5) FROM t").unwrap();
+        // The plan still contains Ext nodes (the rewriter expands later).
+        let LogicalPlan::Project { exprs, .. } = &p else { panic!() };
+        assert!(matches!(exprs[0], SqlExpr::Ext { func: ExtFunc::Coalesce, .. }));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let p = bind("SELECT 1 + 2, 'x'").unwrap();
+        assert_eq!(p.schema().len(), 2);
+    }
+
+    #[test]
+    fn in_list_binds_with_promotion() {
+        let p = bind("SELECT id FROM t WHERE qty IN (1, 2, 3)").unwrap();
+        assert!(p.explain().contains("Select"));
+    }
+}

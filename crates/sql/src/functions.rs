@@ -1,0 +1,307 @@
+//! The SQL function catalog — "Many Functions".
+//!
+//! The paper: "SQL standard contains a plethora of functions ... This
+//! resulted in dozens of new functions added to the system. ... Some
+//! functions were implemented in the rewriter phase ... For others, manual
+//! implementation was needed."
+//!
+//! This module is the name → implementation map. Each SQL name resolves to
+//! either a kernel-native function ([`KernelFunc`], "manual implementation")
+//! or an extended function ([`ExtFunc`], rewriter-expanded), plus a typing
+//! rule. Aggregates are resolved separately by the binder.
+
+use crate::expr::{ExtFunc, KernelFunc, SqlExpr};
+use vw_common::{Result, TypeId, VwError};
+
+fn is_null_lit(e: &SqlExpr) -> bool {
+    matches!(e, SqlExpr::Lit(v, _) if v.is_null())
+}
+
+/// Resolution of a SQL function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuncImpl {
+    /// Kernel-native.
+    Kernel(KernelFunc),
+    /// Rewriter-expanded.
+    Ext(ExtFunc),
+}
+
+/// Resolve a (uppercased) SQL function name.
+pub fn resolve(name: &str) -> Option<FuncImpl> {
+    use FuncImpl::*;
+    Some(match name {
+        "UPPER" | "UCASE" => Kernel(KernelFunc::Upper),
+        "LOWER" | "LCASE" => Kernel(KernelFunc::Lower),
+        "LENGTH" | "LEN" | "CHAR_LENGTH" | "CHARACTER_LENGTH" => Kernel(KernelFunc::Length),
+        "SUBSTR" | "SUBSTRING" => Kernel(KernelFunc::Substr),
+        "CONCAT" => Kernel(KernelFunc::Concat),
+        "TRIM" => Kernel(KernelFunc::Trim),
+        "REPLACE" => Kernel(KernelFunc::Replace),
+        "ABS" => Kernel(KernelFunc::Abs),
+        "SQRT" => Kernel(KernelFunc::Sqrt),
+        "FLOOR" => Kernel(KernelFunc::Floor),
+        "CEIL" | "CEILING" => Kernel(KernelFunc::Ceil),
+        "ROUND" => Kernel(KernelFunc::Round),
+        "DATE_ADD_DAYS" | "ADDDATE" => Kernel(KernelFunc::DateAddDays),
+        "DATE_DIFF_DAYS" | "DATEDIFF" => Kernel(KernelFunc::DateDiffDays),
+        "COALESCE" => Ext(ExtFunc::Coalesce),
+        "NULLIF" => Ext(ExtFunc::NullIf),
+        "IFNULL" | "NVL" => Ext(ExtFunc::IfNull),
+        "GREATEST" => Ext(ExtFunc::Greatest),
+        "LEAST" => Ext(ExtFunc::Least),
+        "SIGN" => Ext(ExtFunc::Sign),
+        _ => return None,
+    })
+}
+
+/// Type-check a resolved function call against its bound arguments and
+/// return (possibly coerced arguments, result type).
+pub fn type_check(
+    name: &str,
+    imp: FuncImpl,
+    args: Vec<SqlExpr>,
+) -> Result<(Vec<SqlExpr>, TypeId)> {
+    let err = |msg: String| VwError::Bind(format!("{name}: {msg}"));
+    let arity = |want: std::ops::RangeInclusive<usize>| -> Result<()> {
+        if want.contains(&args.len()) {
+            Ok(())
+        } else {
+            Err(err(format!("expects {want:?} arguments, got {}", args.len())))
+        }
+    };
+    let want_str = |e: &SqlExpr| -> Result<()> {
+        if e.type_id() == TypeId::Str {
+            Ok(())
+        } else {
+            Err(err(format!("string argument expected, got {}", e.type_id())))
+        }
+    };
+    let to_i64 = |e: SqlExpr| -> SqlExpr {
+        if e.type_id() == TypeId::I64 {
+            e
+        } else {
+            SqlExpr::Cast { input: Box::new(e), to: TypeId::I64 }
+        }
+    };
+    let to_f64 = |e: SqlExpr| -> SqlExpr {
+        if e.type_id() == TypeId::F64 {
+            e
+        } else {
+            SqlExpr::Cast { input: Box::new(e), to: TypeId::F64 }
+        }
+    };
+    match imp {
+        FuncImpl::Kernel(k) => {
+            use KernelFunc::*;
+            match k {
+                Upper | Lower | Trim => {
+                    arity(1..=1)?;
+                    want_str(&args[0])?;
+                    Ok((args, TypeId::Str))
+                }
+                Length => {
+                    arity(1..=1)?;
+                    want_str(&args[0])?;
+                    Ok((args, TypeId::I64))
+                }
+                Substr => {
+                    arity(2..=3)?;
+                    want_str(&args[0])?;
+                    let mut it = args.into_iter();
+                    let mut out = vec![it.next().unwrap()];
+                    out.extend(it.map(|a| {
+                        if a.type_id().is_integer() {
+                            to_i64(a)
+                        } else {
+                            a
+                        }
+                    }));
+                    for a in &out[1..] {
+                        if a.type_id() != TypeId::I64 {
+                            return Err(err("position/length must be integers".into()));
+                        }
+                    }
+                    Ok((out, TypeId::Str))
+                }
+                Concat => {
+                    arity(2..=2)?;
+                    want_str(&args[0])?;
+                    want_str(&args[1])?;
+                    Ok((args, TypeId::Str))
+                }
+                Replace => {
+                    arity(3..=3)?;
+                    for a in &args {
+                        want_str(a)?;
+                    }
+                    Ok((args, TypeId::Str))
+                }
+                Abs => {
+                    arity(1..=1)?;
+                    match args[0].type_id() {
+                        TypeId::F64 => Ok((args, TypeId::F64)),
+                        t if t.is_integer() => {
+                            let out_args = vec![to_i64(args.into_iter().next().unwrap())];
+                            Ok((out_args, TypeId::I64))
+                        }
+                        t => Err(err(format!("numeric argument expected, got {t}"))),
+                    }
+                }
+                Sqrt | Floor | Ceil | Round => {
+                    arity(1..=1)?;
+                    if !args[0].type_id().is_numeric() {
+                        return Err(err("numeric argument expected".into()));
+                    }
+                    let out_args = vec![to_f64(args.into_iter().next().unwrap())];
+                    Ok((out_args, TypeId::F64))
+                }
+                Extract => {
+                    arity(2..=2)?;
+                    if args[0].type_id() != TypeId::Date {
+                        return Err(err("DATE argument expected".into()));
+                    }
+                    Ok((args, TypeId::I64))
+                }
+                DateAddDays => {
+                    arity(2..=2)?;
+                    if args[0].type_id() != TypeId::Date {
+                        return Err(err("DATE argument expected".into()));
+                    }
+                    let mut it = args.into_iter();
+                    let d = it.next().unwrap();
+                    let n = to_i64(it.next().unwrap());
+                    if n.type_id() != TypeId::I64 {
+                        return Err(err("day count must be an integer".into()));
+                    }
+                    Ok((vec![d, n], TypeId::Date))
+                }
+                DateDiffDays => {
+                    arity(2..=2)?;
+                    if args[0].type_id() != TypeId::Date || args[1].type_id() != TypeId::Date {
+                        return Err(err("two DATE arguments expected".into()));
+                    }
+                    Ok((args, TypeId::I64))
+                }
+            }
+        }
+        FuncImpl::Ext(x) => {
+            use ExtFunc::*;
+            match x {
+                Coalesce | Greatest | Least => {
+                    arity(1..=8)?;
+                    // All arguments must share a common type; NULL literals
+                    // are type-flexible and adopt the common type.
+                    let mut ty: Option<TypeId> = None;
+                    for a in &args {
+                        if is_null_lit(a) {
+                            continue;
+                        }
+                        ty = Some(match ty {
+                            None => a.type_id(),
+                            Some(t) => TypeId::promote(t, a.type_id()).ok_or_else(|| {
+                                err(format!(
+                                    "arguments have incompatible types {} and {}",
+                                    t,
+                                    a.type_id()
+                                ))
+                            })?,
+                        });
+                    }
+                    let ty = ty.unwrap_or(TypeId::I64);
+                    let coerced = args
+                        .into_iter()
+                        .map(|a| {
+                            if a.type_id() == ty {
+                                a
+                            } else {
+                                SqlExpr::Cast { input: Box::new(a), to: ty }
+                            }
+                        })
+                        .collect();
+                    Ok((coerced, ty))
+                }
+                NullIf | IfNull => {
+                    arity(2..=2)?;
+                    let ty = match (is_null_lit(&args[0]), is_null_lit(&args[1])) {
+                        (true, false) => args[1].type_id(),
+                        (false, true) => args[0].type_id(),
+                        (true, true) => TypeId::I64,
+                        (false, false) => {
+                            TypeId::promote(args[0].type_id(), args[1].type_id())
+                                .ok_or_else(|| err("incompatible argument types".into()))?
+                        }
+                    };
+                    let coerced = args
+                        .into_iter()
+                        .map(|a| {
+                            if a.type_id() == ty {
+                                a
+                            } else {
+                                SqlExpr::Cast { input: Box::new(a), to: ty }
+                            }
+                        })
+                        .collect();
+                    Ok((coerced, ty))
+                }
+                Sign => {
+                    arity(1..=1)?;
+                    if !args[0].type_id().is_numeric() {
+                        return Err(err("numeric argument expected".into()));
+                    }
+                    Ok((args, TypeId::I64))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Value;
+
+    fn s(v: &str) -> SqlExpr {
+        SqlExpr::Lit(Value::Str(v.into()), TypeId::Str)
+    }
+
+    fn i(v: i64) -> SqlExpr {
+        SqlExpr::Lit(Value::I64(v), TypeId::I64)
+    }
+
+    #[test]
+    fn resolves_aliases() {
+        assert_eq!(resolve("UCASE"), Some(FuncImpl::Kernel(KernelFunc::Upper)));
+        assert_eq!(resolve("NVL"), Some(FuncImpl::Ext(ExtFunc::IfNull)));
+        assert_eq!(resolve("NO_SUCH_FN"), None);
+    }
+
+    #[test]
+    fn typing_rules() {
+        let (_, ty) = type_check("UPPER", resolve("UPPER").unwrap(), vec![s("x")]).unwrap();
+        assert_eq!(ty, TypeId::Str);
+        assert!(type_check("UPPER", resolve("UPPER").unwrap(), vec![i(1)]).is_err());
+        assert!(type_check("UPPER", resolve("UPPER").unwrap(), vec![s("a"), s("b")]).is_err());
+        let (_, ty) = type_check("LENGTH", resolve("LENGTH").unwrap(), vec![s("x")]).unwrap();
+        assert_eq!(ty, TypeId::I64);
+    }
+
+    #[test]
+    fn coalesce_promotes() {
+        let args = vec![
+            SqlExpr::Lit(Value::I32(1), TypeId::I32),
+            SqlExpr::Lit(Value::F64(2.0), TypeId::F64),
+        ];
+        let (coerced, ty) = type_check("COALESCE", resolve("COALESCE").unwrap(), args).unwrap();
+        assert_eq!(ty, TypeId::F64);
+        assert!(matches!(coerced[0], SqlExpr::Cast { .. }));
+        let bad = vec![s("a"), i(1)];
+        assert!(type_check("COALESCE", resolve("COALESCE").unwrap(), bad).is_err());
+    }
+
+    #[test]
+    fn sqrt_coerces_to_double() {
+        let (args, ty) = type_check("SQRT", resolve("SQRT").unwrap(), vec![i(4)]).unwrap();
+        assert_eq!(ty, TypeId::F64);
+        assert!(matches!(args[0], SqlExpr::Cast { to: TypeId::F64, .. }));
+    }
+}

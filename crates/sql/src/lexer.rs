@@ -1,0 +1,258 @@
+//! SQL lexer: hand-written, case-insensitive keywords, `'...'` strings with
+//! doubled-quote escapes, integer/float literals, `--` line comments.
+
+use vw_common::{Result, VwError};
+
+/// One token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (uppercased for keywords at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize `sql` fully.
+pub fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let b = sql.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let err = |i: usize, msg: &str| {
+        VwError::Parse(format!("{msg} at byte {i}"))
+    };
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err(i, "unterminated string literal"));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = utf8_len(b[i]);
+                    s.push_str(std::str::from_utf8(&b[i..i + ch_len]).map_err(|_| {
+                        err(i, "invalid UTF-8 in string literal")
+                    })?);
+                    i += ch_len;
+                }
+                out.push(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let save = i;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i].is_ascii_digit() {
+                        is_float = true;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| err(start, "bad float"))?));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Tok::Int(v)),
+                        Err(_) => out.push(Tok::Float(
+                            text.parse().map_err(|_| err(start, "bad number"))?,
+                        )),
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            '<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    return Err(err(i, "unexpected '!'"));
+                }
+            }
+            '=' => {
+                out.push(Tok::Sym("="));
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Sym("+"));
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Sym("-"));
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Sym("*"));
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Sym("/"));
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Sym("%"));
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::Sym("("));
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::Sym(")"));
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Sym(","));
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Sym(";"));
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Sym("."));
+                i += 1;
+            }
+            other => return Err(err(i, &format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a, 42 FROM t WHERE b <= 3.5 AND c <> 'x''y'").unwrap();
+        assert!(toks.contains(&Tok::Ident("SELECT".into())));
+        assert!(toks.contains(&Tok::Int(42)));
+        assert!(toks.contains(&Tok::Float(3.5)));
+        assert!(toks.contains(&Tok::Sym("<=")));
+        assert!(toks.contains(&Tok::Sym("<>")));
+        assert!(toks.contains(&Tok::Str("x'y".into())));
+        assert_eq!(toks.last(), Some(&Tok::Eof));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- the answer\n, 2").unwrap();
+        assert!(toks.contains(&Tok::Int(1)));
+        assert!(toks.contains(&Tok::Int(2)));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Ident(s) if s == "answer")));
+    }
+
+    #[test]
+    fn bang_equals_normalized() {
+        let toks = lex("a != b").unwrap();
+        assert!(toks.contains(&Tok::Sym("<>")));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn huge_int_becomes_float() {
+        let toks = lex("99999999999999999999").unwrap();
+        assert!(matches!(toks[0], Tok::Float(_)));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = lex("1e3 2.5E-2").unwrap();
+        assert_eq!(toks[0], Tok::Float(1000.0));
+        assert_eq!(toks[1], Tok::Float(0.025));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'héllo мир'").unwrap();
+        assert_eq!(toks[0], Tok::Str("héllo мир".into()));
+    }
+}

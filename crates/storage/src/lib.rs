@@ -1,0 +1,34 @@
+//! # vw-storage — compressed PAX/DSM column storage
+//!
+//! The "Compressed PAX/DSM storage" box of the paper's Figure 1, following
+//! *Balancing vectorized query execution with bandwidth-optimized storage*
+//! (Zukowski, 2009 — reference [6]).
+//!
+//! Architecture:
+//!
+//! * a [simulated disk](disk) is the bandwidth-limited device all table data
+//!   lives on (substitution for the paper's disk arrays — see DESIGN.md §2),
+//! * tables are split into row ranges called **packs** (the compression
+//!   granule); each pack's columns are compressed with [`vw_compress`]
+//!   (auto-selected per chunk) and laid out either
+//!   **DSM** — one block per column chunk, scans read only the touched
+//!   columns — or **PAX** — one block per pack holding all its column
+//!   chunks, trading scan selectivity for single-block row access,
+//! * a [buffer pool](buffer) caches raw (still compressed) blocks with CLOCK
+//!   eviction; decompression happens per scan into cache-resident vectors,
+//!   which is the X100 execution model,
+//! * per-pack [MinMax summaries](table) support scan-range pruning,
+//! * [table statistics](stats) (row counts, distinct estimates, equi-depth
+//!   histograms) feed the Ingres-style optimizer.
+
+pub mod buffer;
+pub mod disk;
+pub mod pack;
+pub mod stats;
+pub mod table;
+
+pub use buffer::BufferPool;
+pub use disk::{BlockId, DiskConfig, DiskStats, SimulatedDisk};
+pub use pack::{decode_chunk, encode_chunk};
+pub use stats::{ColumnStats, Histogram, TableStats};
+pub use table::{Layout, PackMeta, ScanRange, TableStorage};

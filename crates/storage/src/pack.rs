@@ -1,0 +1,272 @@
+//! Column-chunk serialization: `ColData` (+ optional NULL indicator) ⇄ bytes.
+//!
+//! Chunk layout:
+//!
+//! ```text
+//! chunk      := null_part value_part
+//! null_part  := 0x00                          -- no NULLs
+//!             | 0x01 ints_block               -- indicator as 0/1 ints
+//! value_part := 0x00 ints_block               -- fixed-width types, widened
+//!             | 0x01 string_dict_block        -- PDICT strings
+//!             | 0x02 raw_strings_block        -- high-cardinality strings
+//! ints_block := tag u8, len u32, nbytes u32, payload
+//! ```
+//!
+//! Integer-like data (including dates, bools, f64-bits) goes through
+//! [`vw_compress::compress_auto`]; strings pick PDICT when the dictionary
+//! pays for itself (ratio heuristic), raw otherwise.
+
+use vw_common::{ColData, Result, TypeId, VwError};
+use vw_compress::dict::{decode_strings, encode_strings, StringDict};
+use vw_compress::io::{ByteReader, ByteWriter};
+use vw_compress::{compress_auto, decompress_into, Compressed, Encoding};
+
+fn put_ints(c: &Compressed, w: &mut ByteWriter) {
+    w.put_u8(c.encoding.tag());
+    w.put_u32(c.len as u32);
+    w.put_u32(c.bytes.len() as u32);
+    w.put_bytes(&c.bytes);
+}
+
+fn get_ints(r: &mut ByteReader) -> Result<Compressed> {
+    let encoding = Encoding::from_tag(r.get_u8()?)?;
+    let len = r.get_u32()? as usize;
+    let nbytes = r.get_u32()? as usize;
+    let bytes = r.get_bytes(nbytes)?.to_vec();
+    Ok(Compressed { encoding, len, bytes })
+}
+
+fn put_strings(values: &[String], w: &mut ByteWriter) {
+    let sd = encode_strings(values);
+    let raw_size: usize = values.iter().map(|s| s.len() + 4).sum();
+    if sd.compressed_bytes() * 2 < raw_size {
+        w.put_u8(1);
+        w.put_u32(sd.dict.len() as u32);
+        for s in &sd.dict {
+            w.put_u32(s.len() as u32);
+            w.put_bytes(s.as_bytes());
+        }
+        w.put_u32(sd.bytes.len() as u32);
+        w.put_bytes(&sd.bytes);
+    } else {
+        w.put_u8(2);
+        w.put_u32(values.len() as u32);
+        for s in values {
+            w.put_u32(s.len() as u32);
+            w.put_bytes(s.as_bytes());
+        }
+    }
+}
+
+fn get_string(r: &mut ByteReader) -> Result<String> {
+    let len = r.get_u32()? as usize;
+    let bytes = r.get_bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| VwError::Corruption("invalid UTF-8 in string block".into()))
+}
+
+fn get_strings(r: &mut ByteReader, n: usize) -> Result<Vec<String>> {
+    match r.get_u8()? {
+        1 => {
+            let dict_len = r.get_u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
+            for _ in 0..dict_len {
+                dict.push(get_string(r)?);
+            }
+            let nbytes = r.get_u32()? as usize;
+            let bytes = r.get_bytes(nbytes)?.to_vec();
+            let sd = StringDict { dict, bytes, len: n };
+            let mut out = Vec::new();
+            decode_strings(&sd, &mut out)?;
+            Ok(out)
+        }
+        2 => {
+            let cnt = r.get_u32()? as usize;
+            if cnt != n {
+                return Err(VwError::Corruption(format!(
+                    "raw string block has {cnt} values, expected {n}"
+                )));
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(get_string(r)?);
+            }
+            Ok(out)
+        }
+        t => Err(VwError::Corruption(format!("unknown string block tag {t}"))),
+    }
+}
+
+/// Serialize one column chunk (values + optional NULL indicator).
+///
+/// `nulls`, when present, must have the same length as `data`; positions
+/// flagged true are NULL and `data` holds safe defaults there.
+pub fn encode_chunk(data: &ColData, nulls: Option<&[bool]>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match nulls {
+        Some(mask) if mask.iter().any(|&b| b) => {
+            debug_assert_eq!(mask.len(), data.len());
+            w.put_u8(1);
+            let ints: Vec<i64> = mask.iter().map(|&b| b as i64).collect();
+            put_ints(&compress_auto(&ints), &mut w);
+        }
+        _ => w.put_u8(0),
+    }
+    match data {
+        ColData::Str(values) => {
+            w.put_u8(1); // value_part kind: strings (dict/raw decided inside)
+            put_strings(values, &mut w);
+        }
+        other => {
+            w.put_u8(0);
+            let mut ints = Vec::new();
+            other.to_i64s(&mut ints);
+            put_ints(&compress_auto(&ints), &mut w);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a chunk of `n` rows of type `ty`.
+/// Returns the values and the NULL indicator (None = no NULLs in chunk).
+pub fn decode_chunk(bytes: &[u8], ty: TypeId, n: usize) -> Result<(ColData, Option<Vec<bool>>)> {
+    let mut r = ByteReader::new(bytes);
+    let nulls = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let c = get_ints(&mut r)?;
+            if c.len != n {
+                return Err(VwError::Corruption(format!(
+                    "null indicator has {} rows, expected {n}",
+                    c.len
+                )));
+            }
+            let mut ints = Vec::new();
+            decompress_into(&c, &mut ints)?;
+            Some(ints.into_iter().map(|v| v != 0).collect())
+        }
+        t => return Err(VwError::Corruption(format!("unknown null part tag {t}"))),
+    };
+    let data = match r.get_u8()? {
+        0 => {
+            let c = get_ints(&mut r)?;
+            if c.len != n {
+                return Err(VwError::Corruption(format!(
+                    "value block has {} rows, expected {n}",
+                    c.len
+                )));
+            }
+            let mut ints = Vec::new();
+            decompress_into(&c, &mut ints)?;
+            ColData::from_i64s(ty, &ints)?
+        }
+        1 => {
+            if ty != TypeId::Str {
+                return Err(VwError::Corruption(format!(
+                    "string block for {} column",
+                    ty.sql_name()
+                )));
+            }
+            ColData::Str(get_strings(&mut r, n)?)
+        }
+        t => return Err(VwError::Corruption(format!("unknown value part tag {t}"))),
+    };
+    Ok((data, nulls))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Value;
+
+    fn roundtrip(data: ColData, nulls: Option<Vec<bool>>) {
+        let bytes = encode_chunk(&data, nulls.as_deref());
+        let (out, out_nulls) = decode_chunk(&bytes, data.type_id(), data.len()).unwrap();
+        assert_eq!(out, data);
+        let had_nulls = nulls.map(|m| m.iter().any(|&b| b)).unwrap_or(false);
+        assert_eq!(out_nulls.is_some(), had_nulls);
+    }
+
+    #[test]
+    fn fixed_types_roundtrip() {
+        roundtrip(ColData::I32((0..1000).collect()), None);
+        roundtrip(ColData::I64((0..1000).map(|i| i * 1_000_000).collect()), None);
+        roundtrip(ColData::I8((0..100).map(|i| (i % 7) as i8).collect()), None);
+        roundtrip(ColData::Bool((0..100).map(|i| i % 3 == 0).collect()), None);
+        roundtrip(ColData::Date((0..100).map(|i| 9000 + i).collect()), None);
+        roundtrip(ColData::F64((0..100).map(|i| i as f64 * 0.25).collect()), None);
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let data = ColData::I32((0..100).collect());
+        let mask: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect();
+        let bytes = encode_chunk(&data, Some(&mask));
+        let (_, out_nulls) = decode_chunk(&bytes, TypeId::I32, 100).unwrap();
+        assert_eq!(out_nulls.unwrap(), mask);
+    }
+
+    #[test]
+    fn all_false_null_mask_is_elided() {
+        let data = ColData::I32(vec![1, 2, 3]);
+        let mask = vec![false, false, false];
+        let bytes = encode_chunk(&data, Some(&mask));
+        let (_, out_nulls) = decode_chunk(&bytes, TypeId::I32, 3).unwrap();
+        assert!(out_nulls.is_none());
+    }
+
+    #[test]
+    fn low_cardinality_strings_use_dict() {
+        let values: Vec<String> = (0..1000).map(|i| ["A", "N", "R"][i % 3].into()).collect();
+        let data = ColData::Str(values);
+        let bytes = encode_chunk(&data, None);
+        assert!(bytes.len() < 1000, "dict should shrink 1000 flags to ~250 bytes");
+        roundtrip(data, None);
+    }
+
+    #[test]
+    fn unique_strings_stay_raw() {
+        let values: Vec<String> = (0..200).map(|i| format!("customer#{i:09}")).collect();
+        roundtrip(ColData::Str(values), None);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        for ty in [TypeId::I32, TypeId::Str, TypeId::F64] {
+            let data = ColData::new(ty);
+            roundtrip(data, None);
+        }
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let values = vec!["héllo".to_string(), "мир".into(), "日本".into(), String::new()];
+        roundtrip(ColData::Str(values), None);
+    }
+
+    #[test]
+    fn corrupted_chunk_detected() {
+        let data = ColData::I32((0..50).collect());
+        let mut bytes = encode_chunk(&data, None);
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_chunk(&bytes, TypeId::I32, 50).is_err());
+    }
+
+    #[test]
+    fn wrong_row_count_detected() {
+        let data = ColData::I32((0..50).collect());
+        let bytes = encode_chunk(&data, None);
+        assert!(decode_chunk(&bytes, TypeId::I32, 51).is_err());
+    }
+
+    #[test]
+    fn values_under_null_positions_are_safe() {
+        let mut data = ColData::new(TypeId::I64);
+        data.push_value(&Value::I64(5)).unwrap();
+        data.push_value(&Value::Null).unwrap();
+        let mask = vec![false, true];
+        let bytes = encode_chunk(&data, Some(&mask));
+        let (out, _) = decode_chunk(&bytes, TypeId::I64, 2).unwrap();
+        assert_eq!(out.get_value(1), Value::I64(0));
+    }
+}

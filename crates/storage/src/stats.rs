@@ -1,0 +1,257 @@
+//! Table statistics: row counts, distinct estimates and equi-depth
+//! histograms.
+//!
+//! The paper keeps Ingres' "solid, histogram-based query estimation" rather
+//! than writing a new optimizer. This module provides the equivalent
+//! statistics substrate: per-column equi-depth histograms built at load
+//! time, with the selectivity estimators the optimizer calls.
+
+use vw_common::hash::FxHashSet;
+use vw_common::{ColData, TypeId, Value};
+
+/// An equi-depth histogram over a numeric-comparable column.
+///
+/// `bounds` holds `k+1` boundary values delimiting `k` buckets of (roughly)
+/// equal row counts. Values are projected to `f64` for bucket arithmetic
+/// (dates via day number, strings via a 8-byte prefix projection).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket boundaries, ascending, length = buckets + 1.
+    pub bounds: Vec<f64>,
+    /// Rows represented (excluding NULLs).
+    pub total: u64,
+}
+
+/// Project a value onto the histogram domain.
+pub fn project(v: &Value) -> Option<f64> {
+    Some(match v {
+        Value::Null => return None,
+        Value::Bool(b) => *b as u8 as f64,
+        Value::I8(x) => *x as f64,
+        Value::I16(x) => *x as f64,
+        Value::I32(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        Value::F64(x) => *x,
+        Value::Date(d) => d.0 as f64,
+        Value::Str(s) => {
+            // Order-preserving 8-byte prefix projection.
+            let mut acc = 0.0f64;
+            for (i, b) in s.bytes().take(8).enumerate() {
+                acc += (b as f64) * 256f64.powi(6 - i as i32);
+            }
+            acc
+        }
+    })
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram with up to `buckets` buckets from
+    /// sampled projections.
+    pub fn build(mut samples: Vec<f64>, buckets: usize, total: u64) -> Option<Histogram> {
+        if samples.is_empty() || buckets == 0 {
+            return None;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let k = buckets.min(samples.len());
+        let mut bounds = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            let idx = (i * (samples.len() - 1)) / k;
+            bounds.push(samples[idx]);
+        }
+        // Duplicate boundaries are kept on purpose: for skewed data several
+        // equal-depth buckets collapse onto one value, and that multiplicity
+        // is exactly what encodes the skew.
+        Some(Histogram { bounds, total })
+    }
+
+    /// Estimated selectivity of `column < x` (fraction in [0,1]).
+    pub fn sel_lt(&self, x: f64) -> f64 {
+        let k = (self.bounds.len() - 1) as f64;
+        if x <= self.bounds[0] {
+            return 0.0;
+        }
+        if x > *self.bounds.last().unwrap() {
+            return 1.0;
+        }
+        // Each bucket holds 1/k of the rows; sum full buckets below x and
+        // interpolate inside the bucket containing x. Zero-width buckets
+        // (duplicate boundaries) count as full when below x.
+        let mut acc = 0.0;
+        for w in self.bounds.windows(2) {
+            let (b0, b1) = (w[0], w[1]);
+            if b1 < x {
+                acc += 1.0;
+            } else if b0 < x {
+                acc += if b1 > b0 { (x - b0) / (b1 - b0) } else { 1.0 };
+                break;
+            } else {
+                break;
+            }
+        }
+        (acc / k).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `lo <= column <= hi`.
+    pub fn sel_range(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let a = lo.map_or(0.0, |v| self.sel_lt(v));
+        let b = hi.map_or(1.0, |v| self.sel_lt(v));
+        (b - a).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column type.
+    pub ty: TypeId,
+    /// Distinct-value estimate.
+    pub n_distinct: u64,
+    /// NULL count.
+    pub null_count: u64,
+    /// Histogram over non-NULL values, if buildable.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Estimated selectivity of an equality predicate `column = const`.
+    pub fn sel_eq(&self) -> f64 {
+        if self.n_distinct == 0 {
+            return 0.0;
+        }
+        1.0 / self.n_distinct as f64
+    }
+}
+
+/// Statistics of a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count.
+    pub n_rows: u64,
+    /// Per-column stats, schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Maximum values sampled per column when building statistics.
+const SAMPLE_LIMIT: usize = 64 * 1024;
+
+impl TableStats {
+    /// Build statistics from full-column data (bulk-load path). Sampling
+    /// caps the work on very large tables.
+    pub fn build(columns: &[ColData], nulls: &[Option<Vec<bool>>], buckets: usize) -> TableStats {
+        let n_rows = columns.first().map_or(0, |c| c.len()) as u64;
+        let cols = columns
+            .iter()
+            .zip(nulls)
+            .map(|(col, mask)| {
+                let n = col.len();
+                let step = (n / SAMPLE_LIMIT).max(1);
+                let mut distinct: FxHashSet<u64> = FxHashSet::default();
+                let mut samples = Vec::with_capacity(n.min(SAMPLE_LIMIT));
+                let mut null_count = 0u64;
+                for i in (0..n).step_by(step) {
+                    if mask.as_ref().is_some_and(|m| m[i]) {
+                        null_count += 1;
+                        continue;
+                    }
+                    let v = col.get_value(i);
+                    if let Some(p) = project(&v) {
+                        distinct.insert(p.to_bits());
+                        samples.push(p);
+                    }
+                }
+                // Scale the sampled counts back up.
+                let scale = step as u64;
+                let n_distinct = (distinct.len() as u64).saturating_mul(1).max(1);
+                let histogram = Histogram::build(samples, buckets, n_rows - null_count * scale);
+                ColumnStats {
+                    ty: col.type_id(),
+                    n_distinct,
+                    null_count: null_count * scale,
+                    histogram,
+                }
+            })
+            .collect();
+        TableStats { n_rows, columns: cols }
+    }
+
+    /// Empty-table statistics with the right arity.
+    pub fn empty(types: &[TypeId]) -> TableStats {
+        TableStats {
+            n_rows: 0,
+            columns: types
+                .iter()
+                .map(|&ty| ColumnStats { ty, n_distinct: 0, null_count: 0, histogram: None })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equidepth_uniform() {
+        let samples: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let h = Histogram::build(samples, 10, 10_000).unwrap();
+        // Uniform data: sel_lt(5000) ≈ 0.5.
+        let s = h.sel_lt(5000.0);
+        assert!((s - 0.5).abs() < 0.05, "sel {s}");
+        assert_eq!(h.sel_lt(-1.0), 0.0);
+        assert_eq!(h.sel_lt(1e18), 1.0);
+    }
+
+    #[test]
+    fn equidepth_skewed() {
+        // 90% zeros, 10% spread: sel_lt(1) should be ≈ 0.9.
+        let mut samples = vec![0.0; 9000];
+        samples.extend((0..1000).map(|i| (i + 1) as f64));
+        let h = Histogram::build(samples, 20, 10_000).unwrap();
+        let s = h.sel_lt(1.0);
+        assert!(s > 0.7, "skew underestimated: {s}");
+    }
+
+    #[test]
+    fn range_selectivity() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(samples, 10, 1000).unwrap();
+        let s = h.sel_range(Some(250.0), Some(750.0));
+        assert!((s - 0.5).abs() < 0.1, "range sel {s}");
+        assert_eq!(h.sel_range(None, None), 1.0);
+    }
+
+    #[test]
+    fn constant_column() {
+        let h = Histogram::build(vec![5.0; 100], 10, 100).unwrap();
+        assert_eq!(h.sel_lt(5.0), 0.0);
+        assert_eq!(h.sel_lt(6.0), 1.0);
+    }
+
+    #[test]
+    fn string_projection_preserves_order() {
+        let a = project(&Value::Str("apple".into())).unwrap();
+        let b = project(&Value::Str("banana".into())).unwrap();
+        let c = project(&Value::Str("cherry".into())).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn table_stats_distincts_and_nulls() {
+        let col = ColData::I32((0..1000).map(|i| i % 10).collect());
+        let mask: Vec<bool> = (0..1000).map(|i| i % 4 == 0).collect();
+        let stats = TableStats::build(&[col], &[Some(mask)], 8);
+        assert_eq!(stats.n_rows, 1000);
+        let c = &stats.columns[0];
+        assert!(c.n_distinct <= 10);
+        assert_eq!(c.null_count, 250);
+        assert!((c.sel_eq() - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TableStats::empty(&[TypeId::I32, TypeId::Str]);
+        assert_eq!(s.n_rows, 0);
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0].sel_eq(), 0.0);
+    }
+}

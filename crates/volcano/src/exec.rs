@@ -1,0 +1,749 @@
+//! Tuple-at-a-time Volcano execution — the baseline the X100 papers measure
+//! conventional engines against.
+//!
+//! Every operator produces one row per `next()` call through a virtual
+//! call; expressions are interpreted per tuple over boxed [`Value`]s. This
+//! is deliberately the "conventional query engine" of the paper's >10×
+//! claim: correctness-equivalent to the vectorized kernel, but paying
+//! interpretation overhead per *value* instead of per *vector*.
+
+use crate::store::RowStore;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vw_common::{Result, Schema, TypeId, Value, VwError};
+use vw_storage::BufferPool;
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+/// Per-tuple interpreted scalar expression.
+#[derive(Debug, Clone)]
+pub enum ScalarExpr {
+    /// Column reference.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Arithmetic (`+ - * / %`) with SQL NULL propagation and checking.
+    Arith(char, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Comparison (`= != < <= > >=`) with three-valued logic.
+    Cmp(&'static str, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Conjunction.
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Disjunction.
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Not(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Evaluate against one row.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            ScalarExpr::Col(i) => Ok(row[*i].clone()),
+            ScalarExpr::Lit(v) => Ok(v.clone()),
+            ScalarExpr::Arith(op, l, r) => {
+                let a = l.eval(row)?;
+                let b = r.eval(row)?;
+                if a.is_null() || b.is_null() {
+                    return Ok(Value::Null);
+                }
+                // Numeric promotion, exactly as the vectorized kernel.
+                if a.type_id() == Some(TypeId::F64) || b.type_id() == Some(TypeId::F64) {
+                    let (x, y) = (a.as_f64()?, b.as_f64()?);
+                    if (*op == '/' || *op == '%') && y == 0.0 {
+                        return Err(VwError::DivideByZero);
+                    }
+                    Ok(Value::F64(match op {
+                        '+' => x + y,
+                        '-' => x - y,
+                        '*' => x * y,
+                        '/' => x / y,
+                        '%' => x % y,
+                        _ => return Err(VwError::Exec(format!("bad op {op}"))),
+                    }))
+                } else {
+                    let (x, y) = (a.as_i64()?, b.as_i64()?);
+                    let r = match op {
+                        '+' => x.checked_add(y),
+                        '-' => x.checked_sub(y),
+                        '*' => x.checked_mul(y),
+                        '/' => {
+                            if y == 0 {
+                                return Err(VwError::DivideByZero);
+                            }
+                            x.checked_div(y)
+                        }
+                        '%' => {
+                            if y == 0 {
+                                return Err(VwError::DivideByZero);
+                            }
+                            Some(x.wrapping_rem(y))
+                        }
+                        _ => return Err(VwError::Exec(format!("bad op {op}"))),
+                    };
+                    r.map(Value::I64).ok_or(VwError::Overflow("arith"))
+                }
+            }
+            ScalarExpr::Cmp(op, l, r) => {
+                let a = l.eval(row)?;
+                let b = r.eval(row)?;
+                Ok(match a.sql_cmp(&b) {
+                    None => Value::Null,
+                    Some(o) => Value::Bool(match *op {
+                        "=" => o == Ordering::Equal,
+                        "!=" => o != Ordering::Equal,
+                        "<" => o == Ordering::Less,
+                        "<=" => o != Ordering::Greater,
+                        ">" => o == Ordering::Greater,
+                        ">=" => o != Ordering::Less,
+                        _ => return Err(VwError::Exec(format!("bad cmp {op}"))),
+                    }),
+                })
+            }
+            ScalarExpr::And(l, r) => {
+                let a = l.eval(row)?;
+                let b = r.eval(row)?;
+                Ok(match (bool3(&a)?, bool3(&b)?) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            ScalarExpr::Or(l, r) => {
+                let a = l.eval(row)?;
+                let b = r.eval(row)?;
+                Ok(match (bool3(&a)?, bool3(&b)?) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            ScalarExpr::Not(e) => Ok(match bool3(&e.eval(row)?)? {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            }),
+        }
+    }
+
+    /// Predicate helper: TRUE or not (NULL = false).
+    pub fn eval_pred(&self, row: &Row) -> Result<bool> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
+    }
+}
+
+fn bool3(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(VwError::Exec(format!("expected boolean, got {other:?}"))),
+    }
+}
+
+/// The Volcano iterator interface: one row per call.
+pub trait TupleIterator: Send {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next row.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Boxed iterator.
+pub type BoxedIter = Box<dyn TupleIterator>;
+
+/// Heap-table scan.
+pub struct TupleScan {
+    store: Arc<RowStore>,
+    pool: Arc<BufferPool>,
+    page: usize,
+    buffer: Vec<Row>,
+    pos: usize,
+}
+
+impl TupleScan {
+    /// Scan all rows of `store`.
+    pub fn new(store: Arc<RowStore>, pool: Arc<BufferPool>) -> TupleScan {
+        TupleScan { store, pool, page: 0, buffer: Vec::new(), pos: 0 }
+    }
+}
+
+impl TupleIterator for TupleScan {
+    fn schema(&self) -> &Schema {
+        self.store.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if self.pos < self.buffer.len() {
+                let row = std::mem::take(&mut self.buffer[self.pos]);
+                self.pos += 1;
+                return Ok(Some(row));
+            }
+            if self.page >= self.store.n_pages() {
+                return Ok(None);
+            }
+            self.buffer = self.store.read_page(&self.pool, self.page)?;
+            self.page += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+/// In-memory row source (baseline benches over pre-materialized data).
+pub struct TupleValues {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl TupleValues {
+    /// Source over `rows`.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> TupleValues {
+        TupleValues { schema, rows: rows.into_iter() }
+    }
+}
+
+impl TupleIterator for TupleValues {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Tuple-at-a-time filter.
+pub struct TupleFilter {
+    input: BoxedIter,
+    predicate: ScalarExpr,
+}
+
+impl TupleFilter {
+    /// Filter `input` by `predicate`.
+    pub fn new(input: BoxedIter, predicate: ScalarExpr) -> TupleFilter {
+        TupleFilter { input, predicate }
+    }
+}
+
+impl TupleIterator for TupleFilter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.eval_pred(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Tuple-at-a-time projection.
+pub struct TupleProject {
+    input: BoxedIter,
+    exprs: Vec<ScalarExpr>,
+    schema: Schema,
+}
+
+impl TupleProject {
+    /// Map rows through `exprs`.
+    pub fn new(input: BoxedIter, exprs: Vec<ScalarExpr>, schema: Schema) -> TupleProject {
+        TupleProject { input, exprs, schema }
+    }
+}
+
+impl TupleIterator for TupleProject {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&row)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Aggregate specification for the tuple engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleAgg {
+    /// COUNT(*).
+    CountStar,
+    /// SUM(col).
+    Sum(usize),
+    /// MIN(col).
+    Min(usize),
+    /// MAX(col).
+    Max(usize),
+    /// AVG(col).
+    Avg(usize),
+    /// COUNT(col).
+    Count(usize),
+}
+
+/// Tuple-at-a-time hash aggregation.
+pub struct TupleAggregate {
+    input: Option<BoxedIter>,
+    group_cols: Vec<usize>,
+    aggs: Vec<TupleAgg>,
+    schema: Schema,
+    out: std::vec::IntoIter<Row>,
+    built: bool,
+}
+
+impl TupleAggregate {
+    /// Group `input` by `group_cols` computing `aggs`.
+    pub fn new(
+        input: BoxedIter,
+        group_cols: Vec<usize>,
+        aggs: Vec<TupleAgg>,
+        schema: Schema,
+    ) -> TupleAggregate {
+        TupleAggregate {
+            input: Some(input),
+            group_cols,
+            aggs,
+            schema,
+            out: Vec::new().into_iter(),
+            built: false,
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("build once");
+        // State per group: (sum f64, sum i64, count, min, max) per agg.
+        struct St {
+            sum_i: i64,
+            sum_f: f64,
+            count: i64,
+            min: Value,
+            max: Value,
+            is_float: bool,
+        }
+        let mut groups: HashMap<Vec<Value>, Vec<St>> = HashMap::new();
+        while let Some(row) = input.next()? {
+            let key: Vec<Value> = self.group_cols.iter().map(|&c| row[c].clone()).collect();
+            let states = groups.entry(key).or_insert_with(|| {
+                self.aggs
+                    .iter()
+                    .map(|_| St {
+                        sum_i: 0,
+                        sum_f: 0.0,
+                        count: 0,
+                        min: Value::Null,
+                        max: Value::Null,
+                        is_float: false,
+                    })
+                    .collect()
+            });
+            for (agg, st) in self.aggs.iter().zip(states.iter_mut()) {
+                match agg {
+                    TupleAgg::CountStar => st.count += 1,
+                    TupleAgg::Count(c) => {
+                        if !row[*c].is_null() {
+                            st.count += 1;
+                        }
+                    }
+                    TupleAgg::Sum(c) | TupleAgg::Avg(c) => {
+                        let v = &row[*c];
+                        if !v.is_null() {
+                            st.count += 1;
+                            if v.type_id() == Some(TypeId::F64) {
+                                st.is_float = true;
+                                st.sum_f += v.as_f64()?;
+                            } else {
+                                st.sum_i = st
+                                    .sum_i
+                                    .checked_add(v.as_i64()?)
+                                    .ok_or(VwError::Overflow("SUM"))?;
+                                st.sum_f += v.as_f64()?;
+                            }
+                        }
+                    }
+                    TupleAgg::Min(c) => {
+                        let v = &row[*c];
+                        if !v.is_null()
+                            && (st.min.is_null()
+                                || v.sql_cmp(&st.min) == Some(Ordering::Less))
+                        {
+                            st.min = v.clone();
+                        }
+                    }
+                    TupleAgg::Max(c) => {
+                        let v = &row[*c];
+                        if !v.is_null()
+                            && (st.max.is_null()
+                                || v.sql_cmp(&st.max) == Some(Ordering::Greater))
+                        {
+                            st.max = v.clone();
+                        }
+                    }
+                }
+            }
+        }
+        if self.group_cols.is_empty() && groups.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+            // Re-insert default states for the single global group.
+            let states = self
+                .aggs
+                .iter()
+                .map(|_| St {
+                    sum_i: 0,
+                    sum_f: 0.0,
+                    count: 0,
+                    min: Value::Null,
+                    max: Value::Null,
+                    is_float: false,
+                })
+                .collect();
+            groups.insert(Vec::new(), states);
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, states) in groups {
+            let mut row = key;
+            for (agg, st) in self.aggs.iter().zip(states) {
+                row.push(match agg {
+                    TupleAgg::CountStar | TupleAgg::Count(_) => Value::I64(st.count),
+                    TupleAgg::Sum(_) => {
+                        if st.count == 0 {
+                            Value::Null
+                        } else if st.is_float {
+                            Value::F64(st.sum_f)
+                        } else {
+                            Value::I64(st.sum_i)
+                        }
+                    }
+                    TupleAgg::Avg(_) => {
+                        if st.count == 0 {
+                            Value::Null
+                        } else {
+                            Value::F64(st.sum_f / st.count as f64)
+                        }
+                    }
+                    TupleAgg::Min(_) => st.min,
+                    TupleAgg::Max(_) => st.max,
+                });
+            }
+            rows.push(row);
+        }
+        self.out = rows.into_iter();
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl TupleIterator for TupleAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.built {
+            self.build()?;
+        }
+        Ok(self.out.next())
+    }
+}
+
+/// Tuple-at-a-time hash join (inner).
+pub struct TupleHashJoin {
+    left: BoxedIter,
+    right: Option<BoxedIter>,
+    left_key: usize,
+    right_key: usize,
+    schema: Schema,
+    table: HashMap<Value, Vec<Row>>,
+    pending: Vec<Row>,
+    built: bool,
+}
+
+impl TupleHashJoin {
+    /// Inner equi-join on one key column per side.
+    pub fn new(
+        left: BoxedIter,
+        right: BoxedIter,
+        left_key: usize,
+        right_key: usize,
+    ) -> TupleHashJoin {
+        let schema = left.schema().join(right.schema());
+        TupleHashJoin {
+            left,
+            right: Some(right),
+            left_key,
+            right_key,
+            schema,
+            table: HashMap::new(),
+            pending: Vec::new(),
+            built: false,
+        }
+    }
+}
+
+impl TupleIterator for TupleHashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.built {
+            let mut right = self.right.take().expect("build once");
+            while let Some(row) = right.next()? {
+                let k = row[self.right_key].clone();
+                if !k.is_null() {
+                    self.table.entry(k).or_default().push(row);
+                }
+            }
+            self.built = true;
+        }
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Ok(Some(row));
+            }
+            let Some(l) = self.left.next()? else {
+                return Ok(None);
+            };
+            let k = &l[self.left_key];
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.table.get(k) {
+                for r in matches {
+                    let mut out = l.clone();
+                    out.extend(r.iter().cloned());
+                    self.pending.push(out);
+                }
+            }
+        }
+    }
+}
+
+/// Materializing sort.
+pub struct TupleSort {
+    input: Option<BoxedIter>,
+    keys: Vec<(usize, bool)>,
+    schema: Schema,
+    out: std::vec::IntoIter<Row>,
+    built: bool,
+}
+
+impl TupleSort {
+    /// Sort by `(column, ascending)` keys.
+    pub fn new(input: BoxedIter, keys: Vec<(usize, bool)>) -> TupleSort {
+        let schema = input.schema().clone();
+        TupleSort { input: Some(input), keys, schema, out: Vec::new().into_iter(), built: false }
+    }
+}
+
+impl TupleIterator for TupleSort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.built {
+            let mut input = self.input.take().expect("build once");
+            let mut rows = Vec::new();
+            while let Some(r) = input.next()? {
+                rows.push(r);
+            }
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| {
+                for &(c, asc) in &keys {
+                    let o = a[c].sql_cmp(&b[c]).unwrap_or(Ordering::Equal);
+                    let o = if asc { o } else { o.reverse() };
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                Ordering::Equal
+            });
+            self.out = rows.into_iter();
+            self.built = true;
+        }
+        Ok(self.out.next())
+    }
+}
+
+/// LIMIT.
+pub struct TupleLimit {
+    input: BoxedIter,
+    remaining: usize,
+}
+
+impl TupleLimit {
+    /// Take the first `limit` rows.
+    pub fn new(input: BoxedIter, limit: usize) -> TupleLimit {
+        TupleLimit { input, remaining: limit }
+    }
+}
+
+impl TupleIterator for TupleLimit {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Drain an iterator to completion.
+pub fn collect_rows(it: &mut dyn TupleIterator) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(r) = it.next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Field;
+    use vw_storage::SimulatedDisk;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", TypeId::I64),
+            Field::nullable("grp", TypeId::Str),
+        ])
+        .unwrap()
+    }
+
+    fn values(n: i64) -> BoxedIter {
+        let rows = (0..n)
+            .map(|i| vec![Value::I64(i), Value::Str(format!("g{}", i % 3))])
+            .collect();
+        Box::new(TupleValues::new(schema(), rows))
+    }
+
+    #[test]
+    fn scan_from_heap_pages() {
+        let disk = SimulatedDisk::instant();
+        let pool = BufferPool::new(disk.clone(), 1 << 20);
+        let mut store = RowStore::new(disk, schema());
+        let rows: Vec<Row> = (0..500)
+            .map(|i| vec![Value::I64(i), Value::Str("x".into())])
+            .collect();
+        store.append_rows(&rows).unwrap();
+        let mut scan = TupleScan::new(Arc::new(store), pool);
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 500);
+        assert_eq!(got[499][0], Value::I64(499));
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let filter = TupleFilter::new(
+            values(100),
+            ScalarExpr::Cmp(
+                ">=",
+                Box::new(ScalarExpr::Col(0)),
+                Box::new(ScalarExpr::Lit(Value::I64(95))),
+            ),
+        );
+        let mut proj = TupleProject::new(
+            Box::new(filter),
+            vec![ScalarExpr::Arith(
+                '*',
+                Box::new(ScalarExpr::Col(0)),
+                Box::new(ScalarExpr::Lit(Value::I64(2))),
+            )],
+            Schema::new(vec![Field::not_null("x", TypeId::I64)]).unwrap(),
+        );
+        let rows = collect_rows(&mut proj).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], Value::I64(190));
+    }
+
+    #[test]
+    fn aggregate_matches_expectation() {
+        let mut agg = TupleAggregate::new(
+            values(9),
+            vec![1],
+            vec![TupleAgg::CountStar, TupleAgg::Sum(0)],
+            Schema::unchecked(vec![
+                Field::nullable("grp", TypeId::Str),
+                Field::not_null("cnt", TypeId::I64),
+                Field::nullable("sum", TypeId::I64),
+            ]),
+        );
+        let mut rows = collect_rows(&mut agg).unwrap();
+        rows.sort_by_key(|r| r[0].to_string());
+        assert_eq!(rows.len(), 3);
+        // g0: ids 0,3,6 → sum 9; g1: 1,4,7 → 12; g2: 2,5,8 → 15.
+        assert_eq!(rows[0][2], Value::I64(9));
+        assert_eq!(rows[1][2], Value::I64(12));
+        assert_eq!(rows[2][2], Value::I64(15));
+    }
+
+    #[test]
+    fn join_inner() {
+        let left = values(5);
+        let right_rows: Vec<Row> = vec![
+            vec![Value::I64(2), Value::Str("r2".into())],
+            vec![Value::I64(4), Value::Str("r4".into())],
+        ];
+        let right = Box::new(TupleValues::new(schema(), right_rows));
+        let mut join = TupleHashJoin::new(left, right, 0, 0);
+        let rows = collect_rows(&mut join).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 4);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let mut sorted = TupleSort::new(values(10), vec![(0, false)]);
+        let rows = collect_rows(&mut sorted).unwrap();
+        assert_eq!(rows[0][0], Value::I64(9));
+        let sorted = TupleSort::new(values(10), vec![(0, false)]);
+        let mut lim = TupleLimit::new(Box::new(sorted), 3);
+        assert_eq!(collect_rows(&mut lim).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn null_propagation_in_scalar_exprs() {
+        let row = vec![Value::Null, Value::I64(5)];
+        let e = ScalarExpr::Arith('+', Box::new(ScalarExpr::Col(0)), Box::new(ScalarExpr::Col(1)));
+        assert_eq!(e.eval(&row).unwrap(), Value::Null);
+        let e = ScalarExpr::Cmp("=", Box::new(ScalarExpr::Col(0)), Box::new(ScalarExpr::Col(1)));
+        assert_eq!(e.eval(&row).unwrap(), Value::Null);
+        let div = ScalarExpr::Arith(
+            '/',
+            Box::new(ScalarExpr::Col(1)),
+            Box::new(ScalarExpr::Lit(Value::I64(0))),
+        );
+        assert!(matches!(div.eval(&row), Err(VwError::DivideByZero)));
+    }
+
+    #[test]
+    fn global_aggregate_empty_input() {
+        let empty = Box::new(TupleValues::new(schema(), vec![]));
+        let mut agg = TupleAggregate::new(
+            empty,
+            vec![],
+            vec![TupleAgg::CountStar],
+            Schema::unchecked(vec![Field::not_null("cnt", TypeId::I64)]),
+        );
+        let rows = collect_rows(&mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::I64(0)]]);
+    }
+}

@@ -1,0 +1,252 @@
+//! NSM row storage ("classic" Ingres-style heap tables).
+//!
+//! Rows are serialized contiguously into fixed-capacity pages on the
+//! simulated disk. Any column access fetches whole rows — the property that
+//! makes NSM the wrong layout for analytical scans (benchmark C9) and the
+//! right one for OLTP point access.
+
+use std::sync::Arc;
+use vw_common::{Date, Result, Schema, TypeId, Value, VwError};
+use vw_storage::{BlockId, BufferPool, SimulatedDisk};
+
+/// Target page payload size in bytes.
+const PAGE_BYTES: usize = 64 * 1024;
+
+/// A heap table of serialized rows.
+pub struct RowStore {
+    schema: Schema,
+    disk: Arc<SimulatedDisk>,
+    pages: Vec<(BlockId, usize)>, // (block, row count)
+    n_rows: u64,
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value, ty: TypeId) -> Result<()> {
+    if v.is_null() {
+        buf.push(0);
+        return Ok(());
+    }
+    buf.push(1);
+    match (v, ty) {
+        (Value::Bool(b), TypeId::Bool) => buf.push(*b as u8),
+        (Value::I8(x), TypeId::I8) => buf.extend_from_slice(&x.to_le_bytes()),
+        (Value::I16(x), TypeId::I16) => buf.extend_from_slice(&x.to_le_bytes()),
+        (Value::I32(x), TypeId::I32) => buf.extend_from_slice(&x.to_le_bytes()),
+        (Value::I64(x), TypeId::I64) => buf.extend_from_slice(&x.to_le_bytes()),
+        (Value::F64(x), TypeId::F64) => buf.extend_from_slice(&x.to_le_bytes()),
+        (Value::Date(d), TypeId::Date) => buf.extend_from_slice(&d.0.to_le_bytes()),
+        (Value::Str(s), TypeId::Str) => {
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        (v, ty) => {
+            return Err(VwError::Storage(format!(
+                "row value {v:?} does not match column type {}",
+                ty.sql_name()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn get_value(buf: &[u8], pos: &mut usize, ty: TypeId) -> Result<Value> {
+    let eof = || VwError::Corruption("truncated row page".into());
+    let tag = *buf.get(*pos).ok_or_else(eof)?;
+    *pos += 1;
+    if tag == 0 {
+        return Ok(Value::Null);
+    }
+    macro_rules! take {
+        ($n:expr) => {{
+            let s = buf.get(*pos..*pos + $n).ok_or_else(eof)?;
+            *pos += $n;
+            s
+        }};
+    }
+    Ok(match ty {
+        TypeId::Bool => Value::Bool(take!(1)[0] != 0),
+        TypeId::I8 => Value::I8(i8::from_le_bytes(take!(1).try_into().unwrap())),
+        TypeId::I16 => Value::I16(i16::from_le_bytes(take!(2).try_into().unwrap())),
+        TypeId::I32 => Value::I32(i32::from_le_bytes(take!(4).try_into().unwrap())),
+        TypeId::I64 => Value::I64(i64::from_le_bytes(take!(8).try_into().unwrap())),
+        TypeId::F64 => Value::F64(f64::from_le_bytes(take!(8).try_into().unwrap())),
+        TypeId::Date => Value::Date(Date(i32::from_le_bytes(take!(4).try_into().unwrap()))),
+        TypeId::Str => {
+            let len = u32::from_le_bytes(take!(4).try_into().unwrap()) as usize;
+            let bytes = take!(len);
+            Value::Str(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|_| VwError::Corruption("invalid UTF-8 in row".into()))?,
+            )
+        }
+    })
+}
+
+impl RowStore {
+    /// Empty heap table.
+    pub fn new(disk: Arc<SimulatedDisk>, schema: Schema) -> RowStore {
+        RowStore { disk, schema, pages: Vec::new(), n_rows: 0 }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Append rows, packing them into ~64 KiB pages.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        let mut buf: Vec<u8> = Vec::with_capacity(PAGE_BYTES + 1024);
+        let mut count = 0usize;
+        for row in rows {
+            if row.len() != self.schema.len() {
+                return Err(VwError::Storage(format!(
+                    "row arity {} does not match schema {}",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+            for (v, f) in row.iter().zip(&self.schema.fields) {
+                if v.is_null() && !f.nullable {
+                    return Err(VwError::Storage(format!(
+                        "NULL in NOT NULL column {}",
+                        f.name
+                    )));
+                }
+                put_value(&mut buf, v, f.ty)?;
+            }
+            count += 1;
+            if buf.len() >= PAGE_BYTES {
+                let block = self.disk.write_new(std::mem::take(&mut buf));
+                self.pages.push((block, count));
+                self.n_rows += count as u64;
+                count = 0;
+            }
+        }
+        if count > 0 {
+            let block = self.disk.write_new(buf);
+            self.pages.push((block, count));
+            self.n_rows += count as u64;
+        }
+        Ok(())
+    }
+
+    /// Decode all rows of page `i` through the buffer pool.
+    pub fn read_page(&self, pool: &BufferPool, i: usize) -> Result<Vec<Vec<Value>>> {
+        let (block, count) = *self
+            .pages
+            .get(i)
+            .ok_or_else(|| VwError::Storage(format!("page {i} out of range")))?;
+        let bytes = pool.get(block)?;
+        let mut pos = 0usize;
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut row = Vec::with_capacity(self.schema.len());
+            for f in &self.schema.fields {
+                row.push(get_value(&bytes, &mut pos, f.ty)?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Bytes occupied on the device.
+    pub fn stored_bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|(b, _)| self.disk.block_size(*b).unwrap_or(0))
+            .sum()
+    }
+
+    /// Release all pages (DROP TABLE).
+    pub fn free_all(&self, pool: Option<&BufferPool>) {
+        for (b, _) in &self.pages {
+            if let Some(pool) = pool {
+                pool.invalidate(*b);
+            }
+            self.disk.free(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", TypeId::I64),
+            Field::nullable("name", TypeId::Str),
+            Field::nullable("d", TypeId::Date),
+        ])
+        .unwrap()
+    }
+
+    fn sample_rows(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::I64(i as i64),
+                    if i % 5 == 0 { Value::Null } else { Value::Str(format!("name{i}")) },
+                    Value::Date(Date(18000 + i as i32)),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_rows() {
+        let disk = SimulatedDisk::instant();
+        let pool = BufferPool::new(disk.clone(), 1 << 20);
+        let mut store = RowStore::new(disk, schema());
+        let rows = sample_rows(1000);
+        store.append_rows(&rows).unwrap();
+        assert_eq!(store.n_rows(), 1000);
+        let mut all = Vec::new();
+        for p in 0..store.n_pages() {
+            all.extend(store.read_page(&pool, p).unwrap());
+        }
+        assert_eq!(all, rows);
+    }
+
+    #[test]
+    fn pages_split_on_size() {
+        let disk = SimulatedDisk::instant();
+        let mut store = RowStore::new(disk, schema());
+        // ~30 bytes/row → >1 page for 5000 rows.
+        store.append_rows(&sample_rows(5000)).unwrap();
+        assert!(store.n_pages() > 1, "expected multiple pages");
+    }
+
+    #[test]
+    fn constraint_violations() {
+        let disk = SimulatedDisk::instant();
+        let mut store = RowStore::new(disk, schema());
+        assert!(store.append_rows(&[vec![Value::I64(1)]]).is_err());
+        assert!(store
+            .append_rows(&[vec![Value::Null, Value::Null, Value::Null]])
+            .is_err());
+        assert!(store
+            .append_rows(&[vec![Value::Str("x".into()), Value::Null, Value::Null]])
+            .is_err());
+    }
+
+    #[test]
+    fn free_all_releases() {
+        let disk = SimulatedDisk::instant();
+        let mut store = RowStore::new(disk.clone(), schema());
+        store.append_rows(&sample_rows(100)).unwrap();
+        assert!(disk.used_bytes() > 0);
+        store.free_all(None);
+        assert_eq!(disk.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! SQL semantics the paper calls treacherous: NULL three-valued logic,
+//! anti-join NULL intricacies, error detection, and the function battery.
+
+use vectorwise::common::{Value, VwError};
+use vectorwise::core::Database;
+use std::sync::Arc;
+
+fn db_with(ddl: &str, inserts: &[&str]) -> Arc<Database> {
+    let db = Database::open_in_memory();
+    db.execute(ddl).unwrap();
+    for i in inserts {
+        db.execute(i).unwrap();
+    }
+    db
+}
+
+#[test]
+fn not_in_with_null_semantics() {
+    // The paper: "intricacies of the SQL semantics of anti-joins".
+    let db = db_with(
+        "CREATE TABLE l (x BIGINT); CREATE TABLE r (y BIGINT)",
+        &[
+            "INSERT INTO l VALUES (1), (2), (NULL)",
+            "INSERT INTO r VALUES (1), (NULL)",
+        ],
+    );
+    // r contains NULL → NOT IN yields no rows at all.
+    let r = db.execute("SELECT x FROM l WHERE x NOT IN (SELECT y FROM r)").unwrap();
+    assert_eq!(r.rows().len(), 0, "NOT IN against a NULL-bearing set is empty");
+
+    // Remove the NULL → 2 qualifies, NULL probe is dropped.
+    let db = db_with(
+        "CREATE TABLE l (x BIGINT); CREATE TABLE r (y BIGINT)",
+        &["INSERT INTO l VALUES (1), (2), (NULL)", "INSERT INTO r VALUES (1)"],
+    );
+    let r = db.execute("SELECT x FROM l WHERE x NOT IN (SELECT y FROM r)").unwrap();
+    assert_eq!(r.rows(), &[vec![Value::I64(2)]]);
+
+    // Empty set → everything qualifies, NULL probes included.
+    let db = db_with(
+        "CREATE TABLE l (x BIGINT); CREATE TABLE r (y BIGINT)",
+        &["INSERT INTO l VALUES (1), (NULL)"],
+    );
+    let r = db.execute("SELECT COUNT(*) FROM l WHERE x NOT IN (SELECT y FROM r)").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(2));
+
+    // NOT EXISTS differs: NULLs don't poison it.
+    let db = db_with(
+        "CREATE TABLE l (x BIGINT); CREATE TABLE r (y BIGINT)",
+        &["INSERT INTO l VALUES (1), (2)", "INSERT INTO r VALUES (1), (NULL)"],
+    );
+    let r = db.execute("SELECT COUNT(*) FROM l WHERE NOT EXISTS (SELECT y FROM r)").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(0), "r is nonempty");
+}
+
+#[test]
+fn three_valued_logic_in_where() {
+    let db = db_with(
+        "CREATE TABLE t (x BIGINT)",
+        &["INSERT INTO t VALUES (1), (NULL), (3)"],
+    );
+    // NULL comparisons drop rows...
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE x > 0").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(2));
+    // ...NOT(NULL) stays NULL (dropped)...
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE NOT (x > 0)").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(0));
+    // ...IS NULL sees them.
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE x IS NULL").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(1));
+    // Aggregates skip NULLs; COUNT(*) does not.
+    let r = db.execute("SELECT COUNT(x), COUNT(*), SUM(x), AVG(x) FROM t").unwrap();
+    assert_eq!(
+        r.rows()[0],
+        vec![Value::I64(2), Value::I64(3), Value::I64(4), Value::F64(2.0)]
+    );
+}
+
+#[test]
+fn error_detection_is_exact_not_approximate() {
+    let db = db_with(
+        "CREATE TABLE t (x BIGINT, y BIGINT)",
+        &["INSERT INTO t VALUES (10, 2), (20, 0), (30, 5)"],
+    );
+    // Division by zero in row 2 must fail the query...
+    assert!(matches!(
+        db.execute("SELECT x / y FROM t"),
+        Err(VwError::DivideByZero)
+    ));
+    // ...but not when the filter removes the offending row first (lazy
+    // vectorized checking must respect selection vectors).
+    let r = db.execute("SELECT x / y FROM t WHERE y <> 0 ORDER BY 1").unwrap();
+    assert_eq!(r.rows(), &[vec![Value::I64(5)], vec![Value::I64(6)]]);
+    // Division by NULL is NULL, not an error.
+    db.execute("INSERT INTO t VALUES (40, NULL)").unwrap();
+    let r = db
+        .execute("SELECT x / y FROM t WHERE x = 40")
+        .unwrap();
+    assert!(r.rows()[0][0].is_null());
+    // Overflow detection.
+    db.execute("INSERT INTO t VALUES (9223372036854775807, 1)").unwrap();
+    assert!(matches!(
+        db.execute("SELECT x * 2 FROM t"),
+        Err(VwError::Overflow(_))
+    ));
+    // Invalid function parameters.
+    let db2 = db_with(
+        "CREATE TABLE s (v VARCHAR)",
+        &["INSERT INTO s VALUES ('abc')"],
+    );
+    assert!(matches!(
+        db2.execute("SELECT SUBSTR(v, 0) FROM s"),
+        Err(VwError::InvalidParameter(_))
+    ));
+    assert!(matches!(
+        db2.execute("SELECT SQRT(-1.0)"),
+        Err(VwError::InvalidParameter(_))
+    ));
+}
+
+#[test]
+fn function_battery() {
+    let db = Database::open_in_memory();
+    let checks: Vec<(&str, Value)> = vec![
+        ("SELECT UPPER('hello')", Value::Str("HELLO".into())),
+        ("SELECT LOWER('WORLD')", Value::Str("world".into())),
+        ("SELECT LENGTH('héllo')", Value::I64(5)),
+        ("SELECT SUBSTR('vectorwise', 7, 4)", Value::Str("wise".into())),
+        ("SELECT CONCAT('x100', '->vw')", Value::Str("x100->vw".into())),
+        ("SELECT TRIM('  pad  ')", Value::Str("pad".into())),
+        ("SELECT REPLACE('a-b-c', '-', '+')", Value::Str("a+b+c".into())),
+        ("SELECT ABS(-42)", Value::I64(42)),
+        ("SELECT SQRT(9.0)", Value::F64(3.0)),
+        ("SELECT FLOOR(2.7)", Value::F64(2.0)),
+        ("SELECT CEIL(2.1)", Value::F64(3.0)),
+        ("SELECT ROUND(2.5)", Value::F64(3.0)),
+        ("SELECT COALESCE(NULL, NULL, 5)", Value::I64(5)),
+        ("SELECT IFNULL(NULL, 'dflt')", Value::Str("dflt".into())),
+        ("SELECT NULLIF(7, 7)", Value::Null),
+        ("SELECT NULLIF(7, 8)", Value::I64(7)),
+        ("SELECT GREATEST(3, 9, 5)", Value::I64(9)),
+        ("SELECT LEAST(3, 9, 5)", Value::I64(3)),
+        ("SELECT SIGN(-12)", Value::I64(-1)),
+        ("SELECT EXTRACT(YEAR FROM DATE '1996-03-13')", Value::I64(1996)),
+        ("SELECT EXTRACT(QUARTER FROM DATE '1996-05-01')", Value::I64(2)),
+        ("SELECT DATEDIFF(DATE '1996-03-13', DATE '1996-03-01')", Value::I64(12)),
+        ("SELECT CAST('42' AS BIGINT)", Value::I64(42)),
+        ("SELECT CAST(3.9 AS BIGINT)", Value::I64(4)),
+        (
+            "SELECT CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END",
+            Value::Str("b".into()),
+        ),
+    ];
+    for (sql, expected) in checks {
+        let r = db.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert_eq!(r.scalar().unwrap(), &expected, "{sql}");
+    }
+}
+
+#[test]
+fn like_and_in_lists() {
+    let db = db_with(
+        "CREATE TABLE t (s VARCHAR, n BIGINT)",
+        &["INSERT INTO t VALUES ('apple', 1), ('apricot', 2), ('banana', 3), (NULL, 4)"],
+    );
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE s LIKE 'ap%'").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(2));
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE s NOT LIKE 'ap%'").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(1), "NULL row is dropped");
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE s LIKE '_pple'").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(1));
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE n IN (1, 3, 99)").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(2));
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE n NOT IN (1, 3)").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(2));
+}
+
+#[test]
+fn order_by_null_placement_and_limits() {
+    let db = db_with(
+        "CREATE TABLE t (x BIGINT)",
+        &["INSERT INTO t VALUES (3), (NULL), (1), (2)"],
+    );
+    let r = db.execute("SELECT x FROM t ORDER BY x ASC").unwrap();
+    assert!(r.rows()[3][0].is_null(), "ASC default: NULLS LAST");
+    let r = db.execute("SELECT x FROM t ORDER BY x ASC NULLS FIRST").unwrap();
+    assert!(r.rows()[0][0].is_null());
+    let r = db.execute("SELECT x FROM t ORDER BY x DESC LIMIT 2").unwrap();
+    assert_eq!(r.rows().len(), 2);
+    assert!(r.rows()[0][0].is_null(), "DESC default: NULLS FIRST");
+    let r = db.execute("SELECT x FROM t ORDER BY x LIMIT 2 OFFSET 1").unwrap();
+    assert_eq!(r.rows(), &[vec![Value::I64(2)], vec![Value::I64(3)]]);
+}
+
+#[test]
+fn left_outer_join_null_padding() {
+    let db = db_with(
+        "CREATE TABLE a (k BIGINT, v VARCHAR); CREATE TABLE b (k BIGINT, w VARCHAR)",
+        &[
+            "INSERT INTO a VALUES (1, 'x'), (2, 'y')",
+            "INSERT INTO b VALUES (1, 'match')",
+        ],
+    );
+    let r = db
+        .execute("SELECT a.v, b.w FROM a LEFT JOIN b ON a.k = b.k ORDER BY a.v")
+        .unwrap();
+    assert_eq!(r.rows()[0], vec![Value::Str("x".into()), Value::Str("match".into())]);
+    assert_eq!(r.rows()[1], vec![Value::Str("y".into()), Value::Null]);
+}
+
+#[test]
+fn having_and_expressions_over_aggregates() {
+    let db = db_with(
+        "CREATE TABLE t (g VARCHAR, v BIGINT)",
+        &["INSERT INTO t VALUES ('a',1),('a',2),('b',10),('b',20),('c',5)"],
+    );
+    let r = db
+        .execute(
+            "SELECT g, SUM(v) * 2 AS double_sum FROM t GROUP BY g \
+             HAVING SUM(v) > 4 ORDER BY double_sum DESC",
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows(),
+        &[
+            vec![Value::Str("b".into()), Value::I64(60)],
+            vec![Value::Str("c".into()), Value::I64(10)],
+        ]
+    );
+}

@@ -1,0 +1,136 @@
+//! Cross-crate transaction behaviour: isolation, conflicts, checkpoints,
+//! and DML/scan interaction through the PDT merge path.
+
+use vectorwise::common::{Value, VwError};
+use vectorwise::core::Database;
+
+#[test]
+fn updates_visible_through_merge_scan_before_checkpoint() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (k BIGINT NOT NULL, v BIGINT)").unwrap();
+    let cols = vec![
+        vectorwise::common::ColData::I64((0..10_000).collect()),
+        vectorwise::common::ColData::I64(vec![1; 10_000]),
+    ];
+    vectorwise::core::bulk_load(&db, "t", &cols, &[None, None]).unwrap();
+
+    db.execute("UPDATE t SET v = 100 WHERE k < 10").unwrap();
+    db.execute("DELETE FROM t WHERE k >= 9990").unwrap();
+    db.execute("INSERT INTO t VALUES (20000, 7)").unwrap();
+
+    let r = db.execute("SELECT COUNT(*), SUM(v) FROM t").unwrap();
+    // 10000 - 10 deleted + 1 insert = 9991 rows;
+    // sum = 9990*1 - 10*1 + 10*100 + 7 = 9990 - 10 + 1000 + 7.
+    assert_eq!(r.rows()[0][0], Value::I64(9991));
+    assert_eq!(r.rows()[0][1], Value::I64(9980 + 1000 + 7));
+
+    // Checkpoint materializes the same image.
+    db.execute("CHECKPOINT t").unwrap();
+    let r2 = db.execute("SELECT COUNT(*), SUM(v) FROM t").unwrap();
+    assert_eq!(r.rows(), r2.rows());
+}
+
+#[test]
+fn open_transaction_sees_its_own_writes() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let mut s = db.session();
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t VALUES (2)").unwrap();
+    s.execute("UPDATE t SET x = 10 WHERE x = 1").unwrap();
+    // The session's reads run against its private image.
+    let r = s.execute("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(12));
+    // Others still see the committed state.
+    let r = db.execute("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(1));
+    s.execute("COMMIT").unwrap();
+    let r = db.execute("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(12));
+}
+
+#[test]
+fn rollback_discards_everything() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    let mut s = db.session();
+    s.execute("BEGIN").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    s.execute("ROLLBACK").unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(0));
+    assert!(matches!(s.execute("COMMIT"), Err(VwError::TxnState(_))));
+}
+
+#[test]
+fn conflicting_updates_abort_second_writer() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let mut a = db.session();
+    let mut b = db.session();
+    a.execute("BEGIN; UPDATE t SET x = 10 WHERE x = 1").unwrap();
+    b.execute("BEGIN; UPDATE t SET x = 20 WHERE x = 1").unwrap();
+    a.execute("COMMIT").unwrap();
+    assert!(matches!(b.execute("COMMIT"), Err(VwError::TxnConflict(_))));
+    let r = db.execute("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(12));
+}
+
+#[test]
+fn checkpoint_invalidates_inflight_transactions() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (x BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let mut s = db.session();
+    s.execute("BEGIN; UPDATE t SET x = 5").unwrap();
+    db.execute("CHECKPOINT t").unwrap();
+    assert!(matches!(s.execute("COMMIT"), Err(VwError::TxnConflict(_))));
+    let r = db.execute("SELECT SUM(x) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(1), "aborted txn left no trace");
+}
+
+#[test]
+fn heavy_delta_workload_stays_consistent() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (k BIGINT NOT NULL, v BIGINT)").unwrap();
+    let n = 5_000i64;
+    let cols = vec![
+        vectorwise::common::ColData::I64((0..n).collect()),
+        vectorwise::common::ColData::I64(vec![0; n as usize]),
+    ];
+    vectorwise::core::bulk_load(&db, "t", &cols, &[None, None]).unwrap();
+    // Interleave DML and checkpoints.
+    for round in 0..5 {
+        db.execute(&format!("UPDATE t SET v = {round} WHERE k % 10 = {round}")).unwrap();
+        db.execute(&format!("DELETE FROM t WHERE k % 100 = {}", 50 + round)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({}, -1)", 100_000 + round)).unwrap();
+        if round % 2 == 1 {
+            db.execute("CHECKPOINT t").unwrap();
+        }
+        // Invariant: count matches an independent aggregate each round.
+        let c1 = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        let c2 = db.execute("SELECT COUNT(*) FROM t WHERE k >= 0").unwrap();
+        assert_eq!(c1.rows(), c2.rows(), "round {round}");
+    }
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE v = -1").unwrap();
+    assert_eq!(r.scalar().unwrap(), &Value::I64(5));
+}
+
+#[test]
+fn update_expressions_use_old_row_values() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    // Swap-flavored update: both SETs read the pre-update row.
+    db.execute("UPDATE t SET a = b, b = a").unwrap();
+    let r = db.execute("SELECT a, b FROM t ORDER BY a").unwrap();
+    assert_eq!(
+        r.rows(),
+        &[
+            vec![Value::I64(10), Value::I64(1)],
+            vec![Value::I64(20), Value::I64(2)],
+        ]
+    );
+}
