@@ -1,0 +1,236 @@
+//! C12: flat vectorized hash table vs. the old `FxHashMap<u64, Vec<u32>>`.
+//!
+//! Reproduces the operator-internal data-structure experiment behind the
+//! hash join / aggregation rewrite: build and probe throughput at varying
+//! build cardinalities and probe match rates, old-map baseline vs. the
+//! [`vw_exec::hashtable::FlatTable`]. Also proves the acceptance criterion
+//! that the steady-state vectorized probe loop performs **zero heap
+//! allocations** once its scratch buffers are warm, via a counting global
+//! allocator.
+
+use criterion::{black_box, criterion_group, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use vw_common::hash::{hash_u64, FxHashMap};
+use vw_common::ColData;
+use vw_exec::hashtable::{self, FlatTable};
+use vw_exec::Vector;
+
+// ---------------------------------------------------------------------------
+// counting allocator (steady-state allocation proof)
+// ---------------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// workload
+// ---------------------------------------------------------------------------
+
+const VECTOR: usize = 1024;
+
+/// Build-side keys: `n` uniform draws from a `2n` domain (≈ half distinct).
+fn build_keys(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..2 * n as i64)).collect()
+}
+
+/// Probe keys with roughly `match_pct`% of lanes drawn from the build
+/// domain and the rest guaranteed misses.
+fn probe_keys(n_probe: usize, build_domain: i64, match_pct: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_probe)
+        .map(|_| {
+            if rng.gen_range(0..100usize) < match_pct {
+                rng.gen_range(0..build_domain)
+            } else {
+                build_domain + rng.gen_range(0..build_domain)
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// old-map baseline: FxHashMap<u64, Vec<u32>> exactly as the old operators
+// kept it — bucket Vec per distinct hash, tuple-at-a-time probe.
+// ---------------------------------------------------------------------------
+
+fn map_build(keys: &[i64]) -> FxHashMap<u64, Vec<u32>> {
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, &k) in keys.iter().enumerate() {
+        table.entry(hash_u64(k as u64)).or_default().push(i as u32);
+    }
+    table
+}
+
+fn map_probe(table: &FxHashMap<u64, Vec<u32>>, build: &[i64], probe: &[i64]) -> u64 {
+    let mut hits = 0u64;
+    for &k in probe {
+        if let Some(bucket) = table.get(&hash_u64(k as u64)) {
+            for &r in bucket {
+                if build[r as usize] == k {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// flat table: vectorized build + probe through the real kernels
+// ---------------------------------------------------------------------------
+
+struct FlatSide {
+    table: FlatTable,
+    keys: Vec<Vector>,
+}
+
+fn flat_build(keys: &[i64]) -> FlatSide {
+    let mut table = FlatTable::with_capacity(keys.len());
+    let key_vec = vec![Vector::new(ColData::I64(keys.to_vec()))];
+    let (mut lanes, mut hashes) = (Vec::new(), Vec::new());
+    for chunk in keys.chunks(VECTOR) {
+        let chunk_vec = vec![Vector::new(ColData::I64(chunk.to_vec()))];
+        hashtable::hash_keys(&chunk_vec, chunk.len(), false, &mut lanes, &mut hashes);
+        table.insert_batch(&hashes, None);
+    }
+    table.finalize();
+    FlatSide { table, keys: key_vec }
+}
+
+/// Reusable probe scratch mirroring the operator's (allocation-free once
+/// warm).
+#[derive(Default)]
+struct Scratch {
+    buf: hashtable::ProbeBuf,
+    matched_flags: Vec<bool>,
+    out_probe: Vec<u32>,
+    out_build: Vec<u32>,
+}
+
+/// The vectorized probe loop over pre-chunked probe vectors; the counted /
+/// timed region is exactly what the operators run per batch — the fused
+/// single-column i64 kernel (`FlatTable::probe_join`) with reused scratch.
+fn flat_probe(side: &FlatSide, chunks: &[Vec<Vector>], s: &mut Scratch) -> u64 {
+    let mut hits = 0u64;
+    let mut steps = 0u64;
+    let build = side.keys[0].data.as_i64();
+    for chunk in chunks {
+        let n = chunk[0].len();
+        if s.matched_flags.len() < n {
+            s.matched_flags.resize(n, false);
+        }
+        s.matched_flags[..n].fill(false);
+        s.out_probe.clear();
+        s.out_build.clear();
+        let probe = chunk[0].data.as_i64();
+        side.table.probe_join(
+            n,
+            None,
+            true,
+            |p| hash_u64(probe[p] as u64),
+            |p, row| probe[p] == build[row as usize],
+            &mut s.matched_flags,
+            &mut s.out_probe,
+            &mut s.out_build,
+            &mut s.buf,
+            &mut steps,
+        );
+        hits += s.out_probe.len() as u64;
+    }
+    hits
+}
+
+fn chunked(probe: &[i64]) -> Vec<Vec<Vector>> {
+    probe
+        .chunks(VECTOR)
+        .map(|c| vec![Vector::new(ColData::I64(c.to_vec()))])
+        .collect()
+}
+
+/// Acceptance check: after one warm-up pass, a full probe pass over 64
+/// batches must allocate nothing.
+fn steady_state_alloc_check() {
+    let n = 1 << 16;
+    let build = build_keys(n, 1);
+    let side = flat_build(&build);
+    let probe = probe_keys(64 * VECTOR, 2 * n as i64, 50, 2);
+    let chunks = chunked(&probe);
+    let mut s = Scratch::default();
+    let warm = flat_probe(&side, &chunks, &mut s); // warm the scratch
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let hits = flat_probe(&side, &chunks, &mut s);
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(hits, warm);
+    assert_eq!(
+        allocated, 0,
+        "steady-state vectorized probe loop must not allocate"
+    );
+    println!("steady-state probe allocations over 64 batches: {allocated} (OK)");
+}
+
+fn bench(c: &mut Criterion) {
+    steady_state_alloc_check();
+
+    let mut g = c.benchmark_group("c12_hashtable");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
+
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let build = build_keys(n, 1);
+        g.bench_function(format!("build_map_{n}"), |b| {
+            b.iter(|| black_box(map_build(&build)).len())
+        });
+        g.bench_function(format!("build_flat_{n}"), |b| {
+            b.iter(|| black_box(flat_build(&build)).table.len())
+        });
+
+        let map = map_build(&build);
+        let flat = flat_build(&build);
+        let mut s = Scratch::default();
+        for &pct in &[95usize, 50, 5] {
+            let probe = probe_keys(64 * VECTOR, 2 * n as i64, pct, 7);
+            let chunks = chunked(&probe);
+            let expect = map_probe(&map, &build, &probe);
+            assert_eq!(flat_probe(&flat, &chunks, &mut s), expect, "probe results differ");
+            g.bench_function(format!("probe_map_{n}_match{pct}"), |b| {
+                b.iter(|| black_box(map_probe(&map, &build, &probe)))
+            });
+            g.bench_function(format!("probe_flat_{n}_match{pct}"), |b| {
+                b.iter(|| black_box(flat_probe(&flat, &chunks, &mut s)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+}

@@ -13,11 +13,5 @@ fn bench(c: &mut Criterion) {
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-fn quick(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
-    g.sample_size(10)
-        .measurement_time(Duration::from_millis(500))
-        .warm_up_time(Duration::from_millis(150));
-}
-
 criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -196,6 +196,38 @@ impl ColData {
         }
     }
 
+    /// Gather `idx` from `other` and append, except that lanes equal to
+    /// `sentinel` append the type's safe default instead of reading `other`
+    /// (the caller marks those lanes NULL — outer-join padding).
+    pub fn extend_gather_padded(&mut self, other: &ColData, idx: &[u32], sentinel: u32) {
+        macro_rules! gather_padded {
+            ($a:expr, $b:expr, $default:expr) => {
+                $a.extend(idx.iter().map(|&i| {
+                    if i == sentinel {
+                        $default
+                    } else {
+                        $b[i as usize].clone()
+                    }
+                }))
+            };
+        }
+        match (self, other) {
+            (ColData::Bool(a), ColData::Bool(b)) => gather_padded!(a, b, false),
+            (ColData::I8(a), ColData::I8(b)) => gather_padded!(a, b, 0),
+            (ColData::I16(a), ColData::I16(b)) => gather_padded!(a, b, 0),
+            (ColData::I32(a), ColData::I32(b)) => gather_padded!(a, b, 0),
+            (ColData::I64(a), ColData::I64(b)) => gather_padded!(a, b, 0),
+            (ColData::F64(a), ColData::F64(b)) => gather_padded!(a, b, 0.0),
+            (ColData::Str(a), ColData::Str(b)) => gather_padded!(a, b, String::new()),
+            (ColData::Date(a), ColData::Date(b)) => gather_padded!(a, b, 0),
+            (a, b) => panic!(
+                "extend_gather_padded type mismatch: {} vs {}",
+                a.type_id(),
+                b.type_id()
+            ),
+        }
+    }
+
     /// Overwrite position `i` with a value (PDT merge path).
     pub fn set_value(&mut self, i: usize, val: &Value) -> Result<()> {
         if val.is_null() {

@@ -58,6 +58,39 @@ impl SelVec {
         self.positions.clear();
     }
 
+    /// Replace the contents with `positions` without reallocating when
+    /// capacity suffices. Debug-asserts sortedness like
+    /// [`SelVec::from_positions`]; the hash-table probe loop uses this to
+    /// ping-pong lane sets between scratch buffers allocation-free.
+    pub fn clear_and_extend_from_slice(&mut self, positions: &[u32]) {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "selection must be sorted"
+        );
+        self.positions.clear();
+        self.positions.extend_from_slice(positions);
+    }
+
+    /// Replace the contents with the identity selection `0..n`, retaining
+    /// the allocation (batch-local live sets when `Batch::sel` is `None`).
+    pub fn fill_identity(&mut self, n: usize) {
+        self.positions.clear();
+        self.positions.extend(0..n as u32);
+    }
+
+    /// Copy the positions satisfying `keep` into `out` (cleared first).
+    /// Preserves sortedness by construction; this is the narrowing step of
+    /// vectorized probe loops — each re-probe round retains only the lanes
+    /// that still have a candidate chain entry.
+    pub fn retain_from(&self, mut keep: impl FnMut(usize) -> bool, out: &mut SelVec) {
+        out.clear();
+        for p in self.iter() {
+            if keep(p) {
+                out.positions.push(p as u32);
+            }
+        }
+    }
+
     /// Append a position; caller maintains sortedness.
     #[inline]
     pub fn push(&mut self, pos: u32) {
@@ -176,5 +209,48 @@ mod tests {
         let mut s = SelVec::new();
         s.push(5);
         s.push(3);
+    }
+
+    #[test]
+    fn retain_from_narrows_and_stays_sorted() {
+        let s = SelVec::from_positions(vec![1, 4, 5, 8, 9]);
+        let mut out = SelVec::new();
+        s.retain_from(|p| p % 2 == 0, &mut out);
+        assert_eq!(out.as_slice(), &[4, 8]);
+        assert!(out.as_slice().windows(2).all(|w| w[0] < w[1]));
+        // Retaining nothing leaves an empty (still valid) selection.
+        s.retain_from(|_| false, &mut out);
+        assert!(out.is_empty());
+        // Retaining everything is the identity on the input.
+        s.retain_from(|_| true, &mut out);
+        assert_eq!(out.as_slice(), s.as_slice());
+    }
+
+    #[test]
+    fn clear_and_extend_from_slice_reuses_allocation() {
+        let mut s = SelVec::with_capacity(64);
+        s.clear_and_extend_from_slice(&[0, 3, 7]);
+        assert_eq!(s.as_slice(), &[0, 3, 7]);
+        let cap = s.positions.capacity();
+        s.clear_and_extend_from_slice(&[2, 5]);
+        assert_eq!(s.as_slice(), &[2, 5]);
+        assert_eq!(s.positions.capacity(), cap, "no reallocation");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn clear_and_extend_unsorted_debug_panics() {
+        let mut s = SelVec::new();
+        s.clear_and_extend_from_slice(&[5, 3]);
+    }
+
+    #[test]
+    fn fill_identity_resets_contents() {
+        let mut s = SelVec::from_positions(vec![9, 12]);
+        s.fill_identity(3);
+        assert_eq!(s.as_slice(), &[0, 1, 2]);
+        s.fill_identity(0);
+        assert!(s.is_empty());
     }
 }

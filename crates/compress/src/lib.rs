@@ -331,7 +331,7 @@ mod tests {
         let mut values = Vec::new();
         for r in 0..100i64 {
             let v = r.wrapping_mul(0x9E3779B97F4A7C15u64 as i64);
-            values.extend(std::iter::repeat(v).take(100));
+            values.extend(std::iter::repeat_n(v, 100));
         }
         assert_eq!(choose_encoding(&values), Encoding::Rle);
         let c = compress_auto(&values);

@@ -83,7 +83,7 @@ mod tests {
     fn blocks_of_runs() {
         let mut values = Vec::new();
         for v in 0..50i64 {
-            values.extend(std::iter::repeat(v).take(37));
+            values.extend(std::iter::repeat_n(v, 37));
         }
         roundtrip(&values);
     }

@@ -318,9 +318,8 @@ pub fn update(
     })();
     if auto {
         let txn = session.txn.take().unwrap();
-        match &result {
-            Ok(_) => commit(&db, txn)?,
-            Err(_) => {}
+        if result.is_ok() {
+            commit(&db, txn)?;
         }
     }
     result
@@ -353,9 +352,8 @@ pub fn delete(
     })();
     if auto {
         let txn = session.txn.take().unwrap();
-        match &result {
-            Ok(_) => commit(&db, txn)?,
-            Err(_) => {}
+        if result.is_ok() {
+            commit(&db, txn)?;
         }
     }
     result

@@ -1,0 +1,1242 @@
+//! Flat vectorized hash table — the shared engine under hash join and hash
+//! aggregation.
+//!
+//! The X100 lesson this module applies: operator-internal data structures
+//! decide whether the hot loop stays a tight, allocation-free, vector-at-a-
+//! time primitive. The previous implementation funneled every probe row
+//! through a `FxHashMap<u64, Vec<u32>>` — a heap-allocated bucket `Vec` per
+//! distinct key and a tuple-at-a-time map lookup per row. This table
+//! replaces it with:
+//!
+//! * a power-of-two **directory** of `u32` chain heads indexed by the low
+//!   bits of the key hash (`EMPTY` marks a free bucket);
+//! * a **`next` chain array** parallel to the contiguously numbered build
+//!   rows — row `r`'s bucket successor is `next[r]`, so collision chains
+//!   live in one flat allocation instead of many little `Vec`s;
+//! * the **full 64-bit hash per row**, so probe lanes reject mismatched
+//!   candidates with one integer compare before any key comparison.
+//!
+//! The table stores *only* hashes and links. Key and payload columns live in
+//! ordinary contiguous [`Vector`]s owned by the operator, indexed by row id
+//! — which is what makes the probe a gather over columnar data rather than
+//! a pointer chase through per-key heap nodes.
+//!
+//! Probing is fully vectorized: hash the whole key vector with the
+//! `vw_common::hash` kernels ([`hash_keys`]), gather hash-matching
+//! candidates for all lanes ([`FlatTable::gather_matching`]), then
+//! iteratively confirm keys and re-probe only the still-unmatched lanes
+//! via a [`SelVec`] ([`keys_match_sel`] → [`FlatTable::advance_matching`]).
+//! Single-column keys take a fused, type-monomorphized fast path instead
+//! ([`FlatTable::probe_join`] / [`FlatTable::probe_groups`]) that stages
+//! hash → prefetch → scan across the whole vector. Hash join additionally
+//! [`finalize`](FlatTable::finalize)s its build into a bucket-grouped
+//! contiguous (CSR) layout whose probes are short sequential scans. All
+//! scratch buffers are caller-owned and reused across batches, so the
+//! steady-state probe loop performs no allocations.
+
+use crate::primitives;
+use crate::vector::Vector;
+use vw_common::hash::{hash_bytes, hash_u64};
+use vw_common::{ColData, SelVec};
+
+/// Sentinel row id: a free directory bucket or the end of a chain.
+pub const EMPTY: u32 = u32::MAX;
+
+/// Lane value hashed in place of NULL keys when NULLs form their own group
+/// (GROUP BY semantics). Collisions with real data are resolved by the
+/// NULL-aware key comparison, so this only affects chain length.
+const NULL_KEY_LANE: u64 = 0x6b43_1293_9e1f_75adu64;
+
+/// One chain entry: the row's full hash and its bucket successor, packed
+/// together so a chain step costs a single cache line instead of one miss
+/// in a hash array plus one in a next array.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    hash: u64,
+    next: u32,
+}
+
+/// One finalized (CSR) slot: a row's full hash and its row id, stored
+/// bucket-grouped and contiguous so probing a bucket is a short sequential
+/// scan instead of a pointer chase.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    row: u32,
+}
+
+/// Open-addressing directory + chain array over contiguous build rows.
+///
+/// Two layouts share this type:
+///
+/// * **chain mode** (initial): `heads[h & mask]` points at the newest row
+///   of the bucket; rows link through `entries[row].next`. Supports
+///   incremental find-or-insert — hash aggregation lives here.
+/// * **finalized mode** (after [`FlatTable::finalize`]): entries are
+///   counting-sorted into bucket-grouped contiguous `slots` with a CSR
+///   `offsets` directory. Probing a bucket becomes a bounded sequential
+///   scan — the layout hash join probes after its build phase completes.
+///   Finalized tables reject further inserts.
+#[derive(Debug, Clone)]
+pub struct FlatTable {
+    /// Chain-mode directory (empty once finalized).
+    heads: Vec<u32>,
+    /// Chain-mode entries, indexed by row id (empty once finalized).
+    entries: Vec<Entry>,
+    /// Finalized CSR directory: bucket `b` owns `slots[offsets[b]..offsets[b + 1]]`.
+    offsets: Vec<u32>,
+    /// Finalized bucket-grouped slots.
+    slots: Vec<Slot>,
+    /// Finalized per-bucket 8-bit bloom tag (one bit per resident hash's
+    /// high bits). One byte per bucket keeps the array dense enough to stay
+    /// cache-resident, so most probe *misses* resolve without ever touching
+    /// the (much larger) offsets or slot arrays — the same trick behind
+    /// SwissTable control bytes and Vectorwise's bloom-filtered joins.
+    bloom: Vec<u8>,
+    finalized: bool,
+    mask: u64,
+}
+
+/// Bloom tag bit for hash `h`: derived from bits far above the bucket
+/// index so tag and bucket stay independent.
+#[inline(always)]
+fn bloom_bit(h: u64) -> u8 {
+    1u8 << ((h >> 57) & 7)
+}
+
+impl Default for FlatTable {
+    fn default() -> FlatTable {
+        FlatTable::new()
+    }
+}
+
+impl FlatTable {
+    /// An empty table.
+    pub fn new() -> FlatTable {
+        FlatTable::with_capacity(0)
+    }
+
+    /// An empty table sized for `rows` build rows without regrowing.
+    pub fn with_capacity(rows: usize) -> FlatTable {
+        let dir = directory_size(rows);
+        FlatTable {
+            heads: vec![EMPTY; dir],
+            entries: Vec::with_capacity(rows),
+            offsets: Vec::new(),
+            slots: Vec::new(),
+            bloom: Vec::new(),
+            finalized: false,
+            mask: dir as u64 - 1,
+        }
+    }
+
+    /// Number of inserted rows.
+    pub fn len(&self) -> usize {
+        if self.finalized {
+            self.slots.len()
+        } else {
+            self.entries.len()
+        }
+    }
+
+    /// True when no rows have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Directory size (power of two) — exposed for bench introspection.
+    pub fn directory_len(&self) -> usize {
+        if self.finalized {
+            self.offsets.len() - 1
+        } else {
+            self.heads.len()
+        }
+    }
+
+    /// Has [`FlatTable::finalize`] run?
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    #[inline]
+    fn bucket(&self, h: u64) -> usize {
+        (h & self.mask) as usize
+    }
+
+    /// Pre-size for `additional` more rows so [`FlatTable::insert`] will not
+    /// rebuild mid-batch.
+    pub fn reserve(&mut self, additional: usize) {
+        debug_assert!(!self.finalized, "reserve on finalized table");
+        let need = directory_size(self.len() + additional);
+        if need > self.heads.len() {
+            self.rebuild_directory(need);
+        }
+        self.entries.reserve(additional);
+    }
+
+    /// Insert the next row (id = current [`FlatTable::len`]) with hash `h`;
+    /// returns the new row id. New rows prepend to their bucket chain.
+    #[inline]
+    pub fn insert(&mut self, h: u64) -> u32 {
+        debug_assert!(!self.finalized, "insert on finalized table");
+        if (self.len() + 1) * 2 > self.heads.len() {
+            self.rebuild_directory(self.heads.len() * 2);
+        }
+        let row = self.entries.len() as u32;
+        assert!(row != EMPTY, "flat table holds at most u32::MAX - 1 rows");
+        let b = self.bucket(h);
+        self.entries.push(Entry { hash: h, next: self.heads[b] });
+        self.heads[b] = row;
+        row
+    }
+
+    /// Vectorized insert: append one row per selected lane, in lane order.
+    /// Row ids are assigned contiguously, matching the order in which the
+    /// caller appended the corresponding key/payload values.
+    pub fn insert_batch(&mut self, hashes: &[u64], sel: Option<&SelVec>) {
+        match sel {
+            None => {
+                self.reserve(hashes.len());
+                for &h in hashes {
+                    self.insert(h);
+                }
+            }
+            Some(s) => {
+                self.reserve(s.len());
+                for p in s.iter() {
+                    self.insert(hashes[p]);
+                }
+            }
+        }
+    }
+
+    /// Convert chains into the finalized CSR layout: one counting-sort pass
+    /// groups every bucket's rows contiguously (in ascending row order), so
+    /// probes scan a cache-friendly range instead of chasing `next` links.
+    /// Hash join calls this once its build side is drained; further inserts
+    /// are rejected. No-op on an already-finalized table.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        let dir = self.heads.len();
+        self.offsets.clear();
+        self.offsets.resize(dir + 1, 0);
+        self.bloom.clear();
+        self.bloom.resize(dir, 0);
+        for e in &self.entries {
+            let b = (e.hash & self.mask) as usize;
+            self.offsets[b + 1] += 1;
+            self.bloom[b] |= bloom_bit(e.hash);
+        }
+        for b in 1..self.offsets.len() {
+            self.offsets[b] += self.offsets[b - 1];
+        }
+        let mut cursor = self.offsets.clone();
+        self.slots.clear();
+        self.slots.resize(self.entries.len(), Slot { hash: 0, row: EMPTY });
+        for (row, e) in self.entries.iter().enumerate() {
+            let b = (e.hash & self.mask) as usize;
+            self.slots[cursor[b] as usize] = Slot { hash: e.hash, row: row as u32 };
+            cursor[b] += 1;
+        }
+        self.heads = Vec::new();
+        self.entries = Vec::new();
+        self.finalized = true;
+    }
+
+    /// Double (or jump) the chain directory and relink every row. Rows are
+    /// relinked in id order so chains stay deterministic.
+    fn rebuild_directory(&mut self, dir: usize) {
+        debug_assert!(dir.is_power_of_two());
+        self.heads.clear();
+        self.heads.resize(dir, EMPTY);
+        self.mask = dir as u64 - 1;
+        for row in 0..self.entries.len() {
+            let b = self.bucket(self.entries[row].hash);
+            self.entries[row].next = self.heads[b];
+            self.heads[b] = row as u32;
+        }
+    }
+
+    /// Walk one bucket looking for a row whose stored hash equals `h` and
+    /// whose keys match (scalar path: aggregation's new-group insertion,
+    /// where at most a handful of lanes per batch miss).
+    #[inline]
+    pub fn find_chain(&self, h: u64, mut matches: impl FnMut(u32) -> bool) -> Option<u32> {
+        debug_assert!(!self.finalized, "find_chain on finalized table");
+        let mut row = self.heads[self.bucket(h)];
+        while row != EMPTY {
+            let e = self.entries[row as usize];
+            if e.hash == h && matches(row) {
+                return Some(row);
+            }
+            row = e.next;
+        }
+        None
+    }
+
+    /// Gather each selected lane's first *hash-matching* candidate:
+    /// chain mode walks from the bucket head skipping entries whose stored
+    /// hash differs (one integer compare each); finalized mode scans the
+    /// bucket's slot range. `active` receives the lanes that found one;
+    /// their `cand[p]` (a chain row / slot index — translate with
+    /// [`FlatTable::candidate_rows`]) needs only key confirmation. Entries
+    /// visited are added to `steps` (profiling).
+    pub fn gather_matching(
+        &self,
+        hashes: &[u64],
+        sel: &SelVec,
+        cand: &mut Vec<u32>,
+        active: &mut SelVec,
+        steps: &mut u64,
+    ) {
+        if cand.len() < hashes.len() {
+            cand.resize(hashes.len(), EMPTY);
+        }
+        let mut visited = 0u64;
+        if self.finalized {
+            sel.retain_from(
+                |p| {
+                    let h = hashes[p];
+                    let b = self.bucket(h);
+                    let end = self.offsets[b + 1] as usize;
+                    let mut i = self.offsets[b] as usize;
+                    while i < end {
+                        visited += 1;
+                        if self.slots[i].hash == h {
+                            cand[p] = i as u32;
+                            return true;
+                        }
+                        i += 1;
+                    }
+                    false
+                },
+                active,
+            );
+        } else {
+            sel.retain_from(
+                |p| {
+                    let h = hashes[p];
+                    let mut row = self.heads[self.bucket(h)];
+                    while row != EMPTY {
+                        visited += 1;
+                        let e = self.entries[row as usize];
+                        if e.hash == h {
+                            cand[p] = row;
+                            return true;
+                        }
+                        row = e.next;
+                    }
+                    false
+                },
+                active,
+            );
+        }
+        *steps += visited;
+    }
+
+    /// Advance every selected lane past its current candidate to the next
+    /// hash-matching one (see [`FlatTable::gather_matching`]); `out`
+    /// receives the lanes that found another candidate.
+    pub fn advance_matching(
+        &self,
+        hashes: &[u64],
+        sel: &SelVec,
+        cand: &mut [u32],
+        out: &mut SelVec,
+        steps: &mut u64,
+    ) {
+        let mut visited = 0u64;
+        if self.finalized {
+            sel.retain_from(
+                |p| {
+                    let h = hashes[p];
+                    let end = self.offsets[self.bucket(h) + 1] as usize;
+                    let mut i = cand[p] as usize + 1;
+                    while i < end {
+                        visited += 1;
+                        if self.slots[i].hash == h {
+                            cand[p] = i as u32;
+                            return true;
+                        }
+                        i += 1;
+                    }
+                    false
+                },
+                out,
+            );
+        } else {
+            sel.retain_from(
+                |p| {
+                    let h = hashes[p];
+                    let mut row = self.entries[cand[p] as usize].next;
+                    while row != EMPTY {
+                        visited += 1;
+                        let e = self.entries[row as usize];
+                        if e.hash == h {
+                            cand[p] = row;
+                            return true;
+                        }
+                        row = e.next;
+                    }
+                    false
+                },
+                out,
+            );
+        }
+        *steps += visited;
+    }
+
+    /// Translate candidate handles (chain rows / finalized slot indices)
+    /// into build row ids for the selected lanes: `rows[p]` receives the
+    /// row id behind `cand[p]`. Key comparison and output assembly index
+    /// build columns by row id.
+    pub fn candidate_rows(&self, cand: &[u32], sel: &SelVec, rows: &mut Vec<u32>) {
+        if rows.len() < cand.len() {
+            rows.resize(cand.len(), EMPTY);
+        }
+        if self.finalized {
+            for p in sel.iter() {
+                rows[p] = self.slots[cand[p] as usize].row;
+            }
+        } else {
+            for p in sel.iter() {
+                rows[p] = cand[p];
+            }
+        }
+    }
+
+    /// Fully fused join probe for type-specialized single-column keys: the
+    /// monomorphized equivalent of the gather/compare/advance pipeline with
+    /// zero intermediate `SelVec` traffic. `emit_all` records every match
+    /// (inner/outer join); otherwise the lane stops at its first match
+    /// (semi/anti existence). Matches set `matched_flags[p]` and, under
+    /// `emit_all`, append the `(probe lane, build row)` pair.
+    ///
+    /// `hash_of` computes the lane hash inline (monomorphized — e.g.
+    /// `hash_u64` of an `i64` key); `sel = None` probes all `n` lanes
+    /// (dense batch, no NULL keys) without selection-vector indirection.
+    ///
+    /// Large tables probe in stages — hash all lanes, bloom-test all lanes
+    /// (prefetching directory lines), gather all bucket ranges (prefetching
+    /// slot lines), then scan — so the dependent cache misses of many lanes
+    /// are in flight at once. Small, cache-resident tables use a single
+    /// fused pass where staging would be pure overhead.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_join<H: FnMut(usize) -> u64, F: FnMut(usize, u32) -> bool>(
+        &self,
+        n: usize,
+        sel: Option<&SelVec>,
+        emit_all: bool,
+        mut hash_of: H,
+        mut key_eq: F,
+        matched_flags: &mut [bool],
+        out_probe: &mut Vec<u32>,
+        out_build: &mut Vec<u32>,
+        buf: &mut ProbeBuf,
+        steps: &mut u64,
+    ) {
+        let mut visited = 0u64;
+        macro_rules! for_lanes {
+            ($lane:ident) => {
+                match sel {
+                    None => {
+                        for p in 0..n {
+                            $lane!(p);
+                        }
+                    }
+                    Some(s) => {
+                        for p in s.iter() {
+                            $lane!(p);
+                        }
+                    }
+                }
+            };
+        }
+        macro_rules! emit {
+            ($p:expr, $row:expr, $brk:stmt) => {{
+                matched_flags[$p] = true;
+                if !emit_all {
+                    $brk
+                }
+                out_probe.push($p as u32);
+                out_build.push($row);
+            }};
+        }
+        if self.finalized {
+            if self.slots.len() <= SMALL_TABLE {
+                macro_rules! lane {
+                    ($p:expr) => {{
+                        let p = $p;
+                        let h = hash_of(p);
+                        let b = self.bucket(h);
+                        if self.bloom[b] & bloom_bit(h) != 0 {
+                            let end = self.offsets[b + 1] as usize;
+                            let mut i = self.offsets[b] as usize;
+                            while i < end {
+                                visited += 1;
+                                let slot = self.slots[i];
+                                if slot.hash == h && key_eq(p, slot.row) {
+                                    emit!(p, slot.row, break);
+                                }
+                                i += 1;
+                            }
+                        }
+                    }};
+                }
+                for_lanes!(lane);
+            } else {
+                self.stage_csr(n, sel, &mut hash_of, buf);
+                macro_rules! lane {
+                    ($p:expr) => {{
+                        let p = $p;
+                        let h = buf.hashes[p];
+                        let end = buf.ends[p] as usize;
+                        let mut i = buf.cand[p] as usize;
+                        while i < end {
+                            visited += 1;
+                            let slot = self.slots[i];
+                            if slot.hash == h && key_eq(p, slot.row) {
+                                emit!(p, slot.row, break);
+                            }
+                            i += 1;
+                        }
+                    }};
+                }
+                for_lanes!(lane);
+            }
+        } else if self.entries.len() <= SMALL_TABLE {
+            macro_rules! lane {
+                ($p:expr) => {{
+                    let p = $p;
+                    let h = hash_of(p);
+                    let mut row = self.heads[self.bucket(h)];
+                    while row != EMPTY {
+                        visited += 1;
+                        let e = self.entries[row as usize];
+                        if e.hash == h && key_eq(p, row) {
+                            emit!(p, row, break);
+                        }
+                        row = e.next;
+                    }
+                }};
+            }
+            for_lanes!(lane);
+        } else {
+            self.stage_chain(n, sel, &mut hash_of, buf);
+            macro_rules! lane {
+                ($p:expr) => {{
+                    let p = $p;
+                    let h = buf.hashes[p];
+                    let mut row = buf.cand[p];
+                    while row != EMPTY {
+                        visited += 1;
+                        let e = self.entries[row as usize];
+                        if e.hash == h && key_eq(p, row) {
+                            emit!(p, row, break);
+                        }
+                        row = e.next;
+                    }
+                }};
+            }
+            for_lanes!(lane);
+        }
+        *steps += visited;
+    }
+
+    /// Fused group lookup (aggregation): `gidx[p]` receives the first
+    /// hash-and-key-matching row for each selected lane, or [`EMPTY`] when
+    /// the key is unseen. Staged like [`FlatTable::probe_join`], over the
+    /// chain layout (aggregation keeps inserting, so it never finalizes).
+    /// The lane hashes remain in `buf` for the caller's miss-insert pass.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_groups<H: FnMut(usize) -> u64, F: FnMut(usize, u32) -> bool>(
+        &self,
+        n: usize,
+        sel: Option<&SelVec>,
+        mut hash_of: H,
+        mut key_eq: F,
+        gidx: &mut [u32],
+        buf: &mut ProbeBuf,
+        steps: &mut u64,
+    ) {
+        debug_assert!(!self.finalized, "probe_groups on finalized table");
+        let mut visited = 0u64;
+        // The miss-insert pass needs every lane's hash afterwards, so the
+        // staging pass runs even for small tables.
+        self.stage_chain(n, sel, &mut hash_of, buf);
+        macro_rules! lane {
+            ($p:expr) => {{
+                let p = $p;
+                let h = buf.hashes[p];
+                let mut row = buf.cand[p];
+                gidx[p] = EMPTY;
+                while row != EMPTY {
+                    visited += 1;
+                    let e = self.entries[row as usize];
+                    if e.hash == h && key_eq(p, row) {
+                        gidx[p] = row;
+                        break;
+                    }
+                    row = e.next;
+                }
+            }};
+        }
+        match sel {
+            None => {
+                for p in 0..n {
+                    lane!(p);
+                }
+            }
+            Some(s) => {
+                for p in s.iter() {
+                    lane!(p);
+                }
+            }
+        }
+        *steps += visited;
+    }
+
+    fn ensure_buf(n: usize, buf: &mut ProbeBuf) {
+        if buf.hashes.len() < n {
+            buf.hashes.resize(n, 0);
+            buf.cand.resize(n, EMPTY);
+            buf.ends.resize(n, 0);
+        }
+    }
+
+    /// Chain-mode probe staging: hash every lane (prefetching its
+    /// directory line), then gather every lane's chain head (prefetching
+    /// its entry). Fills `buf.hashes` and `buf.cand`; unselected lanes are
+    /// garbage.
+    #[inline]
+    fn stage_chain<H: FnMut(usize) -> u64>(
+        &self,
+        n: usize,
+        sel: Option<&SelVec>,
+        hash_of: &mut H,
+        buf: &mut ProbeBuf,
+    ) {
+        Self::ensure_buf(n, buf);
+        macro_rules! hash_lane {
+            ($p:expr) => {{
+                let p = $p;
+                let h = hash_of(p);
+                buf.hashes[p] = h;
+                prefetch(&self.heads[self.bucket(h)]);
+            }};
+        }
+        macro_rules! head_lane {
+            ($p:expr) => {{
+                let p = $p;
+                let row = self.heads[self.bucket(buf.hashes[p])];
+                buf.cand[p] = row;
+                if row != EMPTY {
+                    prefetch(&self.entries[row as usize]);
+                }
+            }};
+        }
+        match sel {
+            None => {
+                for p in 0..n {
+                    hash_lane!(p);
+                }
+                for p in 0..n {
+                    head_lane!(p);
+                }
+            }
+            Some(s) => {
+                for p in s.iter() {
+                    hash_lane!(p);
+                }
+                for p in s.iter() {
+                    head_lane!(p);
+                }
+            }
+        }
+    }
+
+    /// Finalized-mode probe staging: hash every lane, bloom-test every
+    /// lane on the dense tag array (prefetching the offsets line only for
+    /// bloom-positive lanes), then gather bucket ranges (prefetching the
+    /// first slot). Bloom-negative lanes get an empty range and never
+    /// touch the large arrays. Fills `buf.hashes`/`cand`/`ends`.
+    #[inline]
+    fn stage_csr<H: FnMut(usize) -> u64>(
+        &self,
+        n: usize,
+        sel: Option<&SelVec>,
+        hash_of: &mut H,
+        buf: &mut ProbeBuf,
+    ) {
+        Self::ensure_buf(n, buf);
+        macro_rules! hash_lane {
+            ($p:expr) => {{
+                let p = $p;
+                let h = hash_of(p);
+                buf.hashes[p] = h;
+                prefetch(&self.bloom[self.bucket(h)]);
+            }};
+        }
+        macro_rules! bloom_lane {
+            ($p:expr) => {{
+                let p = $p;
+                let h = buf.hashes[p];
+                let b = self.bucket(h);
+                if self.bloom[b] & bloom_bit(h) != 0 {
+                    buf.cand[p] = b as u32;
+                    buf.ends[p] = 1; // marker: range to be resolved
+                    prefetch(&self.offsets[b]);
+                } else {
+                    buf.cand[p] = 0;
+                    buf.ends[p] = 0;
+                }
+            }};
+        }
+        macro_rules! range_lane {
+            ($p:expr) => {{
+                let p = $p;
+                if buf.ends[p] != 0 {
+                    let b = buf.cand[p] as usize;
+                    let start = self.offsets[b];
+                    let end = self.offsets[b + 1];
+                    buf.cand[p] = start;
+                    buf.ends[p] = end;
+                    if start != end {
+                        prefetch(&self.slots[start as usize]);
+                    }
+                }
+            }};
+        }
+        match sel {
+            None => {
+                for p in 0..n {
+                    hash_lane!(p);
+                }
+                for p in 0..n {
+                    bloom_lane!(p);
+                }
+                for p in 0..n {
+                    range_lane!(p);
+                }
+            }
+            Some(s) => {
+                for p in s.iter() {
+                    hash_lane!(p);
+                }
+                for p in s.iter() {
+                    bloom_lane!(p);
+                }
+                for p in s.iter() {
+                    range_lane!(p);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch a single-column key-kernel body over same-variant column
+/// pairs. Expands `$body!(pa, ba, hash_closure, eq_closure)` with the
+/// typed slices and the *canonical* per-type hash projection / equality —
+/// the same scheme [`hash_keys`]'s `project_lanes` uses — so the fused
+/// operator fast paths cannot drift from the general hashing path.
+/// Mixed-variant pairs run `$fallback`.
+macro_rules! dispatch_typed_keys {
+    ($pcol:expr, $bcol:expr, $body:ident, $fallback:expr) => {
+        match ($pcol, $bcol) {
+            (vw_common::ColData::Bool(pa), vw_common::ColData::Bool(ba)) => $body!(
+                pa,
+                ba,
+                |x: &bool| vw_common::hash::hash_u64(*x as u64),
+                |x: &bool, y: &bool| x == y
+            ),
+            (vw_common::ColData::I8(pa), vw_common::ColData::I8(ba)) => $body!(
+                pa,
+                ba,
+                |x: &i8| vw_common::hash::hash_u64(*x as u64),
+                |x: &i8, y: &i8| x == y
+            ),
+            (vw_common::ColData::I16(pa), vw_common::ColData::I16(ba)) => $body!(
+                pa,
+                ba,
+                |x: &i16| vw_common::hash::hash_u64(*x as u64),
+                |x: &i16, y: &i16| x == y
+            ),
+            (vw_common::ColData::I32(pa), vw_common::ColData::I32(ba)) => $body!(
+                pa,
+                ba,
+                |x: &i32| vw_common::hash::hash_u64(*x as u64),
+                |x: &i32, y: &i32| x == y
+            ),
+            (vw_common::ColData::I64(pa), vw_common::ColData::I64(ba)) => $body!(
+                pa,
+                ba,
+                |x: &i64| vw_common::hash::hash_u64(*x as u64),
+                |x: &i64, y: &i64| x == y
+            ),
+            // Bit equality, matching `Value`'s structural semantics for
+            // grouping (NaN groups with NaN; 0.0 and -0.0 are distinct).
+            (vw_common::ColData::F64(pa), vw_common::ColData::F64(ba)) => $body!(
+                pa,
+                ba,
+                |x: &f64| vw_common::hash::hash_u64(x.to_bits()),
+                |x: &f64, y: &f64| x.to_bits() == y.to_bits()
+            ),
+            (vw_common::ColData::Date(pa), vw_common::ColData::Date(ba)) => $body!(
+                pa,
+                ba,
+                |x: &i32| vw_common::hash::hash_u64(*x as u64),
+                |x: &i32, y: &i32| x == y
+            ),
+            (vw_common::ColData::Str(pa), vw_common::ColData::Str(ba)) => $body!(
+                pa,
+                ba,
+                |x: &String| vw_common::hash::hash_u64(vw_common::hash::hash_bytes(x.as_bytes())),
+                |x: &String, y: &String| x == y
+            ),
+            _ => $fallback,
+        }
+    };
+}
+pub(crate) use dispatch_typed_keys;
+
+/// Tables at or below this row count are treated as cache-resident:
+/// probes skip the staged-prefetch passes, whose latency-hiding only pays
+/// off once the directory and slots spill out of the last-level cache.
+const SMALL_TABLE: usize = 1 << 17;
+
+/// Smallest power-of-two directory keeping load factor ≤ 0.5.
+fn directory_size(rows: usize) -> usize {
+    (rows.max(4) * 2).next_power_of_two()
+}
+
+/// Reusable per-batch probe buffers (lane hashes and chain candidates)
+/// for the fused kernels; owned by the operators so the steady-state probe
+/// loop never allocates.
+#[derive(Debug, Default)]
+pub struct ProbeBuf {
+    hashes: Vec<u64>,
+    cand: Vec<u32>,
+    /// Finalized-mode bucket end bound per lane.
+    ends: Vec<u32>,
+}
+
+impl ProbeBuf {
+    /// The staged hash of lane `p` from the last fused probe (valid for
+    /// lanes that were selected; aggregation's miss-insert pass reuses it).
+    #[inline]
+    pub fn lane_hash(&self, p: usize) -> u64 {
+        self.hashes[p]
+    }
+}
+
+/// Hint the CPU to pull `p`'s cache line toward L1. Purely a performance
+/// hint issued between the staged probe passes; never dereferences.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no side effects and tolerates any address; the
+    // pointer comes from an in-bounds slice index.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vectorized key hashing
+// ---------------------------------------------------------------------------
+
+/// Project one key column to per-lane `u64` hash inputs (the same value
+/// scheme the old scalar `hash_row` used, so numeric types keep their
+/// cheap identity projection and strings hash their bytes).
+fn project_lanes(v: &Vector, nulls_as_group: bool, out: &mut Vec<u64>) {
+    out.clear();
+    match &v.data {
+        ColData::Bool(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::I8(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::I16(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::I32(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::I64(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::F64(d) => out.extend(d.iter().map(|&x| x.to_bits())),
+        ColData::Date(d) => out.extend(d.iter().map(|&x| x as u64)),
+        ColData::Str(d) => out.extend(d.iter().map(|s| hash_bytes(s.as_bytes()))),
+    }
+    if nulls_as_group {
+        if let Some(m) = &v.nulls {
+            for (lane, &is_null) in m.iter().enumerate() {
+                if is_null {
+                    out[lane] = NULL_KEY_LANE;
+                }
+            }
+        }
+    }
+}
+
+/// Hash multi-column keys a vector at a time into `out[0..n]`.
+///
+/// `nulls_as_group` selects GROUP BY semantics (NULL lanes hash to a fixed
+/// sentinel so NULLs land in one group); with it off, NULL lanes hash their
+/// safe-default data — callers exclude those lanes from the selection, so
+/// the garbage hash is never observed (join semantics: NULL never matches).
+///
+/// `lanes` is per-column projection scratch; both buffers are reused across
+/// batches. Zero key columns (global aggregate) hash every lane to the same
+/// constant.
+pub fn hash_keys(
+    keys: &[Vector],
+    n: usize,
+    nulls_as_group: bool,
+    lanes: &mut Vec<u64>,
+    out: &mut Vec<u64>,
+) {
+    let Some(first) = keys.first() else {
+        out.clear();
+        out.resize(n, hash_u64(0));
+        return;
+    };
+    debug_assert!(keys.iter().all(|k| k.len() == n));
+    project_lanes(first, nulls_as_group, lanes);
+    primitives::hash_start(lanes.iter().copied(), out);
+    for col in &keys[1..] {
+        project_lanes(col, nulls_as_group, lanes);
+        primitives::hash_combine_col(lanes.iter().copied(), out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vectorized key comparison
+// ---------------------------------------------------------------------------
+
+/// Narrow `sel` to lanes where every probe key column at lane `p` equals
+/// the corresponding build key column at row `cand[p]`.
+///
+/// `null_equals_null` selects grouping semantics (NULL keys compare equal);
+/// join probes never present NULL lanes, so either setting is correct
+/// there. `scratch` ping-pongs with `out` between key columns; both are
+/// reused across batches.
+pub fn keys_match_sel(
+    probe: &[Vector],
+    build: &[Vector],
+    cand: &[u32],
+    sel: &SelVec,
+    scratch: &mut SelVec,
+    out: &mut SelVec,
+    null_equals_null: bool,
+) {
+    debug_assert_eq!(probe.len(), build.len());
+    if probe.is_empty() {
+        // Zero key columns: everything matches (global aggregate).
+        out.clear_and_extend_from_slice(sel.as_slice());
+        return;
+    }
+    filter_col_eq(&probe[0], &build[0], cand, sel, out, null_equals_null);
+    for (p, b) in probe[1..].iter().zip(&build[1..]) {
+        if out.is_empty() {
+            return;
+        }
+        std::mem::swap(scratch, out);
+        filter_col_eq(p, b, cand, scratch, out, null_equals_null);
+    }
+}
+
+/// Null-aware selective gather-equality over one column pair.
+fn filter_col_eq(
+    probe: &Vector,
+    build: &Vector,
+    cand: &[u32],
+    sel: &SelVec,
+    out: &mut SelVec,
+    null_eq: bool,
+) {
+    macro_rules! typed {
+        ($pa:expr, $ba:expr, $eq:expr) => {{
+            let (pa, ba) = ($pa, $ba);
+            #[allow(clippy::redundant_closure_call)]
+            match (&probe.nulls, &build.nulls) {
+                (None, None) => primitives::select_eq_gather_by(pa, ba, cand, sel, out, $eq),
+                _ => sel.retain_from(
+                    |p| {
+                        let b = cand[p] as usize;
+                        match (probe.is_null(p), build.is_null(b)) {
+                            (false, false) => $eq(&pa[p], &ba[b]),
+                            (true, true) => null_eq,
+                            _ => false,
+                        }
+                    },
+                    out,
+                ),
+            }
+        }};
+    }
+    match (&probe.data, &build.data) {
+        (ColData::Bool(pa), ColData::Bool(ba)) => typed!(pa, ba, |x: &bool, y: &bool| x == y),
+        (ColData::I8(pa), ColData::I8(ba)) => typed!(pa, ba, |x: &i8, y: &i8| x == y),
+        (ColData::I16(pa), ColData::I16(ba)) => typed!(pa, ba, |x: &i16, y: &i16| x == y),
+        (ColData::I32(pa), ColData::I32(ba)) => typed!(pa, ba, |x: &i32, y: &i32| x == y),
+        (ColData::I64(pa), ColData::I64(ba)) => typed!(pa, ba, |x: &i64, y: &i64| x == y),
+        // Bit equality, matching `Value`'s structural semantics for grouping
+        // (NaN groups with NaN; 0.0 and -0.0 are distinct keys).
+        (ColData::F64(pa), ColData::F64(ba)) => {
+            typed!(pa, ba, |x: &f64, y: &f64| x.to_bits() == y.to_bits())
+        }
+        (ColData::Date(pa), ColData::Date(ba)) => typed!(pa, ba, |x: &i32, y: &i32| x == y),
+        (ColData::Str(pa), ColData::Str(ba)) => typed!(pa, ba, |x: &String, y: &String| x == y),
+        // Mixed-type keys: fall back to structural Value equality (always
+        // false across variants — the old scalar path's behaviour).
+        _ => sel.retain_from(
+            |p| {
+                let b = cand[p] as usize;
+                match (probe.is_null(p), build.is_null(b)) {
+                    (false, false) => probe.data.get_value(p) == build.data.get_value(b),
+                    (true, true) => null_eq,
+                    _ => false,
+                }
+            },
+            out,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::TypeId;
+
+    fn i64_vec(vals: Vec<i64>) -> Vector {
+        Vector::new(ColData::I64(vals))
+    }
+
+    #[test]
+    fn insert_and_chain_walk() {
+        let mut t = FlatTable::new();
+        let h = hash_u64(42);
+        assert_eq!(t.insert(h), 0);
+        assert_eq!(t.insert(h), 1); // same bucket chains
+        assert_eq!(t.insert(hash_u64(7)), 2);
+        assert_eq!(t.len(), 3);
+        let mut seen = Vec::new();
+        t.find_chain(h, |row| {
+            seen.push(row);
+            false
+        });
+        assert_eq!(seen, vec![1, 0], "newest row heads the chain");
+        assert_eq!(t.find_chain(h, |_| true), Some(1));
+        assert_eq!(t.find_chain(hash_u64(999_999), |_| true), None);
+    }
+
+    #[test]
+    fn directory_grows_and_relinks() {
+        let mut t = FlatTable::with_capacity(0);
+        let start_dir = t.directory_len();
+        for i in 0..1000u64 {
+            t.insert(hash_u64(i));
+        }
+        assert!(t.directory_len() > start_dir);
+        assert!(t.directory_len() >= 2 * t.len());
+        // Every row stays findable after rebuilds.
+        for i in 0..1000u64 {
+            assert!(t.find_chain(hash_u64(i), |_| true).is_some(), "key {i} lost");
+        }
+    }
+
+    /// Drive the general SelVec-iterative probe pipeline over a table.
+    fn iterative_pairs(
+        t: &FlatTable,
+        probe_keys: &[Vector],
+        build_keys: &[Vector],
+        ph: &[u64],
+        n: usize,
+        null_eq: bool,
+    ) -> Vec<(usize, u32)> {
+        let sel = SelVec::identity(n);
+        let (mut cand, mut rows, mut active) = (Vec::new(), Vec::new(), SelVec::new());
+        let mut steps = 0u64;
+        t.gather_matching(ph, &sel, &mut cand, &mut active, &mut steps);
+        let mut pairs: Vec<(usize, u32)> = Vec::new();
+        let (mut matched, mut tmp, mut next_active) =
+            (SelVec::new(), SelVec::new(), SelVec::new());
+        while !active.is_empty() {
+            t.candidate_rows(&cand, &active, &mut rows);
+            keys_match_sel(probe_keys, build_keys, &rows, &active, &mut tmp, &mut matched, null_eq);
+            for p in matched.iter() {
+                pairs.push((p, rows[p]));
+            }
+            t.advance_matching(ph, &active, &mut cand, &mut next_active, &mut steps);
+            std::mem::swap(&mut active, &mut next_active);
+        }
+        assert!(steps > 0, "probing visited entries");
+        pairs
+    }
+
+    #[test]
+    fn vectorized_probe_roundtrip_chain_and_finalized() {
+        let build_keys = vec![i64_vec(vec![10, 20, 30, 20])];
+        let mut t = FlatTable::new();
+        let (mut lanes, mut hashes) = (Vec::new(), Vec::new());
+        hash_keys(&build_keys, 4, false, &mut lanes, &mut hashes);
+        t.insert_batch(&hashes, None);
+
+        let probe_keys = vec![i64_vec(vec![20, 99, 10, 20])];
+        let mut ph = Vec::new();
+        hash_keys(&probe_keys, 4, false, &mut lanes, &mut ph);
+
+        // Lane 0 (20) matches rows 1 and 3; lane 2 (10) matches row 0;
+        // lane 3 (20) matches rows 1 and 3; lane 1 (99) matches nothing.
+        let expect = vec![(0, 1), (0, 3), (2, 0), (3, 1), (3, 3)];
+
+        let mut pairs = iterative_pairs(&t, &probe_keys, &build_keys, &ph, 4, false);
+        pairs.sort_unstable();
+        assert_eq!(pairs, expect, "chain mode");
+
+        t.finalize();
+        assert!(t.is_finalized());
+        assert_eq!(t.len(), 4);
+        let mut pairs = iterative_pairs(&t, &probe_keys, &build_keys, &ph, 4, false);
+        pairs.sort_unstable();
+        assert_eq!(pairs, expect, "finalized (CSR) mode");
+    }
+
+    #[test]
+    fn fused_probe_matches_iterative() {
+        let build = i64_vec(vec![10, 20, 30, 20, 7]);
+        let build_keys = vec![build];
+        let mut t = FlatTable::new();
+        let (mut lanes, mut hashes) = (Vec::new(), Vec::new());
+        hash_keys(&build_keys, 5, false, &mut lanes, &mut hashes);
+        t.insert_batch(&hashes, None);
+        t.finalize();
+
+        let probe = i64_vec(vec![20, 99, 10, 7]);
+        let pa = probe.data.as_i64().to_vec();
+        let ba = build_keys[0].data.as_i64();
+        let mut flags = vec![false; 4];
+        let (mut op, mut ob) = (Vec::new(), Vec::new());
+        let mut buf = ProbeBuf::default();
+        let mut steps = 0u64;
+        t.probe_join(
+            4,
+            None,
+            true,
+            |p| hash_u64(pa[p] as u64),
+            |p, row| pa[p] == ba[row as usize],
+            &mut flags,
+            &mut op,
+            &mut ob,
+            &mut buf,
+            &mut steps,
+        );
+        let mut pairs: Vec<(u32, u32)> = op.iter().copied().zip(ob.iter().copied()).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 0), (3, 4)]);
+        assert_eq!(flags, vec![true, false, true, true]);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn finalize_rejects_insert_and_preserves_lookup() {
+        let mut t = FlatTable::new();
+        for i in 0..500u64 {
+            t.insert(hash_u64(i));
+        }
+        t.finalize();
+        t.finalize(); // idempotent
+        assert_eq!(t.len(), 500);
+        // Every hash remains findable through the fused probe.
+        let keys: Vec<i64> = (0..500).collect();
+        let mut flags = vec![false; 500];
+        let (mut op, mut ob) = (Vec::new(), Vec::new());
+        let mut buf = ProbeBuf::default();
+        let mut steps = 0u64;
+        t.probe_join(
+            500,
+            None,
+            true,
+            |p| hash_u64(keys[p] as u64),
+            |_, _| true,
+            &mut flags,
+            &mut op,
+            &mut ob,
+            &mut buf,
+            &mut steps,
+        );
+        assert!(flags.iter().all(|&f| f), "all 500 hashes found after finalize");
+        // Slot order within the probe output is ascending row per bucket.
+        assert_eq!(op.len(), 500);
+    }
+
+    #[test]
+    fn null_group_semantics() {
+        // Build: one NULL key row (group semantics) at row 0, value 5 at 1.
+        let mut bk = Vector::new(ColData::new(TypeId::I64));
+        bk.push(&vw_common::Value::Null).unwrap();
+        bk.push(&vw_common::Value::I64(5)).unwrap();
+        let build_keys = vec![bk];
+        let mut t = FlatTable::new();
+        let (mut lanes, mut hashes) = (Vec::new(), Vec::new());
+        hash_keys(&build_keys, 2, true, &mut lanes, &mut hashes);
+        t.insert_batch(&hashes, None);
+
+        // Probe: NULL, 5, 0 (0 is the safe default stored under NULLs —
+        // must NOT match the NULL group).
+        let mut pk = Vector::new(ColData::new(TypeId::I64));
+        pk.push(&vw_common::Value::Null).unwrap();
+        pk.push(&vw_common::Value::I64(5)).unwrap();
+        pk.push(&vw_common::Value::I64(0)).unwrap();
+        let probe_keys = vec![pk];
+        let mut ph = Vec::new();
+        hash_keys(&probe_keys, 3, true, &mut lanes, &mut ph);
+
+        let pairs = iterative_pairs(&t, &probe_keys, &build_keys, &ph, 3, true);
+        let mut found = [None::<u32>; 3];
+        for (p, row) in pairs {
+            found[p] = Some(row);
+        }
+        assert_eq!(found[0], Some(0), "NULL probe joins the NULL group");
+        assert_eq!(found[1], Some(1));
+        assert_eq!(found[2], None, "0 must not alias the NULL group's default");
+    }
+
+    #[test]
+    fn multi_column_keys_narrow_per_column() {
+        let build = vec![i64_vec(vec![1, 1, 2]), i64_vec(vec![10, 20, 10])];
+        let probe = vec![i64_vec(vec![1]), i64_vec(vec![20])];
+        // Candidate row per lane: try every build row for lane 0.
+        for (cand_row, expect) in [(0u32, false), (1, true), (2, false)] {
+            let sel = SelVec::identity(1);
+            let (mut tmp, mut out) = (SelVec::new(), SelVec::new());
+            keys_match_sel(&probe, &build, &[cand_row], &sel, &mut tmp, &mut out, false);
+            assert_eq!(!out.is_empty(), expect, "row {cand_row}");
+        }
+    }
+
+    #[test]
+    fn zero_key_columns_match_everything() {
+        let sel = SelVec::identity(3);
+        let (mut tmp, mut out) = (SelVec::new(), SelVec::new());
+        keys_match_sel(&[], &[], &[0, 0, 0], &sel, &mut tmp, &mut out, false);
+        assert_eq!(out.len(), 3);
+        let mut lanes = Vec::new();
+        let mut hashes = Vec::new();
+        hash_keys(&[], 3, false, &mut lanes, &mut hashes);
+        assert_eq!(hashes.len(), 3);
+        assert!(hashes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn reserve_prevents_mid_batch_rebuild() {
+        let mut t = FlatTable::new();
+        t.reserve(10_000);
+        let dir = t.directory_len();
+        for i in 0..10_000u64 {
+            t.insert(hash_u64(i));
+        }
+        assert_eq!(t.directory_len(), dir, "no rebuild after reserve");
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`expr`] — vectorized expression interpretation ([`expr::PhysExpr`]):
 //!   arithmetic, comparisons, CASE, casts, and the SQL function library
 //!   ("many functions" — §1 of the paper);
+//! * [`hashtable`] — the flat vectorized hash table (directory + chain
+//!   array over contiguous build rows) shared by hash join and hash
+//!   aggregation, with fully vectorized insert and probe;
 //! * [`op`] — the relational operators: scan (with PDT merge), select,
 //!   project, hash join (inner/left/semi/anti/**NULL-aware anti**), hash
 //!   aggregation, sort, top-n, limit, union, and the Volcano-style **Xchg**
@@ -25,6 +28,7 @@
 
 pub mod cancel;
 pub mod expr;
+pub mod hashtable;
 pub mod op;
 pub mod primitives;
 pub mod profile;

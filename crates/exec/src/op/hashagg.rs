@@ -1,16 +1,26 @@
-//! Vectorized hash aggregation (GROUP BY).
+//! Vectorized hash aggregation (GROUP BY) over the flat hash table.
 //!
-//! Build: drain the child, hashing group keys a vector at a time and
-//! accumulating per-group aggregate states. Emit: stream the groups out in
-//! vector-sized batches. NULL group keys form their own group (SQL
-//! semantics); aggregate inputs skip NULLs (except `COUNT(*)`).
+//! Build: drain the child, hashing group keys a vector at a time, resolving
+//! each lane to a group id with the vectorized [`FlatTable`] probe loop
+//! (hash-gather heads, re-probe still-unmatched lanes through a `SelVec`),
+//! and updating **typed columnar accumulators** — one dense `Vec` per
+//! aggregate, indexed by group id, with no boxed `Value`s on the hot path.
+//! Lanes whose key is new fall to a scalar insert path that also resolves
+//! batch-internal duplicates (two lanes introducing the same key map to one
+//! group). Emit: stream groups out in vector-sized batches by slicing the
+//! contiguous key vectors and accumulator columns.
+//!
+//! NULL group keys form their own group (SQL semantics); aggregate inputs
+//! skip NULLs (except `COUNT(*)`).
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::expr::{ExprCtx, PhysExpr};
+use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::profile::OpProfile;
 use crate::vector::{Batch, Vector};
-use vw_common::hash::{hash_bytes, hash_combine, hash_u64, FxHashMap};
-use vw_common::{ColData, Result, Schema, TypeId, Value, VwError};
+use std::time::Instant;
+use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,11 +50,14 @@ pub struct AggSpec {
     pub out_ty: TypeId,
 }
 
+/// Typed columnar accumulators: one dense column per aggregate, indexed by
+/// group id. MIN/MAX keep their running value in a [`ColData`] of the
+/// output type plus a seen-bitmap — no per-group boxed [`Value`]s.
 enum AggState {
     Count(Vec<i64>),
     SumI64 { sums: Vec<i64>, seen: Vec<bool> },
     SumF64 { sums: Vec<f64>, seen: Vec<bool> },
-    MinMax { vals: Vec<Value>, is_min: bool },
+    MinMax { vals: ColData, seen: Vec<bool>, is_min: bool },
     Avg { sums: Vec<f64>, counts: Vec<i64> },
 }
 
@@ -62,8 +75,16 @@ impl AggState {
                     )))
                 }
             },
-            AggFunc::Min => AggState::MinMax { vals: Vec::new(), is_min: true },
-            AggFunc::Max => AggState::MinMax { vals: Vec::new(), is_min: false },
+            AggFunc::Min => AggState::MinMax {
+                vals: ColData::new(spec.out_ty),
+                seen: Vec::new(),
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                vals: ColData::new(spec.out_ty),
+                seen: Vec::new(),
+                is_min: false,
+            },
             AggFunc::Avg => AggState::Avg { sums: Vec::new(), counts: Vec::new() },
         })
     }
@@ -79,7 +100,10 @@ impl AggState {
                 sums.push(0.0);
                 seen.push(false);
             }
-            AggState::MinMax { vals, .. } => vals.push(Value::Null),
+            AggState::MinMax { vals, seen, .. } => {
+                vals.push_safe_default();
+                seen.push(false);
+            }
             AggState::Avg { sums, counts } => {
                 sums.push(0.0);
                 counts.push(0);
@@ -87,57 +111,112 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, g: usize, input: Option<(&Vector, usize)>, func: AggFunc) -> Result<()> {
+    /// Vectorized update: fold the selected lanes of `input` into the
+    /// accumulators, routing lane `p` to group `gidx[p]`.
+    fn update_batch(
+        &mut self,
+        func: AggFunc,
+        gidx: &[u32],
+        sel: &SelVec,
+        input: Option<&Vector>,
+    ) -> Result<()> {
         match (self, func) {
-            (AggState::Count(c), AggFunc::CountStar) => c[g] += 1,
+            (AggState::Count(c), AggFunc::CountStar) => {
+                for p in sel.iter() {
+                    c[gidx[p] as usize] += 1;
+                }
+            }
             (AggState::Count(c), AggFunc::Count) => {
-                let (v, i) = input.expect("COUNT has input");
-                if !v.is_null(i) {
-                    c[g] += 1;
-                }
-            }
-            (AggState::SumI64 { sums, seen }, _) => {
-                let (v, i) = input.expect("SUM has input");
-                if !v.is_null(i) {
-                    let x = match &v.data {
-                        ColData::I64(d) => d[i],
-                        other => other.get_value(i).as_i64()?,
-                    };
-                    sums[g] = sums[g].checked_add(x).ok_or(VwError::Overflow("SUM"))?;
-                    seen[g] = true;
-                }
-            }
-            (AggState::SumF64 { sums, seen }, _) => {
-                let (v, i) = input.expect("SUM has input");
-                if !v.is_null(i) {
-                    sums[g] += v.data.get_value(i).as_f64()?;
-                    seen[g] = true;
-                }
-            }
-            (AggState::MinMax { vals, is_min }, _) => {
-                let (v, i) = input.expect("MIN/MAX has input");
-                if !v.is_null(i) {
-                    let x = v.data.get_value(i);
-                    let better = match vals[g].sql_cmp(&x) {
-                        None => true, // current is NULL
-                        Some(o) => {
-                            if *is_min {
-                                o == std::cmp::Ordering::Greater
-                            } else {
-                                o == std::cmp::Ordering::Less
-                            }
-                        }
-                    };
-                    if better {
-                        vals[g] = x;
+                let v = input.expect("COUNT has input");
+                for p in sel.iter() {
+                    if !v.is_null(p) {
+                        c[gidx[p] as usize] += 1;
                     }
                 }
             }
+            (AggState::SumI64 { sums, seen }, _) => {
+                let v = input.expect("SUM has input");
+                match &v.data {
+                    ColData::I64(d) => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] =
+                                    sums[g].checked_add(d[p]).ok_or(VwError::Overflow("SUM"))?;
+                                seen[g] = true;
+                            }
+                        }
+                    }
+                    other => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                let x = other.get_value(p).as_i64()?;
+                                sums[g] =
+                                    sums[g].checked_add(x).ok_or(VwError::Overflow("SUM"))?;
+                                seen[g] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            (AggState::SumF64 { sums, seen }, _) => {
+                let v = input.expect("SUM has input");
+                match &v.data {
+                    ColData::F64(d) => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] += d[p];
+                                seen[g] = true;
+                            }
+                        }
+                    }
+                    other => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] += other.get_value(p).as_f64()?;
+                                seen[g] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            (AggState::MinMax { vals, seen, is_min }, _) => {
+                let v = input.expect("MIN/MAX has input");
+                minmax_update(vals, seen, *is_min, gidx, sel, v)?;
+            }
             (AggState::Avg { sums, counts }, _) => {
-                let (v, i) = input.expect("AVG has input");
-                if !v.is_null(i) {
-                    sums[g] += v.data.get_value(i).as_f64()?;
-                    counts[g] += 1;
+                let v = input.expect("AVG has input");
+                match &v.data {
+                    ColData::F64(d) => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] += d[p];
+                                counts[g] += 1;
+                            }
+                        }
+                    }
+                    ColData::I64(d) => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] += d[p] as f64;
+                                counts[g] += 1;
+                            }
+                        }
+                    }
+                    other => {
+                        for p in sel.iter() {
+                            if !v.is_null(p) {
+                                let g = gidx[p] as usize;
+                                sums[g] += other.get_value(p).as_f64()?;
+                                counts[g] += 1;
+                            }
+                        }
+                    }
                 }
             }
             (_, f) => return Err(VwError::Plan(format!("bad aggregate state for {f:?}"))),
@@ -145,33 +224,139 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(&self, g: usize) -> Value {
-        match self {
-            AggState::Count(c) => Value::I64(c[g]),
-            AggState::SumI64 { sums, seen } => {
-                if seen[g] {
-                    Value::I64(sums[g])
-                } else {
-                    Value::Null
-                }
+    /// Emit groups `start..end` as an output vector of type `out_ty`.
+    fn finish_range(&self, start: usize, end: usize, out_ty: TypeId) -> Result<Vector> {
+        let n = end - start;
+        Ok(match self {
+            AggState::Count(c) => Vector::new(ColData::I64(c[start..end].to_vec())),
+            AggState::SumI64 { sums, seen } => Vector::with_nulls(
+                ColData::I64(sums[start..end].to_vec()),
+                Some(seen[start..end].iter().map(|&s| !s).collect()),
+            ),
+            AggState::SumF64 { sums, seen } => Vector::with_nulls(
+                ColData::F64(sums[start..end].to_vec()),
+                Some(seen[start..end].iter().map(|&s| !s).collect()),
+            ),
+            AggState::MinMax { vals, seen, .. } => {
+                let mut data = ColData::with_capacity(out_ty, n);
+                data.extend_from_range(vals, start, end);
+                Vector::with_nulls(data, Some(seen[start..end].iter().map(|&s| !s).collect()))
             }
-            AggState::SumF64 { sums, seen } => {
-                if seen[g] {
-                    Value::F64(sums[g])
-                } else {
-                    Value::Null
-                }
-            }
-            AggState::MinMax { vals, .. } => vals[g].clone(),
             AggState::Avg { sums, counts } => {
-                if counts[g] > 0 {
-                    Value::F64(sums[g] / counts[g] as f64)
-                } else {
-                    Value::Null
+                let mut data = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for g in start..end {
+                    if counts[g] > 0 {
+                        data.push(sums[g] / counts[g] as f64);
+                        nulls.push(false);
+                    } else {
+                        data.push(0.0);
+                        nulls.push(true);
+                    }
+                }
+                Vector::with_nulls(ColData::F64(data), Some(nulls))
+            }
+        })
+    }
+}
+
+/// Typed MIN/MAX fold. Same-variant input updates through a tight per-type
+/// loop; mismatched variants go through the `Value` slow path with SQL
+/// comparison semantics (the old behaviour).
+fn minmax_update(
+    vals: &mut ColData,
+    seen: &mut [bool],
+    is_min: bool,
+    gidx: &[u32],
+    sel: &SelVec,
+    v: &Vector,
+) -> Result<()> {
+    macro_rules! typed {
+        ($acc:expr, $d:expr, $better:expr) => {{
+            let (acc, d) = ($acc, $d);
+            #[allow(clippy::redundant_closure_call)]
+            for p in sel.iter() {
+                if !v.is_null(p) {
+                    let g = gidx[p] as usize;
+                    if !seen[g] || $better(&d[p], &acc[g]) {
+                        acc[g] = d[p].clone();
+                        seen[g] = true;
+                    }
+                }
+            }
+        }};
+    }
+    macro_rules! ord_typed {
+        ($acc:expr, $d:expr) => {
+            if is_min {
+                typed!($acc, $d, |x, y| x < y)
+            } else {
+                typed!($acc, $d, |x, y| x > y)
+            }
+        };
+    }
+    match (vals, &v.data) {
+        (ColData::Bool(acc), ColData::Bool(d)) => ord_typed!(acc, d),
+        (ColData::I8(acc), ColData::I8(d)) => ord_typed!(acc, d),
+        (ColData::I16(acc), ColData::I16(d)) => ord_typed!(acc, d),
+        (ColData::I32(acc), ColData::I32(d)) => ord_typed!(acc, d),
+        (ColData::I64(acc), ColData::I64(d)) => ord_typed!(acc, d),
+        (ColData::Date(acc), ColData::Date(d)) => ord_typed!(acc, d),
+        (ColData::Str(acc), ColData::Str(d)) => ord_typed!(acc, d),
+        // total_cmp matches `Value::sql_cmp` for doubles (NaN sorts last).
+        (ColData::F64(acc), ColData::F64(d)) => {
+            if is_min {
+                typed!(acc, d, |x: &f64, y: &f64| x.total_cmp(y).is_lt())
+            } else {
+                typed!(acc, d, |x: &f64, y: &f64| x.total_cmp(y).is_gt())
+            }
+        }
+        (vals, other) => {
+            // Mixed types: compare via Value (cross-type numeric widening).
+            for p in sel.iter() {
+                if !v.is_null(p) {
+                    let g = gidx[p] as usize;
+                    let x = other.get_value(p);
+                    let better = if !seen[g] {
+                        true
+                    } else {
+                        match vals.get_value(g).sql_cmp(&x) {
+                            None => true,
+                            Some(o) => {
+                                if is_min {
+                                    o == std::cmp::Ordering::Greater
+                                } else {
+                                    o == std::cmp::Ordering::Less
+                                }
+                            }
+                        }
+                    };
+                    if better {
+                        vals.set_value(g, &x)?;
+                        seen[g] = true;
+                    }
                 }
             }
         }
     }
+    Ok(())
+}
+
+/// Per-batch probe scratch, reused across batches.
+#[derive(Default)]
+struct AggScratch {
+    lanes: Vec<u64>,
+    hashes: Vec<u64>,
+    cand: Vec<u32>,
+    live: SelVec,
+    active: SelVec,
+    next_active: SelVec,
+    matched: SelVec,
+    tmp: SelVec,
+    /// Resolved group id per lane (EMPTY = not yet resolved).
+    gidx: Vec<u32>,
+    /// Staged-probe buffers for the fused fast path.
+    buf: hashtable::ProbeBuf,
 }
 
 /// Hash GROUP BY operator.
@@ -183,13 +368,15 @@ pub struct HashAggregate {
     ctx: ExprCtx,
     cancel: CancelToken,
     vector_size: usize,
-    // Build state.
-    table: FxHashMap<u64, Vec<u32>>,
+    // Build state: contiguous group-key columns indexed by group id.
+    table: FlatTable,
     group_keys: Vec<Vector>,
     states: Vec<AggState>,
     n_groups: usize,
     emit_pos: usize,
     built: bool,
+    scratch: AggScratch,
+    profile: OpProfile,
 }
 
 impl HashAggregate {
@@ -217,51 +404,142 @@ impl HashAggregate {
             ctx,
             cancel,
             vector_size,
-            table: FxHashMap::default(),
+            table: FlatTable::new(),
             group_keys,
             states,
             n_groups: 0,
             emit_pos: 0,
             built: false,
+            scratch: AggScratch::default(),
+            profile: OpProfile::new("HashAggr"),
         })
     }
 
-    fn hash_row(keys: &[Vector], pos: usize) -> u64 {
-        let mut h = 0x2545_f491_4f6c_dd1du64;
-        for k in keys {
-            let vh = if k.is_null(pos) {
-                0x6b43_1293
+    /// Resolve every live lane to a group id in `scratch.gidx`, creating
+    /// groups for unseen keys. Returns chain steps visited (profiling).
+    fn resolve_groups(&mut self, keys: &[Vector], n: usize) -> Result<u64> {
+        let s = &mut self.scratch;
+        if s.gidx.len() < n {
+            s.gidx.resize(n, EMPTY);
+        }
+        let mut chain_steps = 0u64;
+        // Fast path: a single NULL-free key column resolves through the
+        // fused, type-monomorphized kernel — hash, chain walk, and key
+        // compare in one staged pass (the miss lanes fall to the scalar
+        // insert pass below, exactly like the general path's).
+        if keys.len() == 1 && keys[0].nulls.is_none() && self.group_keys[0].nulls.is_none() {
+            let n = keys[0].len();
+            let sel = if s.live.len() == n { None } else { Some(&s.live) };
+            macro_rules! fused {
+                ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
+                    let (pa, ba) = ($pa, $ba);
+                    #[allow(clippy::redundant_closure_call)]
+                    self.table.probe_groups(
+                        n,
+                        sel,
+                        |p| $hash(&pa[p]),
+                        |p, row| $eq(&pa[p], &ba[row as usize]),
+                        &mut s.gidx,
+                        &mut s.buf,
+                        &mut chain_steps,
+                    )
+                }};
+            }
+            let mut fused_ran = true;
+            hashtable::dispatch_typed_keys!(&keys[0].data, &self.group_keys[0].data, fused, {
+                fused_ran = false;
+            });
+            if fused_ran {
+                return self.insert_misses(keys, true, chain_steps);
+            }
+        }
+        // General path: hash all lanes (NULL keys hash to the NULL-group
+        // sentinel), then find existing groups for all lanes at once.
+        hashtable::hash_keys(keys, n, true, &mut s.lanes, &mut s.hashes);
+        for p in s.live.iter() {
+            s.gidx[p] = EMPTY;
+        }
+        // Vectorized pass: find existing groups for all lanes at once.
+        // `gather_matching` skips hash-mismatching chain entries inline, so
+        // every active lane holds a candidate needing only key confirmation.
+        self.table.gather_matching(
+            &s.hashes,
+            &s.live,
+            &mut s.cand,
+            &mut s.active,
+            &mut chain_steps,
+        );
+        while !s.active.is_empty() {
+            hashtable::keys_match_sel(
+                keys,
+                &self.group_keys,
+                &s.cand,
+                &s.active,
+                &mut s.tmp,
+                &mut s.matched,
+                true, // grouping: NULL keys compare equal
+            );
+            for p in s.matched.iter() {
+                s.gidx[p] = s.cand[p];
+            }
+            // Resolved lanes stop walking; the rest advance down the chain.
+            let gidx = &s.gidx;
+            s.active.retain_from(|p| gidx[p] == EMPTY, &mut s.tmp);
+            self.table.advance_matching(
+                &s.hashes,
+                &s.tmp,
+                &mut s.cand,
+                &mut s.next_active,
+                &mut chain_steps,
+            );
+            std::mem::swap(&mut s.active, &mut s.next_active);
+        }
+        self.insert_misses(keys, false, chain_steps)
+    }
+
+    /// Scalar leftover pass: unseen keys become new groups. Walking the
+    /// chain again here also catches duplicates introduced earlier in this
+    /// very batch (lane A inserts key K, lane B then finds it). Lane hashes
+    /// come from the fused kernel's staging buffer (`from_buf`) or the
+    /// general path's hash vector.
+    fn insert_misses(&mut self, keys: &[Vector], from_buf: bool, chain_steps: u64) -> Result<u64> {
+        for p in self.scratch.live.iter() {
+            if self.scratch.gidx[p] != EMPTY {
+                continue;
+            }
+            let h = if from_buf {
+                self.scratch.buf.lane_hash(p)
             } else {
-                match &k.data {
-                    ColData::Bool(v) => v[pos] as u64,
-                    ColData::I8(v) => v[pos] as u64,
-                    ColData::I16(v) => v[pos] as u64,
-                    ColData::I32(v) => v[pos] as u64,
-                    ColData::I64(v) => v[pos] as u64,
-                    ColData::F64(v) => v[pos].to_bits(),
-                    ColData::Date(v) => v[pos] as u64,
-                    ColData::Str(v) => hash_bytes(v[pos].as_bytes()),
+                self.scratch.hashes[p]
+            };
+            let found = self.table.find_chain(h, |row| {
+                keys_equal_row(keys, p, &self.group_keys, row as usize)
+            });
+            let g = match found {
+                Some(row) => row,
+                None => {
+                    let g = self.table.insert(h);
+                    debug_assert_eq!(g as usize, self.n_groups);
+                    self.n_groups += 1;
+                    for (gk, k) in self.group_keys.iter_mut().zip(keys) {
+                        gk.push(&k.get(p))?;
+                    }
+                    for st in &mut self.states {
+                        st.push_group();
+                    }
+                    g
                 }
             };
-            h = hash_combine(h, hash_u64(vh));
+            self.scratch.gidx[p] = g;
         }
-        h
-    }
-
-    fn keys_equal(stored: &[Vector], g: usize, probe: &[Vector], pos: usize) -> bool {
-        stored.iter().zip(probe).all(|(s, p)| {
-            match (s.is_null(g), p.is_null(pos)) {
-                (true, true) => true, // grouping treats NULLs as equal
-                (false, false) => s.data.get_value(g) == p.data.get_value(pos),
-                _ => false,
-            }
-        })
+        Ok(chain_steps)
     }
 
     fn build(&mut self) -> Result<()> {
         let mut input = self.input.take().expect("build once");
         while let Some(batch) = input.next()? {
             self.cancel.check()?;
+            let t0 = Instant::now();
             let keys: Vec<Vector> = self
                 .group_exprs
                 .iter()
@@ -272,37 +550,27 @@ impl HashAggregate {
                 .iter()
                 .map(|a| a.input.as_ref().map(|e| e.eval(&batch, &self.ctx)).transpose())
                 .collect::<Result<_>>()?;
-            for pos in batch.live() {
-                let h = Self::hash_row(&keys, pos);
-                let bucket = self.table.entry(h).or_default();
-                let mut gidx = None;
-                for &g in bucket.iter() {
-                    if Self::keys_equal(&self.group_keys, g as usize, &keys, pos) {
-                        gidx = Some(g as usize);
-                        break;
-                    }
-                }
-                let g = match gidx {
-                    Some(g) => g,
-                    None => {
-                        let g = self.n_groups;
-                        self.n_groups += 1;
-                        bucket.push(g as u32);
-                        for (gk, k) in self.group_keys.iter_mut().zip(&keys) {
-                            gk.push(&k.get(pos))?;
-                        }
-                        for st in &mut self.states {
-                            st.push_group();
-                        }
-                        g
-                    }
-                };
-                for ((spec, state), inp) in
-                    self.aggs.iter().zip(&mut self.states).zip(&agg_inputs)
-                {
-                    state.update(g, inp.as_ref().map(|v| (v, pos)), spec.func)?;
+            {
+                let s = &mut self.scratch;
+                match &batch.sel {
+                    Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                    None => s.live.fill_identity(batch.capacity()),
                 }
             }
+            let chain_steps = self.resolve_groups(&keys, batch.capacity())?;
+            let rows = self.scratch.live.len() as u64;
+            for ((spec, state), inp) in
+                self.aggs.iter().zip(&mut self.states).zip(&agg_inputs)
+            {
+                state.update_batch(
+                    spec.func,
+                    &self.scratch.gidx,
+                    &self.scratch.live,
+                    inp.as_ref(),
+                )?;
+            }
+            self.profile.record_phase(t0.elapsed());
+            self.profile.record_probe(rows, chain_steps);
         }
         // Global aggregation over zero rows still yields one group.
         if self.group_exprs.is_empty() && self.n_groups == 0 {
@@ -317,6 +585,18 @@ impl HashAggregate {
     }
 }
 
+/// Scalar key comparison for the new-group insert path (grouping
+/// semantics: NULL equals NULL).
+fn keys_equal_row(probe: &[Vector], p: usize, stored: &[Vector], row: usize) -> bool {
+    probe.iter().zip(stored).all(|(pk, sk)| {
+        match (pk.is_null(p), sk.is_null(row)) {
+            (true, true) => true,
+            (false, false) => pk.data.get_value(p) == sk.data.get_value(row),
+            _ => false,
+        }
+    })
+}
+
 impl Operator for HashAggregate {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -324,6 +604,10 @@ impl Operator for HashAggregate {
 
     fn name(&self) -> &'static str {
         "HashAggr"
+    }
+
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
@@ -334,23 +618,21 @@ impl Operator for HashAggregate {
         if self.emit_pos >= self.n_groups {
             return Ok(None);
         }
+        let t0 = Instant::now();
         let end = (self.emit_pos + self.vector_size).min(self.n_groups);
         let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
         for gk in &self.group_keys {
+            // Slice the contiguous key column — no per-value Value boxing.
             let mut v = Vector::new(ColData::with_capacity(gk.type_id(), end - self.emit_pos));
-            for g in self.emit_pos..end {
-                v.push(&gk.get(g))?;
-            }
+            v.extend_range(gk, self.emit_pos, end);
             columns.push(v);
         }
         for (spec, st) in self.aggs.iter().zip(&self.states) {
-            let mut v = Vector::new(ColData::with_capacity(spec.out_ty, end - self.emit_pos));
-            for g in self.emit_pos..end {
-                v.push(&st.finish(g))?;
-            }
-            columns.push(v);
+            columns.push(st.finish_range(self.emit_pos, end, spec.out_ty)?);
         }
+        let rows = end - self.emit_pos;
         self.emit_pos = end;
+        self.profile.record(rows, t0.elapsed());
         Ok(Some(Batch::new(columns)))
     }
 }
@@ -360,7 +642,7 @@ mod tests {
     use super::*;
     use crate::op::simple::Values;
     use crate::op::drain;
-    use vw_common::Field;
+    use vw_common::{Field, Value};
 
     fn schema2() -> Schema {
         Schema::new(vec![
@@ -464,6 +746,30 @@ mod tests {
     }
 
     #[test]
+    fn empty_string_key_distinct_from_null_key() {
+        // The NULL group's stored safe default is "" — a real "" key must
+        // still form its own group.
+        let src = source(vec![(None, Some(1)), (Some(""), Some(10)), (None, Some(2))]);
+        let mut op = agg(
+            src,
+            true,
+            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("sum", TypeId::I64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        let rows: Vec<Vec<Value>> = (0..2).map(|i| out.row_values(i)).collect();
+        let null_group = rows.iter().find(|r| r[0].is_null()).unwrap();
+        let empty_group = rows.iter().find(|r| !r[0].is_null()).unwrap();
+        assert_eq!(null_group[1], Value::I64(3));
+        assert_eq!(empty_group[0], Value::Str(String::new()));
+        assert_eq!(empty_group[1], Value::I64(10));
+    }
+
+    #[test]
     fn global_agg_on_empty_input_yields_one_row() {
         let src = source(vec![]);
         let mut op = agg(
@@ -524,6 +830,29 @@ mod tests {
     }
 
     #[test]
+    fn min_max_all_null_inputs_yield_null() {
+        let src = source(vec![(Some("g"), None), (Some("g"), None)]);
+        let mut op = agg(
+            src,
+            true,
+            vec![
+                AggSpec { func: AggFunc::Min, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: Some(col_v()), out_ty: TypeId::I64 },
+            ],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("min", TypeId::I64),
+                Field::nullable("max", TypeId::I64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(
+            out.row_values(0),
+            vec![Value::Str("g".into()), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
     fn sum_overflow_detected() {
         let src = source(vec![(Some("g"), Some(i64::MAX)), (Some("g"), Some(1))]);
         let mut op = agg(
@@ -536,6 +865,57 @@ mod tests {
             ],
         );
         assert!(matches!(op.next(), Err(VwError::Overflow(_))));
+    }
+
+    #[test]
+    fn duplicate_new_keys_within_one_batch_merge() {
+        // Batch size 3 → first batch introduces "a" twice; both lanes must
+        // resolve to one group.
+        let src = source(vec![
+            (Some("a"), Some(1)),
+            (Some("a"), Some(2)),
+            (Some("b"), Some(4)),
+            (Some("a"), Some(8)),
+        ]);
+        let mut op = agg(
+            src,
+            true,
+            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::nullable("sum", TypeId::I64),
+            ],
+        );
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        let mut rows: Vec<Vec<Value>> = (0..2).map(|i| out.row_values(i)).collect();
+        rows.sort_by_key(|r| r[0].to_string());
+        assert_eq!(rows[0], vec![Value::Str("a".into()), Value::I64(11)]);
+        assert_eq!(rows[1], vec![Value::Str("b".into()), Value::I64(4)]);
+    }
+
+    #[test]
+    fn agg_profile_reports_probe_stats() {
+        let src = source(vec![
+            (Some("a"), Some(1)),
+            (Some("b"), Some(2)),
+            (Some("a"), Some(3)),
+            (Some("b"), Some(4)),
+            (Some("a"), Some(5)),
+        ]);
+        let mut op = agg(
+            src,
+            true,
+            vec![AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::not_null("c", TypeId::I64),
+            ],
+        );
+        let _ = drain(&mut op).unwrap();
+        let p = Operator::profile(&op).unwrap();
+        assert_eq!(p.probe_rows, 5, "every input row probed");
+        assert!(p.probe_chain_steps > 0, "repeat keys walked chains");
     }
 
     #[test]

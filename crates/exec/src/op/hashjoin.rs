@@ -1,10 +1,18 @@
-//! Vectorized hash join.
+//! Vectorized hash join over the flat hash table.
 //!
-//! Builds a hash table on the right child, probes with vectors from the
-//! left. Supports inner, left outer, left semi, left anti, and the
-//! **NULL-aware left anti join** that gives `NOT IN` its treacherous SQL
-//! semantics — the paper singles out exactly this: "intricacies of the SQL
-//! semantics of anti-joins added significant complexity".
+//! Builds a [`FlatTable`] on the right child — key and payload columns are
+//! appended to *contiguous* vectors (no per-key bucket `Vec`s) and rows are
+//! linked through the table's chain array. Probing is vector-at-a-time:
+//! hash the whole probe key vector, gather candidate chain heads for every
+//! lane, then iteratively re-probe only the still-active lanes through a
+//! [`SelVec`], with one-word hash rejection before any key comparison. All
+//! probe scratch is reused across batches, so the steady-state loop
+//! allocates nothing.
+//!
+//! Supports inner, left outer, left semi, left anti, and the **NULL-aware
+//! left anti join** that gives `NOT IN` its treacherous SQL semantics — the
+//! paper singles out exactly this: "intricacies of the SQL semantics of
+//! anti-joins added significant complexity".
 //!
 //! NULL-aware anti join semantics (`x NOT IN (SELECT k ...)`):
 //! * a probe row whose key matches any build row is dropped;
@@ -16,9 +24,11 @@
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::expr::{ExprCtx, PhysExpr};
+use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::profile::OpProfile;
 use crate::vector::{Batch, Vector};
-use vw_common::hash::{hash_bytes, hash_combine, hash_u64, FxHashMap};
-use vw_common::{ColData, Result, Schema, Value, VwError};
+use std::time::Instant;
+use vw_common::{ColData, Result, Schema, SelVec, VwError};
 
 /// Join variants supported by the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +50,44 @@ impl JoinType {
     pub fn emits_right(self) -> bool {
         matches!(self, JoinType::Inner | JoinType::LeftOuter)
     }
+
+    /// Does a lane stop probing at its first match (existence semantics)?
+    fn first_match_only(self) -> bool {
+        !matches!(self, JoinType::Inner | JoinType::LeftOuter)
+    }
+}
+
+/// Per-batch probe scratch, reused across batches so the steady-state
+/// probe loop is allocation-free.
+#[derive(Default)]
+struct ProbeScratch {
+    /// Per-column u64 projection feeding the hash kernels.
+    lanes: Vec<u64>,
+    /// Combined key hash per lane.
+    hashes: Vec<u64>,
+    /// Candidate handle per lane (chain row / finalized slot index;
+    /// garbage outside the active set).
+    cand: Vec<u32>,
+    /// Row ids behind `cand` (see `FlatTable::candidate_rows`).
+    rows: Vec<u32>,
+    /// Live lanes of the incoming batch.
+    live: SelVec,
+    /// Live lanes with no NULL key component.
+    nonnull: SelVec,
+    /// Lanes still walking a chain; ping-pongs with `next_active`.
+    active: SelVec,
+    next_active: SelVec,
+    /// Lanes passing full key comparison this round.
+    matched: SelVec,
+    /// keys_match_sel column ping-pong buffer.
+    tmp: SelVec,
+    /// Per-lane "has matched" flag (semi/anti/outer bookkeeping).
+    matched_flags: Vec<bool>,
+    /// Staged-probe buffers for the fused fast path.
+    buf: hashtable::ProbeBuf,
+    /// Output pairs: probe position / build row (EMPTY pads outer misses).
+    out_probe: Vec<u32>,
+    out_build: Vec<u32>,
 }
 
 /// Hash join operator (right side = build, left side = probe).
@@ -52,13 +100,14 @@ pub struct HashJoin {
     schema: Schema,
     ctx: ExprCtx,
     cancel: CancelToken,
-    // Build state.
+    // Build state: contiguous columns indexed by the table's row ids.
     build_cols: Vec<Vector>,
     build_keys: Vec<Vector>,
-    table: FxHashMap<u64, Vec<u32>>,
+    table: FlatTable,
     build_has_null_key: bool,
-    build_rows: usize,
     built: bool,
+    scratch: ProbeScratch,
+    profile: OpProfile,
 }
 
 impl HashJoin {
@@ -88,45 +137,16 @@ impl HashJoin {
             cancel,
             build_cols: Vec::new(),
             build_keys: Vec::new(),
-            table: FxHashMap::default(),
+            table: FlatTable::new(),
             build_has_null_key: false,
-            build_rows: 0,
             built: false,
+            scratch: ProbeScratch::default(),
+            profile: OpProfile::new("HashJoin"),
         }
-    }
-
-    fn hash_row(keys: &[Vector], pos: usize) -> u64 {
-        let mut h = 0x8f3a_91c2_17b4_55e7u64;
-        for k in keys {
-            let vh = match &k.data {
-                ColData::Bool(v) => v[pos] as u64,
-                ColData::I8(v) => v[pos] as u64,
-                ColData::I16(v) => v[pos] as u64,
-                ColData::I32(v) => v[pos] as u64,
-                ColData::I64(v) => v[pos] as u64,
-                ColData::F64(v) => v[pos].to_bits(),
-                ColData::Date(v) => v[pos] as u64,
-                ColData::Str(v) => hash_bytes(v[pos].as_bytes()),
-            };
-            h = hash_combine(h, hash_u64(vh));
-        }
-        h
-    }
-
-    fn row_has_null_key(keys: &[Vector], pos: usize) -> bool {
-        keys.iter().any(|k| k.is_null(pos))
-    }
-
-    fn keys_match(build: &[Vector], b: usize, probe: &[Vector], p: usize) -> bool {
-        build
-            .iter()
-            .zip(probe)
-            .all(|(bk, pk)| bk.data.get_value(b) == pk.data.get_value(p))
     }
 
     fn build(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build once");
-        let right_width = right.schema().len();
         self.build_cols = right
             .schema()
             .fields
@@ -145,26 +165,171 @@ impl HashJoin {
                 .iter()
                 .map(|e| e.eval(&batch, &self.ctx))
                 .collect::<Result<_>>()?;
-            for pos in batch.live() {
-                if Self::row_has_null_key(&keys, pos) {
-                    self.build_has_null_key = true;
-                    continue; // NULL keys never match; no need to store
-                }
-                let idx = self.build_rows as u32;
-                self.build_rows += 1;
-                for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
-                    dst.push(&src.get(pos))?;
-                }
-                for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
-                    dst.push(&src.get(pos))?;
-                }
-                let h = Self::hash_row(&keys, pos);
-                self.table.entry(h).or_default().push(idx);
+            let s = &mut self.scratch;
+            match &batch.sel {
+                Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                None => s.live.fill_identity(batch.capacity()),
             }
+            // NULL keys never match any probe: drop them at build time and
+            // remember they existed (NULL-aware anti join needs to know).
+            s.live
+                .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+            if s.nonnull.len() != s.live.len() {
+                self.build_has_null_key = true;
+            }
+            if s.nonnull.is_empty() {
+                continue;
+            }
+            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                dst.extend_gather_sel(src, &s.nonnull);
+            }
+            for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
+                dst.extend_gather_sel(src, &s.nonnull);
+            }
+            hashtable::hash_keys(&keys, batch.capacity(), false, &mut s.lanes, &mut s.hashes);
+            self.table.insert_batch(&s.hashes, Some(&s.nonnull));
         }
-        let _ = right_width;
+        // Build is complete: convert the chains into the bucket-grouped
+        // contiguous (CSR) layout so every probe is a short sequential scan.
+        self.table.finalize();
         self.built = true;
         Ok(())
+    }
+
+    /// Vectorized probe of one batch's non-NULL lanes. Fills
+    /// `scratch.out_probe`/`out_build` for pair-emitting join types and
+    /// `scratch.matched_flags` for all; returns chain steps visited.
+    fn probe_batch(&mut self, keys: &[Vector]) -> u64 {
+        let s = &mut self.scratch;
+        let emit_pairs = !self.join_type.first_match_only();
+        let n = keys.first().map_or(0, Vector::len);
+        // Reset per-lane flags only for the lanes this batch owns.
+        if s.matched_flags.len() < n {
+            s.matched_flags.resize(n, false);
+        }
+        for p in s.live.iter() {
+            s.matched_flags[p] = false;
+        }
+        let mut chain_steps = 0u64;
+        // Fast path: single-column keys probe through a fused kernel
+        // monomorphized per type — hash, chain walk, and key compare in one
+        // pass per lane with no intermediate SelVec rounds or hash buffer.
+        // Build-side key columns never hold NULLs (dropped at build), and
+        // NULL probe lanes are outside `nonnull`, so a plain data compare
+        // is exact. A full selection (no NULLs, dense batch) drops the
+        // selection indirection entirely.
+        if keys.len() == 1 {
+            let n = keys[0].len();
+            let sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
+            macro_rules! fused {
+                ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
+                    let (pa, ba) = ($pa, $ba);
+                    #[allow(clippy::redundant_closure_call)]
+                    self.table.probe_join(
+                        n,
+                        sel,
+                        emit_pairs,
+                        |p| $hash(&pa[p]),
+                        |p, row| $eq(&pa[p], &ba[row as usize]),
+                        &mut s.matched_flags,
+                        &mut s.out_probe,
+                        &mut s.out_build,
+                        &mut s.buf,
+                        &mut chain_steps,
+                    )
+                }};
+            }
+            hashtable::dispatch_typed_keys!(&keys[0].data, &self.build_keys[0].data, fused, {
+                self.probe_general(keys, emit_pairs, &mut chain_steps);
+            });
+            return chain_steps;
+        }
+        self.probe_general(keys, emit_pairs, &mut chain_steps);
+        chain_steps
+    }
+
+    /// General vectorized probe: gather hash-matching candidates for all
+    /// lanes, then iteratively confirm keys and re-probe the still-active
+    /// lanes through `SelVec`s (multi-column or mixed-type keys).
+    fn probe_general(&mut self, keys: &[Vector], emit_pairs: bool, chain_steps: &mut u64) {
+        let s = &mut self.scratch;
+        let n = keys.first().map_or(0, Vector::len);
+        hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+        // Every lane in `active` holds a hash-matching candidate; the loop
+        // below only confirms keys and re-probes the (rare) hash-collision
+        // or multi-match lanes.
+        self.table.gather_matching(
+            &s.hashes,
+            &s.nonnull,
+            &mut s.cand,
+            &mut s.active,
+            chain_steps,
+        );
+        while !s.active.is_empty() {
+            self.table.candidate_rows(&s.cand, &s.active, &mut s.rows);
+            hashtable::keys_match_sel(
+                keys,
+                &self.build_keys,
+                &s.rows,
+                &s.active,
+                &mut s.tmp,
+                &mut s.matched,
+                false,
+            );
+            for p in s.matched.iter() {
+                s.matched_flags[p] = true;
+                if emit_pairs {
+                    s.out_probe.push(p as u32);
+                    s.out_build.push(s.rows[p]);
+                }
+            }
+            if emit_pairs {
+                self.table.advance_matching(
+                    &s.hashes,
+                    &s.active,
+                    &mut s.cand,
+                    &mut s.next_active,
+                    chain_steps,
+                );
+            } else {
+                // Existence semantics: matched lanes stop walking.
+                let flags = &s.matched_flags;
+                s.active.retain_from(|p| !flags[p], &mut s.tmp);
+                self.table.advance_matching(
+                    &s.hashes,
+                    &s.tmp,
+                    &mut s.cand,
+                    &mut s.next_active,
+                    chain_steps,
+                );
+            }
+            std::mem::swap(&mut s.active, &mut s.next_active);
+        }
+    }
+
+    /// Assemble the output batch from the recorded pairs.
+    fn assemble(&mut self, batch: &Batch) -> Result<Option<Batch>> {
+        let s = &self.scratch;
+        if s.out_probe.is_empty() {
+            return Ok(None);
+        }
+        let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
+        for src in &batch.columns {
+            columns.push(src.gather_indices(&s.out_probe));
+        }
+        if self.join_type.emits_right() {
+            for src in &self.build_cols {
+                columns.push(src.gather_indices_padded(&s.out_build, EMPTY));
+            }
+        }
+        if columns.len() != self.schema.len() {
+            return Err(VwError::Plan(format!(
+                "join schema arity mismatch: {} vs {}",
+                columns.len(),
+                self.schema.len()
+            )));
+        }
+        Ok(Some(Batch::new(columns)))
     }
 }
 
@@ -177,127 +342,113 @@ impl Operator for HashJoin {
         "HashJoin"
     }
 
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         if !self.built {
+            let t0 = Instant::now();
             self.build()?;
+            self.profile.record_phase(t0.elapsed());
         }
         loop {
             self.cancel.check()?;
             let Some(batch) = self.left.next()? else {
                 return Ok(None);
             };
+            let t0 = Instant::now();
             let keys: Vec<Vector> = self
                 .left_keys
                 .iter()
                 .map(|e| e.eval(&batch, &self.ctx))
                 .collect::<Result<_>>()?;
-            // (probe position, build row or None-for-outer-miss)
-            let mut pairs: Vec<(u32, Option<u32>)> = Vec::with_capacity(batch.rows());
-            for pos in batch.live() {
-                let null_key = Self::row_has_null_key(&keys, pos);
-                match self.join_type {
-                    JoinType::Inner | JoinType::LeftSemi => {
-                        if null_key {
-                            continue;
-                        }
-                        let h = Self::hash_row(&keys, pos);
-                        if let Some(bucket) = self.table.get(&h) {
-                            for &b in bucket {
-                                if Self::keys_match(&self.build_keys, b as usize, &keys, pos) {
-                                    pairs.push((pos as u32, Some(b)));
-                                    if self.join_type == JoinType::LeftSemi {
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    JoinType::LeftOuter => {
-                        let mut matched = false;
-                        if !null_key {
-                            let h = Self::hash_row(&keys, pos);
-                            if let Some(bucket) = self.table.get(&h) {
-                                for &b in bucket {
-                                    if Self::keys_match(&self.build_keys, b as usize, &keys, pos) {
-                                        pairs.push((pos as u32, Some(b)));
-                                        matched = true;
-                                    }
-                                }
-                            }
-                        }
-                        if !matched {
-                            pairs.push((pos as u32, None));
+            {
+                let s = &mut self.scratch;
+                s.out_probe.clear();
+                s.out_build.clear();
+                match &batch.sel {
+                    Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                    None => s.live.fill_identity(batch.capacity()),
+                }
+                s.live
+                    .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+            }
+
+            // NULL-aware anti short-circuits: any build NULL key → nothing
+            // can ever pass; empty build side → everything passes.
+            let skip_probe = self.join_type == JoinType::NullAwareLeftAnti
+                && (self.build_has_null_key || self.table.is_empty());
+            let chain_steps = if skip_probe { 0 } else { self.probe_batch(&keys) };
+            // Skipped probes contribute nothing to the chain-length
+            // observable — counting their lanes would dilute the average.
+            let probed = if skip_probe { 0 } else { self.scratch.nonnull.len() as u64 };
+
+            // Emit the non-pair join types from the matched flags, in probe
+            // order (pair emitters filled out_probe during the walk).
+            let s = &mut self.scratch;
+            match self.join_type {
+                JoinType::Inner => {}
+                JoinType::LeftOuter => {
+                    // Unmatched live lanes (NULL keys included) pad with NULLs.
+                    let flags = &s.matched_flags;
+                    for p in s.live.iter() {
+                        if !flags[p] {
+                            s.out_probe.push(p as u32);
+                            s.out_build.push(EMPTY);
                         }
                     }
-                    JoinType::LeftAnti => {
-                        let mut matched = false;
-                        if !null_key {
-                            let h = Self::hash_row(&keys, pos);
-                            if let Some(bucket) = self.table.get(&h) {
-                                matched = bucket.iter().any(|&b| {
-                                    Self::keys_match(&self.build_keys, b as usize, &keys, pos)
-                                });
-                            }
-                        }
-                        if !matched {
-                            pairs.push((pos as u32, None));
+                }
+                JoinType::LeftSemi => {
+                    let flags = &s.matched_flags;
+                    for p in s.nonnull.iter() {
+                        if flags[p] {
+                            s.out_probe.push(p as u32);
                         }
                     }
-                    JoinType::NullAwareLeftAnti => {
-                        // Empty build side: everything passes, NULL keys too.
-                        if self.build_rows == 0 && !self.build_has_null_key {
-                            pairs.push((pos as u32, None));
-                            continue;
+                }
+                JoinType::LeftAnti => {
+                    // NOT EXISTS: NULL-key probe lanes never match → emitted.
+                    let flags = &s.matched_flags;
+                    for p in s.live.iter() {
+                        if !flags[p] {
+                            s.out_probe.push(p as u32);
                         }
-                        // Any build NULL key: nothing can pass.
-                        if self.build_has_null_key || null_key {
-                            continue;
+                    }
+                }
+                JoinType::NullAwareLeftAnti => {
+                    if self.build_has_null_key {
+                        // x NOT IN (..., NULL) is never TRUE: emit nothing.
+                    } else if self.table.is_empty() {
+                        // x NOT IN (empty) is TRUE for all x, NULL included.
+                        for p in s.live.iter() {
+                            s.out_probe.push(p as u32);
                         }
-                        let h = Self::hash_row(&keys, pos);
-                        let matched = self.table.get(&h).is_some_and(|bucket| {
-                            bucket.iter().any(|&b| {
-                                Self::keys_match(&self.build_keys, b as usize, &keys, pos)
-                            })
-                        });
-                        if !matched {
-                            pairs.push((pos as u32, None));
+                    } else {
+                        let flags = &s.matched_flags;
+                        for p in s.nonnull.iter() {
+                            if !flags[p] {
+                                s.out_probe.push(p as u32);
+                            }
                         }
                     }
                 }
             }
-            if pairs.is_empty() {
-                continue;
-            }
-            // Assemble output: gather left columns by probe position...
-            let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
-            for src in &batch.columns {
-                let mut v = Vector::new(ColData::with_capacity(src.type_id(), pairs.len()));
-                for &(p, _) in &pairs {
-                    v.push(&src.get(p as usize))?;
+
+            let out = self.assemble(&batch)?;
+            self.profile.record_probe(probed, chain_steps);
+            match out {
+                // `invocations` counts emitted batches; batches probed
+                // without output still contribute time and probe counters.
+                Some(b) => {
+                    self.profile.record(b.rows(), t0.elapsed());
+                    return Ok(Some(b));
                 }
-                columns.push(v);
-            }
-            // ...then build columns by matched row (NULLs on outer misses).
-            if self.join_type.emits_right() {
-                for src in &self.build_cols {
-                    let mut v = Vector::new(ColData::with_capacity(src.type_id(), pairs.len()));
-                    for &(_, b) in &pairs {
-                        match b {
-                            Some(b) => v.push(&src.get(b as usize))?,
-                            None => v.push(&Value::Null)?,
-                        }
-                    }
-                    columns.push(v);
+                None => {
+                    self.profile.record_phase(t0.elapsed());
+                    continue;
                 }
             }
-            if columns.len() != self.schema.len() {
-                return Err(VwError::Plan(format!(
-                    "join schema arity mismatch: {} vs {}",
-                    columns.len(),
-                    self.schema.len()
-                )));
-            }
-            return Ok(Some(Batch::new(columns)));
         }
     }
 }
@@ -307,7 +458,7 @@ mod tests {
     use super::*;
     use crate::op::drain;
     use crate::op::simple::Values;
-    use vw_common::{Field, TypeId};
+    use vw_common::{Field, TypeId, Value};
 
     fn schema_kv(prefix: &str) -> Schema {
         Schema::new(vec![
@@ -458,5 +609,82 @@ mod tests {
         );
         let out = drain(&mut j).unwrap();
         assert_eq!(out.rows(), 2);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let schema = Schema::new(vec![
+            Field::nullable("a", TypeId::I64),
+            Field::nullable("b", TypeId::I64),
+        ])
+        .unwrap();
+        let mk = |rows: Vec<(i64, i64)>| -> BoxedOp {
+            let rows = rows
+                .into_iter()
+                .map(|(a, b)| vec![Value::I64(a), Value::I64(b)])
+                .collect();
+            Box::new(Values::new(schema.clone(), rows, 4, CancelToken::new()))
+        };
+        let keys = || {
+            vec![
+                PhysExpr::ColRef(0, TypeId::I64),
+                PhysExpr::ColRef(1, TypeId::I64),
+            ]
+        };
+        let mut j = HashJoin::new(
+            mk(vec![(1, 10), (1, 20), (2, 10)]),
+            mk(vec![(1, 10), (2, 20), (2, 10)]),
+            keys(),
+            keys(),
+            JoinType::LeftSemi,
+            schema.clone(),
+            ExprCtx::default(),
+            CancelToken::new(),
+        );
+        let out = drain(&mut j).unwrap();
+        // Only (1,10) and (2,10) exist on both sides.
+        assert_eq!(out.rows(), 2);
+    }
+
+    #[test]
+    fn probe_profile_reports_chain_steps() {
+        let l = source("l", vec![(Some(2), "a"), (Some(3), "b"), (Some(7), "c")]);
+        let r = source("r", vec![(Some(2), "x"), (Some(3), "y"), (Some(3), "z")]);
+        let mut j = join(l, r, JoinType::Inner);
+        let _ = drain(&mut j).unwrap();
+        let p = Operator::profile(&j).unwrap();
+        assert_eq!(p.probe_rows, 3, "three probe keys hashed");
+        assert!(p.probe_chain_steps >= 2, "matching lanes walked chains");
+        assert!(p.avg_chain_len() > 0.0);
+    }
+
+    #[test]
+    fn large_join_correct_across_growth() {
+        // Enough build rows to force several directory rebuilds, with a
+        // known match pattern: probe key k matches build rows with key k%n.
+        let n: i64 = 10_000;
+        let schema = Schema::new(vec![Field::nullable("k", TypeId::I64)]).unwrap();
+        let mk = |vals: Vec<i64>| -> BoxedOp {
+            let rows = vals.into_iter().map(|v| vec![Value::I64(v)]).collect();
+            Box::new(Values::new(schema.clone(), rows, 1024, CancelToken::new()))
+        };
+        let build: Vec<i64> = (0..n).collect();
+        let probe: Vec<i64> = (0..2 * n).collect(); // half miss
+        let mut j = HashJoin::new(
+            mk(probe),
+            mk(build),
+            vec![PhysExpr::ColRef(0, TypeId::I64)],
+            vec![PhysExpr::ColRef(0, TypeId::I64)],
+            JoinType::Inner,
+            schema.join(&schema),
+            ExprCtx::default(),
+            CancelToken::new(),
+        );
+        let out = drain(&mut j).unwrap();
+        assert_eq!(out.rows(), n as usize);
+        for i in 0..out.rows() {
+            let r = out.row_values(i);
+            assert_eq!(r[0], r[1], "probe key equals matched build key");
+        }
     }
 }

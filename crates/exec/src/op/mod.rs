@@ -19,6 +19,7 @@ pub use simple::{Limit, Project, Select, UnionAll, Values};
 pub use sort::{Sort, SortKey, TopN};
 pub use xchg::Xchg;
 
+use crate::profile::OpProfile;
 use crate::vector::Batch;
 use vw_common::{Result, Schema};
 
@@ -30,6 +31,11 @@ pub trait Operator: Send {
     fn next(&mut self) -> Result<Option<Batch>>;
     /// Operator display name (EXPLAIN / profiling).
     fn name(&self) -> &'static str;
+    /// Internal profiling counters, when the operator keeps them (the
+    /// hash operators report probe-chain statistics here).
+    fn profile(&self) -> Option<&OpProfile> {
+        None
+    }
 }
 
 /// Owned boxed operator.

@@ -33,8 +33,23 @@ pub fn map_bin_full<T: Copy, U: Copy, R>(a: &[T], b: &[U], out: &mut Vec<R>, mut
     out.extend(a.iter().zip(b).map(|(&x, &y)| f(x, y)));
 }
 
-/// Selective binary map: `out[p] = f(a[p], b[p])` for selected `p`; other
-/// output positions hold `R::default()`.
+/// Resize `out` to `n` lanes without initializing anything already there:
+/// shrink or grow once, never rewrite surviving lanes. New lanes (growth
+/// only) get `R::default()`; lanes carried over keep whatever stale value
+/// the previous vector held.
+#[inline]
+fn resize_uninit<R: Default + Clone>(out: &mut Vec<R>, n: usize) {
+    if out.len() != n {
+        out.resize(n, R::default());
+    }
+}
+
+/// Selective binary map: `out[p] = f(a[p], b[p])` for selected `p`.
+///
+/// **Unselected lanes are garbage** (stale values from earlier batches or
+/// defaults) — exactly X100's selective-primitive contract. Consumers must
+/// read the output only through the same selection vector. In exchange the
+/// kernel touches `sel.len()` lanes, not `a.len()`: no per-call zero-fill.
 #[inline]
 pub fn map_bin_sel<T: Copy, U: Copy, R: Default + Clone>(
     a: &[T],
@@ -43,8 +58,7 @@ pub fn map_bin_sel<T: Copy, U: Copy, R: Default + Clone>(
     out: &mut Vec<R>,
     mut f: impl FnMut(T, U) -> R,
 ) {
-    out.clear();
-    out.resize(a.len(), R::default());
+    resize_uninit(out, a.len());
     for p in sel.iter() {
         out[p] = f(a[p], b[p]);
     }
@@ -57,7 +71,8 @@ pub fn map_un_full<T: Copy, R>(a: &[T], out: &mut Vec<R>, mut f: impl FnMut(T) -
     out.extend(a.iter().map(|&x| f(x)));
 }
 
-/// Selective unary map.
+/// Selective unary map. **Unselected output lanes are garbage** — see
+/// [`map_bin_sel`].
 #[inline]
 pub fn map_un_sel<T: Copy, R: Default + Clone>(
     a: &[T],
@@ -65,8 +80,7 @@ pub fn map_un_sel<T: Copy, R: Default + Clone>(
     out: &mut Vec<R>,
     mut f: impl FnMut(T) -> R,
 ) {
-    out.clear();
-    out.resize(a.len(), R::default());
+    resize_uninit(out, a.len());
     for p in sel.iter() {
         out[p] = f(a[p]);
     }
@@ -110,6 +124,22 @@ pub fn select_bin_sel<T: Copy, U: Copy>(
     }
 }
 
+/// Selective gather-equality: keep lanes `p` of `sel` where
+/// `a[p] == b[idx[p]]` under `eq`. The hash-table probe loop uses this to
+/// compare a probe key vector against gathered build-side candidate rows;
+/// `eq` is monomorphized per type (bit equality for floats, `==` elsewhere).
+#[inline]
+pub fn select_eq_gather_by<T>(
+    a: &[T],
+    b: &[T],
+    idx: &[u32],
+    sel: &SelVec,
+    out: &mut SelVec,
+    mut eq: impl FnMut(&T, &T) -> bool,
+) {
+    sel.retain_from(|p| eq(&a[p], &b[idx[p] as usize]), out);
+}
+
 /// Run a predicate against the live positions described by `sel`.
 #[inline]
 pub fn select_by(n: usize, sel: Option<&SelVec>, out: &mut SelVec, mut pred: impl FnMut(usize) -> bool) {
@@ -140,7 +170,8 @@ pub fn select_by(n: usize, sel: Option<&SelVec>, out: &mut SelVec, mut pred: imp
 macro_rules! checked_int_kernel {
     ($name:ident, $wrap:ident, $overflowing:ident, $checked:ident, $opname:literal) => {
         /// Vectorized i64 arithmetic under the chosen checking strategy.
-        /// `sel = None` processes all positions.
+        /// `sel = None` processes all positions. With a selection, unselected
+        /// output lanes are garbage (see [`map_bin_sel`]).
         pub fn $name(
             a: &[i64],
             b: &[i64],
@@ -149,18 +180,19 @@ macro_rules! checked_int_kernel {
             check: ArithCheck,
         ) -> Result<()> {
             debug_assert_eq!(a.len(), b.len());
-            out.clear();
             match (check, sel) {
                 (ArithCheck::Unchecked, None) => {
+                    out.clear();
                     out.extend(a.iter().zip(b).map(|(&x, &y)| x.$wrap(y)));
                 }
                 (ArithCheck::Unchecked, Some(s)) => {
-                    out.resize(a.len(), 0);
+                    resize_uninit(out, a.len());
                     for p in s.iter() {
                         out[p] = a[p].$wrap(b[p]);
                     }
                 }
                 (ArithCheck::Naive, None) => {
+                    out.clear();
                     for (&x, &y) in a.iter().zip(b) {
                         match x.$checked(y) {
                             Some(v) => out.push(v),
@@ -169,7 +201,7 @@ macro_rules! checked_int_kernel {
                     }
                 }
                 (ArithCheck::Naive, Some(s)) => {
-                    out.resize(a.len(), 0);
+                    resize_uninit(out, a.len());
                     for p in s.iter() {
                         match a[p].$checked(b[p]) {
                             Some(v) => out[p] = v,
@@ -178,6 +210,7 @@ macro_rules! checked_int_kernel {
                     }
                 }
                 (ArithCheck::Lazy, None) => {
+                    out.clear();
                     let mut flag = false;
                     out.extend(a.iter().zip(b).map(|(&x, &y)| {
                         let (v, o) = x.$overflowing(y);
@@ -190,7 +223,7 @@ macro_rules! checked_int_kernel {
                 }
                 (ArithCheck::Lazy, Some(s)) => {
                     let mut flag = false;
-                    out.resize(a.len(), 0);
+                    resize_uninit(out, a.len());
                     for p in s.iter() {
                         let (v, o) = a[p].$overflowing(b[p]);
                         flag |= o;
@@ -220,7 +253,6 @@ pub fn div_i64(
     out: &mut Vec<i64>,
     check: ArithCheck,
 ) -> Result<()> {
-    out.clear();
     let run = |x: i64, y: i64, err: &mut u8| -> i64 {
         if y == 0 {
             *err |= 1;
@@ -235,6 +267,7 @@ pub fn div_i64(
     let mut err = 0u8;
     match sel {
         None => {
+            out.clear();
             if check == ArithCheck::Naive {
                 for (&x, &y) in a.iter().zip(b) {
                     let v = run(x, y, &mut err);
@@ -248,7 +281,7 @@ pub fn div_i64(
             }
         }
         Some(s) => {
-            out.resize(a.len(), 0);
+            resize_uninit(out, a.len());
             for p in s.iter() {
                 out[p] = run(a[p], b[p], &mut err);
                 if check == ArithCheck::Naive && err != 0 {
@@ -271,7 +304,6 @@ pub fn rem_i64(
     out: &mut Vec<i64>,
     check: ArithCheck,
 ) -> Result<()> {
-    out.clear();
     let mut err = 0u8;
     let run = |x: i64, y: i64, err: &mut u8| -> i64 {
         if y == 0 {
@@ -284,9 +316,12 @@ pub fn rem_i64(
         }
     };
     match sel {
-        None => out.extend(a.iter().zip(b).map(|(&x, &y)| run(x, y, &mut err))),
+        None => {
+            out.clear();
+            out.extend(a.iter().zip(b).map(|(&x, &y)| run(x, y, &mut err)));
+        }
         Some(s) => {
-            out.resize(a.len(), 0);
+            resize_uninit(out, a.len());
             for p in s.iter() {
                 out[p] = run(a[p], b[p], &mut err);
             }
@@ -340,7 +375,23 @@ mod tests {
         map_bin_sel(&a, &b, &sel, &mut out, |x, y| x * y);
         assert_eq!(out[1], 40);
         assert_eq!(out[3], 160);
-        assert_eq!(out[0], 0, "unselected positions defaulted");
+        // Unselected lanes are garbage (here: stale values from the full
+        // map above) — the kernel must not have spent time clearing them.
+        assert_eq!(out[0], 11, "unselected lanes keep stale values");
+        assert_eq!(out.len(), a.len());
+    }
+
+    #[test]
+    fn sel_maps_only_touch_selected_lanes() {
+        let a = [7i64; 8];
+        let mut out = vec![-1i64; 8];
+        let sel = SelVec::from_positions(vec![2, 5]);
+        map_un_sel(&a, &sel, &mut out, |x| x * 2);
+        assert_eq!(out[2], 14);
+        assert_eq!(out[5], 14);
+        for p in [0usize, 1, 3, 4, 6, 7] {
+            assert_eq!(out[p], -1, "lane {p} must be untouched");
+        }
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub struct OpProfile {
     /// Wall time spent inside this operator's `next()` (excluding children
     /// when wrapped individually).
     pub time: Duration,
+    /// Keys probed against a hash table (join probe rows / aggregation
+    /// input rows). Zero for operators without a probe phase.
+    pub probe_rows: u64,
+    /// Total hash-chain entries visited while probing. The ratio
+    /// `probe_chain_steps / probe_rows` is the average chain length — the
+    /// observable that catches hash-layout regressions (a degraded
+    /// directory or clustered hash function shows up here long before it
+    /// shows up in wall time).
+    pub probe_chain_steps: u64,
 }
 
 impl OpProfile {
@@ -34,6 +43,33 @@ impl OpProfile {
         self.invocations += 1;
         self.rows_out += rows as u64;
         self.time += elapsed;
+    }
+
+    /// Attribute wall time to this operator without counting a `next()`
+    /// invocation — internal phases like hash build or per-input-batch
+    /// aggregation work that do not emit a batch.
+    #[inline]
+    pub fn record_phase(&mut self, elapsed: Duration) {
+        self.time += elapsed;
+    }
+
+    /// Record a probe pass: `rows` keys looked up, visiting `chain_steps`
+    /// chain entries in total.
+    #[inline]
+    pub fn record_probe(&mut self, rows: u64, chain_steps: u64) {
+        self.probe_rows += rows;
+        self.probe_chain_steps += chain_steps;
+    }
+
+    /// Average hash-chain entries visited per probed key (0 when nothing
+    /// was probed). Healthy flat tables stay near 1; growth signals a
+    /// clustered hash or an under-sized directory.
+    pub fn avg_chain_len(&self) -> f64 {
+        if self.probe_rows == 0 {
+            0.0
+        } else {
+            self.probe_chain_steps as f64 / self.probe_rows as f64
+        }
     }
 
     /// Measure a closure and record its output rows.
@@ -58,17 +94,25 @@ pub struct QueryProfile {
 }
 
 impl QueryProfile {
-    /// Render as an `EXPLAIN ANALYZE`-style table.
+    /// Render as an `EXPLAIN ANALYZE`-style table. Operators that probed a
+    /// hash table also report their average probe-chain length.
     pub fn render(&self) -> String {
-        let mut out = String::from("operator                          calls       rows     time\n");
+        let mut out =
+            String::from("operator                          calls       rows     time    chain\n");
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
+            let chain = if p.probe_rows > 0 {
+                format!("{:>8.2}", p.avg_chain_len())
+            } else {
+                format!("{:>8}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
                 p.time.as_secs_f64() * 1e3,
+                chain,
             ));
         }
         out
@@ -96,6 +140,20 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert_eq!(p.rows_out, 3);
         assert_eq!(p.invocations, 1);
+    }
+
+    #[test]
+    fn probe_chain_average() {
+        let mut p = OpProfile::new("HashJoin");
+        assert_eq!(p.avg_chain_len(), 0.0);
+        p.record_probe(100, 130);
+        p.record_probe(100, 70);
+        assert_eq!(p.probe_rows, 200);
+        assert_eq!(p.probe_chain_steps, 200);
+        assert!((p.avg_chain_len() - 1.0).abs() < 1e-9);
+        let mut q = QueryProfile::default();
+        q.operators.push((0, p));
+        assert!(q.render().contains("1.00"), "chain column rendered");
     }
 
     #[test]

@@ -96,6 +96,50 @@ impl Vector {
         Vector::with_nulls(data, nulls)
     }
 
+    /// Gather arbitrary row indices — unsorted and repeatable, unlike
+    /// [`Vector::gather`]'s sorted [`SelVec`] — into a new vector. The join
+    /// output assembler uses this: one probe row matching N build rows
+    /// repeats its index N times.
+    pub fn gather_indices(&self, idx: &[u32]) -> Vector {
+        let mut data = ColData::with_capacity(self.type_id(), idx.len());
+        data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|m| idx.iter().map(|&i| m[i as usize]).collect::<Vec<bool>>());
+        Vector::with_nulls(data, nulls)
+    }
+
+    /// Like [`Vector::gather_indices`], but lanes equal to `sentinel`
+    /// produce SQL NULL (left-outer-join padding for unmatched probe rows).
+    pub fn gather_indices_padded(&self, idx: &[u32], sentinel: u32) -> Vector {
+        let mut data = ColData::with_capacity(self.type_id(), idx.len());
+        data.extend_gather_padded(&self.data, idx, sentinel);
+        let nulls: Vec<bool> = idx
+            .iter()
+            .map(|&i| i == sentinel || self.is_null(i as usize))
+            .collect();
+        Vector::with_nulls(data, Some(nulls))
+    }
+
+    /// Append the lanes of `src` selected by `sel` (vectorized hash-build
+    /// append: batch rows flow into the contiguous build-side vectors).
+    pub fn extend_gather_sel(&mut self, src: &Vector, sel: &SelVec) {
+        match (&mut self.nulls, &src.nulls) {
+            (Some(a), Some(b)) => a.extend(sel.iter().map(|p| b[p])),
+            (Some(a), None) => a.extend(std::iter::repeat_n(false, sel.len())),
+            (None, Some(b)) => {
+                if sel.iter().any(|p| b[p]) {
+                    let mut m = vec![false; self.len()];
+                    m.extend(sel.iter().map(|p| b[p]));
+                    self.nulls = Some(m);
+                }
+            }
+            (None, None) => {}
+        }
+        self.data.extend_gather(&src.data, sel.iter());
+    }
+
     /// Concatenate `other[start..end]` onto this vector.
     pub fn extend_range(&mut self, other: &Vector, start: usize, end: usize) {
         match (&mut self.nulls, &other.nulls) {

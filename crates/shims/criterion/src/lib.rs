@@ -1,0 +1,177 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this crate implements the
+//! API subset the workspace benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup`
+//! configuration chaining, `Bencher::iter`, `black_box` — with a simple
+//! warm-up + timed-window mean instead of criterion's full statistics. The
+//! printed `name: mean ns/iter (iters)` lines are enough to compare
+//! implementations; swap in real criterion when a registry is reachable.
+
+use std::hint;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement markers (only wall-clock time is supported).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Per-invocation timing state handed to `bench_function` closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly within the measurement budget, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call warms caches and page-faults allocations in.
+        black_box(f());
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.total = elapsed;
+                break;
+            }
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// A named group of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples (accepted for API compatibility; unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Total time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up pass: run the closure with a tiny budget, discard results.
+        let mut warm = Bencher { total: Duration::ZERO, iters: 0, budget: self.warm_up };
+        f(&mut warm);
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.measurement };
+        f(&mut b);
+        println!(
+            "{}/{}: {:>12.1} ns/iter ({} iters)",
+            self.name,
+            id,
+            b.mean_ns(),
+            b.iters
+        );
+        self
+    }
+
+    /// End the group (separator line; criterion parity).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Define a group-runner function invoking each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(10)).warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

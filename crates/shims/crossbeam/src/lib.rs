@@ -1,0 +1,75 @@
+//! Offline stand-in for the `crossbeam` crate (channel module only).
+//!
+//! The workspace uses exactly `crossbeam::channel::{bounded, Receiver}` with
+//! cloneable senders; `std::sync::mpsc::sync_channel` provides the same
+//! semantics (bounded capacity, blocking send, cloneable `SyncSender`), so
+//! this shim is a thin re-wrap that keeps the crossbeam names.
+
+/// Multi-producer channels with bounded capacity.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; cloneable like crossbeam's `Sender`.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side has disconnected.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is enqueued or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// A bounded channel holding at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn bounded_multi_producer() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        let h1 = std::thread::spawn(move || (0..10).for_each(|i| tx.send(i).unwrap()));
+        let h2 = std::thread::spawn(move || (10..20).for_each(|i| tx2.send(i).unwrap()));
+        let mut got: Vec<u32> = (0..20).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert!(rx.recv().is_err(), "all senders dropped closes the channel");
+    }
+}

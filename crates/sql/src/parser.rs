@@ -260,9 +260,9 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else if matches!(self.peek(), Tok::Ident(s) if !is_clause_kw(s)) {
+                let alias = if self.eat_kw("AS")
+                    || matches!(self.peek(), Tok::Ident(s) if !is_clause_kw(s))
+                {
                     Some(self.ident()?)
                 } else {
                     None
@@ -373,9 +373,9 @@ impl Parser {
 
     fn base_table(&mut self) -> Result<TableRef> {
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Tok::Ident(s) if !is_clause_kw(s) && !is_join_kw(s)) {
+        let alias = if self.eat_kw("AS")
+            || matches!(self.peek(), Tok::Ident(s) if !is_clause_kw(s) && !is_join_kw(s))
+        {
             Some(self.ident()?)
         } else {
             None

@@ -454,14 +454,42 @@ impl TupleIterator for TupleAggregate {
     }
 }
 
-/// Tuple-at-a-time hash join (inner).
+/// Join variants of the tuple-at-a-time hash join, mirroring the
+/// vectorized kernel's `JoinType` (including the NULL-aware anti join's
+/// three-valued `NOT IN` semantics). Serves as the independent reference
+/// implementation for differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleJoinKind {
+    /// Emit matching pairs.
+    Inner,
+    /// Emit matching pairs plus unmatched left rows padded with NULLs.
+    LeftOuter,
+    /// Emit left rows with at least one match (EXISTS / IN).
+    LeftSemi,
+    /// Emit left rows with no match (NOT EXISTS).
+    LeftAnti,
+    /// NOT IN: anti join with three-valued NULL semantics.
+    NullAwareLeftAnti,
+}
+
+impl TupleJoinKind {
+    fn emits_right(self) -> bool {
+        matches!(self, TupleJoinKind::Inner | TupleJoinKind::LeftOuter)
+    }
+}
+
+/// Tuple-at-a-time hash join (all variants; see [`TupleJoinKind`]).
 pub struct TupleHashJoin {
     left: BoxedIter,
     right: Option<BoxedIter>,
     left_key: usize,
     right_key: usize,
+    kind: TupleJoinKind,
     schema: Schema,
     table: HashMap<Value, Vec<Row>>,
+    right_width: usize,
+    build_has_null_key: bool,
+    build_is_empty: bool,
     pending: Vec<Row>,
     built: bool,
 }
@@ -474,14 +502,35 @@ impl TupleHashJoin {
         left_key: usize,
         right_key: usize,
     ) -> TupleHashJoin {
-        let schema = left.schema().join(right.schema());
+        TupleHashJoin::with_kind(left, right, left_key, right_key, TupleJoinKind::Inner)
+    }
+
+    /// Equi-join with an explicit join kind. Semi/anti variants emit only
+    /// left-side columns.
+    pub fn with_kind(
+        left: BoxedIter,
+        right: BoxedIter,
+        left_key: usize,
+        right_key: usize,
+        kind: TupleJoinKind,
+    ) -> TupleHashJoin {
+        let schema = if kind.emits_right() {
+            left.schema().join(right.schema())
+        } else {
+            left.schema().clone()
+        };
+        let right_width = right.schema().len();
         TupleHashJoin {
             left,
             right: Some(right),
             left_key,
             right_key,
+            kind,
             schema,
             table: HashMap::new(),
+            right_width,
+            build_has_null_key: false,
+            build_is_empty: true,
             pending: Vec::new(),
             built: false,
         }
@@ -497,8 +546,11 @@ impl TupleIterator for TupleHashJoin {
         if !self.built {
             let mut right = self.right.take().expect("build once");
             while let Some(row) = right.next()? {
+                self.build_is_empty = false;
                 let k = row[self.right_key].clone();
-                if !k.is_null() {
+                if k.is_null() {
+                    self.build_has_null_key = true;
+                } else {
                     self.table.entry(k).or_default().push(row);
                 }
             }
@@ -512,14 +564,51 @@ impl TupleIterator for TupleHashJoin {
                 return Ok(None);
             };
             let k = &l[self.left_key];
-            if k.is_null() {
-                continue;
-            }
-            if let Some(matches) = self.table.get(k) {
-                for r in matches {
-                    let mut out = l.clone();
-                    out.extend(r.iter().cloned());
-                    self.pending.push(out);
+            let matches = if k.is_null() { None } else { self.table.get(k) };
+            let matched = matches.is_some_and(|m| !m.is_empty());
+            match self.kind {
+                TupleJoinKind::Inner => {
+                    if let Some(rows) = matches {
+                        for r in rows {
+                            let mut out = l.clone();
+                            out.extend(r.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    }
+                }
+                TupleJoinKind::LeftOuter => {
+                    if let Some(rows) = matches {
+                        for r in rows {
+                            let mut out = l.clone();
+                            out.extend(r.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    } else {
+                        let mut out = l.clone();
+                        out.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                        self.pending.push(out);
+                    }
+                }
+                TupleJoinKind::LeftSemi => {
+                    if matched {
+                        self.pending.push(l.clone());
+                    }
+                }
+                TupleJoinKind::LeftAnti => {
+                    // NOT EXISTS: NULL probe keys never match → emitted.
+                    if !matched {
+                        self.pending.push(l.clone());
+                    }
+                }
+                TupleJoinKind::NullAwareLeftAnti => {
+                    // x NOT IN (empty) is TRUE for all x, NULL included;
+                    // any build NULL key makes the predicate never-TRUE;
+                    // a NULL probe key is dropped against a non-empty set.
+                    let passes = self.build_is_empty
+                        || (!self.build_has_null_key && !k.is_null() && !matched);
+                    if passes {
+                        self.pending.push(l.clone());
+                    }
                 }
             }
         }

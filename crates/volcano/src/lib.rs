@@ -23,6 +23,7 @@ pub mod store;
 
 pub use exec::{
     collect_rows, BoxedIter, Row, ScalarExpr, TupleAgg, TupleAggregate, TupleFilter,
-    TupleHashJoin, TupleIterator, TupleLimit, TupleProject, TupleScan, TupleSort, TupleValues,
+    TupleHashJoin, TupleIterator, TupleJoinKind, TupleLimit, TupleProject, TupleScan, TupleSort,
+    TupleValues,
 };
 pub use store::RowStore;
