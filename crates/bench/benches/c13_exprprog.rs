@@ -1,0 +1,200 @@
+//! C13: compiled expression programs vs. the tree-walking interpreter.
+//!
+//! Reproduces the expression-evaluation experiment behind the `ExprProgram`
+//! redesign: the interpreter re-matches every node, re-fills every constant
+//! through a per-value `push_value` loop, and allocates a fresh output
+//! vector per node per batch; the compiled program dispatches a flat
+//! instruction list into pooled registers. Measured at 1K / 64K / 1M rows,
+//! plus the fused select path, plus the acceptance-criterion proof that the
+//! steady-state per-batch `run` loop performs **zero heap allocations**
+//! (counting global allocator, same technique as C12).
+
+use criterion::{black_box, criterion_group, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use vw_common::{ColData, TypeId, Value};
+use vw_exec::expr::{BinOp, CmpOp, ExprCtx, PhysExpr};
+use vw_exec::program::{ExprProgram, SelectProgram, VectorPool};
+use vw_exec::vector::Batch;
+use vw_exec::Vector;
+
+// ---------------------------------------------------------------------------
+// counting allocator (steady-state allocation proof)
+// ---------------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// workload
+// ---------------------------------------------------------------------------
+
+fn batch(n: usize, seed: u64) -> Batch {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+    let y: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
+    Batch::new(vec![
+        Vector::new(ColData::I64(x)),
+        Vector::new(ColData::I64(y)),
+    ])
+}
+
+fn col(i: usize) -> PhysExpr {
+    PhysExpr::ColRef(i, TypeId::I64)
+}
+
+fn lit(k: i64) -> PhysExpr {
+    PhysExpr::Const(Value::I64(k), TypeId::I64)
+}
+
+fn arith(op: BinOp, l: PhysExpr, r: PhysExpr) -> PhysExpr {
+    PhysExpr::Arith { op, lhs: Box::new(l), rhs: Box::new(r), ty: TypeId::I64 }
+}
+
+/// The measured expression: `(x + y) * 2 + (x + y) / 7` — five interior
+/// nodes in the tree; the compiled program CSEs the shared `(x + y)` and
+/// folds nothing away, so both engines do the same arithmetic.
+fn expr() -> PhysExpr {
+    let sum = arith(BinOp::Add, col(0), col(1));
+    arith(
+        BinOp::Add,
+        arith(BinOp::Mul, sum.clone(), lit(2)),
+        arith(BinOp::Div, sum, lit(7)),
+    )
+}
+
+/// The measured predicate: `x > 100 AND y < 500 AND (x + y) % 3 = 0` — two
+/// typed select steps plus one boolean program, chained selectively.
+fn pred() -> PhysExpr {
+    PhysExpr::And(vec![
+        PhysExpr::Cmp { op: CmpOp::Gt, lhs: Box::new(col(0)), rhs: Box::new(lit(100)) },
+        PhysExpr::Cmp { op: CmpOp::Lt, lhs: Box::new(col(1)), rhs: Box::new(lit(500)) },
+        PhysExpr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(arith(BinOp::Rem, arith(BinOp::Add, col(0), col(1)), lit(3))),
+            rhs: Box::new(lit(0)),
+        },
+    ])
+}
+
+fn checksum(v: &Vector) -> i64 {
+    v.data.as_i64().iter().fold(0i64, |a, &b| a.wrapping_add(b))
+}
+
+// ---------------------------------------------------------------------------
+// acceptance criterion: zero allocations in the steady-state run loop
+// ---------------------------------------------------------------------------
+
+fn steady_state_alloc_check() {
+    let e = expr();
+    let ctx = ExprCtx::default();
+    let prog = ExprProgram::compile(&e, &ctx);
+    let b = batch(1 << 16, 42);
+    let mut pool = VectorPool::new();
+    // Warm the register arena, then measure 64 steady-state batches.
+    let vr = prog.run(&mut pool, &b).unwrap();
+    let warm = checksum(pool.get(&b, vr));
+    pool.recycle();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut acc = 0i64;
+    for _ in 0..64 {
+        let vr = prog.run(&mut pool, &b).unwrap();
+        acc = acc.wrapping_add(checksum(pool.get(&b, vr)));
+        pool.recycle();
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(acc, warm.wrapping_mul(64));
+    assert_eq!(
+        allocated, 0,
+        "steady-state compiled expression loop must not allocate"
+    );
+    println!("steady-state program.run allocations over 64 batches: {allocated} (OK)");
+}
+
+fn bench(c: &mut Criterion) {
+    steady_state_alloc_check();
+
+    let ctx = ExprCtx::default();
+    let e = expr();
+    let prog = ExprProgram::compile(&e, &ctx);
+    let p = pred();
+    let sel_prog = SelectProgram::compile(&p, &ctx);
+
+    let mut g = c.benchmark_group("c13_exprprog");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
+
+    for &n in &[1usize << 10, 1 << 16, 1 << 20] {
+        let b = batch(n, 7);
+        // Correctness cross-check before timing anything.
+        let mut pool = VectorPool::new();
+        let vr = prog.run(&mut pool, &b).unwrap();
+        let want = checksum(&e.eval(&b, &ctx).unwrap());
+        assert_eq!(checksum(pool.get(&b, vr)), want, "engines disagree");
+        pool.recycle();
+
+        g.bench_function(format!("tree_interp_{n}"), |bench| {
+            bench.iter(|| checksum(&e.eval(black_box(&b), &ctx).unwrap()))
+        });
+        g.bench_function(format!("compiled_prog_{n}"), |bench| {
+            bench.iter(|| {
+                let vr = prog.run(&mut pool, black_box(&b)).unwrap();
+                let s = checksum(pool.get(&b, vr));
+                pool.recycle();
+                s
+            })
+        });
+
+        let interp_sel = p.eval_select(&b, &ctx).unwrap().len();
+        let compiled_sel = sel_prog.run(&mut pool, &b).unwrap();
+        assert_eq!(compiled_sel.len(), interp_sel, "select paths disagree");
+        pool.put_sel(compiled_sel);
+        pool.recycle();
+        g.bench_function(format!("tree_select_{n}"), |bench| {
+            bench.iter(|| p.eval_select(black_box(&b), &ctx).unwrap().len())
+        });
+        g.bench_function(format!("fused_select_{n}"), |bench| {
+            bench.iter(|| {
+                let s = sel_prog.run(&mut pool, black_box(&b)).unwrap();
+                let out = s.len();
+                pool.put_sel(s);
+                // Release the boolean sub-program's result slot, exactly
+                // as an operator would at end of batch — without this the
+                // arena grows by one leased slot per iteration.
+                pool.recycle();
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+}

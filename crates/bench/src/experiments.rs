@@ -175,7 +175,11 @@ pub fn q6_vectorized(src: BatchSource, vector_size: usize) -> f64 {
             rhs: Box::new(PhysExpr::Const(Value::I64(24), TypeId::I64)),
         },
     ]);
-    let select = Select::new(Box::new(src), pred, ctx, cancel.clone());
+    let select = Select::new(
+        Box::new(src),
+        vw_exec::program::SelectProgram::compile(&pred, &ctx),
+        cancel.clone(),
+    );
     let revenue = PhysExpr::Arith {
         op: BinOp::Mul,
         lhs: Box::new(colref(1, TypeId::F64)),
@@ -185,9 +189,12 @@ pub fn q6_vectorized(src: BatchSource, vector_size: usize) -> f64 {
     let mut agg = HashAggregate::new(
         Box::new(select),
         vec![],
-        vec![AggSpec { func: AggFunc::Sum, input: Some(revenue), out_ty: TypeId::F64 }],
+        vec![AggSpec {
+            func: AggFunc::Sum,
+            input: Some(vw_exec::program::ExprProgram::compile(&revenue, &ctx)),
+            out_ty: TypeId::F64,
+        }],
         Schema::unchecked(vec![Field::nullable("revenue", TypeId::F64)]),
-        ctx,
         vector_size,
         cancel,
     )

@@ -350,10 +350,25 @@ impl Value {
             (Date(a), Date(b)) => a.cmp(b),
             (F64(a), F64(b)) => a.total_cmp(b),
             (a, b) => {
-                // numeric cross-type comparison via widening
-                match (a.as_f64(), b.as_f64()) {
-                    (Ok(x), Ok(y)) => x.total_cmp(&y),
-                    _ => return None,
+                // All-integer comparisons stay exact — f64 widening loses
+                // precision above 2^53, which would make BIGINT compares
+                // disagree with the typed kernels (and with themselves
+                // after constant folding).
+                let int_of = |v: &Value| match v {
+                    I8(x) => Some(*x as i64),
+                    I16(x) => Some(*x as i64),
+                    I32(x) => Some(*x as i64),
+                    I64(x) => Some(*x),
+                    _ => None,
+                };
+                if let (Some(x), Some(y)) = (int_of(a), int_of(b)) {
+                    x.cmp(&y)
+                } else {
+                    // Mixed numeric classes compare via widening.
+                    match (a.as_f64(), b.as_f64()) {
+                        (Ok(x), Ok(y)) => x.total_cmp(&y),
+                        _ => return None,
+                    }
                 }
             }
         })

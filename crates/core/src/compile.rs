@@ -13,6 +13,7 @@ use crate::Database;
 use std::sync::Arc;
 use vw_common::{EngineConfig, Result, Value, VwError};
 use vw_exec::expr::{ExprCtx, PhysExpr};
+use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::op::scan::partition_items;
 use vw_exec::op::{
     AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, Sort, SortKey,
@@ -186,20 +187,31 @@ pub fn build_plan(
         }
         LogicalPlan::Filter { input, predicate } => {
             let child = build_plan(db, input, config, cancel, txn, partition)?;
-            Box::new(Select::new(child, lower_expr(predicate)?, ctx, cancel.clone()))
+            // Compile once per query: the operator only ever runs programs.
+            let program = SelectProgram::compile(&lower_expr(predicate)?, &ctx);
+            Box::new(Select::new(child, program, cancel.clone()))
         }
         LogicalPlan::Project { input, exprs, schema } => {
             let child = build_plan(db, input, config, cancel, txn, partition)?;
-            let phys = exprs.iter().map(lower_expr).collect::<Result<_>>()?;
-            Box::new(Project::new(child, phys, schema.clone(), ctx, cancel.clone()))
+            let programs = exprs
+                .iter()
+                .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
+                .collect::<Result<_>>()?;
+            Box::new(Project::new(child, programs, schema.clone(), cancel.clone()))
         }
         LogicalPlan::Join { left, right, kind, keys, schema } => {
             // Build side must see the whole input even under partitioning;
             // only the probe side partitions.
             let l = build_plan(db, left, config, cancel, txn, partition)?;
             let r = build_plan(db, right, config, cancel, txn, None)?;
-            let lk = keys.iter().map(|(a, _)| lower_expr(a)).collect::<Result<_>>()?;
-            let rk = keys.iter().map(|(_, b)| lower_expr(b)).collect::<Result<_>>()?;
+            let lk = keys
+                .iter()
+                .map(|(a, _)| Ok(ExprProgram::compile(&lower_expr(a)?, &ctx)))
+                .collect::<Result<_>>()?;
+            let rk = keys
+                .iter()
+                .map(|(_, b)| Ok(ExprProgram::compile(&lower_expr(b)?, &ctx)))
+                .collect::<Result<_>>()?;
             let jt = match kind {
                 JoinKind::Inner => JoinType::Inner,
                 JoinKind::Left => JoinType::LeftOuter,
@@ -207,18 +219,21 @@ pub fn build_plan(
                 JoinKind::Anti => JoinType::LeftAnti,
                 JoinKind::NullAwareAnti => JoinType::NullAwareLeftAnti,
             };
-            Box::new(HashJoin::new(l, r, lk, rk, jt, schema.clone(), ctx, cancel.clone()))
+            Box::new(HashJoin::new(l, r, lk, rk, jt, schema.clone(), cancel.clone()))
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
             let child = build_plan(db, input, config, cancel, txn, partition)?;
-            let g = group.iter().map(lower_expr).collect::<Result<_>>()?;
+            let g = group
+                .iter()
+                .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
+                .collect::<Result<_>>()?;
             let specs = aggs
                 .iter()
                 .map(|a| {
                     Ok(AggSpec {
                         func: a.func,
                         input: match &a.input {
-                            Some(e) => Some(lower_expr(e)?),
+                            Some(e) => Some(ExprProgram::compile(&lower_expr(e)?, &ctx)),
                             None => None,
                         },
                         out_ty: a.out_ty,
@@ -230,7 +245,6 @@ pub fn build_plan(
                 g,
                 specs,
                 schema.clone(),
-                ctx,
                 vs,
                 cancel.clone(),
             )?)

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use vw_common::{ColData, Result, Schema, Value, VwError};
 use vw_exec::expr::ExprCtx;
 use vw_exec::op::{Operator, VectorScan};
+use vw_exec::program::{ExprProgram, SelectProgram, VectorPool};
 use vw_exec::CancelToken;
 use vw_pdt::store::items;
 use vw_pdt::Transaction;
@@ -188,6 +189,7 @@ fn matching_rows(
     let binder = Binder::new(&binder_catalog);
     let config = db.config();
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
+    // Compile once per statement; the scan loop below only runs programs.
     let predicate = match filter {
         Some(f) => {
             let bound = binder.bind_expr_on_schema(f, &entry.schema)?;
@@ -197,7 +199,7 @@ fn matching_rows(
                 &vw_rewriter::rules::default_rules(),
                 &nullable,
             );
-            Some(crate::compile::lower_expr(&rewritten)?)
+            Some(SelectProgram::compile(&crate::compile::lower_expr(&rewritten)?, &ctx))
         }
         None => None,
     };
@@ -217,7 +219,10 @@ fn matching_rows(
                     &vw_rewriter::rules::default_rules(),
                     &nullable,
                 );
-                out.push((idx, crate::compile::lower_expr(&rewritten)?));
+                out.push((
+                    idx,
+                    ExprProgram::compile(&crate::compile::lower_expr(&rewritten)?, &ctx),
+                ));
             }
             Some(out)
         }
@@ -243,22 +248,32 @@ fn matching_rows(
     let mut rids: Vec<u64> = Vec::new();
     let mut new_values: Vec<Vec<(usize, Value)>> = Vec::new();
     let mut base = 0u64;
+    let mut pool = VectorPool::new();
     while let Some(batch) = scan.next()? {
-        let selected: Vec<usize> = match &predicate {
-            Some(p) => p.eval_select(&batch, &ctx)?.iter().collect(),
+        let sel = match &predicate {
+            Some(p) => Some(p.run(&mut pool, &batch)?),
+            None => None,
+        };
+        let selected: Vec<usize> = match &sel {
+            Some(s) => s.iter().collect(),
             None => (0..batch.capacity()).collect(),
         };
         if !selected.is_empty() {
             if let Some(set_exprs) = &set_exprs {
-                // Evaluate each SET expression over the batch, then pick the
-                // selected positions.
-                let evaluated: Vec<(usize, vw_exec::Vector)> = set_exprs
+                // Run each SET program over the *selected* lanes only — a
+                // WHERE-excluded row must not raise errors from the SET
+                // expression (e.g. `SET a = 10 / b WHERE b <> 0`) — then
+                // pick the selected positions out of the pooled results.
+                let evaluated: Vec<(usize, vw_exec::program::VecRef)> = set_exprs
                     .iter()
-                    .map(|(idx, e)| Ok((*idx, e.eval(&batch, &ctx)?)))
+                    .map(|(idx, e)| {
+                        Ok((*idx, e.run_with_sel(&mut pool, &batch, sel.as_ref())?))
+                    })
                     .collect::<Result<_>>()?;
                 for &pos in &selected {
                     let mut row_sets = Vec::with_capacity(evaluated.len());
-                    for (idx, v) in &evaluated {
+                    for (idx, vr) in &evaluated {
+                        let v = pool.get(&batch, *vr);
                         let val = v.get(pos).cast_to(entry.schema.field(*idx).ty)?;
                         if val.is_null() && !entry.schema.field(*idx).nullable {
                             return Err(VwError::Exec(format!(
@@ -273,6 +288,10 @@ fn matching_rows(
             }
             rids.extend(selected.iter().map(|&p| base + p as u64));
         }
+        if let Some(s) = sel {
+            pool.put_sel(s);
+        }
+        pool.recycle();
         base += batch.capacity() as u64;
     }
     Ok((rids, new_values))
@@ -387,6 +406,26 @@ fn heap_update_delete(
         })
         .transpose()?;
 
+    // Compile once per statement; rows only pay a one-row program run.
+    // The engine's configured checking/NULL strategy applies here exactly
+    // as on the columnar path.
+    let config = db.config();
+    let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
+    let mut pred_prog = match &pred {
+        Some(p) => Some(ScalarProgram::new(p, &entry.schema, &ctx)?),
+        None => None,
+    };
+    let mut set_progs = match &set_bound {
+        Some(sets) => {
+            let mut out = Vec::with_capacity(sets.len());
+            for (idx, e) in sets {
+                out.push((*idx, ScalarProgram::new(e, &entry.schema, &ctx)?));
+            }
+            Some(out)
+        }
+        None => None,
+    };
+
     let mut st = store.write();
     let mut all: Vec<Vec<Value>> = Vec::with_capacity(st.n_rows() as usize);
     for p in 0..st.n_pages() {
@@ -395,8 +434,8 @@ fn heap_update_delete(
     let mut affected = 0u64;
     let mut kept: Vec<Vec<Value>> = Vec::with_capacity(all.len());
     for row in all {
-        let matched = match &pred {
-            Some(p) => eval_scalar_on_row(p, &row)? == Value::Bool(true),
+        let matched = match &mut pred_prog {
+            Some(p) => p.eval_row(&row)? == Value::Bool(true),
             None => true,
         };
         if !matched {
@@ -404,11 +443,11 @@ fn heap_update_delete(
             continue;
         }
         affected += 1;
-        match &set_bound {
+        match &mut set_progs {
             Some(sets) => {
                 let mut row = row;
-                for (idx, e) in sets {
-                    let v = eval_scalar_on_row(e, &row)?
+                for (idx, prog) in sets.iter_mut() {
+                    let v = prog.eval_row(&row)?
                         .cast_to(entry.schema.field(*idx).ty)?;
                     row[*idx] = v;
                 }
@@ -425,27 +464,46 @@ fn heap_update_delete(
     Ok(affected)
 }
 
-/// Scalar evaluation of a bound SqlExpr against one row (heap DML path).
-fn eval_scalar_on_row(e: &vw_sql::SqlExpr, row: &[Value]) -> Result<Value> {
-    use vw_exec::vector::Batch;
-    // One-row batch evaluation via the kernel keeps semantics identical.
-    let mut columns = Vec::with_capacity(row.len());
-    for v in row {
-        let ty = v.type_id().unwrap_or(vw_common::TypeId::I64);
-        let mut vec = vw_exec::Vector::new(ColData::with_capacity(ty, 1));
-        vec.push(v)?;
-        columns.push(vec);
+/// A bound scalar expression for the heap DML path: rewrite, lowering,
+/// and program compilation happen once at construction; each row then
+/// pays only a one-row batch build and a pooled program run.
+struct ScalarProgram {
+    program: ExprProgram,
+    pool: VectorPool,
+}
+
+impl ScalarProgram {
+    fn new(e: &vw_sql::SqlExpr, schema: &Schema, ctx: &ExprCtx) -> Result<ScalarProgram> {
+        let nullable = vec![true; schema.len()];
+        let rewritten = vw_rewriter::engine::rewrite_fixpoint(
+            e.clone(),
+            &vw_rewriter::rules::default_rules(),
+            &nullable,
+        );
+        Ok(ScalarProgram {
+            program: ExprProgram::compile(&crate::compile::lower_expr(&rewritten)?, ctx),
+            pool: VectorPool::new(),
+        })
     }
-    let batch = Batch::new(columns);
-    let nullable = vec![true; row.len()];
-    let rewritten = vw_rewriter::engine::rewrite_fixpoint(
-        e.clone(),
-        &vw_rewriter::rules::default_rules(),
-        &nullable,
-    );
-    let phys = crate::compile::lower_expr(&rewritten)?;
-    let out = phys.eval(&batch, &ExprCtx::default())?;
-    Ok(out.get(0))
+
+    /// Evaluate against one heap row. Columns are typed per value (NULLs
+    /// default to BIGINT), matching the expression evaluation the old
+    /// per-row interpreter performed.
+    fn eval_row(&mut self, row: &[Value]) -> Result<Value> {
+        use vw_exec::vector::Batch;
+        let mut columns = Vec::with_capacity(row.len());
+        for v in row {
+            let ty = v.type_id().unwrap_or(vw_common::TypeId::I64);
+            let mut vec = vw_exec::Vector::new(ColData::with_capacity(ty, 1));
+            vec.push(v)?;
+            columns.push(vec);
+        }
+        let batch = Batch::new(columns);
+        let vr = self.program.run(&mut self.pool, &batch)?;
+        let out = self.pool.get(&batch, vr).get(0);
+        self.pool.recycle();
+        Ok(out)
+    }
 }
 
 /// Commit an open transaction (all touched tables, in name order, under the

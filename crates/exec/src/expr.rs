@@ -1,9 +1,26 @@
-//! Vectorized expression interpretation.
+//! Expression trees and the reference vector-at-a-time interpreter.
 //!
-//! A [`PhysExpr`] tree is evaluated one *vector* at a time: each node maps
-//! its children's output vectors through a typed primitive. Interpretation
-//! overhead (the match on the node, the dynamic dispatch) is paid once per
-//! 1024 values instead of once per value — the X100 insight.
+//! The expression API is split in two, mirroring X100:
+//!
+//! * **Describe** — [`PhysExpr`], the physical expression tree the cross
+//!   compiler lowers SQL onto. It is *data*, not an execution strategy.
+//! * **Compile, then run** — [`ExprProgram`](crate::program::ExprProgram)
+//!   / [`SelectProgram`](crate::program::SelectProgram) in the [`program`]
+//!   module: a `PhysExpr` is compiled **once per query** (constant
+//!   folding, common-subexpression elimination, register reuse) into a
+//!   flat sequence of primitive invocations over scratch vectors leased
+//!   from a [`VectorPool`](crate::program::VectorPool). Every operator
+//!   executes expressions this way; the per-batch loop re-dispatches
+//!   nothing and allocates nothing.
+//!
+//! The tree-walking [`PhysExpr::eval`] / [`PhysExpr::eval_select`]
+//! interpreter below is retained as the **reference semantics**: the
+//! compiler constant-folds through it, the randomized differential suite
+//! cross-checks compiled programs against it, and the `c13_exprprog`
+//! bench measures the compiled path's win over it. It re-matches every
+//! node and allocates a fresh [`Vector`] per node per batch — exactly the
+//! overhead the compiled path exists to avoid. New call sites should use
+//! the compiled API.
 //!
 //! NULLs follow the production Vectorwise design (paper §1, "NULLs"): a
 //! value vector of safe values plus a boolean indicator vector. Kernels stay
@@ -14,7 +31,10 @@
 //! Division by a NULL demonstrates why "safe values" need care: the NULL
 //! position holds 0, which would raise a spurious division-by-zero, so the
 //! evaluator patches NULL denominators to 1 before the kernel runs — an
-//! instance of the paper's "special algorithms in the kernel".
+//! instance of the paper's "special algorithms in the kernel". The
+//! compiled path ports this as a dedicated instruction (`DivRemI64`).
+//!
+//! [`program`]: crate::program
 
 use crate::primitives::{self, ArithCheck};
 use crate::vector::{Batch, Vector};
@@ -55,8 +75,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// Does this comparison hold for an ordering between two values?
     #[inline]
-    fn holds(self, o: std::cmp::Ordering) -> bool {
+    pub fn holds(self, o: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         matches!(
             (self, o),
@@ -439,23 +460,9 @@ fn cmp_total<T: Ord>(a: T, b: T) -> std::cmp::Ordering {
 }
 
 fn union_sorted(a: &SelVec, b: &SelVec) -> SelVec {
-    let (x, y) = (a.as_slice(), b.as_slice());
-    let mut out = Vec::with_capacity(x.len() + y.len());
-    let (mut i, mut j) = (0, 0);
-    while i < x.len() || j < y.len() {
-        let take_x = j >= y.len() || (i < x.len() && x[i] <= y[j]);
-        if take_x {
-            if j < y.len() && x[i] == y[j] {
-                j += 1;
-            }
-            out.push(x[i]);
-            i += 1;
-        } else {
-            out.push(y[j]);
-            j += 1;
-        }
-    }
-    SelVec::from_positions(out)
+    let mut out = SelVec::with_capacity(a.len() + b.len());
+    crate::program::union_sorted_into(a, b, &mut out);
+    out
 }
 
 /// OR together the null indicators of several vectors.
@@ -960,7 +967,7 @@ pub fn encode_field(f: DateField) -> i64 {
     }
 }
 
-fn decode_field(code: i64) -> Result<DateField> {
+pub(crate) fn decode_field(code: i64) -> Result<DateField> {
     Ok(match code {
         0 => DateField::Year,
         1 => DateField::Quarter,

@@ -889,8 +889,8 @@ fn project_lanes(v: &Vector, nulls_as_group: bool, out: &mut Vec<u64>) {
 /// `lanes` is per-column projection scratch; both buffers are reused across
 /// batches. Zero key columns (global aggregate) hash every lane to the same
 /// constant.
-pub fn hash_keys(
-    keys: &[Vector],
+pub fn hash_keys<K: std::borrow::Borrow<Vector>>(
+    keys: &[K],
     n: usize,
     nulls_as_group: bool,
     lanes: &mut Vec<u64>,
@@ -901,11 +901,11 @@ pub fn hash_keys(
         out.resize(n, hash_u64(0));
         return;
     };
-    debug_assert!(keys.iter().all(|k| k.len() == n));
-    project_lanes(first, nulls_as_group, lanes);
+    debug_assert!(keys.iter().all(|k| k.borrow().len() == n));
+    project_lanes(first.borrow(), nulls_as_group, lanes);
     primitives::hash_start(lanes.iter().copied(), out);
     for col in &keys[1..] {
-        project_lanes(col, nulls_as_group, lanes);
+        project_lanes(col.borrow(), nulls_as_group, lanes);
         primitives::hash_combine_col(lanes.iter().copied(), out);
     }
 }
@@ -921,8 +921,8 @@ pub fn hash_keys(
 /// join probes never present NULL lanes, so either setting is correct
 /// there. `scratch` ping-pongs with `out` between key columns; both are
 /// reused across batches.
-pub fn keys_match_sel(
-    probe: &[Vector],
+pub fn keys_match_sel<K: std::borrow::Borrow<Vector>>(
+    probe: &[K],
     build: &[Vector],
     cand: &[u32],
     sel: &SelVec,
@@ -936,13 +936,13 @@ pub fn keys_match_sel(
         out.clear_and_extend_from_slice(sel.as_slice());
         return;
     }
-    filter_col_eq(&probe[0], &build[0], cand, sel, out, null_equals_null);
+    filter_col_eq(probe[0].borrow(), &build[0], cand, sel, out, null_equals_null);
     for (p, b) in probe[1..].iter().zip(&build[1..]) {
         if out.is_empty() {
             return;
         }
         std::mem::swap(scratch, out);
-        filter_col_eq(p, b, cand, scratch, out, null_equals_null);
+        filter_col_eq(p.borrow(), b, cand, scratch, out, null_equals_null);
     }
 }
 
@@ -1220,11 +1220,11 @@ mod tests {
     fn zero_key_columns_match_everything() {
         let sel = SelVec::identity(3);
         let (mut tmp, mut out) = (SelVec::new(), SelVec::new());
-        keys_match_sel(&[], &[], &[0, 0, 0], &sel, &mut tmp, &mut out, false);
+        keys_match_sel::<Vector>(&[], &[], &[0, 0, 0], &sel, &mut tmp, &mut out, false);
         assert_eq!(out.len(), 3);
         let mut lanes = Vec::new();
         let mut hashes = Vec::new();
-        hash_keys(&[], 3, false, &mut lanes, &mut hashes);
+        hash_keys::<Vector>(&[], 3, false, &mut lanes, &mut hashes);
         assert_eq!(hashes.len(), 3);
         assert!(hashes.windows(2).all(|w| w[0] == w[1]));
     }

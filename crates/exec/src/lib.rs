@@ -13,9 +13,15 @@
 //! * [`primitives`] — the branch-light per-type kernels (map, compare/select,
 //!   hash, gather) in *full* and *selective* variants, including the three
 //!   overflow-checking strategies of benchmark C7;
-//! * [`expr`] — vectorized expression interpretation ([`expr::PhysExpr`]):
-//!   arithmetic, comparisons, CASE, casts, and the SQL function library
-//!   ("many functions" — §1 of the paper);
+//! * [`expr`] — the physical expression tree ([`expr::PhysExpr`]) plus the
+//!   reference tree-walking interpreter: arithmetic, comparisons, CASE,
+//!   casts, and the SQL function library ("many functions" — §1);
+//! * [`program`] — the **compiled** expression path every operator uses:
+//!   [`program::ExprProgram`] flattens a `PhysExpr` once per query into
+//!   primitive invocations over a register file leased from a reusable
+//!   [`program::VectorPool`], so the per-batch loop neither re-walks the
+//!   tree nor allocates; [`program::SelectProgram`] is the fused predicate
+//!   variant chaining selective kernels through a `SelVec`;
 //! * [`hashtable`] — the flat vectorized hash table (directory + chain
 //!   array over contiguous build rows) shared by hash join and hash
 //!   aggregation, with fully vectorized insert and probe;
@@ -32,9 +38,11 @@ pub mod hashtable;
 pub mod op;
 pub mod primitives;
 pub mod profile;
+pub mod program;
 pub mod vector;
 
 pub use cancel::CancelToken;
 pub use expr::PhysExpr;
 pub use op::Operator;
+pub use program::{ExprProgram, SelectProgram, VecRef, VectorPool};
 pub use vector::{Batch, Vector};

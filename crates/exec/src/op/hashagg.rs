@@ -15,7 +15,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
-use crate::expr::{ExprCtx, PhysExpr};
+use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::hashtable::{self, FlatTable, EMPTY};
 use crate::profile::OpProfile;
 use crate::vector::{Batch, Vector};
@@ -40,12 +40,11 @@ pub enum AggFunc {
 }
 
 /// One aggregate column specification.
-#[derive(Debug, Clone)]
 pub struct AggSpec {
     /// The function.
     pub func: AggFunc,
-    /// Input expression (`None` only for `COUNT(*)`).
-    pub input: Option<PhysExpr>,
+    /// Compiled input program (`None` only for `COUNT(*)`).
+    pub input: Option<ExprProgram>,
     /// Output type (determined by the binder).
     pub out_ty: TypeId,
 }
@@ -357,15 +356,19 @@ struct AggScratch {
     gidx: Vec<u32>,
     /// Staged-probe buffers for the fused fast path.
     buf: hashtable::ProbeBuf,
+    /// Group-key program results for the current batch (pool refs).
+    refs: Vec<VecRef>,
+    /// Aggregate-input program results for the current batch.
+    agg_refs: Vec<Option<VecRef>>,
 }
 
 /// Hash GROUP BY operator.
 pub struct HashAggregate {
     input: Option<BoxedOp>,
-    group_exprs: Vec<PhysExpr>,
+    group_exprs: Vec<ExprProgram>,
     aggs: Vec<AggSpec>,
     schema: Schema,
-    ctx: ExprCtx,
+    pool: VectorPool,
     cancel: CancelToken,
     vector_size: usize,
     // Build state: contiguous group-key columns indexed by group id.
@@ -384,10 +387,9 @@ impl HashAggregate {
     /// group columns followed by aggregate outputs.
     pub fn new(
         input: BoxedOp,
-        group_exprs: Vec<PhysExpr>,
+        group_exprs: Vec<ExprProgram>,
         aggs: Vec<AggSpec>,
         schema: Schema,
-        ctx: ExprCtx,
         vector_size: usize,
         cancel: CancelToken,
     ) -> Result<HashAggregate> {
@@ -401,7 +403,7 @@ impl HashAggregate {
             group_exprs,
             aggs,
             schema,
-            ctx,
+            pool: VectorPool::new(),
             cancel,
             vector_size,
             table: FlatTable::new(),
@@ -415,160 +417,62 @@ impl HashAggregate {
         })
     }
 
-    /// Resolve every live lane to a group id in `scratch.gidx`, creating
-    /// groups for unseen keys. Returns chain steps visited (profiling).
-    fn resolve_groups(&mut self, keys: &[Vector], n: usize) -> Result<u64> {
-        let s = &mut self.scratch;
-        if s.gidx.len() < n {
-            s.gidx.resize(n, EMPTY);
-        }
-        let mut chain_steps = 0u64;
-        // Fast path: a single NULL-free key column resolves through the
-        // fused, type-monomorphized kernel — hash, chain walk, and key
-        // compare in one staged pass (the miss lanes fall to the scalar
-        // insert pass below, exactly like the general path's).
-        if keys.len() == 1 && keys[0].nulls.is_none() && self.group_keys[0].nulls.is_none() {
-            let n = keys[0].len();
-            let sel = if s.live.len() == n { None } else { Some(&s.live) };
-            macro_rules! fused {
-                ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
-                    let (pa, ba) = ($pa, $ba);
-                    #[allow(clippy::redundant_closure_call)]
-                    self.table.probe_groups(
-                        n,
-                        sel,
-                        |p| $hash(&pa[p]),
-                        |p, row| $eq(&pa[p], &ba[row as usize]),
-                        &mut s.gidx,
-                        &mut s.buf,
-                        &mut chain_steps,
-                    )
-                }};
-            }
-            let mut fused_ran = true;
-            hashtable::dispatch_typed_keys!(&keys[0].data, &self.group_keys[0].data, fused, {
-                fused_ran = false;
-            });
-            if fused_ran {
-                return self.insert_misses(keys, true, chain_steps);
-            }
-        }
-        // General path: hash all lanes (NULL keys hash to the NULL-group
-        // sentinel), then find existing groups for all lanes at once.
-        hashtable::hash_keys(keys, n, true, &mut s.lanes, &mut s.hashes);
-        for p in s.live.iter() {
-            s.gidx[p] = EMPTY;
-        }
-        // Vectorized pass: find existing groups for all lanes at once.
-        // `gather_matching` skips hash-mismatching chain entries inline, so
-        // every active lane holds a candidate needing only key confirmation.
-        self.table.gather_matching(
-            &s.hashes,
-            &s.live,
-            &mut s.cand,
-            &mut s.active,
-            &mut chain_steps,
-        );
-        while !s.active.is_empty() {
-            hashtable::keys_match_sel(
-                keys,
-                &self.group_keys,
-                &s.cand,
-                &s.active,
-                &mut s.tmp,
-                &mut s.matched,
-                true, // grouping: NULL keys compare equal
-            );
-            for p in s.matched.iter() {
-                s.gidx[p] = s.cand[p];
-            }
-            // Resolved lanes stop walking; the rest advance down the chain.
-            let gidx = &s.gidx;
-            s.active.retain_from(|p| gidx[p] == EMPTY, &mut s.tmp);
-            self.table.advance_matching(
-                &s.hashes,
-                &s.tmp,
-                &mut s.cand,
-                &mut s.next_active,
-                &mut chain_steps,
-            );
-            std::mem::swap(&mut s.active, &mut s.next_active);
-        }
-        self.insert_misses(keys, false, chain_steps)
-    }
-
-    /// Scalar leftover pass: unseen keys become new groups. Walking the
-    /// chain again here also catches duplicates introduced earlier in this
-    /// very batch (lane A inserts key K, lane B then finds it). Lane hashes
-    /// come from the fused kernel's staging buffer (`from_buf`) or the
-    /// general path's hash vector.
-    fn insert_misses(&mut self, keys: &[Vector], from_buf: bool, chain_steps: u64) -> Result<u64> {
-        for p in self.scratch.live.iter() {
-            if self.scratch.gidx[p] != EMPTY {
-                continue;
-            }
-            let h = if from_buf {
-                self.scratch.buf.lane_hash(p)
-            } else {
-                self.scratch.hashes[p]
-            };
-            let found = self.table.find_chain(h, |row| {
-                keys_equal_row(keys, p, &self.group_keys, row as usize)
-            });
-            let g = match found {
-                Some(row) => row,
-                None => {
-                    let g = self.table.insert(h);
-                    debug_assert_eq!(g as usize, self.n_groups);
-                    self.n_groups += 1;
-                    for (gk, k) in self.group_keys.iter_mut().zip(keys) {
-                        gk.push(&k.get(p))?;
-                    }
-                    for st in &mut self.states {
-                        st.push_group();
-                    }
-                    g
-                }
-            };
-            self.scratch.gidx[p] = g;
-        }
-        Ok(chain_steps)
-    }
-
     fn build(&mut self) -> Result<()> {
         let mut input = self.input.take().expect("build once");
         while let Some(batch) = input.next()? {
             self.cancel.check()?;
             let t0 = Instant::now();
-            let keys: Vec<Vector> = self
-                .group_exprs
-                .iter()
-                .map(|e| e.eval(&batch, &self.ctx))
-                .collect::<Result<_>>()?;
-            let agg_inputs: Vec<Option<Vector>> = self
-                .aggs
-                .iter()
-                .map(|a| a.input.as_ref().map(|e| e.eval(&batch, &self.ctx)).transpose())
-                .collect::<Result<_>>()?;
+            // Run the compiled group-key and aggregate-input programs;
+            // results stay leased in the pool for the rest of the batch.
+            self.scratch.refs.clear();
+            for prog in &self.group_exprs {
+                let r = prog.run(&mut self.pool, &batch)?;
+                self.scratch.refs.push(r);
+            }
+            self.scratch.agg_refs.clear();
+            for a in &self.aggs {
+                let r = match &a.input {
+                    Some(prog) => Some(prog.run(&mut self.pool, &batch)?),
+                    None => None,
+                };
+                self.scratch.agg_refs.push(r);
+            }
+            let (rows, chain_steps);
             {
-                let s = &mut self.scratch;
-                match &batch.sel {
-                    Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
-                    None => s.live.fill_identity(batch.capacity()),
+                let keys: Vec<&Vector> =
+                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                {
+                    let s = &mut self.scratch;
+                    match &batch.sel {
+                        Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                        None => s.live.fill_identity(batch.capacity()),
+                    }
+                }
+                chain_steps = resolve_groups(
+                    &mut self.table,
+                    &mut self.group_keys,
+                    &mut self.states,
+                    &mut self.n_groups,
+                    &mut self.scratch,
+                    &keys,
+                    batch.capacity(),
+                )?;
+                rows = self.scratch.live.len() as u64;
+                for ((spec, state), r) in
+                    self.aggs.iter().zip(&mut self.states).zip(&self.scratch.agg_refs)
+                {
+                    let inp = r.map(|vr| self.pool.get(&batch, vr));
+                    state.update_batch(
+                        spec.func,
+                        &self.scratch.gidx,
+                        &self.scratch.live,
+                        inp,
+                    )?;
                 }
             }
-            let chain_steps = self.resolve_groups(&keys, batch.capacity())?;
-            let rows = self.scratch.live.len() as u64;
-            for ((spec, state), inp) in
-                self.aggs.iter().zip(&mut self.states).zip(&agg_inputs)
-            {
-                state.update_batch(
-                    spec.func,
-                    &self.scratch.gidx,
-                    &self.scratch.live,
-                    inp.as_ref(),
-                )?;
-            }
+            self.pool.recycle();
+            let (runs, instrs) = self.pool.take_counters();
+            self.profile.record_expr(runs, instrs);
             self.profile.record_phase(t0.elapsed());
             self.profile.record_probe(rows, chain_steps);
         }
@@ -585,9 +489,145 @@ impl HashAggregate {
     }
 }
 
+/// Resolve every live lane to a group id in `scratch.gidx`, creating
+/// groups for unseen keys. Returns chain steps visited (profiling).
+///
+/// A free function over disjoint operator fields: the key vectors are pool
+/// references, so the operator cannot also be borrowed mutably.
+fn resolve_groups(
+    table: &mut FlatTable,
+    group_keys: &mut [Vector],
+    states: &mut [AggState],
+    n_groups: &mut usize,
+    s: &mut AggScratch,
+    keys: &[&Vector],
+    n: usize,
+) -> Result<u64> {
+    if s.gidx.len() < n {
+        s.gidx.resize(n, EMPTY);
+    }
+    let mut chain_steps = 0u64;
+    // Fast path: a single NULL-free key column resolves through the
+    // fused, type-monomorphized kernel — hash, chain walk, and key
+    // compare in one staged pass (the miss lanes fall to the scalar
+    // insert pass below, exactly like the general path's).
+    if keys.len() == 1 && keys[0].nulls.is_none() && group_keys[0].nulls.is_none() {
+        let n = keys[0].len();
+        let sel = if s.live.len() == n { None } else { Some(&s.live) };
+        macro_rules! fused {
+            ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
+                let (pa, ba) = ($pa, $ba);
+                #[allow(clippy::redundant_closure_call)]
+                table.probe_groups(
+                    n,
+                    sel,
+                    |p| $hash(&pa[p]),
+                    |p, row| $eq(&pa[p], &ba[row as usize]),
+                    &mut s.gidx,
+                    &mut s.buf,
+                    &mut chain_steps,
+                )
+            }};
+        }
+        let mut fused_ran = true;
+        hashtable::dispatch_typed_keys!(&keys[0].data, &group_keys[0].data, fused, {
+            fused_ran = false;
+        });
+        if fused_ran {
+            return insert_misses(table, group_keys, states, n_groups, s, keys, true, chain_steps);
+        }
+    }
+    // General path: hash all lanes (NULL keys hash to the NULL-group
+    // sentinel), then find existing groups for all lanes at once.
+    hashtable::hash_keys(keys, n, true, &mut s.lanes, &mut s.hashes);
+    for p in s.live.iter() {
+        s.gidx[p] = EMPTY;
+    }
+    // Vectorized pass: find existing groups for all lanes at once.
+    // `gather_matching` skips hash-mismatching chain entries inline, so
+    // every active lane holds a candidate needing only key confirmation.
+    table.gather_matching(
+        &s.hashes,
+        &s.live,
+        &mut s.cand,
+        &mut s.active,
+        &mut chain_steps,
+    );
+    while !s.active.is_empty() {
+        hashtable::keys_match_sel(
+            keys,
+            group_keys,
+            &s.cand,
+            &s.active,
+            &mut s.tmp,
+            &mut s.matched,
+            true, // grouping: NULL keys compare equal
+        );
+        for p in s.matched.iter() {
+            s.gidx[p] = s.cand[p];
+        }
+        // Resolved lanes stop walking; the rest advance down the chain.
+        let gidx = &s.gidx;
+        s.active.retain_from(|p| gidx[p] == EMPTY, &mut s.tmp);
+        table.advance_matching(
+            &s.hashes,
+            &s.tmp,
+            &mut s.cand,
+            &mut s.next_active,
+            &mut chain_steps,
+        );
+        std::mem::swap(&mut s.active, &mut s.next_active);
+    }
+    insert_misses(table, group_keys, states, n_groups, s, keys, false, chain_steps)
+}
+
+/// Scalar leftover pass: unseen keys become new groups. Walking the
+/// chain again here also catches duplicates introduced earlier in this
+/// very batch (lane A inserts key K, lane B then finds it). Lane hashes
+/// come from the fused kernel's staging buffer (`from_buf`) or the
+/// general path's hash vector.
+#[allow(clippy::too_many_arguments)]
+fn insert_misses(
+    table: &mut FlatTable,
+    group_keys: &mut [Vector],
+    states: &mut [AggState],
+    n_groups: &mut usize,
+    s: &mut AggScratch,
+    keys: &[&Vector],
+    from_buf: bool,
+    chain_steps: u64,
+) -> Result<u64> {
+    for p in s.live.iter() {
+        if s.gidx[p] != EMPTY {
+            continue;
+        }
+        let h = if from_buf { s.buf.lane_hash(p) } else { s.hashes[p] };
+        let found = table.find_chain(h, |row| {
+            keys_equal_row(keys, p, group_keys, row as usize)
+        });
+        let g = match found {
+            Some(row) => row,
+            None => {
+                let g = table.insert(h);
+                debug_assert_eq!(g as usize, *n_groups);
+                *n_groups += 1;
+                for (gk, k) in group_keys.iter_mut().zip(keys) {
+                    gk.push(&k.get(p))?;
+                }
+                for st in states.iter_mut() {
+                    st.push_group();
+                }
+                g
+            }
+        };
+        s.gidx[p] = g;
+    }
+    Ok(chain_steps)
+}
+
 /// Scalar key comparison for the new-group insert path (grouping
 /// semantics: NULL equals NULL).
-fn keys_equal_row(probe: &[Vector], p: usize, stored: &[Vector], row: usize) -> bool {
+fn keys_equal_row(probe: &[&Vector], p: usize, stored: &[Vector], row: usize) -> bool {
     probe.iter().zip(stored).all(|(pk, sk)| {
         match (pk.is_null(p), sk.is_null(row)) {
             (true, true) => true,
@@ -640,6 +680,7 @@ impl Operator for HashAggregate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{ExprCtx, PhysExpr};
     use crate::op::simple::Values;
     use crate::op::drain;
     use vw_common::{Field, Value};
@@ -672,7 +713,10 @@ mod tests {
         out: Vec<Field>,
     ) -> HashAggregate {
         let group_exprs = if group {
-            vec![PhysExpr::ColRef(0, TypeId::Str)]
+            vec![ExprProgram::compile(
+                &PhysExpr::ColRef(0, TypeId::Str),
+                &ExprCtx::default(),
+            )]
         } else {
             vec![]
         };
@@ -681,15 +725,17 @@ mod tests {
             group_exprs,
             specs,
             Schema::unchecked(out),
-            ExprCtx::default(),
             1024,
             CancelToken::new(),
         )
         .unwrap()
     }
 
-    fn col_v() -> PhysExpr {
-        PhysExpr::ColRef(1, TypeId::I64)
+    fn col_v() -> Option<ExprProgram> {
+        Some(ExprProgram::compile(
+            &PhysExpr::ColRef(1, TypeId::I64),
+            &ExprCtx::default(),
+        ))
     }
 
     #[test]
@@ -705,8 +751,8 @@ mod tests {
             src,
             true,
             vec![
-                AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Count, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Count, input: col_v(), out_ty: TypeId::I64 },
                 AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
             ],
             vec![
@@ -730,7 +776,7 @@ mod tests {
         let mut op = agg(
             src,
             true,
-            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
             vec![
                 Field::nullable("k", TypeId::Str),
                 Field::nullable("sum", TypeId::I64),
@@ -753,7 +799,7 @@ mod tests {
         let mut op = agg(
             src,
             true,
-            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
             vec![
                 Field::nullable("k", TypeId::Str),
                 Field::nullable("sum", TypeId::I64),
@@ -777,8 +823,8 @@ mod tests {
             false,
             vec![
                 AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Avg, input: Some(col_v()), out_ty: TypeId::F64 },
+                AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: col_v(), out_ty: TypeId::F64 },
             ],
             vec![
                 Field::not_null("cnt", TypeId::I64),
@@ -806,9 +852,9 @@ mod tests {
             src,
             true,
             vec![
-                AggSpec { func: AggFunc::Min, input: Some(col_v()), out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Max, input: Some(col_v()), out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Avg, input: Some(col_v()), out_ty: TypeId::F64 },
+                AggSpec { func: AggFunc::Min, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: col_v(), out_ty: TypeId::F64 },
             ],
             vec![
                 Field::nullable("k", TypeId::Str),
@@ -836,8 +882,8 @@ mod tests {
             src,
             true,
             vec![
-                AggSpec { func: AggFunc::Min, input: Some(col_v()), out_ty: TypeId::I64 },
-                AggSpec { func: AggFunc::Max, input: Some(col_v()), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Min, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: col_v(), out_ty: TypeId::I64 },
             ],
             vec![
                 Field::nullable("k", TypeId::Str),
@@ -858,7 +904,7 @@ mod tests {
         let mut op = agg(
             src,
             true,
-            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
             vec![
                 Field::nullable("k", TypeId::Str),
                 Field::nullable("sum", TypeId::I64),
@@ -880,7 +926,7 @@ mod tests {
         let mut op = agg(
             src,
             true,
-            vec![AggSpec { func: AggFunc::Sum, input: Some(col_v()), out_ty: TypeId::I64 }],
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
             vec![
                 Field::nullable("k", TypeId::Str),
                 Field::nullable("sum", TypeId::I64),
@@ -929,13 +975,15 @@ mod tests {
         let src: BoxedOp = Box::new(Values::new(schema2(), rows, 512, CancelToken::new()));
         let mut op = HashAggregate::new(
             src,
-            vec![PhysExpr::ColRef(0, TypeId::Str)],
+            vec![ExprProgram::compile(
+                &PhysExpr::ColRef(0, TypeId::Str),
+                &ExprCtx::default(),
+            )],
             vec![AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
             Schema::unchecked(vec![
                 Field::nullable("k", TypeId::Str),
                 Field::not_null("c", TypeId::I64),
             ]),
-            ExprCtx::default(),
             1000,
             CancelToken::new(),
         )

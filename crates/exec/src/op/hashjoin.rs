@@ -23,7 +23,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
-use crate::expr::{ExprCtx, PhysExpr};
+use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::hashtable::{self, FlatTable, EMPTY};
 use crate::profile::OpProfile;
 use crate::vector::{Batch, Vector};
@@ -88,17 +88,19 @@ struct ProbeScratch {
     /// Output pairs: probe position / build row (EMPTY pads outer misses).
     out_probe: Vec<u32>,
     out_build: Vec<u32>,
+    /// Key-program results for the current batch (refs into the pool).
+    refs: Vec<VecRef>,
 }
 
 /// Hash join operator (right side = build, left side = probe).
 pub struct HashJoin {
     left: BoxedOp,
     right: Option<BoxedOp>,
-    left_keys: Vec<PhysExpr>,
-    right_keys: Vec<PhysExpr>,
+    left_keys: Vec<ExprProgram>,
+    right_keys: Vec<ExprProgram>,
     join_type: JoinType,
     schema: Schema,
-    ctx: ExprCtx,
+    pool: VectorPool,
     cancel: CancelToken,
     // Build state: contiguous columns indexed by the table's row ids.
     build_cols: Vec<Vector>,
@@ -117,11 +119,10 @@ impl HashJoin {
     pub fn new(
         left: BoxedOp,
         right: BoxedOp,
-        left_keys: Vec<PhysExpr>,
-        right_keys: Vec<PhysExpr>,
+        left_keys: Vec<ExprProgram>,
+        right_keys: Vec<ExprProgram>,
         join_type: JoinType,
         schema: Schema,
-        ctx: ExprCtx,
         cancel: CancelToken,
     ) -> HashJoin {
         assert_eq!(left_keys.len(), right_keys.len());
@@ -133,7 +134,7 @@ impl HashJoin {
             right_keys,
             join_type,
             schema,
-            ctx,
+            pool: VectorPool::new(),
             cancel,
             build_cols: Vec::new(),
             build_keys: Vec::new(),
@@ -160,151 +161,48 @@ impl HashJoin {
             .collect();
         while let Some(batch) = right.next()? {
             self.cancel.check()?;
-            let keys: Vec<Vector> = self
-                .right_keys
-                .iter()
-                .map(|e| e.eval(&batch, &self.ctx))
-                .collect::<Result<_>>()?;
-            let s = &mut self.scratch;
-            match &batch.sel {
-                Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
-                None => s.live.fill_identity(batch.capacity()),
+            // Run the compiled key programs; results live in the pool
+            // until `recycle` at the end of this batch.
+            self.scratch.refs.clear();
+            for prog in &self.right_keys {
+                let r = prog.run(&mut self.pool, &batch)?;
+                self.scratch.refs.push(r);
             }
-            // NULL keys never match any probe: drop them at build time and
-            // remember they existed (NULL-aware anti join needs to know).
-            s.live
-                .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
-            if s.nonnull.len() != s.live.len() {
-                self.build_has_null_key = true;
+            {
+                let keys: Vec<&Vector> =
+                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                let s = &mut self.scratch;
+                match &batch.sel {
+                    Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                    None => s.live.fill_identity(batch.capacity()),
+                }
+                // NULL keys never match any probe: drop them at build time and
+                // remember they existed (NULL-aware anti join needs to know).
+                s.live
+                    .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+                if s.nonnull.len() != s.live.len() {
+                    self.build_has_null_key = true;
+                }
+                if !s.nonnull.is_empty() {
+                    for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                        dst.extend_gather_sel(src, &s.nonnull);
+                    }
+                    for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
+                        dst.extend_gather_sel(src, &s.nonnull);
+                    }
+                    hashtable::hash_keys(&keys, batch.capacity(), false, &mut s.lanes, &mut s.hashes);
+                    self.table.insert_batch(&s.hashes, Some(&s.nonnull));
+                }
             }
-            if s.nonnull.is_empty() {
-                continue;
-            }
-            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
-                dst.extend_gather_sel(src, &s.nonnull);
-            }
-            for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
-                dst.extend_gather_sel(src, &s.nonnull);
-            }
-            hashtable::hash_keys(&keys, batch.capacity(), false, &mut s.lanes, &mut s.hashes);
-            self.table.insert_batch(&s.hashes, Some(&s.nonnull));
+            self.pool.recycle();
         }
+        let (runs, instrs) = self.pool.take_counters();
+        self.profile.record_expr(runs, instrs);
         // Build is complete: convert the chains into the bucket-grouped
         // contiguous (CSR) layout so every probe is a short sequential scan.
         self.table.finalize();
         self.built = true;
         Ok(())
-    }
-
-    /// Vectorized probe of one batch's non-NULL lanes. Fills
-    /// `scratch.out_probe`/`out_build` for pair-emitting join types and
-    /// `scratch.matched_flags` for all; returns chain steps visited.
-    fn probe_batch(&mut self, keys: &[Vector]) -> u64 {
-        let s = &mut self.scratch;
-        let emit_pairs = !self.join_type.first_match_only();
-        let n = keys.first().map_or(0, Vector::len);
-        // Reset per-lane flags only for the lanes this batch owns.
-        if s.matched_flags.len() < n {
-            s.matched_flags.resize(n, false);
-        }
-        for p in s.live.iter() {
-            s.matched_flags[p] = false;
-        }
-        let mut chain_steps = 0u64;
-        // Fast path: single-column keys probe through a fused kernel
-        // monomorphized per type — hash, chain walk, and key compare in one
-        // pass per lane with no intermediate SelVec rounds or hash buffer.
-        // Build-side key columns never hold NULLs (dropped at build), and
-        // NULL probe lanes are outside `nonnull`, so a plain data compare
-        // is exact. A full selection (no NULLs, dense batch) drops the
-        // selection indirection entirely.
-        if keys.len() == 1 {
-            let n = keys[0].len();
-            let sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
-            macro_rules! fused {
-                ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
-                    let (pa, ba) = ($pa, $ba);
-                    #[allow(clippy::redundant_closure_call)]
-                    self.table.probe_join(
-                        n,
-                        sel,
-                        emit_pairs,
-                        |p| $hash(&pa[p]),
-                        |p, row| $eq(&pa[p], &ba[row as usize]),
-                        &mut s.matched_flags,
-                        &mut s.out_probe,
-                        &mut s.out_build,
-                        &mut s.buf,
-                        &mut chain_steps,
-                    )
-                }};
-            }
-            hashtable::dispatch_typed_keys!(&keys[0].data, &self.build_keys[0].data, fused, {
-                self.probe_general(keys, emit_pairs, &mut chain_steps);
-            });
-            return chain_steps;
-        }
-        self.probe_general(keys, emit_pairs, &mut chain_steps);
-        chain_steps
-    }
-
-    /// General vectorized probe: gather hash-matching candidates for all
-    /// lanes, then iteratively confirm keys and re-probe the still-active
-    /// lanes through `SelVec`s (multi-column or mixed-type keys).
-    fn probe_general(&mut self, keys: &[Vector], emit_pairs: bool, chain_steps: &mut u64) {
-        let s = &mut self.scratch;
-        let n = keys.first().map_or(0, Vector::len);
-        hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
-        // Every lane in `active` holds a hash-matching candidate; the loop
-        // below only confirms keys and re-probes the (rare) hash-collision
-        // or multi-match lanes.
-        self.table.gather_matching(
-            &s.hashes,
-            &s.nonnull,
-            &mut s.cand,
-            &mut s.active,
-            chain_steps,
-        );
-        while !s.active.is_empty() {
-            self.table.candidate_rows(&s.cand, &s.active, &mut s.rows);
-            hashtable::keys_match_sel(
-                keys,
-                &self.build_keys,
-                &s.rows,
-                &s.active,
-                &mut s.tmp,
-                &mut s.matched,
-                false,
-            );
-            for p in s.matched.iter() {
-                s.matched_flags[p] = true;
-                if emit_pairs {
-                    s.out_probe.push(p as u32);
-                    s.out_build.push(s.rows[p]);
-                }
-            }
-            if emit_pairs {
-                self.table.advance_matching(
-                    &s.hashes,
-                    &s.active,
-                    &mut s.cand,
-                    &mut s.next_active,
-                    chain_steps,
-                );
-            } else {
-                // Existence semantics: matched lanes stop walking.
-                let flags = &s.matched_flags;
-                s.active.retain_from(|p| !flags[p], &mut s.tmp);
-                self.table.advance_matching(
-                    &s.hashes,
-                    &s.tmp,
-                    &mut s.cand,
-                    &mut s.next_active,
-                    chain_steps,
-                );
-            }
-            std::mem::swap(&mut s.active, &mut s.next_active);
-        }
     }
 
     /// Assemble the output batch from the recorded pairs.
@@ -333,6 +231,132 @@ impl HashJoin {
     }
 }
 
+/// Vectorized probe of one batch's non-NULL lanes. Fills
+/// `scratch.out_probe`/`out_build` for pair-emitting join types and
+/// `scratch.matched_flags` for all; returns chain steps visited.
+///
+/// A free function over disjoint operator fields: the probe keys are pool
+/// references, so `&mut self` is off the table while they are alive.
+fn probe_batch(
+    table: &FlatTable,
+    build_keys: &[Vector],
+    join_type: JoinType,
+    scratch: &mut ProbeScratch,
+    keys: &[&Vector],
+) -> u64 {
+    let s = scratch;
+    let emit_pairs = !join_type.first_match_only();
+    let n = keys.first().map_or(0, |k| k.len());
+    // Reset per-lane flags only for the lanes this batch owns.
+    if s.matched_flags.len() < n {
+        s.matched_flags.resize(n, false);
+    }
+    for p in s.live.iter() {
+        s.matched_flags[p] = false;
+    }
+    let mut chain_steps = 0u64;
+    // Fast path: single-column keys probe through a fused kernel
+    // monomorphized per type — hash, chain walk, and key compare in one
+    // pass per lane with no intermediate SelVec rounds or hash buffer.
+    // Build-side key columns never hold NULLs (dropped at build), and
+    // NULL probe lanes are outside `nonnull`, so a plain data compare
+    // is exact. A full selection (no NULLs, dense batch) drops the
+    // selection indirection entirely.
+    if keys.len() == 1 {
+        let n = keys[0].len();
+        let sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
+        macro_rules! fused {
+            ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
+                let (pa, ba) = ($pa, $ba);
+                #[allow(clippy::redundant_closure_call)]
+                table.probe_join(
+                    n,
+                    sel,
+                    emit_pairs,
+                    |p| $hash(&pa[p]),
+                    |p, row| $eq(&pa[p], &ba[row as usize]),
+                    &mut s.matched_flags,
+                    &mut s.out_probe,
+                    &mut s.out_build,
+                    &mut s.buf,
+                    &mut chain_steps,
+                )
+            }};
+        }
+        hashtable::dispatch_typed_keys!(&keys[0].data, &build_keys[0].data, fused, {
+            probe_general(table, build_keys, s, keys, emit_pairs, &mut chain_steps);
+        });
+        return chain_steps;
+    }
+    probe_general(table, build_keys, s, keys, emit_pairs, &mut chain_steps);
+    chain_steps
+}
+
+/// General vectorized probe: gather hash-matching candidates for all
+/// lanes, then iteratively confirm keys and re-probe the still-active
+/// lanes through `SelVec`s (multi-column or mixed-type keys).
+fn probe_general(
+    table: &FlatTable,
+    build_keys: &[Vector],
+    s: &mut ProbeScratch,
+    keys: &[&Vector],
+    emit_pairs: bool,
+    chain_steps: &mut u64,
+) {
+    let n = keys.first().map_or(0, |k| k.len());
+    hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+    // Every lane in `active` holds a hash-matching candidate; the loop
+    // below only confirms keys and re-probes the (rare) hash-collision
+    // or multi-match lanes.
+    table.gather_matching(
+        &s.hashes,
+        &s.nonnull,
+        &mut s.cand,
+        &mut s.active,
+        chain_steps,
+    );
+    while !s.active.is_empty() {
+        table.candidate_rows(&s.cand, &s.active, &mut s.rows);
+        hashtable::keys_match_sel(
+            keys,
+            build_keys,
+            &s.rows,
+            &s.active,
+            &mut s.tmp,
+            &mut s.matched,
+            false,
+        );
+        for p in s.matched.iter() {
+            s.matched_flags[p] = true;
+            if emit_pairs {
+                s.out_probe.push(p as u32);
+                s.out_build.push(s.rows[p]);
+            }
+        }
+        if emit_pairs {
+            table.advance_matching(
+                &s.hashes,
+                &s.active,
+                &mut s.cand,
+                &mut s.next_active,
+                chain_steps,
+            );
+        } else {
+            // Existence semantics: matched lanes stop walking.
+            let flags = &s.matched_flags;
+            s.active.retain_from(|p| !flags[p], &mut s.tmp);
+            table.advance_matching(
+                &s.hashes,
+                &s.tmp,
+                &mut s.cand,
+                &mut s.next_active,
+                chain_steps,
+            );
+        }
+        std::mem::swap(&mut s.active, &mut s.next_active);
+    }
+}
+
 impl Operator for HashJoin {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -358,31 +382,49 @@ impl Operator for HashJoin {
                 return Ok(None);
             };
             let t0 = Instant::now();
-            let keys: Vec<Vector> = self
-                .left_keys
-                .iter()
-                .map(|e| e.eval(&batch, &self.ctx))
-                .collect::<Result<_>>()?;
-            {
-                let s = &mut self.scratch;
-                s.out_probe.clear();
-                s.out_build.clear();
-                match &batch.sel {
-                    Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
-                    None => s.live.fill_identity(batch.capacity()),
-                }
-                s.live
-                    .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+            self.scratch.refs.clear();
+            for prog in &self.left_keys {
+                let r = prog.run(&mut self.pool, &batch)?;
+                self.scratch.refs.push(r);
             }
+            let (chain_steps, probed);
+            {
+                let keys: Vec<&Vector> =
+                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                {
+                    let s = &mut self.scratch;
+                    s.out_probe.clear();
+                    s.out_build.clear();
+                    match &batch.sel {
+                        Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
+                        None => s.live.fill_identity(batch.capacity()),
+                    }
+                    s.live
+                        .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+                }
 
-            // NULL-aware anti short-circuits: any build NULL key → nothing
-            // can ever pass; empty build side → everything passes.
-            let skip_probe = self.join_type == JoinType::NullAwareLeftAnti
-                && (self.build_has_null_key || self.table.is_empty());
-            let chain_steps = if skip_probe { 0 } else { self.probe_batch(&keys) };
-            // Skipped probes contribute nothing to the chain-length
-            // observable — counting their lanes would dilute the average.
-            let probed = if skip_probe { 0 } else { self.scratch.nonnull.len() as u64 };
+                // NULL-aware anti short-circuits: any build NULL key → nothing
+                // can ever pass; empty build side → everything passes.
+                let skip_probe = self.join_type == JoinType::NullAwareLeftAnti
+                    && (self.build_has_null_key || self.table.is_empty());
+                chain_steps = if skip_probe {
+                    0
+                } else {
+                    probe_batch(
+                        &self.table,
+                        &self.build_keys,
+                        self.join_type,
+                        &mut self.scratch,
+                        &keys,
+                    )
+                };
+                // Skipped probes contribute nothing to the chain-length
+                // observable — counting their lanes would dilute the average.
+                probed = if skip_probe { 0 } else { self.scratch.nonnull.len() as u64 };
+            }
+            self.pool.recycle();
+            let (runs, instrs) = self.pool.take_counters();
+            self.profile.record_expr(runs, instrs);
 
             // Emit the non-pair join types from the matched flags, in probe
             // order (pair emitters filled out_probe during the walk).
@@ -456,6 +498,7 @@ impl Operator for HashJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{ExprCtx, PhysExpr};
     use crate::op::drain;
     use crate::op::simple::Values;
     use vw_common::{Field, TypeId, Value};
@@ -481,8 +524,14 @@ mod tests {
         Box::new(Values::new(schema_kv(prefix), rows, 4, CancelToken::new()))
     }
 
-    fn key() -> Vec<PhysExpr> {
-        vec![PhysExpr::ColRef(0, TypeId::I64)]
+    fn key() -> Vec<ExprProgram> {
+        key_cols(&[(0, TypeId::I64)])
+    }
+
+    fn key_cols(cols: &[(usize, TypeId)]) -> Vec<ExprProgram> {
+        cols.iter()
+            .map(|&(i, ty)| ExprProgram::compile(&PhysExpr::ColRef(i, ty), &ExprCtx::default()))
+            .collect()
     }
 
     fn join(left: BoxedOp, right: BoxedOp, jt: JoinType) -> HashJoin {
@@ -491,7 +540,7 @@ mod tests {
         } else {
             schema_kv("l")
         };
-        HashJoin::new(left, right, key(), key(), jt, schema, ExprCtx::default(), CancelToken::new())
+        HashJoin::new(left, right, key(), key(), jt, schema, CancelToken::new())
     }
 
     fn rows_of(b: &Batch) -> Vec<Vec<Value>> {
@@ -600,11 +649,10 @@ mod tests {
         let mut j = HashJoin::new(
             mk(vec!["a", "b", "c"]),
             mk(vec!["b", "c", "d"]),
-            vec![PhysExpr::ColRef(0, TypeId::Str)],
-            vec![PhysExpr::ColRef(0, TypeId::Str)],
+            key_cols(&[(0, TypeId::Str)]),
+            key_cols(&[(0, TypeId::Str)]),
             JoinType::LeftSemi,
             schema.clone(),
-            ExprCtx::default(),
             CancelToken::new(),
         );
         let out = drain(&mut j).unwrap();
@@ -625,12 +673,7 @@ mod tests {
                 .collect();
             Box::new(Values::new(schema.clone(), rows, 4, CancelToken::new()))
         };
-        let keys = || {
-            vec![
-                PhysExpr::ColRef(0, TypeId::I64),
-                PhysExpr::ColRef(1, TypeId::I64),
-            ]
-        };
+        let keys = || key_cols(&[(0, TypeId::I64), (1, TypeId::I64)]);
         let mut j = HashJoin::new(
             mk(vec![(1, 10), (1, 20), (2, 10)]),
             mk(vec![(1, 10), (2, 20), (2, 10)]),
@@ -638,7 +681,6 @@ mod tests {
             keys(),
             JoinType::LeftSemi,
             schema.clone(),
-            ExprCtx::default(),
             CancelToken::new(),
         );
         let out = drain(&mut j).unwrap();
@@ -673,11 +715,10 @@ mod tests {
         let mut j = HashJoin::new(
             mk(probe),
             mk(build),
-            vec![PhysExpr::ColRef(0, TypeId::I64)],
-            vec![PhysExpr::ColRef(0, TypeId::I64)],
+            key_cols(&[(0, TypeId::I64)]),
+            key_cols(&[(0, TypeId::I64)]),
             JoinType::Inner,
             schema.join(&schema),
-            ExprCtx::default(),
             CancelToken::new(),
         );
         let out = drain(&mut j).unwrap();

@@ -2,8 +2,10 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
-use crate::expr::{ExprCtx, PhysExpr};
+use crate::profile::OpProfile;
+use crate::program::{ExprProgram, SelectProgram, VectorPool};
 use crate::vector::{Batch, Vector};
+use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, Value};
 
 /// In-memory row source (VALUES lists, tests, DML pipelines).
@@ -53,18 +55,27 @@ impl Operator for Values {
     }
 }
 
-/// Filter: attaches/narrows the selection vector, no copying.
+/// Filter: attaches/narrows the selection vector, no copying. The
+/// predicate is a [`SelectProgram`] compiled once at plan build; per batch
+/// it chains selective kernels through the pool's scratch.
 pub struct Select {
     input: BoxedOp,
-    predicate: PhysExpr,
-    ctx: ExprCtx,
+    predicate: SelectProgram,
+    pool: VectorPool,
+    profile: OpProfile,
     cancel: CancelToken,
 }
 
 impl Select {
-    /// Filter `input` by `predicate`.
-    pub fn new(input: BoxedOp, predicate: PhysExpr, ctx: ExprCtx, cancel: CancelToken) -> Select {
-        Select { input, predicate, ctx, cancel }
+    /// Filter `input` by the compiled `predicate`.
+    pub fn new(input: BoxedOp, predicate: SelectProgram, cancel: CancelToken) -> Select {
+        Select {
+            input,
+            predicate,
+            pool: VectorPool::new(),
+            profile: OpProfile::new("Select"),
+            cancel,
+        }
     }
 }
 
@@ -77,42 +88,63 @@ impl Operator for Select {
         "Select"
     }
 
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             self.cancel.check()?;
             let Some(mut batch) = self.input.next()? else {
                 return Ok(None);
             };
-            let sel = self.predicate.eval_select(&batch, &self.ctx)?;
+            let t0 = Instant::now();
+            let sel = self.predicate.run(&mut self.pool, &batch)?;
+            self.pool.recycle();
+            let (runs, instrs) = self.pool.take_counters();
+            self.profile.record_expr(runs, instrs);
             if sel.is_empty() {
+                self.pool.put_sel(sel);
+                self.profile.record_phase(t0.elapsed());
                 continue; // fully filtered vector: fetch the next one
             }
             batch.sel = Some(sel);
+            self.profile.record(batch.rows(), t0.elapsed());
             return Ok(Some(batch));
         }
     }
 }
 
-/// Projection: evaluates expressions and emits dense vectors.
+/// Projection: runs compiled programs and emits dense vectors. All
+/// intermediate vectors live in the pool; only the output columns handed
+/// downstream are materialized.
 pub struct Project {
     input: BoxedOp,
-    exprs: Vec<PhysExpr>,
+    programs: Vec<ExprProgram>,
     schema: Schema,
-    ctx: ExprCtx,
+    pool: VectorPool,
+    profile: OpProfile,
     cancel: CancelToken,
 }
 
 impl Project {
-    /// Map `input` through `exprs`; `schema` names the outputs.
+    /// Map `input` through the compiled `programs`; `schema` names the
+    /// outputs.
     pub fn new(
         input: BoxedOp,
-        exprs: Vec<PhysExpr>,
+        programs: Vec<ExprProgram>,
         schema: Schema,
-        ctx: ExprCtx,
         cancel: CancelToken,
     ) -> Project {
-        debug_assert_eq!(exprs.len(), schema.len());
-        Project { input, exprs, schema, ctx, cancel }
+        debug_assert_eq!(programs.len(), schema.len());
+        Project {
+            input,
+            programs,
+            schema,
+            pool: VectorPool::new(),
+            profile: OpProfile::new("Project"),
+            cancel,
+        }
     }
 }
 
@@ -125,20 +157,32 @@ impl Operator for Project {
         "Project"
     }
 
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         self.cancel.check()?;
         let Some(batch) = self.input.next()? else {
             return Ok(None);
         };
-        let mut columns = Vec::with_capacity(self.exprs.len());
-        for e in &self.exprs {
-            let v = e.eval(&batch, &self.ctx)?;
+        let t0 = Instant::now();
+        let mut columns = Vec::with_capacity(self.programs.len());
+        for prog in &self.programs {
+            let vr = prog.run(&mut self.pool, &batch)?;
             columns.push(match &batch.sel {
-                Some(sel) => v.gather(sel),
-                None => v,
+                // Selection: compact to dense output lanes.
+                Some(sel) => self.pool.get(&batch, vr).gather(sel),
+                // Dense input: hand the register buffer downstream.
+                None => self.pool.detach(&batch, vr),
             });
         }
-        Ok(Some(Batch::new(columns)))
+        self.pool.recycle();
+        let (runs, instrs) = self.pool.take_counters();
+        self.profile.record_expr(runs, instrs);
+        let out = Batch::new(columns);
+        self.profile.record(out.rows(), t0.elapsed());
+        Ok(Some(out))
     }
 }
 
@@ -233,7 +277,7 @@ impl Operator for UnionAll {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::CmpOp;
+    use crate::expr::{CmpOp, ExprCtx, PhysExpr};
     use crate::op::drain;
     use vw_common::{Field, TypeId, VwError};
 
@@ -246,12 +290,13 @@ mod tests {
         Box::new(Values::new(int_schema(), rows, vec_size, CancelToken::new()))
     }
 
-    fn gt(threshold: i64) -> PhysExpr {
-        PhysExpr::Cmp {
+    fn gt(threshold: i64) -> SelectProgram {
+        let e = PhysExpr::Cmp {
             op: CmpOp::Gt,
             lhs: Box::new(PhysExpr::ColRef(0, TypeId::I64)),
             rhs: Box::new(PhysExpr::Const(Value::I64(threshold), TypeId::I64)),
-        }
+        };
+        SelectProgram::compile(&e, &ExprCtx::default())
     }
 
     #[test]
@@ -266,7 +311,7 @@ mod tests {
     #[test]
     fn select_sets_selection() {
         let src = int_source((0..100).collect(), 32);
-        let mut sel = Select::new(src, gt(94), ExprCtx::default(), CancelToken::new());
+        let mut sel = Select::new(src, gt(94), CancelToken::new());
         let out = drain(&mut sel).unwrap();
         assert_eq!(out.rows(), 5);
         assert_eq!(out.row_values(0), vec![Value::I64(95)]);
@@ -275,7 +320,7 @@ mod tests {
     #[test]
     fn select_skips_empty_vectors() {
         let src = int_source((0..100).collect(), 10);
-        let mut sel = Select::new(src, gt(98), ExprCtx::default(), CancelToken::new());
+        let mut sel = Select::new(src, gt(98), CancelToken::new());
         // Only the last vector has matches; the operator must loop past the
         // empty ones rather than returning empty batches.
         let b = sel.next().unwrap().unwrap();
@@ -286,7 +331,7 @@ mod tests {
     #[test]
     fn project_compacts_selection() {
         let src = int_source((0..20).collect(), 8);
-        let sel = Select::new(src, gt(15), ExprCtx::default(), CancelToken::new());
+        let sel = Select::new(src, gt(15), CancelToken::new());
         let double = PhysExpr::Arith {
             op: crate::expr::BinOp::Mul,
             lhs: Box::new(PhysExpr::ColRef(0, TypeId::I64)),
@@ -295,9 +340,8 @@ mod tests {
         };
         let mut proj = Project::new(
             Box::new(sel),
-            vec![double],
+            vec![ExprProgram::compile(&double, &ExprCtx::default())],
             int_schema(),
-            ExprCtx::default(),
             CancelToken::new(),
         );
         let out = drain(&mut proj).unwrap();
@@ -340,7 +384,7 @@ mod tests {
     fn cancellation_stops_pipeline() {
         let cancel = CancelToken::new();
         let src = int_source((0..1000).collect(), 16);
-        let mut sel = Select::new(src, gt(-1), ExprCtx::default(), cancel.clone());
+        let mut sel = Select::new(src, gt(-1), cancel.clone());
         sel.next().unwrap().unwrap();
         cancel.cancel();
         assert!(matches!(sel.next(), Err(VwError::Cancelled)));

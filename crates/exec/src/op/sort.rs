@@ -201,15 +201,19 @@ impl TopN {
         // limits of ORDER BY ... LIMIT this is effectively a heap without
         // the comparator gymnastics.
         let mut buf: Vec<Vec<Value>> = Vec::with_capacity(self.limit + 1);
+        // One reused row buffer: at steady state almost every row loses to
+        // the current top-N and is rejected without allocating; only rows
+        // that actually enter the buffer are materialized (by take).
+        let mut row: Vec<Value> = Vec::new();
         while let Some(batch) = input.next()? {
             self.cancel.check()?;
             for i in 0..batch.rows() {
-                let row = batch.row_values(i);
+                batch.row_values_into(i, &mut row);
                 if buf.len() < self.limit {
                     let at = buf
                         .binary_search_by(|r| Self::cmp_value_rows(&self.keys, r, &row))
                         .unwrap_or_else(|e| e);
-                    buf.insert(at, row);
+                    buf.insert(at, std::mem::take(&mut row));
                 } else if self.limit > 0
                     && Self::cmp_value_rows(&self.keys, &row, buf.last().unwrap())
                         == Ordering::Less
@@ -217,7 +221,7 @@ impl TopN {
                     let at = buf
                         .binary_search_by(|r| Self::cmp_value_rows(&self.keys, r, &row))
                         .unwrap_or_else(|e| e);
-                    buf.insert(at, row);
+                    buf.insert(at, std::mem::take(&mut row));
                     buf.pop();
                 }
             }

@@ -38,7 +38,7 @@ pub fn map_bin_full<T: Copy, U: Copy, R>(a: &[T], b: &[U], out: &mut Vec<R>, mut
 /// only) get `R::default()`; lanes carried over keep whatever stale value
 /// the previous vector held.
 #[inline]
-fn resize_uninit<R: Default + Clone>(out: &mut Vec<R>, n: usize) {
+pub(crate) fn resize_uninit<R: Default + Clone>(out: &mut Vec<R>, n: usize) {
     if out.len() != n {
         out.resize(n, R::default());
     }

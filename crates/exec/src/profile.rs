@@ -29,6 +29,13 @@ pub struct OpProfile {
     /// directory or clustered hash function shows up here long before it
     /// shows up in wall time).
     pub probe_chain_steps: u64,
+    /// Compiled expression programs executed (one per expression per
+    /// batch). Zero for operators that evaluate no expressions.
+    pub expr_programs: u64,
+    /// Primitive instructions dispatched by those programs. The ratio
+    /// `expr_instrs / expr_programs` is the program length — a direct view
+    /// of how much work compile-time folding and CSE removed.
+    pub expr_instrs: u64,
 }
 
 impl OpProfile {
@@ -59,6 +66,15 @@ impl OpProfile {
     pub fn record_probe(&mut self, rows: u64, chain_steps: u64) {
         self.probe_rows += rows;
         self.probe_chain_steps += chain_steps;
+    }
+
+    /// Record compiled-expression work: `programs` program invocations
+    /// executing `instrs` instructions (drained from the operator's
+    /// [`VectorPool`](crate::program::VectorPool) once per batch).
+    #[inline]
+    pub fn record_expr(&mut self, programs: u64, instrs: u64) {
+        self.expr_programs += programs;
+        self.expr_instrs += instrs;
     }
 
     /// Average hash-chain entries visited per probed key (0 when nothing
@@ -95,10 +111,13 @@ pub struct QueryProfile {
 
 impl QueryProfile {
     /// Render as an `EXPLAIN ANALYZE`-style table. Operators that probed a
-    /// hash table also report their average probe-chain length.
+    /// hash table also report their average probe-chain length; operators
+    /// that ran compiled expression programs report program invocations
+    /// and primitive instructions executed.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("operator                          calls       rows     time    chain\n");
+        let mut out = String::from(
+            "operator                          calls       rows     time    chain    progs    prims\n",
+        );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
             let chain = if p.probe_rows > 0 {
@@ -106,13 +125,20 @@ impl QueryProfile {
             } else {
                 format!("{:>8}", "-")
             };
+            let (progs, prims) = if p.expr_programs > 0 {
+                (format!("{:>8}", p.expr_programs), format!("{:>8}", p.expr_instrs))
+            } else {
+                (format!("{:>8}", "-"), format!("{:>8}", "-"))
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {}\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
                 p.time.as_secs_f64() * 1e3,
                 chain,
+                progs,
+                prims,
             ));
         }
         out
@@ -154,6 +180,23 @@ mod tests {
         let mut q = QueryProfile::default();
         q.operators.push((0, p));
         assert!(q.render().contains("1.00"), "chain column rendered");
+    }
+
+    #[test]
+    fn expr_counters_rendered() {
+        let mut p = OpProfile::new("Project");
+        p.record_expr(4, 12);
+        p.record_expr(2, 6);
+        assert_eq!(p.expr_programs, 6);
+        assert_eq!(p.expr_instrs, 18);
+        let mut q = QueryProfile::default();
+        q.operators.push((0, p));
+        q.operators.push((1, OpProfile::new("Scan")));
+        let s = q.render();
+        assert!(s.contains("progs") && s.contains("prims"), "header has expr columns");
+        assert!(s.contains("18"), "instruction count rendered");
+        // Operators without expression work render a dash.
+        assert!(s.lines().nth(2).unwrap().trim_end().ends_with('-'));
     }
 
     #[test]

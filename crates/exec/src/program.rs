@@ -1,0 +1,2116 @@
+//! Compiled expression programs over a pooled vector arena — the X100
+//! "compile once, run per vector" expression discipline.
+//!
+//! [`PhysExpr`](crate::expr::PhysExpr) trees describe *what* to compute;
+//! this module turns them into **what X100 actually executes**: a flat
+//! [`ExprProgram`] — a `Vec<Instr>` of primitive invocations compiled once
+//! per query — reading and writing a register file of scratch [`Vector`]s
+//! leased from a reusable [`VectorPool`]. The tree is walked once, at
+//! compile time:
+//!
+//! * **constant folding** — subtrees without column references are
+//!   evaluated at compile time (via the reference interpreter, so the
+//!   semantics cannot diverge) and replaced by a single constant fill;
+//!   subtrees whose folding would *error* (`1/0`) are left compiled so the
+//!   error still surfaces at run time, exactly as before;
+//! * **common-subexpression elimination** — structurally identical
+//!   subtrees compile to one instruction sequence and share a register;
+//! * **register reuse** — a register is returned to the free list after
+//!   its last consuming instruction, so deep trees run in a few slots.
+//!
+//! At run time [`ExprProgram::run`] executes the instructions against one
+//! [`Batch`]: no tree walk, no per-node dispatch, and — crucially — **no
+//! per-node allocation**. Every instruction writes into a pool register
+//! whose buffers (value vector *and* NULL-indicator vector) persist across
+//! batches; the steady-state per-batch loop is allocation-free (proven by
+//! the counting-allocator check in the `c13_exprprog` bench).
+//!
+//! Predicates compile to a [`SelectProgram`] instead: conjunctions become a
+//! chain of *selective* steps that narrow one [`SelVec`] (each step only
+//! looks at survivors of the previous ones), hot `col <op> const` shapes
+//! use the typed select kernels directly, and only irreducible boolean
+//! expressions materialize a boolean vector.
+//!
+//! # `VectorPool` ownership rules
+//!
+//! The pool is an epoch-recycled arena owned by one operator (it is not
+//! shared across threads):
+//!
+//! 1. [`ExprProgram::run`] *leases* the program's registers from the pool
+//!    and releases all but the result register when it returns. The
+//!    returned [`VecRef`] stays valid — and its slot stays leased — until
+//!    the operator calls [`VectorPool::recycle`].
+//! 2. The operator resolves a [`VecRef`] with [`VectorPool::get`] (borrow)
+//!    or takes the buffer out with [`VectorPool::detach`] (e.g. to hand a
+//!    projected column downstream).
+//! 3. Once per batch, after all programs ran and every result was
+//!    consumed, the operator calls [`VectorPool::recycle`]; every leased
+//!    slot returns to the free list with its allocation intact. A `VecRef`
+//!    must never be read after `recycle` — it is an index into the arena,
+//!    not a borrow, and its slot may be re-leased to the next program.
+//!
+//! Registers hold *garbage* in unselected lanes (the selective-primitive
+//! contract); NULL-indicator buffers are always full-width valid.
+
+use crate::expr::{decode_field, BinOp, CmpOp, ExprCtx, Func, LikeMatcher, PhysExpr};
+use crate::primitives::{self, ArithCheck};
+use crate::vector::{Batch, Vector};
+use std::collections::HashMap;
+use vw_common::config::NullMode;
+use vw_common::{ColData, Result, SelVec, TypeId, Value, VwError};
+
+// ---------------------------------------------------------------------------
+// VectorPool
+// ---------------------------------------------------------------------------
+
+/// A handle to a program result: either a batch column (expressions that
+/// reduce to a bare column reference copy nothing) or a leased pool slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecRef {
+    /// Column `i` of the batch the program ran against.
+    Col(usize),
+    /// Arena slot index; valid until [`VectorPool::recycle`].
+    Slot(usize),
+}
+
+/// One arena slot: the scratch vector plus a spare NULL-indicator buffer so
+/// toggling `nulls` between `Some`/`None` across batches never reallocates.
+struct Slot {
+    vec: Vector,
+    spare_nulls: Vec<bool>,
+}
+
+/// Reusable arena of scratch [`Vector`]s — X100's "vector memory".
+///
+/// See the module docs for the ownership rules. The pool also carries the
+/// per-operator expression profiling counters (`programs_run`,
+/// `instrs_run`) that [`OpProfile`](crate::profile::OpProfile) surfaces in
+/// `EXPLAIN ANALYZE`.
+#[derive(Default)]
+pub struct VectorPool {
+    slots: Vec<Slot>,
+    /// Slot indices currently free for leasing.
+    free: Vec<usize>,
+    /// Slots leased to still-live program results (released by `recycle`).
+    held: Vec<usize>,
+    /// Register → slot mapping of the program currently executing.
+    regs: Vec<usize>,
+    /// Recycled selection vectors for select programs.
+    sel_free: Vec<SelVec>,
+    /// Scratch for the Div/Rem NULL-denominator patch (see `Instr::DivRemI64`).
+    patch_i64: Vec<i64>,
+    /// Program invocations since the last `take_counters`.
+    pub programs_run: u64,
+    /// Instructions executed since the last `take_counters`.
+    pub instrs_run: u64,
+}
+
+impl VectorPool {
+    /// An empty pool.
+    pub fn new() -> VectorPool {
+        VectorPool::default()
+    }
+
+    /// Lease a slot holding a vector of type `ty` (buffer reused when one
+    /// of that type is free; allocated otherwise).
+    fn lease(&mut self, ty: TypeId) -> usize {
+        if let Some(i) = (0..self.free.len()).find(|&i| {
+            self.slots[self.free[i]].vec.type_id() == ty
+        }) {
+            return self.free.swap_remove(i);
+        }
+        self.slots.push(Slot { vec: Vector::new(ColData::new(ty)), spare_nulls: Vec::new() });
+        self.slots.len() - 1
+    }
+
+    /// Lease the register file for one program run.
+    fn begin_run(&mut self, reg_types: &[TypeId]) {
+        self.regs.clear();
+        for &ty in reg_types {
+            let s = self.lease(ty);
+            self.regs.push(s);
+        }
+    }
+
+    /// Release the run's registers, keeping `keep` leased for the caller.
+    fn end_run(&mut self, keep: Option<usize>) {
+        for i in 0..self.regs.len() {
+            let s = self.regs[i];
+            if Some(s) == keep {
+                self.held.push(s);
+            } else {
+                self.free.push(s);
+            }
+        }
+        self.regs.clear();
+    }
+
+    /// Resolve a [`VecRef`] against the batch it was produced from.
+    pub fn get<'a>(&'a self, batch: &'a Batch, r: VecRef) -> &'a Vector {
+        match r {
+            VecRef::Col(c) => &batch.columns[c],
+            VecRef::Slot(s) => &self.slots[s].vec,
+        }
+    }
+
+    /// Take ownership of a result vector (clones batch columns; moves the
+    /// buffer out of pool slots — the slot re-grows on its next lease).
+    pub fn detach(&mut self, batch: &Batch, r: VecRef) -> Vector {
+        match r {
+            VecRef::Col(c) => batch.columns[c].clone(),
+            VecRef::Slot(s) => {
+                let slot = &mut self.slots[s];
+                let ty = slot.vec.type_id();
+                std::mem::replace(&mut slot.vec, Vector::new(ColData::new(ty)))
+            }
+        }
+    }
+
+    /// End the batch epoch: every leased result slot returns to the free
+    /// list (buffers intact). All outstanding `VecRef`s become invalid.
+    pub fn recycle(&mut self) {
+        self.free.append(&mut self.held);
+    }
+
+    /// Drain the profiling counters (program runs, instructions executed).
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.programs_run), std::mem::take(&mut self.instrs_run))
+    }
+
+    /// Borrow a recycled [`SelVec`] (cleared). Selection results returned
+    /// by [`SelectProgram::run`] come from this free list; callers that do
+    /// not hand the selection downstream should [`put_sel`](Self::put_sel)
+    /// it back so the allocation keeps cycling.
+    pub fn take_sel(&mut self) -> SelVec {
+        let mut s = self.sel_free.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    /// Return a [`SelVec`] to the free list for reuse.
+    pub fn put_sel(&mut self, s: SelVec) {
+        self.sel_free.push(s);
+    }
+
+    /// Take register `r`'s vector and its NULL working buffer out of the
+    /// arena for in-place computation ([`put_reg`](Self::put_reg) restores
+    /// them). The buffer is the slot's previous indicator or its spare —
+    /// either way it is owned, warm, and reusable.
+    fn take_reg(&mut self, r: u16) -> (Vector, Vec<bool>) {
+        let slot = &mut self.slots[self.regs[r as usize]];
+        let mut vec = std::mem::replace(&mut slot.vec, Vector::new(ColData::Bool(Vec::new())));
+        let buf = vec.nulls.take().unwrap_or_else(|| std::mem::take(&mut slot.spare_nulls));
+        (vec, buf)
+    }
+
+    /// Restore register `r` after computation. `any_null` decides whether
+    /// the buffer becomes the vector's indicator or goes back to the spare
+    /// pocket (the `None` normalization [`Vector::with_nulls`] applies,
+    /// without dropping the allocation).
+    fn put_reg(&mut self, r: u16, mut vec: Vector, buf: Vec<bool>, any_null: bool) {
+        let slot = &mut self.slots[self.regs[r as usize]];
+        if any_null {
+            vec.nulls = Some(buf);
+        } else {
+            vec.nulls = None;
+            slot.spare_nulls = buf;
+        }
+        slot.vec = vec;
+    }
+
+    /// Resolve an instruction operand.
+    fn opd<'a>(&'a self, batch: &'a Batch, o: Opd) -> &'a Vector {
+        match o {
+            Opd::Col(c) => &batch.columns[c],
+            Opd::Reg(r) => &self.slots[self.regs[r as usize]].vec,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+/// An instruction operand: a batch column (column references compile to
+/// direct reads — no copy, no instruction) or a program register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opd {
+    /// Batch column index.
+    Col(usize),
+    /// Program register index.
+    Reg(u16),
+}
+
+/// One primitive invocation. Operand lanes outside the current selection
+/// are garbage; NULL indicators are always full-width valid.
+enum Instr {
+    /// Fill `dst` with `capacity` copies of a constant (NULL → all-NULL).
+    ConstFill { value: Value, ty: TypeId, dst: u16 },
+    /// I64 `+ - *` through the checked kernels of [`primitives`].
+    ArithI64 { op: BinOp, a: Opd, b: Opd, dst: u16 },
+    /// Dedicated I64 `/ %` instruction: NULL denominators are patched to 1
+    /// before the kernel runs (their lanes are NULL anyway; the safe value
+    /// 0 would raise a spurious division-by-zero) — the paper's "special
+    /// algorithms in the kernel", ported verbatim from the interpreter.
+    DivRemI64 { op: BinOp, a: Opd, b: Opd, dst: u16 },
+    /// F64 arithmetic (division-by-zero checked at live non-NULL lanes).
+    ArithF64 { op: BinOp, a: Opd, b: Opd, dst: u16 },
+    /// The C6 strawman: per-value NULL tests inside the arithmetic loop.
+    ArithBranchyI64 { op: BinOp, a: Opd, b: Opd, dst: u16 },
+    /// Comparison producing BOOLEAN (typed loops for same-type numeric
+    /// operands, `Value::sql_cmp` otherwise).
+    Cmp { op: CmpOp, a: Opd, b: Opd, dst: u16 },
+    /// N-ary three-valued AND/OR over boolean vectors.
+    BoolAndOr { is_and: bool, parts: Vec<Opd>, dst: u16 },
+    /// Boolean negation.
+    Not { a: Opd, dst: u16 },
+    /// Type conversion (same-type casts are elided at compile time).
+    Cast { a: Opd, to: TypeId, dst: u16 },
+    /// `IS NULL` / `IS NOT NULL` (never NULL itself).
+    IsNull { a: Opd, negated: bool, dst: u16 },
+    /// `CASE WHEN c THEN v ... ELSE e END` over pre-evaluated branches.
+    Case { branches: Vec<(Opd, Opd)>, else_v: Option<Opd>, dst: u16 },
+    /// Native scalar function call.
+    Call { func: Func, args: Vec<Opd>, ty: TypeId, dst: u16 },
+    /// `LIKE` with the pattern compiled once (the interpreter re-parsed it
+    /// every batch).
+    Like { a: Opd, matcher: LikeMatcher, negated: bool, dst: u16 },
+    /// Compile-time-detected plan error surfaced at run time (mirrors the
+    /// interpreter, which raised it on first evaluation).
+    Fail { message: String },
+}
+
+// ---------------------------------------------------------------------------
+// ExprProgram
+// ---------------------------------------------------------------------------
+
+/// A compiled expression: flat instructions over a typed register file.
+/// Built once per query by [`ExprProgram::compile`]; executed once per
+/// batch by [`ExprProgram::run`].
+pub struct ExprProgram {
+    instrs: Vec<Instr>,
+    reg_types: Vec<TypeId>,
+    result: Opd,
+    ty: TypeId,
+    check: ArithCheck,
+}
+
+impl ExprProgram {
+    /// Compile `expr` under `ctx` (checking strategy and NULL mode are
+    /// baked into the instruction stream).
+    pub fn compile(expr: &PhysExpr, ctx: &ExprCtx) -> ExprProgram {
+        let mut c = Compiler {
+            ctx: *ctx,
+            instrs: Vec::new(),
+            reg_types: Vec::new(),
+            free_regs: Vec::new(),
+            intern: HashMap::new(),
+            node_ids: HashMap::new(),
+            memo: Vec::new(),
+            uses: Vec::new(),
+            aliases: Vec::new(),
+            is_const: Vec::new(),
+        };
+        c.assign_ids(expr);
+        c.count_uses(expr);
+        let result = c.emit(expr);
+        ExprProgram {
+            instrs: c.instrs,
+            reg_types: c.reg_types,
+            result,
+            ty: expr.type_id(),
+            check: ctx.check,
+        }
+    }
+
+    /// The program's result type.
+    pub fn type_id(&self) -> TypeId {
+        self.ty
+    }
+
+    /// Number of compiled instructions (compile-time observability).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program is a bare column/constant with no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of registers in the program's register file.
+    pub fn n_regs(&self) -> usize {
+        self.reg_types.len()
+    }
+
+    /// Execute against `batch` under its own selection vector.
+    pub fn run(&self, pool: &mut VectorPool, batch: &Batch) -> Result<VecRef> {
+        self.run_with_sel(pool, batch, batch.sel.as_ref())
+    }
+
+    /// Execute with an explicit selection override (select programs chain
+    /// narrowed selections through here without touching the batch).
+    pub fn run_with_sel(
+        &self,
+        pool: &mut VectorPool,
+        batch: &Batch,
+        sel: Option<&SelVec>,
+    ) -> Result<VecRef> {
+        pool.begin_run(&self.reg_types);
+        let mut res = Ok(());
+        for instr in &self.instrs {
+            res = exec_instr(instr, pool, batch, sel, self.check);
+            if res.is_err() {
+                break;
+            }
+        }
+        pool.programs_run += 1;
+        pool.instrs_run += self.instrs.len() as u64;
+        let keep = match self.result {
+            Opd::Col(_) => None,
+            Opd::Reg(r) => Some(pool.regs[r as usize]),
+        };
+        let out = match self.result {
+            Opd::Col(c) => VecRef::Col(c),
+            Opd::Reg(r) => VecRef::Slot(pool.regs[r as usize]),
+        };
+        pool.end_run(keep);
+        res?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------------
+
+/// Structural interning key: a node-local descriptor plus the *ids* of the
+/// children. Building one is O(node), not O(subtree) — interning a whole
+/// tree is linear, where keying on the full `Debug` string of every
+/// subtree would make compilation quadratic in expression size.
+#[derive(Hash, PartialEq, Eq)]
+struct NodeKey {
+    desc: String,
+    children: Vec<u32>,
+}
+
+struct Compiler {
+    ctx: ExprCtx,
+    instrs: Vec<Instr>,
+    reg_types: Vec<TypeId>,
+    free_regs: Vec<u16>,
+    /// Structural intern table: equal subtrees share one dense id.
+    intern: HashMap<NodeKey, u32>,
+    /// Tree-node address → interned id (filled once by `assign_ids`; the
+    /// tree is borrowed for the whole compile, so addresses are stable).
+    node_ids: HashMap<*const PhysExpr, u32>,
+    /// Per id: CSE memo — the operand holding the computed value.
+    memo: Vec<Option<Opd>>,
+    /// Per id: remaining consumers (register freed at zero).
+    uses: Vec<usize>,
+    /// Per id: elided identity casts forward their releases to the input
+    /// actually holding the register (chains resolved at alias creation,
+    /// so every entry points at a terminal id).
+    aliases: Vec<Option<u32>>,
+    /// Per id: subtree is free of column references (folding candidate).
+    is_const: Vec<bool>,
+}
+
+/// Node-local descriptor for [`NodeKey`] — captures everything about the
+/// node *except* its children (those are captured as interned ids).
+fn node_desc(e: &PhysExpr) -> String {
+    match e {
+        PhysExpr::ColRef(i, ty) => format!("R{i}:{ty:?}"),
+        PhysExpr::Const(v, ty) => format!("K{v:?}:{ty:?}"),
+        PhysExpr::Arith { op, ty, .. } => format!("A{op:?}:{ty:?}"),
+        PhysExpr::Cmp { op, .. } => format!("C{op:?}"),
+        PhysExpr::And(_) => "&".into(),
+        PhysExpr::Or(_) => "|".into(),
+        PhysExpr::Not(_) => "!".into(),
+        PhysExpr::Cast { to, .. } => format!("T{to:?}"),
+        PhysExpr::IsNull(_) => "Z".into(),
+        PhysExpr::IsNotNull(_) => "z".into(),
+        PhysExpr::Case { branches, else_expr, ty } => {
+            format!("S{}:{}:{ty:?}", branches.len(), else_expr.is_some())
+        }
+        PhysExpr::FuncCall { func, ty, .. } => format!("F{func:?}:{ty:?}"),
+        PhysExpr::Like { pattern, negated, .. } => format!("L{negated}:{pattern}"),
+    }
+}
+
+fn children(e: &PhysExpr) -> Vec<&PhysExpr> {
+    match e {
+        PhysExpr::ColRef(..) | PhysExpr::Const(..) => Vec::new(),
+        PhysExpr::Arith { lhs, rhs, .. } => vec![lhs, rhs],
+        PhysExpr::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+        PhysExpr::And(v) | PhysExpr::Or(v) => v.iter().collect(),
+        PhysExpr::Not(x) | PhysExpr::IsNull(x) | PhysExpr::IsNotNull(x) => vec![x],
+        PhysExpr::Cast { input, .. } => vec![input],
+        PhysExpr::Case { branches, else_expr, .. } => {
+            let mut out: Vec<&PhysExpr> = Vec::new();
+            for (c, v) in branches {
+                out.push(c);
+                out.push(v);
+            }
+            if let Some(e) = else_expr {
+                out.push(e);
+            }
+            out
+        }
+        PhysExpr::FuncCall { args, .. } => args.iter().collect(),
+        PhysExpr::Like { input, .. } => vec![input],
+    }
+}
+
+impl Compiler {
+    /// One linear bottom-up pass: intern every tree node's structure and
+    /// record its id by node address (plus const-ness for the folder).
+    fn assign_ids(&mut self, e: &PhysExpr) -> u32 {
+        let child_ids: Vec<u32> =
+            children(e).into_iter().map(|c| self.assign_ids(c)).collect();
+        let konst = match e {
+            PhysExpr::ColRef(..) => false,
+            PhysExpr::Const(..) => true,
+            _ => child_ids.iter().all(|&c| self.is_const[c as usize]),
+        };
+        let key = NodeKey { desc: node_desc(e), children: child_ids };
+        let next = self.intern.len() as u32;
+        let id = *self.intern.entry(key).or_insert(next);
+        if id == next {
+            self.memo.push(None);
+            self.uses.push(0);
+            self.aliases.push(None);
+            self.is_const.push(konst);
+        }
+        self.node_ids.insert(e as *const PhysExpr, id);
+        id
+    }
+
+    fn id_of(&self, e: &PhysExpr) -> u32 {
+        self.node_ids[&(e as *const PhysExpr)]
+    }
+
+    /// DAG-aware use counting: each parent reference counts once; a
+    /// subtree's internals are counted only on first encounter.
+    fn count_uses(&mut self, e: &PhysExpr) {
+        let id = self.id_of(e) as usize;
+        self.uses[id] += 1;
+        if self.uses[id] == 1 {
+            for c in children(e) {
+                self.count_uses(c);
+            }
+        }
+    }
+
+    fn alloc_reg(&mut self, ty: TypeId) -> u16 {
+        if let Some(i) = (0..self.free_regs.len())
+            .find(|&i| self.reg_types[self.free_regs[i] as usize] == ty)
+        {
+            return self.free_regs.swap_remove(i);
+        }
+        self.reg_types.push(ty);
+        (self.reg_types.len() - 1) as u16
+    }
+
+    /// A consuming instruction was emitted: drop one use of `e`; free its
+    /// register after the last consumer. Aliases (elided identity casts)
+    /// forward to the expression actually holding the register.
+    fn release(&mut self, e: &PhysExpr) {
+        let mut id = self.id_of(e);
+        while let Some(t) = self.aliases[id as usize] {
+            id = t;
+        }
+        let n = &mut self.uses[id as usize];
+        debug_assert!(*n > 0, "released expression with no remaining uses");
+        *n -= 1;
+        if *n == 0 {
+            if let Some(Opd::Reg(r)) = self.memo[id as usize] {
+                self.free_regs.push(r);
+            }
+        }
+    }
+
+    /// Fold a column-free subtree to a single constant via the reference
+    /// interpreter (identical semantics by construction). Folding that
+    /// *errors* returns `None`: the subtree stays compiled so the error
+    /// surfaces at run time exactly as the interpreter raised it.
+    fn try_fold(&self, e: &PhysExpr) -> Option<Value> {
+        if matches!(e, PhysExpr::Const(..)) || !self.is_const[self.id_of(e) as usize] {
+            return None;
+        }
+        fold_const_value(e, &self.ctx)
+    }
+
+    fn emit(&mut self, e: &PhysExpr) -> Opd {
+        let id = self.id_of(e) as usize;
+        if let Some(opd) = self.memo[id] {
+            return opd;
+        }
+        let opd = self.emit_uncached(e);
+        self.memo[id] = Some(opd);
+        opd
+    }
+
+    fn emit_uncached(&mut self, e: &PhysExpr) -> Opd {
+        if let Some(v) = self.try_fold(e) {
+            let ty = e.type_id();
+            let dst = self.alloc_reg(ty);
+            self.instrs.push(Instr::ConstFill { value: v, ty, dst });
+            return Opd::Reg(dst);
+        }
+        match e {
+            PhysExpr::ColRef(i, _) => Opd::Col(*i),
+            PhysExpr::Const(v, ty) => {
+                let dst = self.alloc_reg(*ty);
+                self.instrs.push(Instr::ConstFill { value: v.clone(), ty: *ty, dst });
+                Opd::Reg(dst)
+            }
+            PhysExpr::Arith { op, lhs, rhs, ty } => {
+                let a = self.emit(lhs);
+                let b = self.emit(rhs);
+                let dst = self.alloc_reg(*ty);
+                let instr = match ty {
+                    TypeId::I64 if self.ctx.null_mode == NullMode::Branchy => {
+                        Instr::ArithBranchyI64 { op: *op, a, b, dst }
+                    }
+                    TypeId::I64 => match op {
+                        BinOp::Div | BinOp::Rem => Instr::DivRemI64 { op: *op, a, b, dst },
+                        _ => Instr::ArithI64 { op: *op, a, b, dst },
+                    },
+                    TypeId::F64 => Instr::ArithF64 { op: *op, a, b, dst },
+                    other => Instr::Fail {
+                        message: format!(
+                            "arithmetic on {} must be pre-promoted to BIGINT or DOUBLE",
+                            other.sql_name()
+                        ),
+                    },
+                };
+                self.instrs.push(instr);
+                self.release(lhs);
+                self.release(rhs);
+                Opd::Reg(dst)
+            }
+            PhysExpr::Cmp { op, lhs, rhs } => {
+                let a = self.emit(lhs);
+                let b = self.emit(rhs);
+                let dst = self.alloc_reg(TypeId::Bool);
+                self.instrs.push(Instr::Cmp { op: *op, a, b, dst });
+                self.release(lhs);
+                self.release(rhs);
+                Opd::Reg(dst)
+            }
+            PhysExpr::And(parts) | PhysExpr::Or(parts) => {
+                let is_and = matches!(e, PhysExpr::And(_));
+                let opds: Vec<Opd> = parts.iter().map(|p| self.emit(p)).collect();
+                let dst = self.alloc_reg(TypeId::Bool);
+                self.instrs.push(Instr::BoolAndOr { is_and, parts: opds, dst });
+                for p in parts {
+                    self.release(p);
+                }
+                Opd::Reg(dst)
+            }
+            PhysExpr::Not(inner) => {
+                let a = self.emit(inner);
+                let dst = self.alloc_reg(TypeId::Bool);
+                self.instrs.push(Instr::Not { a, dst });
+                self.release(inner);
+                Opd::Reg(dst)
+            }
+            PhysExpr::Cast { input, to } => {
+                if input.type_id() == *to {
+                    // Identity cast: no instruction, forward the operand.
+                    // Every release of this cast must count against the
+                    // expression actually holding the register — resolve
+                    // through existing aliases first (the input may itself
+                    // be an elided cast), whose use tally gains the cast's
+                    // users and loses the cast-node reference itself.
+                    let opd = self.emit(input);
+                    let ck = self.id_of(e);
+                    let mut target = self.id_of(input);
+                    while let Some(t) = self.aliases[target as usize] {
+                        target = t;
+                    }
+                    let cast_uses = self.uses[ck as usize];
+                    self.uses[target as usize] += cast_uses;
+                    self.uses[target as usize] -= 1;
+                    self.aliases[ck as usize] = Some(target);
+                    return opd;
+                }
+                let a = self.emit(input);
+                let dst = self.alloc_reg(*to);
+                self.instrs.push(Instr::Cast { a, to: *to, dst });
+                self.release(input);
+                Opd::Reg(dst)
+            }
+            PhysExpr::IsNull(inner) | PhysExpr::IsNotNull(inner) => {
+                let negated = matches!(e, PhysExpr::IsNotNull(_));
+                let a = self.emit(inner);
+                let dst = self.alloc_reg(TypeId::Bool);
+                self.instrs.push(Instr::IsNull { a, negated, dst });
+                self.release(inner);
+                Opd::Reg(dst)
+            }
+            PhysExpr::Case { branches, else_expr, ty } => {
+                let opds: Vec<(Opd, Opd)> = branches
+                    .iter()
+                    .map(|(c, v)| (self.emit(c), self.emit(v)))
+                    .collect();
+                let else_v = else_expr.as_deref().map(|x| self.emit(x));
+                let dst = self.alloc_reg(*ty);
+                self.instrs.push(Instr::Case { branches: opds, else_v, dst });
+                for (c, v) in branches {
+                    self.release(c);
+                    self.release(v);
+                }
+                if let Some(x) = else_expr.as_deref() {
+                    self.release(x);
+                }
+                Opd::Reg(dst)
+            }
+            PhysExpr::FuncCall { func, args, ty } => {
+                let opds: Vec<Opd> = args.iter().map(|a| self.emit(a)).collect();
+                let dst = self.alloc_reg(*ty);
+                self.instrs.push(Instr::Call { func: *func, args: opds, ty: *ty, dst });
+                for a in args {
+                    self.release(a);
+                }
+                Opd::Reg(dst)
+            }
+            PhysExpr::Like { input, pattern, negated } => {
+                let a = self.emit(input);
+                let dst = self.alloc_reg(TypeId::Bool);
+                self.instrs.push(Instr::Like {
+                    a,
+                    matcher: LikeMatcher::new(pattern),
+                    negated: *negated,
+                    dst,
+                });
+                self.release(input);
+                Opd::Reg(dst)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------------
+
+/// OR the NULL indicators of `inputs` into `buf` (full width). Returns
+/// whether any lane is NULL; when no input has an indicator, `buf` is left
+/// untouched (no work, no allocation).
+fn union_nulls_into(n: usize, inputs: &[&Vector], buf: &mut Vec<bool>) -> bool {
+    if inputs.iter().all(|v| v.nulls.is_none()) {
+        return false;
+    }
+    buf.clear();
+    buf.resize(n, false);
+    let mut any = false;
+    for v in inputs {
+        if let Some(m) = &v.nulls {
+            for (o, &b) in buf.iter_mut().zip(m) {
+                *o |= b;
+                any |= b;
+            }
+        }
+    }
+    any
+}
+
+/// Copy one vector's NULL indicator into `buf` (full width).
+fn copy_nulls_into(n: usize, v: &Vector, buf: &mut Vec<bool>) -> bool {
+    match &v.nulls {
+        None => false,
+        Some(m) => {
+            buf.clear();
+            buf.extend_from_slice(m);
+            debug_assert_eq!(buf.len(), n);
+            m.iter().any(|&b| b)
+        }
+    }
+}
+
+fn as_i64_mut(c: &mut ColData) -> &mut Vec<i64> {
+    match c {
+        ColData::I64(v) => v,
+        other => panic!("register type mismatch: expected I64, got {}", other.type_id()),
+    }
+}
+
+fn as_f64_mut(c: &mut ColData) -> &mut Vec<f64> {
+    match c {
+        ColData::F64(v) => v,
+        other => panic!("register type mismatch: expected F64, got {}", other.type_id()),
+    }
+}
+
+fn as_bool_mut(c: &mut ColData) -> &mut Vec<bool> {
+    match c {
+        ColData::Bool(v) => v,
+        other => panic!("register type mismatch: expected Bool, got {}", other.type_id()),
+    }
+}
+
+/// Run `body` with register `dst` taken out of the pool, restoring it
+/// (and its NULL buffer) whether or not the computation errored.
+fn with_dst(
+    pool: &mut VectorPool,
+    dst: u16,
+    body: impl FnOnce(&VectorPool, &mut Vector, &mut Vec<bool>) -> Result<bool>,
+) -> Result<()> {
+    let (mut vec, mut buf) = pool.take_reg(dst);
+    let res = body(pool, &mut vec, &mut buf);
+    match res {
+        Ok(any) => {
+            pool.put_reg(dst, vec, buf, any);
+            Ok(())
+        }
+        Err(e) => {
+            pool.put_reg(dst, vec, buf, false);
+            Err(e)
+        }
+    }
+}
+
+fn exec_instr(
+    instr: &Instr,
+    pool: &mut VectorPool,
+    batch: &Batch,
+    sel: Option<&SelVec>,
+    check: ArithCheck,
+) -> Result<()> {
+    let n = batch.capacity();
+    match instr {
+        Instr::ConstFill { value, ty, dst } => with_dst(pool, *dst, |_, out, buf| {
+            fill_const(out, buf, *ty, value, n)
+        }),
+        Instr::ArithI64 { op, a, b, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let av = pool.opd(batch, *a);
+            let bv = pool.opd(batch, *b);
+            let any = union_nulls_into(n, &[av, bv], buf);
+            let x = av.data.as_i64();
+            let y = bv.data.as_i64();
+            let o = as_i64_mut(&mut out.data);
+            match op {
+                BinOp::Add => primitives::add_i64(x, y, sel, o, check)?,
+                BinOp::Sub => primitives::sub_i64(x, y, sel, o, check)?,
+                BinOp::Mul => primitives::mul_i64(x, y, sel, o, check)?,
+                _ => unreachable!("Div/Rem compile to DivRemI64"),
+            }
+            Ok(any)
+        }),
+        Instr::DivRemI64 { op, a, b, dst } => {
+            // Patch scratch must be taken out before `pool` is re-borrowed.
+            let mut patch = std::mem::take(&mut pool.patch_i64);
+            let res = with_dst(pool, *dst, |pool, out, buf| {
+                let av = pool.opd(batch, *a);
+                let bv = pool.opd(batch, *b);
+                let any = union_nulls_into(n, &[av, bv], buf);
+                let x = av.data.as_i64();
+                let mut y = bv.data.as_i64();
+                // NULL denominators would fault on their safe value 0:
+                // patch them to 1 — their result lanes are NULL anyway.
+                if let Some(m) = &bv.nulls {
+                    patch.clear();
+                    patch.extend(
+                        y.iter().zip(m).map(|(&v, &is_null)| if is_null { 1 } else { v }),
+                    );
+                    y = &patch[..];
+                }
+                let o = as_i64_mut(&mut out.data);
+                match op {
+                    BinOp::Div => primitives::div_i64(x, y, sel, o, check)?,
+                    BinOp::Rem => primitives::rem_i64(x, y, sel, o, check)?,
+                    _ => unreachable!(),
+                }
+                Ok(any)
+            });
+            pool.patch_i64 = patch;
+            res
+        }
+        Instr::ArithF64 { op, a, b, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let av = pool.opd(batch, *a);
+            let bv = pool.opd(batch, *b);
+            let any = union_nulls_into(n, &[av, bv], buf);
+            let x = av.data.as_f64();
+            let y = bv.data.as_f64();
+            let o = as_f64_mut(&mut out.data);
+            let op = *op;
+            let f = |p: f64, q: f64| match op {
+                BinOp::Add => p + q,
+                BinOp::Sub => p - q,
+                BinOp::Mul => p * q,
+                BinOp::Div => p / q,
+                BinOp::Rem => p % q,
+            };
+            match sel {
+                None => primitives::map_bin_full(x, y, o, f),
+                Some(s) => primitives::map_bin_sel(x, y, s, o, f),
+            }
+            // SQL: float division by zero errors, but only at live,
+            // non-NULL lanes.
+            if matches!(op, BinOp::Div | BinOp::Rem) && check != ArithCheck::Unchecked {
+                let bad = |i: usize| y[i] == 0.0 && !av.is_null(i) && !bv.is_null(i);
+                let any_bad = match sel {
+                    None => (0..n).any(bad),
+                    Some(s) => s.iter().any(bad),
+                };
+                if any_bad {
+                    return Err(VwError::DivideByZero);
+                }
+            }
+            Ok(any)
+        }),
+        Instr::ArithBranchyI64 { op, a, b, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let av = pool.opd(batch, *a);
+            let bv = pool.opd(batch, *b);
+            let x = av.data.as_i64();
+            let y = bv.data.as_i64();
+            let o = as_i64_mut(&mut out.data);
+            o.clear();
+            o.resize(n, 0);
+            buf.clear();
+            buf.resize(n, false);
+            let mut any = false;
+            let mut step = |i: usize| -> Result<()> {
+                if av.is_null(i) || bv.is_null(i) {
+                    buf[i] = true;
+                    any = true;
+                    return Ok(());
+                }
+                let r = match op {
+                    BinOp::Add => x[i].checked_add(y[i]).ok_or(VwError::Overflow("+"))?,
+                    BinOp::Sub => x[i].checked_sub(y[i]).ok_or(VwError::Overflow("-"))?,
+                    BinOp::Mul => x[i].checked_mul(y[i]).ok_or(VwError::Overflow("*"))?,
+                    BinOp::Div => {
+                        if y[i] == 0 {
+                            return Err(VwError::DivideByZero);
+                        }
+                        x[i].checked_div(y[i]).ok_or(VwError::Overflow("/"))?
+                    }
+                    BinOp::Rem => {
+                        if y[i] == 0 {
+                            return Err(VwError::DivideByZero);
+                        }
+                        x[i].wrapping_rem(y[i])
+                    }
+                };
+                o[i] = r;
+                Ok(())
+            };
+            match sel {
+                None => {
+                    for i in 0..n {
+                        step(i)?;
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        step(i)?;
+                    }
+                }
+            }
+            Ok(any)
+        }),
+        Instr::Cmp { op, a, b, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let av = pool.opd(batch, *a);
+            let bv = pool.opd(batch, *b);
+            let any = union_nulls_into(n, &[av, bv], buf);
+            let o = as_bool_mut(&mut out.data);
+            // Typed arms write every selected lane, so unselected lanes may
+            // keep garbage (the selective-kernel contract) — no zero-fill.
+            primitives::resize_uninit(o, n);
+            let op = *op;
+            macro_rules! typed {
+                ($x:expr, $y:expr, $cmp:expr) => {{
+                    let (x, y) = ($x, $y);
+                    #[allow(clippy::redundant_closure_call)]
+                    match sel {
+                        None => {
+                            for i in 0..n {
+                                o[i] = op.holds($cmp(&x[i], &y[i]));
+                            }
+                        }
+                        Some(s) => {
+                            for i in s.iter() {
+                                o[i] = op.holds($cmp(&x[i], &y[i]));
+                            }
+                        }
+                    }
+                }};
+            }
+            match (&av.data, &bv.data) {
+                (ColData::I64(x), ColData::I64(y)) => typed!(x, y, |p: &i64, q: &i64| p.cmp(q)),
+                (ColData::I32(x), ColData::I32(y)) => typed!(x, y, |p: &i32, q: &i32| p.cmp(q)),
+                (ColData::Date(x), ColData::Date(y)) => typed!(x, y, |p: &i32, q: &i32| p.cmp(q)),
+                (ColData::F64(x), ColData::F64(y)) => {
+                    typed!(x, y, |p: &f64, q: &f64| p.total_cmp(q))
+                }
+                (ColData::Str(x), ColData::Str(y)) => {
+                    typed!(x, y, |p: &String, q: &String| p.cmp(q))
+                }
+                (x, y) => {
+                    // Mixed types: Value comparison with numeric widening
+                    // (exactly the interpreter's generic path). Incomparable
+                    // pairs must read FALSE, so this arm does zero-fill.
+                    o.iter_mut().for_each(|b| *b = false);
+                    let mut run = |i: usize| {
+                        if let Some(ord) = x.get_value(i).sql_cmp(&y.get_value(i)) {
+                            o[i] = op.holds(ord);
+                        }
+                    };
+                    match sel {
+                        None => (0..n).for_each(&mut run),
+                        Some(s) => s.iter().for_each(&mut run),
+                    }
+                }
+            }
+            Ok(any)
+        }),
+        Instr::BoolAndOr { is_and, parts, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let is_and = *is_and;
+            let o = as_bool_mut(&mut out.data);
+            o.clear();
+            o.resize(n, is_and);
+            buf.clear();
+            buf.resize(n, false);
+            for part in parts {
+                let v = pool.opd(batch, *part);
+                let vals = v.data.as_bool();
+                for i in 0..n {
+                    let (pv, pn) = (vals[i], v.is_null(i));
+                    let (av, an) = (o[i], buf[i]);
+                    let (nv, nn) = if is_and {
+                        // AND: false dominates, then NULL, then true.
+                        if (!av && !an) || (!pv && !pn) {
+                            (false, false)
+                        } else if an || pn {
+                            (false, true)
+                        } else {
+                            (true, false)
+                        }
+                    } else {
+                        // OR: true dominates, then NULL, then false.
+                        if (av && !an) || (pv && !pn) {
+                            (true, false)
+                        } else if an || pn {
+                            (false, true)
+                        } else {
+                            (false, false)
+                        }
+                    };
+                    o[i] = nv;
+                    buf[i] = nn;
+                }
+            }
+            Ok(buf.iter().any(|&b| b))
+        }),
+        Instr::Not { a, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let v = pool.opd(batch, *a);
+            let any = copy_nulls_into(n, v, buf);
+            let o = as_bool_mut(&mut out.data);
+            primitives::map_un_full(v.data.as_bool(), o, |b| !b);
+            Ok(any)
+        }),
+        Instr::Cast { a, to, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let v = pool.opd(batch, *a);
+            let any = copy_nulls_into(n, v, buf);
+            exec_cast(v, *to, sel, n, &mut out.data)?;
+            Ok(any)
+        }),
+        Instr::IsNull { a, negated, dst } => with_dst(pool, *dst, |pool, out, _| {
+            let v = pool.opd(batch, *a);
+            let o = as_bool_mut(&mut out.data);
+            o.clear();
+            match &v.nulls {
+                Some(m) => o.extend(m.iter().map(|&b| b != *negated)),
+                None => o.resize(n, *negated),
+            }
+            Ok(false)
+        }),
+        Instr::Case { branches, else_v, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            out.data.clear();
+            buf.clear();
+            let mut any = false;
+            // Sorted-selection walk: dead lanes only occupy a slot (safe
+            // default), live lanes run the branch scan — same structure as
+            // the generic cast path.
+            let live = sel.map(SelVec::as_slice);
+            let mut next = 0usize;
+            for i in 0..n {
+                let is_live = match live {
+                    None => true,
+                    Some(l) => {
+                        if next < l.len() && l[next] as usize == i {
+                            next += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if !is_live {
+                    out.data.push_safe_default();
+                    buf.push(false);
+                    continue;
+                }
+                let mut chosen: Option<Value> = None;
+                for (c, v) in branches {
+                    let cv = pool.opd(batch, *c);
+                    if !cv.is_null(i) && cv.data.as_bool()[i] {
+                        let vv = pool.opd(batch, *v);
+                        chosen = Some(vv.get(i));
+                        break;
+                    }
+                }
+                let val = chosen.unwrap_or_else(|| {
+                    else_v.map_or(Value::Null, |e| pool.opd(batch, e).get(i))
+                });
+                if val.is_null() {
+                    out.data.push_safe_default();
+                    buf.push(true);
+                    any = true;
+                } else {
+                    out.data.push_value(&val)?;
+                    buf.push(false);
+                }
+            }
+            Ok(any)
+        }),
+        Instr::Call { func, args, ty, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            // Every scalar function takes 1..=3 arguments: resolve into a
+            // stack array so Call executes allocation-free per batch.
+            debug_assert!((1..=3).contains(&args.len()));
+            let mut store = [pool.opd(batch, args[0]); 3];
+            for (slot, a) in store.iter_mut().zip(args.iter()).skip(1) {
+                *slot = pool.opd(batch, *a);
+            }
+            exec_func(*func, &store[..args.len()], *ty, n, sel, out, buf)
+        }),
+        Instr::Like { a, matcher, negated, dst } => with_dst(pool, *dst, |pool, out, buf| {
+            let v = pool.opd(batch, *a);
+            let any = copy_nulls_into(n, v, buf);
+            let strs = v.data.as_str();
+            let o = as_bool_mut(&mut out.data);
+            // Every selected lane is written; unselected lanes are garbage.
+            primitives::resize_uninit(o, n);
+            let mut run = |i: usize| o[i] = matcher.matches(&strs[i]) != *negated;
+            match sel {
+                None => (0..n).for_each(&mut run),
+                Some(s) => s.iter().for_each(&mut run),
+            }
+            Ok(any)
+        }),
+        Instr::Fail { message } => Err(VwError::Plan(message.clone())),
+    }
+}
+
+/// Fill a register with `n` copies of a constant. Copy-type constants fill
+/// by `resize` (memset-class); strings clone per lane, as the interpreter
+/// did. The buffer is fully rewritten — pool slots are shared between
+/// programs, so stale contents cannot be trusted.
+fn fill_const(out: &mut Vector, buf: &mut Vec<bool>, ty: TypeId, v: &Value, n: usize) -> Result<bool> {
+    if v.is_null() {
+        out.data.clear();
+        for _ in 0..n {
+            out.data.push_safe_default();
+        }
+        buf.clear();
+        buf.resize(n, true);
+        return Ok(n > 0);
+    }
+    match (&mut out.data, v) {
+        (ColData::I64(o), Value::I64(k)) => {
+            o.clear();
+            o.resize(n, *k);
+        }
+        (ColData::I32(o), Value::I32(k)) => {
+            o.clear();
+            o.resize(n, *k);
+        }
+        (ColData::F64(o), Value::F64(k)) => {
+            o.clear();
+            o.resize(n, *k);
+        }
+        (ColData::Bool(o), Value::Bool(k)) => {
+            o.clear();
+            o.resize(n, *k);
+        }
+        (ColData::Date(o), Value::Date(k)) => {
+            o.clear();
+            o.resize(n, k.0);
+        }
+        _ => {
+            debug_assert_eq!(out.data.type_id(), ty);
+            out.data.clear();
+            for _ in 0..n {
+                out.data.push_value(v)?;
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Cast execution (same-type casts were elided at compile time).
+fn exec_cast(
+    v: &Vector,
+    to: TypeId,
+    sel: Option<&SelVec>,
+    n: usize,
+    out: &mut ColData,
+) -> Result<()> {
+    // Fast widening paths (full width, like the interpreter).
+    macro_rules! widen {
+        ($src:expr, $o:expr, $t:ty) => {{
+            let (src, o) = ($src, $o);
+            o.clear();
+            o.extend(src.iter().map(|&a| a as $t));
+            return Ok(());
+        }};
+    }
+    match (&v.data, to, &mut *out) {
+        (ColData::I8(s), TypeId::I64, ColData::I64(o)) => widen!(s, o, i64),
+        (ColData::I16(s), TypeId::I64, ColData::I64(o)) => widen!(s, o, i64),
+        (ColData::I32(s), TypeId::I64, ColData::I64(o)) => widen!(s, o, i64),
+        (ColData::I8(s), TypeId::F64, ColData::F64(o)) => widen!(s, o, f64),
+        (ColData::I16(s), TypeId::F64, ColData::F64(o)) => widen!(s, o, f64),
+        (ColData::I32(s), TypeId::F64, ColData::F64(o)) => widen!(s, o, f64),
+        (ColData::I64(s), TypeId::F64, ColData::F64(o)) => widen!(s, o, f64),
+        _ => {}
+    }
+    // Generic per-value path: live lanes convert (checked), unselected
+    // lanes must still occupy slots. The selection is sorted, so a single
+    // pointer walk replaces the interpreter's HashSet.
+    out.clear();
+    fn run(v: &Vector, i: usize, to: TypeId, out: &mut ColData) -> Result<()> {
+        if v.is_null(i) {
+            out.push_safe_default();
+        } else {
+            out.push_value(&v.data.get_value(i).cast_to(to)?)?;
+        }
+        Ok(())
+    }
+    match sel {
+        None => {
+            for i in 0..n {
+                run(v, i, to, out)?;
+            }
+        }
+        Some(s) => {
+            let live = s.as_slice();
+            let mut next = 0usize;
+            for i in 0..n {
+                if next < live.len() && live[next] as usize == i {
+                    next += 1;
+                    run(v, i, to, out)?;
+                } else {
+                    out.push_safe_default();
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn arg_err(func: Func, msg: &str) -> VwError {
+    VwError::InvalidParameter(format!("{func:?}: {msg}"))
+}
+
+/// Scalar function execution into a pooled register — the interpreter's
+/// `eval_func`, re-pointed at reusable output buffers.
+fn exec_func(
+    func: Func,
+    vs: &[&Vector],
+    ty: TypeId,
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut Vector,
+    buf: &mut Vec<bool>,
+) -> Result<bool> {
+    let any = union_nulls_into(n, vs, buf);
+    let live = |i: usize| -> bool { !(any && buf[i]) };
+    macro_rules! for_live {
+        ($body:expr) => {{
+            match sel {
+                None => {
+                    for i in 0..n {
+                        $body(i)?;
+                    }
+                }
+                Some(s) => {
+                    for i in s.iter() {
+                        $body(i)?;
+                    }
+                }
+            }
+        }};
+    }
+    // Reset a typed output buffer to `n` default lanes.
+    macro_rules! fresh {
+        ($o:expr, $d:expr) => {{
+            let o = $o;
+            o.clear();
+            o.resize(n, $d);
+            o
+        }};
+    }
+    match func {
+        Func::Upper | Func::Lower | Func::Trim => {
+            let s = vs[0].data.as_str();
+            let o = fresh!(as_str_mut(&mut out.data), String::new());
+            let mut f = |i: usize| -> Result<()> {
+                o[i] = match func {
+                    Func::Upper => s[i].to_uppercase(),
+                    Func::Lower => s[i].to_lowercase(),
+                    _ => s[i].trim().to_string(),
+                };
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Length => {
+            let s = vs[0].data.as_str();
+            let o = fresh!(as_i64_mut(&mut out.data), 0i64);
+            let mut f = |i: usize| -> Result<()> {
+                o[i] = s[i].chars().count() as i64;
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Substr => {
+            let s = vs[0].data.as_str();
+            let start = vs[1].data.as_i64();
+            let len = vs.get(2).map(|v| v.data.as_i64());
+            let o = fresh!(as_str_mut(&mut out.data), String::new());
+            let mut f = |i: usize| -> Result<()> {
+                if !live(i) {
+                    return Ok(());
+                }
+                if start[i] < 1 {
+                    return Err(arg_err(func, "start position must be >= 1"));
+                }
+                let take = match len {
+                    Some(l) => {
+                        if l[i] < 0 {
+                            return Err(arg_err(func, "length must be >= 0"));
+                        }
+                        l[i] as usize
+                    }
+                    None => usize::MAX,
+                };
+                o[i] = s[i].chars().skip(start[i] as usize - 1).take(take).collect();
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Concat => {
+            let a = vs[0].data.as_str();
+            let b = vs[1].data.as_str();
+            let o = fresh!(as_str_mut(&mut out.data), String::new());
+            let mut f = |i: usize| -> Result<()> {
+                let mut s = String::with_capacity(a[i].len() + b[i].len());
+                s.push_str(&a[i]);
+                s.push_str(&b[i]);
+                o[i] = s;
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Replace => {
+            let s = vs[0].data.as_str();
+            let from = vs[1].data.as_str();
+            let to = vs[2].data.as_str();
+            let o = fresh!(as_str_mut(&mut out.data), String::new());
+            let mut f = |i: usize| -> Result<()> {
+                o[i] = if from[i].is_empty() {
+                    s[i].clone()
+                } else {
+                    s[i].replace(&from[i], &to[i])
+                };
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Abs => match &vs[0].data {
+            ColData::I64(x) => {
+                let o = fresh!(as_i64_mut(&mut out.data), 0i64);
+                let mut f = |i: usize| -> Result<()> {
+                    if live(i) {
+                        o[i] = x[i].checked_abs().ok_or(VwError::Overflow("ABS"))?;
+                    }
+                    Ok(())
+                };
+                for_live!(f);
+            }
+            ColData::F64(x) => {
+                let o = fresh!(as_f64_mut(&mut out.data), 0f64);
+                let mut f = |i: usize| -> Result<()> {
+                    o[i] = x[i].abs();
+                    Ok(())
+                };
+                for_live!(f);
+            }
+            other => return Err(arg_err(func, &format!("bad input {}", other.type_id()))),
+        },
+        Func::Sqrt => {
+            let x = vs[0].data.as_f64();
+            let o = fresh!(as_f64_mut(&mut out.data), 0f64);
+            let mut f = |i: usize| -> Result<()> {
+                if live(i) {
+                    if x[i] < 0.0 {
+                        return Err(arg_err(func, "negative input"));
+                    }
+                    o[i] = x[i].sqrt();
+                }
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Floor | Func::Ceil | Func::Round => {
+            let x = vs[0].data.as_f64();
+            let o = fresh!(as_f64_mut(&mut out.data), 0f64);
+            let mut f = |i: usize| -> Result<()> {
+                o[i] = match func {
+                    Func::Floor => x[i].floor(),
+                    Func::Ceil => x[i].ceil(),
+                    _ => x[i].round(),
+                };
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::Extract => {
+            let ColData::Date(days) = &vs[0].data else {
+                return Err(arg_err(func, "first argument must be DATE"));
+            };
+            let field_code = vs[1].data.as_i64();
+            let o = fresh!(as_i64_mut(&mut out.data), 0i64);
+            let mut f = |i: usize| -> Result<()> {
+                if live(i) {
+                    let field = decode_field(field_code[i])?;
+                    o[i] = field.extract(days[i]) as i64;
+                }
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::DateAddDays => {
+            let ColData::Date(days) = &vs[0].data else {
+                return Err(arg_err(func, "first argument must be DATE"));
+            };
+            let delta = vs[1].data.as_i64();
+            let o = fresh!(as_date_mut(&mut out.data), 0i32);
+            let mut f = |i: usize| -> Result<()> {
+                if live(i) {
+                    let v = days[i] as i64 + delta[i];
+                    o[i] = i32::try_from(v).map_err(|_| VwError::Overflow("DATE + days"))?;
+                }
+                Ok(())
+            };
+            for_live!(f);
+        }
+        Func::DateDiffDays => {
+            let (ColData::Date(a), ColData::Date(b)) = (&vs[0].data, &vs[1].data) else {
+                return Err(arg_err(func, "arguments must be DATE"));
+            };
+            let o = fresh!(as_i64_mut(&mut out.data), 0i64);
+            let mut f = |i: usize| -> Result<()> {
+                o[i] = a[i] as i64 - b[i] as i64;
+                Ok(())
+            };
+            for_live!(f);
+        }
+    }
+    debug_assert_eq!(out.data.type_id(), ty);
+    Ok(any)
+}
+
+fn as_str_mut(c: &mut ColData) -> &mut Vec<String> {
+    match c {
+        ColData::Str(v) => v,
+        other => panic!("register type mismatch: expected Str, got {}", other.type_id()),
+    }
+}
+
+fn as_date_mut(c: &mut ColData) -> &mut Vec<i32> {
+    match c {
+        ColData::Date(v) => v,
+        other => panic!("register type mismatch: expected Date, got {}", other.type_id()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SelectProgram
+// ---------------------------------------------------------------------------
+
+/// A compiled predicate: produces the selection of live rows where the
+/// expression is TRUE (NULL counts as false). Conjunctions chain narrowed
+/// selections through selective steps without materializing boolean
+/// intermediates; hot `col <op> const` shapes hit typed select kernels.
+pub struct SelectProgram {
+    node: SelNode,
+}
+
+enum SelNode {
+    /// Chained narrowing: each step sees only survivors of the previous.
+    Conj(Vec<SelNode>),
+    /// Union of branch selections, each under the incoming selection.
+    Disj(Vec<SelNode>),
+    /// Typed `col <op> const` select kernel (no boolean intermediate).
+    CmpColConst { op: CmpOp, col: usize, val: Value },
+    /// Constant predicate (TRUE keeps the incoming selection).
+    ConstBool(bool),
+    /// Irreducible boolean expression: evaluate, then keep TRUE non-NULLs.
+    Bool(ExprProgram),
+}
+
+impl SelectProgram {
+    /// Compile a predicate under `ctx`.
+    pub fn compile(pred: &PhysExpr, ctx: &ExprCtx) -> SelectProgram {
+        // One linear pass marks const-ness per node; compile_sel then asks
+        // in O(1) instead of re-walking subtrees at every And/Or level.
+        let mut consts = HashMap::new();
+        mark_const(pred, &mut consts);
+        SelectProgram { node: compile_sel(pred, ctx, &consts) }
+    }
+
+    /// Total boolean-program instructions (observability; the typed steps
+    /// count as zero — that is the point of the fused path).
+    pub fn len(&self) -> usize {
+        fn count(n: &SelNode) -> usize {
+            match n {
+                SelNode::Conj(v) | SelNode::Disj(v) => v.iter().map(count).sum(),
+                SelNode::Bool(p) => p.len(),
+                _ => 0,
+            }
+        }
+        count(&self.node)
+    }
+
+    /// True when no boolean sub-program is needed anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluate against `batch` under its own selection, producing the
+    /// surviving positions.
+    pub fn run(&self, pool: &mut VectorPool, batch: &Batch) -> Result<SelVec> {
+        run_sel(&self.node, pool, batch, batch.sel.as_ref())
+    }
+}
+
+/// Evaluate a column-free subtree to a single value via the reference
+/// interpreter — the one constant-folding mechanism shared by expression
+/// compilation (`try_fold`) and predicate compilation (`compile_sel`).
+/// `None` when evaluation errors; callers leave the subtree compiled so
+/// the error still surfaces at run time.
+fn fold_const_value(e: &PhysExpr, ctx: &ExprCtx) -> Option<Value> {
+    // One-row dummy batch: the expression references no columns.
+    let batch = Batch::new(vec![Vector::new(ColData::I64(vec![0]))]);
+    e.eval(&batch, ctx).ok().map(|v| v.get(0))
+}
+
+/// Linear const-ness marking (no short-circuit: every node gets an entry).
+fn mark_const(e: &PhysExpr, out: &mut HashMap<*const PhysExpr, bool>) -> bool {
+    let c = match e {
+        PhysExpr::ColRef(..) => false,
+        PhysExpr::Const(..) => true,
+        other => {
+            // Visit every child (no short-circuit: each needs its entry).
+            let mut all = true;
+            for ch in children(other) {
+                all &= mark_const(ch, out);
+            }
+            all
+        }
+    };
+    out.insert(e as *const PhysExpr, c);
+    c
+}
+
+fn compile_sel(
+    pred: &PhysExpr,
+    ctx: &ExprCtx,
+    consts: &HashMap<*const PhysExpr, bool>,
+) -> SelNode {
+    // Constant predicates fold to a keep-all / drop-all step (NULL is
+    // never TRUE, so it drops everything).
+    if consts[&(pred as *const PhysExpr)] {
+        match fold_const_value(pred, ctx) {
+            Some(Value::Bool(b)) => return SelNode::ConstBool(b),
+            Some(Value::Null) => return SelNode::ConstBool(false),
+            _ => {}
+        }
+    }
+    match pred {
+        PhysExpr::And(parts) => {
+            SelNode::Conj(parts.iter().map(|p| compile_sel(p, ctx, consts)).collect())
+        }
+        PhysExpr::Or(parts) => {
+            SelNode::Disj(parts.iter().map(|p| compile_sel(p, ctx, consts)).collect())
+        }
+        PhysExpr::Cmp { op, lhs, rhs } => {
+            if let (PhysExpr::ColRef(ci, cty), PhysExpr::Const(k, _)) = (lhs.as_ref(), rhs.as_ref())
+            {
+                let typed = matches!(
+                    (cty, k),
+                    (TypeId::I64, Value::I64(_))
+                        | (TypeId::I32, Value::I32(_))
+                        | (TypeId::Date, Value::Date(_))
+                        | (TypeId::F64, Value::F64(_))
+                        | (TypeId::Str, Value::Str(_))
+                );
+                if typed {
+                    return SelNode::CmpColConst { op: *op, col: *ci, val: k.clone() };
+                }
+            }
+            SelNode::Bool(ExprProgram::compile(pred, ctx))
+        }
+        _ => SelNode::Bool(ExprProgram::compile(pred, ctx)),
+    }
+}
+
+fn run_sel(
+    node: &SelNode,
+    pool: &mut VectorPool,
+    batch: &Batch,
+    sel: Option<&SelVec>,
+) -> Result<SelVec> {
+    let n = batch.capacity();
+    match node {
+        SelNode::ConstBool(true) => {
+            let mut out = pool.take_sel();
+            match sel {
+                Some(s) => out.clear_and_extend_from_slice(s.as_slice()),
+                None => out.fill_identity(n),
+            }
+            Ok(out)
+        }
+        SelNode::ConstBool(false) => Ok(pool.take_sel()),
+        SelNode::Conj(parts) => {
+            let mut cur: Option<SelVec> = None;
+            for p in parts {
+                let next = run_sel(p, pool, batch, cur.as_ref().or(sel))?;
+                if let Some(prev) = cur.replace(next) {
+                    pool.put_sel(prev);
+                }
+                if cur.as_ref().is_some_and(|s| s.is_empty()) {
+                    break; // nothing survives; later conjuncts are no-ops
+                }
+            }
+            match cur {
+                Some(s) => Ok(s),
+                None => {
+                    let mut out = pool.take_sel();
+                    match sel {
+                        Some(s) => out.clear_and_extend_from_slice(s.as_slice()),
+                        None => out.fill_identity(n),
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        SelNode::Disj(parts) => {
+            let mut acc = pool.take_sel();
+            let mut tmp = pool.take_sel();
+            for p in parts {
+                let s = run_sel(p, pool, batch, sel)?;
+                union_sorted_into(&acc, &s, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+                pool.put_sel(s);
+            }
+            pool.put_sel(tmp);
+            Ok(acc)
+        }
+        SelNode::CmpColConst { op, col, val } => {
+            let colv = &batch.columns[*col];
+            let mut out = pool.take_sel();
+            select_col_const(*op, colv, val, n, sel, &mut out);
+            Ok(out)
+        }
+        SelNode::Bool(prog) => {
+            let vr = prog.run_with_sel(pool, batch, sel)?;
+            let mut out = pool.take_sel();
+            let v = pool.get(batch, vr);
+            let vals = v.data.as_bool();
+            primitives::select_by(n, sel, &mut out, |i| vals[i] && !v.is_null(i));
+            Ok(out)
+        }
+    }
+}
+
+/// Typed `col <op> const` selection — the X100 `select_*` kernels, ported
+/// from the interpreter's `fast_select_cmp`.
+fn select_col_const(
+    op: CmpOp,
+    col: &Vector,
+    k: &Value,
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut SelVec,
+) {
+    macro_rules! run {
+        ($vals:expr, $k:expr) => {{
+            let vals = $vals;
+            let k = $k;
+            match &col.nulls {
+                None => primitives::select_by(n, sel, out, |i| op.holds(vals[i].cmp(&k))),
+                Some(m) => {
+                    primitives::select_by(n, sel, out, |i| !m[i] && op.holds(vals[i].cmp(&k)))
+                }
+            }
+        }};
+    }
+    match (&col.data, k) {
+        (ColData::I64(v), Value::I64(k)) => run!(v.as_slice(), *k),
+        (ColData::I32(v), Value::I32(k)) => run!(v.as_slice(), *k),
+        (ColData::Date(v), Value::Date(k)) => run!(v.as_slice(), k.0),
+        (ColData::F64(v), Value::F64(k)) => {
+            let k = *k;
+            match &col.nulls {
+                None => primitives::select_by(n, sel, out, |i| op.holds(v[i].total_cmp(&k))),
+                Some(m) => {
+                    primitives::select_by(n, sel, out, |i| !m[i] && op.holds(v[i].total_cmp(&k)))
+                }
+            }
+        }
+        (ColData::Str(v), Value::Str(k)) => match &col.nulls {
+            None => primitives::select_by(n, sel, out, |i| op.holds(v[i].as_str().cmp(k.as_str()))),
+            Some(m) => primitives::select_by(n, sel, out, |i| {
+                !m[i] && op.holds(v[i].as_str().cmp(k.as_str()))
+            }),
+        },
+        _ => unreachable!("compile_sel only emits CmpColConst for matching types"),
+    }
+}
+
+/// Merge two sorted selections into `out` (cleared first). Also backs the
+/// interpreter's `union_sorted` so the OR-semantics cannot drift.
+pub(crate) fn union_sorted_into(a: &SelVec, b: &SelVec, out: &mut SelVec) {
+    out.clear();
+    let (x, y) = (a.as_slice(), b.as_slice());
+    let (mut i, mut j) = (0, 0);
+    while i < x.len() || j < y.len() {
+        let take_x = j >= y.len() || (i < x.len() && x[i] <= y[j]);
+        if take_x {
+            if j < y.len() && x[i] == y[j] {
+                j += 1;
+            }
+            out.push(x[i]);
+            i += 1;
+        } else {
+            out.push(y[j]);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExprCtx {
+        ExprCtx::default()
+    }
+
+    fn col(i: usize, ty: TypeId) -> PhysExpr {
+        PhysExpr::ColRef(i, ty)
+    }
+
+    fn lit(v: i64) -> PhysExpr {
+        PhysExpr::Const(Value::I64(v), TypeId::I64)
+    }
+
+    fn arith(op: BinOp, l: PhysExpr, r: PhysExpr) -> PhysExpr {
+        PhysExpr::Arith { op, lhs: Box::new(l), rhs: Box::new(r), ty: TypeId::I64 }
+    }
+
+    fn batch_i64(vals: Vec<i64>) -> Batch {
+        Batch::new(vec![Vector::new(ColData::I64(vals))])
+    }
+
+    fn nullable_i64(vals: Vec<Option<i64>>) -> Vector {
+        let mut v = Vector::new(ColData::new(TypeId::I64));
+        for x in vals {
+            v.push(&x.map_or(Value::Null, Value::I64)).unwrap();
+        }
+        v
+    }
+
+    /// Run a program and read its result values at every lane.
+    fn run_values(prog: &ExprProgram, pool: &mut VectorPool, batch: &Batch) -> Vec<Value> {
+        let vr = prog.run(pool, batch).unwrap();
+        let v = pool.get(batch, vr);
+        let out = (0..v.len()).map(|i| v.get(i)).collect();
+        pool.recycle();
+        out
+    }
+
+    #[test]
+    fn constant_subtrees_fold_to_one_fill() {
+        // (1 + 2) * x: the (1 + 2) subtree folds at compile time.
+        let e = arith(BinOp::Mul, arith(BinOp::Add, lit(1), lit(2)), col(0, TypeId::I64));
+        let p = ExprProgram::compile(&e, &ctx());
+        assert_eq!(p.len(), 2, "ConstFill(3) + Mul — no instructions for the folded subtree");
+        let mut pool = VectorPool::new();
+        assert_eq!(
+            run_values(&p, &mut pool, &batch_i64(vec![5, 7])),
+            vec![Value::I64(15), Value::I64(21)]
+        );
+    }
+
+    #[test]
+    fn erroring_constants_stay_compiled_and_fail_at_run_time() {
+        // 1/0 must not fold away the error (nor error at compile time).
+        let e = arith(BinOp::Add, col(0, TypeId::I64), arith(BinOp::Div, lit(1), lit(0)));
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        assert!(matches!(
+            p.run(&mut pool, &batch_i64(vec![1])),
+            Err(VwError::DivideByZero)
+        ));
+    }
+
+    #[test]
+    fn common_subexpressions_compile_once() {
+        // (x + 1) * (x + 1): one Add, one ConstFill, one Mul.
+        let sub = arith(BinOp::Add, col(0, TypeId::I64), lit(1));
+        let e = arith(BinOp::Mul, sub.clone(), sub);
+        let p = ExprProgram::compile(&e, &ctx());
+        assert_eq!(p.len(), 3, "shared subexpression must compile exactly once");
+        let mut pool = VectorPool::new();
+        assert_eq!(run_values(&p, &mut pool, &batch_i64(vec![3])), vec![Value::I64(16)]);
+    }
+
+    #[test]
+    fn registers_are_reused_down_long_chains() {
+        // ((((x+1)+2)+3)+4)+5 — releases let the chain run in few slots.
+        let mut e = col(0, TypeId::I64);
+        for k in 1..=5 {
+            e = arith(BinOp::Add, e, lit(k));
+        }
+        let p = ExprProgram::compile(&e, &ctx());
+        assert!(
+            p.n_regs() <= 4,
+            "expected register reuse, got {} regs for a 5-add chain",
+            p.n_regs()
+        );
+        let mut pool = VectorPool::new();
+        assert_eq!(run_values(&p, &mut pool, &batch_i64(vec![0])), vec![Value::I64(15)]);
+    }
+
+    #[test]
+    fn identity_cast_is_elided_without_corrupting_reuse() {
+        // CAST(x+1 AS BIGINT) used twice alongside the bare x+1: the cast
+        // forwards to the shared register; releases must not double-free.
+        let sub = arith(BinOp::Add, col(0, TypeId::I64), lit(1));
+        let cast = PhysExpr::Cast { input: Box::new(sub.clone()), to: TypeId::I64 };
+        let e = arith(BinOp::Mul, cast.clone(), arith(BinOp::Add, cast, sub));
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        // x = 2 → (3) * (3 + 3) = 18.
+        assert_eq!(run_values(&p, &mut pool, &batch_i64(vec![2])), vec![Value::I64(18)]);
+    }
+
+    #[test]
+    fn nested_identity_casts_resolve_alias_chains() {
+        // CAST(CAST(x+1)) shared via CSE: the outer cast's use-count
+        // transfer must land on the terminal register holder (x+1), not on
+        // the inner cast's key — otherwise releases underflow x+1's count
+        // and free its register while consumers remain.
+        let sub = arith(BinOp::Add, col(0, TypeId::I64), lit(1));
+        let inner = PhysExpr::Cast { input: Box::new(sub.clone()), to: TypeId::I64 };
+        let outer = PhysExpr::Cast { input: Box::new(inner), to: TypeId::I64 };
+        let e = arith(BinOp::Mul, outer.clone(), outer);
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        // x = 3 → (4) * (4) = 16.
+        assert_eq!(run_values(&p, &mut pool, &batch_i64(vec![3])), vec![Value::I64(16)]);
+        // And mixed with a direct use of the uncast subexpression.
+        let outer2 = PhysExpr::Cast {
+            input: Box::new(PhysExpr::Cast { input: Box::new(sub.clone()), to: TypeId::I64 }),
+            to: TypeId::I64,
+        };
+        let e2 = arith(BinOp::Mul, outer2, arith(BinOp::Add, sub.clone(), sub));
+        let p2 = ExprProgram::compile(&e2, &ctx());
+        // x = 2 → 3 * 6 = 18.
+        assert_eq!(run_values(&p2, &mut pool, &batch_i64(vec![2])), vec![Value::I64(18)]);
+    }
+
+    #[test]
+    fn pool_slots_stabilize_across_batches() {
+        let e = arith(BinOp::Add, arith(BinOp::Mul, col(0, TypeId::I64), lit(2)), lit(1));
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        let batch = batch_i64((0..1024).collect());
+        run_values(&p, &mut pool, &batch);
+        let slots_after_first = pool.slots.len();
+        for _ in 0..10 {
+            run_values(&p, &mut pool, &batch);
+        }
+        assert_eq!(pool.slots.len(), slots_after_first, "steady state must not grow the arena");
+    }
+
+    #[test]
+    fn profiling_counters_accumulate() {
+        let e = arith(BinOp::Add, col(0, TypeId::I64), lit(1));
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        let batch = batch_i64(vec![1, 2]);
+        run_values(&p, &mut pool, &batch);
+        run_values(&p, &mut pool, &batch);
+        let (runs, instrs) = pool.take_counters();
+        assert_eq!(runs, 2);
+        assert_eq!(instrs, 2 * p.len() as u64);
+        assert_eq!(pool.take_counters(), (0, 0), "counters drain");
+    }
+
+    /// The dedicated Div/Rem instruction must preserve the "patch NULL
+    /// denominators to 1" semantics under every checking strategy.
+    #[test]
+    fn div_rem_null_denominators_under_all_check_modes() {
+        for check in [ArithCheck::Unchecked, ArithCheck::Naive, ArithCheck::Lazy] {
+            for op in [BinOp::Div, BinOp::Rem] {
+                let cx = ExprCtx { check, ..ctx() };
+                let num = nullable_i64(vec![Some(10), None, Some(12)]);
+                let den = nullable_i64(vec![Some(2), None, None]);
+                let batch = Batch::new(vec![num, den]);
+                let e = arith(op, col(0, TypeId::I64), col(1, TypeId::I64));
+                let p = ExprProgram::compile(&e, &cx);
+                let mut pool = VectorPool::new();
+                let got = run_values(&p, &mut pool, &batch);
+                let want = match op {
+                    BinOp::Div => vec![Value::I64(5), Value::Null, Value::Null],
+                    _ => vec![Value::I64(0), Value::Null, Value::Null],
+                };
+                assert_eq!(got, want, "{op:?} under {check:?}");
+                // And identically through the reference interpreter.
+                let r = e.eval(&batch, &cx).unwrap();
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(&r.get(i), w, "interpreter {op:?} under {check:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div_by_actual_zero_still_errors_when_checked() {
+        for op in [BinOp::Div, BinOp::Rem] {
+            let e = arith(op, col(0, TypeId::I64), col(1, TypeId::I64));
+            let batch = Batch::new(vec![
+                Vector::new(ColData::I64(vec![1])),
+                Vector::new(ColData::I64(vec![0])),
+            ]);
+            for check in [ArithCheck::Naive, ArithCheck::Lazy] {
+                let p = ExprProgram::compile(&e, &ExprCtx { check, ..ctx() });
+                let mut pool = VectorPool::new();
+                assert!(matches!(
+                    p.run(&mut pool, &batch),
+                    Err(VwError::DivideByZero)
+                ));
+            }
+            // Unchecked: research-prototype mode swallows it.
+            let p = ExprProgram::compile(&e, &ExprCtx { check: ArithCheck::Unchecked, ..ctx() });
+            let mut pool = VectorPool::new();
+            assert!(p.run(&mut pool, &batch).is_ok());
+        }
+    }
+
+    #[test]
+    fn div_by_zero_outside_selection_is_ignored() {
+        let e = arith(BinOp::Div, col(0, TypeId::I64), col(1, TypeId::I64));
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut batch = Batch::new(vec![
+            Vector::new(ColData::I64(vec![8, 9])),
+            Vector::new(ColData::I64(vec![0, 3])),
+        ]);
+        batch.sel = Some(SelVec::from_positions(vec![1]));
+        let mut pool = VectorPool::new();
+        let vr = p.run(&mut pool, &batch).unwrap();
+        assert_eq!(pool.get(&batch, vr).get(1), Value::I64(3));
+    }
+
+    #[test]
+    fn branchy_null_mode_compiles_to_branchy_instruction() {
+        let cx = ExprCtx { null_mode: NullMode::Branchy, ..ctx() };
+        let e = arith(BinOp::Mul, col(0, TypeId::I64), lit(3));
+        let p = ExprProgram::compile(&e, &cx);
+        let batch = Batch::new(vec![nullable_i64(vec![Some(2), None])]);
+        let mut pool = VectorPool::new();
+        assert_eq!(
+            run_values(&p, &mut pool, &batch),
+            vec![Value::I64(6), Value::Null]
+        );
+    }
+
+    #[test]
+    fn bare_column_program_copies_nothing() {
+        let p = ExprProgram::compile(&col(0, TypeId::I64), &ctx());
+        assert_eq!(p.len(), 0);
+        let batch = batch_i64(vec![1, 2]);
+        let mut pool = VectorPool::new();
+        let vr = p.run(&mut pool, &batch).unwrap();
+        assert_eq!(vr, VecRef::Col(0));
+        assert_eq!(pool.slots.len(), 0, "no arena slot for a bare column");
+    }
+
+    #[test]
+    fn select_program_conjunction_chains_and_matches_interpreter() {
+        // 5 <= x AND x < 10 AND (x % 2) = 1 — two typed steps + one
+        // boolean program, all under chained narrowing.
+        let e = PhysExpr::And(vec![
+            PhysExpr::Cmp {
+                op: CmpOp::Ge,
+                lhs: Box::new(col(0, TypeId::I64)),
+                rhs: Box::new(lit(5)),
+            },
+            PhysExpr::Cmp {
+                op: CmpOp::Lt,
+                lhs: Box::new(col(0, TypeId::I64)),
+                rhs: Box::new(lit(10)),
+            },
+            PhysExpr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(arith(BinOp::Rem, col(0, TypeId::I64), lit(2))),
+                rhs: Box::new(lit(1)),
+            },
+        ]);
+        let sp = SelectProgram::compile(&e, &ctx());
+        let batch = batch_i64((0..32).collect());
+        let mut pool = VectorPool::new();
+        let got = sp.run(&mut pool, &batch).unwrap();
+        let want = e.eval_select(&batch, &ctx()).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+        assert_eq!(got.as_slice(), &[5, 7, 9]);
+    }
+
+    #[test]
+    fn large_bigint_comparisons_are_exact_everywhere() {
+        // 2^53 vs 2^53+1 are equal after f64 widening; BIGINT comparison
+        // must stay exact and agree between the compiled typed kernel, the
+        // interpreter's generic sql_cmp path, and constant folding.
+        let a = 1i64 << 53;
+        let b = a + 1;
+        let e = PhysExpr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(col(0, TypeId::I64)),
+            rhs: Box::new(col(1, TypeId::I64)),
+        };
+        let batch = Batch::new(vec![
+            Vector::new(ColData::I64(vec![a])),
+            Vector::new(ColData::I64(vec![b])),
+        ]);
+        let p = ExprProgram::compile(&e, &ctx());
+        let mut pool = VectorPool::new();
+        assert_eq!(run_values(&p, &mut pool, &batch), vec![Value::Bool(false)]);
+        assert_eq!(e.eval(&batch, &ctx()).unwrap().get(0), Value::Bool(false));
+        // Folded constant form of the same comparison agrees.
+        let folded = PhysExpr::Cmp { op: CmpOp::Eq, lhs: Box::new(lit(a)), rhs: Box::new(lit(b)) };
+        let fp = ExprProgram::compile(&folded, &ctx());
+        assert_eq!(run_values(&fp, &mut pool, &batch), vec![Value::Bool(false)]);
+    }
+
+    #[test]
+    fn select_program_disjunction_unions_sorted() {
+        let lt3 = PhysExpr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(col(0, TypeId::I64)),
+            rhs: Box::new(lit(3)),
+        };
+        let ge9 = PhysExpr::Cmp {
+            op: CmpOp::Ge,
+            lhs: Box::new(col(0, TypeId::I64)),
+            rhs: Box::new(lit(9)),
+        };
+        let e = PhysExpr::Or(vec![lt3, ge9]);
+        let sp = SelectProgram::compile(&e, &ctx());
+        let batch = batch_i64((0..12).collect());
+        let mut pool = VectorPool::new();
+        let got = sp.run(&mut pool, &batch).unwrap();
+        assert_eq!(got.as_slice(), &[0, 1, 2, 9, 10, 11]);
+    }
+
+    #[test]
+    fn select_program_respects_incoming_selection() {
+        let e = PhysExpr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Box::new(col(0, TypeId::I64)),
+            rhs: Box::new(lit(0)),
+        };
+        let sp = SelectProgram::compile(&e, &ctx());
+        let mut batch = batch_i64((0..10).collect());
+        batch.sel = Some(SelVec::from_positions(vec![0, 1, 2]));
+        let mut pool = VectorPool::new();
+        let got = sp.run(&mut pool, &batch).unwrap();
+        assert_eq!(got.as_slice(), &[1, 2], "rows outside sel must not leak in");
+    }
+
+    #[test]
+    fn constant_predicates_fold_to_keep_all_or_drop_all() {
+        let t = SelectProgram::compile(&PhysExpr::bool_const(true), &ctx());
+        let f = SelectProgram::compile(&PhysExpr::bool_const(false), &ctx());
+        // 1 < 2 folds to TRUE as well.
+        let folded = SelectProgram::compile(
+            &PhysExpr::Cmp { op: CmpOp::Lt, lhs: Box::new(lit(1)), rhs: Box::new(lit(2)) },
+            &ctx(),
+        );
+        let batch = batch_i64(vec![1, 2, 3]);
+        let mut pool = VectorPool::new();
+        assert_eq!(t.run(&mut pool, &batch).unwrap().len(), 3);
+        assert_eq!(f.run(&mut pool, &batch).unwrap().len(), 0);
+        assert_eq!(folded.run(&mut pool, &batch).unwrap().len(), 3);
+        assert!(folded.is_empty(), "folded predicate needs no boolean program");
+    }
+
+    #[test]
+    fn case_and_like_and_funcs_match_interpreter() {
+        let strs = Vector::new(ColData::Str(vec![
+            "  promo HOT  ".into(),
+            "plain".into(),
+            "promo x".into(),
+        ]));
+        let batch = Batch::new(vec![strs]);
+        let exprs = [
+            PhysExpr::FuncCall {
+                func: Func::Upper,
+                args: vec![col(0, TypeId::Str)],
+                ty: TypeId::Str,
+            },
+            PhysExpr::FuncCall {
+                func: Func::Length,
+                args: vec![PhysExpr::FuncCall {
+                    func: Func::Trim,
+                    args: vec![col(0, TypeId::Str)],
+                    ty: TypeId::Str,
+                }],
+                ty: TypeId::I64,
+            },
+            PhysExpr::Like {
+                input: Box::new(col(0, TypeId::Str)),
+                pattern: "%promo%".into(),
+                negated: false,
+            },
+            PhysExpr::Case {
+                branches: vec![(
+                    PhysExpr::Like {
+                        input: Box::new(col(0, TypeId::Str)),
+                        pattern: "%promo%".into(),
+                        negated: false,
+                    },
+                    PhysExpr::Const(Value::Str("yes".into()), TypeId::Str),
+                )],
+                else_expr: Some(Box::new(PhysExpr::Const(Value::Str("no".into()), TypeId::Str))),
+                ty: TypeId::Str,
+            },
+        ];
+        for e in &exprs {
+            let p = ExprProgram::compile(e, &ctx());
+            let mut pool = VectorPool::new();
+            let got = run_values(&p, &mut pool, &batch);
+            let want = e.eval(&batch, &ctx()).unwrap();
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(g, &want.get(i), "{e:?} lane {i}");
+            }
+        }
+    }
+}

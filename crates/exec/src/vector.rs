@@ -206,11 +206,13 @@ impl Batch {
         self.columns.len()
     }
 
-    /// Iterate live positions.
-    pub fn live(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+    /// Iterate live positions. Returns a concrete iterator — a boxed
+    /// `dyn Iterator` here would heap-allocate on every call, and `live()`
+    /// sits inside per-batch operator loops.
+    pub fn live(&self) -> LiveIter<'_> {
         match &self.sel {
-            Some(s) => Box::new(s.iter()),
-            None => Box::new(0..self.capacity()),
+            Some(s) => LiveIter { sel: Some(s.as_slice()), pos: 0, end: s.len() },
+            None => LiveIter { sel: None, pos: 0, end: self.capacity() },
         }
     }
 
@@ -227,13 +229,57 @@ impl Batch {
 
     /// Row `i` (live-position index) as Values — result/test convenience.
     pub fn row_values(&self, live_idx: usize) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.width());
+        self.row_values_into(live_idx, &mut out);
+        out
+    }
+
+    /// Fill `out` (cleared first) with row `i`'s values, reusing the
+    /// caller's buffer — the per-row variant for loops where a fresh `Vec`
+    /// per row would dominate (e.g. the Top-N reject path).
+    pub fn row_values_into(&self, live_idx: usize, out: &mut Vec<Value>) {
         let pos = match &self.sel {
             Some(s) => s.as_slice()[live_idx] as usize,
             None => live_idx,
         };
-        self.columns.iter().map(|c| c.get(pos)).collect()
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.get(pos)));
     }
 }
+
+/// Concrete live-position iterator for [`Batch::live`]: a sorted selection
+/// walk or a dense `0..capacity` range, with no heap allocation either way.
+pub struct LiveIter<'a> {
+    /// Selection positions, or `None` for the dense range case.
+    sel: Option<&'a [u32]>,
+    pos: usize,
+    end: usize,
+}
+
+impl Iterator for LiveIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let out = match self.sel {
+            Some(s) => s[self.pos] as usize,
+            None => self.pos,
+        };
+        self.pos += 1;
+        Some(out)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LiveIter<'_> {}
 
 /// Build a `Vector` from `Value`s, inferring the type from `ty`.
 pub fn vector_from_values(ty: TypeId, values: &[Value]) -> Result<Vector> {

@@ -119,6 +119,22 @@ fn heavy_delta_workload_stays_consistent() {
 }
 
 #[test]
+fn update_set_expressions_only_evaluate_selected_rows() {
+    // The SET program runs under the WHERE predicate's selection: a row
+    // the predicate excludes must not raise errors from the SET
+    // expression (here: division by the excluded row's zero).
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 2), (1, 0)").unwrap();
+    let n = db.execute("UPDATE t SET a = 10 / b WHERE b <> 0").unwrap();
+    assert_eq!(n.affected, 1);
+    let r = db.execute("SELECT a FROM t ORDER BY a").unwrap();
+    assert_eq!(r.rows(), &[vec![Value::I64(1)], vec![Value::I64(5)]]);
+    // An actually-selected zero denominator still errors.
+    assert!(db.execute("UPDATE t SET a = 10 / b WHERE b = 0").is_err());
+}
+
+#[test]
 fn update_expressions_use_old_row_values() {
     let db = Database::open_in_memory();
     db.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
