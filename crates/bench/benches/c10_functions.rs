@@ -9,14 +9,11 @@ fn bench(c: &mut Criterion) {
     quick(&mut g);
     g.bench_function("kernel_upper_like", |b| {
         b.iter(|| {
-            db.execute("SELECT COUNT(*) FROM lineitem WHERE UPPER(l_returnflag) = 'A'")
-                .unwrap()
+            db.execute("SELECT COUNT(*) FROM lineitem WHERE UPPER(l_returnflag) = 'A'").unwrap()
         })
     });
     g.bench_function("rewriter_coalesce", |b| {
-        b.iter(|| {
-            db.execute("SELECT SUM(COALESCE(l_quantity, 0)) FROM lineitem").unwrap()
-        })
+        b.iter(|| db.execute("SELECT SUM(COALESCE(l_quantity, 0)) FROM lineitem").unwrap())
     });
     g.finish();
 }

@@ -11,8 +11,7 @@ fn bench(c: &mut Criterion) {
         db.execute(&format!("SET profiling = {on}")).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| {
-                db.execute("SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity < 25")
-                    .unwrap()
+                db.execute("SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity < 25").unwrap()
             })
         });
     }

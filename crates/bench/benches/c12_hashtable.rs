@@ -166,10 +166,7 @@ fn flat_probe(side: &FlatSide, chunks: &[Vec<Vector>], s: &mut Scratch) -> u64 {
 }
 
 fn chunked(probe: &[i64]) -> Vec<Vec<Vector>> {
-    probe
-        .chunks(VECTOR)
-        .map(|c| vec![Vector::new(ColData::I64(c.to_vec()))])
-        .collect()
+    probe.chunks(VECTOR).map(|c| vec![Vector::new(ColData::I64(c.to_vec()))]).collect()
 }
 
 /// Acceptance check: after one warm-up pass, a full probe pass over 64
@@ -186,10 +183,7 @@ fn steady_state_alloc_check() {
     let hits = flat_probe(&side, &chunks, &mut s);
     let allocated = ALLOCS.load(Ordering::Relaxed) - before;
     assert_eq!(hits, warm);
-    assert_eq!(
-        allocated, 0,
-        "steady-state vectorized probe loop must not allocate"
-    );
+    assert_eq!(allocated, 0, "steady-state vectorized probe loop must not allocate");
     println!("steady-state probe allocations over 64 batches: {allocated} (OK)");
 }
 

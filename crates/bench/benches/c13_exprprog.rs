@@ -56,10 +56,7 @@ fn batch(n: usize, seed: u64) -> Batch {
     let mut rng = SmallRng::seed_from_u64(seed);
     let x: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
     let y: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000..1000)).collect();
-    Batch::new(vec![
-        Vector::new(ColData::I64(x)),
-        Vector::new(ColData::I64(y)),
-    ])
+    Batch::new(vec![Vector::new(ColData::I64(x)), Vector::new(ColData::I64(y))])
 }
 
 fn col(i: usize) -> PhysExpr {
@@ -79,11 +76,7 @@ fn arith(op: BinOp, l: PhysExpr, r: PhysExpr) -> PhysExpr {
 /// folds nothing away, so both engines do the same arithmetic.
 fn expr() -> PhysExpr {
     let sum = arith(BinOp::Add, col(0), col(1));
-    arith(
-        BinOp::Add,
-        arith(BinOp::Mul, sum.clone(), lit(2)),
-        arith(BinOp::Div, sum, lit(7)),
-    )
+    arith(BinOp::Add, arith(BinOp::Mul, sum.clone(), lit(2)), arith(BinOp::Div, sum, lit(7)))
 }
 
 /// The measured predicate: `x > 100 AND y < 500 AND (x + y) % 3 = 0` — two
@@ -127,10 +120,7 @@ fn steady_state_alloc_check() {
     }
     let allocated = ALLOCS.load(Ordering::Relaxed) - before;
     assert_eq!(acc, warm.wrapping_mul(64));
-    assert_eq!(
-        allocated, 0,
-        "steady-state compiled expression loop must not allocate"
-    );
+    assert_eq!(allocated, 0, "steady-state compiled expression loop must not allocate");
     println!("steady-state program.run allocations over 64 batches: {allocated} (OK)");
 }
 

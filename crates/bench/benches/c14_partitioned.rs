@@ -1,0 +1,369 @@
+//! C14: radix-partitioned parallel hash build vs the serial `FlatTable`
+//! build — the "when more cores hurts" experiment.
+//!
+//! The serial baseline is PR 1's flat-table build: stream key batches,
+//! hash, insert into one chain-mode table, then one `finalize()` counting
+//! sort into the CSR layout. The partitioned contender is PR 3's
+//! machinery: the same batches are radix-split by their hash top bits and
+//! scattered to `P = 4` shard workers (`ShardSet`), each inserting into
+//! and finalizing a private table `P`× smaller — so the heavy random-write
+//! phases run on `P` threads over `P`× more cache-resident working sets.
+//!
+//! Also proves the acceptance criterion that the steady-state partitioned
+//! *probe* loop (hash → radix split → per-shard fused probe) performs
+//! **zero heap allocations** once warm (counting global allocator, same
+//! technique as C12/C13).
+
+use criterion::{black_box, criterion_group, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use vw_common::hash::hash_u64;
+use vw_exec::cancel::CancelToken;
+use vw_exec::hashtable::{FlatTable, ProbeBuf};
+use vw_exec::partition::{RadixRouter, ShardSet, ShardWorker};
+
+// ---------------------------------------------------------------------------
+// counting allocator (steady-state allocation proof)
+// ---------------------------------------------------------------------------
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// workload
+// ---------------------------------------------------------------------------
+
+/// Batch granularity of the build/probe streams (operator vector size ×64,
+/// keeping the scatter per-batch work realistic without drowning in loop
+/// overhead).
+const VECTOR: usize = 1 << 14;
+
+/// Radix partitions / worker threads ("DOP 4" in the acceptance run).
+const SHARDS: usize = 4;
+
+fn gen_keys(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+fn chunks(keys: &[i64]) -> Vec<&[i64]> {
+    keys.chunks(VECTOR).collect()
+}
+
+/// One partition's build side for the bench: keys + staged hashes,
+/// bulk-built into the private table at finish (the operator's design).
+struct BuildShard {
+    keys: Vec<i64>,
+    hashes: Vec<u64>,
+    table: FlatTable,
+}
+
+struct Packet {
+    keys: Vec<i64>,
+    hashes: Vec<u64>,
+}
+
+impl ShardWorker for BuildShard {
+    type Packet = Packet;
+    type Output = BuildShard;
+
+    fn absorb(&mut self, pkt: Packet) -> vw_common::Result<()> {
+        self.keys.extend_from_slice(&pkt.keys);
+        self.hashes.extend_from_slice(&pkt.hashes);
+        Ok(())
+    }
+
+    fn finish(mut self) -> vw_common::Result<BuildShard> {
+        self.table = FlatTable::build_csr(&self.hashes);
+        self.hashes = Vec::new();
+        Ok(self)
+    }
+}
+
+/// PR 1's serial build — the baseline: stream batches through chain-mode
+/// `insert_batch` (incremental directory doublings included), then one
+/// `finalize()` counting sort.
+fn serial_build(batches: &[&[i64]]) -> (FlatTable, Vec<i64>) {
+    let mut keys: Vec<i64> = Vec::new();
+    let mut table = FlatTable::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    for b in batches {
+        hashes.clear();
+        hashes.extend(b.iter().map(|&k| hash_u64(k as u64)));
+        keys.extend_from_slice(b);
+        table.insert_batch(&hashes, None);
+    }
+    table.finalize();
+    (table, keys)
+}
+
+/// The serial half of PR 3's redesign: stage all hashes, then one bulk
+/// CSR construction (what the operator's serial path now does).
+fn serial_bulk_build(batches: &[&[i64]]) -> (FlatTable, Vec<i64>) {
+    let mut keys: Vec<i64> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    for b in batches {
+        hashes.extend(b.iter().map(|&k| hash_u64(k as u64)));
+        keys.extend_from_slice(b);
+    }
+    (FlatTable::build_csr(&hashes), keys)
+}
+
+/// PR 3's partitioned build: hash, radix-scatter to P workers, P parallel
+/// bulk CSR constructions over P× smaller tables.
+fn partitioned_build(batches: &[&[i64]], shards: usize) -> (RadixRouter, Vec<BuildShard>) {
+    let mut router = RadixRouter::new(shards);
+    let workers: Vec<BuildShard> = (0..router.partitions())
+        .map(|_| BuildShard { keys: Vec::new(), hashes: Vec::new(), table: FlatTable::new() })
+        .collect();
+    let mut set = ShardSet::spawn(workers, &CancelToken::new());
+    let mut hashes: Vec<u64> = Vec::new();
+    for b in batches {
+        hashes.clear();
+        hashes.extend(b.iter().map(|&k| hash_u64(k as u64)));
+        router.split(&hashes, None, b.len());
+        for si in 0..router.partitions() {
+            let sel = router.shard_sel(si);
+            if sel.is_empty() {
+                continue;
+            }
+            let pkt = Packet {
+                keys: sel.iter().map(|p| b[p]).collect(),
+                hashes: sel.iter().map(|p| hashes[p]).collect(),
+            };
+            set.send(si, pkt).unwrap();
+        }
+    }
+    (router, set.finish().unwrap())
+}
+
+/// Reusable partitioned-probe scratch, mirroring the operator's.
+#[derive(Default)]
+struct ProbeScratch {
+    hashes: Vec<u64>,
+    flags: Vec<bool>,
+    out_probe: Vec<u32>,
+    out_build: Vec<u32>,
+    buf: ProbeBuf,
+    steps: u64,
+}
+
+/// Probe every batch partition-wise; returns total matched pairs.
+fn partitioned_probe(
+    router: &mut RadixRouter,
+    shards: &[BuildShard],
+    batches: &[&[i64]],
+    s: &mut ProbeScratch,
+) -> u64 {
+    let mut pairs = 0u64;
+    for b in batches {
+        let n = b.len();
+        s.hashes.clear();
+        s.hashes.extend(b.iter().map(|&k| hash_u64(k as u64)));
+        if s.flags.len() < n {
+            s.flags.resize(n, false);
+        }
+        s.flags[..n].fill(false);
+        s.out_probe.clear();
+        s.out_build.clear();
+        router.split(&s.hashes, None, n);
+        for (si, shard) in shards.iter().enumerate() {
+            let sel = router.shard_sel(si);
+            if sel.is_empty() {
+                continue;
+            }
+            let hashes = &s.hashes;
+            let keys = &shard.keys;
+            shard.table.probe_join(
+                n,
+                Some(sel),
+                true,
+                |p| hashes[p],
+                |p, row| b[p] == keys[row as usize],
+                &mut s.flags,
+                &mut s.out_probe,
+                &mut s.out_build,
+                &mut s.buf,
+                &mut s.steps,
+            );
+        }
+        pairs += s.out_probe.len() as u64;
+    }
+    pairs
+}
+
+/// Serial reference probe over the monolithic table.
+fn serial_probe(table: &FlatTable, build_keys: &[i64], batches: &[&[i64]]) -> u64 {
+    let mut s = ProbeScratch::default();
+    let mut pairs = 0u64;
+    for b in batches {
+        let n = b.len();
+        s.hashes.clear();
+        s.hashes.extend(b.iter().map(|&k| hash_u64(k as u64)));
+        if s.flags.len() < n {
+            s.flags.resize(n, false);
+        }
+        s.flags[..n].fill(false);
+        s.out_probe.clear();
+        s.out_build.clear();
+        let hashes = &s.hashes;
+        table.probe_join(
+            n,
+            None,
+            true,
+            |p| hashes[p],
+            |p, row| b[p] == build_keys[row as usize],
+            &mut s.flags,
+            &mut s.out_probe,
+            &mut s.out_build,
+            &mut s.buf,
+            &mut s.steps,
+        );
+        pairs += s.out_probe.len() as u64;
+    }
+    pairs
+}
+
+// ---------------------------------------------------------------------------
+// acceptance criteria: correctness, allocation-freedom, build speedup
+// ---------------------------------------------------------------------------
+
+/// Partitioned build + probe must find exactly the pairs the serial path
+/// finds, and the steady-state partitioned probe loop must not allocate.
+fn correctness_and_alloc_check() {
+    let n = 1 << 20;
+    let build_keys = gen_keys(n, n as i64 / 2, 11);
+    let probe_keys = gen_keys(1 << 18, n as i64, 13); // ~50% match rate
+    let build_batches = chunks(&build_keys);
+    let probe_batches = chunks(&probe_keys);
+
+    let (table, keys) = serial_build(&build_batches);
+    let (mut router, shards) = partitioned_build(&build_batches, SHARDS);
+    let total: usize = shards.iter().map(|s| s.table.len()).sum();
+    assert_eq!(total, n, "every build row landed in exactly one shard");
+
+    let expect = serial_probe(&table, &keys, &probe_batches);
+    let mut s = ProbeScratch::default();
+    // Warm pass sizes every reused buffer (scratch, router sels, probe
+    // staging) — exactly the operator's first-batch behaviour.
+    let warm = partitioned_probe(&mut router, &shards, &probe_batches, &mut s);
+    assert_eq!(warm, expect, "partitioned probe diverged from serial");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut pairs = 0u64;
+    for _ in 0..16 {
+        pairs += partitioned_probe(&mut router, &shards, &probe_batches, &mut s);
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(pairs, expect * 16);
+    assert_eq!(allocated, 0, "steady-state partitioned probe loop must not allocate");
+    println!(
+        "partitioned probe: {expect} pairs/pass, allocations over 16 steady-state passes: \
+         {allocated} (OK)"
+    );
+}
+
+/// One timed three-way comparison, printed as speedup lines (the
+/// acceptance observable at 8M rows / DOP 4). Every variant runs one
+/// untimed warm-up pass first so page-fault noise doesn't masquerade as a
+/// parallel speedup.
+fn build_speedup(n: usize, reps: usize) -> f64 {
+    let build_keys = gen_keys(n, n as i64 / 2, 7);
+    let batches = chunks(&build_keys);
+    let time = |f: &mut dyn FnMut() -> usize| {
+        black_box(f()); // warm-up: fault pages in, size the allocator pools
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        t0.elapsed()
+    };
+    let serial = time(&mut || serial_build(&batches).0.len());
+    let bulk = time(&mut || serial_bulk_build(&batches).0.len());
+    let part = time(&mut || partitioned_build(&batches, SHARDS).1.len());
+    let speedup = serial.as_secs_f64() / part.as_secs_f64();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3 / reps as f64;
+    println!(
+        "build {:>9} rows: serial(PR1 insert+finalize) {:>8.1}ms  serial(bulk CSR) {:>8.1}ms  \
+         partitioned(x{SHARDS}) {:>8.1}ms  speedup vs PR1 {:.2}x",
+        n,
+        ms(serial),
+        ms(bulk),
+        ms(part),
+        speedup
+    );
+    speedup
+}
+
+fn bench(c: &mut Criterion) {
+    correctness_and_alloc_check();
+
+    // The headline acceptance numbers (1M–16M rows).
+    for (n, reps) in [(1 << 20, 3), (8 << 20, 1), (16 << 20, 1)] {
+        build_speedup(n, reps);
+    }
+
+    let mut g = c.benchmark_group("c14_partitioned");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(100));
+
+    for &n in &[1usize << 20, 8 << 20] {
+        let build_keys = gen_keys(n, n as i64 / 2, 7);
+        let batches = chunks(&build_keys);
+        g.bench_function(format!("serial_build_{n}"), |b| {
+            b.iter(|| serial_build(black_box(&batches)).0.len())
+        });
+        g.bench_function(format!("partitioned_build_x{SHARDS}_{n}"), |b| {
+            b.iter(|| partitioned_build(black_box(&batches), SHARDS).1.len())
+        });
+    }
+
+    // Probe comparison at 1M build rows: monolithic vs partition-wise.
+    {
+        let n = 1 << 20;
+        let build_keys = gen_keys(n, n as i64 / 2, 7);
+        let probe_keys = gen_keys(1 << 18, n as i64, 9);
+        let build_batches = chunks(&build_keys);
+        let probe_batches = chunks(&probe_keys);
+        let (table, keys) = serial_build(&build_batches);
+        let (mut router, shards) = partitioned_build(&build_batches, SHARDS);
+        let mut s = ProbeScratch::default();
+        g.bench_function("serial_probe_1m", |b| {
+            b.iter(|| serial_probe(&table, &keys, black_box(&probe_batches)))
+        });
+        g.bench_function(format!("partitioned_probe_x{SHARDS}_1m"), |b| {
+            b.iter(|| partitioned_probe(&mut router, &shards, black_box(&probe_batches), &mut s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+}

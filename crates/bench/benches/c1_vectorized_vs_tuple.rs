@@ -6,9 +6,8 @@ use vw_bench::tpch;
 fn bench(c: &mut Criterion) {
     let n = 20_000;
     let cols = q6_projection(&tpch::gen_lineitem(n, 1).into_columns());
-    let rows: Arc<Vec<Vec<vw_common::Value>>> = Arc::new(
-        (0..n).map(|i| cols.iter().map(|c| c.get_value(i)).collect()).collect(),
-    );
+    let rows: Arc<Vec<Vec<vw_common::Value>>> =
+        Arc::new((0..n).map(|i| cols.iter().map(|c| c.get_value(i)).collect()).collect());
     let mut g = c.benchmark_group("c1");
     quick(&mut g);
     for vs in [64usize, 1024, 16384] {

@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
         ("naive", CheckMode::Naive),
         ("lazy_vectorized", CheckMode::Lazy),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| add_i64(&a, &bb, None, &mut out, mode).unwrap())
-        });
+        g.bench_function(name, |b| b.iter(|| add_i64(&a, &bb, None, &mut out, mode).unwrap()));
     }
     g.finish();
 }

@@ -16,7 +16,8 @@ fn bench(c: &mut Criterion) {
         Field::not_null("rf", TypeId::Str),
         Field::not_null("ls", TypeId::Str),
         Field::not_null("sd", TypeId::Date),
-    ]).unwrap();
+    ])
+    .unwrap();
     let nulls = vec![None; 9];
     let mut g = c.benchmark_group("c9");
     quick(&mut g);

@@ -1,0 +1,42 @@
+//! `perf_smoke` — the CI perf-trajectory harness.
+//!
+//! Runs the short deterministic measurement in
+//! `vw_bench::experiments::perf_smoke` (scan→filter→agg and hash join at
+//! DOP 1 and 4, fixed seed, ~10s) and writes the rows/sec numbers to a
+//! JSON file CI uploads as an artifact — `BENCH_pr3.json` by default —
+//! so every PR from here on appends a point to the benchmark series.
+//!
+//! Usage: `cargo run --release -p vw-bench --bin perf_smoke [-- out.json [rows]]`
+//! (default 500k rows keeps the whole run around ten seconds).
+
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let reps = 3;
+
+    let t0 = std::time::Instant::now();
+    let metrics = vw_bench::experiments::perf_smoke(rows, reps);
+    let wall = t0.elapsed();
+
+    // Hand-rolled JSON (no serde in the offline image): flat and stable so
+    // the artifact series stays trivially diffable across PRs.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"harness\": \"perf_smoke\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"wall_seconds\": {:.2},", wall.as_secs_f64());
+    let _ = writeln!(json, "  \"rows_per_sec\": {{");
+    for (i, (name, rps)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {rps:.0}{comma}");
+        println!("{name:<24} {rps:>14.0} rows/sec");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write perf-smoke artifact");
+    println!("wrote {out_path} ({:.1}s total)", wall.as_secs_f64());
+}

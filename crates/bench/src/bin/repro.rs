@@ -30,7 +30,10 @@ fn main() {
         ex::print_table("C4: PDT deltas (100k-row table)", &ex::c4(100_000));
     }
     if want("c5") {
-        ex::print_table("C5: rewriter parallelization (200k rows; 1 physical core)", &ex::c5(200_000));
+        ex::print_table(
+            "C5: rewriter parallelization (200k rows; 1 physical core)",
+            &ex::c5(200_000),
+        );
     }
     if want("c6") {
         ex::print_table("C6: NULL representation (1M values)", &ex::c6(1_000_000));
@@ -51,6 +54,9 @@ fn main() {
         ex::print_table("C11: monitoring overhead (50k rows, 50 queries)", &ex::c11(50_000, 50));
     }
     if want("ablation") || exp.is_none() {
-        ex::print_table("Ablation: selection vectors vs materialization (1M rows)", &ex::select_ablation(1_000_000));
+        ex::print_table(
+            "Ablation: selection vectors vs materialization (1M rows)",
+            &ex::select_ablation(1_000_000),
+        );
     }
 }

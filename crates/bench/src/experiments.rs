@@ -251,11 +251,8 @@ pub fn q6_volcano(rows: &Arc<Vec<Vec<Value>>>) -> f64 {
 /// C1 — vectorized vs tuple-at-a-time, plus the vector-size sweep.
 pub fn c1(rows_n: usize) -> Table {
     let cols = q6_projection(&gen_lineitem(rows_n, 1).into_columns());
-    let rows: Arc<Vec<Vec<Value>>> = Arc::new(
-        (0..rows_n)
-            .map(|i| cols.iter().map(|c| c.get_value(i)).collect())
-            .collect(),
-    );
+    let rows: Arc<Vec<Vec<Value>>> =
+        Arc::new((0..rows_n).map(|i| cols.iter().map(|c| c.get_value(i)).collect()).collect());
     let mut out = Vec::new();
 
     // Correctness cross-check first.
@@ -302,13 +299,23 @@ pub fn c2(n: usize) -> Table {
         ("uniform-small", (0..n).map(|_| (rng() % 1000) as i64).collect()),
         ("sorted-keys", (0..n).map(|i| 1_000_000 + (i as i64) * 7).collect()),
         ("low-cardinality", (0..n).map(|_| [3i64, 17, 99][rng() as usize % 3]).collect()),
-        ("skewed-outliers", (0..n)
-            .map(|i| if i % 100 == 0 { i64::MAX / 2 } else { (rng() % 256) as i64 })
-            .collect()),
+        (
+            "skewed-outliers",
+            (0..n)
+                .map(|i| if i % 100 == 0 { i64::MAX / 2 } else { (rng() % 256) as i64 })
+                .collect(),
+        ),
     ];
     let mut out = Vec::new();
     for (name, data) in &datasets {
-        for enc in [Encoding::Raw, Encoding::BitPack, Encoding::Pfor, Encoding::PforDelta, Encoding::Dict, Encoding::Rle] {
+        for enc in [
+            Encoding::Raw,
+            Encoding::BitPack,
+            Encoding::Pfor,
+            Encoding::PforDelta,
+            Encoding::Dict,
+            Encoding::Rle,
+        ] {
             let t0 = Instant::now();
             let c = match compress_with(data, enc) {
                 Ok(c) => c,
@@ -333,7 +340,13 @@ pub fn c2(n: usize) -> Table {
             ]);
         }
         let auto = vw_compress::choose_encoding(data);
-        out.push(vec![name.to_string(), format!("auto={}", auto.name()), String::new(), String::new(), String::new()]);
+        out.push(vec![
+            name.to_string(),
+            format!("auto={}", auto.name()),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
     }
     (vec!["distribution", "scheme", "ratio", "compress_MB/s", "decompress_MB/s"], out)
 }
@@ -358,11 +371,8 @@ impl ChunkSource for SlowSource {
 pub fn c3(chunks: usize, cache: usize, scans: usize) -> Table {
     let mut out = Vec::new();
     for policy in [ScanPolicy::Naive, ScanPolicy::Attach, ScanPolicy::Relevance] {
-        let abm = Abm::new(
-            SlowSource { n: chunks, delay: Duration::from_micros(800) },
-            cache,
-            policy,
-        );
+        let abm =
+            Abm::new(SlowSource { n: chunks, delay: Duration::from_micros(800) }, cache, policy);
         let t0 = Instant::now();
         let mut handles = Vec::new();
         for s in 0..scans {
@@ -415,8 +425,10 @@ pub fn c4(base_rows: usize) -> Table {
                     0 => txn.update_at(pos, 2, Value::I64(99)).unwrap(),
                     1 => txn.delete_at(pos).unwrap(),
                     _ => {
-                        let row: Vec<Value> =
-                            (0..9).map(|c| entry.schema.field(c).ty).map(Value::safe_default).collect();
+                        let row: Vec<Value> = (0..9)
+                            .map(|c| entry.schema.field(c).ty)
+                            .map(Value::safe_default)
+                            .collect();
                         txn.insert_at(pos, row).unwrap();
                     }
                 }
@@ -436,13 +448,7 @@ pub fn c4(base_rows: usize) -> Table {
         let t0 = Instant::now();
         db.execute("CHECKPOINT lineitem").unwrap();
         let ckpt = t0.elapsed();
-        out.push(vec![
-            deltas.to_string(),
-            ms(apply),
-            ms(scan),
-            ms(ckpt),
-            visible.to_string(),
-        ]);
+        out.push(vec![deltas.to_string(), ms(apply), ms(scan), ms(ckpt), visible.to_string()]);
     }
     (vec!["pending_deltas", "apply_ms", "merge_scan_ms", "checkpoint_ms", "visible_rows"], out)
 }
@@ -662,10 +668,7 @@ pub fn c9(rows: usize) -> Table {
 /// C10 — the function battery: rewriter-expanded vs kernel-native.
 pub fn c10(rows: usize) -> Table {
     let db = Database::open_in_memory();
-    db.execute(
-        "CREATE TABLE fx (s VARCHAR, x BIGINT, y BIGINT, d DATE)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE fx (s VARCHAR, x BIGINT, y BIGINT, d DATE)").unwrap();
     let n = rows;
     let s = ColData::Str((0..n).map(|i| format!("str{:04}", i % 997)).collect());
     let x = ColData::I64((0..n as i64).collect());
@@ -720,8 +723,7 @@ pub fn c11(rows: usize, reps: usize) -> Table {
         let t0 = Instant::now();
         for _ in 0..reps {
             std::hint::black_box(
-                db.execute("SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity < 25")
-                    .unwrap(),
+                db.execute("SELECT SUM(l_quantity) FROM lineitem WHERE l_quantity < 25").unwrap(),
             );
         }
         let elapsed = t0.elapsed() / reps as u32;
@@ -744,10 +746,8 @@ pub fn select_ablation(n: usize) -> Table {
     let mut out = Vec::new();
     for sel_pct in [1usize, 10, 50, 90] {
         let threshold = (n * sel_pct / 100) as i64;
-        let batch = Batch::new(vec![
-            Vector::new(data.clone()),
-            Vector::new(ColData::I64(vec![2; n])),
-        ]);
+        let batch =
+            Batch::new(vec![Vector::new(data.clone()), Vector::new(ColData::I64(vec![2; n]))]);
         let pred = PhysExpr::Cmp {
             op: CmpOp::Lt,
             lhs: Box::new(colref(0, TypeId::I64)),
@@ -784,6 +784,60 @@ pub fn select_ablation(n: usize) -> Table {
         out.push(vec![format!("{sel_pct}%"), ms(with_sel), ms(materialized)]);
     }
     (vec!["selectivity", "selection_vector_ms", "materialize_ms"], out)
+}
+
+/// One perf-smoke measurement: a metric name and its rows/second.
+pub type SmokeMetric = (String, f64);
+
+/// CI perf-smoke harness: a short, deterministic (fixed seed, fixed row
+/// count) measurement of the two headline hot paths — scan→filter→agg and
+/// hash join — at DOP 1 and DOP 4, reported as input rows per second.
+///
+/// Runs in roughly ten seconds at the `perf_smoke` binary's default 500k
+/// rows: each case is timed as best-of-`reps` after one warm-up run,
+/// which is stable enough for a *trajectory* (the artifact series plotted
+/// across PRs), not a rigorous benchmark — that's what the criterion
+/// benches are for. DOP 4 results are cross-checked against DOP 1 so the
+/// smoke run also guards parallel correctness.
+pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
+    let agg_sql = "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
+                   FROM lineitem WHERE l_quantity < 40 GROUP BY l_returnflag";
+    let join_sql = "SELECT COUNT(*) FROM lineitem a JOIN lineitem b \
+                    ON a.l_orderkey = b.l_orderkey AND a.l_partkey = b.l_partkey";
+    // Neither query has an ORDER BY, and parallel plans legitimately emit
+    // groups in a different order — sort by the leading (group-key) value
+    // before the approximate comparison.
+    let canon = |rows: &[Vec<Value>]| {
+        let mut v = rows.to_vec();
+        v.sort_by_key(|r| format!("{:?}", r.first()));
+        v
+    };
+    let mut out = Vec::new();
+    let mut reference: Vec<Option<Vec<Vec<Value>>>> = vec![None, None];
+    for dop in [1usize, 4] {
+        let db = Database::open_in_memory();
+        load_lineitem(&db, rows, 1994);
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        for (qi, (name, sql)) in
+            [("scan_filter_agg", agg_sql), ("join", join_sql)].into_iter().enumerate()
+        {
+            let warm = canon(db.execute(sql).unwrap().rows());
+            match &reference[qi] {
+                None => reference[qi] = Some(warm),
+                Some(expect) => {
+                    assert!(rows_approx_eq(expect, &warm), "{name}: DOP {dop} changed the answer")
+                }
+            }
+            let mut best = Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                std::hint::black_box(db.execute(sql).unwrap());
+                best = best.min(t0.elapsed());
+            }
+            out.push((format!("{name}_dop{dop}"), rows as f64 / best.as_secs_f64()));
+        }
+    }
+    out
 }
 
 /// Pretty-print a table.

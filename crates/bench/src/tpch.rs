@@ -133,9 +133,7 @@ pub fn gen_lineitem(n: usize, seed: u64) -> LineitemColumns {
 /// Row-wise view for the Volcano baseline.
 pub fn gen_lineitem_rows(n: usize, seed: u64) -> Vec<Vec<Value>> {
     let cols = gen_lineitem(n, seed).into_columns();
-    (0..n)
-        .map(|i| cols.iter().map(|c| c.get_value(i)).collect())
-        .collect()
+    (0..n).map(|i| cols.iter().map(|c| c.get_value(i)).collect()).collect()
 }
 
 /// Create + bulk-load lineitem into a database.

@@ -119,11 +119,7 @@ impl ColData {
     pub fn push_value(&mut self, val: &Value) -> Result<()> {
         let col_ty = self.type_id();
         let mismatch = move || {
-            VwError::Exec(format!(
-                "cannot append {:?} to {} column",
-                val,
-                col_ty.sql_name()
-            ))
+            VwError::Exec(format!("cannot append {:?} to {} column", val, col_ty.sql_name()))
         };
         if val.is_null() {
             self.push_safe_default();
@@ -169,11 +165,7 @@ impl ColData {
             (ColData::F64(a), ColData::F64(b)) => a.extend_from_slice(&b[start..end]),
             (ColData::Str(a), ColData::Str(b)) => a.extend_from_slice(&b[start..end]),
             (ColData::Date(a), ColData::Date(b)) => a.extend_from_slice(&b[start..end]),
-            (a, b) => panic!(
-                "extend_from_range type mismatch: {} vs {}",
-                a.type_id(),
-                b.type_id()
-            ),
+            (a, b) => panic!("extend_from_range type mismatch: {} vs {}", a.type_id(), b.type_id()),
         }
     }
 
@@ -188,11 +180,7 @@ impl ColData {
             (ColData::F64(a), ColData::F64(b)) => a.extend(positions.map(|p| b[p])),
             (ColData::Str(a), ColData::Str(b)) => a.extend(positions.map(|p| b[p].clone())),
             (ColData::Date(a), ColData::Date(b)) => a.extend(positions.map(|p| b[p])),
-            (a, b) => panic!(
-                "extend_gather type mismatch: {} vs {}",
-                a.type_id(),
-                b.type_id()
-            ),
+            (a, b) => panic!("extend_gather type mismatch: {} vs {}", a.type_id(), b.type_id()),
         }
     }
 
@@ -220,11 +208,9 @@ impl ColData {
             (ColData::F64(a), ColData::F64(b)) => gather_padded!(a, b, 0.0),
             (ColData::Str(a), ColData::Str(b)) => gather_padded!(a, b, String::new()),
             (ColData::Date(a), ColData::Date(b)) => gather_padded!(a, b, 0),
-            (a, b) => panic!(
-                "extend_gather_padded type mismatch: {} vs {}",
-                a.type_id(),
-                b.type_id()
-            ),
+            (a, b) => {
+                panic!("extend_gather_padded type mismatch: {} vs {}", a.type_id(), b.type_id())
+            }
         }
     }
 
@@ -307,9 +293,7 @@ impl ColData {
                     .map(|&v| i32::try_from(v).map_err(|_| narrow_err(v)))
                     .collect::<Result<_>>()?,
             ),
-            TypeId::Str => {
-                return Err(VwError::Corruption("from_i64s on string column".into()))
-            }
+            TypeId::Str => return Err(VwError::Corruption("from_i64s on string column".into())),
         })
     }
 

@@ -37,8 +37,15 @@ pub struct EngineConfig {
     /// Buffer pool capacity in bytes for the storage layer.
     pub buffer_pool_bytes: usize,
     /// Default degree of parallelism the rewriter targets when inserting
-    /// exchange (Xchg) operators. 1 disables parallelization.
+    /// exchange (Xchg) operators, and that the hash operators use for
+    /// radix-partitioned parallel builds. 1 disables parallelization.
     pub parallelism: usize,
+    /// Radix partition count (as log2) for partitioned hash builds.
+    /// `None` derives `next_pow2(parallelism)` — one shard per worker.
+    pub partition_bits: Option<u32>,
+    /// Build rows below which a partitioned hash build stays serial (the
+    /// exec-side cost gate; thread spawn + scatter only pay off past it).
+    pub partition_min_rows: usize,
     /// Arithmetic checking strategy.
     pub check_mode: CheckMode,
     /// NULL representation strategy.
@@ -54,10 +61,17 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        // `VW_DOP` / `VW_PARTITION_MIN_ROWS` override the defaults so CI
+        // can run the whole test suite through the parallel (Xchg +
+        // partitioned-build) code paths without touching every test.
+        let parallelism = env_usize("VW_DOP").unwrap_or(1).max(1);
+        let partition_min_rows = env_usize("VW_PARTITION_MIN_ROWS").unwrap_or(8192);
         EngineConfig {
             vector_size: crate::DEFAULT_VECTOR_SIZE,
             buffer_pool_bytes: 64 << 20,
-            parallelism: 1,
+            parallelism,
+            partition_bits: None,
+            partition_min_rows,
             check_mode: CheckMode::Lazy,
             null_mode: NullMode::TwoColumn,
             cooperative_scans: false,
@@ -65,6 +79,10 @@ impl Default for EngineConfig {
             profiling: true,
         }
     }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
 }
 
 impl EngineConfig {
@@ -86,6 +104,17 @@ impl EngineConfig {
     pub fn with_check_mode(mut self, m: CheckMode) -> Self {
         self.check_mode = m;
         self
+    }
+
+    /// Number of radix partitions a partitioned hash build should use:
+    /// the explicit `partition_bits` override, or one shard per worker
+    /// (`next_pow2(parallelism)`). Capped at 2^10 — beyond that the
+    /// scatter cost dwarfs any locality win.
+    pub fn build_partitions(&self) -> usize {
+        match self.partition_bits {
+            Some(bits) => 1usize << bits.min(10),
+            None => self.parallelism.next_power_of_two(),
+        }
     }
 }
 
@@ -116,5 +145,15 @@ mod tests {
     #[should_panic]
     fn zero_vector_size_rejected() {
         let _ = EngineConfig::default().with_vector_size(0);
+    }
+
+    #[test]
+    fn build_partitions_derives_from_dop_or_override() {
+        let mut c = EngineConfig::default().with_parallelism(3);
+        assert_eq!(c.build_partitions(), 4, "next_pow2(dop)");
+        c.partition_bits = Some(5);
+        assert_eq!(c.build_partitions(), 32, "explicit bits win");
+        c.partition_bits = Some(30);
+        assert_eq!(c.build_partitions(), 1024, "capped at 2^10");
     }
 }

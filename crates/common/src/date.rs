@@ -30,9 +30,7 @@ pub fn days_in_month(y: i32, m: u32) -> u32 {
 /// restricted to years 1..=9999 to match typical SQL DATE ranges.
 pub fn days_from_ymd(y: i32, m: u32, d: u32) -> Result<i32> {
     if !(1..=9999).contains(&y) || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
-        return Err(VwError::InvalidParameter(format!(
-            "invalid date {y:04}-{m:02}-{d:02}"
-        )));
+        return Err(VwError::InvalidParameter(format!("invalid date {y:04}-{m:02}-{d:02}")));
     }
     let y = if m <= 2 { y - 1 } else { y };
     let era = if y >= 0 { y } else { y - 399 } / 400;

@@ -93,9 +93,7 @@ impl Schema {
 
     /// Keep only the columns at `indices`, in the given order.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema {
-            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
-        }
+        Schema { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
     }
 
     /// Rough per-row byte width, used by the optimizer's cost model.

@@ -63,10 +63,7 @@ impl SelVec {
     /// [`SelVec::from_positions`]; the hash-table probe loop uses this to
     /// ping-pong lane sets between scratch buffers allocation-free.
     pub fn clear_and_extend_from_slice(&mut self, positions: &[u32]) {
-        debug_assert!(
-            positions.windows(2).all(|w| w[0] < w[1]),
-            "selection must be sorted"
-        );
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "selection must be sorted");
         self.positions.clear();
         self.positions.extend_from_slice(positions);
     }

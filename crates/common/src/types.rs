@@ -237,11 +237,7 @@ impl Value {
             Value::I64(v) => *v,
             Value::Bool(b) => *b as i64,
             Value::Date(d) => d.0 as i64,
-            other => {
-                return Err(VwError::InvalidCast(format!(
-                    "cannot read {other:?} as integer"
-                )))
-            }
+            other => return Err(VwError::InvalidCast(format!("cannot read {other:?} as integer"))),
         })
     }
 
@@ -257,9 +253,7 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(VwError::InvalidCast(format!(
-                "cannot read {other:?} as string"
-            ))),
+            other => Err(VwError::InvalidCast(format!("cannot read {other:?} as string"))),
         }
     }
 
@@ -267,9 +261,7 @@ impl Value {
     pub fn as_bool(&self) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(VwError::InvalidCast(format!(
-                "cannot read {other:?} as boolean"
-            ))),
+            other => Err(VwError::InvalidCast(format!("cannot read {other:?} as boolean"))),
         }
     }
 
@@ -295,11 +287,11 @@ impl Value {
                         }
                         Ok(Value::$variant(r as $ty))
                     }
-                    Value::Str(s) => s
-                        .trim()
-                        .parse::<$ty>()
-                        .map(Value::$variant)
-                        .map_err(|_| VwError::InvalidCast(format!("'{s}' is not a valid integer"))),
+                    Value::Str(s) => {
+                        s.trim().parse::<$ty>().map(Value::$variant).map_err(|_| {
+                            VwError::InvalidCast(format!("'{s}' is not a valid integer"))
+                        })
+                    }
                     v => {
                         let i = v.as_i64()?;
                         <$ty>::try_from(i).map(Value::$variant).map_err(|_| overflow(&i))
@@ -463,14 +455,8 @@ mod tests {
 
     #[test]
     fn cast_string_parsing() {
-        assert_eq!(
-            Value::Str("42".into()).cast_to(TypeId::I32).unwrap(),
-            Value::I32(42)
-        );
-        assert_eq!(
-            Value::Str(" 3.5 ".into()).cast_to(TypeId::F64).unwrap(),
-            Value::F64(3.5)
-        );
+        assert_eq!(Value::Str("42".into()).cast_to(TypeId::I32).unwrap(), Value::I32(42));
+        assert_eq!(Value::Str(" 3.5 ".into()).cast_to(TypeId::F64).unwrap(), Value::F64(3.5));
         assert!(Value::Str("xyz".into()).cast_to(TypeId::I32).is_err());
         assert_eq!(
             Value::Str("1996-03-13".into()).cast_to(TypeId::Date).unwrap(),
@@ -495,14 +481,8 @@ mod tests {
     #[test]
     fn sql_cmp_three_valued() {
         assert_eq!(Value::Null.sql_cmp(&Value::I32(1)), None);
-        assert_eq!(
-            Value::I32(1).sql_cmp(&Value::I64(2)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::I32(1).sql_cmp(&Value::I64(2)), Some(Ordering::Less));
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Str("b".into())), Some(Ordering::Less));
         assert_eq!(Value::Str("a".into()).sql_cmp(&Value::I32(1)), None);
     }
 

@@ -6,8 +6,8 @@
 //! branch-free per value — the "super-scalar" property the ICDE'06 paper is
 //! named for — so the compiler can keep multiple packs in flight.
 
-use crate::io::{ByteReader, ByteWriter};
 use crate::bits_for;
+use crate::io::{ByteReader, ByteWriter};
 use vw_common::Result;
 
 /// Pack `values` (already reduced residuals) with `bits` bits each.
@@ -78,18 +78,12 @@ pub fn encode_for(values: &[i64], w: &mut ByteWriter) {
     let base = *values.iter().min().unwrap();
     // Residuals are computed in wrapping u64 space so i64::MIN..=i64::MAX
     // frames work; the max residual determines the width.
-    let max_resid = values
-        .iter()
-        .map(|&v| (v as u64).wrapping_sub(base as u64))
-        .max()
-        .unwrap();
+    let max_resid = values.iter().map(|&v| (v as u64).wrapping_sub(base as u64)).max().unwrap();
     let bits = bits_for(max_resid);
     w.put_u64(base as u64);
     w.put_u8(bits as u8);
-    let residuals: Vec<u64> = values
-        .iter()
-        .map(|&v| (v as u64).wrapping_sub(base as u64))
-        .collect();
+    let residuals: Vec<u64> =
+        values.iter().map(|&v| (v as u64).wrapping_sub(base as u64)).collect();
     pack(&residuals, bits, w);
 }
 
@@ -114,11 +108,8 @@ mod tests {
         let mut w = ByteWriter::new();
         pack(values, bits, &mut w);
         let bytes = w.into_bytes();
-        let expected_words = if bits == 0 {
-            0
-        } else {
-            (values.len() * bits as usize).div_ceil(64)
-        };
+        let expected_words =
+            if bits == 0 { 0 } else { (values.len() * bits as usize).div_ceil(64) };
         assert_eq!(bytes.len(), expected_words * 8, "packed size for {bits} bits");
         let mut r = ByteReader::new(&bytes);
         let mut out = Vec::new();
@@ -129,14 +120,9 @@ mod tests {
     #[test]
     fn pack_every_width() {
         for bits in 0..=64u32 {
-            let mask = if bits == 64 {
-                u64::MAX
-            } else {
-                (1u64 << bits) - 1
-            };
-            let values: Vec<u64> = (0..257u64)
-                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask)
-                .collect();
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values: Vec<u64> =
+                (0..257u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & mask).collect();
             roundtrip_bits(&values, bits);
         }
     }

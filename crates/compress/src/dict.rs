@@ -29,8 +29,7 @@ pub fn encode_i64(values: &[i64], w: &mut ByteWriter) -> Result<()> {
             dict.len()
         )));
     }
-    let index: FxHashMap<i64, u32> =
-        dict.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let index: FxHashMap<i64, u32> = dict.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
     w.put_u32(dict.len() as u32);
     for &v in &dict {
         w.put_u64(v as u64);
@@ -66,9 +65,9 @@ pub fn decode_i64(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()
     let mut codes = Vec::with_capacity(n);
     bitpack::unpack(r, n, bits, &mut codes)?;
     for c in codes {
-        let v = *dict.get(c as usize).ok_or_else(|| {
-            VwError::Corruption(format!("dict code {c} out of range {dict_len}"))
-        })?;
+        let v = *dict
+            .get(c as usize)
+            .ok_or_else(|| VwError::Corruption(format!("dict code {c} out of range {dict_len}")))?;
         out.push(v);
     }
     Ok(())
@@ -105,11 +104,8 @@ pub fn encode_strings(values: &[String]) -> StringDict {
     let mut dict: Vec<String> = values.to_vec();
     dict.sort_unstable();
     dict.dedup();
-    let index: FxHashMap<&str, u32> = dict
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.as_str(), i as u32))
-        .collect();
+    let index: FxHashMap<&str, u32> =
+        dict.iter().enumerate().map(|(i, s)| (s.as_str(), i as u32)).collect();
     let bits = code_bits(dict.len());
     let codes: Vec<u64> = values.iter().map(|s| index[s.as_str()] as u64).collect();
     let mut w = ByteWriter::new();

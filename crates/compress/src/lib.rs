@@ -236,10 +236,7 @@ pub fn choose_encoding(values: &[i64]) -> Encoding {
     }
     // PFOR-DELTA: only meaningfully sorted data benefits; estimate on deltas.
     if stats.sorted_pairs * 10 >= (stats.n.saturating_sub(1)) * 9 {
-        let deltas: Vec<i64> = values
-            .windows(2)
-            .map(|w| w[1].wrapping_sub(w[0]))
-            .collect();
+        let deltas: Vec<i64> = values.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
         let delta_cost = pfor::estimate_bytes(&deltas) as f64 + 8.0;
         if delta_cost < best.1 {
             best = (Encoding::PforDelta, delta_cost);

@@ -214,9 +214,8 @@ mod tests {
     #[test]
     fn exception_heavy_block_still_roundtrips() {
         // Alternating tiny/huge: exception budget forces a wide bit width.
-        let values: Vec<i64> = (0..2048)
-            .map(|i| if i % 2 == 0 { i } else { i64::MAX - i })
-            .collect();
+        let values: Vec<i64> =
+            (0..2048).map(|i| if i % 2 == 0 { i } else { i64::MAX - i }).collect();
         roundtrip_pfor(&values);
     }
 

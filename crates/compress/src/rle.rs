@@ -42,9 +42,7 @@ pub fn decode(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()> {
         let l = r.get_u32()? as usize;
         total += l;
         if total > n {
-            return Err(VwError::Corruption(format!(
-                "rle runs decode to more than {n} values"
-            )));
+            return Err(VwError::Corruption(format!("rle runs decode to more than {n} values")));
         }
         out.resize(out.len() + l, v);
     }

@@ -157,10 +157,7 @@ impl<S: ChunkSource> Abm<S> {
 
     /// (disk chunk loads, chunks served from cache) so far.
     pub fn io_stats(&self) -> (u64, u64) {
-        (
-            self.loads.load(Ordering::Relaxed),
-            self.served_from_cache.load(Ordering::Relaxed),
-        )
+        (self.loads.load(Ordering::Relaxed), self.served_from_cache.load(Ordering::Relaxed))
     }
 
     /// Pick the cached chunk this scan should consume next, if any.
@@ -213,7 +210,9 @@ impl<S: ChunkSource> Abm<S> {
                         .filter(|other| other.get(idx).copied().unwrap_or(false))
                         .count();
                     match best {
-                        Some((r, i)) if (relevance, std::cmp::Reverse(idx)) <= (r, std::cmp::Reverse(i)) => {}
+                        Some((r, i))
+                            if (relevance, std::cmp::Reverse(idx)) <= (r, std::cmp::Reverse(i)) => {
+                        }
                         _ => best = Some((relevance, idx)),
                     }
                 }
@@ -230,11 +229,7 @@ impl<S: ChunkSource> Abm<S> {
                     .iter()
                     .min_by_key(|(idx, e)| (e.interest, e.touched, **idx))
                     .map(|(idx, _)| *idx),
-                _ => st
-                    .cache
-                    .iter()
-                    .min_by_key(|(idx, e)| (e.touched, **idx))
-                    .map(|(idx, _)| *idx),
+                _ => st.cache.iter().min_by_key(|(idx, e)| (e.touched, **idx)).map(|(idx, _)| *idx),
             };
             match victim {
                 Some(v) => {
@@ -321,12 +316,8 @@ impl<S: ChunkSource> Abm<S> {
         let mut st = self.state.lock();
         if let Some(needs) = st.needs.remove(&id) {
             // Drop this scan's interest from cached chunks.
-            let interested: Vec<usize> = needs
-                .iter()
-                .enumerate()
-                .filter(|(_, &b)| b)
-                .map(|(i, _)| i)
-                .collect();
+            let interested: Vec<usize> =
+                needs.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
             for idx in interested {
                 if let Some(e) = st.cache.get_mut(&idx) {
                     e.interest = e.interest.saturating_sub(1);
@@ -474,7 +465,11 @@ mod tests {
     fn concurrent_scans_all_complete() {
         for policy in [ScanPolicy::Naive, ScanPolicy::Attach, ScanPolicy::Relevance] {
             let abm = Abm::new(
-                CountingSource { n: 30, delay: Duration::from_micros(200), loads: AtomicUsize::new(0) },
+                CountingSource {
+                    n: 30,
+                    delay: Duration::from_micros(200),
+                    loads: AtomicUsize::new(0),
+                },
                 8,
                 policy,
             );

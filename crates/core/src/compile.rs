@@ -13,12 +13,12 @@ use crate::Database;
 use std::sync::Arc;
 use vw_common::{EngineConfig, Result, Value, VwError};
 use vw_exec::expr::{ExprCtx, PhysExpr};
-use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::op::scan::partition_items;
 use vw_exec::op::{
     AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, Sort, SortKey,
     TopN, UnionAll, Values, VectorScan, Xchg,
 };
+use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::CancelToken;
 use vw_pdt::store::items;
 use vw_sql::plan::{JoinKind, LogicalPlan};
@@ -35,18 +35,15 @@ pub fn lower_expr(e: &SqlExpr) -> Result<PhysExpr> {
             rhs: Box::new(lower_expr(r)?),
             ty: *ty,
         },
-        SqlExpr::Cmp { op, l, r } => PhysExpr::Cmp {
-            op: *op,
-            lhs: Box::new(lower_expr(l)?),
-            rhs: Box::new(lower_expr(r)?),
-        },
+        SqlExpr::Cmp { op, l, r } => {
+            PhysExpr::Cmp { op: *op, lhs: Box::new(lower_expr(l)?), rhs: Box::new(lower_expr(r)?) }
+        }
         SqlExpr::And(v) => PhysExpr::And(v.iter().map(lower_expr).collect::<Result<_>>()?),
         SqlExpr::Or(v) => PhysExpr::Or(v.iter().map(lower_expr).collect::<Result<_>>()?),
         SqlExpr::Not(x) => PhysExpr::Not(Box::new(lower_expr(x)?)),
-        SqlExpr::Cast { input, to } => PhysExpr::Cast {
-            input: Box::new(lower_expr(input)?),
-            to: *to,
-        },
+        SqlExpr::Cast { input, to } => {
+            PhysExpr::Cast { input: Box::new(lower_expr(input)?), to: *to }
+        }
         SqlExpr::IsNull(x) => PhysExpr::IsNull(Box::new(lower_expr(x)?)),
         SqlExpr::IsNotNull(x) => PhysExpr::IsNotNull(Box::new(lower_expr(x)?)),
         SqlExpr::Case { branches, else_expr, ty } => PhysExpr::Case {
@@ -94,6 +91,24 @@ pub fn build_plan(
     cancel: &CancelToken,
     txn: Option<&OpenTxn>,
     partition: Option<(usize, usize)>,
+) -> Result<BoxedOp> {
+    build_plan_inner(db, plan, config, cancel, txn, partition, partition.is_some())
+}
+
+/// `in_exchange` tracks whether this subtree runs inside an Exchange
+/// worker — distinct from `partition`, which is cleared for join build
+/// sides (they must see the whole input) while the subtree is still one
+/// of `dop` concurrent copies. Operator-level parallel builds gate on it:
+/// inside an exchange they would oversubscribe (dop × P threads).
+#[allow(clippy::too_many_arguments)]
+fn build_plan_inner(
+    db: &Arc<Database>,
+    plan: &LogicalPlan,
+    config: &EngineConfig,
+    cancel: &CancelToken,
+    txn: Option<&OpenTxn>,
+    partition: Option<(usize, usize)>,
+    in_exchange: bool,
 ) -> Result<BoxedOp> {
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     let vs = config.vector_size;
@@ -186,13 +201,13 @@ pub fn build_plan(
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = build_plan(db, input, config, cancel, txn, partition)?;
+            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
             // Compile once per query: the operator only ever runs programs.
             let program = SelectProgram::compile(&lower_expr(predicate)?, &ctx);
             Box::new(Select::new(child, program, cancel.clone()))
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let child = build_plan(db, input, config, cancel, txn, partition)?;
+            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
             let programs = exprs
                 .iter()
                 .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
@@ -202,8 +217,8 @@ pub fn build_plan(
         LogicalPlan::Join { left, right, kind, keys, schema } => {
             // Build side must see the whole input even under partitioning;
             // only the probe side partitions.
-            let l = build_plan(db, left, config, cancel, txn, partition)?;
-            let r = build_plan(db, right, config, cancel, txn, None)?;
+            let l = build_plan_inner(db, left, config, cancel, txn, partition, in_exchange)?;
+            let r = build_plan_inner(db, right, config, cancel, txn, None, in_exchange)?;
             let lk = keys
                 .iter()
                 .map(|(a, _)| Ok(ExprProgram::compile(&lower_expr(a)?, &ctx)))
@@ -219,10 +234,19 @@ pub fn build_plan(
                 JoinKind::Anti => JoinType::LeftAnti,
                 JoinKind::NullAwareAnti => JoinType::NullAwareLeftAnti,
             };
-            Box::new(HashJoin::new(l, r, lk, rk, jt, schema.clone(), cancel.clone()))
+            let mut join = HashJoin::new(l, r, lk, rk, jt, schema.clone(), cancel.clone());
+            // Radix-partition the build across threads — but never inside an
+            // Exchange worker (even on a build side whose scan `partition`
+            // was cleared), where the plan-level DOP already owns the cores
+            // (dop × P threads would oversubscribe).
+            if config.parallelism > 1 && !in_exchange {
+                join =
+                    join.with_parallel_build(config.build_partitions(), config.partition_min_rows);
+            }
+            Box::new(join)
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let child = build_plan(db, input, config, cancel, txn, partition)?;
+            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
             let g = group
                 .iter()
                 .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
@@ -240,17 +264,14 @@ pub fn build_plan(
                     })
                 })
                 .collect::<Result<_>>()?;
-            Box::new(HashAggregate::new(
-                child,
-                g,
-                specs,
-                schema.clone(),
-                vs,
-                cancel.clone(),
-            )?)
+            let mut agg = HashAggregate::new(child, g, specs, schema.clone(), vs, cancel.clone())?;
+            if config.parallelism > 1 && !in_exchange {
+                agg = agg.with_parallel_build(config.build_partitions(), config.partition_min_rows);
+            }
+            Box::new(agg)
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = build_plan(db, input, config, cancel, txn, partition)?;
+            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
             // Sort directly under a Limit becomes TopN in `Limit` lowering;
             // standalone Sort materializes.
             let sort_keys: Vec<SortKey> = keys
@@ -263,7 +284,15 @@ pub fn build_plan(
             // Fuse Sort+Limit into TopN when offset is zero.
             if let LogicalPlan::Sort { input: sort_input, keys } = input.as_ref() {
                 if *offset == 0 && *limit != u64::MAX {
-                    let child = build_plan(db, sort_input, config, cancel, txn, partition)?;
+                    let child = build_plan_inner(
+                        db,
+                        sort_input,
+                        config,
+                        cancel,
+                        txn,
+                        partition,
+                        in_exchange,
+                    )?;
                     let sort_keys: Vec<SortKey> = keys
                         .iter()
                         .map(|&(col, asc, nulls_first)| SortKey { col, asc, nulls_first })
@@ -277,7 +306,7 @@ pub fn build_plan(
                     )));
                 }
             }
-            let child = build_plan(db, input, config, cancel, txn, partition)?;
+            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
             let lim = if *limit == u64::MAX { usize::MAX } else { *limit as usize };
             Box::new(Limit::new(child, *offset as usize, lim, cancel.clone()))
         }
@@ -290,7 +319,15 @@ pub fn build_plan(
             }
             let mut parts: Vec<BoxedOp> = Vec::with_capacity(*dop);
             for i in 0..*dop {
-                parts.push(build_plan(db, input, config, cancel, txn, Some((i, *dop)))?);
+                parts.push(build_plan_inner(
+                    db,
+                    input,
+                    config,
+                    cancel,
+                    txn,
+                    Some((i, *dop)),
+                    true,
+                )?);
             }
             Box::new(Xchg::spawn(parts, cancel.clone()))
         }

@@ -34,11 +34,7 @@ impl OpenTxn {
         self.tables.get(&table.to_ascii_lowercase()).map(|t| t.image().clone())
     }
 
-    fn txn_for<'a>(
-        &'a mut self,
-        table: &str,
-        entry: &TableEntry,
-    ) -> Result<&'a mut Transaction> {
+    fn txn_for<'a>(&'a mut self, table: &str, entry: &TableEntry) -> Result<&'a mut Transaction> {
         let key = table.to_ascii_lowercase();
         if !self.tables.contains_key(&key) {
             let TableKind::Vectorwise { pdt, .. } = &entry.kind else {
@@ -85,11 +81,7 @@ pub fn literal_rows(rows: &[Vec<Expr>]) -> Result<Vec<Vec<Value>>> {
 
 /// Coerce a raw row onto the table schema (casts + NOT NULL checks), with
 /// an optional explicit column list.
-fn coerce_row(
-    schema: &Schema,
-    columns: Option<&[String]>,
-    row: Vec<Value>,
-) -> Result<Vec<Value>> {
+fn coerce_row(schema: &Schema, columns: Option<&[String]>, row: Vec<Value>) -> Result<Vec<Value>> {
     let mut out = vec![Value::Null; schema.len()];
     match columns {
         None => {
@@ -129,10 +121,7 @@ fn coerce_row(
 }
 
 fn lookup(db: &Arc<Database>, table: &str) -> Result<Arc<TableEntry>> {
-    db.catalog
-        .read()
-        .get(table)
-        .ok_or_else(|| VwError::Catalog(format!("unknown table '{table}'")))
+    db.catalog.read().get(table).ok_or_else(|| VwError::Catalog(format!("unknown table '{table}'")))
 }
 
 /// INSERT rows; returns the row count.
@@ -144,10 +133,8 @@ pub fn insert(
 ) -> Result<u64> {
     let db = session.database().clone();
     let entry = lookup(&db, table)?;
-    let coerced: Vec<Vec<Value>> = rows
-        .into_iter()
-        .map(|r| coerce_row(&entry.schema, columns, r))
-        .collect::<Result<_>>()?;
+    let coerced: Vec<Vec<Value>> =
+        rows.into_iter().map(|r| coerce_row(&entry.schema, columns, r)).collect::<Result<_>>()?;
     let n = coerced.len() as u64;
     match &entry.kind {
         TableKind::Heap { store } => {
@@ -212,8 +199,7 @@ fn matching_rows(
                     .index_of(col)
                     .ok_or_else(|| VwError::Bind(format!("unknown column '{col}'")))?;
                 let bound = binder.bind_expr_on_schema(e, &entry.schema)?;
-                let nullable: Vec<bool> =
-                    entry.schema.fields.iter().map(|x| x.nullable).collect();
+                let nullable: Vec<bool> = entry.schema.fields.iter().map(|x| x.nullable).collect();
                 let rewritten = vw_rewriter::engine::rewrite_fixpoint(
                     bound,
                     &vw_rewriter::rules::default_rules(),
@@ -266,9 +252,7 @@ fn matching_rows(
                 // pick the selected positions out of the pooled results.
                 let evaluated: Vec<(usize, vw_exec::program::VecRef)> = set_exprs
                     .iter()
-                    .map(|(idx, e)| {
-                        Ok((*idx, e.run_with_sel(&mut pool, &batch, sel.as_ref())?))
-                    })
+                    .map(|(idx, e)| Ok((*idx, e.run_with_sel(&mut pool, &batch, sel.as_ref())?)))
                     .collect::<Result<_>>()?;
                 for &pos in &selected {
                     let mut row_sets = Vec::with_capacity(evaluated.len());
@@ -345,11 +329,7 @@ pub fn update(
 }
 
 /// DELETE; returns affected row count.
-pub fn delete(
-    session: &mut Session,
-    table: &str,
-    filter: Option<&Expr>,
-) -> Result<u64> {
+pub fn delete(session: &mut Session, table: &str, filter: Option<&Expr>) -> Result<u64> {
     let db = session.database().clone();
     let entry = lookup(&db, table)?;
     if matches!(entry.kind, TableKind::Heap { .. }) {
@@ -389,9 +369,7 @@ fn heap_update_delete(
     let TableKind::Heap { store } = &entry.kind else { unreachable!() };
     let binder_catalog = NoTables;
     let binder = Binder::new(&binder_catalog);
-    let pred = filter
-        .map(|f| binder.bind_expr_on_schema(f, &entry.schema))
-        .transpose()?;
+    let pred = filter.map(|f| binder.bind_expr_on_schema(f, &entry.schema)).transpose()?;
     let set_bound = sets
         .map(|sets| {
             sets.iter()
@@ -447,8 +425,7 @@ fn heap_update_delete(
             Some(sets) => {
                 let mut row = row;
                 for (idx, prog) in sets.iter_mut() {
-                    let v = prog.eval_row(&row)?
-                        .cast_to(entry.schema.field(*idx).ty)?;
+                    let v = prog.eval_row(&row)?.cast_to(entry.schema.field(*idx).ty)?;
                     row[*idx] = v;
                 }
                 kept.push(row);
@@ -457,8 +434,7 @@ fn heap_update_delete(
         }
     }
     st.free_all(Some(&db.pool));
-    let mut fresh =
-        vw_volcano::RowStore::new(db.disk.clone(), entry.schema.clone());
+    let mut fresh = vw_volcano::RowStore::new(db.disk.clone(), entry.schema.clone());
     fresh.append_rows(&kept)?;
     *st = fresh;
     Ok(affected)
@@ -544,8 +520,7 @@ pub fn checkpoint(db: &Arc<Database>, table: Option<&str>) -> Result<u64> {
         // Materialize the merged image column by column.
         let snapshot = {
             let st = storage.read();
-            let mut snap =
-                TableStorage::new(st.disk().clone(), st.schema().clone(), st.layout());
+            let mut snap = TableStorage::new(st.disk().clone(), st.schema().clone(), st.layout());
             snap.adopt_packs(&st);
             Arc::new(snap)
         };
@@ -591,10 +566,7 @@ pub fn checkpoint(db: &Arc<Database>, table: Option<&str>) -> Result<u64> {
         }
         pdt.reset_after_checkpoint(row_count as u64);
         *entry.stats.write() = TableStats::build(&columns, &nulls, 32);
-        db.monitor.log(
-            EventLevel::Info,
-            format!("checkpointed {name}: {row_count} rows"),
-        );
+        db.monitor.log(EventLevel::Info, format!("checkpointed {name}: {row_count} rows"));
         total += row_count as u64;
     }
     Ok(total)

@@ -42,7 +42,7 @@ use vw_sql::ast::{InsertSource, Statement, TableType};
 use vw_sql::binder::{Binder, CatalogView};
 use vw_sql::optimizer;
 use vw_sql::plan::LogicalPlan;
-use vw_storage::{BufferPool, Layout, SimulatedDisk, TableStorage, TableStats};
+use vw_storage::{BufferPool, Layout, SimulatedDisk, TableStats, TableStorage};
 
 /// The result of one statement.
 #[derive(Debug, Clone)]
@@ -150,9 +150,11 @@ impl Database {
             return Err(VwError::Catalog(format!("table '{name}' already exists")));
         }
         let kind = match table_type {
-            TableType::Vectorwise => TableKind::new_vectorwise(
-                TableStorage::new(self.disk.clone(), schema.clone(), Layout::Dsm),
-            ),
+            TableType::Vectorwise => TableKind::new_vectorwise(TableStorage::new(
+                self.disk.clone(),
+                schema.clone(),
+                Layout::Dsm,
+            )),
             TableType::Heap => {
                 TableKind::new_heap(vw_volcano::RowStore::new(self.disk.clone(), schema.clone()))
             }
@@ -203,6 +205,24 @@ impl Database {
                 }
                 cfg.parallelism = v as usize;
             }
+            "partition_bits" => {
+                let v = value.as_i64()?;
+                if !(0..=10).contains(&v) {
+                    return Err(VwError::InvalidParameter(
+                        "partition_bits must be in 0..=10".into(),
+                    ));
+                }
+                cfg.partition_bits = Some(v as u32);
+            }
+            "partition_min_rows" => {
+                let v = value.as_i64()?;
+                if v < 0 {
+                    return Err(VwError::InvalidParameter(
+                        "partition_min_rows must be >= 0".into(),
+                    ));
+                }
+                cfg.partition_min_rows = v as usize;
+            }
             "check_mode" => {
                 cfg.check_mode = match value.as_str()?.to_ascii_lowercase().as_str() {
                     "unchecked" => vw_common::config::CheckMode::Unchecked,
@@ -227,9 +247,7 @@ impl Database {
                 };
             }
             "profiling" => cfg.profiling = value.as_i64()? != 0,
-            other => {
-                return Err(VwError::InvalidParameter(format!("unknown setting '{other}'")))
-            }
+            other => return Err(VwError::InvalidParameter(format!("unknown setting '{other}'"))),
         }
         Ok(())
     }
@@ -274,10 +292,9 @@ impl Session {
             Statement::Select(s) => self.run_select(s, false),
             Statement::Explain(inner) => match inner.as_ref() {
                 Statement::Select(s) => self.run_select(s, true),
-                other => Ok(QueryResult {
-                    text: Some(format!("{other:?}")),
-                    ..QueryResult::empty()
-                }),
+                other => {
+                    Ok(QueryResult { text: Some(format!("{other:?}")), ..QueryResult::empty() })
+                }
             },
             Statement::CreateTable { name, columns, table_type } => {
                 self.db.create_table(name, columns, *table_type)?;
@@ -371,9 +388,7 @@ impl Session {
     ) -> Result<QueryResult> {
         let db = self.db.clone();
         let cancel = CancelToken::new();
-        let qid = db
-            .monitor
-            .register_query(sql_label.unwrap_or("<query>"), cancel.clone());
+        let qid = db.monitor.register_query(sql_label.unwrap_or("<query>"), cancel.clone());
         let config = db.config();
         let result = (|| -> Result<QueryResult> {
             let mut op = compile::build_plan(&db, plan, &config, &cancel, self.txn.as_ref(), None)?;
@@ -420,9 +435,8 @@ pub fn bulk_load(
     nulls: &[Option<Vec<bool>>],
 ) -> Result<u64> {
     let cat = db.catalog.read();
-    let entry = cat
-        .get(table)
-        .ok_or_else(|| VwError::Catalog(format!("unknown table '{table}'")))?;
+    let entry =
+        cat.get(table).ok_or_else(|| VwError::Catalog(format!("unknown table '{table}'")))?;
     let TableKind::Vectorwise { storage, pdt } = &entry.kind else {
         return Err(VwError::Unsupported("bulk_load targets VECTORWISE tables".into()));
     };
@@ -437,8 +451,7 @@ pub fn bulk_load(
     let n = st.n_rows();
     pdt.reset_after_checkpoint(n);
     *entry.stats.write() = TableStats::build(columns, nulls, 32);
-    db.monitor
-        .log(EventLevel::Info, format!("bulk loaded {table}: {n} rows total"));
+    db.monitor.log(EventLevel::Info, format!("bulk loaded {table}: {n} rows total"));
     Ok(n)
 }
 

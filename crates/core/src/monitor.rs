@@ -103,11 +103,7 @@ impl Monitor {
         if ev.len() == EVENT_CAPACITY {
             ev.pop_front();
         }
-        ev.push_back(Event {
-            level,
-            at_ms: self.epoch.elapsed().as_millis() as u64,
-            message,
-        });
+        ev.push_back(Event { level, at_ms: self.epoch.elapsed().as_millis() as u64, message });
     }
 
     /// Snapshot of recent events.
@@ -192,10 +188,7 @@ impl Monitor {
 
     /// (total queries, failed queries) counters.
     pub fn totals(&self) -> (u64, u64) {
-        (
-            self.total_queries.load(Ordering::Relaxed),
-            self.total_failed.load(Ordering::Relaxed),
-        )
+        (self.total_queries.load(Ordering::Relaxed), self.total_failed.load(Ordering::Relaxed))
     }
 }
 

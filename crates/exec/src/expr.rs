@@ -388,9 +388,7 @@ impl PhysExpr {
                 let v = self.eval(batch, ctx)?;
                 let vals = v.data.as_bool();
                 let mut out = SelVec::with_capacity(batch.rows());
-                primitives::select_by(n, sel_in, &mut out, |i| {
-                    vals[i] && !v.is_null(i)
-                });
+                primitives::select_by(n, sel_in, &mut out, |i| vals[i] && !v.is_null(i));
                 Ok(out)
             }
         }
@@ -399,12 +397,7 @@ impl PhysExpr {
 
 /// Typed fast path for `col <op> const` selections. Returns None when the
 /// shape or type has no specialized kernel.
-fn fast_select_cmp(
-    op: CmpOp,
-    lhs: &PhysExpr,
-    rhs: &PhysExpr,
-    batch: &Batch,
-) -> Option<SelVec> {
+fn fast_select_cmp(op: CmpOp, lhs: &PhysExpr, rhs: &PhysExpr, batch: &Batch) -> Option<SelVec> {
     let (PhysExpr::ColRef(ci, _), PhysExpr::Const(k, _)) = (lhs, rhs) else {
         return None;
     };
@@ -417,9 +410,9 @@ fn fast_select_cmp(
             let vals = $vals;
             let k = $k;
             match &col.nulls {
-                None => primitives::select_by(n, sel_in, &mut out, |i| {
-                    op.holds(cmp_total(vals[i], k))
-                }),
+                None => {
+                    primitives::select_by(n, sel_in, &mut out, |i| op.holds(cmp_total(vals[i], k)))
+                }
                 Some(m) => primitives::select_by(n, sel_in, &mut out, |i| {
                     !m[i] && op.holds(cmp_total(vals[i], k))
                 }),
@@ -433,9 +426,9 @@ fn fast_select_cmp(
         (ColData::F64(v), Value::F64(k)) => {
             let k = *k;
             match &col.nulls {
-                None => primitives::select_by(n, sel_in, &mut out, |i| {
-                    op.holds(v[i].total_cmp(&k))
-                }),
+                None => {
+                    primitives::select_by(n, sel_in, &mut out, |i| op.holds(v[i].total_cmp(&k)))
+                }
                 Some(m) => primitives::select_by(n, sel_in, &mut out, |i| {
                     !m[i] && op.holds(v[i].total_cmp(&k))
                 }),
@@ -709,14 +702,10 @@ fn eval_case(
     // Evaluate all branches over the full batch, then pick per row. (A
     // production kernel narrows the selection per branch; the semantics and
     // vectorized structure are the same.)
-    let conds: Vec<Vector> = branches
-        .iter()
-        .map(|(c, _)| c.eval(batch, ctx))
-        .collect::<Result<_>>()?;
-    let vals: Vec<Vector> = branches
-        .iter()
-        .map(|(_, v)| v.eval(batch, ctx))
-        .collect::<Result<_>>()?;
+    let conds: Vec<Vector> =
+        branches.iter().map(|(c, _)| c.eval(batch, ctx)).collect::<Result<_>>()?;
+    let vals: Vec<Vector> =
+        branches.iter().map(|(_, v)| v.eval(batch, ctx)).collect::<Result<_>>()?;
     let else_v = else_expr.map(|e| e.eval(batch, ctx)).transpose()?;
     let mut out = Vector::new(ColData::with_capacity(ty, n));
     for i in 0..n {
@@ -748,9 +737,7 @@ fn eval_func(
     let sel = batch.sel.as_ref();
     let vs: Vec<Vector> = args.iter().map(|a| a.eval(batch, ctx)).collect::<Result<_>>()?;
     let nulls = union_nulls(n, &vs.iter().collect::<Vec<_>>());
-    let live = |i: usize| -> bool {
-        !nulls.as_ref().is_some_and(|m| m[i])
-    };
+    let live = |i: usize| -> bool { !nulls.as_ref().is_some_and(|m| m[i]) };
     macro_rules! for_live {
         ($body:expr) => {{
             match sel {
@@ -813,11 +800,7 @@ fn eval_func(
                     }
                     None => usize::MAX,
                 };
-                out[i] = s[i]
-                    .chars()
-                    .skip(start[i] as usize - 1)
-                    .take(take)
-                    .collect();
+                out[i] = s[i].chars().skip(start[i] as usize - 1).take(take).collect();
                 Ok(())
             };
             for_live!(f);
@@ -843,11 +826,8 @@ fn eval_func(
             let to = vs[2].data.as_str();
             let mut out = vec![String::new(); n];
             let mut f = |i: usize| -> Result<()> {
-                out[i] = if from[i].is_empty() {
-                    s[i].clone()
-                } else {
-                    s[i].replace(&from[i], &to[i])
-                };
+                out[i] =
+                    if from[i].is_empty() { s[i].clone() } else { s[i].replace(&from[i], &to[i]) };
                 Ok(())
             };
             for_live!(f);
@@ -930,8 +910,7 @@ fn eval_func(
             let mut f = |i: usize| -> Result<()> {
                 if live(i) {
                     let v = days[i] as i64 + delta[i];
-                    out[i] =
-                        i32::try_from(v).map_err(|_| VwError::Overflow("DATE + days"))?;
+                    out[i] = i32::try_from(v).map_err(|_| VwError::Overflow("DATE + days"))?;
                 }
                 Ok(())
             };
@@ -1025,7 +1004,9 @@ impl LikeMatcher {
         fn rec(toks: &[LikeTok], s: &str) -> bool {
             match toks.first() {
                 None => s.is_empty(),
-                Some(LikeTok::Lit(l)) => s.strip_prefix(l.as_str()).is_some_and(|r| rec(&toks[1..], r)),
+                Some(LikeTok::Lit(l)) => {
+                    s.strip_prefix(l.as_str()).is_some_and(|r| rec(&toks[1..], r))
+                }
                 Some(LikeTok::AnyOne) => {
                     let mut cs = s.chars();
                     cs.next().is_some() && rec(&toks[1..], cs.as_str())
@@ -1232,10 +1213,8 @@ mod tests {
 
     #[test]
     fn string_functions() {
-        let batch = Batch::new(vec![Vector::new(ColData::Str(vec![
-            "  Hello  ".into(),
-            "World".into(),
-        ]))]);
+        let batch =
+            Batch::new(vec![Vector::new(ColData::Str(vec!["  Hello  ".into(), "World".into()]))]);
         let upper = PhysExpr::FuncCall {
             func: Func::Upper,
             args: vec![col(0, TypeId::Str)],
@@ -1259,10 +1238,7 @@ mod tests {
             args: vec![col(0, TypeId::Str), lit_i64(0)],
             ty: TypeId::Str,
         };
-        assert!(matches!(
-            e.eval(&batch, &ctx()),
-            Err(VwError::InvalidParameter(_))
-        ));
+        assert!(matches!(e.eval(&batch, &ctx()), Err(VwError::InvalidParameter(_))));
         let ok = PhysExpr::FuncCall {
             func: Func::Substr,
             args: vec![col(0, TypeId::Str), lit_i64(2)],
@@ -1337,15 +1313,9 @@ mod tests {
     #[test]
     fn cast_widen_and_string() {
         let batch = Batch::new(vec![Vector::new(ColData::I32(vec![1, 2]))]);
-        let e = PhysExpr::Cast {
-            input: Box::new(col(0, TypeId::I32)),
-            to: TypeId::F64,
-        };
+        let e = PhysExpr::Cast { input: Box::new(col(0, TypeId::I32)), to: TypeId::F64 };
         assert_eq!(e.eval(&batch, &ctx()).unwrap().get(1), Value::F64(2.0));
-        let e = PhysExpr::Cast {
-            input: Box::new(col(0, TypeId::I32)),
-            to: TypeId::Str,
-        };
+        let e = PhysExpr::Cast { input: Box::new(col(0, TypeId::I32)), to: TypeId::Str };
         assert_eq!(e.eval(&batch, &ctx()).unwrap().get(0), Value::Str("1".into()));
     }
 

@@ -30,9 +30,20 @@
 //! ([`FlatTable::probe_join`] / [`FlatTable::probe_groups`]) that stages
 //! hash → prefetch → scan across the whole vector. Hash join additionally
 //! [`finalize`](FlatTable::finalize)s its build into a bucket-grouped
-//! contiguous (CSR) layout whose probes are short sequential scans. All
-//! scratch buffers are caller-owned and reused across batches, so the
-//! steady-state probe loop performs no allocations.
+//! contiguous (CSR) layout whose probes are short sequential scans — or,
+//! when the whole build input is staged first, bulk-constructs that layout
+//! directly ([`FlatTable::build_csr`]: histogram → prefix sum → scatter,
+//! no chain phase at all). All scratch buffers are caller-owned and reused
+//! across batches, so the steady-state probe loop performs no allocations.
+//!
+//! **Partitioned builds** (see [`crate::partition`]): one `FlatTable` is
+//! also the unit of radix sharding. The partition id is the *top* bits of
+//! the same 64-bit key hash — provably disjoint from the directory index
+//! (low bits) and nearly so from the bloom tag (bits 57..60) — so `P`
+//! shard tables built from a radix split stay exactly as balanced as one
+//! big table, while each is `P`× smaller. Shards are never merged; probes
+//! split partition-wise by the same bits and run these same kernels
+//! against the owning shard.
 
 use crate::primitives;
 use crate::vector::Vector;
@@ -207,6 +218,47 @@ impl FlatTable {
                     self.insert(hashes[p]);
                 }
             }
+        }
+    }
+
+    /// Bulk-build a finalized (CSR) table directly from a complete hash
+    /// array: histogram → prefix sum → scatter. Row `r` is `hashes[r]`.
+    ///
+    /// This skips the chain-insert phase entirely — no `heads`/`entries`
+    /// arrays, no incremental directory doublings with their relink passes
+    /// — so it is the build of choice whenever the whole input is known
+    /// before the first probe (hash join; each radix shard of a
+    /// partitioned build). Aggregation keeps the incremental chain path:
+    /// it interleaves lookups with inserts.
+    pub fn build_csr(hashes: &[u64]) -> FlatTable {
+        assert!(hashes.len() < EMPTY as usize, "flat table holds at most u32::MAX - 1 rows");
+        let dir = directory_size(hashes.len());
+        let mask = dir as u64 - 1;
+        let mut offsets = vec![0u32; dir + 1];
+        let mut bloom = vec![0u8; dir];
+        for &h in hashes {
+            let b = (h & mask) as usize;
+            offsets[b + 1] += 1;
+            bloom[b] |= bloom_bit(h);
+        }
+        for b in 1..offsets.len() {
+            offsets[b] += offsets[b - 1];
+        }
+        let mut cursor = offsets[..dir].to_vec();
+        let mut slots = vec![Slot { hash: 0, row: EMPTY }; hashes.len()];
+        for (row, &h) in hashes.iter().enumerate() {
+            let b = (h & mask) as usize;
+            slots[cursor[b] as usize] = Slot { hash: h, row: row as u32 };
+            cursor[b] += 1;
+        }
+        FlatTable {
+            heads: Vec::new(),
+            entries: Vec::new(),
+            offsets,
+            slots,
+            bloom,
+            finalized: true,
+            mask,
         }
     }
 
@@ -753,12 +805,10 @@ macro_rules! dispatch_typed_keys {
                 |x: &bool| vw_common::hash::hash_u64(*x as u64),
                 |x: &bool, y: &bool| x == y
             ),
-            (vw_common::ColData::I8(pa), vw_common::ColData::I8(ba)) => $body!(
-                pa,
-                ba,
-                |x: &i8| vw_common::hash::hash_u64(*x as u64),
-                |x: &i8, y: &i8| x == y
-            ),
+            (vw_common::ColData::I8(pa), vw_common::ColData::I8(ba)) => {
+                $body!(pa, ba, |x: &i8| vw_common::hash::hash_u64(*x as u64), |x: &i8, y: &i8| x
+                    == y)
+            }
             (vw_common::ColData::I16(pa), vw_common::ColData::I16(ba)) => $body!(
                 pa,
                 ba,
@@ -1060,8 +1110,7 @@ mod tests {
         let mut steps = 0u64;
         t.gather_matching(ph, &sel, &mut cand, &mut active, &mut steps);
         let mut pairs: Vec<(usize, u32)> = Vec::new();
-        let (mut matched, mut tmp, mut next_active) =
-            (SelVec::new(), SelVec::new(), SelVec::new());
+        let (mut matched, mut tmp, mut next_active) = (SelVec::new(), SelVec::new(), SelVec::new());
         while !active.is_empty() {
             t.candidate_rows(&cand, &active, &mut rows);
             keys_match_sel(probe_keys, build_keys, &rows, &active, &mut tmp, &mut matched, null_eq);
@@ -1137,6 +1186,34 @@ mod tests {
         assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 0), (3, 4)]);
         assert_eq!(flags, vec![true, false, true, true]);
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn build_csr_equals_insert_then_finalize() {
+        // Bulk CSR construction must produce the identical layout the
+        // incremental insert + finalize path produces (same directory,
+        // same bucket-grouped slot order), so probes cannot diverge.
+        let hashes: Vec<u64> = (0..10_000u64).map(|i| hash_u64(i % 4096)).collect();
+        let mut incremental = FlatTable::new();
+        incremental.insert_batch(&hashes, None);
+        incremental.finalize();
+        let bulk = FlatTable::build_csr(&hashes);
+        assert_eq!(bulk.len(), incremental.len());
+        assert_eq!(bulk.directory_len(), incremental.directory_len());
+        assert_eq!(bulk.offsets, incremental.offsets);
+        assert_eq!(bulk.bloom, incremental.bloom);
+        assert!(bulk
+            .slots
+            .iter()
+            .zip(&incremental.slots)
+            .all(|(a, b)| a.hash == b.hash && a.row == b.row));
+        assert!(bulk.is_finalized());
+    }
+
+    #[test]
+    fn build_csr_empty() {
+        let t = FlatTable::build_csr(&[]);
+        assert!(t.is_empty() && t.is_finalized());
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`hashtable`] — the flat vectorized hash table (directory + chain
 //!   array over contiguous build rows) shared by hash join and hash
 //!   aggregation, with fully vectorized insert and probe;
+//! * [`partition`] — radix partitioning for parallel hash builds:
+//!   [`partition::RadixRouter`] splits key hashes into `P` partitions,
+//!   [`partition::ShardSet`] runs one `FlatTable` shard per worker thread,
+//!   and probes route partition-wise through reused `SelVec`s;
 //! * [`op`] — the relational operators: scan (with PDT merge), select,
 //!   project, hash join (inner/left/semi/anti/**NULL-aware anti**), hash
 //!   aggregation, sort, top-n, limit, union, and the Volcano-style **Xchg**
@@ -36,6 +40,7 @@ pub mod cancel;
 pub mod expr;
 pub mod hashtable;
 pub mod op;
+pub mod partition;
 pub mod primitives;
 pub mod profile;
 pub mod program;

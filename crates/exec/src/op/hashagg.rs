@@ -12,12 +12,22 @@
 //!
 //! NULL group keys form their own group (SQL semantics); aggregate inputs
 //! skip NULLs (except `COUNT(*)`).
+//!
+//! With [`HashAggregate::with_parallel_build`] the build radix-partitions
+//! across worker threads (see [`crate::partition`]): input batches are
+//! hashed once on the consumer, split by the top radix bits of the group
+//! hash, and scattered to `P` shard workers, each owning a private
+//! `FlatTable` + typed accumulators. Equal keys hash equal, so shards are
+//! key-disjoint and "merging" is just emitting the shards one after the
+//! other — the partial/final rewrite's merge aggregation is not needed
+//! inside the operator.
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
-use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
 use crate::profile::OpProfile;
+use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
@@ -74,11 +84,9 @@ impl AggState {
                     )))
                 }
             },
-            AggFunc::Min => AggState::MinMax {
-                vals: ColData::new(spec.out_ty),
-                seen: Vec::new(),
-                is_min: true,
-            },
+            AggFunc::Min => {
+                AggState::MinMax { vals: ColData::new(spec.out_ty), seen: Vec::new(), is_min: true }
+            }
             AggFunc::Max => AggState::MinMax {
                 vals: ColData::new(spec.out_ty),
                 seen: Vec::new(),
@@ -151,8 +159,7 @@ impl AggState {
                             if !v.is_null(p) {
                                 let g = gidx[p] as usize;
                                 let x = other.get_value(p).as_i64()?;
-                                sums[g] =
-                                    sums[g].checked_add(x).ok_or(VwError::Overflow("SUM"))?;
+                                sums[g] = sums[g].checked_add(x).ok_or(VwError::Overflow("SUM"))?;
                                 seen[g] = true;
                             }
                         }
@@ -362,6 +369,78 @@ struct AggScratch {
     agg_refs: Vec<Option<VecRef>>,
 }
 
+/// One radix partition's aggregation state: a private table + accumulators
+/// over the shard's (key-disjoint) groups, fed dense gathered packets.
+struct AggShard {
+    funcs: Vec<AggFunc>,
+    table: FlatTable,
+    group_keys: Vec<Vector>,
+    states: Vec<AggState>,
+    n_groups: usize,
+    scratch: AggScratch,
+    probe_rows: u64,
+    chain_steps: u64,
+}
+
+/// Dense gathered rows for one (batch, shard) pair: group keys, aggregate
+/// inputs, and the group hashes (consumer-side routing; workers rehash
+/// through the ordinary resolve path, which is hash-identical).
+struct AggPacket {
+    keys: Vec<Vector>,
+    inputs: Vec<Option<Vector>>,
+    hashes: Vec<u64>,
+}
+
+/// A finished shard: the groups it owns, ready to emit.
+struct AggShardOut {
+    group_keys: Vec<Vector>,
+    states: Vec<AggState>,
+    n_groups: usize,
+    probe_rows: u64,
+    chain_steps: u64,
+}
+
+impl ShardWorker for AggShard {
+    type Packet = AggPacket;
+    type Output = AggShardOut;
+
+    fn absorb(&mut self, pkt: AggPacket) -> Result<()> {
+        let n = pkt.hashes.len();
+        let keys: Vec<&Vector> = pkt.keys.iter().collect();
+        self.scratch.live.fill_identity(n);
+        let steps = resolve_groups(
+            &mut self.table,
+            &mut self.group_keys,
+            &mut self.states,
+            &mut self.n_groups,
+            &mut self.scratch,
+            &keys,
+            n,
+        )?;
+        self.probe_rows += n as u64;
+        self.chain_steps += steps;
+        for (i, state) in self.states.iter_mut().enumerate() {
+            state.update_batch(
+                self.funcs[i],
+                &self.scratch.gidx,
+                &self.scratch.live,
+                pkt.inputs[i].as_ref(),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<AggShardOut> {
+        Ok(AggShardOut {
+            group_keys: self.group_keys,
+            states: self.states,
+            n_groups: self.n_groups,
+            probe_rows: self.probe_rows,
+            chain_steps: self.chain_steps,
+        })
+    }
+}
+
 /// Hash GROUP BY operator.
 pub struct HashAggregate {
     input: Option<BoxedOp>,
@@ -376,6 +455,14 @@ pub struct HashAggregate {
     group_keys: Vec<Vector>,
     states: Vec<AggState>,
     n_groups: usize,
+    /// Radix partitions for the parallel build (1 = serial).
+    par_shards: usize,
+    /// Staged input rows below which the build stays serial.
+    par_min_rows: usize,
+    /// Finished groups, one entry per shard (serial builds wrap into one);
+    /// emission walks the shards in partition order.
+    out_shards: Vec<AggShardOut>,
+    emit_shard: usize,
     emit_pos: usize,
     built: bool,
     scratch: AggScratch,
@@ -394,10 +481,8 @@ impl HashAggregate {
         cancel: CancelToken,
     ) -> Result<HashAggregate> {
         let states = aggs.iter().map(AggState::new).collect::<Result<_>>()?;
-        let group_keys = group_exprs
-            .iter()
-            .map(|e| Vector::new(ColData::new(e.type_id())))
-            .collect();
+        let group_keys =
+            group_exprs.iter().map(|e| Vector::new(ColData::new(e.type_id()))).collect();
         Ok(HashAggregate {
             input: Some(input),
             group_exprs,
@@ -410,6 +495,10 @@ impl HashAggregate {
             group_keys,
             states,
             n_groups: 0,
+            par_shards: 1,
+            par_min_rows: DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+            out_shards: Vec::new(),
+            emit_shard: 0,
             emit_pos: 0,
             built: false,
             scratch: AggScratch::default(),
@@ -417,8 +506,41 @@ impl HashAggregate {
         })
     }
 
+    /// Enable the radix-partitioned parallel build: `shards` worker threads
+    /// (rounded up to a power of two), engaged once at least `min_rows`
+    /// input rows are staged. Global aggregates (no group keys) always
+    /// stay serial — their single group cannot partition.
+    pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashAggregate {
+        self.par_shards = shards.max(1).next_power_of_two();
+        self.par_min_rows = min_rows;
+        self
+    }
+
+    /// A fresh shard worker mirroring this operator's aggregate layout.
+    fn make_shard(&self) -> Result<AggShard> {
+        Ok(AggShard {
+            funcs: self.aggs.iter().map(|a| a.func).collect(),
+            table: FlatTable::new(),
+            group_keys: self
+                .group_exprs
+                .iter()
+                .map(|e| Vector::new(ColData::new(e.type_id())))
+                .collect(),
+            states: self.aggs.iter().map(AggState::new).collect::<Result<_>>()?,
+            n_groups: 0,
+            scratch: AggScratch::default(),
+            probe_rows: 0,
+            chain_steps: 0,
+        })
+    }
+
     fn build(&mut self) -> Result<()> {
         let mut input = self.input.take().expect("build once");
+        // Global aggregates stay serial: one group cannot partition.
+        let partitionable = self.par_shards > 1 && !self.group_exprs.is_empty();
+        let mut workers: Option<(RadixRouter, ShardSet<AggShard>)> = None;
+        let mut staged: Vec<AggPacket> = Vec::new();
+        let mut staged_rows = 0usize;
         while let Some(batch) = input.next()? {
             self.cancel.check()?;
             let t0 = Instant::now();
@@ -437,7 +559,7 @@ impl HashAggregate {
                 };
                 self.scratch.agg_refs.push(r);
             }
-            let (rows, chain_steps);
+            let (mut rows, mut chain_steps) = (0u64, 0u64);
             {
                 let keys: Vec<&Vector> =
                     self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
@@ -448,26 +570,76 @@ impl HashAggregate {
                         None => s.live.fill_identity(batch.capacity()),
                     }
                 }
-                chain_steps = resolve_groups(
-                    &mut self.table,
-                    &mut self.group_keys,
-                    &mut self.states,
-                    &mut self.n_groups,
-                    &mut self.scratch,
-                    &keys,
-                    batch.capacity(),
-                )?;
-                rows = self.scratch.live.len() as u64;
-                for ((spec, state), r) in
-                    self.aggs.iter().zip(&mut self.states).zip(&self.scratch.agg_refs)
-                {
-                    let inp = r.map(|vr| self.pool.get(&batch, vr));
-                    state.update_batch(
-                        spec.func,
-                        &self.scratch.gidx,
-                        &self.scratch.live,
-                        inp,
+                if !partitionable {
+                    chain_steps = resolve_groups(
+                        &mut self.table,
+                        &mut self.group_keys,
+                        &mut self.states,
+                        &mut self.n_groups,
+                        &mut self.scratch,
+                        &keys,
+                        batch.capacity(),
                     )?;
+                    rows = self.scratch.live.len() as u64;
+                    for ((spec, state), r) in
+                        self.aggs.iter().zip(&mut self.states).zip(&self.scratch.agg_refs)
+                    {
+                        let inp = r.map(|vr| self.pool.get(&batch, vr));
+                        state.update_batch(
+                            spec.func,
+                            &self.scratch.gidx,
+                            &self.scratch.live,
+                            inp,
+                        )?;
+                    }
+                } else {
+                    // Partitioned: hash the group keys once, then either
+                    // stage the live lanes densely (pre-gate) or gather
+                    // each shard's lanes straight from the batch — one
+                    // copy per row, no intermediate dense packet.
+                    let s = &mut self.scratch;
+                    hashtable::hash_keys(
+                        &keys,
+                        batch.capacity(),
+                        true,
+                        &mut s.lanes,
+                        &mut s.hashes,
+                    );
+                    let pool = &self.pool;
+                    match &mut workers {
+                        None => {
+                            let pkt = AggPacket {
+                                keys: keys.iter().map(|v| v.gather(&s.live)).collect(),
+                                inputs: s
+                                    .agg_refs
+                                    .iter()
+                                    .map(|r| r.map(|vr| pool.get(&batch, vr).gather(&s.live)))
+                                    .collect(),
+                                hashes: s.live.iter().map(|p| s.hashes[p]).collect(),
+                            };
+                            staged_rows += pkt.hashes.len();
+                            staged.push(pkt);
+                        }
+                        Some((router, set)) => {
+                            router.split(&s.hashes, Some(&s.live), batch.capacity());
+                            for si in 0..router.partitions() {
+                                let sel = router.shard_sel(si);
+                                if sel.is_empty() {
+                                    continue;
+                                }
+                                let sub = AggPacket {
+                                    keys: keys.iter().map(|v| v.gather(sel)).collect(),
+                                    inputs: s
+                                        .agg_refs
+                                        .iter()
+                                        .map(|r| r.map(|vr| pool.get(&batch, vr).gather(sel)))
+                                        .collect(),
+                                    hashes: sel.iter().map(|p| s.hashes[p]).collect(),
+                                };
+                                set.send(si, sub)?;
+                            }
+                        }
+                    }
                 }
             }
             self.pool.recycle();
@@ -475,18 +647,88 @@ impl HashAggregate {
             self.profile.record_expr(runs, instrs);
             self.profile.record_phase(t0.elapsed());
             self.profile.record_probe(rows, chain_steps);
-        }
-        // Global aggregation over zero rows still yields one group.
-        if self.group_exprs.is_empty() && self.n_groups == 0 {
-            self.n_groups = 1;
-            for st in &mut self.states {
-                st.push_group();
+            if workers.is_none() && partitionable && staged_rows >= self.par_min_rows {
+                // Cost gate cleared: spawn the shard workers and flush the
+                // staged packets through the radix split.
+                let mut router = RadixRouter::new(self.par_shards);
+                let shards: Vec<AggShard> =
+                    (0..router.partitions()).map(|_| self.make_shard()).collect::<Result<_>>()?;
+                let mut set = ShardSet::spawn(shards, &self.cancel);
+                for pkt in staged.drain(..) {
+                    scatter_agg(&mut router, &mut set, &pkt)?;
+                }
+                workers = Some((router, set));
             }
-            // COUNT over nothing is 0 (already the initial state).
+        }
+        match workers {
+            // Partitioned: shards are key-disjoint, so the merge is just
+            // emitting them in partition order.
+            Some((_, set)) => {
+                let outs = set.finish()?;
+                for (si, out) in outs.iter().enumerate() {
+                    self.profile.record_shard_build(si, out.n_groups as u64);
+                    self.profile.record_shard_probe(si, out.probe_rows, out.chain_steps);
+                    self.profile.record_probe(out.probe_rows, out.chain_steps);
+                }
+                self.out_shards = outs;
+            }
+            // Parallel-capable but under the gate: fold the staged packets
+            // through one inline shard (no threads spawned).
+            None if partitionable && !staged.is_empty() => {
+                let mut shard = self.make_shard()?;
+                for pkt in staged.drain(..) {
+                    shard.absorb(pkt)?;
+                }
+                self.profile.record_probe(shard.probe_rows, shard.chain_steps);
+                self.out_shards.push(shard.finish()?);
+            }
+            None => {
+                // Global aggregation over zero rows still yields one group
+                // (COUNT over nothing is 0 — already the initial state).
+                if self.group_exprs.is_empty() && self.n_groups == 0 {
+                    self.n_groups = 1;
+                    for st in &mut self.states {
+                        st.push_group();
+                    }
+                }
+                self.out_shards.push(AggShardOut {
+                    group_keys: std::mem::take(&mut self.group_keys),
+                    states: std::mem::take(&mut self.states),
+                    n_groups: self.n_groups,
+                    probe_rows: 0,
+                    chain_steps: 0,
+                });
+            }
         }
         self.built = true;
         Ok(())
     }
+}
+
+/// Split one dense *staged* packet (accumulated before the cost gate
+/// cleared) by the radix of its group hashes and ship the per-shard
+/// sub-packets. Post-gate batches scatter directly from the batch inside
+/// the build loop and never pass through here.
+fn scatter_agg(
+    router: &mut RadixRouter,
+    set: &mut ShardSet<AggShard>,
+    pkt: &AggPacket,
+) -> Result<()> {
+    let n = pkt.hashes.len();
+    router.split(&pkt.hashes, None, n);
+    for si in 0..router.partitions() {
+        let sel = router.shard_sel(si);
+        if sel.is_empty() {
+            continue;
+        }
+        let sub = AggPacket {
+            keys: pkt.keys.iter().map(|v| v.gather(sel)).collect(),
+            inputs: pkt.inputs.iter().map(|o| o.as_ref().map(|v| v.gather(sel))).collect(),
+            hashes: sel.iter().map(|p| pkt.hashes[p]).collect(),
+        };
+        set.send(si, sub)?;
+    }
+    Ok(())
 }
 
 /// Resolve every live lane to a group id in `scratch.gidx`, creating
@@ -546,13 +788,7 @@ fn resolve_groups(
     // Vectorized pass: find existing groups for all lanes at once.
     // `gather_matching` skips hash-mismatching chain entries inline, so
     // every active lane holds a candidate needing only key confirmation.
-    table.gather_matching(
-        &s.hashes,
-        &s.live,
-        &mut s.cand,
-        &mut s.active,
-        &mut chain_steps,
-    );
+    table.gather_matching(&s.hashes, &s.live, &mut s.cand, &mut s.active, &mut chain_steps);
     while !s.active.is_empty() {
         hashtable::keys_match_sel(
             keys,
@@ -602,9 +838,7 @@ fn insert_misses(
             continue;
         }
         let h = if from_buf { s.buf.lane_hash(p) } else { s.hashes[p] };
-        let found = table.find_chain(h, |row| {
-            keys_equal_row(keys, p, group_keys, row as usize)
-        });
+        let found = table.find_chain(h, |row| keys_equal_row(keys, p, group_keys, row as usize));
         let g = match found {
             Some(row) => row,
             None => {
@@ -628,12 +862,10 @@ fn insert_misses(
 /// Scalar key comparison for the new-group insert path (grouping
 /// semantics: NULL equals NULL).
 fn keys_equal_row(probe: &[&Vector], p: usize, stored: &[Vector], row: usize) -> bool {
-    probe.iter().zip(stored).all(|(pk, sk)| {
-        match (pk.is_null(p), sk.is_null(row)) {
-            (true, true) => true,
-            (false, false) => pk.data.get_value(p) == sk.data.get_value(row),
-            _ => false,
-        }
+    probe.iter().zip(stored).all(|(pk, sk)| match (pk.is_null(p), sk.is_null(row)) {
+        (true, true) => true,
+        (false, false) => pk.data.get_value(p) == sk.data.get_value(row),
+        _ => false,
     })
 }
 
@@ -655,19 +887,29 @@ impl Operator for HashAggregate {
         if !self.built {
             self.build()?;
         }
-        if self.emit_pos >= self.n_groups {
-            return Ok(None);
-        }
+        // Emit the shards in partition order (serial builds hold one),
+        // slicing each shard's contiguous key columns and accumulators
+        // into vector-sized batches.
+        let shard = loop {
+            let Some(shard) = self.out_shards.get(self.emit_shard) else {
+                return Ok(None);
+            };
+            if self.emit_pos < shard.n_groups {
+                break shard;
+            }
+            self.emit_shard += 1;
+            self.emit_pos = 0;
+        };
         let t0 = Instant::now();
-        let end = (self.emit_pos + self.vector_size).min(self.n_groups);
+        let end = (self.emit_pos + self.vector_size).min(shard.n_groups);
         let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
-        for gk in &self.group_keys {
+        for gk in &shard.group_keys {
             // Slice the contiguous key column — no per-value Value boxing.
             let mut v = Vector::new(ColData::with_capacity(gk.type_id(), end - self.emit_pos));
             v.extend_range(gk, self.emit_pos, end);
             columns.push(v);
         }
-        for (spec, st) in self.aggs.iter().zip(&self.states) {
+        for (spec, st) in self.aggs.iter().zip(&shard.states) {
             columns.push(st.finish_range(self.emit_pos, end, spec.out_ty)?);
         }
         let rows = end - self.emit_pos;
@@ -681,16 +923,13 @@ impl Operator for HashAggregate {
 mod tests {
     use super::*;
     use crate::expr::{ExprCtx, PhysExpr};
-    use crate::op::simple::Values;
     use crate::op::drain;
+    use crate::op::simple::Values;
     use vw_common::{Field, Value};
 
     fn schema2() -> Schema {
-        Schema::new(vec![
-            Field::nullable("k", TypeId::Str),
-            Field::nullable("v", TypeId::I64),
-        ])
-        .unwrap()
+        Schema::new(vec![Field::nullable("k", TypeId::Str), Field::nullable("v", TypeId::I64)])
+            .unwrap()
     }
 
     fn source(rows: Vec<(Option<&str>, Option<i64>)>) -> BoxedOp {
@@ -706,17 +945,9 @@ mod tests {
         Box::new(Values::new(schema2(), rows, 3, CancelToken::new()))
     }
 
-    fn agg(
-        src: BoxedOp,
-        group: bool,
-        specs: Vec<AggSpec>,
-        out: Vec<Field>,
-    ) -> HashAggregate {
+    fn agg(src: BoxedOp, group: bool, specs: Vec<AggSpec>, out: Vec<Field>) -> HashAggregate {
         let group_exprs = if group {
-            vec![ExprProgram::compile(
-                &PhysExpr::ColRef(0, TypeId::Str),
-                &ExprCtx::default(),
-            )]
+            vec![ExprProgram::compile(&PhysExpr::ColRef(0, TypeId::Str), &ExprCtx::default())]
         } else {
             vec![]
         };
@@ -732,10 +963,7 @@ mod tests {
     }
 
     fn col_v() -> Option<ExprProgram> {
-        Some(ExprProgram::compile(
-            &PhysExpr::ColRef(1, TypeId::I64),
-            &ExprCtx::default(),
-        ))
+        Some(ExprProgram::compile(&PhysExpr::ColRef(1, TypeId::I64), &ExprCtx::default()))
     }
 
     #[test]
@@ -766,8 +994,14 @@ mod tests {
         assert_eq!(out.rows(), 2);
         let mut rows: Vec<Vec<Value>> = (0..2).map(|i| out.row_values(i)).collect();
         rows.sort_by_key(|r| r[0].to_string());
-        assert_eq!(rows[0], vec![Value::Str("a".into()), Value::I64(6), Value::I64(3), Value::I64(3)]);
-        assert_eq!(rows[1], vec![Value::Str("b".into()), Value::I64(10), Value::I64(1), Value::I64(2)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Str("a".into()), Value::I64(6), Value::I64(3), Value::I64(3)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::Str("b".into()), Value::I64(10), Value::I64(1), Value::I64(2)]
+        );
     }
 
     #[test]
@@ -777,17 +1011,11 @@ mod tests {
             src,
             true,
             vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
-            vec![
-                Field::nullable("k", TypeId::Str),
-                Field::nullable("sum", TypeId::I64),
-            ],
+            vec![Field::nullable("k", TypeId::Str), Field::nullable("sum", TypeId::I64)],
         );
         let out = drain(&mut op).unwrap();
         assert_eq!(out.rows(), 2);
-        let null_group = (0..2)
-            .map(|i| out.row_values(i))
-            .find(|r| r[0].is_null())
-            .unwrap();
+        let null_group = (0..2).map(|i| out.row_values(i)).find(|r| r[0].is_null()).unwrap();
         assert_eq!(null_group[1], Value::I64(3));
     }
 
@@ -800,10 +1028,7 @@ mod tests {
             src,
             true,
             vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
-            vec![
-                Field::nullable("k", TypeId::Str),
-                Field::nullable("sum", TypeId::I64),
-            ],
+            vec![Field::nullable("k", TypeId::Str), Field::nullable("sum", TypeId::I64)],
         );
         let out = drain(&mut op).unwrap();
         assert_eq!(out.rows(), 2);
@@ -834,10 +1059,7 @@ mod tests {
         );
         let out = drain(&mut op).unwrap();
         assert_eq!(out.rows(), 1);
-        assert_eq!(
-            out.row_values(0),
-            vec![Value::I64(0), Value::Null, Value::Null]
-        );
+        assert_eq!(out.row_values(0), vec![Value::I64(0), Value::Null, Value::Null]);
     }
 
     #[test]
@@ -866,12 +1088,7 @@ mod tests {
         let out = drain(&mut op).unwrap();
         assert_eq!(
             out.row_values(0),
-            vec![
-                Value::Str("g".into()),
-                Value::I64(-3),
-                Value::I64(10),
-                Value::F64(4.0)
-            ]
+            vec![Value::Str("g".into()), Value::I64(-3), Value::I64(10), Value::F64(4.0)]
         );
     }
 
@@ -892,10 +1109,7 @@ mod tests {
             ],
         );
         let out = drain(&mut op).unwrap();
-        assert_eq!(
-            out.row_values(0),
-            vec![Value::Str("g".into()), Value::Null, Value::Null]
-        );
+        assert_eq!(out.row_values(0), vec![Value::Str("g".into()), Value::Null, Value::Null]);
     }
 
     #[test]
@@ -905,10 +1119,7 @@ mod tests {
             src,
             true,
             vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
-            vec![
-                Field::nullable("k", TypeId::Str),
-                Field::nullable("sum", TypeId::I64),
-            ],
+            vec![Field::nullable("k", TypeId::Str), Field::nullable("sum", TypeId::I64)],
         );
         assert!(matches!(op.next(), Err(VwError::Overflow(_))));
     }
@@ -927,10 +1138,7 @@ mod tests {
             src,
             true,
             vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
-            vec![
-                Field::nullable("k", TypeId::Str),
-                Field::nullable("sum", TypeId::I64),
-            ],
+            vec![Field::nullable("k", TypeId::Str), Field::nullable("sum", TypeId::I64)],
         );
         let out = drain(&mut op).unwrap();
         assert_eq!(out.rows(), 2);
@@ -953,10 +1161,7 @@ mod tests {
             src,
             true,
             vec![AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
-            vec![
-                Field::nullable("k", TypeId::Str),
-                Field::not_null("c", TypeId::I64),
-            ],
+            vec![Field::nullable("k", TypeId::Str), Field::not_null("c", TypeId::I64)],
         );
         let _ = drain(&mut op).unwrap();
         let p = Operator::profile(&op).unwrap();
@@ -965,20 +1170,107 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_build_matches_serial() {
+        // NULL keys, NULL inputs, every aggregate kind; min_rows = 0
+        // engages the shard workers from the first batch.
+        let rows: Vec<(Option<&str>, Option<i64>)> = vec![
+            (Some("a"), Some(1)),
+            (Some("b"), Some(10)),
+            (None, Some(7)),
+            (Some("a"), Some(2)),
+            (Some("b"), None),
+            (None, Some(3)),
+            (Some("c"), Some(-5)),
+            (Some("a"), Some(3)),
+        ];
+        let specs = || {
+            vec![
+                AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Count, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Min, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: col_v(), out_ty: TypeId::F64 },
+            ]
+        };
+        let fields = || {
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::not_null("cnt", TypeId::I64),
+                Field::not_null("cntv", TypeId::I64),
+                Field::nullable("sum", TypeId::I64),
+                Field::nullable("min", TypeId::I64),
+                Field::nullable("max", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+            ]
+        };
+        let sort = |out: &Batch| {
+            let mut v: Vec<Vec<Value>> = (0..out.rows()).map(|i| out.row_values(i)).collect();
+            v.sort_by_key(|r| format!("{r:?}"));
+            v
+        };
+        let mut serial = agg(source(rows.clone()), true, specs(), fields());
+        let expect = sort(&drain(&mut serial).unwrap());
+        for shards in [2usize, 4, 8] {
+            let mut par =
+                agg(source(rows.clone()), true, specs(), fields()).with_parallel_build(shards, 0);
+            let got = sort(&drain(&mut par).unwrap());
+            assert_eq!(got, expect, "partitioned GROUP BY diverged at {shards} shards");
+            let p = Operator::profile(&par).unwrap();
+            assert_eq!(p.shards(), shards);
+            let groups: u64 = p.shard_build_rows.iter().sum();
+            assert_eq!(groups, 4, "a, b, c and the NULL group");
+            assert_eq!(p.probe_rows, 8, "every input row probed (via shard counters)");
+        }
+    }
+
+    #[test]
+    fn partitioned_below_gate_folds_inline_without_threads() {
+        let rows = vec![(Some("a"), Some(1)), (Some("b"), Some(2)), (Some("a"), Some(3))];
+        let mut op = agg(
+            source(rows),
+            true,
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
+            vec![Field::nullable("k", TypeId::Str), Field::nullable("sum", TypeId::I64)],
+        )
+        .with_parallel_build(4, 1_000_000);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        let p = Operator::profile(&op).unwrap();
+        assert_eq!(p.shards(), 0, "gate keeps tiny builds serial");
+        assert_eq!(p.probe_rows, 3, "inline fold still counts probes");
+    }
+
+    #[test]
+    fn global_aggregate_ignores_parallel_build() {
+        let src = source(vec![(Some("x"), Some(4)), (Some("y"), Some(6))]);
+        let mut op = agg(
+            src,
+            false,
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
+            vec![Field::nullable("sum", TypeId::I64)],
+        )
+        .with_parallel_build(4, 0);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row_values(0)[0], Value::I64(10));
+        assert_eq!(Operator::profile(&op).unwrap().shards(), 0);
+    }
+
+    #[test]
     fn many_groups_stream_in_vector_sized_batches() {
         let rows: Vec<(Option<String>, Option<i64>)> =
             (0..5000).map(|i| (Some(format!("k{}", i % 2500)), Some(1))).collect();
         let rows = rows
             .into_iter()
-            .map(|(k, v)| vec![k.map_or(Value::Null, Value::Str), v.map_or(Value::Null, Value::I64)])
+            .map(|(k, v)| {
+                vec![k.map_or(Value::Null, Value::Str), v.map_or(Value::Null, Value::I64)]
+            })
             .collect();
         let src: BoxedOp = Box::new(Values::new(schema2(), rows, 512, CancelToken::new()));
         let mut op = HashAggregate::new(
             src,
-            vec![ExprProgram::compile(
-                &PhysExpr::ColRef(0, TypeId::Str),
-                &ExprCtx::default(),
-            )],
+            vec![ExprProgram::compile(&PhysExpr::ColRef(0, TypeId::Str), &ExprCtx::default())],
             vec![AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
             Schema::unchecked(vec![
                 Field::nullable("k", TypeId::Str),

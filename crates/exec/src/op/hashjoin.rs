@@ -9,6 +9,17 @@
 //! probe scratch is reused across batches, so the steady-state loop
 //! allocates nothing.
 //!
+//! With [`HashJoin::with_parallel_build`] the build side radix-partitions
+//! across worker threads: build input stages until the cost gate
+//! (`min_rows`) proves the build is big enough, then every batch's key
+//! hashes are split by their top radix bits and scattered to `P` private
+//! [`FlatTable`] shards, each inserted and `finalize()`d on its own thread
+//! (see [`crate::partition`]). Probes hash once, split by the same radix
+//! bits into reused per-partition `SelVec`s, and run the ordinary fused
+//! kernels shard-wise — each against a table `P`× smaller. Shard-local
+//! build row ids are rebased onto the concatenated global build columns,
+//! so output assembly is identical to the serial path.
+//!
 //! Supports inner, left outer, left semi, left anti, and the **NULL-aware
 //! left anti join** that gives `NOT IN` its treacherous SQL semantics — the
 //! paper singles out exactly this: "intricacies of the SQL semantics of
@@ -23,9 +34,10 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
-use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
 use crate::profile::OpProfile;
+use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, VwError};
@@ -92,6 +104,56 @@ struct ProbeScratch {
     refs: Vec<VecRef>,
 }
 
+/// One radix partition's build side: the shard's key/payload rows and
+/// staged hashes, bulk-built into a private finalized table at the end.
+struct JoinShard {
+    keys: Vec<Vector>,
+    cols: Vec<Vector>,
+    hashes: Vec<u64>,
+    table: FlatTable,
+}
+
+/// Gathered build rows for one (batch, shard) pair, scattered by radix.
+struct JoinPacket {
+    keys: Vec<Vector>,
+    cols: Vec<Vector>,
+    hashes: Vec<u64>,
+}
+
+impl ShardWorker for JoinShard {
+    type Packet = JoinPacket;
+    type Output = JoinShard;
+
+    fn absorb(&mut self, pkt: JoinPacket) -> Result<()> {
+        for (dst, src) in self.keys.iter_mut().zip(&pkt.keys) {
+            dst.extend_range(src, 0, src.len());
+        }
+        for (dst, src) in self.cols.iter_mut().zip(&pkt.cols) {
+            dst.extend_range(src, 0, src.len());
+        }
+        self.hashes.extend_from_slice(&pkt.hashes);
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<JoinShard> {
+        // Bulk CSR construction — the expensive random-access build phase
+        // — runs P-wise in parallel on the workers, each over a table P×
+        // smaller (and that much more cache-resident).
+        self.table = FlatTable::build_csr(&self.hashes);
+        self.hashes = Vec::new();
+        Ok(self)
+    }
+}
+
+/// Partitioned build state after the workers are joined: one finalized
+/// table per radix shard plus each shard's base offset into the global
+/// (shard-order concatenated) build columns.
+struct ShardedJoin {
+    router: RadixRouter,
+    tables: Vec<FlatTable>,
+    bases: Vec<u32>,
+}
+
 /// Hash join operator (right side = build, left side = probe).
 pub struct HashJoin {
     left: BoxedOp,
@@ -102,10 +164,21 @@ pub struct HashJoin {
     schema: Schema,
     pool: VectorPool,
     cancel: CancelToken,
-    // Build state: contiguous columns indexed by the table's row ids.
+    // Build state: contiguous columns indexed by the table's row ids
+    // (global ids — shard rows are concatenated in shard order).
     build_cols: Vec<Vector>,
     build_keys: Vec<Vector>,
     table: FlatTable,
+    /// Partitioned build state (None = serial single-table build).
+    sharded: Option<ShardedJoin>,
+    /// Radix partitions for the parallel build (1 = serial).
+    par_shards: usize,
+    /// Staged build rows below which the build stays serial (the exec-side
+    /// cost gate: thread spawn + scatter only pay off past this point).
+    par_min_rows: usize,
+    /// Hashes of staged build rows (insert is deferred until the serial /
+    /// partitioned decision is made).
+    staged_hashes: Vec<u64>,
     build_has_null_key: bool,
     built: bool,
     scratch: ProbeScratch,
@@ -139,6 +212,10 @@ impl HashJoin {
             build_cols: Vec::new(),
             build_keys: Vec::new(),
             table: FlatTable::new(),
+            sharded: None,
+            par_shards: 1,
+            par_min_rows: DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+            staged_hashes: Vec::new(),
             build_has_null_key: false,
             built: false,
             scratch: ProbeScratch::default(),
@@ -146,19 +223,24 @@ impl HashJoin {
         }
     }
 
+    /// Enable the radix-partitioned parallel build: `shards` worker threads
+    /// (rounded up to a power of two), engaged once at least `min_rows`
+    /// build rows are staged. `shards <= 1` keeps the serial build.
+    pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashJoin {
+        self.par_shards = shards.max(1).next_power_of_two();
+        self.par_min_rows = min_rows;
+        self
+    }
+
     fn build(&mut self) -> Result<()> {
         let mut right = self.right.take().expect("build once");
-        self.build_cols = right
-            .schema()
-            .fields
-            .iter()
-            .map(|f| Vector::new(ColData::new(f.ty)))
-            .collect();
-        self.build_keys = self
-            .right_keys
-            .iter()
-            .map(|e| Vector::new(ColData::new(e.type_id())))
-            .collect();
+        self.build_cols =
+            right.schema().fields.iter().map(|f| Vector::new(ColData::new(f.ty))).collect();
+        self.build_keys =
+            self.right_keys.iter().map(|e| Vector::new(ColData::new(e.type_id()))).collect();
+        // Partitioned-build machinery, spawned lazily once the staged row
+        // count clears the cost gate.
+        let mut workers: Option<(RadixRouter, ShardSet<JoinShard>)> = None;
         while let Some(batch) = right.next()? {
             self.cancel.check()?;
             // Run the compiled key programs; results live in the pool
@@ -178,31 +260,132 @@ impl HashJoin {
                 }
                 // NULL keys never match any probe: drop them at build time and
                 // remember they existed (NULL-aware anti join needs to know).
-                s.live
-                    .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+                s.live.retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
                 if s.nonnull.len() != s.live.len() {
                     self.build_has_null_key = true;
                 }
                 if !s.nonnull.is_empty() {
-                    for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
-                        dst.extend_gather_sel(src, &s.nonnull);
+                    hashtable::hash_keys(
+                        &keys,
+                        batch.capacity(),
+                        false,
+                        &mut s.lanes,
+                        &mut s.hashes,
+                    );
+                    match &mut workers {
+                        // Serial / pre-gate: stage rows densely (insert is
+                        // deferred until the build size is known).
+                        None => {
+                            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                                dst.extend_gather_sel(src, &s.nonnull);
+                            }
+                            for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
+                                dst.extend_gather_sel(src, &s.nonnull);
+                            }
+                            self.staged_hashes.extend(s.nonnull.iter().map(|p| s.hashes[p]));
+                        }
+                        // Partitioned: radix-scatter this batch to the shard
+                        // workers.
+                        Some((router, set)) => {
+                            router.split(&s.hashes, Some(&s.nonnull), batch.capacity());
+                            for si in 0..router.partitions() {
+                                let sel = router.shard_sel(si);
+                                if sel.is_empty() {
+                                    continue;
+                                }
+                                let pkt = JoinPacket {
+                                    keys: keys.iter().map(|v| v.gather(sel)).collect(),
+                                    cols: batch.columns.iter().map(|v| v.gather(sel)).collect(),
+                                    hashes: sel.iter().map(|p| s.hashes[p]).collect(),
+                                };
+                                set.send(si, pkt)?;
+                            }
+                        }
                     }
-                    for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
-                        dst.extend_gather_sel(src, &s.nonnull);
-                    }
-                    hashtable::hash_keys(&keys, batch.capacity(), false, &mut s.lanes, &mut s.hashes);
-                    self.table.insert_batch(&s.hashes, Some(&s.nonnull));
                 }
             }
             self.pool.recycle();
+            if workers.is_none()
+                && self.par_shards > 1
+                && self.staged_hashes.len() >= self.par_min_rows
+            {
+                workers = Some(self.spawn_build_shards()?);
+            }
         }
         let (runs, instrs) = self.pool.take_counters();
         self.profile.record_expr(runs, instrs);
-        // Build is complete: convert the chains into the bucket-grouped
-        // contiguous (CSR) layout so every probe is a short sequential scan.
-        self.table.finalize();
+        match workers {
+            // Below the gate (or serial): one table bulk-built over the
+            // staged rows in the bucket-grouped contiguous (CSR) layout,
+            // so every probe is a short sequential scan. Staging the whole
+            // build first lets even the serial path skip the chain-insert
+            // phase and its incremental directory doublings.
+            None => self.table = FlatTable::build_csr(&self.staged_hashes),
+            // Partitioned: join the workers, then concatenate the shard
+            // rows into the global build columns (shard order) so output
+            // assembly stays identical to the serial path.
+            Some((router, set)) => {
+                let shards = set.finish()?;
+                let mut tables = Vec::with_capacity(shards.len());
+                let mut bases = Vec::with_capacity(shards.len());
+                let mut base: u64 = 0;
+                for (si, shard) in shards.into_iter().enumerate() {
+                    self.profile.record_shard_build(si, shard.table.len() as u64);
+                    bases.push(base as u32);
+                    base += shard.table.len() as u64;
+                    assert!(base < u32::MAX as u64, "join build exceeds u32 rows");
+                    for (dst, src) in self.build_keys.iter_mut().zip(&shard.keys) {
+                        dst.extend_range(src, 0, src.len());
+                    }
+                    for (dst, src) in self.build_cols.iter_mut().zip(&shard.cols) {
+                        dst.extend_range(src, 0, src.len());
+                    }
+                    tables.push(shard.table);
+                }
+                self.sharded = Some(ShardedJoin { router, tables, bases });
+            }
+        }
+        self.staged_hashes = Vec::new();
         self.built = true;
         Ok(())
+    }
+
+    /// Spawn the shard workers and flush the staged rows to them (the
+    /// moment the staged build crosses the cost gate).
+    fn spawn_build_shards(&mut self) -> Result<(RadixRouter, ShardSet<JoinShard>)> {
+        let mut router = RadixRouter::new(self.par_shards);
+        let make_shard = |_: usize| JoinShard {
+            keys: self.build_keys.iter().map(|v| Vector::new(ColData::new(v.type_id()))).collect(),
+            cols: self.build_cols.iter().map(|v| Vector::new(ColData::new(v.type_id()))).collect(),
+            hashes: Vec::new(),
+            table: FlatTable::new(),
+        };
+        let workers: Vec<JoinShard> = (0..router.partitions()).map(make_shard).collect();
+        let mut set = ShardSet::spawn(workers, &self.cancel);
+        let n = self.staged_hashes.len();
+        router.split(&self.staged_hashes, None, n);
+        for si in 0..router.partitions() {
+            let sel = router.shard_sel(si);
+            if sel.is_empty() {
+                continue;
+            }
+            let pkt = JoinPacket {
+                keys: self.build_keys.iter().map(|v| v.gather(sel)).collect(),
+                cols: self.build_cols.iter().map(|v| v.gather(sel)).collect(),
+                hashes: sel.iter().map(|p| self.staged_hashes[p]).collect(),
+            };
+            set.send(si, pkt)?;
+        }
+        // The shards own the staged rows now; the globals are rebuilt from
+        // the shard outputs (in shard order) when the build completes.
+        for v in &mut self.build_keys {
+            *v = Vector::new(ColData::new(v.type_id()));
+        }
+        for v in &mut self.build_cols {
+            *v = Vector::new(ColData::new(v.type_id()));
+        }
+        self.staged_hashes.clear();
+        Ok((router, set))
     }
 
     /// Assemble the output batch from the recorded pairs.
@@ -237,12 +420,18 @@ impl HashJoin {
 ///
 /// A free function over disjoint operator fields: the probe keys are pool
 /// references, so `&mut self` is off the table while they are alive.
+///
+/// With a partitioned build (`sharded`), the batch hashes once, splits by
+/// the build's radix bits into reused per-partition `SelVec`s, and runs the
+/// same kernels shard-wise; emitted build rows are rebased to global ids.
 fn probe_batch(
     table: &FlatTable,
+    sharded: Option<&mut ShardedJoin>,
     build_keys: &[Vector],
     join_type: JoinType,
     scratch: &mut ProbeScratch,
     keys: &[&Vector],
+    profile: &mut OpProfile,
 ) -> u64 {
     let s = scratch;
     let emit_pairs = !join_type.first_match_only();
@@ -255,16 +444,74 @@ fn probe_batch(
         s.matched_flags[p] = false;
     }
     let mut chain_steps = 0u64;
+    if let Some(sh) = sharded {
+        // Partition-wise probe: one hash pass routes every live lane to
+        // its shard; each shard probes its (P× smaller) table with the
+        // ordinary fused kernels over the sub-selection.
+        hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+        let route_sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
+        sh.router.split(&s.hashes, route_sel, n);
+        for (si, shard_table) in sh.tables.iter().enumerate() {
+            let sel = sh.router.shard_sel(si);
+            if sel.is_empty() {
+                continue;
+            }
+            let mut shard_steps = 0u64;
+            probe_one(
+                shard_table,
+                build_keys,
+                s,
+                keys,
+                Some(sel),
+                sh.bases[si],
+                emit_pairs,
+                true,
+                &mut shard_steps,
+            );
+            profile.record_shard_probe(si, sel.len() as u64, shard_steps);
+            chain_steps += shard_steps;
+        }
+        return chain_steps;
+    }
+    probe_one(table, build_keys, s, keys, None, 0, emit_pairs, false, &mut chain_steps);
+    chain_steps
+}
+
+/// Probe one table (the serial table or a radix shard) over one lane set.
+/// `sel = None` derives the selection from `scratch.nonnull` (serial path);
+/// `Some` probes an externally-routed sub-selection. `base` rebases the
+/// table's local build row ids onto the global build columns. `prehashed`
+/// promises `scratch.hashes` already holds this batch's key hashes.
+#[allow(clippy::too_many_arguments)]
+fn probe_one(
+    table: &FlatTable,
+    build_keys: &[Vector],
+    s: &mut ProbeScratch,
+    keys: &[&Vector],
+    sel: Option<&SelVec>,
+    base: u32,
+    emit_pairs: bool,
+    prehashed: bool,
+    chain_steps: &mut u64,
+) {
+    let n = keys.first().map_or(0, |k| k.len());
     // Fast path: single-column keys probe through a fused kernel
     // monomorphized per type — hash, chain walk, and key compare in one
     // pass per lane with no intermediate SelVec rounds or hash buffer.
     // Build-side key columns never hold NULLs (dropped at build), and
-    // NULL probe lanes are outside `nonnull`, so a plain data compare
+    // NULL probe lanes are outside the selection, so a plain data compare
     // is exact. A full selection (no NULLs, dense batch) drops the
     // selection indirection entirely.
     if keys.len() == 1 {
-        let n = keys[0].len();
-        let sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
+        let sel = match sel {
+            Some(sub) => Some(sub),
+            None if s.nonnull.len() == n => None,
+            None => Some(&s.nonnull),
+        };
+        // Shard-local build rows rebase onto the global columns after the
+        // fused pass (only pair emitters record rows).
+        let fixup_from = s.out_build.len();
+        let mut fused_ran = true;
         macro_rules! fused {
             ($pa:expr, $ba:expr, $hash:expr, $eq:expr) => {{
                 let (pa, ba) = ($pa, $ba);
@@ -274,49 +521,63 @@ fn probe_batch(
                     sel,
                     emit_pairs,
                     |p| $hash(&pa[p]),
-                    |p, row| $eq(&pa[p], &ba[row as usize]),
+                    |p, row| $eq(&pa[p], &ba[(base + row) as usize]),
                     &mut s.matched_flags,
                     &mut s.out_probe,
                     &mut s.out_build,
                     &mut s.buf,
-                    &mut chain_steps,
+                    chain_steps,
                 )
             }};
         }
         hashtable::dispatch_typed_keys!(&keys[0].data, &build_keys[0].data, fused, {
-            probe_general(table, build_keys, s, keys, emit_pairs, &mut chain_steps);
+            fused_ran = false;
         });
-        return chain_steps;
+        if fused_ran {
+            if base != 0 {
+                for b in &mut s.out_build[fixup_from..] {
+                    *b += base;
+                }
+            }
+            return;
+        }
     }
-    probe_general(table, build_keys, s, keys, emit_pairs, &mut chain_steps);
-    chain_steps
+    probe_general(table, build_keys, s, keys, sel, base, emit_pairs, prehashed, chain_steps);
 }
 
 /// General vectorized probe: gather hash-matching candidates for all
 /// lanes, then iteratively confirm keys and re-probe the still-active
 /// lanes through `SelVec`s (multi-column or mixed-type keys).
+#[allow(clippy::too_many_arguments)]
 fn probe_general(
     table: &FlatTable,
     build_keys: &[Vector],
     s: &mut ProbeScratch,
     keys: &[&Vector],
+    sel: Option<&SelVec>,
+    base: u32,
     emit_pairs: bool,
+    prehashed: bool,
     chain_steps: &mut u64,
 ) {
     let n = keys.first().map_or(0, |k| k.len());
-    hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+    if !prehashed {
+        hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+    }
+    let start_sel = sel.unwrap_or(&s.nonnull);
     // Every lane in `active` holds a hash-matching candidate; the loop
     // below only confirms keys and re-probes the (rare) hash-collision
     // or multi-match lanes.
-    table.gather_matching(
-        &s.hashes,
-        &s.nonnull,
-        &mut s.cand,
-        &mut s.active,
-        chain_steps,
-    );
+    table.gather_matching(&s.hashes, start_sel, &mut s.cand, &mut s.active, chain_steps);
     while !s.active.is_empty() {
         table.candidate_rows(&s.cand, &s.active, &mut s.rows);
+        if base != 0 {
+            // Rebase shard-local rows to global ids *before* the key
+            // comparison — the build columns are the concatenated shards.
+            for p in s.active.iter() {
+                s.rows[p] += base;
+            }
+        }
         hashtable::keys_match_sel(
             keys,
             build_keys,
@@ -345,13 +606,7 @@ fn probe_general(
             // Existence semantics: matched lanes stop walking.
             let flags = &s.matched_flags;
             s.active.retain_from(|p| !flags[p], &mut s.tmp);
-            table.advance_matching(
-                &s.hashes,
-                &s.tmp,
-                &mut s.cand,
-                &mut s.next_active,
-                chain_steps,
-            );
+            table.advance_matching(&s.hashes, &s.tmp, &mut s.cand, &mut s.next_active, chain_steps);
         }
         std::mem::swap(&mut s.active, &mut s.next_active);
     }
@@ -399,23 +654,26 @@ impl Operator for HashJoin {
                         Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
                         None => s.live.fill_identity(batch.capacity()),
                     }
-                    s.live
-                        .retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
+                    s.live.retain_from(|p| !keys.iter().any(|k| k.is_null(p)), &mut s.nonnull);
                 }
 
                 // NULL-aware anti short-circuits: any build NULL key → nothing
-                // can ever pass; empty build side → everything passes.
+                // can ever pass; empty build side → everything passes. The
+                // global build keys cover serial and sharded builds alike.
+                let build_empty = self.build_keys[0].is_empty();
                 let skip_probe = self.join_type == JoinType::NullAwareLeftAnti
-                    && (self.build_has_null_key || self.table.is_empty());
+                    && (self.build_has_null_key || build_empty);
                 chain_steps = if skip_probe {
                     0
                 } else {
                     probe_batch(
                         &self.table,
+                        self.sharded.as_mut(),
                         &self.build_keys,
                         self.join_type,
                         &mut self.scratch,
                         &keys,
+                        &mut self.profile,
                     )
                 };
                 // Skipped probes contribute nothing to the chain-length
@@ -461,7 +719,7 @@ impl Operator for HashJoin {
                 JoinType::NullAwareLeftAnti => {
                     if self.build_has_null_key {
                         // x NOT IN (..., NULL) is never TRUE: emit nothing.
-                    } else if self.table.is_empty() {
+                    } else if self.build_keys[0].is_empty() {
                         // x NOT IN (empty) is TRUE for all x, NULL included.
                         for p in s.live.iter() {
                             s.out_probe.push(p as u32);
@@ -514,12 +772,7 @@ mod tests {
     fn source(prefix: &str, rows: Vec<(Option<i64>, &str)>) -> BoxedOp {
         let rows = rows
             .into_iter()
-            .map(|(k, v)| {
-                vec![
-                    k.map_or(Value::Null, Value::I64),
-                    Value::Str(v.to_string()),
-                ]
-            })
+            .map(|(k, v)| vec![k.map_or(Value::Null, Value::I64), Value::Str(v.to_string())])
             .collect();
         Box::new(Values::new(schema_kv(prefix), rows, 4, CancelToken::new()))
     }
@@ -535,11 +788,8 @@ mod tests {
     }
 
     fn join(left: BoxedOp, right: BoxedOp, jt: JoinType) -> HashJoin {
-        let schema = if jt.emits_right() {
-            schema_kv("l").join(&schema_kv("r"))
-        } else {
-            schema_kv("l")
-        };
+        let schema =
+            if jt.emits_right() { schema_kv("l").join(&schema_kv("r")) } else { schema_kv("l") };
         HashJoin::new(left, right, key(), key(), jt, schema, CancelToken::new())
     }
 
@@ -601,8 +851,7 @@ mod tests {
         let r = source("r", vec![(Some(1), "x")]);
         let mut j = join(l, r, JoinType::LeftAnti);
         let out = drain(&mut j).unwrap();
-        let mut names: Vec<String> =
-            rows_of(&out).iter().map(|r| r[1].to_string()).collect();
+        let mut names: Vec<String> = rows_of(&out).iter().map(|r| r[1].to_string()).collect();
         names.sort();
         // NOT EXISTS: NULL probe key has no match → emitted.
         assert_eq!(names, vec!["b", "c"]);
@@ -661,16 +910,11 @@ mod tests {
 
     #[test]
     fn multi_column_keys() {
-        let schema = Schema::new(vec![
-            Field::nullable("a", TypeId::I64),
-            Field::nullable("b", TypeId::I64),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Field::nullable("a", TypeId::I64), Field::nullable("b", TypeId::I64)])
+                .unwrap();
         let mk = |rows: Vec<(i64, i64)>| -> BoxedOp {
-            let rows = rows
-                .into_iter()
-                .map(|(a, b)| vec![Value::I64(a), Value::I64(b)])
-                .collect();
+            let rows = rows.into_iter().map(|(a, b)| vec![Value::I64(a), Value::I64(b)]).collect();
             Box::new(Values::new(schema.clone(), rows, 4, CancelToken::new()))
         };
         let keys = || key_cols(&[(0, TypeId::I64), (1, TypeId::I64)]);
@@ -698,6 +942,97 @@ mod tests {
         assert_eq!(p.probe_rows, 3, "three probe keys hashed");
         assert!(p.probe_chain_steps >= 2, "matching lanes walked chains");
         assert!(p.avg_chain_len() > 0.0);
+    }
+
+    #[test]
+    fn partitioned_build_matches_serial_for_every_join_type() {
+        // min_rows = 0 engages the shard workers immediately, so even this
+        // small input exercises scatter, per-shard finalize, rebasing, and
+        // the partition-wise probe split.
+        let rows_l = vec![
+            (Some(1), "a"),
+            (Some(2), "b"),
+            (Some(3), "c"),
+            (None, "d"),
+            (Some(2), "e"),
+            (Some(9), "f"),
+        ];
+        let rows_r =
+            vec![(Some(2), "x"), (Some(3), "y"), (Some(3), "z"), (None, "n"), (Some(7), "w")];
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::LeftSemi,
+            JoinType::LeftAnti,
+            JoinType::NullAwareLeftAnti,
+        ] {
+            let mut serial = join(source("l", rows_l.clone()), source("r", rows_r.clone()), jt);
+            let serial_out = rows_of(&drain(&mut serial).unwrap());
+            for shards in [2usize, 4, 8] {
+                let mut par = join(source("l", rows_l.clone()), source("r", rows_r.clone()), jt)
+                    .with_parallel_build(shards, 0);
+                let par_out = rows_of(&drain(&mut par).unwrap());
+                let sort = |mut v: Vec<Vec<Value>>| {
+                    v.sort_by_key(|r| format!("{r:?}"));
+                    v
+                };
+                assert_eq!(
+                    sort(par_out),
+                    sort(serial_out.clone()),
+                    "{jt:?} diverged at {shards} shards"
+                );
+                let p = Operator::profile(&par).unwrap();
+                assert_eq!(p.shards(), shards, "shard build counters recorded");
+                let built: u64 = p.shard_build_rows.iter().sum();
+                assert_eq!(built, 4, "4 non-NULL build keys sharded");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_stays_serial_below_cost_gate() {
+        let l = source("l", vec![(Some(1), "a"), (Some(2), "b")]);
+        let r = source("r", vec![(Some(1), "x")]);
+        let mut j = join(l, r, JoinType::Inner).with_parallel_build(4, 1_000_000);
+        let out = drain(&mut j).unwrap();
+        assert_eq!(out.rows(), 1);
+        let p = Operator::profile(&j).unwrap();
+        assert_eq!(p.shards(), 0, "gate keeps tiny builds serial");
+    }
+
+    #[test]
+    fn partitioned_large_join_multi_column_keys() {
+        // Multi-column keys force the general (SelVec-iterative) probe
+        // path through the shard rebasing logic; enough rows to cross a
+        // realistic gate mid-build.
+        let schema =
+            Schema::new(vec![Field::nullable("a", TypeId::I64), Field::nullable("b", TypeId::I64)])
+                .unwrap();
+        let mk = |n: i64, stride: i64| -> BoxedOp {
+            let rows =
+                (0..n).map(|i| vec![Value::I64(i % 97), Value::I64((i * stride) % 13)]).collect();
+            Box::new(Values::new(schema.clone(), rows, 256, CancelToken::new()))
+        };
+        let keys = || key_cols(&[(0, TypeId::I64), (1, TypeId::I64)]);
+        let run = |par: bool| -> Vec<Vec<Value>> {
+            let mut j = HashJoin::new(
+                mk(3000, 3),
+                mk(2000, 5),
+                keys(),
+                keys(),
+                JoinType::Inner,
+                schema.join(&schema),
+                CancelToken::new(),
+            );
+            if par {
+                j = j.with_parallel_build(4, 512);
+            }
+            let out = drain(&mut j).unwrap();
+            let mut rows = rows_of(&out);
+            rows.sort_by_key(|r| format!("{r:?}"));
+            rows
+        };
+        assert_eq!(run(true), run(false), "partitioned multi-column join diverged");
     }
 
     #[test]

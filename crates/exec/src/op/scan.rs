@@ -159,9 +159,7 @@ impl Operator for VectorScan {
                     let remaining = (len - self.item_off) as usize;
                     let (pack_idx, off) = self.pack_of_sid(sid0)?;
                     let pack_rows = self.table.pack_meta(pack_idx).n_rows;
-                    let take = remaining
-                        .min(pack_rows - off)
-                        .min(self.vector_size - filled);
+                    let take = remaining.min(pack_rows - off).min(self.vector_size - filled);
                     self.emit_stable(sid0, take, &mut out)?;
                     filled += take;
                     self.item_off += take as u64;
@@ -174,9 +172,7 @@ impl Operator for VectorScan {
                     self.emit_stable(sid, 1, &mut out)?;
                     let pos = filled;
                     for (col, val) in mods.iter() {
-                        if let Some(slot) =
-                            self.columns.iter().position(|c| c == col)
-                        {
+                        if let Some(slot) = self.columns.iter().position(|c| c == col) {
                             out[slot].set(pos, val)?;
                         }
                     }
@@ -386,14 +382,8 @@ mod tests {
     fn cancellation_aborts_scan() {
         let (t, pool) = setup(100, 10);
         let cancel = CancelToken::new();
-        let mut s = VectorScan::new(
-            t,
-            pool,
-            vec![0],
-            VectorScan::stable_items(100),
-            16,
-            cancel.clone(),
-        );
+        let mut s =
+            VectorScan::new(t, pool, vec![0], VectorScan::stable_items(100), 16, cancel.clone());
         s.next().unwrap();
         cancel.cancel();
         assert!(matches!(s.next(), Err(VwError::Cancelled)));

@@ -19,7 +19,12 @@ pub struct Values {
 
 impl Values {
     /// Source yielding `rows` with the given schema.
-    pub fn new(schema: Schema, rows: Vec<Vec<Value>>, vector_size: usize, cancel: CancelToken) -> Values {
+    pub fn new(
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+        vector_size: usize,
+        cancel: CancelToken,
+    ) -> Values {
         Values { schema, rows, pos: 0, vector_size, cancel }
     }
 }
@@ -302,9 +307,8 @@ mod tests {
     #[test]
     fn values_batches_by_vector_size() {
         let mut op = int_source((0..10).collect(), 4);
-        let sizes: Vec<usize> = std::iter::from_fn(|| op.next().unwrap())
-            .map(|b| b.rows())
-            .collect();
+        let sizes: Vec<usize> =
+            std::iter::from_fn(|| op.next().unwrap()).map(|b| b.rows()).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
     }
 

@@ -70,7 +70,12 @@ pub struct Sort {
 
 impl Sort {
     /// Sort `input` by `keys`.
-    pub fn new(input: BoxedOp, keys: Vec<SortKey>, vector_size: usize, cancel: CancelToken) -> Sort {
+    pub fn new(
+        input: BoxedOp,
+        keys: Vec<SortKey>,
+        vector_size: usize,
+        cancel: CancelToken,
+    ) -> Sort {
         let schema = input.schema().clone();
         Sort { input: Some(input), keys, schema, vector_size, cancel, sorted: None, emit: 0 }
     }
@@ -148,16 +153,7 @@ impl TopN {
         cancel: CancelToken,
     ) -> TopN {
         let schema = input.schema().clone();
-        TopN {
-            input: Some(input),
-            keys,
-            limit,
-            schema,
-            cancel,
-            result: None,
-            emit: 0,
-            vector_size,
-        }
+        TopN { input: Some(input), keys, limit, schema, cancel, result: None, emit: 0, vector_size }
     }
 
     fn cmp_value_rows(keys: &[SortKey], a: &[Value], b: &[Value]) -> Ordering {
@@ -215,8 +211,7 @@ impl TopN {
                         .unwrap_or_else(|e| e);
                     buf.insert(at, std::mem::take(&mut row));
                 } else if self.limit > 0
-                    && Self::cmp_value_rows(&self.keys, &row, buf.last().unwrap())
-                        == Ordering::Less
+                    && Self::cmp_value_rows(&self.keys, &row, buf.last().unwrap()) == Ordering::Less
                 {
                     let at = buf
                         .binary_search_by(|r| Self::cmp_value_rows(&self.keys, r, &row))
@@ -291,11 +286,8 @@ mod tests {
     use vw_common::{Field, TypeId};
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Field::nullable("a", TypeId::I64),
-            Field::nullable("b", TypeId::Str),
-        ])
-        .unwrap()
+        Schema::new(vec![Field::nullable("a", TypeId::I64), Field::nullable("b", TypeId::Str)])
+            .unwrap()
     }
 
     fn source(rows: Vec<(Option<i64>, &str)>) -> BoxedOp {
@@ -338,17 +330,9 @@ mod tests {
 
     #[test]
     fn multi_key_sort() {
-        let src = source(vec![
-            (Some(1), "z"),
-            (Some(1), "a"),
-            (Some(0), "m"),
-        ]);
-        let mut s = Sort::new(
-            src,
-            vec![key(0, true, false), key(1, true, false)],
-            10,
-            CancelToken::new(),
-        );
+        let src = source(vec![(Some(1), "z"), (Some(1), "a"), (Some(0), "m")]);
+        let mut s =
+            Sort::new(src, vec![key(0, true, false), key(1, true, false)], 10, CancelToken::new());
         let out = drain(&mut s).unwrap();
         assert_eq!(out.row_values(0)[1], Value::Str("m".into()));
         assert_eq!(out.row_values(1)[1], Value::Str("a".into()));
@@ -374,7 +358,8 @@ mod tests {
 
     #[test]
     fn topn_keeps_best() {
-        let rows: Vec<(Option<i64>, &str)> = (0..100).map(|i| (Some((i * 37) % 100), "x")).collect();
+        let rows: Vec<(Option<i64>, &str)> =
+            (0..100).map(|i| (Some((i * 37) % 100), "x")).collect();
         let src = source(rows);
         let mut t = TopN::new(src, vec![key(0, true, false)], 5, 10, CancelToken::new());
         let out = drain(&mut t).unwrap();

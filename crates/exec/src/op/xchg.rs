@@ -10,8 +10,10 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
+use crate::partition::panic_error;
 use crate::vector::Batch;
 use crossbeam::channel::{bounded, Receiver};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use vw_common::{Result, Schema, VwError};
 
@@ -42,25 +44,33 @@ impl Xchg {
             let tx = tx.clone();
             let query_cancel = query_cancel.clone();
             let local_cancel = local_cancel.clone();
-            workers.push(std::thread::spawn(move || loop {
-                if local_cancel.is_cancelled() {
-                    break; // silent: the consumer initiated shutdown
-                }
-                if query_cancel.is_cancelled() {
-                    let _ = tx.send(Err(VwError::Cancelled));
-                    break;
-                }
-                match part.next() {
-                    Ok(Some(batch)) => {
-                        if tx.send(Ok(batch)).is_err() {
-                            break; // consumer dropped
-                        }
+            workers.push(std::thread::spawn(move || {
+                // catch_unwind: a panicking partition operator must surface
+                // as an error on the channel, not silently drop the sender
+                // and strand the consumer with a truncated stream.
+                let unwound = catch_unwind(AssertUnwindSafe(|| loop {
+                    if local_cancel.is_cancelled() {
+                        break; // silent: the consumer initiated shutdown
                     }
-                    Ok(None) => break,
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
+                    if query_cancel.is_cancelled() {
+                        let _ = tx.send(Err(VwError::Cancelled));
                         break;
                     }
+                    match part.next() {
+                        Ok(Some(batch)) => {
+                            if tx.send(Ok(batch)).is_err() {
+                                break; // consumer dropped
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            break;
+                        }
+                    }
+                }));
+                if let Err(payload) = unwound {
+                    let _ = tx.send(Err(panic_error("Xchg partition", payload)));
                 }
             }));
         }
@@ -207,6 +217,52 @@ mod tests {
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        // Regression: a panic inside a worker used to just drop the sender,
+        // ending the stream early with no error at the consumer.
+        struct Panicking {
+            schema: Schema,
+            served: usize,
+        }
+        impl Operator for Panicking {
+            fn schema(&self) -> &Schema {
+                &self.schema
+            }
+            fn name(&self) -> &'static str {
+                "Panicking"
+            }
+            fn next(&mut self) -> Result<Option<Batch>> {
+                if self.served >= 2 {
+                    panic!("worker exploded mid-stream");
+                }
+                self.served += 1;
+                let col = crate::vector::Vector::new(vw_common::ColData::I64(vec![1, 2]));
+                Ok(Some(Batch::new(vec![col])))
+            }
+        }
+        let schema = Schema::new(vec![Field::not_null("v", TypeId::I64)]).unwrap();
+        let parts: Vec<BoxedOp> =
+            vec![Box::new(Panicking { schema, served: 0 }), part(0..64, None)];
+        let mut x = Xchg::spawn(parts, CancelToken::new());
+        let mut saw_panic_error = false;
+        loop {
+            match x.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(VwError::Exec(msg)) => {
+                    assert!(msg.contains("panicked"), "{msg}");
+                    assert!(msg.contains("worker exploded"), "{msg}");
+                    saw_panic_error = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_panic_error, "panic must surface as VwError::Exec");
+        drop(x); // join must not deadlock after the panic
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Radix partitioning — the parallel-build engine under hash join and hash
+//! aggregation.
+//!
+//! The paper's "when more cores hurts" lesson: naively threading a shared
+//! hash table serializes on cache-line ping-pong exactly where the flat
+//! layout was supposed to win. This module attacks the scaling wall with
+//! the classic radix-partitioned design instead:
+//!
+//! * **Radix split** ([`RadixRouter`]) — every build row's key hash (the
+//!   same `hash_keys` output the table indexes by) is routed by its *top*
+//!   `bits` bits into one of `P = next_pow2(dop)` partitions. The top bits
+//!   are provably independent of the [`FlatTable`](crate::hashtable)
+//!   directory index (low bits) and nearly independent of the 8-bit bloom
+//!   tag (bits 57..60), so each shard's table stays as balanced as the
+//!   unpartitioned one.
+//! * **Shard ownership** — each partition owns a *private* `FlatTable`
+//!   shard plus the contiguous key/payload vectors it indexes, built and
+//!   `finalize()`d on its own worker thread ([`ShardSet`], the same
+//!   bounded-channel/cancel machinery as `op/xchg.rs`). No shard is ever
+//!   touched by two threads, so there is no synchronization on the hot
+//!   path — the only cross-thread traffic is handing over gathered row
+//!   packets.
+//! * **Partition-wise probe** — probes are *not* merged back into one
+//!   table. A probe batch is hashed once, split by the same radix bits
+//!   into per-partition [`SelVec`]s (reused scratch — the steady-state
+//!   probe loop stays allocation-free), and each sub-selection runs the
+//!   ordinary fused per-shard probe kernel against a table `P`× smaller
+//!   (and that much more cache-resident) than the monolithic one.
+//!
+//! Worker bodies run under `catch_unwind`: a panic inside a shard (or an
+//! `Xchg` partition) becomes a [`VwError`] on the consumer side instead of
+//! a silently dropped channel.
+
+use crate::cancel::CancelToken;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use vw_common::{Result, SelVec, VwError};
+
+/// Default staged-row cost gate: a parallel-capable hash build stays
+/// serial until this many build rows are staged (thread spawn + scatter
+/// overhead only pays off past roughly this point).
+pub const DEFAULT_PARALLEL_BUILD_MIN_ROWS: usize = 8192;
+
+/// Routes hashes to radix partitions and splits probe selections
+/// partition-wise. All scratch (`P` selection vectors) is reused across
+/// batches.
+#[derive(Debug)]
+pub struct RadixRouter {
+    bits: u32,
+    sels: Vec<SelVec>,
+}
+
+impl RadixRouter {
+    /// A router over `next_pow2(partitions)` radix partitions.
+    pub fn new(partitions: usize) -> RadixRouter {
+        let p = partitions.max(1).next_power_of_two();
+        RadixRouter { bits: p.trailing_zeros(), sels: vec![SelVec::new(); p] }
+    }
+
+    /// Number of partitions (a power of two).
+    pub fn partitions(&self) -> usize {
+        self.sels.len()
+    }
+
+    /// The partition owning hash `h` (top `bits` bits — independent of the
+    /// low-bit table directory index).
+    #[inline]
+    pub fn shard_of(&self, h: u64) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (h >> (64 - self.bits)) as usize
+        }
+    }
+
+    /// Split the selected lanes (`sel`, or `0..n` when `None`) by radix
+    /// into per-partition selections — the per-batch radix histogram in
+    /// selection form (each partition's `SelVec` length is its count, and
+    /// the positions double as the scatter order). Each `SelVec` stays
+    /// sorted (lanes are visited in ascending order); the buffers are
+    /// reused, so steady-state splitting allocates nothing once warm.
+    pub fn split(&mut self, hashes: &[u64], sel: Option<&SelVec>, n: usize) -> &[SelVec] {
+        for s in &mut self.sels {
+            s.clear();
+        }
+        if self.bits == 0 {
+            match sel {
+                None => self.sels[0].fill_identity(n),
+                Some(s) => self.sels[0].clear_and_extend_from_slice(s.as_slice()),
+            }
+            return &self.sels;
+        }
+        let shift = 64 - self.bits;
+        match sel {
+            None => {
+                for (p, &h) in hashes.iter().enumerate().take(n) {
+                    self.sels[(h >> shift) as usize].push(p as u32);
+                }
+            }
+            Some(s) => {
+                for p in s.iter() {
+                    self.sels[(hashes[p] >> shift) as usize].push(p as u32);
+                }
+            }
+        }
+        &self.sels
+    }
+
+    /// The per-partition selections filled by the last [`RadixRouter::split`]
+    /// (borrow-friendly accessor for callers that also hold the shards).
+    pub fn shard_sel(&self, shard: usize) -> &SelVec {
+        &self.sels[shard]
+    }
+}
+
+/// One partition's build-side consumer: absorbs gathered row packets on a
+/// worker thread, then finalizes into its output (a built table shard, a
+/// merged aggregation state, ...).
+pub trait ShardWorker: Send + 'static {
+    /// The unit of work scattered to this shard (gathered rows for one
+    /// input batch).
+    type Packet: Send + 'static;
+    /// What the shard hands back when the build input is exhausted.
+    type Output: Send + 'static;
+
+    /// Fold one packet into the shard state.
+    fn absorb(&mut self, pkt: Self::Packet) -> Result<()>;
+
+    /// Input exhausted: finalize and hand the shard back.
+    fn finish(self) -> Result<Self::Output>;
+}
+
+/// A set of shard workers, one thread per partition, fed through bounded
+/// channels (capacity 2 keeps the scatter slightly ahead of the builders
+/// without unbounded buffering) — the `Xchg` worker/channel/cancel design,
+/// pointed at operator-internal build parallelism instead of whole plan
+/// fragments.
+pub struct ShardSet<W: ShardWorker> {
+    txs: Vec<Option<Sender<W::Packet>>>,
+    handles: Vec<Option<JoinHandle<Result<W::Output>>>>,
+}
+
+impl<W: ShardWorker> ShardSet<W> {
+    /// Spawn one worker thread per shard. `cancel` is the query-wide
+    /// token: a cancelled query makes every worker bail out between
+    /// packets with [`VwError::Cancelled`].
+    pub fn spawn(workers: Vec<W>, cancel: &CancelToken) -> ShardSet<W> {
+        let mut txs = Vec::with_capacity(workers.len());
+        let mut handles = Vec::with_capacity(workers.len());
+        for w in workers {
+            let (tx, rx) = bounded::<W::Packet>(2);
+            let cancel = cancel.clone();
+            handles.push(Some(std::thread::spawn(move || run_shard(w, rx, cancel))));
+            txs.push(Some(tx));
+        }
+        ShardSet { txs, handles }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when no shards were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Hand a packet to shard `s` (blocks while the shard's channel is
+    /// full). If the worker died, its error (or panic) is joined and
+    /// surfaced here.
+    pub fn send(&mut self, s: usize, pkt: W::Packet) -> Result<()> {
+        let alive = match &self.txs[s] {
+            Some(tx) => tx.send(pkt).is_ok(),
+            None => false,
+        };
+        if alive {
+            return Ok(());
+        }
+        self.txs[s] = None; // worker gone: join it to learn why
+        match self.handles[s].take() {
+            Some(h) => match h.join() {
+                Ok(Ok(_)) => Err(VwError::Exec("shard worker exited early".into())),
+                Ok(Err(e)) => Err(e),
+                Err(p) => Err(panic_error("hash build shard", p)),
+            },
+            None => Err(VwError::Exec("shard worker already joined".into())),
+        }
+    }
+
+    /// Close all channels, join every worker, and collect the shard
+    /// outputs in partition order. The first worker error (or panic)
+    /// aborts the collection.
+    pub fn finish(mut self) -> Result<Vec<W::Output>> {
+        self.txs.clear(); // senders drop → workers drain and finalize
+        let mut outs = Vec::with_capacity(self.handles.len());
+        let mut first_err = None;
+        for h in &mut self.handles {
+            let Some(h) = h.take() else { continue };
+            match h.join() {
+                Ok(Ok(out)) => outs.push(out),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(p) => {
+                    first_err.get_or_insert(panic_error("hash build shard", p));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
+    }
+}
+
+impl<W: ShardWorker> Drop for ShardSet<W> {
+    fn drop(&mut self) {
+        // Error path: close the channels and join so no worker outlives
+        // the query (their outputs are discarded).
+        self.txs.clear();
+        for h in &mut self.handles {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn run_shard<W: ShardWorker>(
+    mut w: W,
+    rx: Receiver<W::Packet>,
+    cancel: CancelToken,
+) -> Result<W::Output> {
+    // catch_unwind so a worker panic surfaces as an error at the consumer
+    // instead of a silently dropped channel end.
+    catch_unwind(AssertUnwindSafe(move || loop {
+        if cancel.is_cancelled() {
+            return Err(VwError::Cancelled);
+        }
+        match rx.recv() {
+            Ok(pkt) => w.absorb(pkt)?,
+            // Senders dropped: input exhausted (or consumer bailed).
+            Err(_) => return w.finish(),
+        }
+    }))
+    .unwrap_or_else(|p| Err(panic_error("hash build shard", p)))
+}
+
+/// Convert a caught panic payload into a `VwError` naming the worker kind
+/// (shared with the `Xchg` exchange workers).
+pub fn panic_error(what: &str, payload: Box<dyn std::any::Any + Send>) -> VwError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    VwError::Exec(format!("{what} worker panicked: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_common::hash::hash_u64;
+
+    #[test]
+    fn router_splits_cover_all_lanes_disjointly() {
+        let hashes: Vec<u64> = (0..1000u64).map(hash_u64).collect();
+        let mut r = RadixRouter::new(4);
+        assert_eq!(r.partitions(), 4);
+        r.split(&hashes, None, hashes.len());
+        let mut seen = vec![false; hashes.len()];
+        let mut counts = vec![0usize; 4];
+        for (s, count) in counts.iter_mut().enumerate() {
+            let sel = r.shard_sel(s);
+            *count = sel.len();
+            for p in sel.iter() {
+                assert!(!seen[p], "lane routed twice");
+                seen[p] = true;
+                assert_eq!(r.shard_of(hashes[p]), s);
+            }
+            assert!(sel.as_slice().windows(2).all(|w| w[0] < w[1]), "sorted");
+        }
+        assert!(seen.iter().all(|&b| b), "every lane routed");
+        // Reasonable balance: a good hash spreads lanes within 2x of even.
+        assert!(counts.iter().all(|&c| c > 125 && c < 500), "{counts:?}");
+    }
+
+    #[test]
+    fn router_rounds_up_to_power_of_two_and_handles_one() {
+        assert_eq!(RadixRouter::new(3).partitions(), 4);
+        assert_eq!(RadixRouter::new(5).partitions(), 8);
+        let mut r = RadixRouter::new(1);
+        let hashes = vec![7u64, 8, 9];
+        let sels = r.split(&hashes, None, 3);
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn split_respects_selection() {
+        let hashes: Vec<u64> = (0..64u64).map(hash_u64).collect();
+        let sel: SelVec = (0..64u32).filter(|p| p % 3 == 0).collect();
+        let mut r = RadixRouter::new(2);
+        let total: usize = r.split(&hashes, Some(&sel), 64).iter().map(|s| s.len()).sum();
+        assert_eq!(total, sel.len());
+    }
+
+    struct SummingShard {
+        sum: u64,
+        fail_at: Option<u64>,
+        panic_at: Option<u64>,
+    }
+
+    impl ShardWorker for SummingShard {
+        type Packet = Vec<u64>;
+        type Output = u64;
+
+        fn absorb(&mut self, pkt: Vec<u64>) -> Result<()> {
+            for v in pkt {
+                self.sum += v;
+                if self.fail_at.is_some_and(|f| self.sum >= f) {
+                    return Err(VwError::Exec("shard boom".into()));
+                }
+                if self.panic_at.is_some_and(|f| self.sum >= f) {
+                    panic!("shard worker panic at {}", self.sum);
+                }
+            }
+            Ok(())
+        }
+
+        fn finish(self) -> Result<u64> {
+            Ok(self.sum)
+        }
+    }
+
+    fn shard(fail_at: Option<u64>, panic_at: Option<u64>) -> SummingShard {
+        SummingShard { sum: 0, fail_at, panic_at }
+    }
+
+    #[test]
+    fn shard_set_collects_outputs_in_order() {
+        let mut set =
+            ShardSet::spawn(vec![shard(None, None), shard(None, None)], &CancelToken::new());
+        for i in 0..10u64 {
+            set.send((i % 2) as usize, vec![i]).unwrap();
+        }
+        let outs = set.finish().unwrap();
+        assert_eq!(outs, vec![2 + 4 + 6 + 8, 1 + 3 + 5 + 7 + 9]);
+    }
+
+    #[test]
+    fn shard_error_surfaces_to_consumer() {
+        // The worker's error comes back either from the send that found the
+        // channel closed (the operator aborts the build on it) or, if every
+        // send squeaked through first, from finish().
+        let mut set =
+            ShardSet::spawn(vec![shard(None, None), shard(Some(5), None)], &CancelToken::new());
+        let mut err = None;
+        for i in 0..100u64 {
+            if let Err(e) = set.send((i % 2) as usize, vec![i]) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = match err {
+            Some(e) => e,
+            None => set.finish().expect_err("worker error must surface"),
+        };
+        assert!(matches!(err, VwError::Exec(ref m) if m.contains("shard boom")), "{err:?}");
+    }
+
+    #[test]
+    fn shard_panic_becomes_error_not_hang() {
+        let mut set = ShardSet::spawn(vec![shard(None, Some(3))], &CancelToken::new());
+        let mut send_err = None;
+        for i in 0..1000u64 {
+            if let Err(e) = set.send(0, vec![i]) {
+                send_err = Some(e);
+                break;
+            }
+        }
+        let err = match send_err {
+            Some(e) => e,
+            None => set.finish().unwrap_err(),
+        };
+        match err {
+            VwError::Exec(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_workers() {
+        let cancel = CancelToken::new();
+        let mut set = ShardSet::spawn(vec![shard(None, None)], &cancel);
+        set.send(0, vec![1]).unwrap();
+        cancel.cancel();
+        // Workers observe the token between packets; finish must surface
+        // Cancelled (or a clean sum if the worker finished first).
+        match set.finish() {
+            Err(VwError::Cancelled) | Ok(_) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+}

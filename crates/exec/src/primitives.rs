@@ -27,7 +27,12 @@ pub use vw_common::config::CheckMode as ArithCheck;
 
 /// Full binary map: `out[i] = f(a[i], b[i])` for `i in 0..n`.
 #[inline]
-pub fn map_bin_full<T: Copy, U: Copy, R>(a: &[T], b: &[U], out: &mut Vec<R>, mut f: impl FnMut(T, U) -> R) {
+pub fn map_bin_full<T: Copy, U: Copy, R>(
+    a: &[T],
+    b: &[U],
+    out: &mut Vec<R>,
+    mut f: impl FnMut(T, U) -> R,
+) {
     debug_assert_eq!(a.len(), b.len());
     out.clear();
     out.extend(a.iter().zip(b).map(|(&x, &y)| f(x, y)));
@@ -142,7 +147,12 @@ pub fn select_eq_gather_by<T>(
 
 /// Run a predicate against the live positions described by `sel`.
 #[inline]
-pub fn select_by(n: usize, sel: Option<&SelVec>, out: &mut SelVec, mut pred: impl FnMut(usize) -> bool) {
+pub fn select_by(
+    n: usize,
+    sel: Option<&SelVec>,
+    out: &mut SelVec,
+    mut pred: impl FnMut(usize) -> bool,
+) {
     out.clear();
     match sel {
         None => {

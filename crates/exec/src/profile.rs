@@ -36,6 +36,14 @@ pub struct OpProfile {
     /// `expr_instrs / expr_programs` is the program length — a direct view
     /// of how much work compile-time folding and CSE removed.
     pub expr_instrs: u64,
+    /// Build rows owned by each radix partition of a partitioned hash
+    /// build (empty for serial builds). Skew across shards is the
+    /// observable that catches a clustered radix split.
+    pub shard_build_rows: Vec<u64>,
+    /// Keys probed against each shard's table (partition-wise probing).
+    pub shard_probe_rows: Vec<u64>,
+    /// Chain entries visited per shard while probing.
+    pub shard_probe_steps: Vec<u64>,
 }
 
 impl OpProfile {
@@ -77,6 +85,43 @@ impl OpProfile {
         self.expr_instrs += instrs;
     }
 
+    /// Record the final size of one radix partition of a partitioned hash
+    /// build (`shard` indexes the partition; the vectors grow on demand).
+    pub fn record_shard_build(&mut self, shard: usize, rows: u64) {
+        if self.shard_build_rows.len() <= shard {
+            self.shard_build_rows.resize(shard + 1, 0);
+        }
+        self.shard_build_rows[shard] += rows;
+    }
+
+    /// Record one partition-wise probe pass against shard `shard`.
+    pub fn record_shard_probe(&mut self, shard: usize, rows: u64, steps: u64) {
+        if self.shard_probe_rows.len() <= shard {
+            self.shard_probe_rows.resize(shard + 1, 0);
+            self.shard_probe_steps.resize(shard + 1, 0);
+        }
+        self.shard_probe_rows[shard] += rows;
+        self.shard_probe_steps[shard] += steps;
+    }
+
+    /// Number of radix partitions this operator built with (0 = serial).
+    pub fn shards(&self) -> usize {
+        self.shard_build_rows.len()
+    }
+
+    /// Build-row skew across shards: `max/mean` (1.0 = perfectly even;
+    /// 0.0 when the build was serial or empty). The partition-quality
+    /// observable — a clustered radix split shows up here first.
+    pub fn shard_skew(&self) -> f64 {
+        let n = self.shard_build_rows.len();
+        let total: u64 = self.shard_build_rows.iter().sum();
+        if n == 0 || total == 0 {
+            return 0.0;
+        }
+        let max = *self.shard_build_rows.iter().max().unwrap() as f64;
+        max / (total as f64 / n as f64)
+    }
+
     /// Average hash-chain entries visited per probed key (0 when nothing
     /// was probed). Healthy flat tables stay near 1; growth signals a
     /// clustered hash or an under-sized directory.
@@ -90,11 +135,7 @@ impl OpProfile {
 
     /// Measure a closure and record its output rows.
     #[inline]
-    pub fn measure<T>(
-        &mut self,
-        rows_of: impl Fn(&T) -> usize,
-        f: impl FnOnce() -> T,
-    ) -> T {
+    pub fn measure<T>(&mut self, rows_of: impl Fn(&T) -> usize, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
         let out = f();
         self.record(rows_of(&out), t0.elapsed());
@@ -116,7 +157,7 @@ impl QueryProfile {
     /// and primitive instructions executed.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows     time    chain    progs    prims\n",
+            "operator                          calls       rows     time    chain    progs    prims   shards\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -130,8 +171,15 @@ impl QueryProfile {
             } else {
                 (format!("{:>8}", "-"), format!("{:>8}", "-"))
             };
+            let shards = if p.shards() > 0 {
+                // Shard count plus build-skew (max/mean), the partition
+                // health observable.
+                format!("{:>2}x{:.2}", p.shards(), p.shard_skew())
+            } else {
+                format!("{:>8}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {}\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -139,6 +187,7 @@ impl QueryProfile {
                 chain,
                 progs,
                 prims,
+                shards,
             ));
         }
         out
@@ -197,6 +246,28 @@ mod tests {
         assert!(s.contains("18"), "instruction count rendered");
         // Operators without expression work render a dash.
         assert!(s.lines().nth(2).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn shard_counters_accumulate_and_measure_skew() {
+        let mut p = OpProfile::new("HashJoin");
+        assert_eq!(p.shards(), 0);
+        assert_eq!(p.shard_skew(), 0.0);
+        p.record_shard_build(0, 100);
+        p.record_shard_build(3, 300);
+        p.record_shard_build(1, 100);
+        p.record_shard_build(2, 100);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.shard_build_rows, vec![100, 100, 100, 300]);
+        // max/mean = 300 / 150 = 2.0
+        assert!((p.shard_skew() - 2.0).abs() < 1e-9);
+        p.record_shard_probe(3, 50, 60);
+        p.record_shard_probe(3, 50, 40);
+        assert_eq!(p.shard_probe_rows[3], 100);
+        assert_eq!(p.shard_probe_steps[3], 100);
+        let mut q = QueryProfile::default();
+        q.operators.push((0, p));
+        assert!(q.render().contains("4x2.00"), "shard column rendered");
     }
 
     #[test]

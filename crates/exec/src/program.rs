@@ -114,9 +114,9 @@ impl VectorPool {
     /// Lease a slot holding a vector of type `ty` (buffer reused when one
     /// of that type is free; allocated otherwise).
     fn lease(&mut self, ty: TypeId) -> usize {
-        if let Some(i) = (0..self.free.len()).find(|&i| {
-            self.slots[self.free[i]].vec.type_id() == ty
-        }) {
+        if let Some(i) =
+            (0..self.free.len()).find(|&i| self.slots[self.free[i]].vec.type_id() == ty)
+        {
             return self.free.swap_remove(i);
         }
         self.slots.push(Slot { vec: Vector::new(ColData::new(ty)), spare_nulls: Vec::new() });
@@ -466,8 +466,7 @@ impl Compiler {
     /// One linear bottom-up pass: intern every tree node's structure and
     /// record its id by node address (plus const-ness for the folder).
     fn assign_ids(&mut self, e: &PhysExpr) -> u32 {
-        let child_ids: Vec<u32> =
-            children(e).into_iter().map(|c| self.assign_ids(c)).collect();
+        let child_ids: Vec<u32> = children(e).into_iter().map(|c| self.assign_ids(c)).collect();
         let konst = match e {
             PhysExpr::ColRef(..) => false,
             PhysExpr::Const(..) => true,
@@ -503,8 +502,8 @@ impl Compiler {
     }
 
     fn alloc_reg(&mut self, ty: TypeId) -> u16 {
-        if let Some(i) = (0..self.free_regs.len())
-            .find(|&i| self.reg_types[self.free_regs[i] as usize] == ty)
+        if let Some(i) =
+            (0..self.free_regs.len()).find(|&i| self.reg_types[self.free_regs[i] as usize] == ty)
         {
             return self.free_regs.swap_remove(i);
         }
@@ -651,10 +650,8 @@ impl Compiler {
                 Opd::Reg(dst)
             }
             PhysExpr::Case { branches, else_expr, ty } => {
-                let opds: Vec<(Opd, Opd)> = branches
-                    .iter()
-                    .map(|(c, v)| (self.emit(c), self.emit(v)))
-                    .collect();
+                let opds: Vec<(Opd, Opd)> =
+                    branches.iter().map(|(c, v)| (self.emit(c), self.emit(v))).collect();
                 let else_v = else_expr.as_deref().map(|x| self.emit(x));
                 let dst = self.alloc_reg(*ty);
                 self.instrs.push(Instr::Case { branches: opds, else_v, dst });
@@ -781,9 +778,9 @@ fn exec_instr(
 ) -> Result<()> {
     let n = batch.capacity();
     match instr {
-        Instr::ConstFill { value, ty, dst } => with_dst(pool, *dst, |_, out, buf| {
-            fill_const(out, buf, *ty, value, n)
-        }),
+        Instr::ConstFill { value, ty, dst } => {
+            with_dst(pool, *dst, |_, out, buf| fill_const(out, buf, *ty, value, n))
+        }
         Instr::ArithI64 { op, a, b, dst } => with_dst(pool, *dst, |pool, out, buf| {
             let av = pool.opd(batch, *a);
             let bv = pool.opd(batch, *b);
@@ -812,9 +809,7 @@ fn exec_instr(
                 // patch them to 1 — their result lanes are NULL anyway.
                 if let Some(m) = &bv.nulls {
                     patch.clear();
-                    patch.extend(
-                        y.iter().zip(m).map(|(&v, &is_null)| if is_null { 1 } else { v }),
-                    );
+                    patch.extend(y.iter().zip(m).map(|(&v, &is_null)| if is_null { 1 } else { v }));
                     y = &patch[..];
                 }
                 let o = as_i64_mut(&mut out.data);
@@ -1063,9 +1058,8 @@ fn exec_instr(
                         break;
                     }
                 }
-                let val = chosen.unwrap_or_else(|| {
-                    else_v.map_or(Value::Null, |e| pool.opd(batch, e).get(i))
-                });
+                let val = chosen
+                    .unwrap_or_else(|| else_v.map_or(Value::Null, |e| pool.opd(batch, e).get(i)));
                 if val.is_null() {
                     out.data.push_safe_default();
                     buf.push(true);
@@ -1109,7 +1103,13 @@ fn exec_instr(
 /// by `resize` (memset-class); strings clone per lane, as the interpreter
 /// did. The buffer is fully rewritten — pool slots are shared between
 /// programs, so stale contents cannot be trusted.
-fn fill_const(out: &mut Vector, buf: &mut Vec<bool>, ty: TypeId, v: &Value, n: usize) -> Result<bool> {
+fn fill_const(
+    out: &mut Vector,
+    buf: &mut Vec<bool>,
+    ty: TypeId,
+    v: &Value,
+    n: usize,
+) -> Result<bool> {
     if v.is_null() {
         out.data.clear();
         for _ in 0..n {
@@ -1322,11 +1322,8 @@ fn exec_func(
             let to = vs[2].data.as_str();
             let o = fresh!(as_str_mut(&mut out.data), String::new());
             let mut f = |i: usize| -> Result<()> {
-                o[i] = if from[i].is_empty() {
-                    s[i].clone()
-                } else {
-                    s[i].replace(&from[i], &to[i])
-                };
+                o[i] =
+                    if from[i].is_empty() { s[i].clone() } else { s[i].replace(&from[i], &to[i]) };
                 Ok(())
             };
             for_live!(f);
@@ -1528,11 +1525,7 @@ fn mark_const(e: &PhysExpr, out: &mut HashMap<*const PhysExpr, bool>) -> bool {
     c
 }
 
-fn compile_sel(
-    pred: &PhysExpr,
-    ctx: &ExprCtx,
-    consts: &HashMap<*const PhysExpr, bool>,
-) -> SelNode {
+fn compile_sel(pred: &PhysExpr, ctx: &ExprCtx, consts: &HashMap<*const PhysExpr, bool>) -> SelNode {
     // Constant predicates fold to a keep-all / drop-all step (NULL is
     // never TRUE, so it drops everything).
     if consts[&(pred as *const PhysExpr)] {
@@ -1765,10 +1758,7 @@ mod tests {
         let e = arith(BinOp::Add, col(0, TypeId::I64), arith(BinOp::Div, lit(1), lit(0)));
         let p = ExprProgram::compile(&e, &ctx());
         let mut pool = VectorPool::new();
-        assert!(matches!(
-            p.run(&mut pool, &batch_i64(vec![1])),
-            Err(VwError::DivideByZero)
-        ));
+        assert!(matches!(p.run(&mut pool, &batch_i64(vec![1])), Err(VwError::DivideByZero)));
     }
 
     #[test]
@@ -1904,10 +1894,7 @@ mod tests {
             for check in [ArithCheck::Naive, ArithCheck::Lazy] {
                 let p = ExprProgram::compile(&e, &ExprCtx { check, ..ctx() });
                 let mut pool = VectorPool::new();
-                assert!(matches!(
-                    p.run(&mut pool, &batch),
-                    Err(VwError::DivideByZero)
-                ));
+                assert!(matches!(p.run(&mut pool, &batch), Err(VwError::DivideByZero)));
             }
             // Unchecked: research-prototype mode swallows it.
             let p = ExprProgram::compile(&e, &ExprCtx { check: ArithCheck::Unchecked, ..ctx() });
@@ -1937,10 +1924,7 @@ mod tests {
         let p = ExprProgram::compile(&e, &cx);
         let batch = Batch::new(vec![nullable_i64(vec![Some(2), None])]);
         let mut pool = VectorPool::new();
-        assert_eq!(
-            run_values(&p, &mut pool, &batch),
-            vec![Value::I64(6), Value::Null]
-        );
+        assert_eq!(run_values(&p, &mut pool, &batch), vec![Value::I64(6), Value::Null]);
     }
 
     #[test]

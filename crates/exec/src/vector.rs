@@ -89,10 +89,8 @@ impl Vector {
     pub fn gather(&self, positions: &SelVec) -> Vector {
         let mut data = ColData::with_capacity(self.type_id(), positions.len());
         data.extend_gather(&self.data, positions.iter());
-        let nulls = self
-            .nulls
-            .as_ref()
-            .map(|m| positions.iter().map(|p| m[p]).collect::<Vec<bool>>());
+        let nulls =
+            self.nulls.as_ref().map(|m| positions.iter().map(|p| m[p]).collect::<Vec<bool>>());
         Vector::with_nulls(data, nulls)
     }
 
@@ -103,10 +101,8 @@ impl Vector {
     pub fn gather_indices(&self, idx: &[u32]) -> Vector {
         let mut data = ColData::with_capacity(self.type_id(), idx.len());
         data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
-        let nulls = self
-            .nulls
-            .as_ref()
-            .map(|m| idx.iter().map(|&i| m[i as usize]).collect::<Vec<bool>>());
+        let nulls =
+            self.nulls.as_ref().map(|m| idx.iter().map(|&i| m[i as usize]).collect::<Vec<bool>>());
         Vector::with_nulls(data, nulls)
     }
 
@@ -115,10 +111,8 @@ impl Vector {
     pub fn gather_indices_padded(&self, idx: &[u32], sentinel: u32) -> Vector {
         let mut data = ColData::with_capacity(self.type_id(), idx.len());
         data.extend_gather_padded(&self.data, idx, sentinel);
-        let nulls: Vec<bool> = idx
-            .iter()
-            .map(|&i| i == sentinel || self.is_null(i as usize))
-            .collect();
+        let nulls: Vec<bool> =
+            idx.iter().map(|&i| i == sentinel || self.is_null(i as usize)).collect();
         Vector::with_nulls(data, Some(nulls))
     }
 
@@ -179,11 +173,7 @@ impl Batch {
     /// Empty batch of a given schema (0 rows).
     pub fn empty(schema: &Schema) -> Batch {
         Batch {
-            columns: schema
-                .fields
-                .iter()
-                .map(|f| Vector::new(ColData::new(f.ty)))
-                .collect(),
+            columns: schema.fields.iter().map(|f| Vector::new(ColData::new(f.ty))).collect(),
             sel: None,
         }
     }

@@ -247,8 +247,7 @@ impl PdtStore {
                     };
                     let (a, b) = split(root, rid);
                     let (_, c) = split(b, 1);
-                    let node =
-                        leaf(prio_for(self.next_id()), Piece::StableMod { sid: *sid, mods });
+                    let node = leaf(prio_for(self.next_id()), Piece::StableMod { sid: *sid, mods });
                     root = merge(a, merge(node, c));
                 }
             }
@@ -286,10 +285,7 @@ impl PdtStore {
             let pos = (base + *off).min(size(&root));
             *off += 1;
             let (a, b) = split(root, pos);
-            let node = leaf(
-                prio_for(self.next_id()),
-                Piece::Insert { id: self.next_id(), row },
-            );
+            let node = leaf(prio_for(self.next_id()), Piece::Insert { id: self.next_id(), row });
             root = merge(a, merge(node, b));
         }
 
@@ -394,10 +390,7 @@ impl Transaction {
     pub fn insert_at(&mut self, rid: u64, row: Vec<Value>) -> Result<()> {
         self.check_rid(rid, true)?;
         let insert_id = NEXT_LOCAL.fetch_add(1, Ordering::Relaxed);
-        let node = leaf(
-            prio_for(insert_id),
-            Piece::Insert { id: insert_id, row: Arc::new(row) },
-        );
+        let node = leaf(prio_for(insert_id), Piece::Insert { id: insert_id, row: Arc::new(row) });
         let (before, after) = split(self.root.clone(), rid);
         self.root = merge(before, merge(node, after));
         self.own_inserts.insert(insert_id);
@@ -547,10 +540,7 @@ mod tests {
         assert_eq!(store.visible_rows(), 5);
         let (root, _, _) = store.snapshot();
         let f = flat(&root);
-        assert_eq!(
-            f.iter().map(|x| x.1.unwrap()).collect::<Vec<_>>(),
-            vec![0, 1, 2, 3, 4]
-        );
+        assert_eq!(f.iter().map(|x| x.1.unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -685,7 +675,7 @@ mod tests {
         let (root, _, _) = store.snapshot();
         let f = flat(&root);
         assert_eq!(f.len(), 8); // 10 - 3 + 1
-        // The insert re-anchored to the nearest surviving predecessor (sid 3).
+                                // The insert re-anchored to the nearest surviving predecessor (sid 3).
         let pos = f.iter().position(|x| x.1 == Some(77)).unwrap();
         assert_eq!(f[pos - 1], (Some(3), None));
         assert_eq!(f[pos + 1], (Some(7), None));
@@ -762,9 +752,6 @@ mod tests {
         let stats = store.stats();
         assert!(stats.total() > 6000);
         // Image size must be consistent: 100k - deletes + inserts.
-        assert_eq!(
-            store.visible_rows(),
-            100_000 - stats.deletes + stats.inserts
-        );
+        assert_eq!(store.visible_rows(), 100_000 - stats.deletes + stats.inserts);
     }
 }

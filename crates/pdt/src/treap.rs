@@ -99,14 +99,8 @@ pub fn prio_for(counter: u64) -> u64 {
 
 fn mk(prio: u64, piece: Piece, left: Link, right: Link) -> Link {
     let size = size(&left) + piece.rows() + size(&right);
-    let max_sid = [max_sid(&left), piece.max_sid(), max_sid(&right)]
-        .into_iter()
-        .flatten()
-        .max();
-    let min_sid = [min_sid(&left), piece.min_sid(), min_sid(&right)]
-        .into_iter()
-        .flatten()
-        .min();
+    let max_sid = [max_sid(&left), piece.max_sid(), max_sid(&right)].into_iter().flatten().max();
+    let min_sid = [min_sid(&left), piece.min_sid(), min_sid(&right)].into_iter().flatten().min();
     Some(Arc::new(Node { prio, size, max_sid, min_sid, piece, left, right }))
 }
 
@@ -152,12 +146,8 @@ pub fn split(t: Link, k: u64) -> (Link, Link) {
         match &n.piece {
             Piece::StableRun { sid, len } => {
                 debug_assert!(off > 0 && off < *len);
-                let left_run = mk(
-                    n.prio,
-                    Piece::StableRun { sid: *sid, len: off },
-                    n.left.clone(),
-                    None,
-                );
+                let left_run =
+                    mk(n.prio, Piece::StableRun { sid: *sid, len: off }, n.left.clone(), None);
                 let right_run = mk(
                     n.prio,
                     Piece::StableRun { sid: sid + off, len: len - off },

@@ -53,10 +53,7 @@ fn rewrite_once(e: SqlExpr, rules: &[Box<dyn ExprRule>], nullable: &[bool]) -> (
     (e, changed)
 }
 
-fn rebuild_children(
-    e: SqlExpr,
-    f: &mut impl FnMut(SqlExpr) -> (SqlExpr, bool),
-) -> (SqlExpr, bool) {
+fn rebuild_children(e: SqlExpr, f: &mut impl FnMut(SqlExpr) -> (SqlExpr, bool)) -> (SqlExpr, bool) {
     use SqlExpr::*;
     let mut changed = false;
     macro_rules! go {
@@ -78,12 +75,7 @@ fn rebuild_children(
         }};
     }
     let out = match e {
-        Arith { op, l, r, ty } => Arith {
-            op,
-            l: go!(*l),
-            r: go!(*r),
-            ty,
-        },
+        Arith { op, l, r, ty } => Arith { op, l: go!(*l), r: go!(*r), ty },
         Cmp { op, l, r } => Cmp { op, l: go!(*l), r: go!(*r) },
         And(v) => And(go_vec!(v)),
         Or(v) => Or(go_vec!(v)),
@@ -106,16 +98,10 @@ fn rebuild_children(
         },
         Func { func, args, ty } => Func { func, args: go_vec!(args), ty },
         Ext { func, args, ty } => Ext { func, args: go_vec!(args), ty },
-        Like { input, pattern, negated } => Like {
-            input: go!(*input),
-            pattern,
-            negated,
-        },
-        InList { input, list, negated } => InList {
-            input: go!(*input),
-            list: go_vec!(list),
-            negated,
-        },
+        Like { input, pattern, negated } => Like { input: go!(*input), pattern, negated },
+        InList { input, list, negated } => {
+            InList { input: go!(*input), list: go_vec!(list), negated }
+        }
         leaf @ (Col(..) | Lit(..)) => leaf,
     };
     (out, changed)

@@ -58,9 +58,7 @@ pub fn rewrite_plan(plan: LogicalPlan, config: &RewriterConfig) -> LogicalPlan {
 /// Apply the expression rule set to every expression in the plan.
 pub fn rewrite_exprs_in_plan(plan: LogicalPlan) -> LogicalPlan {
     let rules = rules::default_rules();
-    map_plan_exprs(plan, &|e, nullable_inputs| {
-        engine::rewrite_fixpoint(e, &rules, nullable_inputs)
-    })
+    map_plan_exprs(plan, &|e, nullable_inputs| engine::rewrite_fixpoint(e, &rules, nullable_inputs))
 }
 
 /// Map every expression in a plan through `f`, which also receives the
@@ -94,10 +92,7 @@ fn map_plan_exprs(
             let ln = nullability(&left);
             let rn = nullability(&right);
             P::Join {
-                keys: keys
-                    .into_iter()
-                    .map(|(l, r)| (f(l, &ln), f(r, &rn)))
-                    .collect(),
+                keys: keys.into_iter().map(|(l, r)| (f(l, &ln), f(r, &rn))).collect(),
                 left: Box::new(left),
                 right: Box::new(right),
                 kind,

@@ -2,79 +2,109 @@
 //!
 //! The rewriter decides where to insert exchange (Xchg) operators. A plan
 //! fragment is *partitionable* when it is a pipeline of
-//! Scan → Filter* → Project* (one base table, order-insensitive consumers).
+//! Scan → Filter* → Project* — optionally flowing through the **probe
+//! side of hash joins** (the build side is compiled whole into every
+//! worker, so partitioning the probe input partitions the join output
+//! disjointly for every join type, NULL-aware anti included).
 //!
-//! Two rewrite shapes:
+//! Rewrite shapes:
 //!
-//! * **Parallel pipeline** — `frag` → `Xchg(frag)` when the fragment's
-//!   consumer doesn't care about row order (aggregation, or the fragment is
-//!   the whole query and ends under a Sort, which materializes anyway);
 //! * **Parallel aggregation** — `Aggr(frag)` →
 //!   `Project(finalize) ∘ AggrFinal ∘ Xchg ∘ AggrPartial(frag)`, with AVG
 //!   decomposed into SUM + COUNT and re-divided in the finalizing
-//!   projection, COUNT re-summed, MIN/MAX re-min/maxed.
+//!   projection, COUNT re-summed, MIN/MAX re-min/maxed. Partial-build
+//!   workers merge shard-wise through the final aggregation.
+//! * **Parallel join** — a partitionable fragment ending in a `Join`
+//!   becomes `Xchg(frag)` when its consumer is order-insensitive (the
+//!   plan root, an aggregation, or anything under a Sort — which
+//!   materializes anyway; a bare `Limit` pins order and blocks it).
 //!
 //! Whether parallelism pays off is a cost call: fragments below
 //! `parallel_threshold_rows` estimated input rows are left serial (the
 //! "getting the best out of modern multi-core CPUs is not simple" caveat).
+//! Below the plan level, the hash operators additionally radix-partition
+//! their *builds* across threads (`vw-exec::partition`) — that decision is
+//! taken inside the operator, gated by `EngineConfig::partition_min_rows`.
 
 use crate::RewriterConfig;
 use vw_common::{Field, Schema, TypeId};
 use vw_sql::plan::{AggCall, AggFunc, LogicalPlan};
 use vw_sql::SqlExpr;
 
-/// Insert Xchg markers where profitable.
+/// Insert Xchg markers where profitable. The plan root is
+/// order-insensitive (SQL result order without ORDER BY is unspecified;
+/// an ORDER BY compiles to a Sort, which re-materializes).
 pub fn parallelize(plan: LogicalPlan, config: &RewriterConfig) -> LogicalPlan {
-    rewrite(plan, config)
+    rewrite(plan, config, true)
 }
 
-fn rewrite(plan: LogicalPlan, config: &RewriterConfig) -> LogicalPlan {
+/// `order_ok`: may this node's output arrive in nondeterministic order?
+/// `Limit` pins its input order (the first k rows must stay the first k
+/// rows run-to-run); Sort and Aggregate reset the flag for their inputs.
+fn rewrite(plan: LogicalPlan, config: &RewriterConfig, order_ok: bool) -> LogicalPlan {
     match plan {
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            if is_partitionable(&input) && fragment_rows(&input) >= config.parallel_threshold_rows
-            {
+            if is_partitionable(&input) && fragment_rows(&input) >= config.parallel_threshold_rows {
                 return build_parallel_aggregate(*input, group, aggs, schema, config.dop);
             }
             LogicalPlan::Aggregate {
-                input: Box::new(rewrite(*input, config)),
+                input: Box::new(rewrite(*input, config, true)),
                 group,
                 aggs,
                 schema,
             }
         }
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(rewrite(*input, config)),
-            predicate,
-        },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(rewrite(*input, config, order_ok)), predicate }
+        }
         LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-            input: Box::new(rewrite(*input, config)),
+            input: Box::new(rewrite(*input, config, order_ok)),
             exprs,
             schema,
         },
-        LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
-            left: Box::new(rewrite(*left, config)),
-            right: Box::new(rewrite(*right, config)),
-            kind,
-            keys,
-            schema,
-        },
+        LogicalPlan::Join { left, right, kind, keys, schema } => {
+            let join = LogicalPlan::Join { left, right, kind, keys, schema };
+            // Probe-side-partitionable join under an order-insensitive
+            // consumer: run the whole fragment per partition (each worker
+            // probes its slice against a complete build side).
+            if order_ok
+                && is_partitionable(&join)
+                && fragment_rows(&join) >= config.parallel_threshold_rows
+            {
+                return LogicalPlan::Exchange { input: Box::new(join), dop: config.dop };
+            }
+            let LogicalPlan::Join { left, right, kind, keys, schema } = join else {
+                unreachable!()
+            };
+            LogicalPlan::Join {
+                left: Box::new(rewrite(*left, config, true)),
+                right: Box::new(rewrite(*right, config, true)),
+                kind,
+                keys,
+                schema,
+            }
+        }
         LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(rewrite(*input, config)), keys }
+            LogicalPlan::Sort { input: Box::new(rewrite(*input, config, true)), keys }
         }
         LogicalPlan::Limit { input, offset, limit } => {
-            LogicalPlan::Limit { input: Box::new(rewrite(*input, config)), offset, limit }
+            LogicalPlan::Limit { input: Box::new(rewrite(*input, config, false)), offset, limit }
         }
         other => other,
     }
 }
 
-/// Scan → Filter* → Project* pipelines are partitionable.
+/// Scan → Filter* → Project* pipelines are partitionable, flowing through
+/// the probe (left) side of any hash join — the build side is compiled
+/// whole into every worker, so probe partitions produce disjoint slices of
+/// the join output for every join type.
 fn is_partitionable(plan: &LogicalPlan) -> bool {
     match plan {
         LogicalPlan::Scan { .. } => true,
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
             is_partitionable(input)
         }
+        LogicalPlan::Join { left, .. } => is_partitionable(left),
         _ => false,
     }
 }
@@ -83,13 +113,14 @@ fn is_partitionable(plan: &LogicalPlan) -> bool {
 /// estimate came from the optimizer; at this stage the scan row count is
 /// not in the plan, so we use a structural proxy: unknown scans count as
 /// large). The engine substitutes precise numbers via the optimizer's
-/// estimator when available.
+/// estimator when available. Joins inherit their probe side's estimate.
 fn fragment_rows(plan: &LogicalPlan) -> f64 {
     match plan {
         LogicalPlan::Scan { .. } => f64::INFINITY,
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
             fragment_rows(input)
         }
+        LogicalPlan::Join { left, .. } => fragment_rows(left),
         _ => 0.0,
     }
 }
@@ -162,11 +193,8 @@ fn build_parallel_aggregate(
 
     // Final aggregation: group on the partial group columns; merge partial
     // aggregate states.
-    let final_group: Vec<SqlExpr> = group
-        .iter()
-        .enumerate()
-        .map(|(i, g)| SqlExpr::Col(i, g.type_id()))
-        .collect();
+    let final_group: Vec<SqlExpr> =
+        group.iter().enumerate().map(|(i, g)| SqlExpr::Col(i, g.type_id())).collect();
     let g = group.len();
     let final_aggs: Vec<AggCall> = partial_aggs
         .iter()
@@ -185,11 +213,7 @@ fn build_parallel_aggregate(
         .collect();
     let mut merged_fields: Vec<Field> = Vec::new();
     for (i, gexpr) in group.iter().enumerate() {
-        merged_fields.push(Field {
-            name: format!("__g{i}"),
-            ty: gexpr.type_id(),
-            nullable: true,
-        });
+        merged_fields.push(Field { name: format!("__g{i}"), ty: gexpr.type_id(), nullable: true });
     }
     for (i, a) in final_aggs.iter().enumerate() {
         merged_fields.push(Field { name: format!("__m{i}"), ty: a.out_ty, nullable: true });
@@ -347,5 +371,88 @@ mod tests {
         let cfg = RewriterConfig { dop: 2, parallel_threshold_rows: 0.0 };
         let out = parallelize(join, &cfg);
         assert!(out.explain().contains("Xchg"), "aggregate under join parallelizes");
+    }
+
+    fn scan_join_scan() -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            kind: vw_sql::plan::JoinKind::Inner,
+            keys: vec![(SqlExpr::Col(0, TypeId::I32), SqlExpr::Col(0, TypeId::I32))],
+            schema: scan().schema().join(scan().schema()),
+        }
+    }
+
+    #[test]
+    fn probe_partitionable_join_gets_exchange() {
+        let cfg = RewriterConfig { dop: 4, parallel_threshold_rows: 0.0 };
+        let out = parallelize(scan_join_scan(), &cfg);
+        let text = out.explain();
+        assert!(text.starts_with("Xchg dop=4"), "join fragment wrapped: {text}");
+        assert_eq!(out.schema(), scan_join_scan().schema(), "schema preserved");
+    }
+
+    #[test]
+    fn aggregate_over_join_fragment_goes_partial_final() {
+        // The whole Scan→Join fragment is now partitionable, so the
+        // aggregate above it decomposes into partial/final instead of
+        // staying serial.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan_join_scan()),
+            group: vec![SqlExpr::Col(0, TypeId::I32)],
+            aggs: vec![AggCall { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 }],
+            schema: Schema::unchecked(vec![
+                Field::nullable("k", TypeId::I32),
+                Field::not_null("cnt", TypeId::I64),
+            ]),
+        };
+        let cfg = RewriterConfig { dop: 2, parallel_threshold_rows: 0.0 };
+        let out = parallelize(plan, &cfg);
+        let text = out.explain();
+        assert!(text.contains("Xchg dop=2"), "{text}");
+        assert_eq!(text.matches("Aggr").count(), 2, "partial + final: {text}");
+    }
+
+    #[test]
+    fn limit_pins_order_and_blocks_join_exchange() {
+        let plan = LogicalPlan::Limit { input: Box::new(scan_join_scan()), offset: 0, limit: 10 };
+        let cfg = RewriterConfig { dop: 4, parallel_threshold_rows: 0.0 };
+        let out = parallelize(plan, &cfg);
+        assert!(
+            !out.explain().contains("Xchg"),
+            "LIMIT's first-k rows must stay deterministic: {}",
+            out.explain()
+        );
+    }
+
+    #[test]
+    fn sort_consumer_allows_join_exchange() {
+        let plan =
+            LogicalPlan::Sort { input: Box::new(scan_join_scan()), keys: vec![(0, true, false)] };
+        let cfg = RewriterConfig { dop: 2, parallel_threshold_rows: 0.0 };
+        let out = parallelize(plan, &cfg);
+        assert!(out.explain().contains("Xchg"), "sort re-materializes: {}", out.explain());
+    }
+
+    #[test]
+    fn build_side_only_join_stays_serial() {
+        // Partitionability flows through the probe (left) side only.
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Values {
+                schema: Schema::unchecked(vec![Field::not_null("v", TypeId::I32)]),
+                rows: vec![],
+            }),
+            right: Box::new(scan()),
+            kind: vw_sql::plan::JoinKind::Inner,
+            keys: vec![(SqlExpr::Col(0, TypeId::I32), SqlExpr::Col(0, TypeId::I32))],
+            schema: Schema::unchecked(vec![
+                Field::not_null("v", TypeId::I32),
+                Field::nullable("k", TypeId::I32),
+                Field::nullable("v2", TypeId::I64),
+            ]),
+        };
+        let cfg = RewriterConfig { dop: 4, parallel_threshold_rows: 0.0 };
+        let out = parallelize(plan, &cfg);
+        assert!(!out.explain().contains("Xchg"), "{}", out.explain());
     }
 }

@@ -39,10 +39,7 @@ impl ExprRule for ExpandExtFuncs {
                 //                          WHEN b IS NOT NULL THEN b ELSE c END
                 let mut branches = Vec::new();
                 for a in &args[..args.len() - 1] {
-                    branches.push((
-                        SqlExpr::IsNotNull(Box::new(a.clone())),
-                        a.clone(),
-                    ));
+                    branches.push((SqlExpr::IsNotNull(Box::new(a.clone())), a.clone()));
                 }
                 SqlExpr::Case {
                     branches,
@@ -51,10 +48,7 @@ impl ExprRule for ExpandExtFuncs {
                 }
             }
             ExtFunc::IfNull => SqlExpr::Case {
-                branches: vec![(
-                    SqlExpr::IsNull(Box::new(args[0].clone())),
-                    args[1].clone(),
-                )],
+                branches: vec![(SqlExpr::IsNull(Box::new(args[0].clone())), args[1].clone())],
                 else_expr: Some(Box::new(args[0].clone())),
                 ty,
             },
@@ -76,11 +70,7 @@ impl ExprRule for ExpandExtFuncs {
                 for a in &args[1..] {
                     acc = SqlExpr::Case {
                         branches: vec![(
-                            SqlExpr::Cmp {
-                                op,
-                                l: Box::new(acc.clone()),
-                                r: Box::new(a.clone()),
-                            },
+                            SqlExpr::Cmp { op, l: Box::new(acc.clone()), r: Box::new(a.clone()) },
                             acc,
                         )],
                         else_expr: Some(Box::new(a.clone())),
@@ -138,11 +128,7 @@ impl ExprRule for ExpandInList {
         }
         let ors = SqlExpr::Or(
             list.iter()
-                .map(|m| SqlExpr::Cmp {
-                    op: CmpOp::Eq,
-                    l: input.clone(),
-                    r: Box::new(m.clone()),
-                })
+                .map(|m| SqlExpr::Cmp { op: CmpOp::Eq, l: input.clone(), r: Box::new(m.clone()) })
                 .collect(),
         );
         Some(if *negated { SqlExpr::Not(Box::new(ors)) } else { ors })
@@ -183,10 +169,7 @@ impl ExprRule for SimplifyLogic {
                 if let Some((SqlExpr::Lit(Value::Bool(true), _), v)) = branches.first() {
                     return Some(v.clone());
                 }
-                if branches
-                    .iter()
-                    .any(|(c, _)| matches!(c, SqlExpr::Lit(Value::Bool(false), _)))
-                {
+                if branches.iter().any(|(c, _)| matches!(c, SqlExpr::Lit(Value::Bool(false), _))) {
                     let kept: Vec<(SqlExpr, SqlExpr)> = branches
                         .iter()
                         .filter(|(c, _)| !matches!(c, SqlExpr::Lit(Value::Bool(false), _)))
@@ -280,9 +263,7 @@ mod tests {
             ty: TypeId::I64,
         };
         let out = run(e, &[true, true]);
-        let SqlExpr::Case { branches, else_expr, .. } = &out else {
-            panic!("got {out:?}")
-        };
+        let SqlExpr::Case { branches, else_expr, .. } = &out else { panic!("got {out:?}") };
         assert_eq!(branches.len(), 2);
         assert!(else_expr.is_some());
     }
@@ -290,11 +271,8 @@ mod tests {
     #[test]
     fn coalesce_on_not_null_first_arg_collapses_entirely() {
         // COALESCE(not_null_col, 0) → CASE WHEN TRUE THEN col ... → col.
-        let e = SqlExpr::Ext {
-            func: ExtFunc::Coalesce,
-            args: vec![col(0), lit(0)],
-            ty: TypeId::I64,
-        };
+        let e =
+            SqlExpr::Ext { func: ExtFunc::Coalesce, args: vec![col(0), lit(0)], ty: TypeId::I64 };
         let out = run(e, &[false]);
         assert_eq!(out, col(0), "rewriter chain should fold to the bare column");
     }
@@ -320,20 +298,13 @@ mod tests {
 
     #[test]
     fn in_list_expands_to_or() {
-        let e = SqlExpr::InList {
-            input: Box::new(col(0)),
-            list: vec![lit(1), lit(2)],
-            negated: false,
-        };
+        let e =
+            SqlExpr::InList { input: Box::new(col(0)), list: vec![lit(1), lit(2)], negated: false };
         let out = run(e, &[true]);
         let SqlExpr::Or(parts) = &out else { panic!("got {out:?}") };
         assert_eq!(parts.len(), 2);
         // NOT IN → the Not simplifies into flipped comparisons or stays Not(Or).
-        let e = SqlExpr::InList {
-            input: Box::new(col(0)),
-            list: vec![lit(1)],
-            negated: true,
-        };
+        let e = SqlExpr::InList { input: Box::new(col(0)), list: vec![lit(1)], negated: true };
         let out = run(e, &[true]);
         assert!(matches!(out, SqlExpr::Cmp { op: CmpOp::Ne, .. }), "got {out:?}");
     }
@@ -358,10 +329,7 @@ mod tests {
         assert_eq!(run(SqlExpr::IsNull(Box::new(col(0))), &[false]), lit_bool(false));
         assert_eq!(run(SqlExpr::IsNotNull(Box::new(col(0))), &[false]), lit_bool(true));
         // On nullable columns they stay.
-        assert!(matches!(
-            run(SqlExpr::IsNull(Box::new(col(0))), &[true]),
-            SqlExpr::IsNull(_)
-        ));
+        assert!(matches!(run(SqlExpr::IsNull(Box::new(col(0))), &[true]), SqlExpr::IsNull(_)));
     }
 
     #[test]

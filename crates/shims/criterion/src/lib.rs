@@ -94,13 +94,7 @@ impl<M> BenchmarkGroup<'_, M> {
         f(&mut warm);
         let mut b = Bencher { total: Duration::ZERO, iters: 0, budget: self.measurement };
         f(&mut b);
-        println!(
-            "{}/{}: {:>12.1} ns/iter ({} iters)",
-            self.name,
-            id,
-            b.mean_ns(),
-            b.iters
-        );
+        println!("{}/{}: {:>12.1} ns/iter ({} iters)", self.name, id, b.mean_ns(), b.iters);
         self
     }
 

@@ -160,13 +160,8 @@ impl<'a> Binder<'a> {
                 };
                 match conjunct {
                     Expr::InSubquery { expr, subquery, negated } => {
-                        plan = self.bind_in_subquery(
-                            plan,
-                            &scope,
-                            expr,
-                            subquery,
-                            *negated != flip,
-                        )?;
+                        plan =
+                            self.bind_in_subquery(plan, &scope, expr, subquery, *negated != flip)?;
                     }
                     Expr::Exists { subquery, negated } => {
                         plan = self.bind_exists(plan, subquery, *negated != flip)?;
@@ -228,13 +223,10 @@ impl<'a> Binder<'a> {
             }
             Expr::Ident(parts) => {
                 let name = parts.last().expect("nonempty identifier");
-                out.index_of(name).ok_or_else(|| {
-                    berr(format!("ORDER BY: unknown output column '{name}'"))
-                })
+                out.index_of(name)
+                    .ok_or_else(|| berr(format!("ORDER BY: unknown output column '{name}'")))
             }
-            _ => Err(berr(
-                "ORDER BY supports output column names or positions",
-            )),
+            _ => Err(berr("ORDER BY supports output column names or positions")),
         }
     }
 
@@ -263,10 +255,7 @@ impl<'a> Binder<'a> {
             }
         }
         let schema = Schema::unchecked(fields);
-        Ok((
-            LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() },
-            schema,
-        ))
+        Ok((LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() }, schema))
     }
 
     fn bind_aggregate_query(
@@ -287,9 +276,7 @@ impl<'a> Binder<'a> {
         }
         // 2. Collect aggregate calls from items and HAVING.
         let mut aggs: Vec<AggCall> = Vec::new();
-        let mut collect = |e: &Expr| -> Result<()> {
-            self.collect_aggs(e, &scope, &mut aggs)
-        };
+        let mut collect = |e: &Expr| -> Result<()> { self.collect_aggs(e, &scope, &mut aggs) };
         for item in &stmt.items {
             if let SelectItem::Expr { expr, .. } = item {
                 collect(expr)?;
@@ -338,10 +325,7 @@ impl<'a> Binder<'a> {
             exprs.push(bound);
         }
         let schema = Schema::unchecked(fields);
-        Ok((
-            LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() },
-            schema,
-        ))
+        Ok((LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() }, schema))
     }
 
     /// Bind one aggregate AST call to an [`AggCall`], registering it.
@@ -400,7 +384,11 @@ impl<'a> Binder<'a> {
         let func = match name {
             "COUNT" => {
                 if args.len() == 1 && matches!(args[0], Expr::Wildcard) {
-                    return Ok(AggCall { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 });
+                    return Ok(AggCall {
+                        func: AggFunc::CountStar,
+                        input: None,
+                        out_ty: TypeId::I64,
+                    });
                 }
                 AggFunc::Count
             }
@@ -474,9 +462,9 @@ impl<'a> Binder<'a> {
         }
         // Recurse structurally.
         match e {
-            Expr::Lit(v) => self.bind_expr(e, scope).or_else(|_| {
-                Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64)))
-            }),
+            Expr::Lit(v) => self
+                .bind_expr(e, scope)
+                .or_else(|_| Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64)))),
             Expr::Binary { op, left, right } => {
                 let l = self.bind_post_agg(left, scope, group_asts, group, aggs)?;
                 let r = self.bind_post_agg(right, scope, group_asts, group, aggs)?;
@@ -503,7 +491,9 @@ impl<'a> Binder<'a> {
                     ));
                 }
                 let el = match else_expr {
-                    Some(x) => Some(Box::new(self.bind_post_agg(x, scope, group_asts, group, aggs)?)),
+                    Some(x) => {
+                        Some(Box::new(self.bind_post_agg(x, scope, group_asts, group, aggs)?))
+                    }
                     None => None,
                 };
                 build_case(bs, el)
@@ -515,9 +505,7 @@ impl<'a> Binder<'a> {
                     .collect::<Result<_>>()?;
                 bind_function(name, bound_args)
             }
-            other => Err(berr(format!(
-                "expression {other:?} not supported after aggregation"
-            ))),
+            other => Err(berr(format!("expression {other:?} not supported after aggregation"))),
         }
     }
 
@@ -554,9 +542,7 @@ impl<'a> Binder<'a> {
                     }
                 }
                 if keys.is_empty() {
-                    return Err(berr(
-                        "join requires at least one equality key (t.a = s.b)",
-                    ));
+                    return Err(berr("join requires at least one equality key (t.a = s.b)"));
                 }
                 let kind = match kind {
                     AstJoinKind::Inner => JoinKind::Inner,
@@ -755,9 +741,9 @@ impl<'a> Binder<'a> {
                 let bound = bound.into_iter().map(|b| cast_to(b, ty)).collect();
                 Ok(SqlExpr::InList { input: Box::new(input), list: bound, negated: *negated })
             }
-            Expr::InSubquery { .. } | Expr::Exists { .. } => Err(berr(
-                "subqueries are only supported as top-level WHERE conjuncts",
-            )),
+            Expr::InSubquery { .. } | Expr::Exists { .. } => {
+                Err(berr("subqueries are only supported as top-level WHERE conjuncts"))
+            }
             Expr::Case { branches, else_expr } => {
                 let mut bs = Vec::new();
                 for (c, v) in branches {
@@ -770,10 +756,8 @@ impl<'a> Binder<'a> {
                 build_case(bs, el)
             }
             Expr::Func { name, args } => {
-                let bound: Vec<SqlExpr> = args
-                    .iter()
-                    .map(|a| self.bind_expr(a, scope))
-                    .collect::<Result<_>>()?;
+                let bound: Vec<SqlExpr> =
+                    args.iter().map(|a| self.bind_expr(a, scope)).collect::<Result<_>>()?;
                 bind_function(name, bound)
             }
             Expr::Wildcard => Err(berr("'*' only valid in COUNT(*)")),
@@ -788,10 +772,7 @@ impl<'a> Binder<'a> {
                     func: KernelFunc::Extract,
                     args: vec![
                         d,
-                        SqlExpr::Lit(
-                            Value::I64(vw_exec::expr::encode_field(f)),
-                            TypeId::I64,
-                        ),
+                        SqlExpr::Lit(Value::I64(vw_exec::expr::encode_field(f)), TypeId::I64),
                     ],
                     ty: TypeId::I64,
                 })
@@ -837,11 +818,7 @@ fn cast_to(e: SqlExpr, ty: TypeId) -> SqlExpr {
 
 fn unify_key_types(l: SqlExpr, r: SqlExpr) -> Result<(SqlExpr, SqlExpr)> {
     let ty = TypeId::promote(l.type_id(), r.type_id()).ok_or_else(|| {
-        berr(format!(
-            "join/IN key types {} and {} are incompatible",
-            l.type_id(),
-            r.type_id()
-        ))
+        berr(format!("join/IN key types {} and {} are incompatible", l.type_id(), r.type_id()))
     })?;
     Ok((cast_to(l, ty), cast_to(r, ty)))
 }
@@ -878,18 +855,14 @@ fn build_case(
         ty = TypeId::promote(ty, e.type_id())
             .ok_or_else(|| berr("CASE ELSE has incompatible type"))?;
     }
-    let branches = branches
-        .into_iter()
-        .map(|(c, v)| (c, cast_to(v, ty)))
-        .collect();
+    let branches = branches.into_iter().map(|(c, v)| (c, cast_to(v, ty))).collect();
     let else_expr = else_expr.map(|e| Box::new(cast_to(*e, ty)));
     Ok(SqlExpr::Case { branches, else_expr, ty })
 }
 
 /// Bind a non-aggregate function call by name.
 pub fn bind_function(name: &str, args: Vec<SqlExpr>) -> Result<SqlExpr> {
-    let imp = functions::resolve(name)
-        .ok_or_else(|| berr(format!("unknown function {name}")))?;
+    let imp = functions::resolve(name).ok_or_else(|| berr(format!("unknown function {name}")))?;
     let (args, ty) = functions::type_check(name, imp, args)?;
     Ok(match imp {
         FuncImpl::Kernel(func) => SqlExpr::Func { func, args, ty },
@@ -924,16 +897,16 @@ pub fn combine_binary(op: ast::BinaryOp, l: SqlExpr, r: SqlExpr) -> Result<SqlEx
                 TypeId::promote(lt, rt)
                     .ok_or_else(|| berr(format!("cannot compare {lt} with {rt}")))?
             };
-            Ok(SqlExpr::Cmp {
-                op: cmp,
-                l: Box::new(cast_to(l, ty)),
-                r: Box::new(cast_to(r, ty)),
-            })
+            Ok(SqlExpr::Cmp { op: cmp, l: Box::new(cast_to(l, ty)), r: Box::new(cast_to(r, ty)) })
         }
         B::Add | B::Sub | B::Mul | B::Div | B::Rem => {
             // Date arithmetic lowers to kernel date functions.
             if lt == TypeId::Date && rt.is_integer() && matches!(op, B::Add | B::Sub) {
-                let days = if op == B::Sub { negate(cast_to(r, TypeId::I64))? } else { cast_to(r, TypeId::I64) };
+                let days = if op == B::Sub {
+                    negate(cast_to(r, TypeId::I64))?
+                } else {
+                    cast_to(r, TypeId::I64)
+                };
                 return Ok(SqlExpr::Func {
                     func: KernelFunc::DateAddDays,
                     args: vec![l, days],
@@ -950,11 +923,8 @@ pub fn combine_binary(op: ast::BinaryOp, l: SqlExpr, r: SqlExpr) -> Result<SqlEx
             if !lt.is_numeric() || !rt.is_numeric() {
                 return Err(berr(format!("arithmetic on {lt} and {rt}")));
             }
-            let target = if lt == TypeId::F64 || rt == TypeId::F64 {
-                TypeId::F64
-            } else {
-                TypeId::I64
-            };
+            let target =
+                if lt == TypeId::F64 || rt == TypeId::F64 { TypeId::F64 } else { TypeId::I64 };
             let bop = match op {
                 B::Add => BinOp::Add,
                 B::Sub => BinOp::Sub,
@@ -1037,10 +1007,7 @@ mod tests {
     #[test]
     fn unknown_names_error() {
         assert!(matches!(bind("SELECT nope FROM t"), Err(VwError::Bind(_))));
-        assert!(matches!(
-            bind("SELECT id FROM missing"),
-            Err(VwError::Catalog(_))
-        ));
+        assert!(matches!(bind("SELECT id FROM missing"), Err(VwError::Catalog(_))));
         assert!(matches!(bind("SELECT NOSUCHFN(id) FROM t"), Err(VwError::Bind(_))));
     }
 
@@ -1053,10 +1020,8 @@ mod tests {
 
     #[test]
     fn aggregate_binding() {
-        let p = bind(
-            "SELECT name, SUM(qty), COUNT(*) FROM t GROUP BY name HAVING SUM(qty) > 10",
-        )
-        .unwrap();
+        let p = bind("SELECT name, SUM(qty), COUNT(*) FROM t GROUP BY name HAVING SUM(qty) > 10")
+            .unwrap();
         let text = p.explain();
         assert!(text.contains("Aggr groups=1 aggs=2"));
         assert!(text.contains("Select")); // HAVING
@@ -1121,10 +1086,7 @@ mod tests {
 
     #[test]
     fn between_and_extract() {
-        let p = bind(
-            "SELECT EXTRACT(YEAR FROM d) FROM t WHERE qty BETWEEN 1 AND 10",
-        )
-        .unwrap();
+        let p = bind("SELECT EXTRACT(YEAR FROM d) FROM t WHERE qty BETWEEN 1 AND 10").unwrap();
         assert_eq!(p.schema().field(0).ty, TypeId::I64);
     }
 

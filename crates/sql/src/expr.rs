@@ -208,13 +208,12 @@ impl SqlExpr {
                 SqlExpr::Col(ni, *ty)
             }
             SqlExpr::Lit(v, ty) => SqlExpr::Lit(v.clone(), *ty),
-            SqlExpr::Arith { op, l, r, ty } => SqlExpr::Arith {
-                op: *op,
-                l: remap_box(l)?,
-                r: remap_box(r)?,
-                ty: *ty,
-            },
-            SqlExpr::Cmp { op, l, r } => SqlExpr::Cmp { op: *op, l: remap_box(l)?, r: remap_box(r)? },
+            SqlExpr::Arith { op, l, r, ty } => {
+                SqlExpr::Arith { op: *op, l: remap_box(l)?, r: remap_box(r)?, ty: *ty }
+            }
+            SqlExpr::Cmp { op, l, r } => {
+                SqlExpr::Cmp { op: *op, l: remap_box(l)?, r: remap_box(r)? }
+            }
             SqlExpr::And(v) => SqlExpr::And(remap_vec(v)?),
             SqlExpr::Or(v) => SqlExpr::Or(remap_vec(v)?),
             SqlExpr::Not(e) => SqlExpr::Not(remap_box(e)?),
@@ -232,16 +231,12 @@ impl SqlExpr {
                 },
                 ty: *ty,
             },
-            SqlExpr::Func { func, args, ty } => SqlExpr::Func {
-                func: *func,
-                args: remap_vec(args)?,
-                ty: *ty,
-            },
-            SqlExpr::Ext { func, args, ty } => SqlExpr::Ext {
-                func: *func,
-                args: remap_vec(args)?,
-                ty: *ty,
-            },
+            SqlExpr::Func { func, args, ty } => {
+                SqlExpr::Func { func: *func, args: remap_vec(args)?, ty: *ty }
+            }
+            SqlExpr::Ext { func, args, ty } => {
+                SqlExpr::Ext { func: *func, args: remap_vec(args)?, ty: *ty }
+            }
             SqlExpr::Like { input, pattern, negated } => SqlExpr::Like {
                 input: remap_box(input)?,
                 pattern: pattern.clone(),
@@ -293,11 +288,7 @@ mod tests {
         let e = SqlExpr::Arith {
             op: BinOp::Add,
             l: Box::new(col(2)),
-            r: Box::new(SqlExpr::Cmp {
-                op: CmpOp::Lt,
-                l: Box::new(col(0)),
-                r: Box::new(lit(5)),
-            }),
+            r: Box::new(SqlExpr::Cmp { op: CmpOp::Lt, l: Box::new(col(0)), r: Box::new(lit(5)) }),
             ty: TypeId::I64,
         };
         let mut cols = Vec::new();
@@ -319,10 +310,7 @@ mod tests {
 
     #[test]
     fn conjunct_flattening() {
-        let e = SqlExpr::And(vec![
-            SqlExpr::And(vec![col(0), col(1)]),
-            col(2),
-        ]);
+        let e = SqlExpr::And(vec![SqlExpr::And(vec![col(0), col(1)]), col(2)]);
         assert_eq!(e.conjuncts().len(), 3);
     }
 

@@ -56,11 +56,7 @@ pub fn resolve(name: &str) -> Option<FuncImpl> {
 
 /// Type-check a resolved function call against its bound arguments and
 /// return (possibly coerced arguments, result type).
-pub fn type_check(
-    name: &str,
-    imp: FuncImpl,
-    args: Vec<SqlExpr>,
-) -> Result<(Vec<SqlExpr>, TypeId)> {
+pub fn type_check(name: &str, imp: FuncImpl, args: Vec<SqlExpr>) -> Result<(Vec<SqlExpr>, TypeId)> {
     let err = |msg: String| VwError::Bind(format!("{name}: {msg}"));
     let arity = |want: std::ops::RangeInclusive<usize>| -> Result<()> {
         if want.contains(&args.len()) {
@@ -109,13 +105,7 @@ pub fn type_check(
                     want_str(&args[0])?;
                     let mut it = args.into_iter();
                     let mut out = vec![it.next().unwrap()];
-                    out.extend(it.map(|a| {
-                        if a.type_id().is_integer() {
-                            to_i64(a)
-                        } else {
-                            a
-                        }
-                    }));
+                    out.extend(it.map(|a| if a.type_id().is_integer() { to_i64(a) } else { a }));
                     for a in &out[1..] {
                         if a.type_id() != TypeId::I64 {
                             return Err(err("position/length must be integers".into()));
@@ -226,10 +216,8 @@ pub fn type_check(
                         (true, false) => args[1].type_id(),
                         (false, true) => args[0].type_id(),
                         (true, true) => TypeId::I64,
-                        (false, false) => {
-                            TypeId::promote(args[0].type_id(), args[1].type_id())
-                                .ok_or_else(|| err("incompatible argument types".into()))?
-                        }
+                        (false, false) => TypeId::promote(args[0].type_id(), args[1].type_id())
+                            .ok_or_else(|| err("incompatible argument types".into()))?,
                     };
                     let coerced = args
                         .into_iter()

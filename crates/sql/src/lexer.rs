@@ -25,9 +25,7 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
     let b = sql.as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();
-    let err = |i: usize, msg: &str| {
-        VwError::Parse(format!("{msg} at byte {i}"))
-    };
+    let err = |i: usize, msg: &str| VwError::Parse(format!("{msg} at byte {i}"));
     while i < b.len() {
         let c = b[i] as char;
         match c {
@@ -55,9 +53,10 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                     }
                     // Multi-byte UTF-8 passes through untouched.
                     let ch_len = utf8_len(b[i]);
-                    s.push_str(std::str::from_utf8(&b[i..i + ch_len]).map_err(|_| {
-                        err(i, "invalid UTF-8 in string literal")
-                    })?);
+                    s.push_str(
+                        std::str::from_utf8(&b[i..i + ch_len])
+                            .map_err(|_| err(i, "invalid UTF-8 in string literal"))?,
+                    );
                     i += ch_len;
                 }
                 out.push(Tok::Str(s));
@@ -96,17 +95,14 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                 } else {
                     match text.parse::<i64>() {
                         Ok(v) => out.push(Tok::Int(v)),
-                        Err(_) => out.push(Tok::Float(
-                            text.parse().map_err(|_| err(start, "bad number"))?,
-                        )),
+                        Err(_) => out
+                            .push(Tok::Float(text.parse().map_err(|_| err(start, "bad number"))?)),
                     }
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Tok::Ident(sql[start..i].to_string()));

@@ -161,12 +161,7 @@ pub fn fold_expr(e: SqlExpr) -> Result<SqlExpr> {
     Ok(e)
 }
 
-fn eval_const_arith(
-    op: crate::expr::BinOp,
-    a: &Value,
-    b: &Value,
-    ty: TypeId,
-) -> Option<Value> {
+fn eval_const_arith(op: crate::expr::BinOp, a: &Value, b: &Value, ty: TypeId) -> Option<Value> {
     use crate::expr::BinOp::*;
     if ty == TypeId::F64 {
         let (x, y) = (a.as_f64().ok()?, b.as_f64().ok()?);
@@ -223,15 +218,12 @@ fn simplify_group_by(plan: LogicalPlan) -> LogicalPlan {
             let _ = &group;
             LogicalPlan::Aggregate { input, group, aggs, schema }
         }
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(simplify_group_by(*input)),
-            predicate,
-        },
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-            input: Box::new(simplify_group_by(*input)),
-            exprs,
-            schema,
-        },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(simplify_group_by(*input)), predicate }
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project { input: Box::new(simplify_group_by(*input)), exprs, schema }
+        }
         LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
             left: Box::new(simplify_group_by(*left)),
             right: Box::new(simplify_group_by(*right)),
@@ -262,19 +254,14 @@ fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
             if let LogicalPlan::Filter { input: inner, predicate: p2 } = input {
                 let mut parts = p2.conjuncts();
                 parts.extend(predicate.conjuncts());
-                merge_filters(LogicalPlan::Filter {
-                    input: inner,
-                    predicate: SqlExpr::And(parts),
-                })
+                merge_filters(LogicalPlan::Filter { input: inner, predicate: SqlExpr::And(parts) })
             } else {
                 LogicalPlan::Filter { input: Box::new(input), predicate }
             }
         }
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-            input: Box::new(merge_filters(*input)),
-            exprs,
-            schema,
-        },
+        LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project { input: Box::new(merge_filters(*input)), exprs, schema }
+        }
         LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
             left: Box::new(merge_filters(*left)),
             right: Box::new(merge_filters(*right)),
@@ -282,12 +269,9 @@ fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
             keys,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
-            input: Box::new(merge_filters(*input)),
-            group,
-            aggs,
-            schema,
-        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            LogicalPlan::Aggregate { input: Box::new(merge_filters(*input)), group, aggs, schema }
+        }
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(merge_filters(*input)), keys }
         }
@@ -318,11 +302,9 @@ fn push_hints(plan: LogicalPlan) -> LogicalPlan {
                 LogicalPlan::Filter { input: Box::new(input), predicate }
             }
         }
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
-            input: Box::new(push_hints(*input)),
-            exprs,
-            schema,
-        },
+        LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project { input: Box::new(push_hints(*input)), exprs, schema }
+        }
         LogicalPlan::Join { left, right, kind, keys, schema } => LogicalPlan::Join {
             left: Box::new(push_hints(*left)),
             right: Box::new(push_hints(*right)),
@@ -330,12 +312,9 @@ fn push_hints(plan: LogicalPlan) -> LogicalPlan {
             keys,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
-            input: Box::new(push_hints(*input)),
-            group,
-            aggs,
-            schema,
-        },
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            LogicalPlan::Aggregate { input: Box::new(push_hints(*input)), group, aggs, schema }
+        }
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(push_hints(*input)), keys }
         }
@@ -357,9 +336,7 @@ fn hint_from(e: &SqlExpr, projection: &[usize]) -> Option<ScanHint> {
                 if let SqlExpr::Col(c, cty) = input.as_ref() {
                     // Narrow the literal back to the column type, if exact.
                     match v.cast_to(*cty) {
-                        Ok(nv) if nv.cast_to(v.type_id()?) == Ok(v.clone()) => {
-                            (*op, *c, nv, false)
-                        }
+                        Ok(nv) if nv.cast_to(v.type_id()?) == Ok(v.clone()) => (*op, *c, nv, false),
                         _ => return None,
                     }
                 } else {
@@ -392,10 +369,7 @@ fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
                 e.collect_cols(&mut needed);
             }
             let (input, remap) = narrow(*input, needed)?;
-            let exprs = exprs
-                .iter()
-                .map(|e| e.remap_cols(&|i| remap(i)))
-                .collect::<Result<_>>()?;
+            let exprs = exprs.iter().map(|e| e.remap_cols(&|i| remap(i))).collect::<Result<_>>()?;
             Ok(LogicalPlan::Project { input: Box::new(input), exprs, schema })
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
@@ -409,10 +383,7 @@ fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
                 }
             }
             let (input, remap) = narrow(*input, needed)?;
-            let group = group
-                .iter()
-                .map(|e| e.remap_cols(&|i| remap(i)))
-                .collect::<Result<_>>()?;
+            let group = group.iter().map(|e| e.remap_cols(&|i| remap(i))).collect::<Result<_>>()?;
             let aggs = aggs
                 .iter()
                 .map(|a| {
@@ -428,10 +399,9 @@ fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
                 .collect::<Result<_>>()?;
             Ok(LogicalPlan::Aggregate { input: Box::new(input), group, aggs, schema })
         }
-        LogicalPlan::Filter { input, predicate } => Ok(LogicalPlan::Filter {
-            input: Box::new(prune_projections(*input)?),
-            predicate,
-        }),
+        LogicalPlan::Filter { input, predicate } => {
+            Ok(LogicalPlan::Filter { input: Box::new(prune_projections(*input)?), predicate })
+        }
         LogicalPlan::Join { left, right, kind, keys, schema } => Ok(LogicalPlan::Join {
             left: Box::new(prune_projections(*left)?),
             right: Box::new(prune_projections(*right)?),
@@ -439,15 +409,12 @@ fn prune_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
             keys,
             schema,
         }),
-        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
-            input: Box::new(prune_projections(*input)?),
-            keys,
-        }),
-        LogicalPlan::Limit { input, offset, limit } => Ok(LogicalPlan::Limit {
-            input: Box::new(prune_projections(*input)?),
-            offset,
-            limit,
-        }),
+        LogicalPlan::Sort { input, keys } => {
+            Ok(LogicalPlan::Sort { input: Box::new(prune_projections(*input)?), keys })
+        }
+        LogicalPlan::Limit { input, offset, limit } => {
+            Ok(LogicalPlan::Limit { input: Box::new(prune_projections(*input)?), offset, limit })
+        }
         other => Ok(other),
     }
 }
@@ -485,12 +452,7 @@ fn narrow(
             let map: std::collections::HashMap<usize, usize> =
                 needed.iter().enumerate().map(|(n, &o)| (o, n)).collect();
             Ok((
-                LogicalPlan::Scan {
-                    table,
-                    projection: new_projection,
-                    schema: new_schema,
-                    hints,
-                },
+                LogicalPlan::Scan { table, projection: new_projection, schema: new_schema, hints },
                 Box::new(move |i| map.get(&i).copied()),
             ))
         }
@@ -500,10 +462,7 @@ fn narrow(
             predicate.collect_cols(&mut all);
             let (inner, remap) = narrow(*input, all)?;
             let predicate = predicate.remap_cols(&|i| remap(i))?;
-            Ok((
-                LogicalPlan::Filter { input: Box::new(inner), predicate },
-                remap,
-            ))
+            Ok((LogicalPlan::Filter { input: Box::new(inner), predicate }, remap))
         }
         other => {
             let other = prune_projections(other)?;
@@ -518,9 +477,7 @@ fn narrow(
 
 fn estimate_rows(plan: &LogicalPlan, catalog: &dyn CatalogView) -> f64 {
     match plan {
-        LogicalPlan::Scan { table, .. } => {
-            catalog.table_rows(table).unwrap_or(1000) as f64
-        }
+        LogicalPlan::Scan { table, .. } => catalog.table_rows(table).unwrap_or(1000) as f64,
         LogicalPlan::Filter { input, .. } => 0.3 * estimate_rows(input, catalog),
         LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
             estimate_rows(input, catalog)
@@ -580,10 +537,9 @@ fn choose_build_side(plan: LogicalPlan, catalog: &dyn CatalogView) -> LogicalPla
             }
             LogicalPlan::Join { left, right, kind, keys, schema }
         }
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(choose_build_side(*input, catalog)),
-            predicate,
-        },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(choose_build_side(*input, catalog)), predicate }
+        }
         LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
             input: Box::new(choose_build_side(*input, catalog)),
             exprs,

@@ -273,11 +273,7 @@ impl Parser {
                 break;
             }
         }
-        let from = if self.eat_kw("FROM") {
-            Some(self.table_ref()?)
-        } else {
-            None
-        };
+        let from = if self.eat_kw("FROM") { Some(self.table_ref()?) } else { None };
         let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
@@ -361,12 +357,7 @@ impl Parser {
             let right = self.base_table()?;
             self.expect_kw("ON")?;
             let on = self.expr()?;
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -439,7 +430,9 @@ impl Parser {
         if self.eat_kw("LIKE") {
             let pattern = match self.bump() {
                 Tok::Str(s) => s,
-                other => return Err(perr(format!("LIKE pattern must be a string, found {other:?}"))),
+                other => {
+                    return Err(perr(format!("LIKE pattern must be a string, found {other:?}")))
+                }
             };
             return Ok(Expr::Like { expr: Box::new(e), pattern, negated });
         }
@@ -575,11 +568,8 @@ impl Parser {
                     let val = self.expr()?;
                     branches.push((cond, val));
                 }
-                let else_expr = if self.eat_kw("ELSE") {
-                    Some(Box::new(self.expr()?))
-                } else {
-                    None
-                };
+                let else_expr =
+                    if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
                 self.expect_kw("END")?;
                 return Ok(Expr::Case { branches, else_expr });
             }
@@ -686,7 +676,8 @@ mod tests {
 
     #[test]
     fn select_basics() {
-        let stmts = parse("SELECT a, b + 1 AS c FROM t WHERE a > 5 ORDER BY c DESC LIMIT 10").unwrap();
+        let stmts =
+            parse("SELECT a, b + 1 AS c FROM t WHERE a > 5 ORDER BY c DESC LIMIT 10").unwrap();
         assert_eq!(stmts.len(), 1);
         let Statement::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(s.items.len(), 2);
@@ -702,9 +693,7 @@ mod tests {
         let Statement::Select(s) = &stmts[0] else { panic!() };
         let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
         // Must parse as 1 + (2*3).
-        let Expr::Binary { op: BinaryOp::Add, right, .. } = expr else {
-            panic!("got {expr:?}")
-        };
+        let Expr::Binary { op: BinaryOp::Add, right, .. } = expr else { panic!("got {expr:?}") };
         assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
     }
 
@@ -720,10 +709,7 @@ mod tests {
 
     #[test]
     fn group_by_having() {
-        let stmts = parse(
-            "SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 100",
-        )
-        .unwrap();
+        let stmts = parse("SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 100").unwrap();
         let Statement::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
@@ -749,10 +735,9 @@ mod tests {
 
     #[test]
     fn case_and_cast() {
-        let stmts = parse(
-            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS DOUBLE) FROM t",
-        )
-        .unwrap();
+        let stmts =
+            parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS DOUBLE) FROM t")
+                .unwrap();
         let Statement::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(s.items.len(), 2);
     }
@@ -785,7 +770,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmts.len(), 3);
-        assert!(matches!(&stmts[0], Statement::Insert { source: InsertSource::Values(rows), .. } if rows.len() == 2));
+        assert!(
+            matches!(&stmts[0], Statement::Insert { source: InsertSource::Values(rows), .. } if rows.len() == 2)
+        );
         assert!(matches!(&stmts[1], Statement::Update { sets, .. } if sets.len() == 1));
         assert!(matches!(&stmts[2], Statement::Delete { .. }));
     }
@@ -813,16 +800,15 @@ mod tests {
     #[test]
     fn explain_wraps() {
         let stmts = parse("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(&stmts[0], Statement::Explain(inner) if matches!(**inner, Statement::Select(_))));
+        assert!(
+            matches!(&stmts[0], Statement::Explain(inner) if matches!(**inner, Statement::Select(_)))
+        );
     }
 
     #[test]
     fn errors_are_parse_errors() {
         for bad in ["SELECT FROM", "SELECT 1 FROM", "CREATE TABLE t", "INSERT INTO", "UPDATE t"] {
-            assert!(
-                matches!(parse(bad), Err(VwError::Parse(_))),
-                "{bad} should fail"
-            );
+            assert!(matches!(parse(bad), Err(VwError::Parse(_))), "{bad} should fail");
         }
     }
 

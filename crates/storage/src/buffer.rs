@@ -150,11 +150,14 @@ mod tests {
     use super::*;
     use crate::disk::SimulatedDisk;
 
-    fn setup(nblocks: usize, block_size: usize, pool_bytes: usize) -> (Arc<BufferPool>, Vec<BlockId>) {
+    fn setup(
+        nblocks: usize,
+        block_size: usize,
+        pool_bytes: usize,
+    ) -> (Arc<BufferPool>, Vec<BlockId>) {
         let disk = SimulatedDisk::instant();
-        let ids: Vec<BlockId> = (0..nblocks)
-            .map(|i| disk.write_new(vec![i as u8; block_size]))
-            .collect();
+        let ids: Vec<BlockId> =
+            (0..nblocks).map(|i| disk.write_new(vec![i as u8; block_size])).collect();
         (BufferPool::new(disk, pool_bytes), ids)
     }
 

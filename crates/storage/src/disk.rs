@@ -42,10 +42,7 @@ impl DiskConfig {
     /// A small HDD-ish device: 200 MB/s, 1 ms seeks. Benchmarks use this so
     /// that scan scheduling effects dominate CPU noise.
     pub fn hdd_like() -> DiskConfig {
-        DiskConfig {
-            bandwidth_bytes_per_sec: 200 << 20,
-            seek_latency: Duration::from_millis(1),
-        }
+        DiskConfig { bandwidth_bytes_per_sec: 200 << 20, seek_latency: Duration::from_millis(1) }
     }
 }
 

@@ -146,11 +146,7 @@ impl TableStorage {
     /// All columns must have identical lengths matching the schema order and
     /// types. One call creates exactly one pack; bulk loaders chunk their
     /// input to the configured pack size before calling this.
-    pub fn append_pack(
-        &mut self,
-        columns: &[ColData],
-        nulls: &[Option<Vec<bool>>],
-    ) -> Result<()> {
+    pub fn append_pack(&mut self, columns: &[ColData], nulls: &[Option<Vec<bool>>]) -> Result<()> {
         if columns.len() != self.schema.len() || nulls.len() != self.schema.len() {
             return Err(VwError::Storage(format!(
                 "append_pack got {} columns, schema has {}",
@@ -188,11 +184,8 @@ impl TableStorage {
             }
         }
 
-        let encoded: Vec<Vec<u8>> = columns
-            .iter()
-            .zip(nulls)
-            .map(|(c, m)| encode_chunk(c, m.as_deref()))
-            .collect();
+        let encoded: Vec<Vec<u8>> =
+            columns.iter().zip(nulls).map(|(c, m)| encode_chunk(c, m.as_deref())).collect();
 
         let mut metas = Vec::with_capacity(columns.len());
         match self.layout {
@@ -242,10 +235,8 @@ impl TableStorage {
                     out
                 })
                 .collect();
-            let nls: Vec<Option<Vec<bool>>> = nulls
-                .iter()
-                .map(|m| m.as_ref().map(|m| m[start..end].to_vec()))
-                .collect();
+            let nls: Vec<Option<Vec<bool>>> =
+                nulls.iter().map(|m| m.as_ref().map(|m| m[start..end].to_vec())).collect();
             self.append_pack(&cols, &nls)?;
             start = end;
         }
@@ -283,12 +274,7 @@ impl TableStorage {
     /// Pack indices whose MinMax ranges may satisfy
     /// `lo <= column <= hi` (either bound optional). NULL-only chunks are
     /// pruned when a bound is present (NULL never satisfies a comparison).
-    pub fn prune(
-        &self,
-        col: usize,
-        lo: Option<&Value>,
-        hi: Option<&Value>,
-    ) -> Vec<ScanRange> {
+    pub fn prune(&self, col: usize, lo: Option<&Value>, hi: Option<&Value>) -> Vec<ScanRange> {
         use std::cmp::Ordering::*;
         self.packs
             .iter()
@@ -330,17 +316,10 @@ impl TableStorage {
     /// Total bytes this table occupies on the device.
     pub fn stored_bytes(&self) -> usize {
         match self.layout {
-            Layout::Dsm => self
-                .packs
-                .iter()
-                .flat_map(|p| p.columns.iter().map(|c| c.length))
-                .sum(),
+            Layout::Dsm => self.packs.iter().flat_map(|p| p.columns.iter().map(|c| c.length)).sum(),
             Layout::Pax => {
                 // One block per pack; sum unique block sizes.
-                self.packs
-                    .iter()
-                    .map(|p| p.columns.iter().map(|c| c.length).sum::<usize>())
-                    .sum()
+                self.packs.iter().map(|p| p.columns.iter().map(|c| c.length).sum::<usize>()).sum()
             }
         }
     }
@@ -467,26 +446,17 @@ mod tests {
         // Wrong arity.
         assert!(t.append_pack(&[ColData::I64(vec![1])], &[None]).is_err());
         // Wrong type.
-        let bad = vec![
-            ColData::I32(vec![1]),
-            ColData::I32(vec![1]),
-            ColData::Str(vec!["x".into()]),
-        ];
+        let bad =
+            vec![ColData::I32(vec![1]), ColData::I32(vec![1]), ColData::Str(vec!["x".into()])];
         assert!(t.append_pack(&bad, &[None, None, None]).is_err());
         // NULL in NOT NULL column.
-        let cols = vec![
-            ColData::I64(vec![1]),
-            ColData::I32(vec![1]),
-            ColData::Str(vec!["x".into()]),
-        ];
+        let cols =
+            vec![ColData::I64(vec![1]), ColData::I32(vec![1]), ColData::Str(vec!["x".into()])];
         let nulls = vec![Some(vec![true]), None, None];
         assert!(t.append_pack(&cols, &nulls).is_err());
         // Ragged lengths.
-        let cols = vec![
-            ColData::I64(vec![1, 2]),
-            ColData::I32(vec![1]),
-            ColData::Str(vec!["x".into()]),
-        ];
+        let cols =
+            vec![ColData::I64(vec![1, 2]), ColData::I32(vec![1]), ColData::Str(vec!["x".into()])];
         assert!(t.append_pack(&cols, &[None, None, None]).is_err());
     }
 
@@ -518,11 +488,8 @@ mod tests {
     fn empty_append_is_noop() {
         let disk = SimulatedDisk::instant();
         let mut t = TableStorage::new(disk, schema(), Layout::Dsm);
-        let cols = vec![
-            ColData::new(TypeId::I64),
-            ColData::new(TypeId::I32),
-            ColData::new(TypeId::Str),
-        ];
+        let cols =
+            vec![ColData::new(TypeId::I64), ColData::new(TypeId::I32), ColData::new(TypeId::Str)];
         t.append_pack(&cols, &[None, None, None]).unwrap();
         assert_eq!(t.n_packs(), 0);
         assert_eq!(t.n_rows(), 0);

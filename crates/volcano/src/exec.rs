@@ -372,8 +372,7 @@ impl TupleAggregate {
                     TupleAgg::Min(c) => {
                         let v = &row[*c];
                         if !v.is_null()
-                            && (st.min.is_null()
-                                || v.sql_cmp(&st.min) == Some(Ordering::Less))
+                            && (st.min.is_null() || v.sql_cmp(&st.min) == Some(Ordering::Less))
                         {
                             st.min = v.clone();
                         }
@@ -381,8 +380,7 @@ impl TupleAggregate {
                     TupleAgg::Max(c) => {
                         let v = &row[*c];
                         if !v.is_null()
-                            && (st.max.is_null()
-                                || v.sql_cmp(&st.max) == Some(Ordering::Greater))
+                            && (st.max.is_null() || v.sql_cmp(&st.max) == Some(Ordering::Greater))
                         {
                             st.max = v.clone();
                         }
@@ -710,17 +708,12 @@ mod tests {
     use vw_storage::SimulatedDisk;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Field::not_null("id", TypeId::I64),
-            Field::nullable("grp", TypeId::Str),
-        ])
-        .unwrap()
+        Schema::new(vec![Field::not_null("id", TypeId::I64), Field::nullable("grp", TypeId::Str)])
+            .unwrap()
     }
 
     fn values(n: i64) -> BoxedIter {
-        let rows = (0..n)
-            .map(|i| vec![Value::I64(i), Value::Str(format!("g{}", i % 3))])
-            .collect();
+        let rows = (0..n).map(|i| vec![Value::I64(i), Value::Str(format!("g{}", i % 3))]).collect();
         Box::new(TupleValues::new(schema(), rows))
     }
 
@@ -729,9 +722,8 @@ mod tests {
         let disk = SimulatedDisk::instant();
         let pool = BufferPool::new(disk.clone(), 1 << 20);
         let mut store = RowStore::new(disk, schema());
-        let rows: Vec<Row> = (0..500)
-            .map(|i| vec![Value::I64(i), Value::Str("x".into())])
-            .collect();
+        let rows: Vec<Row> =
+            (0..500).map(|i| vec![Value::I64(i), Value::Str("x".into())]).collect();
         store.append_rows(&rows).unwrap();
         let mut scan = TupleScan::new(Arc::new(store), pool);
         let got = collect_rows(&mut scan).unwrap();

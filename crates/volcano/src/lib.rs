@@ -22,8 +22,7 @@ pub mod exec;
 pub mod store;
 
 pub use exec::{
-    collect_rows, BoxedIter, Row, ScalarExpr, TupleAgg, TupleAggregate, TupleFilter,
-    TupleHashJoin, TupleIterator, TupleJoinKind, TupleLimit, TupleProject, TupleScan, TupleSort,
-    TupleValues,
+    collect_rows, BoxedIter, Row, ScalarExpr, TupleAgg, TupleAggregate, TupleFilter, TupleHashJoin,
+    TupleIterator, TupleJoinKind, TupleLimit, TupleProject, TupleScan, TupleSort, TupleValues,
 };
 pub use store::RowStore;

@@ -116,10 +116,7 @@ impl RowStore {
             }
             for (v, f) in row.iter().zip(&self.schema.fields) {
                 if v.is_null() && !f.nullable {
-                    return Err(VwError::Storage(format!(
-                        "NULL in NOT NULL column {}",
-                        f.name
-                    )));
+                    return Err(VwError::Storage(format!("NULL in NOT NULL column {}", f.name)));
                 }
                 put_value(&mut buf, v, f.ty)?;
             }
@@ -141,10 +138,8 @@ impl RowStore {
 
     /// Decode all rows of page `i` through the buffer pool.
     pub fn read_page(&self, pool: &BufferPool, i: usize) -> Result<Vec<Vec<Value>>> {
-        let (block, count) = *self
-            .pages
-            .get(i)
-            .ok_or_else(|| VwError::Storage(format!("page {i} out of range")))?;
+        let (block, count) =
+            *self.pages.get(i).ok_or_else(|| VwError::Storage(format!("page {i} out of range")))?;
         let bytes = pool.get(block)?;
         let mut pos = 0usize;
         let mut rows = Vec::with_capacity(count);
@@ -160,10 +155,7 @@ impl RowStore {
 
     /// Bytes occupied on the device.
     pub fn stored_bytes(&self) -> usize {
-        self.pages
-            .iter()
-            .map(|(b, _)| self.disk.block_size(*b).unwrap_or(0))
-            .sum()
+        self.pages.iter().map(|(b, _)| self.disk.block_size(*b).unwrap_or(0)).sum()
     }
 
     /// Release all pages (DROP TABLE).
@@ -232,9 +224,7 @@ mod tests {
         let disk = SimulatedDisk::instant();
         let mut store = RowStore::new(disk, schema());
         assert!(store.append_rows(&[vec![Value::I64(1)]]).is_err());
-        assert!(store
-            .append_rows(&[vec![Value::Null, Value::Null, Value::Null]])
-            .is_err());
+        assert!(store.append_rows(&[vec![Value::Null, Value::Null, Value::Null]]).is_err());
         assert!(store
             .append_rows(&[vec![Value::Str("x".into()), Value::Null, Value::Null]])
             .is_err());

@@ -10,10 +10,8 @@ fn main() {
     let db = Database::open_in_memory();
     db.execute("CREATE TABLE accounts (id BIGINT NOT NULL, owner VARCHAR, balance BIGINT)")
         .unwrap();
-    db.execute(
-        "INSERT INTO accounts VALUES (1, 'alice', 100), (2, 'bob', 50), (3, 'carol', 75)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO accounts VALUES (1, 'alice', 100), (2, 'bob', 50), (3, 'carol', 75)")
+        .unwrap();
 
     // Two sessions, snapshot isolation.
     let mut alice = db.session();
@@ -51,12 +49,8 @@ fn main() {
     // The PDT accumulates deltas; CHECKPOINT merges them into fresh stable
     // storage (the paper's background update propagation, run on demand).
     for i in 0..1000 {
-        db.execute(&format!(
-            "INSERT INTO accounts VALUES ({}, 'gen', {})",
-            10 + i,
-            i % 100
-        ))
-        .unwrap();
+        db.execute(&format!("INSERT INTO accounts VALUES ({}, 'gen', {})", 10 + i, i % 100))
+            .unwrap();
     }
     let r = db.execute("SELECT COUNT(*) FROM accounts").unwrap();
     println!("rows before checkpoint: {}", r.rows()[0][0]);

@@ -22,14 +22,11 @@ fn main() {
     let n = 400_000;
     let keys = ColData::I64((0..n as i64).collect());
     // Mildly compressible payloads so packs stay a realistic size.
-    let payload = ColData::Str((0..n).map(|i| format!("payload-{:06}-{}", i, "x".repeat(i % 17))).collect());
+    let payload =
+        ColData::Str((0..n).map(|i| format!("payload-{:06}-{}", i, "x".repeat(i % 17))).collect());
     table.append_columns(&[keys, payload], &[None, None], 16 * 1024).unwrap();
     let table = Arc::new(table);
-    println!(
-        "table: {} packs, {} KiB on disk",
-        table.n_packs(),
-        table.stored_bytes() >> 10
-    );
+    println!("table: {} packs, {} KiB on disk", table.n_packs(), table.stored_bytes() >> 10);
 
     let scans = 4;
     for policy in [ScanPolicy::Naive, ScanPolicy::Attach, ScanPolicy::Relevance] {

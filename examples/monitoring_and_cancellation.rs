@@ -20,18 +20,13 @@ fn main() {
     // Launch an expensive self-join on another thread...
     let db2 = db.clone();
     let worker = std::thread::spawn(move || {
-        db2.execute(
-            "SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_partkey = b.l_partkey",
-        )
+        db2.execute("SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_partkey = b.l_partkey")
     });
 
     // ...find it in the query list...
     let qid = loop {
-        if let Some(q) = db
-            .monitor
-            .list_queries()
-            .into_iter()
-            .find(|q| q.state == QueryState::Running)
+        if let Some(q) =
+            db.monitor.list_queries().into_iter().find(|q| q.state == QueryState::Running)
         {
             break q.id;
         }

@@ -8,10 +8,8 @@ use vectorwise::core::Database;
 #[test]
 fn both_table_kinds_coexist_and_join() {
     let db = Database::open_in_memory();
-    db.execute("CREATE TABLE facts (k BIGINT NOT NULL, v BIGINT) WITH TYPE = VECTORWISE")
-        .unwrap();
-    db.execute("CREATE TABLE dims (k BIGINT NOT NULL, label VARCHAR) WITH TYPE = HEAP")
-        .unwrap();
+    db.execute("CREATE TABLE facts (k BIGINT NOT NULL, v BIGINT) WITH TYPE = VECTORWISE").unwrap();
+    db.execute("CREATE TABLE dims (k BIGINT NOT NULL, label VARCHAR) WITH TYPE = HEAP").unwrap();
     db.execute("INSERT INTO facts VALUES (1, 10), (2, 20), (2, 22), (3, 30)").unwrap();
     db.execute("INSERT INTO dims VALUES (1, 'one'), (2, 'two')").unwrap();
     let r = db
@@ -52,11 +50,8 @@ fn rewriter_parallelization_appears_in_plans() {
     let db = Database::open_in_memory();
     db.execute("CREATE TABLE t (g VARCHAR, v BIGINT)").unwrap();
     db.execute("SET parallelism = 4").unwrap();
-    let plan = db
-        .execute("EXPLAIN SELECT g, SUM(v), AVG(v) FROM t GROUP BY g")
-        .unwrap()
-        .text
-        .unwrap();
+    let plan =
+        db.execute("EXPLAIN SELECT g, SUM(v), AVG(v) FROM t GROUP BY g").unwrap().text.unwrap();
     assert!(plan.contains("Xchg dop=4"), "{plan}");
     // AVG decomposed: partial aggregate has extra calls.
     assert_eq!(plan.matches("Aggr").count(), 2, "{plan}");
@@ -98,10 +93,7 @@ fn compression_is_actually_engaged() {
     };
     let stored = storage.read().stored_bytes();
     let raw = 50_000 * 8 + 50_000;
-    assert!(
-        stored * 4 < raw,
-        "expected >4x compression, stored {stored} vs raw {raw}"
-    );
+    assert!(stored * 4 < raw, "expected >4x compression, stored {stored} vs raw {raw}");
     drop(cat);
     let r = db.execute("SELECT COUNT(*) FROM t WHERE flag = 'A'").unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::I64(25_000));
@@ -122,9 +114,7 @@ fn minmax_pruning_reduces_io() {
     };
     let _ = reads_full;
     // Narrow range touches ~1 pack instead of all.
-    let r = db
-        .execute("SELECT COUNT(*) FROM t WHERE k >= 100000 AND k < 100010")
-        .unwrap();
+    let r = db.execute("SELECT COUNT(*) FROM t WHERE k >= 100000 AND k < 100010").unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::I64(10));
 }
 
@@ -132,14 +122,11 @@ fn minmax_pruning_reduces_io() {
 fn cancellation_is_prompt_and_clean() {
     let db = Database::open_in_memory();
     db.execute("CREATE TABLE t (k BIGINT NOT NULL)").unwrap();
-    let cols = vec![vectorwise::common::ColData::I64(
-        (0..60_000).map(|i| i % 500).collect(),
-    )];
+    let cols = vec![vectorwise::common::ColData::I64((0..60_000).map(|i| i % 500).collect())];
     vectorwise::core::bulk_load(&db, "t", &cols, &[None]).unwrap();
     let db2 = db.clone();
-    let h = std::thread::spawn(move || {
-        db2.execute("SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k")
-    });
+    let h =
+        std::thread::spawn(move || db2.execute("SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k"));
     let qid = loop {
         if let Some(q) = db
             .monitor

@@ -144,9 +144,6 @@ fn update_expressions_use_old_row_values() {
     let r = db.execute("SELECT a, b FROM t ORDER BY a").unwrap();
     assert_eq!(
         r.rows(),
-        &[
-            vec![Value::I64(10), Value::I64(1)],
-            vec![Value::I64(20), Value::I64(2)],
-        ]
+        &[vec![Value::I64(10), Value::I64(1)], vec![Value::I64(20), Value::I64(2)],]
     );
 }
