@@ -790,8 +790,11 @@ pub fn select_ablation(n: usize) -> Table {
 pub type SmokeMetric = (String, f64);
 
 /// CI perf-smoke harness: a short, deterministic (fixed seed, fixed row
-/// count) measurement of the two headline hot paths — scan→filter→agg and
-/// hash join — at DOP 1 and DOP 4, reported as input rows per second.
+/// count) measurement of the three headline hot paths — scan→filter→agg,
+/// hash join, and a **skewed scan→filter→agg** (the filter survivors sit
+/// in the last 10% of the clustered `l_orderkey` range, so under static
+/// partitioning DOP 4 used to collapse onto one worker; morsel claims keep
+/// it balanced) — at DOP 1 and DOP 4, reported as input rows per second.
 ///
 /// Runs in roughly ten seconds at the `perf_smoke` binary's default 500k
 /// rows: each case is timed as best-of-`reps` after one warm-up run,
@@ -801,9 +804,11 @@ pub type SmokeMetric = (String, f64);
 /// smoke run also guards parallel correctness.
 pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
     let agg_sql = "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
-                   FROM lineitem WHERE l_quantity < 40 GROUP BY l_returnflag";
+                   FROM lineitem WHERE l_quantity < 40 GROUP BY l_returnflag"
+        .to_string();
     let join_sql = "SELECT COUNT(*) FROM lineitem a JOIN lineitem b \
-                    ON a.l_orderkey = b.l_orderkey AND a.l_partkey = b.l_partkey";
+                    ON a.l_orderkey = b.l_orderkey AND a.l_partkey = b.l_partkey"
+        .to_string();
     // Neither query has an ORDER BY, and parallel plans legitimately emit
     // groups in a different order — sort by the leading (group-key) value
     // before the approximate comparison.
@@ -813,13 +818,27 @@ pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
         v
     };
     let mut out = Vec::new();
-    let mut reference: Vec<Option<Vec<Vec<Value>>>> = vec![None, None];
+    let mut reference: Vec<Option<Vec<Vec<Value>>>> = vec![None, None, None];
     for dop in [1usize, 4] {
         let db = Database::open_in_memory();
         load_lineitem(&db, rows, 1994);
         db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        // The 90th-percentile cut of the clustered order-key range: all
+        // surviving (and thus all downstream) work lives in the last 10%
+        // of the row space.
+        let max_key = match db.execute("SELECT MAX(l_orderkey) FROM lineitem").unwrap().scalar() {
+            Ok(Value::I64(m)) => *m,
+            other => panic!("unexpected MAX result {other:?}"),
+        };
+        let skew_sql = format!(
+            "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
+             FROM lineitem WHERE l_orderkey > {} GROUP BY l_returnflag",
+            max_key * 9 / 10
+        );
         for (qi, (name, sql)) in
-            [("scan_filter_agg", agg_sql), ("join", join_sql)].into_iter().enumerate()
+            [("scan_filter_agg", &agg_sql), ("join", &join_sql), ("skewed_scan_agg", &skew_sql)]
+                .into_iter()
+                .enumerate()
         {
             let warm = canon(db.execute(sql).unwrap().rows());
             match &reference[qi] {

@@ -46,6 +46,17 @@ pub struct EngineConfig {
     /// Build rows below which a partitioned hash build stays serial (the
     /// exec-side cost gate; thread spawn + scatter only pay off past it).
     pub partition_min_rows: usize,
+    /// Rows per morsel claim from a scan's shared work dispenser
+    /// (`vw-exec::morsel::MorselSource`). Exchange workers pull claims of
+    /// this size until the image is dry, so run-time claims replace the
+    /// old plan-time static row ranges and skewed work rebalances itself.
+    /// Smaller morsels balance better but claim more often; the default
+    /// (16Ki rows) makes claim overhead invisible while still splitting a
+    /// skewed scan into many claims per worker. SET-able
+    /// (`SET morsel_rows = n`), `VW_MORSEL_ROWS` env override (like
+    /// `VW_DOP` / `VW_PARTITION_MIN_ROWS`, so CI can force many-morsel
+    /// scheduling through the whole suite).
+    pub morsel_rows: usize,
     /// Arithmetic checking strategy.
     pub check_mode: CheckMode,
     /// NULL representation strategy.
@@ -66,12 +77,14 @@ impl Default for EngineConfig {
         // partitioned-build) code paths without touching every test.
         let parallelism = env_usize("VW_DOP").unwrap_or(1).max(1);
         let partition_min_rows = env_usize("VW_PARTITION_MIN_ROWS").unwrap_or(8192);
+        let morsel_rows = env_usize("VW_MORSEL_ROWS").unwrap_or(16 * 1024).max(1);
         EngineConfig {
             vector_size: crate::DEFAULT_VECTOR_SIZE,
             buffer_pool_bytes: 64 << 20,
             parallelism,
             partition_bits: None,
             partition_min_rows,
+            morsel_rows,
             check_mode: CheckMode::Lazy,
             null_mode: NullMode::TwoColumn,
             cooperative_scans: false,
@@ -103,6 +116,13 @@ impl EngineConfig {
     /// Override the checking mode (builder style).
     pub fn with_check_mode(mut self, m: CheckMode) -> Self {
         self.check_mode = m;
+        self
+    }
+
+    /// Override the morsel size (builder style).
+    pub fn with_morsel_rows(mut self, n: usize) -> Self {
+        assert!(n > 0, "morsel_rows must be positive");
+        self.morsel_rows = n;
         self
     }
 
@@ -145,6 +165,14 @@ mod tests {
     #[should_panic]
     fn zero_vector_size_rejected() {
         let _ = EngineConfig::default().with_vector_size(0);
+    }
+
+    #[test]
+    fn morsel_rows_default_and_builder() {
+        let c = EngineConfig::default();
+        assert!(c.morsel_rows >= 1);
+        let c = c.with_morsel_rows(64);
+        assert_eq!(c.morsel_rows, 64);
     }
 
     #[test]

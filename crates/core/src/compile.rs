@@ -3,20 +3,31 @@
 //!
 //! Expressions lower 1:1 ([`SqlExpr`] → [`PhysExpr`]); any surviving
 //! extended function or IN-list means the rewriter did not run — that is a
-//! plan error, not a fallback. Plans lower onto `vw-exec` operators;
-//! [`LogicalPlan::Exchange`] spawns one partition pipeline per worker under
-//! an `Xchg` operator, with scans partitioned by merge-item row ranges.
+//! plan error, not a fallback. Plans lower onto `vw-exec` operators.
+//!
+//! [`LogicalPlan::Exchange`] runs the **pipeline factory**: the same plan
+//! fragment is compiled once per worker, but every partitioned scan the
+//! factory visits draws from **one shared
+//! [`MorselSource`](vw_exec::morsel::MorselSource)** (created by the first
+//! worker's build, reused by the rest — the visit order is identical since
+//! all workers compile the same plan). Plan-time `dop` only sizes the
+//! worker pool; *which rows a worker scans* is decided at run time, claim
+//! by claim, so skewed fragments rebalance themselves. Each worker
+//! pipeline also threads one [`BatchPool`](vw_exec::morsel::BatchPool)
+//! through its operators, so steady-state operator outputs recycle instead
+//! of allocating.
 
 use crate::catalog::TableKind;
 use crate::dml::OpenTxn;
 use crate::Database;
+use parking_lot::Mutex;
 use std::sync::Arc;
 use vw_common::{EngineConfig, Result, Value, VwError};
 use vw_exec::expr::{ExprCtx, PhysExpr};
-use vw_exec::op::scan::partition_items;
+use vw_exec::morsel::{BatchPool, MorselSource};
 use vw_exec::op::{
     AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, Sort, SortKey,
-    TopN, UnionAll, Values, VectorScan, Xchg,
+    TopN, Values, VectorScan, Xchg,
 };
 use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::CancelToken;
@@ -79,20 +90,61 @@ pub fn lower_expr(e: &SqlExpr) -> Result<PhysExpr> {
     })
 }
 
+/// Shared state of one Exchange lowering: the morsel dispensers its
+/// partitioned scans share, in scan-visit order. The first worker's build
+/// creates each dispenser; the remaining workers attach to it (every
+/// worker compiles the same plan, so the visit order is identical).
+#[derive(Default)]
+struct ExchangeSources {
+    sources: Mutex<Vec<Arc<MorselSource>>>,
+}
+
+impl ExchangeSources {
+    fn get_or_create(
+        &self,
+        idx: usize,
+        make: impl FnOnce() -> Arc<MorselSource>,
+    ) -> Arc<MorselSource> {
+        let mut v = self.sources.lock();
+        if idx < v.len() {
+            v[idx].clone()
+        } else {
+            debug_assert_eq!(idx, v.len(), "scan visit order diverged across workers");
+            let s = make();
+            v.push(s.clone());
+            s
+        }
+    }
+
+    fn into_sources(self) -> Vec<Arc<MorselSource>> {
+        self.sources.into_inner()
+    }
+}
+
+/// One worker's view while the pipeline factory compiles its clone of an
+/// Exchange fragment. Cleared (passed as `None`) for join build sides,
+/// which must see the whole input on every worker.
+struct Partition<'a> {
+    worker: usize,
+    dop: usize,
+    shared: &'a ExchangeSources,
+    /// Scan-visit sequence number within this worker's build.
+    seq: usize,
+}
+
 /// Build the executable operator tree for `plan`.
 ///
 /// `txn` supplies private PDT images for tables touched by an open
-/// transaction; `partition` restricts scans to one of N fragments (set by
-/// the Exchange lowering).
+/// transaction. [`LogicalPlan::Exchange`] nodes spawn their own worker
+/// pipelines internally (see the module docs).
 pub fn build_plan(
     db: &Arc<Database>,
     plan: &LogicalPlan,
     config: &EngineConfig,
     cancel: &CancelToken,
     txn: Option<&OpenTxn>,
-    partition: Option<(usize, usize)>,
 ) -> Result<BoxedOp> {
-    build_plan_inner(db, plan, config, cancel, txn, partition, partition.is_some())
+    build_plan_inner(db, plan, config, cancel, txn, None, false, &BatchPool::new())
 }
 
 /// `in_exchange` tracks whether this subtree runs inside an Exchange
@@ -100,6 +152,7 @@ pub fn build_plan(
 /// sides (they must see the whole input) while the subtree is still one
 /// of `dop` concurrent copies. Operator-level parallel builds gate on it:
 /// inside an exchange they would oversubscribe (dop × P threads).
+/// `batch_pool` is this worker pipeline's shared output-batch free-list.
 #[allow(clippy::too_many_arguments)]
 fn build_plan_inner(
     db: &Arc<Database>,
@@ -107,8 +160,9 @@ fn build_plan_inner(
     config: &EngineConfig,
     cancel: &CancelToken,
     txn: Option<&OpenTxn>,
-    partition: Option<(usize, usize)>,
+    partition: Option<&mut Partition<'_>>,
     in_exchange: bool,
+    batch_pool: &BatchPool,
 ) -> Result<BoxedOp> {
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     let vs = config.vector_size;
@@ -147,9 +201,22 @@ fn build_plan_inner(
                     } else {
                         image_items
                     };
-                    let image_items = match partition {
-                        Some((i, n)) => partition_items(&image_items, i, n),
-                        None => image_items,
+                    // Run-time work claims instead of plan-time ranges: a
+                    // partitioned scan attaches to the Exchange's shared
+                    // dispenser (created on first visit); a serial scan
+                    // owns a private single-consumer one. Either way the
+                    // scan pulls `morsel_rows`-sized claims until dry.
+                    let (source, consumer) = match partition {
+                        Some(p) => {
+                            let idx = p.seq;
+                            p.seq += 1;
+                            let dop = p.dop;
+                            let src = p.shared.get_or_create(idx, || {
+                                MorselSource::new(image_items, config.morsel_rows, dop)
+                            });
+                            (src, p.worker)
+                        }
+                        None => (MorselSource::new(image_items, config.morsel_rows, 1), 0),
                     };
                     // Snapshot the storage handle for the operator.
                     drop(storage);
@@ -165,14 +232,18 @@ fn build_plan_inner(
                     // snapshot of pack metadata. For simplicity the scan
                     // takes an Arc built from the locked value's metadata.
                     let snapshot = Arc::new(storage_snapshot(&storage_arc.read()));
-                    Box::new(VectorScan::new(
-                        snapshot,
-                        db.pool.clone(),
-                        projection.clone(),
-                        image_items,
-                        vs,
-                        cancel.clone(),
-                    ))
+                    Box::new(
+                        VectorScan::with_source(
+                            snapshot,
+                            db.pool.clone(),
+                            projection.clone(),
+                            source,
+                            consumer,
+                            vs,
+                            cancel.clone(),
+                        )
+                        .with_batch_pool(batch_pool.clone()),
+                    )
                 }
                 TableKind::Heap { store } => {
                     // Classic-side table: materialize pages into rows (the
@@ -188,10 +259,13 @@ fn build_plan_inner(
                         }
                     }
                     let rows = match partition {
-                        Some((i, n)) => rows
+                        // Heap rows have no morsel dispenser; a static
+                        // modulo split keeps the workers disjoint (heap
+                        // tables are the legacy baseline path).
+                        Some(p) => rows
                             .into_iter()
                             .enumerate()
-                            .filter(|(idx, _)| idx % n == i)
+                            .filter(|(idx, _)| idx % p.dop == p.worker)
                             .map(|(_, r)| r)
                             .collect(),
                         None => rows,
@@ -201,24 +275,57 @@ fn build_plan_inner(
             }
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
+            let child = build_plan_inner(
+                db,
+                input,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
             // Compile once per query: the operator only ever runs programs.
             let program = SelectProgram::compile(&lower_expr(predicate)?, &ctx);
-            Box::new(Select::new(child, program, cancel.clone()))
+            Box::new(
+                Select::new(child, program, cancel.clone()).with_batch_pool(batch_pool.clone()),
+            )
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
+            let child = build_plan_inner(
+                db,
+                input,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
             let programs = exprs
                 .iter()
                 .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
                 .collect::<Result<_>>()?;
-            Box::new(Project::new(child, programs, schema.clone(), cancel.clone()))
+            Box::new(
+                Project::new(child, programs, schema.clone(), cancel.clone())
+                    .with_batch_pool(batch_pool.clone()),
+            )
         }
         LogicalPlan::Join { left, right, kind, keys, schema } => {
             // Build side must see the whole input even under partitioning;
             // only the probe side partitions.
-            let l = build_plan_inner(db, left, config, cancel, txn, partition, in_exchange)?;
-            let r = build_plan_inner(db, right, config, cancel, txn, None, in_exchange)?;
+            let l = build_plan_inner(
+                db,
+                left,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
+            let r =
+                build_plan_inner(db, right, config, cancel, txn, None, in_exchange, batch_pool)?;
             let lk = keys
                 .iter()
                 .map(|(a, _)| Ok(ExprProgram::compile(&lower_expr(a)?, &ctx)))
@@ -243,10 +350,19 @@ fn build_plan_inner(
                 join =
                     join.with_parallel_build(config.build_partitions(), config.partition_min_rows);
             }
-            Box::new(join)
+            Box::new(join.with_batch_pool(batch_pool.clone()))
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
+            let child = build_plan_inner(
+                db,
+                input,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
             let g = group
                 .iter()
                 .map(|e| Ok(ExprProgram::compile(&lower_expr(e)?, &ctx)))
@@ -268,10 +384,19 @@ fn build_plan_inner(
             if config.parallelism > 1 && !in_exchange {
                 agg = agg.with_parallel_build(config.build_partitions(), config.partition_min_rows);
             }
-            Box::new(agg)
+            Box::new(agg.with_batch_pool(batch_pool.clone()))
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
+            let child = build_plan_inner(
+                db,
+                input,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
             // Sort directly under a Limit becomes TopN in `Limit` lowering;
             // standalone Sort materializes.
             let sort_keys: Vec<SortKey> = keys
@@ -292,6 +417,7 @@ fn build_plan_inner(
                         txn,
                         partition,
                         in_exchange,
+                        batch_pool,
                     )?;
                     let sort_keys: Vec<SortKey> = keys
                         .iter()
@@ -306,7 +432,16 @@ fn build_plan_inner(
                     )));
                 }
             }
-            let child = build_plan_inner(db, input, config, cancel, txn, partition, in_exchange)?;
+            let child = build_plan_inner(
+                db,
+                input,
+                config,
+                cancel,
+                txn,
+                partition,
+                in_exchange,
+                batch_pool,
+            )?;
             let lim = if *limit == u64::MAX { usize::MAX } else { *limit as usize };
             Box::new(Limit::new(child, *offset as usize, lim, cancel.clone()))
         }
@@ -314,22 +449,31 @@ fn build_plan_inner(
             Box::new(Values::new(schema.clone(), rows.clone(), vs, cancel.clone()))
         }
         LogicalPlan::Exchange { input, dop } => {
-            if partition.is_some() {
+            if in_exchange {
                 return Err(VwError::Plan("nested Exchange".into()));
             }
+            // The pipeline factory: compile `dop` clones of the fragment.
+            // Partitioned scans share dispensers through `shared`; each
+            // worker gets a private batch free-list (batches cross the
+            // exchange channel and never come back, so sharing one across
+            // threads would only add contention).
+            let shared = ExchangeSources::default();
             let mut parts: Vec<BoxedOp> = Vec::with_capacity(*dop);
-            for i in 0..*dop {
+            for worker in 0..*dop {
+                let worker_pool = BatchPool::new();
+                let mut part = Partition { worker, dop: *dop, shared: &shared, seq: 0 };
                 parts.push(build_plan_inner(
                     db,
                     input,
                     config,
                     cancel,
                     txn,
-                    Some((i, *dop)),
+                    Some(&mut part),
                     true,
+                    &worker_pool,
                 )?);
             }
-            Box::new(Xchg::spawn(parts, cancel.clone()))
+            Box::new(Xchg::spawn(parts, cancel.clone()).with_sources(shared.into_sources()))
         }
     })
 }
@@ -343,20 +487,4 @@ fn storage_snapshot(src: &vw_storage::TableStorage) -> vw_storage::TableStorage 
         vw_storage::TableStorage::new(src.disk().clone(), src.schema().clone(), src.layout());
     snap.adopt_packs(src);
     snap
-}
-
-/// Build a UnionAll over per-partition plans (used by tests to validate
-/// partition coverage without threads).
-pub fn build_serial_union(
-    db: &Arc<Database>,
-    plan: &LogicalPlan,
-    config: &EngineConfig,
-    cancel: &CancelToken,
-    dop: usize,
-) -> Result<BoxedOp> {
-    let mut parts = Vec::with_capacity(dop);
-    for i in 0..dop {
-        parts.push(build_plan(db, plan, config, cancel, None, Some((i, dop)))?);
-    }
-    Ok(Box::new(UnionAll::new(parts, cancel.clone())))
 }

@@ -223,6 +223,13 @@ impl Database {
                 }
                 cfg.partition_min_rows = v as usize;
             }
+            "morsel_rows" => {
+                let v = value.as_i64()?;
+                if v < 1 {
+                    return Err(VwError::InvalidParameter("morsel_rows must be >= 1".into()));
+                }
+                cfg.morsel_rows = v as usize;
+            }
             "check_mode" => {
                 cfg.check_mode = match value.as_str()?.to_ascii_lowercase().as_str() {
                     "unchecked" => vw_common::config::CheckMode::Unchecked,
@@ -391,7 +398,7 @@ impl Session {
         let qid = db.monitor.register_query(sql_label.unwrap_or("<query>"), cancel.clone());
         let config = db.config();
         let result = (|| -> Result<QueryResult> {
-            let mut op = compile::build_plan(&db, plan, &config, &cancel, self.txn.as_ref(), None)?;
+            let mut op = compile::build_plan(&db, plan, &config, &cancel, self.txn.as_ref())?;
             let batch = drain(op.as_mut())?;
             let schema = op.schema().clone();
             let rows = (0..batch.rows()).map(|i| batch.row_values(i)).collect();
@@ -502,6 +509,9 @@ mod tests {
         db.execute("SET vector_size = 64").unwrap();
         assert_eq!(db.config().vector_size, 64);
         db.execute("SET check_mode = 'naive'").unwrap();
+        db.execute("SET morsel_rows = 256").unwrap();
+        assert_eq!(db.config().morsel_rows, 256);
+        assert!(db.execute("SET morsel_rows = 0").is_err());
         assert!(db.execute("SET vector_size = 0").is_err());
         assert!(db.execute("SET nonsense = 1").is_err());
     }

@@ -39,6 +39,7 @@
 pub mod cancel;
 pub mod expr;
 pub mod hashtable;
+pub mod morsel;
 pub mod op;
 pub mod partition;
 pub mod primitives;
@@ -48,6 +49,7 @@ pub mod vector;
 
 pub use cancel::CancelToken;
 pub use expr::PhysExpr;
+pub use morsel::{BatchPool, MorselSource};
 pub use op::Operator;
 pub use program::{ExprProgram, SelectProgram, VecRef, VectorPool};
 pub use vector::{Batch, Vector};

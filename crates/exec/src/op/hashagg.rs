@@ -25,6 +25,7 @@
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::morsel::BatchPool;
 use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
@@ -466,6 +467,7 @@ pub struct HashAggregate {
     emit_pos: usize,
     built: bool,
     scratch: AggScratch,
+    batch_pool: Option<BatchPool>,
     profile: OpProfile,
 }
 
@@ -502,8 +504,17 @@ impl HashAggregate {
             emit_pos: 0,
             built: false,
             scratch: AggScratch::default(),
+            batch_pool: None,
             profile: OpProfile::new("HashAggr"),
         })
+    }
+
+    /// Join the pipeline's batch free-list: input batches are recycled
+    /// once their lanes are folded into the accumulators (the aggregate is
+    /// a pipeline breaker, so its own outputs exit the loop).
+    pub fn with_batch_pool(mut self, pool: BatchPool) -> HashAggregate {
+        self.batch_pool = Some(pool);
+        self
     }
 
     /// Enable the radix-partitioned parallel build: `shards` worker threads
@@ -561,8 +572,19 @@ impl HashAggregate {
             }
             let (mut rows, mut chain_steps) = (0u64, 0u64);
             {
-                let keys: Vec<&Vector> =
-                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                // Single-key groupings (the common case) resolve through a
+                // stack array — a per-batch `Vec` here would be the one
+                // steady-state allocation left in the pipeline.
+                let single_key;
+                let multi_keys: Vec<&Vector>;
+                let keys: &[&Vector] = if self.scratch.refs.len() == 1 {
+                    single_key = [self.pool.get(&batch, self.scratch.refs[0])];
+                    &single_key
+                } else {
+                    multi_keys =
+                        self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                    &multi_keys
+                };
                 {
                     let s = &mut self.scratch;
                     match &batch.sel {
@@ -577,7 +599,7 @@ impl HashAggregate {
                         &mut self.states,
                         &mut self.n_groups,
                         &mut self.scratch,
-                        &keys,
+                        keys,
                         batch.capacity(),
                     )?;
                     rows = self.scratch.live.len() as u64;
@@ -598,13 +620,7 @@ impl HashAggregate {
                     // each shard's lanes straight from the batch — one
                     // copy per row, no intermediate dense packet.
                     let s = &mut self.scratch;
-                    hashtable::hash_keys(
-                        &keys,
-                        batch.capacity(),
-                        true,
-                        &mut s.lanes,
-                        &mut s.hashes,
-                    );
+                    hashtable::hash_keys(keys, batch.capacity(), true, &mut s.lanes, &mut s.hashes);
                     let pool = &self.pool;
                     match &mut workers {
                         None => {
@@ -643,6 +659,9 @@ impl HashAggregate {
                 }
             }
             self.pool.recycle();
+            if let Some(bp) = &self.batch_pool {
+                bp.recycle(batch); // lanes folded: batch goes back
+            }
             let (runs, instrs) = self.pool.take_counters();
             self.profile.record_expr(runs, instrs);
             self.profile.record_phase(t0.elapsed());

@@ -35,12 +35,13 @@
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::hashtable::{self, FlatTable, EMPTY};
+use crate::morsel::BatchPool;
 use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
-use vw_common::{ColData, Result, Schema, SelVec, VwError};
+use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
 
 /// Join variants supported by the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +183,8 @@ pub struct HashJoin {
     build_has_null_key: bool,
     built: bool,
     scratch: ProbeScratch,
+    batch_pool: Option<BatchPool>,
+    out_types: Vec<TypeId>,
     profile: OpProfile,
 }
 
@@ -200,6 +203,7 @@ impl HashJoin {
     ) -> HashJoin {
         assert_eq!(left_keys.len(), right_keys.len());
         assert!(!left_keys.is_empty(), "joins require at least one key");
+        let out_types = schema.fields.iter().map(|f| f.ty).collect();
         HashJoin {
             left,
             right: Some(right),
@@ -219,8 +223,18 @@ impl HashJoin {
             build_has_null_key: false,
             built: false,
             scratch: ProbeScratch::default(),
+            batch_pool: None,
+            out_types,
             profile: OpProfile::new("HashJoin"),
         }
+    }
+
+    /// Join the pipeline's batch free-list: build and probe input batches
+    /// are recycled once staged/gathered, and output batches lease
+    /// recycled buffers instead of allocating per batch.
+    pub fn with_batch_pool(mut self, pool: BatchPool) -> HashJoin {
+        self.batch_pool = Some(pool);
+        self
     }
 
     /// Enable the radix-partitioned parallel build: `shards` worker threads
@@ -251,8 +265,19 @@ impl HashJoin {
                 self.scratch.refs.push(r);
             }
             {
-                let keys: Vec<&Vector> =
-                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                // Single-key joins (the common case) resolve through a
+                // stack array — a per-batch `Vec` here would be the one
+                // steady-state allocation left in the pipeline.
+                let single_key;
+                let multi_keys: Vec<&Vector>;
+                let keys: &[&Vector] = if self.scratch.refs.len() == 1 {
+                    single_key = [self.pool.get(&batch, self.scratch.refs[0])];
+                    &single_key
+                } else {
+                    multi_keys =
+                        self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                    &multi_keys
+                };
                 let s = &mut self.scratch;
                 match &batch.sel {
                     Some(sel) => s.live.clear_and_extend_from_slice(sel.as_slice()),
@@ -266,7 +291,7 @@ impl HashJoin {
                 }
                 if !s.nonnull.is_empty() {
                     hashtable::hash_keys(
-                        &keys,
+                        keys,
                         batch.capacity(),
                         false,
                         &mut s.lanes,
@@ -279,7 +304,7 @@ impl HashJoin {
                             for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
                                 dst.extend_gather_sel(src, &s.nonnull);
                             }
-                            for (dst, src) in self.build_keys.iter_mut().zip(&keys) {
+                            for (dst, src) in self.build_keys.iter_mut().zip(keys) {
                                 dst.extend_gather_sel(src, &s.nonnull);
                             }
                             self.staged_hashes.extend(s.nonnull.iter().map(|p| s.hashes[p]));
@@ -305,6 +330,9 @@ impl HashJoin {
                 }
             }
             self.pool.recycle();
+            if let Some(bp) = &self.batch_pool {
+                bp.recycle(batch); // build rows staged: batch goes back
+            }
             if workers.is_none()
                 && self.par_shards > 1
                 && self.staged_hashes.len() >= self.par_min_rows
@@ -388,29 +416,49 @@ impl HashJoin {
         Ok((router, set))
     }
 
-    /// Assemble the output batch from the recorded pairs.
+    /// Assemble the output batch from the recorded pairs, gathering into
+    /// a leased (or fresh) output batch so steady-state assembly reuses
+    /// the buffers the consumer recycled.
     fn assemble(&mut self, batch: &Batch) -> Result<Option<Batch>> {
         let s = &self.scratch;
         if s.out_probe.is_empty() {
             return Ok(None);
         }
-        let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
-        for src in &batch.columns {
-            columns.push(src.gather_indices(&s.out_probe));
-        }
-        if self.join_type.emits_right() {
-            for src in &self.build_cols {
-                columns.push(src.gather_indices_padded(&s.out_build, EMPTY));
-            }
-        }
-        if columns.len() != self.schema.len() {
+        if batch.columns.len()
+            + if self.join_type.emits_right() { self.build_cols.len() } else { 0 }
+            != self.schema.len()
+        {
             return Err(VwError::Plan(format!(
                 "join schema arity mismatch: {} vs {}",
-                columns.len(),
+                batch.columns.len()
+                    + if self.join_type.emits_right() { self.build_cols.len() } else { 0 },
                 self.schema.len()
             )));
         }
-        Ok(Some(Batch::new(columns)))
+        let mut out = BatchPool::lease_or_new(
+            self.batch_pool.as_ref(),
+            &self.out_types,
+            0,
+            &mut self.profile,
+        );
+        for (src, dst) in batch.columns.iter().zip(&mut out.columns) {
+            src.gather_indices_into(&s.out_probe, dst);
+        }
+        if self.join_type.emits_right() {
+            // One sentinel scan per batch, not per column — only outer
+            // joins ever pad, and their all-matched batches skip the
+            // NULL-indicator machinery entirely.
+            let padded = self.join_type == JoinType::LeftOuter && s.out_build.contains(&EMPTY);
+            let right = &mut out.columns[batch.columns.len()..];
+            for (src, dst) in self.build_cols.iter().zip(right) {
+                if padded {
+                    src.gather_indices_padded_into(&s.out_build, EMPTY, dst);
+                } else {
+                    src.gather_indices_into(&s.out_build, dst);
+                }
+            }
+        }
+        Ok(Some(out))
     }
 }
 
@@ -644,8 +692,17 @@ impl Operator for HashJoin {
             }
             let (chain_steps, probed);
             {
-                let keys: Vec<&Vector> =
-                    self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                // Stack-resolved single key: see the build loop's comment.
+                let single_key;
+                let multi_keys: Vec<&Vector>;
+                let keys: &[&Vector] = if self.scratch.refs.len() == 1 {
+                    single_key = [self.pool.get(&batch, self.scratch.refs[0])];
+                    &single_key
+                } else {
+                    multi_keys =
+                        self.scratch.refs.iter().map(|&r| self.pool.get(&batch, r)).collect();
+                    &multi_keys
+                };
                 {
                     let s = &mut self.scratch;
                     s.out_probe.clear();
@@ -672,7 +729,7 @@ impl Operator for HashJoin {
                         &self.build_keys,
                         self.join_type,
                         &mut self.scratch,
-                        &keys,
+                        keys,
                         &mut self.profile,
                     )
                 };
@@ -736,6 +793,9 @@ impl Operator for HashJoin {
             }
 
             let out = self.assemble(&batch)?;
+            if let Some(bp) = &self.batch_pool {
+                bp.recycle(batch); // probe columns gathered: batch goes back
+            }
             self.profile.record_probe(probed, chain_steps);
             match out {
                 // `invocations` counts emitted batches; batches probed

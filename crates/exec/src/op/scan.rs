@@ -7,34 +7,55 @@
 //! appended from the delta store. Merge cost is therefore proportional to
 //! the *delta count*, not the table size — the property benchmark C4
 //! verifies.
+//!
+//! Work arrives in *morsels*: the scan repeatedly claims the next
+//! `morsel_rows`-sized slice of the image from a shared
+//! [`MorselSource`] dispenser (see `crate::morsel`). A serial scan owns a
+//! private single-consumer dispenser; the scan clones of one exchange
+//! fragment share one, so a slow worker claims fewer morsels instead of
+//! stranding a pre-assigned static range — the replacement for the old
+//! plan-time `partition_items` splitting. Output batches lease from the
+//! pipeline's [`BatchPool`] when one is attached, so a steady-state scan
+//! reuses the buffers its consumer recycled instead of allocating.
 
 use super::Operator;
 use crate::cancel::CancelToken;
-use crate::vector::{Batch, Vector};
+use crate::morsel::{BatchPool, MorselSource};
+use crate::profile::OpProfile;
+use crate::vector::Batch;
 use std::sync::Arc;
-use vw_common::{ColData, Result, Schema, Value, VwError};
+use std::time::Instant;
+use vw_common::{ColData, Result, Schema, TypeId, Value, VwError};
 use vw_pdt::MergeItem;
 use vw_storage::{BufferPool, ScanRange, TableStorage};
 
 /// Decoded chunks of one pack, in projected-column order.
 type DecodedPack = Vec<(ColData, Option<Vec<bool>>)>;
 
-/// Scan of (a partition of) one table image.
+/// Scan of one table image, pulling work from a morsel dispenser.
 pub struct VectorScan {
     table: Arc<TableStorage>,
     pool: Arc<BufferPool>,
     columns: Vec<usize>,
     schema: Schema,
-    items: Vec<MergeItem>,
+    out_types: Vec<TypeId>,
+    source: Arc<MorselSource>,
+    consumer: usize,
+    /// Items of the currently claimed morsel (buffer reused per claim).
+    morsel: Vec<MergeItem>,
     item_idx: usize,
     item_off: u64,
     cur_pack: Option<(usize, DecodedPack)>,
     vector_size: usize,
+    batch_pool: Option<BatchPool>,
+    profile: OpProfile,
     cancel: CancelToken,
 }
 
 impl VectorScan {
-    /// Scan `columns` of `table` over the image described by `items`.
+    /// Scan `columns` of `table` over the image described by `items`,
+    /// through a private single-claim dispenser (serial scans; exchange
+    /// fragments use [`VectorScan::with_source`] to share one).
     pub fn new(
         table: Arc<TableStorage>,
         pool: Arc<BufferPool>,
@@ -43,19 +64,46 @@ impl VectorScan {
         vector_size: usize,
         cancel: CancelToken,
     ) -> VectorScan {
+        let source = MorselSource::new(items, usize::MAX, 1);
+        VectorScan::with_source(table, pool, columns, source, 0, vector_size, cancel)
+    }
+
+    /// Scan `columns` of `table`, claiming morsels from `source` as
+    /// consumer `consumer` (the worker index of an exchange fragment).
+    pub fn with_source(
+        table: Arc<TableStorage>,
+        pool: Arc<BufferPool>,
+        columns: Vec<usize>,
+        source: Arc<MorselSource>,
+        consumer: usize,
+        vector_size: usize,
+        cancel: CancelToken,
+    ) -> VectorScan {
         let schema = table.schema().project(&columns);
+        let out_types = schema.fields.iter().map(|f| f.ty).collect();
         VectorScan {
             table,
             pool,
             columns,
             schema,
-            items,
+            out_types,
+            source,
+            consumer,
+            morsel: Vec::new(),
             item_idx: 0,
             item_off: 0,
             cur_pack: None,
             vector_size,
+            batch_pool: None,
+            profile: OpProfile::new("Scan"),
             cancel,
         }
+    }
+
+    /// Lease output batches from (and let consumers recycle into) `pool`.
+    pub fn with_batch_pool(mut self, pool: BatchPool) -> VectorScan {
+        self.batch_pool = Some(pool);
+        self
     }
 
     /// Items for a plain scan with no pending deltas.
@@ -73,6 +121,22 @@ impl VectorScan {
             .iter()
             .map(|r| MergeItem::Stable { sid: r.row_start, len: r.n_rows as u64 })
             .collect()
+    }
+
+    /// Ensure the current morsel has an unserved item; claims the next
+    /// morsel when the current one is drained. `false` = image exhausted.
+    fn ensure_morsel(&mut self) -> bool {
+        loop {
+            if self.item_idx < self.morsel.len() {
+                return true;
+            }
+            if !self.source.claim_into(self.consumer, &mut self.morsel) {
+                return false;
+            }
+            self.profile.record_morsel();
+            self.item_idx = 0;
+            self.item_off = 0;
+        }
     }
 
     fn pack_of_sid(&self, sid: u64) -> Result<(usize, usize)> {
@@ -106,11 +170,11 @@ impl VectorScan {
     /// Extends straight out of the decoded pack chunks — no intermediate
     /// clone of the pack columns (a delta-heavy image visits this once per
     /// merge item, so a per-call pack clone would be quadratic).
-    fn emit_stable(&mut self, sid: u64, take: usize, out: &mut [Vector]) -> Result<()> {
+    fn emit_stable(&mut self, sid: u64, take: usize, out: &mut Batch) -> Result<()> {
         let (pack_idx, off) = self.pack_of_sid(sid)?;
         self.load_pack(pack_idx)?;
         let (_, chunks) = self.cur_pack.as_ref().expect("just loaded");
-        for (o, (data, nulls)) in out.iter_mut().zip(chunks) {
+        for (o, (data, nulls)) in out.columns.iter_mut().zip(chunks) {
             let before = o.data.len();
             o.data.extend_from_range(data, off, off + take);
             match (&mut o.nulls, nulls) {
@@ -139,20 +203,28 @@ impl Operator for VectorScan {
         "Scan"
     }
 
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         self.cancel.check()?;
-        if self.item_idx >= self.items.len() {
+        if !self.ensure_morsel() {
             return Ok(None);
         }
-        let mut out: Vec<Vector> = self
-            .schema
-            .fields
-            .iter()
-            .map(|f| Vector::new(ColData::with_capacity(f.ty, self.vector_size)))
-            .collect();
+        let t0 = Instant::now();
+        let mut out = BatchPool::lease_or_new(
+            self.batch_pool.as_ref(),
+            &self.out_types,
+            self.vector_size,
+            &mut self.profile,
+        );
         let mut filled = 0usize;
-        while filled < self.vector_size && self.item_idx < self.items.len() {
-            let item = self.items[self.item_idx].clone();
+        while filled < self.vector_size {
+            if self.item_idx >= self.morsel.len() && !self.ensure_morsel() {
+                break;
+            }
+            let item = self.morsel[self.item_idx].clone();
             match item {
                 MergeItem::Stable { sid, len } => {
                     let sid0 = sid + self.item_off;
@@ -173,7 +245,7 @@ impl Operator for VectorScan {
                     let pos = filled;
                     for (col, val) in mods.iter() {
                         if let Some(slot) = self.columns.iter().position(|c| c == col) {
-                            out[slot].set(pos, val)?;
+                            out.columns[slot].set(pos, val)?;
                         }
                     }
                     filled += 1;
@@ -183,7 +255,7 @@ impl Operator for VectorScan {
                 MergeItem::Insert { row } => {
                     for (slot, &col) in self.columns.iter().enumerate() {
                         let v = row.get(col).cloned().unwrap_or(Value::Null);
-                        out[slot].push(&v)?;
+                        out.columns[slot].push(&v)?;
                     }
                     filled += 1;
                     self.item_idx += 1;
@@ -192,45 +264,13 @@ impl Operator for VectorScan {
             }
         }
         if filled == 0 {
+            if let Some(bp) = &self.batch_pool {
+                bp.recycle(out);
+            }
             return Ok(None);
         }
-        Ok(Some(Batch::new(out)))
-    }
-}
-
-/// Split a merge-item stream into `nparts` contiguous partitions of roughly
-/// equal row counts (parallel scans under Xchg). Stable runs are split at
-/// partition boundaries.
-pub fn partition_items(items: &[MergeItem], part: usize, nparts: usize) -> Vec<MergeItem> {
-    assert!(part < nparts);
-    let total: u64 = items.iter().map(item_rows).sum();
-    let lo = total * part as u64 / nparts as u64;
-    let hi = total * (part as u64 + 1) / nparts as u64;
-    let mut out = Vec::new();
-    let mut pos = 0u64;
-    for item in items {
-        let n = item_rows(item);
-        let (start, end) = (pos, pos + n);
-        pos = end;
-        if end <= lo || start >= hi {
-            continue;
-        }
-        match item {
-            MergeItem::Stable { sid, len } => {
-                let s = lo.saturating_sub(start);
-                let e = (hi - start).min(*len);
-                out.push(MergeItem::Stable { sid: sid + s, len: e - s });
-            }
-            other => out.push(other.clone()),
-        }
-    }
-    out
-}
-
-fn item_rows(i: &MergeItem) -> u64 {
-    match i {
-        MergeItem::Stable { len, .. } => *len,
-        _ => 1,
+        self.profile.record(filled, t0.elapsed());
+        Ok(Some(out))
     }
 }
 
@@ -302,6 +342,67 @@ mod tests {
     }
 
     #[test]
+    fn batches_stay_full_across_morsel_boundaries() {
+        // Morsels of 64 rows with 100-row vectors: batches keep filling
+        // across claim boundaries, so every batch but the last is full.
+        let (t, pool) = setup(1000, 128);
+        let source = MorselSource::new(VectorScan::stable_items(1000), 64, 1);
+        let mut s = VectorScan::with_source(t, pool, vec![0], source, 0, 100, CancelToken::new());
+        let mut sizes = Vec::new();
+        while let Some(b) = s.next().unwrap() {
+            sizes.push(b.rows());
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 100), "{sizes:?}");
+        let p = Operator::profile(&s).unwrap();
+        assert_eq!(p.morsels, 1000_u64.div_ceil(64), "one claim per 64-row morsel");
+    }
+
+    #[test]
+    fn shared_source_scans_cover_image_disjointly() {
+        let (t, pool) = setup(1000, 128);
+        let source = MorselSource::new(VectorScan::stable_items(1000), 96, 3);
+        let mut ids: Vec<i64> = Vec::new();
+        for consumer in 0..3 {
+            let mut s = VectorScan::with_source(
+                t.clone(),
+                pool.clone(),
+                vec![0],
+                source.clone(),
+                consumer,
+                64,
+                CancelToken::new(),
+            );
+            let out = drain(&mut s).unwrap();
+            for i in 0..out.rows() {
+                match out.row_values(i)[0] {
+                    Value::I64(v) => ids.push(v),
+                    _ => panic!(),
+                }
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (0..1000).collect::<Vec<_>>(), "disjoint cover of the image");
+    }
+
+    #[test]
+    fn pooled_scan_reuses_recycled_batches() {
+        let (t, pool) = setup(1000, 1024);
+        let bp = BatchPool::new();
+        let mut s = scan(&t, &pool, vec![0, 1], VectorScan::stable_items(1000), 100)
+            .with_batch_pool(bp.clone());
+        let mut rows = 0;
+        while let Some(b) = s.next().unwrap() {
+            rows += b.rows();
+            bp.recycle(b); // the consumer's side of the protocol
+        }
+        assert_eq!(rows, 1000);
+        let p = Operator::profile(&s).unwrap();
+        assert_eq!(p.batch_pool_misses, 1, "only the first lease allocates");
+        assert!(p.batch_pool_hits >= 9, "steady-state leases hit: {p:?}");
+    }
+
+    #[test]
     fn merge_items_with_deltas() {
         let (t, pool) = setup(100, 32);
         let items = vec![
@@ -346,29 +447,6 @@ mod tests {
         let out = drain(&mut s).unwrap();
         assert_eq!(out.rows(), 200, "two packs survive pruning");
         assert_eq!(out.row_values(0)[0], Value::I64(300));
-    }
-
-    #[test]
-    fn partitions_cover_image_disjointly() {
-        let items = vec![
-            MergeItem::Stable { sid: 0, len: 100 },
-            MergeItem::Insert { row: Arc::new(vec![Value::I64(1)]) },
-            MergeItem::Stable { sid: 100, len: 50 },
-        ];
-        let nparts = 4;
-        let mut total = 0u64;
-        let mut stable_rows = 0u64;
-        for p in 0..nparts {
-            let part = partition_items(&items, p, nparts);
-            for i in &part {
-                total += item_rows(i);
-                if let MergeItem::Stable { len, .. } = i {
-                    stable_rows += len;
-                }
-            }
-        }
-        assert_eq!(total, 151);
-        assert_eq!(stable_rows, 150);
     }
 
     #[test]

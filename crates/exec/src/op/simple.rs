@@ -2,11 +2,12 @@
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
+use crate::morsel::BatchPool;
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, SelectProgram, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
-use vw_common::{ColData, Result, Schema, SelVec, Value};
+use vw_common::{ColData, Result, Schema, SelVec, TypeId, Value};
 
 /// In-memory row source (VALUES lists, tests, DML pipelines).
 pub struct Values {
@@ -67,6 +68,7 @@ pub struct Select {
     input: BoxedOp,
     predicate: SelectProgram,
     pool: VectorPool,
+    batch_pool: Option<BatchPool>,
     profile: OpProfile,
     cancel: CancelToken,
 }
@@ -78,9 +80,18 @@ impl Select {
             input,
             predicate,
             pool: VectorPool::new(),
+            batch_pool: None,
             profile: OpProfile::new("Select"),
             cancel,
         }
+    }
+
+    /// Join the pipeline's batch free-list: selection vectors handed
+    /// downstream cycle back through it (a recycled batch stashes its
+    /// `sel`), and fully-filtered batches are recycled instead of dropped.
+    pub fn with_batch_pool(mut self, pool: BatchPool) -> Select {
+        self.batch_pool = Some(pool);
+        self
     }
 }
 
@@ -104,14 +115,24 @@ impl Operator for Select {
                 return Ok(None);
             };
             let t0 = Instant::now();
+            // Pull selections the downstream consumer recycled back into
+            // the expression pool, so the ones we hand out keep cycling.
+            if let Some(bp) = &self.batch_pool {
+                while let Some(s) = bp.take_sel() {
+                    self.pool.put_sel(s);
+                }
+            }
             let sel = self.predicate.run(&mut self.pool, &batch)?;
             self.pool.recycle();
             let (runs, instrs) = self.pool.take_counters();
             self.profile.record_expr(runs, instrs);
             if sel.is_empty() {
                 self.pool.put_sel(sel);
+                if let Some(bp) = &self.batch_pool {
+                    bp.recycle(batch); // fully filtered: give the batch back
+                }
                 self.profile.record_phase(t0.elapsed());
-                continue; // fully filtered vector: fetch the next one
+                continue; // fetch the next vector
             }
             batch.sel = Some(sel);
             self.profile.record(batch.rows(), t0.elapsed());
@@ -127,7 +148,9 @@ pub struct Project {
     input: BoxedOp,
     programs: Vec<ExprProgram>,
     schema: Schema,
+    out_types: Vec<TypeId>,
     pool: VectorPool,
+    batch_pool: Option<BatchPool>,
     profile: OpProfile,
     cancel: CancelToken,
 }
@@ -142,14 +165,25 @@ impl Project {
         cancel: CancelToken,
     ) -> Project {
         debug_assert_eq!(programs.len(), schema.len());
+        let out_types = programs.iter().map(|p| p.type_id()).collect();
         Project {
             input,
             programs,
             schema,
+            out_types,
             pool: VectorPool::new(),
+            batch_pool: None,
             profile: OpProfile::new("Project"),
             cancel,
         }
+    }
+
+    /// Join the pipeline's batch free-list: output batches lease recycled
+    /// buffers (swapped back into the expression pool's slots), and the
+    /// consumed input batch is recycled once its columns were gathered.
+    pub fn with_batch_pool(mut self, pool: BatchPool) -> Project {
+        self.batch_pool = Some(pool);
+        self
     }
 }
 
@@ -172,20 +206,30 @@ impl Operator for Project {
             return Ok(None);
         };
         let t0 = Instant::now();
-        let mut columns = Vec::with_capacity(self.programs.len());
-        for prog in &self.programs {
+        // Lease the output batch: recycled buffers feed the expression
+        // pool's slots through `detach_into`, so steady-state projection
+        // allocates nothing even though ownership moves downstream.
+        let mut out = BatchPool::lease_or_new(
+            self.batch_pool.as_ref(),
+            &self.out_types,
+            0,
+            &mut self.profile,
+        );
+        for (prog, dst) in self.programs.iter().zip(&mut out.columns) {
             let vr = prog.run(&mut self.pool, &batch)?;
-            columns.push(match &batch.sel {
+            match &batch.sel {
                 // Selection: compact to dense output lanes.
-                Some(sel) => self.pool.get(&batch, vr).gather(sel),
-                // Dense input: hand the register buffer downstream.
-                None => self.pool.detach(&batch, vr),
-            });
+                Some(sel) => self.pool.get(&batch, vr).gather_into(sel, dst),
+                // Dense input: swap the register buffer downstream.
+                None => self.pool.detach_into(&batch, vr, dst),
+            }
         }
         self.pool.recycle();
         let (runs, instrs) = self.pool.take_counters();
         self.profile.record_expr(runs, instrs);
-        let out = Batch::new(columns);
+        if let Some(bp) = &self.batch_pool {
+            bp.recycle(batch); // input consumed: back to the free list
+        }
         self.profile.record(out.rows(), t0.elapsed());
         Ok(Some(out))
     }

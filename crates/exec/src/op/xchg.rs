@@ -1,19 +1,28 @@
 //! Xchg — the Volcano-style exchange operator for multi-core parallelism.
 //!
 //! The paper: "The Vectorwise rewriter was used to implement a Volcano-style
-//! query parallelizer". The rewriter splits an order-insensitive plan
-//! fragment into `DOP` partitions (see `vw_rewriter::parallel`); `Xchg`
-//! runs each partition's operator tree on its own thread and merges their
-//! batch streams through a bounded channel. Cancellation propagates through
-//! the shared [`CancelToken`]; errors from any worker surface on the
-//! consumer side.
+//! query parallelizer". The rewriter marks an order-insensitive plan
+//! fragment for parallel execution (see `vw_rewriter::parallel`); the
+//! compiler's pipeline factory then builds `DOP` clones of the fragment
+//! that **share one [`MorselSource`] per scan** — workers pull
+//! `morsel_rows`-sized claims until the dispenser runs dry, so a slow
+//! worker claims fewer morsels instead of stranding a pre-assigned static
+//! row range. `Xchg` runs each clone on its own thread and merges their
+//! batch streams through a bounded channel. Cancellation propagates
+//! through the shared [`CancelToken`]; errors from any worker surface on
+//! the consumer side. When the stream completes, the per-worker morsel
+//! counts are folded into this operator's [`OpProfile`] (the
+//! scheduling-balance observable in `EXPLAIN ANALYZE`).
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
+use crate::morsel::MorselSource;
 use crate::partition::panic_error;
+use crate::profile::OpProfile;
 use crate::vector::Batch;
 use crossbeam::channel::{bounded, Receiver};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use vw_common::{Result, Schema, VwError};
 
@@ -27,6 +36,11 @@ pub struct Xchg {
     /// NOT be cancelled when the exchange is merely dropped after a normal
     /// drain — that would poison the rest of the still-running query.
     local_cancel: CancelToken,
+    /// The fragment's morsel dispensers (one per shared scan); read at
+    /// stream end for the per-worker claim counts.
+    sources: Vec<Arc<MorselSource>>,
+    n_workers: usize,
+    profile: OpProfile,
     done: bool,
 }
 
@@ -75,7 +89,43 @@ impl Xchg {
             }));
         }
         drop(tx); // channel closes when the last worker finishes
-        Xchg { schema, rx: Some(rx), workers, local_cancel, done: false }
+        let n_workers = workers.len();
+        Xchg {
+            schema,
+            rx: Some(rx),
+            workers,
+            local_cancel,
+            sources: Vec::new(),
+            n_workers,
+            profile: OpProfile::new("Xchg"),
+            done: false,
+        }
+    }
+
+    /// Attach the fragment's morsel dispensers so the per-worker claim
+    /// counts land in this operator's profile when the stream completes.
+    /// Consumer `w` of every source must be worker `w`'s scan (the
+    /// compiler's pipeline factory registers them in worker order).
+    pub fn with_sources(mut self, sources: Vec<Arc<MorselSource>>) -> Xchg {
+        self.sources = sources;
+        self
+    }
+
+    /// Fold the dispensers' per-consumer claim counts into the profile
+    /// (idempotent: overwrites).
+    fn collect_worker_morsels(&mut self) {
+        if self.sources.is_empty() {
+            return;
+        }
+        let mut per_worker = vec![0u64; self.n_workers];
+        for src in &self.sources {
+            for (w, c) in src.claim_counts().into_iter().enumerate() {
+                if let Some(slot) = per_worker.get_mut(w) {
+                    *slot += c;
+                }
+            }
+        }
+        self.profile.worker_morsels = per_worker;
     }
 }
 
@@ -88,6 +138,10 @@ impl Operator for Xchg {
         "Xchg"
     }
 
+    fn profile(&self) -> Option<&OpProfile> {
+        Some(&self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);
@@ -96,15 +150,21 @@ impl Operator for Xchg {
             return Ok(None);
         };
         match rx.recv() {
-            Ok(Ok(batch)) => Ok(Some(batch)),
+            Ok(Ok(batch)) => {
+                self.profile.invocations += 1;
+                self.profile.rows_out += batch.rows() as u64;
+                Ok(Some(batch))
+            }
             Ok(Err(e)) => {
                 // Stop the sibling workers; the error propagates upward.
                 self.local_cancel.cancel();
                 self.done = true;
+                self.collect_worker_morsels();
                 Err(e)
             }
             Err(_) => {
                 self.done = true;
+                self.collect_worker_morsels();
                 Ok(None)
             }
         }
@@ -113,9 +173,16 @@ impl Operator for Xchg {
 
 impl Drop for Xchg {
     fn drop(&mut self) {
-        // Stop our own workers (never the query-wide token) and unblock any
-        // producer parked on the channel, then join.
+        // Stop our own workers (never the query-wide token), then *drain*
+        // the channel before dropping it: a producer blocked on a full
+        // bounded channel wakes as soon as a slot frees (or the receiver
+        // disconnects), observes the local cancel, and exits — the drain
+        // makes that independent of whether the channel implementation
+        // wakes blocked senders on receiver drop. Only then join.
         self.local_cancel.cancel();
+        if let Some(rx) = &self.rx {
+            while rx.try_recv().is_ok() {}
+        }
         self.rx = None;
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -271,5 +338,44 @@ mod tests {
         let mut x = Xchg::spawn(parts, CancelToken::new());
         x.next().unwrap();
         drop(x); // must not deadlock
+    }
+
+    #[test]
+    fn drop_with_saturated_channel_joins_blocked_workers() {
+        // Regression for the shutdown path: fast producers saturate the
+        // bounded channel (capacity 2 per worker) and block inside send.
+        // Dropping the exchange mid-stream must drain/unblock them and
+        // join every thread — promptly, not after the workers pushed all
+        // remaining batches.
+        let parts: Vec<BoxedOp> =
+            (0..4).map(|i| part(i * 1_000_000..(i + 1) * 1_000_000, None)).collect();
+        let mut x = Xchg::spawn(parts, CancelToken::new());
+        x.next().unwrap();
+        // Give the workers time to fill every channel slot and block.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        drop(x); // must unblock the parked senders and join
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "drop must not wait for the full streams to drain"
+        );
+    }
+
+    #[test]
+    fn worker_morsel_counts_land_in_profile() {
+        use crate::morsel::MorselSource;
+        use vw_pdt::MergeItem;
+        let src = MorselSource::new(vec![MergeItem::Stable { sid: 0, len: 100 }], 10, 2);
+        // Simulate the workers' claims (the real claims happen inside the
+        // scans; here the counts are what matters).
+        let mut buf = Vec::new();
+        while src.claim_into(0, &mut buf) {}
+        let parts = vec![part(0..10, None), part(0..10, None)];
+        let mut x = Xchg::spawn(parts, CancelToken::new()).with_sources(vec![src]);
+        let out = drain(&mut x).unwrap();
+        assert_eq!(out.rows(), 20);
+        let p = Operator::profile(&x).unwrap();
+        assert_eq!(p.worker_morsels, vec![10, 0], "per-worker claims collected at stream end");
+        assert!((p.morsel_balance() - 2.0).abs() < 1e-9, "collapse shows as max/mean = workers");
     }
 }

@@ -44,6 +44,19 @@ pub struct OpProfile {
     pub shard_probe_rows: Vec<u64>,
     /// Chain entries visited per shard while probing.
     pub shard_probe_steps: Vec<u64>,
+    /// Morsels claimed from a shared [`MorselSource`](crate::morsel) by
+    /// this operator (scans). Zero for operators that do not claim work.
+    pub morsels: u64,
+    /// Morsels claimed per worker of an exchange fragment (filled by
+    /// `Xchg` from the fragment's dispensers when the stream completes).
+    /// The max/mean ratio is the scheduling-balance observable: static
+    /// ranges under skew collapse it toward `DOP`; morsel claims keep it
+    /// near 1.
+    pub worker_morsels: Vec<u64>,
+    /// Output-batch leases served from the recycled free list.
+    pub batch_pool_hits: u64,
+    /// Output-batch leases that had to allocate fresh vectors.
+    pub batch_pool_misses: u64,
 }
 
 impl OpProfile {
@@ -104,6 +117,45 @@ impl OpProfile {
         self.shard_probe_steps[shard] += steps;
     }
 
+    /// Record one morsel claim (scan side).
+    #[inline]
+    pub fn record_morsel(&mut self) {
+        self.morsels += 1;
+    }
+
+    /// Record one output-batch lease from the pipeline's
+    /// [`BatchPool`](crate::morsel::BatchPool).
+    #[inline]
+    pub fn record_pool_lease(&mut self, hit: bool) {
+        if hit {
+            self.batch_pool_hits += 1;
+        } else {
+            self.batch_pool_misses += 1;
+        }
+    }
+
+    /// Batch-pool hit rate in 0..=1 (0 when the operator never leased).
+    pub fn batch_pool_hit_rate(&self) -> f64 {
+        let total = self.batch_pool_hits + self.batch_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.batch_pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Morsel-claim skew across workers: `max/mean` (1.0 = perfectly even;
+    /// 0.0 without per-worker data).
+    pub fn morsel_balance(&self) -> f64 {
+        let n = self.worker_morsels.len();
+        let total: u64 = self.worker_morsels.iter().sum();
+        if n == 0 || total == 0 {
+            return 0.0;
+        }
+        let max = *self.worker_morsels.iter().max().unwrap() as f64;
+        max / (total as f64 / n as f64)
+    }
+
     /// Number of radix partitions this operator built with (0 = serial).
     pub fn shards(&self) -> usize {
         self.shard_build_rows.len()
@@ -154,10 +206,13 @@ impl QueryProfile {
     /// Render as an `EXPLAIN ANALYZE`-style table. Operators that probed a
     /// hash table also report their average probe-chain length; operators
     /// that ran compiled expression programs report program invocations
-    /// and primitive instructions executed.
+    /// and primitive instructions executed; morsel-claiming scans report
+    /// their claim count (exchanges report total claims plus the
+    /// per-worker max/mean balance) and pooled producers their batch-pool
+    /// hit rate.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows     time    chain    progs    prims   shards\n",
+            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -178,8 +233,22 @@ impl QueryProfile {
             } else {
                 format!("{:>8}", "-")
             };
+            let morsels = if !p.worker_morsels.is_empty() {
+                // Total claims plus scheduling balance (max/mean).
+                let total: u64 = p.worker_morsels.iter().sum();
+                format!("{:>3}x{:.2}", total, p.morsel_balance())
+            } else if p.morsels > 0 {
+                format!("{:>8}", p.morsels)
+            } else {
+                format!("{:>8}", "-")
+            };
+            let pool = if p.batch_pool_hits + p.batch_pool_misses > 0 {
+                format!("{:>7.0}%", p.batch_pool_hit_rate() * 100.0)
+            } else {
+                format!("{:>8}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -188,6 +257,8 @@ impl QueryProfile {
                 progs,
                 prims,
                 shards,
+                morsels,
+                pool,
             ));
         }
         out
@@ -268,6 +339,32 @@ mod tests {
         let mut q = QueryProfile::default();
         q.operators.push((0, p));
         assert!(q.render().contains("4x2.00"), "shard column rendered");
+    }
+
+    #[test]
+    fn morsel_and_pool_counters_render() {
+        let mut scan = OpProfile::new("Scan");
+        scan.record_morsel();
+        scan.record_morsel();
+        scan.record_pool_lease(false);
+        scan.record_pool_lease(true);
+        scan.record_pool_lease(true);
+        scan.record_pool_lease(true);
+        assert_eq!(scan.morsels, 2);
+        assert!((scan.batch_pool_hit_rate() - 0.75).abs() < 1e-9);
+
+        let mut xchg = OpProfile::new("Xchg");
+        xchg.worker_morsels = vec![10, 10, 10, 30];
+        // max/mean = 30 / 15 = 2.0 — the collapse observable.
+        assert!((xchg.morsel_balance() - 2.0).abs() < 1e-9);
+
+        let mut q = QueryProfile::default();
+        q.operators.push((0, xchg));
+        q.operators.push((1, scan));
+        let s = q.render();
+        assert!(s.contains("morsels") && s.contains("pool%"), "header has the new columns");
+        assert!(s.contains("60x2.00"), "per-worker totals and balance rendered: {s}");
+        assert!(s.contains("75%"), "pool hit rate rendered: {s}");
     }
 
     #[test]

@@ -166,6 +166,25 @@ impl VectorPool {
         }
     }
 
+    /// Take the result into `dst` (cleared first). For a pool slot the
+    /// buffers are *swapped*: `dst`'s old (recycled, type-matched) buffer
+    /// becomes the slot's scratch for the next batch, closing the loop
+    /// that [`detach`](Self::detach) leaves open — a detached slot regrows
+    /// from zero capacity, so Project outputs used to allocate every
+    /// batch. `dst` must have the result's type (pooled callers lease it
+    /// by the output schema's type signature).
+    pub fn detach_into(&mut self, batch: &Batch, r: VecRef, dst: &mut Vector) {
+        match r {
+            VecRef::Col(c) => dst.clone_from_vector(&batch.columns[c]),
+            VecRef::Slot(s) => {
+                let slot = &mut self.slots[s];
+                debug_assert_eq!(slot.vec.type_id(), dst.type_id());
+                dst.clear_keep_capacity();
+                std::mem::swap(&mut slot.vec, dst);
+            }
+        }
+    }
+
     /// End the batch epoch: every leased result slot returns to the free
     /// list (buffers intact). All outstanding `VecRef`s become invalid.
     pub fn recycle(&mut self) {

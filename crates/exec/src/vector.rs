@@ -134,6 +134,61 @@ impl Vector {
         self.data.extend_gather(&src.data, sel.iter());
     }
 
+    /// Clear values in place, keeping the data buffer's capacity — the
+    /// [`BatchPool`](crate::morsel::BatchPool) recycling primitive. The
+    /// NULL indicator is dropped, not kept: a cleared vector that reads as
+    /// NULL-free must also *be* `nulls: None`, or every downstream
+    /// `nulls.is_none()` fast path would be permanently demoted to the
+    /// NULL-aware route once a buffer ever carried an indicator.
+    pub fn clear_keep_capacity(&mut self) {
+        self.data.clear();
+        self.nulls = None;
+    }
+
+    /// [`Vector::gather`] into a caller-owned vector (cleared first),
+    /// reusing its buffers — the pooled-output variant.
+    pub fn gather_into(&self, positions: &SelVec, dst: &mut Vector) {
+        debug_assert_eq!(self.type_id(), dst.type_id());
+        dst.data.clear();
+        dst.data.extend_gather(&self.data, positions.iter());
+        fill_gathered_nulls(&mut dst.nulls, self.nulls.as_deref(), positions.iter());
+    }
+
+    /// [`Vector::gather_indices`] into a caller-owned vector (cleared
+    /// first), reusing its buffers.
+    pub fn gather_indices_into(&self, idx: &[u32], dst: &mut Vector) {
+        debug_assert_eq!(self.type_id(), dst.type_id());
+        dst.data.clear();
+        dst.data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
+        fill_gathered_nulls(&mut dst.nulls, self.nulls.as_deref(), idx.iter().map(|&i| i as usize));
+    }
+
+    /// [`Vector::gather_indices_padded`] into a caller-owned vector
+    /// (cleared first), reusing its buffers; lanes equal to `sentinel`
+    /// produce SQL NULL. When no lane is padded and the source carries no
+    /// NULLs (every inner-join batch), no indicator is materialized, so
+    /// downstream NULL-free fast paths keep firing.
+    pub fn gather_indices_padded_into(&self, idx: &[u32], sentinel: u32, dst: &mut Vector) {
+        debug_assert_eq!(self.type_id(), dst.type_id());
+        dst.data.clear();
+        dst.data.extend_gather_padded(&self.data, idx, sentinel);
+        if self.nulls.is_none() && !idx.contains(&sentinel) {
+            dst.nulls = None;
+            return;
+        }
+        let m = dst.nulls.get_or_insert_with(Vec::new);
+        m.clear();
+        m.extend(idx.iter().map(|&i| i == sentinel || self.is_null(i as usize)));
+    }
+
+    /// Copy `src` wholesale into this vector (cleared first), reusing the
+    /// buffers — the pooled replacement for `src.clone()`.
+    pub fn clone_from_vector(&mut self, src: &Vector) {
+        debug_assert_eq!(self.type_id(), src.type_id());
+        self.clear_keep_capacity();
+        self.extend_range(src, 0, src.len());
+    }
+
     /// Concatenate `other[start..end]` onto this vector.
     pub fn extend_range(&mut self, other: &Vector, start: usize, end: usize) {
         match (&mut self.nulls, &other.nulls) {
@@ -149,6 +204,27 @@ impl Vector {
             (None, None) => {}
         }
         self.data.extend_from_range(&other.data, start, end);
+    }
+}
+
+/// Fill `dst`'s NULL indicator for a gather of `positions` out of a source
+/// with indicator `src`. A NULL-free source leaves `dst` at `None` (a
+/// stale destination buffer is dropped rather than kept all-false, which
+/// would demote every downstream `nulls.is_none()` fast path); a
+/// destination buffer is reused when both sides carry indicators.
+fn fill_gathered_nulls(
+    dst: &mut Option<Vec<bool>>,
+    src: Option<&[bool]>,
+    positions: impl Iterator<Item = usize>,
+) {
+    match (dst.as_mut(), src) {
+        (Some(d), Some(m)) => {
+            d.clear();
+            d.extend(positions.map(|p| m[p]));
+        }
+        (Some(_), None) => *dst = None,
+        (None, Some(m)) => *dst = Some(positions.map(|p| m[p]).collect()),
+        (None, None) => {}
     }
 }
 

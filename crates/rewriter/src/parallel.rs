@@ -7,6 +7,15 @@
 //! worker, so partitioning the probe input partitions the join output
 //! disjointly for every join type, NULL-aware anti included).
 //!
+//! The plan-time `dop` only sizes the worker pool. *Which rows a worker
+//! scans* is no longer decided here: the compiler's pipeline factory gives
+//! every worker clone of the fragment a shared morsel dispenser
+//! (`vw-exec::morsel::MorselSource`), and workers claim
+//! `morsel_rows`-sized slices at run time until the image is dry. A
+//! skewed fragment therefore rebalances itself — the rewriter does not
+//! need to predict skew, only whether the fragment is big enough for
+//! parallelism to pay at all (the cost gate below).
+//!
 //! Rewrite shapes:
 //!
 //! * **Parallel aggregation** — `Aggr(frag)` →

@@ -974,3 +974,262 @@ mod expr_differential {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential tests for morsel-driven scheduling: the same randomized
+// queries run through the full engine at DOP ∈ {1, 2, 8} and forced tiny /
+// large morsel sizes, over uniform and skewed (tail-heavy) data, and are
+// pitted against the serial engine and the tuple-at-a-time volcano engine.
+// Plus the treacherous shutdown paths: mid-query cancellation at many-
+// morsel DOP 4, and a panicking worker that shares a MorselSource.
+// ---------------------------------------------------------------------------
+
+mod morsel_differential {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use vectorwise::common::{ColData, Field, Schema, TypeId, Value, VwError};
+    use vectorwise::core::{bulk_load, Database};
+    use vectorwise::volcano::{
+        collect_rows, TupleAgg, TupleAggregate, TupleHashJoin, TupleJoinKind, TupleValues,
+    };
+
+    fn sort_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows
+    }
+
+    fn kv_schema() -> Schema {
+        Schema::new(vec![Field::nullable("k", TypeId::I64), Field::nullable("v", TypeId::I64)])
+            .unwrap()
+    }
+
+    /// Random (k, v) rows. `skewed` clusters the data the way that broke
+    /// static partitioning: the first 90% of rows use a tiny key domain
+    /// and small values, the last 10% carry a wide key domain and the
+    /// value mass — so nearly all groups and most aggregate work sit in
+    /// the tail of the row space. ~10% NULL keys either way.
+    fn gen_rows(rng: &mut SmallRng, n: usize, skewed: bool) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                let tail = skewed && i >= n * 9 / 10;
+                let k = if rng.gen_range(0..100) < 10 {
+                    Value::Null
+                } else if skewed && !tail {
+                    // Head of a skewed table: tiny key domain.
+                    Value::I64(rng.gen_range(0..3i64))
+                } else {
+                    Value::I64(rng.gen_range(0..20i64))
+                };
+                let v = if tail { rng.gen_range(500..1000i64) } else { rng.gen_range(0..10i64) };
+                vec![k, Value::I64(v)]
+            })
+            .collect()
+    }
+
+    fn load_db(rows: &[Vec<Value>], dop: usize, morsel_rows: usize) -> Arc<Database> {
+        let db = Database::open_in_memory();
+        db.execute("CREATE TABLE t (k BIGINT, v BIGINT)").unwrap();
+        let lits: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let k = match &r[0] {
+                    Value::Null => "NULL".to_string(),
+                    Value::I64(k) => k.to_string(),
+                    other => panic!("{other:?}"),
+                };
+                let v = match &r[1] {
+                    Value::I64(v) => v.to_string(),
+                    other => panic!("{other:?}"),
+                };
+                format!("({k}, {v})")
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", lits.join(", "))).unwrap();
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        db.execute(&format!("SET morsel_rows = {morsel_rows}")).unwrap();
+        db.execute("SET partition_min_rows = 0").unwrap();
+        db
+    }
+
+    #[test]
+    fn morsel_sql_agrees_with_serial_and_volcano_over_uniform_and_skewed_data() {
+        let queries = [
+            "SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k",
+            "SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k",
+            "SELECT a.k, COUNT(*), SUM(b.v) FROM t a JOIN t b ON a.k = b.k GROUP BY a.k",
+            "SELECT k, SUM(v) FROM t WHERE v >= 500 GROUP BY k",
+        ];
+        for seed in 0..2u64 {
+            for skewed in [false, true] {
+                let mut rng = SmallRng::seed_from_u64(0x40_15e1 + seed);
+                let rows = gen_rows(&mut rng, 600, skewed);
+
+                // Volcano references for the first two query shapes.
+                let vol_group = {
+                    let mut agg = TupleAggregate::new(
+                        Box::new(TupleValues::new(kv_schema(), rows.clone())),
+                        vec![0],
+                        vec![TupleAgg::CountStar, TupleAgg::Sum(1)],
+                        Schema::unchecked(vec![
+                            Field::nullable("k", TypeId::I64),
+                            Field::not_null("cnt", TypeId::I64),
+                            Field::nullable("sum", TypeId::I64),
+                        ]),
+                    );
+                    sort_rows(collect_rows(&mut agg).unwrap())
+                };
+                let vol_join_count = {
+                    let l = Box::new(TupleValues::new(kv_schema(), rows.clone()));
+                    let r = Box::new(TupleValues::new(kv_schema(), rows.clone()));
+                    let mut j = TupleHashJoin::with_kind(l, r, 0, 0, TupleJoinKind::Inner);
+                    collect_rows(&mut j).unwrap().len() as i64
+                };
+
+                let serial = load_db(&rows, 1, 16 * 1024);
+                let serial_answers: Vec<Vec<Vec<Value>>> = queries
+                    .iter()
+                    .map(|q| sort_rows(serial.execute(q).unwrap().rows().to_vec()))
+                    .collect();
+                assert_eq!(
+                    serial_answers[0], vol_group,
+                    "serial GROUP BY diverged from volcano (seed {seed}, skewed {skewed})"
+                );
+                assert_eq!(
+                    serial_answers[1],
+                    vec![vec![Value::I64(vol_join_count)]],
+                    "serial join count diverged from volcano (seed {seed}, skewed {skewed})"
+                );
+
+                for dop in [2usize, 8] {
+                    for morsel_rows in [16usize, 256] {
+                        let db = load_db(&rows, dop, morsel_rows);
+                        for (q, expect) in queries.iter().zip(&serial_answers) {
+                            let got = sort_rows(db.execute(q).unwrap().rows().to_vec());
+                            assert_eq!(
+                                &got, expect,
+                                "morsel run diverged (seed {seed}, skewed {skewed}, \
+                                 dop {dop}, morsel_rows {morsel_rows}): {q}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_query_cancellation_with_shared_morsel_sources() {
+        // A long self-join at DOP 4 with 64-row morsels: KILL must surface
+        // VwError::Cancelled promptly even though four workers share the
+        // scan dispensers mid-claim.
+        let db = Database::open_in_memory();
+        db.execute("CREATE TABLE big (k BIGINT NOT NULL, v BIGINT NOT NULL)").unwrap();
+        let n = 100_000i64;
+        let k = ColData::I64((0..n).map(|i| i % 100).collect());
+        let v = ColData::I64((0..n).collect());
+        bulk_load(&db, "big", &[k, v], &[None, None]).unwrap();
+        db.execute("SET parallelism = 4").unwrap();
+        db.execute("SET morsel_rows = 64").unwrap();
+
+        let db2 = db.clone();
+        let handle = std::thread::spawn(move || {
+            db2.execute("SELECT COUNT(*) FROM big a JOIN big b ON a.k = b.k")
+        });
+        // Wait for the query to register, then kill it.
+        let qid = loop {
+            let running: Vec<_> = db
+                .monitor
+                .list_queries()
+                .into_iter()
+                .filter(|q| q.state == vectorwise::core::monitor::QueryState::Running)
+                .collect();
+            if let Some(q) = running.first() {
+                break q.id;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        db.kill(qid).unwrap();
+        let result = handle.join().unwrap();
+        assert!(
+            matches!(result, Err(VwError::Cancelled)),
+            "killed morsel query must report cancellation, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_with_shared_source_surfaces_as_error() {
+        // Two Xchg workers share one MorselSource; one panics mid-stream.
+        // The catch_unwind path must turn that into a VwError at the
+        // consumer (not a truncated stream), and dropping the exchange
+        // must join the surviving worker that keeps claiming morsels.
+        use vectorwise::exec::cancel::CancelToken;
+        use vectorwise::exec::morsel::MorselSource;
+        use vectorwise::exec::op::{BoxedOp, Operator, VectorScan, Xchg};
+        use vectorwise::exec::vector::Batch;
+        use vectorwise::storage::{BufferPool, Layout, SimulatedDisk, TableStorage};
+
+        struct PanicAfter {
+            inner: BoxedOp,
+            batches: usize,
+        }
+        impl Operator for PanicAfter {
+            fn schema(&self) -> &Schema {
+                self.inner.schema()
+            }
+            fn name(&self) -> &'static str {
+                "PanicAfter"
+            }
+            fn next(&mut self) -> vectorwise::common::Result<Option<Batch>> {
+                if self.batches == 0 {
+                    panic!("worker exploded between morsel claims");
+                }
+                self.batches -= 1;
+                self.inner.next()
+            }
+        }
+
+        let disk = SimulatedDisk::instant();
+        let pool = BufferPool::new(disk.clone(), 16 << 20);
+        let schema = Schema::new(vec![Field::not_null("x", TypeId::I64)]).unwrap();
+        let mut t = TableStorage::new(disk, schema, Layout::Dsm);
+        t.append_columns(&[ColData::I64((0..20_000).collect())], &[None], 1024).unwrap();
+        let table = Arc::new(t);
+
+        let source = MorselSource::new(VectorScan::stable_items(20_000), 64, 2);
+        let cancel = CancelToken::new();
+        let mk_scan = |consumer: usize| {
+            VectorScan::with_source(
+                table.clone(),
+                pool.clone(),
+                vec![0],
+                source.clone(),
+                consumer,
+                128,
+                cancel.clone(),
+            )
+        };
+        let parts: Vec<BoxedOp> = vec![
+            Box::new(PanicAfter { inner: Box::new(mk_scan(0)), batches: 2 }),
+            Box::new(mk_scan(1)),
+        ];
+        let mut x = Xchg::spawn(parts, cancel).with_sources(vec![source]);
+        let mut saw_panic_error = false;
+        loop {
+            match x.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(VwError::Exec(msg)) => {
+                    assert!(msg.contains("panicked"), "{msg}");
+                    assert!(msg.contains("worker exploded"), "{msg}");
+                    saw_panic_error = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_panic_error, "worker panic must surface as VwError::Exec");
+        drop(x); // join must not deadlock while the sibling still claims
+    }
+}
