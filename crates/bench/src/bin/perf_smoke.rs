@@ -1,9 +1,11 @@
 //! `perf_smoke` — the CI perf-trajectory harness.
 //!
 //! Runs the short deterministic measurement in
-//! `vw_bench::experiments::perf_smoke` (scan→filter→agg, hash join, and
-//! a skewed scan→filter→agg at DOP 1 and 4, fixed seed, ~10s) and writes the rows/sec numbers to a
-//! JSON file CI uploads as an artifact — `BENCH_pr4.json` by default —
+//! `vw_bench::experiments::perf_smoke` (scan→filter→agg, hash join, and a
+//! skewed scan→filter→agg at DOP 1 and 4, plus a memory-governed
+//! `spill_join` whose build runs ~4× over its budget at DOP 1; fixed
+//! seed) and writes the rows/sec numbers to a JSON file CI uploads —
+//! `BENCH_pr5.json` by default —
 //! so every PR from here on appends a point to the benchmark series.
 //!
 //! Usage: `cargo run --release -p vw-bench --bin perf_smoke [-- out.json [rows]]`
@@ -13,7 +15,7 @@ use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr5.json".to_string());
     let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
     let reps = 3;
 
@@ -24,7 +26,7 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline image): flat and stable so
     // the artifact series stays trivially diffable across PRs.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 5,");
     let _ = writeln!(json, "  \"harness\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"reps\": {reps},");

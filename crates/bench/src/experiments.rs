@@ -835,17 +835,39 @@ pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
              FROM lineitem WHERE l_orderkey > {} GROUP BY l_returnflag",
             max_key * 9 / 10
         );
-        for (qi, (name, sql)) in
-            [("scan_filter_agg", &agg_sql), ("join", &join_sql), ("skewed_scan_agg", &skew_sql)]
-                .into_iter()
-                .enumerate()
+        // spill_join: the same self-join under a memory budget one quarter
+        // of the build's staged bytes (two BIGINT key columns per build
+        // row), so the hash build runs ~4× over budget and completes
+        // grace-style through temp spill files. Answers are cross-checked
+        // against the unbounded join's. DOP 1 only: at higher DOP every
+        // Xchg worker replicates the build against the shared budget,
+        // which measures recursion depth × contention instead of the
+        // spill machinery (and would triple the harness runtime).
+        let spill_budget = rows * 16 / 4;
+        for (qi, (name, sql, budget)) in [
+            ("scan_filter_agg", &agg_sql, 0usize),
+            ("join", &join_sql, 0),
+            ("skewed_scan_agg", &skew_sql, 0),
+            ("spill_join", &join_sql, spill_budget),
+        ]
+        .into_iter()
+        .enumerate()
         {
+            if qi == 3 && dop != 1 {
+                continue;
+            }
+            db.execute(&format!("SET mem_budget = {budget}")).unwrap();
             let warm = canon(db.execute(sql).unwrap().rows());
-            match &reference[qi] {
-                None => reference[qi] = Some(warm),
-                Some(expect) => {
-                    assert!(rows_approx_eq(expect, &warm), "{name}: DOP {dop} changed the answer")
-                }
+            // spill_join (qi 3) checks against the unbounded join's
+            // reference (slot 1, always filled earlier in this dop pass):
+            // a spilled build must not change the answer.
+            let slot = if qi == 3 { 1 } else { qi };
+            match &reference[slot] {
+                None => reference[slot] = Some(warm),
+                Some(expect) => assert!(
+                    rows_approx_eq(expect, &warm),
+                    "{name}: DOP {dop} / budget {budget} changed the answer"
+                ),
             }
             let mut best = Duration::MAX;
             for _ in 0..reps {
@@ -853,6 +875,7 @@ pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
                 std::hint::black_box(db.execute(sql).unwrap());
                 best = best.min(t0.elapsed());
             }
+            db.execute("SET mem_budget = 0").unwrap();
             out.push((format!("{name}_dop{dop}"), rows as f64 / best.as_secs_f64()));
         }
     }

@@ -1,4 +1,8 @@
 //! Engine-wide tuning knobs, threaded from `Database` down to the kernels.
+//!
+//! The repo-root `ARCHITECTURE.md` ("Knobs") tabulates every knob with
+//! its SET name, default, and env override; the rustdoc on each field
+//! below is the authoritative description.
 
 /// How arithmetic error checking (overflow, division by zero) is performed.
 ///
@@ -57,6 +61,22 @@ pub struct EngineConfig {
     /// `VW_DOP` / `VW_PARTITION_MIN_ROWS`, so CI can force many-morsel
     /// scheduling through the whole suite).
     pub morsel_rows: usize,
+    /// Per-query memory budget in bytes for hash build state (join build
+    /// sides, aggregation groups). `0` = unlimited — the build stays fully
+    /// in memory and none of the spill machinery is even constructed, so
+    /// the zero-spill hot path is byte-for-byte the allocation-free kernel
+    /// path. A non-zero budget makes every hash build in the query charge
+    /// a shared `MemBudget` tracker (`vw-exec::partition`) as staged shards
+    /// grow; when the query exceeds the budget, the largest shards spill
+    /// their staged rows to temp spill files and the affected partitions
+    /// finish grace-style (probe rows routed to probe spill files, each
+    /// spilled partition pair rehydrated and joined/re-aggregated with the
+    /// in-memory kernels, re-partitioning on the next hash-bit stratum if
+    /// a partition still does not fit). SET-able (`SET mem_budget = n`),
+    /// `VW_MEM_BUDGET` env override (like `VW_DOP`, so CI can force spills
+    /// through the whole suite). See ARCHITECTURE.md ("Knobs") for the
+    /// full knob table.
+    pub mem_budget_bytes: usize,
     /// Arithmetic checking strategy.
     pub check_mode: CheckMode,
     /// NULL representation strategy.
@@ -78,6 +98,7 @@ impl Default for EngineConfig {
         let parallelism = env_usize("VW_DOP").unwrap_or(1).max(1);
         let partition_min_rows = env_usize("VW_PARTITION_MIN_ROWS").unwrap_or(8192);
         let morsel_rows = env_usize("VW_MORSEL_ROWS").unwrap_or(16 * 1024).max(1);
+        let mem_budget_bytes = env_usize("VW_MEM_BUDGET").unwrap_or(0);
         EngineConfig {
             vector_size: crate::DEFAULT_VECTOR_SIZE,
             buffer_pool_bytes: 64 << 20,
@@ -85,6 +106,7 @@ impl Default for EngineConfig {
             partition_bits: None,
             partition_min_rows,
             morsel_rows,
+            mem_budget_bytes,
             check_mode: CheckMode::Lazy,
             null_mode: NullMode::TwoColumn,
             cooperative_scans: false,
@@ -123,6 +145,12 @@ impl EngineConfig {
     pub fn with_morsel_rows(mut self, n: usize) -> Self {
         assert!(n > 0, "morsel_rows must be positive");
         self.morsel_rows = n;
+        self
+    }
+
+    /// Override the per-query memory budget (builder style; 0 = unlimited).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget_bytes = bytes;
         self
     }
 
@@ -173,6 +201,16 @@ mod tests {
         assert!(c.morsel_rows >= 1);
         let c = c.with_morsel_rows(64);
         assert_eq!(c.morsel_rows, 64);
+    }
+
+    #[test]
+    fn mem_budget_defaults_unlimited_and_overrides() {
+        let c = EngineConfig::default();
+        // Default (no VW_MEM_BUDGET in the test env): unlimited.
+        if std::env::var("VW_MEM_BUDGET").is_err() {
+            assert_eq!(c.mem_budget_bytes, 0);
+        }
+        assert_eq!(c.with_mem_budget(1 << 20).mem_budget_bytes, 1 << 20);
     }
 
     #[test]

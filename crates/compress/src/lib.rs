@@ -2,7 +2,7 @@
 //!
 //! Reproduction of the light-weight compression schemes of
 //! *Super-Scalar RAM-CPU Cache Compression* (Zukowski, Héman, Nes, Boncz,
-//! ICDE 2006) — reference [8] of the Vectorwise paper. These schemes trade
+//! ICDE 2006) — reference \[8\] of the Vectorwise paper. These schemes trade
 //! compression ratio for *decompression speed*: decoding must run at a rate
 //! comparable to RAM bandwidth so that compressed disk/RAM pages can be
 //! expanded into CPU-cache-resident vectors on the fly.

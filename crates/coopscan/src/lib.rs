@@ -1,7 +1,7 @@
 //! # vw-coopscan — Cooperative Scans: dynamic bandwidth sharing
 //!
 //! Reproduction of *Cooperative Scans: Dynamic Bandwidth Sharing in a DBMS*
-//! (Zukowski, Héman, Nes, Boncz, VLDB 2007) — reference [7] of the
+//! (Zukowski, Héman, Nes, Boncz, VLDB 2007) — reference \[7\] of the
 //! Vectorwise paper.
 //!
 //! ## The problem

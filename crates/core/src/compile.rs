@@ -8,12 +8,12 @@
 //! [`LogicalPlan::Exchange`] runs the **pipeline factory**: the same plan
 //! fragment is compiled once per worker, but every partitioned scan the
 //! factory visits draws from **one shared
-//! [`MorselSource`](vw_exec::morsel::MorselSource)** (created by the first
+//! [`MorselSource`]** (created by the first
 //! worker's build, reused by the rest — the visit order is identical since
 //! all workers compile the same plan). Plan-time `dop` only sizes the
 //! worker pool; *which rows a worker scans* is decided at run time, claim
 //! by claim, so skewed fragments rebalance themselves. Each worker
-//! pipeline also threads one [`BatchPool`](vw_exec::morsel::BatchPool)
+//! pipeline also threads one [`BatchPool`]
 //! through its operators, so steady-state operator outputs recycle instead
 //! of allocating.
 
@@ -29,6 +29,7 @@ use vw_exec::op::{
     AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, Sort, SortKey,
     TopN, Values, VectorScan, Xchg,
 };
+use vw_exec::partition::{MemBudget, SpillConfig};
 use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::CancelToken;
 use vw_pdt::store::items;
@@ -132,6 +133,27 @@ struct Partition<'a> {
     seq: usize,
 }
 
+/// The query-wide memory governor, created once per plan when
+/// `EngineConfig::mem_budget_bytes` is non-zero. Every hash join build
+/// side and every aggregation in the plan — Exchange worker clones
+/// included — charges the same budget; whichever operator pushes the
+/// total over the line spills its own largest shard (grace-style, see
+/// `vw_exec::partition`). With no budget configured this is `None` and
+/// the operators carry none of the spill machinery (the zero-spill path
+/// is byte-for-byte the allocation-free kernel path).
+struct QuerySpill {
+    budget: Arc<MemBudget>,
+    partitions: usize,
+}
+
+impl QuerySpill {
+    /// A fresh per-operator spill config (own traffic counters, shared
+    /// budget and device).
+    fn config(&self, db: &Database) -> SpillConfig {
+        SpillConfig::new(self.budget.clone(), db.disk.clone(), self.partitions)
+    }
+}
+
 /// Build the executable operator tree for `plan`.
 ///
 /// `txn` supplies private PDT images for tables touched by an open
@@ -144,7 +166,13 @@ pub fn build_plan(
     cancel: &CancelToken,
     txn: Option<&OpenTxn>,
 ) -> Result<BoxedOp> {
-    build_plan_inner(db, plan, config, cancel, txn, None, false, &BatchPool::new())
+    let spill = (config.mem_budget_bytes > 0).then(|| QuerySpill {
+        budget: MemBudget::new(config.mem_budget_bytes),
+        // Grace fan-out: at least 8 partitions so eviction stays
+        // fine-grained even at DOP 1 (recursion needs ≥ 2 to split).
+        partitions: config.build_partitions().max(8),
+    });
+    build_plan_inner(db, plan, config, cancel, txn, None, false, &BatchPool::new(), spill.as_ref())
 }
 
 /// `in_exchange` tracks whether this subtree runs inside an Exchange
@@ -153,6 +181,8 @@ pub fn build_plan(
 /// of `dop` concurrent copies. Operator-level parallel builds gate on it:
 /// inside an exchange they would oversubscribe (dop × P threads).
 /// `batch_pool` is this worker pipeline's shared output-batch free-list.
+/// `spill` is the query-wide memory governor (None = unlimited memory,
+/// no spill machinery constructed).
 #[allow(clippy::too_many_arguments)]
 fn build_plan_inner(
     db: &Arc<Database>,
@@ -163,6 +193,7 @@ fn build_plan_inner(
     partition: Option<&mut Partition<'_>>,
     in_exchange: bool,
     batch_pool: &BatchPool,
+    spill: Option<&QuerySpill>,
 ) -> Result<BoxedOp> {
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     let vs = config.vector_size;
@@ -284,6 +315,7 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
             // Compile once per query: the operator only ever runs programs.
             let program = SelectProgram::compile(&lower_expr(predicate)?, &ctx);
@@ -301,6 +333,7 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
             let programs = exprs
                 .iter()
@@ -323,9 +356,19 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
-            let r =
-                build_plan_inner(db, right, config, cancel, txn, None, in_exchange, batch_pool)?;
+            let r = build_plan_inner(
+                db,
+                right,
+                config,
+                cancel,
+                txn,
+                None,
+                in_exchange,
+                batch_pool,
+                spill,
+            )?;
             let lk = keys
                 .iter()
                 .map(|(a, _)| Ok(ExprProgram::compile(&lower_expr(a)?, &ctx)))
@@ -342,11 +385,16 @@ fn build_plan_inner(
                 JoinKind::NullAwareAnti => JoinType::NullAwareLeftAnti,
             };
             let mut join = HashJoin::new(l, r, lk, rk, jt, schema.clone(), cancel.clone());
-            // Radix-partition the build across threads — but never inside an
-            // Exchange worker (even on a build side whose scan `partition`
-            // was cleared), where the plan-level DOP already owns the cores
-            // (dop × P threads would oversubscribe).
-            if config.parallelism > 1 && !in_exchange {
+            // Memory-governed builds run the grace-spilling partitioner
+            // (serial in-operator; Xchg parallelism still applies above
+            // it). Otherwise, radix-partition the build across threads —
+            // but never inside an Exchange worker (even on a build side
+            // whose scan `partition` was cleared), where the plan-level
+            // DOP already owns the cores (dop × P threads would
+            // oversubscribe).
+            if let Some(qs) = spill {
+                join = join.with_spill(qs.config(db));
+            } else if config.parallelism > 1 && !in_exchange {
                 join =
                     join.with_parallel_build(config.build_partitions(), config.partition_min_rows);
             }
@@ -362,6 +410,7 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
             let g = group
                 .iter()
@@ -381,7 +430,9 @@ fn build_plan_inner(
                 })
                 .collect::<Result<_>>()?;
             let mut agg = HashAggregate::new(child, g, specs, schema.clone(), vs, cancel.clone())?;
-            if config.parallelism > 1 && !in_exchange {
+            if let Some(qs) = spill {
+                agg = agg.with_spill(qs.config(db));
+            } else if config.parallelism > 1 && !in_exchange {
                 agg = agg.with_parallel_build(config.build_partitions(), config.partition_min_rows);
             }
             Box::new(agg.with_batch_pool(batch_pool.clone()))
@@ -396,6 +447,7 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
             // Sort directly under a Limit becomes TopN in `Limit` lowering;
             // standalone Sort materializes.
@@ -418,6 +470,7 @@ fn build_plan_inner(
                         partition,
                         in_exchange,
                         batch_pool,
+                        spill,
                     )?;
                     let sort_keys: Vec<SortKey> = keys
                         .iter()
@@ -441,6 +494,7 @@ fn build_plan_inner(
                 partition,
                 in_exchange,
                 batch_pool,
+                spill,
             )?;
             let lim = if *limit == u64::MAX { usize::MAX } else { *limit as usize };
             Box::new(Limit::new(child, *offset as usize, lim, cancel.clone()))
@@ -471,6 +525,7 @@ fn build_plan_inner(
                     Some(&mut part),
                     true,
                     &worker_pool,
+                    spill,
                 )?);
             }
             Box::new(Xchg::spawn(parts, cancel.clone()).with_sources(shared.into_sources()))

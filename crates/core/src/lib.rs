@@ -1,5 +1,8 @@
 //! # vw-core — the integrated Vectorwise engine
 //!
+//! (The repo-root `ARCHITECTURE.md` is the cross-crate map — crates, the
+//! life of a query, ownership rules, and the knob table.)
+//!
 //! This crate assembles Figure 1: SQL text flows through the parser and
 //! binder (`vw-sql`), the Ingres-style optimizer, the Vectorwise rewriter
 //! (`vw-rewriter`), the [cross compiler](compile) that lowers the rewritten
@@ -111,6 +114,12 @@ impl Database {
     /// Current engine configuration (copy).
     pub fn config(&self) -> EngineConfig {
         self.config.read().clone()
+    }
+
+    /// The simulated device this engine stores blocks on (tests use it to
+    /// assert spill files are reclaimed; tools read traffic counters).
+    pub fn disk(&self) -> &Arc<SimulatedDisk> {
+        &self.disk
     }
 
     /// Execute one or more `;`-separated statements in auto-commit mode,
@@ -229,6 +238,15 @@ impl Database {
                     return Err(VwError::InvalidParameter("morsel_rows must be >= 1".into()));
                 }
                 cfg.morsel_rows = v as usize;
+            }
+            "mem_budget" | "mem_budget_bytes" => {
+                let v = value.as_i64()?;
+                if v < 0 {
+                    return Err(VwError::InvalidParameter(
+                        "mem_budget must be >= 0 (0 = unlimited)".into(),
+                    ));
+                }
+                cfg.mem_budget_bytes = v as usize;
             }
             "check_mode" => {
                 cfg.check_mode = match value.as_str()?.to_ascii_lowercase().as_str() {
@@ -511,6 +529,11 @@ mod tests {
         db.execute("SET check_mode = 'naive'").unwrap();
         db.execute("SET morsel_rows = 256").unwrap();
         assert_eq!(db.config().morsel_rows, 256);
+        db.execute("SET mem_budget = 65536").unwrap();
+        assert_eq!(db.config().mem_budget_bytes, 65536);
+        db.execute("SET mem_budget = 0").unwrap();
+        assert_eq!(db.config().mem_budget_bytes, 0, "0 = unlimited");
+        assert!(db.execute("SET mem_budget = -1").is_err());
         assert!(db.execute("SET morsel_rows = 0").is_err());
         assert!(db.execute("SET vector_size = 0").is_err());
         assert!(db.execute("SET nonsense = 1").is_err());

@@ -959,10 +959,12 @@ pub(crate) fn decode_field(code: i64) -> Result<DateField> {
 }
 
 /// Compiled SQL LIKE pattern (`%` = any run, `_` = any char).
+#[derive(Clone)]
 pub struct LikeMatcher {
     tokens: Vec<LikeTok>,
 }
 
+#[derive(Clone)]
 enum LikeTok {
     Lit(String),
     AnyOne,

@@ -44,6 +44,14 @@
 //! big table, while each is `P`× smaller. Shards are never merged; probes
 //! split partition-wise by the same bits and run these same kernels
 //! against the owning shard.
+//!
+//! **Grace-spilled builds** rehydrate through the same entry point:
+//! a spilled partition's rows are replayed from its spill file
+//! ([`crate::spill`]), their key hashes recomputed with [`hash_keys`]
+//! (hashing is a pure function of the key values, so rehydrated runs
+//! land in the same buckets), and the partition's table bulk-built with
+//! [`FlatTable::build_csr`] exactly like any staged-then-finalized build.
+//! Nothing in this module knows whether its input ever touched disk.
 
 use crate::primitives;
 use crate::vector::Vector;

@@ -1,5 +1,8 @@
 //! # vw-exec — the X100 vectorized execution kernel
 //!
+//! (Repo-wide orientation — the crate map and the life of a query — is
+//! in the root `ARCHITECTURE.md`; this header maps only this crate.)
+//!
 //! The "Vectorized Execution" box of Figure 1 and the performance heart of
 //! the system: operators exchange **vectors** (~1000 values, configurable)
 //! instead of single tuples, so interpretation overhead is paid once per
@@ -28,7 +31,12 @@
 //! * [`partition`] — radix partitioning for parallel hash builds:
 //!   [`partition::RadixRouter`] splits key hashes into `P` partitions,
 //!   [`partition::ShardSet`] runs one `FlatTable` shard per worker thread,
-//!   and probes route partition-wise through reused `SelVec`s;
+//!   and probes route partition-wise through reused `SelVec`s; also home
+//!   of the [`partition::MemBudget`] memory governor and the
+//!   [`partition::SpillConfig`] grace-spilling policy;
+//! * [`spill`] — the disk half of grace spilling: vectors ⇄ compressed
+//!   spill chunks on a temp [`vw_storage::SpillFile`], plus
+//!   [`spill::SpillScan`], the operator that replays a spilled partition;
 //! * [`op`] — the relational operators: scan (with PDT merge), select,
 //!   project, hash join (inner/left/semi/anti/**NULL-aware anti**), hash
 //!   aggregation, sort, top-n, limit, union, and the Volcano-style **Xchg**
@@ -45,6 +53,7 @@ pub mod partition;
 pub mod primitives;
 pub mod profile;
 pub mod program;
+pub mod spill;
 pub mod vector;
 
 pub use cancel::CancelToken;

@@ -1,6 +1,8 @@
 //! Morsel-driven scheduling and pooled operator output batches — the two
 //! halves of keeping every core busy on cache-resident vectors with zero
-//! steady-state allocation.
+//! steady-state allocation. (This header is the authoritative
+//! lease/recycle contract; `ARCHITECTURE.md` at the repo root links here
+//! rather than restating it.)
 //!
 //! # MorselSource — run-time work claims instead of plan-time ranges
 //!
@@ -51,7 +53,7 @@
 //! 4. A recycled batch must never be touched again by its producer — the
 //!    lease is the only way back in. Batches that exit the pipeline (the
 //!    query result, batches crossing an `Xchg` channel) are simply never
-//!    recycled; the pool is bounded ([`MAX_POOLED`]) so that is not a
+//!    recycled; the pool is bounded (`MAX_POOLED`) so that is not a
 //!    leak, just a missed reuse.
 //!
 //! Recycling strips NULL-indicator buffers: a leased batch always comes

@@ -26,12 +26,15 @@ use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::hashtable::{self, FlatTable, EMPTY};
 use crate::morsel::BatchPool;
-use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
+use crate::partition::{
+    RadixRouter, ShardSet, ShardWorker, SpillConfig, DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+};
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
+use vw_storage::{encode_spill_batch, SpillFile};
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,6 +270,107 @@ impl AggState {
     }
 }
 
+impl AggState {
+    /// Approximate heap bytes of this accumulator column (memory-governor
+    /// charging).
+    fn approx_bytes(&self) -> usize {
+        match self {
+            AggState::Count(c) => c.len() * 8,
+            AggState::SumI64 { sums, .. } => sums.len() * 9,
+            AggState::SumF64 { sums, .. } => sums.len() * 9,
+            AggState::MinMax { vals, seen, .. } => vals.byte_size() + seen.len(),
+            AggState::Avg { sums, .. } => sums.len() * 16,
+        }
+    }
+
+    /// Number of columns this aggregate's *partial state* spills as (only
+    /// AVG needs two — its running sum and count are not recoverable from
+    /// the divided output value).
+    fn state_width(func: AggFunc) -> usize {
+        match func {
+            AggFunc::Avg => 2,
+            _ => 1,
+        }
+    }
+
+    /// The column types [`AggState::spill_columns`] produces, for decoding
+    /// a rehydrated state chunk.
+    fn state_types(func: AggFunc, out_ty: TypeId) -> Vec<TypeId> {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => vec![TypeId::I64],
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => vec![out_ty],
+            AggFunc::Avg => vec![TypeId::F64, TypeId::I64],
+        }
+    }
+
+    /// Serialize groups `start..end` as re-mergeable partial-state
+    /// columns. For every function except AVG the partial state *is* the
+    /// output column ([`AggState::finish_range`]) with NULL marking
+    /// "no input seen yet"; AVG spills its running (sum, count) pair.
+    fn spill_columns(&self, start: usize, end: usize, out_ty: TypeId) -> Result<Vec<Vector>> {
+        Ok(match self {
+            AggState::Avg { sums, counts } => vec![
+                Vector::new(ColData::F64(sums[start..end].to_vec())),
+                Vector::new(ColData::I64(counts[start..end].to_vec())),
+            ],
+            other => vec![other.finish_range(start, end, out_ty)?],
+        })
+    }
+
+    /// Fold rehydrated partial-state columns (produced by
+    /// [`AggState::spill_columns`], routed by `gidx`) into this
+    /// accumulator — the grace re-aggregation path. NULL partial values
+    /// mean "that chunk never saw an input for this group" and contribute
+    /// nothing.
+    fn merge_columns(&mut self, gidx: &[u32], sel: &SelVec, cols: &[Vector]) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                let v = &cols[0];
+                let d = v.data.as_i64();
+                for p in sel.iter() {
+                    c[gidx[p] as usize] += d[p];
+                }
+            }
+            AggState::SumI64 { sums, seen } => {
+                let v = &cols[0];
+                let d = v.data.as_i64();
+                for p in sel.iter() {
+                    if !v.is_null(p) {
+                        let g = gidx[p] as usize;
+                        sums[g] = sums[g].checked_add(d[p]).ok_or(VwError::Overflow("SUM"))?;
+                        seen[g] = true;
+                    }
+                }
+            }
+            AggState::SumF64 { sums, seen } => {
+                let v = &cols[0];
+                let d = v.data.as_f64();
+                for p in sel.iter() {
+                    if !v.is_null(p) {
+                        let g = gidx[p] as usize;
+                        sums[g] += d[p];
+                        seen[g] = true;
+                    }
+                }
+            }
+            AggState::MinMax { vals, seen, is_min } => {
+                // A partial MIN/MAX value merges exactly like an input
+                // value of the output type.
+                minmax_update(vals, seen, *is_min, gidx, sel, &cols[0])?;
+            }
+            AggState::Avg { sums, counts } => {
+                let (ps, pc) = (cols[0].data.as_f64(), cols[1].data.as_i64());
+                for p in sel.iter() {
+                    let g = gidx[p] as usize;
+                    sums[g] += ps[p];
+                    counts[g] += pc[p];
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Typed MIN/MAX fold. Same-variant input updates through a tight per-type
 /// loop; mismatched variants go through the `Value` slow path with SQL
 /// comparison semantics (the old behaviour).
@@ -372,8 +476,11 @@ struct AggScratch {
 
 /// One radix partition's aggregation state: a private table + accumulators
 /// over the shard's (key-disjoint) groups, fed dense gathered packets.
+/// Used by the threaded parallel build (one shard per worker) and by the
+/// grace build (inline shards the memory governor can evict).
 struct AggShard {
     funcs: Vec<AggFunc>,
+    out_tys: Vec<TypeId>,
     table: FlatTable,
     group_keys: Vec<Vector>,
     states: Vec<AggState>,
@@ -381,6 +488,106 @@ struct AggShard {
     scratch: AggScratch,
     probe_rows: u64,
     chain_steps: u64,
+}
+
+impl AggShard {
+    /// Approximate heap bytes of this shard's group keys + accumulators
+    /// (the memory governor's charging unit).
+    fn approx_bytes(&self) -> usize {
+        self.group_keys.iter().map(|v| v.byte_size()).sum::<usize>()
+            + self.states.iter().map(|s| s.approx_bytes()).sum::<usize>()
+    }
+
+    /// Serialize this shard's groups as one re-mergeable partial-state
+    /// chunk (key columns then flattened state columns) appended to
+    /// `file`; returns encoded bytes. The shard itself is not modified —
+    /// the caller replaces it with a fresh one.
+    fn spill_state(&self, file: &mut SpillFile) -> Result<usize> {
+        let n = self.n_groups;
+        let mut state_vecs: Vec<Vector> = Vec::new();
+        for (st, &ty) in self.states.iter().zip(&self.out_tys) {
+            state_vecs.extend(st.spill_columns(0, n, ty)?);
+        }
+        let mut pairs: Vec<(&ColData, Option<&[bool]>)> =
+            self.group_keys.iter().map(|v| (&v.data, v.nulls.as_deref())).collect();
+        pairs.extend(state_vecs.iter().map(|v| (&v.data, v.nulls.as_deref())));
+        Ok(file.append(encode_spill_batch(&pairs)))
+    }
+
+    /// Fold one rehydrated partial-state chunk into this shard: resolve
+    /// the chunk's keys to (existing or fresh) groups, then merge each
+    /// aggregate's partial columns — the grace re-aggregation path.
+    fn merge_chunk(&mut self, keys: &[Vector], state_cols: &[Vector]) -> Result<()> {
+        let n = keys.first().map_or(0, |k| k.len());
+        if n == 0 {
+            return Ok(());
+        }
+        let key_refs: Vec<&Vector> = keys.iter().collect();
+        self.scratch.live.fill_identity(n);
+        let steps = resolve_groups(
+            &mut self.table,
+            &mut self.group_keys,
+            &mut self.states,
+            &mut self.n_groups,
+            &mut self.scratch,
+            &key_refs,
+            n,
+        )?;
+        self.probe_rows += n as u64;
+        self.chain_steps += steps;
+        let mut off = 0;
+        for (st, &func) in self.states.iter_mut().zip(&self.funcs) {
+            let w = AggState::state_width(func);
+            st.merge_columns(&self.scratch.gidx, &self.scratch.live, &state_cols[off..off + w])?;
+            off += w;
+        }
+        Ok(())
+    }
+}
+
+/// Memory-governed (grace) aggregation state: inline shards on this
+/// operator's hash-bit stratum, each aggregating its partitions' rows in
+/// memory; when the query runs over budget the largest shard's partial
+/// state is flushed to its spill file and the shard restarts empty.
+/// Spilled partitions are re-aggregated (merge of partial states) at emit
+/// time, re-partitioning on the next stratum if a partition still does
+/// not fit.
+struct GraceAgg {
+    cfg: SpillConfig,
+    router: RadixRouter,
+    shards: Vec<AggShard>,
+    files: Vec<Option<SpillFile>>,
+    charged: Vec<usize>,
+    /// Group count at each shard's last byte recompute — `approx_bytes`
+    /// walks every group key (O(groups) for strings), so the charge is
+    /// refreshed only when a shard gained groups. Fixed-width state grows
+    /// only with groups; string MIN/MAX drift between growths is bounded
+    /// by the value sizes and corrected at the next growth or spill.
+    charged_groups: Vec<usize>,
+}
+
+impl GraceAgg {
+    /// The shard holding the most charged bytes among those with groups.
+    fn largest_charged(&self) -> Option<usize> {
+        (0..self.shards.len())
+            .filter(|&si| self.shards[si].n_groups > 0)
+            .max_by_key(|&si| self.charged[si])
+    }
+
+    /// Return every byte still charged (normal completion zeroes the
+    /// entries; this also runs on drop for error/KILL unwinds).
+    fn uncharge_all(&mut self) {
+        for c in &mut self.charged {
+            self.cfg.budget.uncharge(*c);
+            *c = 0;
+        }
+    }
+}
+
+impl Drop for GraceAgg {
+    fn drop(&mut self) {
+        self.uncharge_all();
+    }
 }
 
 /// Dense gathered rows for one (batch, shard) pair: group keys, aggregate
@@ -468,6 +675,12 @@ pub struct HashAggregate {
     built: bool,
     scratch: AggScratch,
     batch_pool: Option<BatchPool>,
+    /// Memory-governed spilling, when configured
+    /// ([`HashAggregate::with_spill`]).
+    spill: Option<SpillConfig>,
+    /// Spilled partitions' partial-state files, re-aggregated lazily at
+    /// emit time (one partition's merged groups in memory at a time).
+    pending: Vec<SpillFile>,
     profile: OpProfile,
 }
 
@@ -505,6 +718,8 @@ impl HashAggregate {
             built: false,
             scratch: AggScratch::default(),
             batch_pool: None,
+            spill: None,
+            pending: Vec::new(),
             profile: OpProfile::new("HashAggr"),
         })
     }
@@ -520,17 +735,120 @@ impl HashAggregate {
     /// Enable the radix-partitioned parallel build: `shards` worker threads
     /// (rounded up to a power of two), engaged once at least `min_rows`
     /// input rows are staged. Global aggregates (no group keys) always
-    /// stay serial — their single group cannot partition.
+    /// stay serial — their single group cannot partition. Ignored when a
+    /// memory budget is attached ([`HashAggregate::with_spill`] wins — a
+    /// governed build must own its shard lifecycle to evict).
     pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashAggregate {
         self.par_shards = shards.max(1).next_power_of_two();
         self.par_min_rows = min_rows;
         self
     }
 
+    /// Attach the query's memory governor: the build radix-partitions into
+    /// inline shards on `cfg`'s hash-bit stratum and charges `cfg.budget`
+    /// as groups accumulate. When the query runs over budget, the largest
+    /// shard's partial aggregation state (group keys + re-mergeable
+    /// accumulator columns) flushes to a temp spill file and the shard
+    /// restarts empty; spilled partitions are re-aggregated by merging
+    /// their partial-state chunks at emit time, re-partitioning on the
+    /// next hash-bit stratum when a partition still exceeds the budget.
+    /// Global aggregates (no group keys) ignore the governor — their
+    /// state is one group.
+    pub fn with_spill(mut self, cfg: SpillConfig) -> HashAggregate {
+        self.spill = Some(cfg);
+        self
+    }
+
+    /// The decoded column types of one spilled partial-state chunk: group
+    /// keys, then each aggregate's state columns.
+    fn chunk_types(&self) -> Vec<TypeId> {
+        let mut t: Vec<TypeId> = self.group_exprs.iter().map(|e| e.type_id()).collect();
+        for a in &self.aggs {
+            t.extend(AggState::state_types(a.func, a.out_ty));
+        }
+        t
+    }
+
+    /// Re-aggregate one spilled partition: merge its partial-state chunks
+    /// into a fresh shard — or, if the file looks bigger than the budget
+    /// and the stratum floor is not reached, re-partition the chunks on
+    /// stratum `depth` into sub-files and recurse. Equal keys hash equal,
+    /// so every level's partitions stay key-disjoint and the merged
+    /// outputs emit without any cross-partition pass.
+    fn reaggregate(
+        &mut self,
+        file: SpillFile,
+        cfg: &SpillConfig,
+        depth: u32,
+    ) -> Result<Vec<AggShardOut>> {
+        let types = self.chunk_types();
+        let n_keys = self.group_exprs.len();
+        // The encoded size underestimates the decoded state (compression),
+        // but partial states also over-count the merged result (a key in k
+        // chunks merges to one group) — a workable victim of a heuristic.
+        // Past the depth floor (recursion cap or hash bits exhausted for
+        // this fan-out) the partition merges in memory regardless.
+        if file.bytes_written() as usize <= cfg.budget.limit()
+            || depth > SpillConfig::max_depth(cfg.partitions)
+        {
+            let mut shard = self.make_shard()?;
+            for i in 0..file.n_chunks() {
+                self.cancel.check()?;
+                let (vecs, nbytes) = crate::spill::read_vectors(&file, i, &types)?;
+                cfg.metrics.record_read(nbytes as u64);
+                shard.merge_chunk(&vecs[..n_keys], &vecs[n_keys..])?;
+            }
+            self.profile.record_probe(shard.probe_rows, shard.chain_steps);
+            return Ok(vec![shard.finish()?]);
+        }
+        // Too big to merge at once: split every chunk's state rows by the
+        // next stratum's radix bits and recurse per sub-partition.
+        let mut router = RadixRouter::at_depth(cfg.partitions, depth);
+        let mut subs: Vec<Option<SpillFile>> = (0..router.partitions()).map(|_| None).collect();
+        let (mut lanes, mut hashes) = (Vec::new(), Vec::new());
+        for i in 0..file.n_chunks() {
+            self.cancel.check()?;
+            let (vecs, nbytes) = crate::spill::read_vectors(&file, i, &types)?;
+            cfg.metrics.record_read(nbytes as u64);
+            let rows = vecs.first().map_or(0, |v| v.len());
+            if rows == 0 {
+                continue;
+            }
+            let key_refs: Vec<&Vector> = vecs[..n_keys].iter().collect();
+            hashtable::hash_keys(&key_refs, rows, true, &mut lanes, &mut hashes);
+            router.split(&hashes, None, rows);
+            for (si, slot) in subs.iter_mut().enumerate() {
+                let sel = router.shard_sel(si);
+                if sel.is_empty() {
+                    continue;
+                }
+                let gathered: Vec<Vector> = vecs.iter().map(|v| v.gather(sel)).collect();
+                let pairs: Vec<(&ColData, Option<&[bool]>)> =
+                    gathered.iter().map(|v| (&v.data, v.nulls.as_deref())).collect();
+                if slot.is_none() {
+                    // A deeper-stratum partition spills its first chunk:
+                    // the `spill` column counts partitions across all
+                    // strata (the join path does the same).
+                    cfg.metrics.record_partition();
+                }
+                let sub = slot.get_or_insert_with(|| SpillFile::new(cfg.disk.clone()));
+                let written = sub.append(encode_spill_batch(&pairs));
+                cfg.metrics.record_write(written as u64);
+            }
+        }
+        drop(file); // this stratum's blocks are free before recursing
+        let mut outs = Vec::new();
+        for sub in subs.into_iter().flatten() {
+            outs.extend(self.reaggregate(sub, cfg, depth + 1)?);
+        }
+        Ok(outs)
+    }
+
     /// A fresh shard worker mirroring this operator's aggregate layout.
     fn make_shard(&self) -> Result<AggShard> {
         Ok(AggShard {
             funcs: self.aggs.iter().map(|a| a.func).collect(),
+            out_tys: self.aggs.iter().map(|a| a.out_ty).collect(),
             table: FlatTable::new(),
             group_keys: self
                 .group_exprs
@@ -547,8 +865,29 @@ impl HashAggregate {
 
     fn build(&mut self) -> Result<()> {
         let mut input = self.input.take().expect("build once");
-        // Global aggregates stay serial: one group cannot partition.
-        let partitionable = self.par_shards > 1 && !self.group_exprs.is_empty();
+        // Memory-governed build: inline grace shards from the first row so
+        // any partition's state can be evicted when the budget trips.
+        // Global aggregates cannot partition and ignore the governor.
+        let mut grace: Option<GraceAgg> = match &self.spill {
+            Some(cfg) if !self.group_exprs.is_empty() => {
+                let router = RadixRouter::at_depth(cfg.partitions, cfg.depth);
+                let p = router.partitions();
+                let shards = (0..p).map(|_| self.make_shard()).collect::<Result<Vec<_>>>()?;
+                Some(GraceAgg {
+                    cfg: cfg.clone(),
+                    router,
+                    shards,
+                    files: (0..p).map(|_| None).collect(),
+                    charged: vec![0; p],
+                    charged_groups: vec![usize::MAX; p],
+                })
+            }
+            _ => None,
+        };
+        // Global aggregates stay serial: one group cannot partition. A
+        // governed build replaces the threaded one (grace owns the shard
+        // lifecycle).
+        let partitionable = self.par_shards > 1 && !self.group_exprs.is_empty() && grace.is_none();
         let mut workers: Option<(RadixRouter, ShardSet<AggShard>)> = None;
         let mut staged: Vec<AggPacket> = Vec::new();
         let mut staged_rows = 0usize;
@@ -592,7 +931,49 @@ impl HashAggregate {
                         None => s.live.fill_identity(batch.capacity()),
                     }
                 }
-                if !partitionable {
+                if let Some(g) = &mut grace {
+                    // Governed build: hash the group keys once (NULL keys
+                    // to their sentinel lane, as everywhere), split by this
+                    // stratum's radix bits, and fold each partition's rows
+                    // into its inline shard, re-charging the shard's
+                    // approximate bytes. Eviction decisions run after the
+                    // batch (outside the key-program borrows).
+                    let s = &mut self.scratch;
+                    hashtable::hash_keys(keys, batch.capacity(), true, &mut s.lanes, &mut s.hashes);
+                    let pool = &self.pool;
+                    g.router.split(&s.hashes, Some(&s.live), batch.capacity());
+                    for si in 0..g.shards.len() {
+                        let sel = g.router.shard_sel(si);
+                        if sel.is_empty() {
+                            continue;
+                        }
+                        let pkt = AggPacket {
+                            keys: keys.iter().map(|v| v.gather(sel)).collect(),
+                            inputs: s
+                                .agg_refs
+                                .iter()
+                                .map(|r| r.map(|vr| pool.get(&batch, vr).gather(sel)))
+                                .collect(),
+                            hashes: sel.iter().map(|p| s.hashes[p]).collect(),
+                        };
+                        g.shards[si].absorb(pkt)?;
+                        // Re-charge only when the shard gained groups (see
+                        // `charged_groups`) — byte recomputes are O(groups)
+                        // for string keys, and state bytes only grow with
+                        // the group count.
+                        if g.shards[si].n_groups != g.charged_groups[si] {
+                            g.charged_groups[si] = g.shards[si].n_groups;
+                            let now = g.shards[si].approx_bytes();
+                            let before = g.charged[si];
+                            if now >= before {
+                                g.cfg.budget.charge(now - before);
+                            } else {
+                                g.cfg.budget.uncharge(before - now);
+                            }
+                            g.charged[si] = now;
+                        }
+                    }
+                } else if !partitionable {
                     chain_steps = resolve_groups(
                         &mut self.table,
                         &mut self.group_keys,
@@ -666,6 +1047,31 @@ impl HashAggregate {
             self.profile.record_expr(runs, instrs);
             self.profile.record_phase(t0.elapsed());
             self.profile.record_probe(rows, chain_steps);
+            // The governor's spill decision: while the query is over
+            // budget, flush the largest shard's partial state to its spill
+            // file and restart the shard empty. (Runs outside the
+            // key-program borrows above.)
+            if let Some(g) = &mut grace {
+                while g.cfg.budget.over() {
+                    let Some(victim) = g.largest_charged() else { break };
+                    if g.files[victim].is_none() {
+                        g.cfg.metrics.record_partition();
+                    }
+                    let file =
+                        g.files[victim].get_or_insert_with(|| SpillFile::new(g.cfg.disk.clone()));
+                    let written = g.shards[victim].spill_state(file)?;
+                    g.cfg.metrics.record_write(written as u64);
+                    // The evicted shard's probe counters move to the
+                    // profile before the shard restarts.
+                    let (pr, cs) = (g.shards[victim].probe_rows, g.shards[victim].chain_steps);
+                    self.profile.record_probe(pr, cs);
+                    self.profile.record_shard_probe(victim, pr, cs);
+                    g.shards[victim] = self.make_shard()?;
+                    g.cfg.budget.uncharge(g.charged[victim]);
+                    g.charged[victim] = 0;
+                    g.charged_groups[victim] = usize::MAX; // force a recompute
+                }
+            }
             if workers.is_none() && partitionable && staged_rows >= self.par_min_rows {
                 // Cost gate cleared: spawn the shard workers and flush the
                 // staged packets through the radix split.
@@ -678,6 +1084,37 @@ impl HashAggregate {
                 }
                 workers = Some((router, set));
             }
+        }
+        if let Some(mut g) = grace {
+            // Governed finalize: never-spilled partitions emit directly
+            // (key-disjoint, exactly like the threaded path). Spilled
+            // partitions flush their live remainder state and queue their
+            // file for lazy re-aggregation at emit time — one merged
+            // partition in memory at a time.
+            let shards = std::mem::take(&mut g.shards);
+            for (si, shard) in shards.into_iter().enumerate() {
+                match g.files[si].take() {
+                    None => {
+                        self.profile.record_shard_build(si, shard.n_groups as u64);
+                        self.profile.record_probe(shard.probe_rows, shard.chain_steps);
+                        self.profile.record_shard_probe(si, shard.probe_rows, shard.chain_steps);
+                        self.out_shards.push(shard.finish()?);
+                    }
+                    Some(mut file) => {
+                        if shard.n_groups > 0 {
+                            let written = shard.spill_state(&mut file)?;
+                            g.cfg.metrics.record_write(written as u64);
+                        }
+                        self.profile.record_probe(shard.probe_rows, shard.chain_steps);
+                        self.profile.record_shard_probe(si, shard.probe_rows, shard.chain_steps);
+                        self.pending.push(file);
+                    }
+                }
+            }
+            g.uncharge_all();
+            self.profile.sync_spill(&g.cfg.metrics);
+            self.built = true;
+            return Ok(());
         }
         match workers {
             // Partitioned: shards are key-disjoint, so the merge is just
@@ -908,17 +1345,38 @@ impl Operator for HashAggregate {
         }
         // Emit the shards in partition order (serial builds hold one),
         // slicing each shard's contiguous key columns and accumulators
-        // into vector-sized batches.
-        let shard = loop {
-            let Some(shard) = self.out_shards.get(self.emit_shard) else {
+        // into vector-sized batches. When the finished shards run dry,
+        // spilled partitions re-aggregate lazily, one file at a time, so
+        // only one merged partition's groups sit in memory at once.
+        loop {
+            if self.emit_shard < self.out_shards.len() {
+                if self.emit_pos < self.out_shards[self.emit_shard].n_groups {
+                    break;
+                }
+                // Fully drained: free this shard's keys and accumulators
+                // now, so the governed emit phase really does hold only
+                // one partition's groups at a time (rather than silently
+                // re-accumulating the whole unbounded state).
+                self.out_shards[self.emit_shard] = AggShardOut {
+                    group_keys: Vec::new(),
+                    states: Vec::new(),
+                    n_groups: 0,
+                    probe_rows: 0,
+                    chain_steps: 0,
+                };
+                self.emit_shard += 1;
+                self.emit_pos = 0;
+                continue;
+            }
+            let Some(file) = self.pending.pop() else {
                 return Ok(None);
             };
-            if self.emit_pos < shard.n_groups {
-                break shard;
-            }
-            self.emit_shard += 1;
-            self.emit_pos = 0;
-        };
+            let cfg = self.spill.clone().expect("pending implies a spill config");
+            let outs = self.reaggregate(file, &cfg, cfg.depth + 1)?;
+            self.out_shards.extend(outs);
+            self.profile.sync_spill(&cfg.metrics);
+        }
+        let shard = &self.out_shards[self.emit_shard];
         let t0 = Instant::now();
         let end = (self.emit_pos + self.vector_size).min(shard.n_groups);
         let mut columns: Vec<Vector> = Vec::with_capacity(self.schema.len());
@@ -1274,6 +1732,146 @@ mod tests {
         assert_eq!(out.rows(), 1);
         assert_eq!(out.row_values(0)[0], Value::I64(10));
         assert_eq!(Operator::profile(&op).unwrap().shards(), 0);
+    }
+
+    #[test]
+    fn grace_spill_matches_in_memory_aggregation() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        // Every aggregate kind, NULL keys and NULL inputs; budgets from
+        // "spill everything, repeatedly" to "never spill".
+        let rows: Vec<(Option<&str>, Option<i64>)> = vec![
+            (Some("a"), Some(1)),
+            (Some("b"), Some(10)),
+            (None, Some(7)),
+            (Some("a"), Some(2)),
+            (Some("b"), None),
+            (None, Some(3)),
+            (Some("c"), Some(-5)),
+            (Some("a"), Some(3)),
+            (Some("d"), None),
+        ];
+        let specs = || {
+            vec![
+                AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Count, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Min, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Max, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: col_v(), out_ty: TypeId::F64 },
+            ]
+        };
+        let fields = || {
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::not_null("cnt", TypeId::I64),
+                Field::not_null("cntv", TypeId::I64),
+                Field::nullable("sum", TypeId::I64),
+                Field::nullable("min", TypeId::I64),
+                Field::nullable("max", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+            ]
+        };
+        let sort = |out: &Batch| {
+            let mut v: Vec<Vec<Value>> = (0..out.rows()).map(|i| out.row_values(i)).collect();
+            v.sort_by_key(|r| format!("{r:?}"));
+            v
+        };
+        let mut serial = agg(source(rows.clone()), true, specs(), fields());
+        let expect = sort(&drain(&mut serial).unwrap());
+        for budget in [1usize, 300, 1 << 30] {
+            let disk = SimulatedDisk::instant();
+            let tracker = MemBudget::new(budget);
+            let cfg = SpillConfig::new(tracker.clone(), disk.clone(), 4);
+            let metrics = cfg.metrics.clone();
+            let mut op = agg(source(rows.clone()), true, specs(), fields()).with_spill(cfg);
+            let got = sort(&drain(&mut op).unwrap());
+            assert_eq!(got, expect, "grace GROUP BY diverged at budget {budget}");
+            use std::sync::atomic::Ordering;
+            let spilled = metrics.partitions.load(Ordering::Relaxed);
+            if budget == 1 {
+                assert!(spilled > 0, "1-byte budget must spill");
+                let p = Operator::profile(&op).unwrap();
+                assert!(p.spill_partitions > 0 && p.spill_bytes_written > 0);
+                assert!(p.spill_bytes_read > 0, "partial states rehydrated");
+            } else if budget == 1 << 30 {
+                assert_eq!(spilled, 0, "huge budget must not spill");
+            }
+            drop(op);
+            assert_eq!(tracker.used(), 0, "budget fully uncharged at {budget}");
+            assert_eq!(disk.used_bytes(), 0, "spill blocks reclaimed at {budget}");
+        }
+    }
+
+    #[test]
+    fn grace_spill_reaggregates_many_groups_with_recursion() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        // 2500 distinct keys, each seen twice, under a budget several
+        // times smaller than the state: partitions spill repeatedly and
+        // the partial states (including AVG's sum/count pair) must merge
+        // back to exact results.
+        let n = 5000;
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Str(format!("k{}", i % 2500)), Value::I64((i % 7) as i64)])
+            .collect();
+        let mk = || -> BoxedOp {
+            Box::new(Values::new(schema2(), rows.clone(), 512, CancelToken::new()))
+        };
+        let specs = || {
+            vec![
+                AggSpec { func: AggFunc::CountStar, input: None, out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 },
+                AggSpec { func: AggFunc::Avg, input: col_v(), out_ty: TypeId::F64 },
+            ]
+        };
+        let fields = || {
+            vec![
+                Field::nullable("k", TypeId::Str),
+                Field::not_null("cnt", TypeId::I64),
+                Field::nullable("sum", TypeId::I64),
+                Field::nullable("avg", TypeId::F64),
+            ]
+        };
+        let sort = |out: &Batch| {
+            let mut v: Vec<Vec<Value>> = (0..out.rows()).map(|i| out.row_values(i)).collect();
+            v.sort_by_key(|r| format!("{r:?}"));
+            v
+        };
+        let mut serial = agg(mk(), true, specs(), fields());
+        let expect = sort(&drain(&mut serial).unwrap());
+        assert_eq!(expect.len(), 2500);
+        let disk = SimulatedDisk::instant();
+        let tracker = MemBudget::new(8 * 1024); // state is ~100KB ⇒ ≥10× over
+        let cfg = SpillConfig::new(tracker.clone(), disk.clone(), 4);
+        let metrics = cfg.metrics.clone();
+        let mut op = agg(mk(), true, specs(), fields()).with_spill(cfg);
+        let got = sort(&drain(&mut op).unwrap());
+        assert_eq!(got, expect, "re-aggregated groups diverged");
+        use std::sync::atomic::Ordering;
+        assert!(metrics.partitions.load(Ordering::Relaxed) >= 4, "all partitions spilled");
+        drop(op);
+        assert_eq!(tracker.used(), 0);
+        assert_eq!(disk.used_bytes(), 0, "all spill (and re-partition) blocks reclaimed");
+    }
+
+    #[test]
+    fn grace_spill_ignored_for_global_aggregates() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        let src = source(vec![(Some("x"), Some(4)), (Some("y"), Some(6))]);
+        let cfg = SpillConfig::new(MemBudget::new(1), SimulatedDisk::instant(), 4);
+        let metrics = cfg.metrics.clone();
+        let mut op = agg(
+            src,
+            false,
+            vec![AggSpec { func: AggFunc::Sum, input: col_v(), out_ty: TypeId::I64 }],
+            vec![Field::nullable("sum", TypeId::I64)],
+        )
+        .with_spill(cfg);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.row_values(0)[0], Value::I64(10));
+        assert_eq!(metrics.partitions.load(std::sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -36,12 +36,16 @@ use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
 use crate::hashtable::{self, FlatTable, EMPTY};
 use crate::morsel::BatchPool;
-use crate::partition::{RadixRouter, ShardSet, ShardWorker, DEFAULT_PARALLEL_BUILD_MIN_ROWS};
+use crate::partition::{
+    RadixRouter, ShardSet, ShardWorker, SpillConfig, DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+};
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
+use crate::spill::{self, SpillScan};
 use crate::vector::{Batch, Vector};
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
+use vw_storage::SpillFile;
 
 /// Join variants supported by the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +100,9 @@ struct ProbeScratch {
     tmp: SelVec,
     /// Per-lane "has matched" flag (semi/anti/outer bookkeeping).
     matched_flags: Vec<bool>,
+    /// Per-lane "routed to a spilled partition" flag (grace probes only;
+    /// cleared after the lanes are filtered out of `live`/`nonnull`).
+    deferred_flags: Vec<bool>,
     /// Staged-probe buffers for the fused fast path.
     buf: hashtable::ProbeBuf,
     /// Output pairs: probe position / build row (EMPTY pads outer misses).
@@ -148,11 +155,120 @@ impl ShardWorker for JoinShard {
 
 /// Partitioned build state after the workers are joined: one finalized
 /// table per radix shard plus each shard's base offset into the global
-/// (shard-order concatenated) build columns.
+/// (shard-order concatenated) build columns. Grace builds reuse this for
+/// their resident partitions (a spilled partition holds an empty table —
+/// its probe lanes are diverted to a spill file before any probe runs).
 struct ShardedJoin {
     router: RadixRouter,
     tables: Vec<FlatTable>,
     bases: Vec<u32>,
+}
+
+/// One grace partition's in-memory staging: the gathered key/payload rows
+/// and their hashes, waiting to become a CSR table — or to be evicted to a
+/// spill file if the memory governor picks this partition as a victim.
+struct GraceStage {
+    keys: Vec<Vector>,
+    cols: Vec<Vector>,
+    hashes: Vec<u64>,
+}
+
+impl GraceStage {
+    fn rows(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+/// Memory-governed (grace) build state: the radix router on this
+/// operator's hash-bit stratum, one staging slot per partition
+/// (`None` once the partition spilled), the build/probe spill files of
+/// spilled partitions, and the per-partition bytes charged to the shared
+/// [`MemBudget`](crate::partition::MemBudget).
+struct GraceJoin {
+    cfg: SpillConfig,
+    router: RadixRouter,
+    stages: Vec<Option<GraceStage>>,
+    files: Vec<Option<SpillFile>>,
+    probe_files: Vec<Option<SpillFile>>,
+    charged: Vec<usize>,
+    any_spilled: bool,
+}
+
+impl GraceJoin {
+    fn new(cfg: SpillConfig, build_keys: &[Vector], build_cols: &[Vector]) -> GraceJoin {
+        let router = RadixRouter::at_depth(cfg.partitions, cfg.depth);
+        let p = router.partitions();
+        let make_stage = || GraceStage {
+            keys: build_keys.iter().map(|v| Vector::new(ColData::new(v.type_id()))).collect(),
+            cols: build_cols.iter().map(|v| Vector::new(ColData::new(v.type_id()))).collect(),
+            hashes: Vec::new(),
+        };
+        GraceJoin {
+            cfg,
+            router,
+            stages: (0..p).map(|_| Some(make_stage())).collect(),
+            files: (0..p).map(|_| None).collect(),
+            probe_files: (0..p).map(|_| None).collect(),
+            charged: vec![0; p],
+            any_spilled: false,
+        }
+    }
+
+    /// The resident partition holding the most charged bytes (the spill
+    /// victim), if any resident partition holds rows at all.
+    fn largest_resident(&self) -> Option<usize> {
+        (0..self.stages.len())
+            .filter(|&si| self.stages[si].as_ref().is_some_and(|st| st.rows() > 0))
+            .max_by_key(|&si| self.charged[si])
+    }
+
+    /// Evict partition `si`: its staged payload rows move to a fresh spill
+    /// file (keys and hashes are recomputed from the payload at
+    /// rehydration time — they are program outputs, not stored state) and
+    /// its budget charge is returned.
+    fn spill_partition(&mut self, si: usize) {
+        let stage = self.stages[si].take().expect("victim is resident");
+        let mut file = SpillFile::new(self.cfg.disk.clone());
+        if stage.rows() > 0 {
+            let n = spill::append_vectors(&mut file, &stage.cols);
+            self.cfg.metrics.record_write(n as u64);
+        }
+        self.files[si] = Some(file);
+        self.cfg.metrics.record_partition();
+        self.any_spilled = true;
+        self.cfg.budget.uncharge(self.charged[si]);
+        self.charged[si] = 0;
+    }
+
+    /// Return every byte still charged (normal completion zeroes the
+    /// entries first; this covers error and KILL unwinds).
+    fn uncharge_all(&mut self) {
+        for c in &mut self.charged {
+            self.cfg.budget.uncharge(*c);
+            *c = 0;
+        }
+    }
+}
+
+impl Drop for GraceJoin {
+    fn drop(&mut self) {
+        self.uncharge_all();
+    }
+}
+
+/// Approximate bytes a gather of `sel` from `v` will stage (the unit the
+/// memory governor charges — matches [`Vector::byte_size`] of the gathered
+/// result without materializing it first).
+fn gathered_bytes(v: &Vector, sel: &SelVec) -> usize {
+    let null_bytes = if v.nulls.is_some() { sel.len() } else { 0 };
+    let data_bytes = match &v.data {
+        ColData::Bool(_) | ColData::I8(_) => sel.len(),
+        ColData::I16(_) => sel.len() * 2,
+        ColData::I32(_) | ColData::Date(_) => sel.len() * 4,
+        ColData::I64(_) | ColData::F64(_) => sel.len() * 8,
+        ColData::Str(s) => sel.iter().map(|p| s[p].len() + 24).sum(),
+    };
+    data_bytes + null_bytes
 }
 
 /// Hash join operator (right side = build, left side = probe).
@@ -185,6 +301,20 @@ pub struct HashJoin {
     scratch: ProbeScratch,
     batch_pool: Option<BatchPool>,
     out_types: Vec<TypeId>,
+    /// Memory-governed spilling, when configured ([`HashJoin::with_spill`]).
+    spill: Option<SpillConfig>,
+    /// Grace build/probe state (Some once a governed build started).
+    grace: Option<GraceJoin>,
+    /// Child schemas, kept for replaying spilled rows through
+    /// [`SpillScan`]s in the deferred phase.
+    probe_schema: Schema,
+    build_schema: Schema,
+    /// Spilled partition pairs awaiting the deferred (recursive) joins.
+    deferred: Vec<(SpillFile, SpillFile)>,
+    /// The recursive join currently draining one spilled partition pair.
+    inner: Option<Box<HashJoin>>,
+    /// Has the probe input been exhausted (deferred phase reached)?
+    probe_done: bool,
     profile: OpProfile,
 }
 
@@ -204,6 +334,8 @@ impl HashJoin {
         assert_eq!(left_keys.len(), right_keys.len());
         assert!(!left_keys.is_empty(), "joins require at least one key");
         let out_types = schema.fields.iter().map(|f| f.ty).collect();
+        let probe_schema = left.schema().clone();
+        let build_schema = right.schema().clone();
         HashJoin {
             left,
             right: Some(right),
@@ -225,6 +357,13 @@ impl HashJoin {
             scratch: ProbeScratch::default(),
             batch_pool: None,
             out_types,
+            spill: None,
+            grace: None,
+            probe_schema,
+            build_schema,
+            deferred: Vec::new(),
+            inner: None,
+            probe_done: false,
             profile: OpProfile::new("HashJoin"),
         }
     }
@@ -240,9 +379,24 @@ impl HashJoin {
     /// Enable the radix-partitioned parallel build: `shards` worker threads
     /// (rounded up to a power of two), engaged once at least `min_rows`
     /// build rows are staged. `shards <= 1` keeps the serial build.
+    /// Ignored when a memory budget is attached ([`HashJoin::with_spill`]
+    /// wins — a governed build must own its shard lifecycle to evict).
     pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashJoin {
         self.par_shards = shards.max(1).next_power_of_two();
         self.par_min_rows = min_rows;
+        self
+    }
+
+    /// Attach the query's memory governor: the build radix-partitions on
+    /// `cfg`'s hash-bit stratum and charges `cfg.budget` as partitions
+    /// stage rows. When the query runs over budget, the largest staged
+    /// partition evicts its rows to a temp spill file; probe rows routed
+    /// to a spilled partition divert to a matching probe spill file, and
+    /// after the probe input is exhausted each spilled pair replays
+    /// through a recursive `HashJoin` (same keys, same join type, next
+    /// hash-bit stratum) whose output streams out as this operator's.
+    pub fn with_spill(mut self, cfg: SpillConfig) -> HashJoin {
+        self.spill = Some(cfg);
         self
     }
 
@@ -252,8 +406,14 @@ impl HashJoin {
             right.schema().fields.iter().map(|f| Vector::new(ColData::new(f.ty))).collect();
         self.build_keys =
             self.right_keys.iter().map(|e| Vector::new(ColData::new(e.type_id()))).collect();
+        // Memory-governed build: partition from the first row so any
+        // partition can be evicted wholesale when the budget trips.
+        if let Some(cfg) = self.spill.take() {
+            self.grace = Some(GraceJoin::new(cfg, &self.build_keys, &self.build_cols));
+        }
         // Partitioned-build machinery, spawned lazily once the staged row
-        // count clears the cost gate.
+        // count clears the cost gate (never combined with a governed
+        // build — grace owns the shard lifecycle).
         let mut workers: Option<(RadixRouter, ShardSet<JoinShard>)> = None;
         while let Some(batch) = right.next()? {
             self.cancel.check()?;
@@ -297,33 +457,80 @@ impl HashJoin {
                         &mut s.lanes,
                         &mut s.hashes,
                     );
-                    match &mut workers {
-                        // Serial / pre-gate: stage rows densely (insert is
-                        // deferred until the build size is known).
-                        None => {
-                            for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
-                                dst.extend_gather_sel(src, &s.nonnull);
+                    if let Some(g) = &mut self.grace {
+                        // Governed build: radix-split and stage (or append
+                        // straight to a spilled partition's file), charging
+                        // the query budget for every staged byte.
+                        g.router.split(&s.hashes, Some(&s.nonnull), batch.capacity());
+                        for si in 0..g.stages.len() {
+                            let sel = g.router.shard_sel(si);
+                            if sel.is_empty() {
+                                continue;
                             }
-                            for (dst, src) in self.build_keys.iter_mut().zip(keys) {
-                                dst.extend_gather_sel(src, &s.nonnull);
-                            }
-                            self.staged_hashes.extend(s.nonnull.iter().map(|p| s.hashes[p]));
-                        }
-                        // Partitioned: radix-scatter this batch to the shard
-                        // workers.
-                        Some((router, set)) => {
-                            router.split(&s.hashes, Some(&s.nonnull), batch.capacity());
-                            for si in 0..router.partitions() {
-                                let sel = router.shard_sel(si);
-                                if sel.is_empty() {
-                                    continue;
+                            match &mut g.stages[si] {
+                                Some(stage) => {
+                                    let mut delta = sel.len() * 8; // hashes
+                                    for (dst, src) in stage.keys.iter_mut().zip(keys) {
+                                        delta += gathered_bytes(src, sel);
+                                        dst.extend_gather_sel(src, sel);
+                                    }
+                                    for (dst, src) in stage.cols.iter_mut().zip(&batch.columns) {
+                                        delta += gathered_bytes(src, sel);
+                                        dst.extend_gather_sel(src, sel);
+                                    }
+                                    stage.hashes.extend(sel.iter().map(|p| s.hashes[p]));
+                                    g.cfg.budget.charge(delta);
+                                    g.charged[si] += delta;
                                 }
-                                let pkt = JoinPacket {
-                                    keys: keys.iter().map(|v| v.gather(sel)).collect(),
-                                    cols: batch.columns.iter().map(|v| v.gather(sel)).collect(),
-                                    hashes: sel.iter().map(|p| s.hashes[p]).collect(),
-                                };
-                                set.send(si, pkt)?;
+                                None => {
+                                    // Already spilled: rows go straight to
+                                    // disk (payload only — keys and hashes
+                                    // are recomputed at rehydration).
+                                    let cols: Vec<Vector> =
+                                        batch.columns.iter().map(|v| v.gather(sel)).collect();
+                                    let file = g.files[si].as_mut().expect("spilled has file");
+                                    let n = spill::append_vectors(file, &cols);
+                                    g.cfg.metrics.record_write(n as u64);
+                                }
+                            }
+                        }
+                        // The governor's spill decision: while the query is
+                        // over budget, evict the largest resident partition.
+                        while g.cfg.budget.over() {
+                            match g.largest_resident() {
+                                Some(victim) => g.spill_partition(victim),
+                                None => break, // nothing left to evict here
+                            }
+                        }
+                    } else {
+                        match &mut workers {
+                            // Serial / pre-gate: stage rows densely (insert is
+                            // deferred until the build size is known).
+                            None => {
+                                for (dst, src) in self.build_cols.iter_mut().zip(&batch.columns) {
+                                    dst.extend_gather_sel(src, &s.nonnull);
+                                }
+                                for (dst, src) in self.build_keys.iter_mut().zip(keys) {
+                                    dst.extend_gather_sel(src, &s.nonnull);
+                                }
+                                self.staged_hashes.extend(s.nonnull.iter().map(|p| s.hashes[p]));
+                            }
+                            // Partitioned: radix-scatter this batch to the
+                            // shard workers.
+                            Some((router, set)) => {
+                                router.split(&s.hashes, Some(&s.nonnull), batch.capacity());
+                                for si in 0..router.partitions() {
+                                    let sel = router.shard_sel(si);
+                                    if sel.is_empty() {
+                                        continue;
+                                    }
+                                    let pkt = JoinPacket {
+                                        keys: keys.iter().map(|v| v.gather(sel)).collect(),
+                                        cols: batch.columns.iter().map(|v| v.gather(sel)).collect(),
+                                        hashes: sel.iter().map(|p| s.hashes[p]).collect(),
+                                    };
+                                    set.send(si, pkt)?;
+                                }
                             }
                         }
                     }
@@ -334,6 +541,7 @@ impl HashJoin {
                 bp.recycle(batch); // build rows staged: batch goes back
             }
             if workers.is_none()
+                && self.grace.is_none()
                 && self.par_shards > 1
                 && self.staged_hashes.len() >= self.par_min_rows
             {
@@ -342,6 +550,47 @@ impl HashJoin {
         }
         let (runs, instrs) = self.pool.take_counters();
         self.profile.record_expr(runs, instrs);
+        if let Some(g) = &mut self.grace {
+            // Governed finalize: resident partitions bulk-build their CSR
+            // tables and concatenate into the global build columns (shard
+            // order, exactly like the threaded path); spilled partitions
+            // keep an empty table — their probe lanes never reach it.
+            let mut tables = Vec::with_capacity(g.stages.len());
+            let mut bases = Vec::with_capacity(g.stages.len());
+            let mut base: u64 = 0;
+            for si in 0..g.stages.len() {
+                bases.push(base as u32);
+                match &mut g.stages[si] {
+                    Some(stage) => {
+                        self.profile.record_shard_build(si, stage.rows() as u64);
+                        base += stage.rows() as u64;
+                        assert!(base < u32::MAX as u64, "join build exceeds u32 rows");
+                        for (dst, src) in self.build_keys.iter_mut().zip(&stage.keys) {
+                            dst.extend_range(src, 0, src.len());
+                        }
+                        for (dst, src) in self.build_cols.iter_mut().zip(&stage.cols) {
+                            dst.extend_range(src, 0, src.len());
+                        }
+                        tables.push(FlatTable::build_csr(&stage.hashes));
+                        // The stage's rows now live in the globals; free the
+                        // staging copies (the budget charge carries over as
+                        // the approximate cost of table + globals).
+                        *stage =
+                            GraceStage { keys: Vec::new(), cols: Vec::new(), hashes: Vec::new() };
+                    }
+                    None => tables.push(FlatTable::new()),
+                }
+            }
+            self.sharded = Some(ShardedJoin {
+                router: RadixRouter::at_depth(g.cfg.partitions, g.cfg.depth),
+                tables,
+                bases,
+            });
+            self.profile.sync_spill(&g.cfg.metrics);
+            self.staged_hashes = Vec::new();
+            self.built = true;
+            return Ok(());
+        }
         match workers {
             // Below the gate (or serial): one table bulk-built over the
             // staged rows in the bucket-grouped contiguous (CSR) layout,
@@ -460,6 +709,91 @@ impl HashJoin {
         }
         Ok(Some(out))
     }
+
+    /// The deferred (grace) phase: once the probe input is exhausted, the
+    /// in-memory build state is released back to the governor and each
+    /// spilled partition pair replays through a recursive `HashJoin` —
+    /// [`SpillScan`]s feed the same key programs and join type, on the
+    /// next hash-bit stratum, sharing the same budget and counters — whose
+    /// output streams out as this operator's.
+    fn next_deferred(&mut self) -> Result<Option<Batch>> {
+        if !self.probe_done {
+            self.probe_done = true;
+            // Resident partitions produced their last row: free the tables
+            // and global columns and return their budget charge before the
+            // recursive joins start charging for rehydrated builds.
+            self.sharded = None;
+            self.table = FlatTable::new();
+            self.build_cols = Vec::new();
+            self.build_keys = Vec::new();
+            let g = self.grace.as_mut().expect("deferred phase is grace-only");
+            g.uncharge_all();
+            for si in 0..g.files.len() {
+                g.stages[si] = None;
+                match (g.files[si].take(), g.probe_files[si].take()) {
+                    // Both sides spilled rows: a deferred pair to join.
+                    (Some(bf), Some(pf)) => self.deferred.push((bf, pf)),
+                    // Build spilled but no probe rows ever routed there:
+                    // no probe row ⇒ no output row (every join type here
+                    // is probe-driven) — dropping the file frees it.
+                    (Some(_), None) | (None, None) => {}
+                    (None, Some(_)) => unreachable!("probe diverted to a resident partition"),
+                }
+            }
+            self.profile.sync_spill(&g.cfg.metrics);
+        }
+        loop {
+            self.cancel.check()?;
+            if let Some(inner) = &mut self.inner {
+                let t0 = Instant::now();
+                match inner.next()? {
+                    Some(b) => {
+                        self.profile.record(b.rows(), t0.elapsed());
+                        return Ok(Some(b));
+                    }
+                    None => {
+                        if let Some(g) = &self.grace {
+                            self.profile.sync_spill(&g.cfg.metrics);
+                        }
+                        self.inner = None;
+                    }
+                }
+            }
+            let Some((build_file, probe_file)) = self.deferred.pop() else {
+                return Ok(None);
+            };
+            let g = self.grace.as_ref().expect("deferred phase is grace-only");
+            let probe_scan: BoxedOp = Box::new(SpillScan::new(
+                probe_file,
+                self.probe_schema.clone(),
+                self.cancel.clone(),
+                g.cfg.metrics.clone(),
+            ));
+            let build_scan: BoxedOp = Box::new(SpillScan::new(
+                build_file,
+                self.build_schema.clone(),
+                self.cancel.clone(),
+                g.cfg.metrics.clone(),
+            ));
+            let mut inner = HashJoin::new(
+                probe_scan,
+                build_scan,
+                self.left_keys.clone(),
+                self.right_keys.clone(),
+                self.join_type,
+                self.schema.clone(),
+                self.cancel.clone(),
+            );
+            // Recurse with the governor attached (one stratum deeper) until
+            // the depth floor; past it the partition builds in memory
+            // regardless — 8 strata of 8-way splits divide a build ~16M×
+            // before that happens.
+            if let Some(deeper) = g.cfg.deeper() {
+                inner = inner.with_spill(deeper);
+            }
+            self.inner = Some(Box::new(inner));
+        }
+    }
 }
 
 /// Vectorized probe of one batch's non-NULL lanes. Fills
@@ -472,6 +806,9 @@ impl HashJoin {
 /// With a partitioned build (`sharded`), the batch hashes once, splits by
 /// the build's radix bits into reused per-partition `SelVec`s, and runs the
 /// same kernels shard-wise; emitted build rows are rebased to global ids.
+/// `prehashed` promises `scratch.hashes` already holds this batch's key
+/// hashes (grace diversion hashed them while routing spilled lanes).
+#[allow(clippy::too_many_arguments)]
 fn probe_batch(
     table: &FlatTable,
     sharded: Option<&mut ShardedJoin>,
@@ -479,6 +816,7 @@ fn probe_batch(
     join_type: JoinType,
     scratch: &mut ProbeScratch,
     keys: &[&Vector],
+    prehashed: bool,
     profile: &mut OpProfile,
 ) -> u64 {
     let s = scratch;
@@ -496,7 +834,9 @@ fn probe_batch(
         // Partition-wise probe: one hash pass routes every live lane to
         // its shard; each shard probes its (P× smaller) table with the
         // ordinary fused kernels over the sub-selection.
-        hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+        if !prehashed {
+            hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+        }
         let route_sel = if s.nonnull.len() == n { None } else { Some(&s.nonnull) };
         sh.router.split(&s.hashes, route_sel, n);
         for (si, shard_table) in sh.tables.iter().enumerate() {
@@ -660,6 +1000,66 @@ fn probe_general(
     }
 }
 
+/// Route this batch's probe lanes through the grace router and divert the
+/// ones owned by spilled partitions: their full rows (all probe columns)
+/// are gathered to the partition's probe spill file, and the lanes are
+/// filtered out of `live`/`nonnull` so the in-memory probe and the
+/// flag-based emission never see them. A free function over disjoint
+/// operator fields (the keys are pool references).
+fn divert_spilled_probes(
+    g: &mut GraceJoin,
+    s: &mut ProbeScratch,
+    keys: &[&Vector],
+    batch: &Batch,
+) -> Result<()> {
+    let n = batch.capacity();
+    hashtable::hash_keys(keys, n, false, &mut s.lanes, &mut s.hashes);
+    g.router.split(&s.hashes, Some(&s.nonnull), n);
+    if s.deferred_flags.len() < n {
+        s.deferred_flags.resize(n, false);
+    }
+    let mut any = false;
+    for si in 0..g.files.len() {
+        if g.files[si].is_none() {
+            continue; // resident partition: probed in memory as usual
+        }
+        let sel = g.router.shard_sel(si);
+        if sel.is_empty() {
+            continue;
+        }
+        let cols: Vec<Vector> = batch.columns.iter().map(|v| v.gather(sel)).collect();
+        let file = g.probe_files[si].get_or_insert_with(|| SpillFile::new(g.cfg.disk.clone()));
+        let written = spill::append_vectors(file, &cols);
+        g.cfg.metrics.record_write(written as u64);
+        for p in sel.iter() {
+            s.deferred_flags[p] = true;
+        }
+        any = true;
+    }
+    if any {
+        {
+            let flags = &s.deferred_flags;
+            s.nonnull.retain_from(|p| !flags[p], &mut s.tmp);
+        }
+        std::mem::swap(&mut s.nonnull, &mut s.tmp);
+        {
+            let flags = &s.deferred_flags;
+            s.live.retain_from(|p| !flags[p], &mut s.tmp);
+        }
+        std::mem::swap(&mut s.live, &mut s.tmp);
+        // Clear the flags we set (only spilled partitions' lanes carry
+        // them, so this touches exactly the diverted lanes).
+        for si in 0..g.files.len() {
+            if g.files[si].is_some() {
+                for p in g.router.shard_sel(si).iter() {
+                    s.deferred_flags[p] = false;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Operator for HashJoin {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -679,9 +1079,15 @@ impl Operator for HashJoin {
             self.build()?;
             self.profile.record_phase(t0.elapsed());
         }
+        if self.probe_done {
+            return self.next_deferred();
+        }
         loop {
             self.cancel.check()?;
             let Some(batch) = self.left.next()? else {
+                if self.grace.is_some() {
+                    return self.next_deferred();
+                }
                 return Ok(None);
             };
             let t0 = Instant::now();
@@ -716,10 +1122,27 @@ impl Operator for HashJoin {
 
                 // NULL-aware anti short-circuits: any build NULL key → nothing
                 // can ever pass; empty build side → everything passes. The
-                // global build keys cover serial and sharded builds alike.
-                let build_empty = self.build_keys[0].is_empty();
+                // global build keys cover serial and sharded builds alike —
+                // but under grace they hold only *resident* rows, so a
+                // spilled partition keeps the build non-empty.
+                let build_empty = self.build_keys[0].is_empty()
+                    && self.grace.as_ref().is_none_or(|g| !g.any_spilled);
                 let skip_probe = self.join_type == JoinType::NullAwareLeftAnti
                     && (self.build_has_null_key || build_empty);
+                // Grace diversion: lanes whose partition spilled are
+                // gathered to that partition's probe spill file and removed
+                // from this batch's live/nonnull sets — their entire join
+                // result (matches, padding, anti emission) is produced by
+                // the deferred recursive join instead.
+                let mut prehashed = false;
+                if !skip_probe {
+                    if let Some(g) = &mut self.grace {
+                        if g.any_spilled && !self.scratch.nonnull.is_empty() {
+                            divert_spilled_probes(g, &mut self.scratch, keys, &batch)?;
+                            prehashed = true; // diversion filled scratch.hashes
+                        }
+                    }
+                }
                 chain_steps = if skip_probe {
                     0
                 } else {
@@ -730,6 +1153,7 @@ impl Operator for HashJoin {
                         self.join_type,
                         &mut self.scratch,
                         keys,
+                        prehashed,
                         &mut self.profile,
                     )
                 };
@@ -776,7 +1200,9 @@ impl Operator for HashJoin {
                 JoinType::NullAwareLeftAnti => {
                     if self.build_has_null_key {
                         // x NOT IN (..., NULL) is never TRUE: emit nothing.
-                    } else if self.build_keys[0].is_empty() {
+                    } else if self.build_keys[0].is_empty()
+                        && self.grace.as_ref().is_none_or(|g| !g.any_spilled)
+                    {
                         // x NOT IN (empty) is TRUE for all x, NULL included.
                         for p in s.live.iter() {
                             s.out_probe.push(p as u32);
@@ -1093,6 +1519,131 @@ mod tests {
             rows
         };
         assert_eq!(run(true), run(false), "partitioned multi-column join diverged");
+    }
+
+    #[test]
+    fn grace_spill_matches_in_memory_for_every_join_type() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        // NULL-bearing keys on both sides; a 1-byte budget forces every
+        // partition to spill, so the whole join runs grace-style.
+        let rows_l = vec![
+            (Some(1), "a"),
+            (Some(2), "b"),
+            (Some(3), "c"),
+            (None, "d"),
+            (Some(2), "e"),
+            (Some(9), "f"),
+        ];
+        let rows_r = vec![(Some(2), "x"), (Some(3), "y"), (Some(3), "z"), (Some(7), "w")];
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::LeftSemi,
+            JoinType::LeftAnti,
+            JoinType::NullAwareLeftAnti,
+        ] {
+            let mut serial = join(source("l", rows_l.clone()), source("r", rows_r.clone()), jt);
+            let serial_out = rows_of(&drain(&mut serial).unwrap());
+            for budget in [1usize, 200, 1 << 30] {
+                let disk = SimulatedDisk::instant();
+                let tracker = MemBudget::new(budget);
+                let cfg = SpillConfig::new(tracker.clone(), disk.clone(), 4);
+                let metrics = cfg.metrics.clone();
+                let mut gj = join(source("l", rows_l.clone()), source("r", rows_r.clone()), jt)
+                    .with_spill(cfg);
+                let out = rows_of(&drain(&mut gj).unwrap());
+                let sort = |mut v: Vec<Vec<Value>>| {
+                    v.sort_by_key(|r| format!("{r:?}"));
+                    v
+                };
+                assert_eq!(
+                    sort(out),
+                    sort(serial_out.clone()),
+                    "{jt:?} diverged at budget {budget}"
+                );
+                let spilled = metrics.partitions.load(std::sync::atomic::Ordering::Relaxed);
+                if budget == 1 {
+                    assert!(spilled > 0, "{jt:?}: a 1-byte budget must spill");
+                    let p = Operator::profile(&gj).unwrap();
+                    assert!(p.spill_partitions > 0 && p.spill_bytes_written > 0, "{jt:?}");
+                } else if budget == 1 << 30 {
+                    assert_eq!(spilled, 0, "{jt:?}: a huge budget must not spill");
+                }
+                drop(gj);
+                assert_eq!(tracker.used(), 0, "{jt:?}: budget fully uncharged");
+                assert_eq!(disk.used_bytes(), 0, "{jt:?}: spill blocks reclaimed");
+            }
+        }
+    }
+
+    #[test]
+    fn grace_spill_recursion_on_large_build() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        // Build input several times the budget: partitions spill, and
+        // their recursive joins spill again on the next stratum (the
+        // budget is shared down the cascade). Probe key k matches build
+        // rows with the same k; half the probes miss.
+        let n: i64 = 4000;
+        let schema = Schema::new(vec![Field::nullable("k", TypeId::I64)]).unwrap();
+        let mk = |vals: Vec<i64>| -> BoxedOp {
+            let rows = vals.into_iter().map(|v| vec![Value::I64(v)]).collect();
+            Box::new(Values::new(schema.clone(), rows, 256, CancelToken::new()))
+        };
+        let build: Vec<i64> = (0..n).collect();
+        let probe: Vec<i64> = (0..2 * n).collect();
+        let disk = SimulatedDisk::instant();
+        // ~32 KB of staged build (4000 × 8B keys ×2 for key+col) against
+        // a 4 KB budget ⇒ ≥ 4× over.
+        let tracker = MemBudget::new(4 * 1024);
+        let cfg = SpillConfig::new(tracker.clone(), disk.clone(), 4);
+        let metrics = cfg.metrics.clone();
+        let mut j = HashJoin::new(
+            mk(probe),
+            mk(build),
+            key_cols(&[(0, TypeId::I64)]),
+            key_cols(&[(0, TypeId::I64)]),
+            JoinType::Inner,
+            schema.join(&schema),
+            CancelToken::new(),
+        )
+        .with_spill(cfg);
+        let out = drain(&mut j).unwrap();
+        assert_eq!(out.rows(), n as usize);
+        for i in 0..out.rows() {
+            let r = out.row_values(i);
+            assert_eq!(r[0], r[1], "probe key equals matched build key");
+        }
+        use std::sync::atomic::Ordering;
+        assert!(metrics.partitions.load(Ordering::Relaxed) >= 4, "all partitions spill");
+        assert!(
+            metrics.bytes_read.load(Ordering::Relaxed)
+                >= metrics.bytes_written.load(Ordering::Relaxed) / 2,
+            "spilled rows were rehydrated"
+        );
+        drop(j);
+        assert_eq!(tracker.used(), 0, "budget fully uncharged");
+        assert_eq!(disk.used_bytes(), 0, "all spill blocks reclaimed");
+    }
+
+    #[test]
+    fn grace_spill_null_aware_anti_still_short_circuits() {
+        use crate::partition::{MemBudget, SpillConfig};
+        use vw_storage::SimulatedDisk;
+        // Build contains a NULL key: NOT IN emits nothing, even though the
+        // build spilled before the NULL arrived.
+        let rows_l: Vec<(Option<i64>, &str)> = (0..50).map(|i| (Some(i), "p")).collect();
+        let mut rows_r: Vec<(Option<i64>, &str)> = (0..40).map(|i| (Some(i + 25), "b")).collect();
+        rows_r.push((None, "n")); // arrives last (batch size 4)
+        let disk = SimulatedDisk::instant();
+        let cfg = SpillConfig::new(MemBudget::new(1), disk.clone(), 4);
+        let mut j = join(source("l", rows_l), source("r", rows_r), JoinType::NullAwareLeftAnti)
+            .with_spill(cfg);
+        let out = drain(&mut j).unwrap();
+        assert_eq!(out.rows(), 0, "NOT IN against a NULL-bearing set is empty");
+        drop(j);
+        assert_eq!(disk.used_bytes(), 0);
     }
 
     #[test]

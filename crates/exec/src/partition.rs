@@ -34,28 +34,55 @@
 use crate::cancel::CancelToken;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use vw_common::{Result, SelVec, VwError};
+use vw_storage::SimulatedDisk;
 
 /// Default staged-row cost gate: a parallel-capable hash build stays
 /// serial until this many build rows are staged (thread spawn + scatter
 /// overhead only pays off past roughly this point).
 pub const DEFAULT_PARALLEL_BUILD_MIN_ROWS: usize = 8192;
 
+/// Deepest hash-bit stratum grace spilling will re-partition on. Each
+/// recursion level consumes `log2(P)` fresh hash bits below the previous
+/// level's; past this depth a partition is rehydrated and built in memory
+/// regardless of the budget (a graceful floor — at 8 partitions, 8 levels
+/// divide the build 8^8 ≈ 16M ways first).
+pub const MAX_SPILL_DEPTH: u32 = 8;
+
 /// Routes hashes to radix partitions and splits probe selections
 /// partition-wise. All scratch (`P` selection vectors) is reused across
 /// batches.
+///
+/// A router lives on a hash-bit **stratum**: depth 0 routes on the top
+/// `bits` bits (disjoint from the [`FlatTable`](crate::hashtable) low-bit
+/// directory index), depth `d` on the next `bits` bits below stratum
+/// `d - 1`. Grace-spill recursion re-partitions an oversized partition on
+/// the next stratum, so every level's split is independent of all levels
+/// above it.
 #[derive(Debug)]
 pub struct RadixRouter {
     bits: u32,
+    /// Right-shift that brings this stratum's bits to the bottom.
+    shift: u32,
     sels: Vec<SelVec>,
 }
 
 impl RadixRouter {
-    /// A router over `next_pow2(partitions)` radix partitions.
+    /// A router over `next_pow2(partitions)` radix partitions on stratum 0
+    /// (the hash's top bits).
     pub fn new(partitions: usize) -> RadixRouter {
+        RadixRouter::at_depth(partitions, 0)
+    }
+
+    /// A router on hash-bit stratum `depth` (grace-spill recursion).
+    pub fn at_depth(partitions: usize, depth: u32) -> RadixRouter {
         let p = partitions.max(1).next_power_of_two();
-        RadixRouter { bits: p.trailing_zeros(), sels: vec![SelVec::new(); p] }
+        let bits = p.trailing_zeros();
+        assert!(bits * (depth + 1) <= 48, "radix strata exhausted the hash");
+        RadixRouter { bits, shift: 64 - bits * (depth + 1), sels: vec![SelVec::new(); p] }
     }
 
     /// Number of partitions (a power of two).
@@ -63,14 +90,15 @@ impl RadixRouter {
         self.sels.len()
     }
 
-    /// The partition owning hash `h` (top `bits` bits — independent of the
-    /// low-bit table directory index).
+    /// The partition owning hash `h` (this stratum's `bits` bits —
+    /// independent of the low-bit table directory index and of every
+    /// shallower stratum).
     #[inline]
     pub fn shard_of(&self, h: u64) -> usize {
         if self.bits == 0 {
             0
         } else {
-            (h >> (64 - self.bits)) as usize
+            ((h >> self.shift) as usize) & (self.sels.len() - 1)
         }
     }
 
@@ -91,16 +119,16 @@ impl RadixRouter {
             }
             return &self.sels;
         }
-        let shift = 64 - self.bits;
+        let (shift, mask) = (self.shift, self.sels.len() - 1);
         match sel {
             None => {
                 for (p, &h) in hashes.iter().enumerate().take(n) {
-                    self.sels[(h >> shift) as usize].push(p as u32);
+                    self.sels[(h >> shift) as usize & mask].push(p as u32);
                 }
             }
             Some(s) => {
                 for p in s.iter() {
-                    self.sels[(hashes[p] >> shift) as usize].push(p as u32);
+                    self.sels[(hashes[p] >> shift) as usize & mask].push(p as u32);
                 }
             }
         }
@@ -248,6 +276,170 @@ fn run_shard<W: ShardWorker>(
     .unwrap_or_else(|p| Err(panic_error("hash build shard", p)))
 }
 
+/// The per-query memory governor: a shared byte counter every memory-
+/// governed hash build charges as its staged shards grow, with a hard
+/// budget above which the grace-spill machinery starts evicting the
+/// largest shards to disk.
+///
+/// One `MemBudget` is created per query (see `vw-core::compile`) and
+/// shared — through an `Arc` — by every hash join build side and every
+/// aggregation in the plan, including Exchange worker clones and the
+/// recursive joins/re-aggregations of already-spilled partitions. The
+/// budget is therefore a *query-wide* ceiling on hash build state, not a
+/// per-operator one: whichever operator pushes the total over the line
+/// spills its own largest shard first.
+///
+/// Charging is advisory bookkeeping, not an allocator: operators report
+/// the approximate bytes of rows they stage
+/// ([`Vector::byte_size`](crate::vector::Vector::byte_size)-based) and
+/// uncharge when the rows
+/// are spilled, handed downstream, or dropped.
+#[derive(Debug)]
+pub struct MemBudget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl MemBudget {
+    /// A budget of `limit` bytes (callers never construct an unlimited
+    /// one — an unlimited query simply has no `MemBudget` at all, so the
+    /// zero-spill path carries none of this machinery).
+    pub fn new(limit: usize) -> Arc<MemBudget> {
+        Arc::new(MemBudget { limit: limit.max(1), used: AtomicUsize::new(0) })
+    }
+
+    /// The configured ceiling in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently charged across the query.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Charge `bytes` of newly staged build state.
+    pub fn charge(&self, bytes: usize) {
+        self.used.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Return `bytes` of staged state (spilled, emitted, or dropped).
+    pub fn uncharge(&self, bytes: usize) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "uncharge below zero ({prev} - {bytes})");
+    }
+
+    /// Is the query over its budget right now?
+    pub fn over(&self) -> bool {
+        self.used() > self.limit
+    }
+}
+
+/// Spill traffic counters for one operator's subtree, shared with the
+/// recursive joins / re-aggregations its spilled partitions spawn so the
+/// top-level operator's profile reports the whole cascade. Rendered as the
+/// `spill` column of `EXPLAIN ANALYZE` (see [`crate::profile`]).
+#[derive(Debug, Default)]
+pub struct SpillMetrics {
+    /// Partitions that spilled at least one chunk (all strata).
+    pub partitions: AtomicU64,
+    /// Encoded bytes written to spill files.
+    pub bytes_written: AtomicU64,
+    /// Encoded bytes read back while rehydrating.
+    pub bytes_read: AtomicU64,
+}
+
+impl SpillMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Arc<SpillMetrics> {
+        Arc::new(SpillMetrics::default())
+    }
+
+    /// Record one partition's first spill.
+    pub fn record_partition(&self) {
+        self.partitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` encoded bytes appended to a spill file.
+    pub fn record_write(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` encoded bytes rehydrated from a spill file.
+    pub fn record_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Everything a memory-governed hash operator needs to spill: the shared
+/// query budget, the device temp spill files live on, the partition fan-out
+/// per stratum, the stratum this operator routes on, and the shared
+/// traffic counters. `deeper()` derives the config for the recursive
+/// operator a spilled partition is re-processed with.
+#[derive(Clone)]
+pub struct SpillConfig {
+    /// The query-wide memory governor.
+    pub budget: Arc<MemBudget>,
+    /// Device for temp spill files.
+    pub disk: Arc<SimulatedDisk>,
+    /// Radix partitions per stratum (power of two, ≥ 2 so recursion can
+    /// always split further).
+    pub partitions: usize,
+    /// This operator's hash-bit stratum (0 = top bits; spilled partitions
+    /// recurse at `depth + 1`).
+    pub depth: u32,
+    /// Spill traffic counters shared down the recursion.
+    pub metrics: Arc<SpillMetrics>,
+}
+
+impl SpillConfig {
+    /// A stratum-0 config over `partitions` grace partitions (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(budget: Arc<MemBudget>, disk: Arc<SimulatedDisk>, partitions: usize) -> SpillConfig {
+        SpillConfig {
+            budget,
+            disk,
+            partitions: partitions.max(2).next_power_of_two(),
+            depth: 0,
+            metrics: SpillMetrics::new(),
+        }
+    }
+
+    /// The deepest usable stratum for `partitions`-way splits: capped by
+    /// [`MAX_SPILL_DEPTH`] *and* by the hash bits available — each level
+    /// consumes `log2(P)` bits and strata must stay clear of the low-bit
+    /// table directory (we keep the bottom 16 bits untouched). At 1024
+    /// partitions (10 bits) that is depth 3; at the default 8 it is the
+    /// full `MAX_SPILL_DEPTH`.
+    pub fn max_depth(partitions: usize) -> u32 {
+        let bits = partitions.max(2).next_power_of_two().trailing_zeros();
+        MAX_SPILL_DEPTH.min(48 / bits - 1)
+    }
+
+    /// The config for re-processing one spilled partition on the next
+    /// hash-bit stratum — `None` once [`SpillConfig::max_depth`] is
+    /// reached (the recursion floor: build in memory regardless of the
+    /// budget).
+    pub fn deeper(&self) -> Option<SpillConfig> {
+        if self.depth >= SpillConfig::max_depth(self.partitions) {
+            return None;
+        }
+        let mut next = self.clone();
+        next.depth += 1;
+        Some(next)
+    }
+}
+
+impl std::fmt::Debug for SpillConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillConfig")
+            .field("limit", &self.budget.limit())
+            .field("partitions", &self.partitions)
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
 /// Convert a caught panic payload into a `VwError` naming the worker kind
 /// (shared with the `Xchg` exchange workers).
 pub fn panic_error(what: &str, payload: Box<dyn std::any::Any + Send>) -> VwError {
@@ -337,6 +529,75 @@ mod tests {
 
     fn shard(fail_at: Option<u64>, panic_at: Option<u64>) -> SummingShard {
         SummingShard { sum: 0, fail_at, panic_at }
+    }
+
+    #[test]
+    fn router_strata_are_independent() {
+        // The same hash set splits differently (and completely) on every
+        // stratum, and a deeper stratum subdivides one shallow partition.
+        let hashes: Vec<u64> = (0..4000u64).map(hash_u64).collect();
+        let mut d0 = RadixRouter::at_depth(4, 0);
+        let mut d1 = RadixRouter::at_depth(4, 1);
+        d0.split(&hashes, None, hashes.len());
+        let part0: SelVec = d0.shard_sel(0).iter().map(|p| p as u32).collect();
+        assert!(!part0.is_empty());
+        d1.split(&hashes, Some(&part0), hashes.len());
+        let sub_counts: Vec<usize> = (0..4).map(|s| d1.shard_sel(s).len()).collect();
+        assert_eq!(sub_counts.iter().sum::<usize>(), part0.len());
+        // A good hash splits the sub-partition across all deeper shards.
+        assert!(sub_counts.iter().all(|&c| c > 0), "{sub_counts:?}");
+        for s in 0..4 {
+            for p in d1.shard_sel(s).iter() {
+                assert_eq!(d0.shard_of(hashes[p]), 0, "stratum 0 routing preserved");
+                assert_eq!(d1.shard_of(hashes[p]), s);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_budget_charges_and_trips() {
+        let b = MemBudget::new(1000);
+        assert_eq!(b.limit(), 1000);
+        assert!(!b.over());
+        b.charge(600);
+        assert!(!b.over());
+        b.charge(600);
+        assert!(b.over());
+        assert_eq!(b.used(), 1200);
+        b.uncharge(600);
+        assert!(!b.over());
+    }
+
+    #[test]
+    fn spill_config_deepens_to_a_floor() {
+        let cfg = SpillConfig::new(MemBudget::new(1), SimulatedDisk::instant(), 3);
+        assert_eq!(cfg.partitions, 4, "rounded to a power of two");
+        assert_eq!(cfg.depth, 0);
+        let mut d = cfg.clone();
+        for expect in 1..=MAX_SPILL_DEPTH {
+            d = d.deeper().expect("within the recursion floor");
+            assert_eq!(d.depth, expect);
+        }
+        assert!(d.deeper().is_none(), "recursion floor reached");
+    }
+
+    #[test]
+    fn spill_depth_floor_respects_hash_bit_supply() {
+        // Wide fan-outs burn hash bits fast: the floor must stop the
+        // recursion before a stratum would collide with the table
+        // directory bits (previously an assert panic mid-query).
+        assert_eq!(SpillConfig::max_depth(8), MAX_SPILL_DEPTH);
+        assert_eq!(SpillConfig::max_depth(64), 7, "6 bits/level → 8 levels fit in 48");
+        assert_eq!(SpillConfig::max_depth(1024), 3, "10 bits/level → 4 levels fit in 48");
+        let mut cfg = SpillConfig::new(MemBudget::new(1), SimulatedDisk::instant(), 1024);
+        let mut levels = 0;
+        while let Some(next) = cfg.deeper() {
+            cfg = next;
+            levels += 1;
+            // Every reachable stratum must construct without panicking.
+            let _ = RadixRouter::at_depth(cfg.partitions, cfg.depth);
+        }
+        assert_eq!(levels, 3);
     }
 
     #[test]

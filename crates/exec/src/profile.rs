@@ -5,6 +5,24 @@
 //! execution side of that is one [`OpProfile`] per operator, updated once
 //! per `next()` call (vector granularity keeps the overhead negligible —
 //! benchmark C11 quantifies it).
+//!
+//! # The `EXPLAIN ANALYZE` table, column by column
+//!
+//! [`QueryProfile::render`] formats one row per operator (indented by plan
+//! depth). Every column, what it counts, and what a bad value smells like:
+//!
+//! | column    | meaning | healthy / suspicious |
+//! |-----------|---------|----------------------|
+//! | `calls`   | `next()` invocations that returned a batch ([`OpProfile::invocations`]). | ≈ `rows / vector_size`; far higher means many empty probe batches. |
+//! | `rows`    | live rows across all returned batches ([`OpProfile::rows_out`]). | — |
+//! | `time`    | wall time inside this operator's `next()` plus internal phases like hash build ([`OpProfile::time`]); children measured separately. | — |
+//! | `chain`   | average hash-chain entries visited per probed key ([`OpProfile::avg_chain_len`]); `-` for operators without a probe phase. | near 1.00 is healthy; growth signals a clustered hash or under-sized directory. |
+//! | `progs`   | compiled expression programs executed, one per expression per batch ([`OpProfile::expr_programs`]). | — |
+//! | `prims`   | primitive instructions those programs dispatched ([`OpProfile::expr_instrs`]); `prims / progs` is the program length after constant folding and CSE. | a jump after a plan change means folding stopped firing. |
+//! | `shards`  | radix partitions of a parallel/grace hash build as `P×skew` where skew is build-row `max/mean` across shards ([`OpProfile::shard_skew`]); `-` for serial builds. | skew near 1.00; ≫ 1 means a clustered radix split. |
+//! | `morsels` | morsel claims: scans show their claim count; exchanges show `total×balance` where balance is per-worker `max/mean` ([`OpProfile::morsel_balance`]). | balance near 1.00; toward `DOP` means one worker dragged the fragment. |
+//! | `pool%`   | batch-pool hit rate ([`OpProfile::batch_pool_hit_rate`]): output-batch leases served from the recycled free list. | steady state should sit near 100%; low means the consumer isn't recycling. |
+//! | `spill`   | grace-spill traffic as `Pp written/read` — partitions spilled (all strata) and encoded spill bytes written and read back ([`OpProfile::spill_partitions`], [`OpProfile::spill_bytes_written`], [`OpProfile::spill_bytes_read`]); `-` when the build stayed in memory. | any value at all means the query ran over `mem_budget`; read ≫ written means deep re-partitioning recursion. |
 
 use std::time::{Duration, Instant};
 
@@ -57,6 +75,17 @@ pub struct OpProfile {
     pub batch_pool_hits: u64,
     /// Output-batch leases that had to allocate fresh vectors.
     pub batch_pool_misses: u64,
+    /// Grace-spill: partitions that spilled at least one chunk, across
+    /// all recursion strata of this operator's spill cascade. Zero means
+    /// the build stayed within `mem_budget` (or none was set).
+    pub spill_partitions: u64,
+    /// Grace-spill: encoded bytes written to temp spill files.
+    pub spill_bytes_written: u64,
+    /// Grace-spill: encoded bytes read back while rehydrating spilled
+    /// partitions. Substantially more than `spill_bytes_written` means
+    /// partitions were re-partitioned (written and read again) on deeper
+    /// hash-bit strata.
+    pub spill_bytes_read: u64,
 }
 
 impl OpProfile {
@@ -134,6 +163,18 @@ impl OpProfile {
         }
     }
 
+    /// Sync the spill counters from the operator's shared
+    /// [`SpillMetrics`](crate::partition::SpillMetrics). Called at phase
+    /// boundaries; the metrics are the source of truth for the whole
+    /// spill cascade (recursive joins and re-aggregations included), so
+    /// this *sets* rather than accumulates.
+    pub fn sync_spill(&mut self, m: &crate::partition::SpillMetrics) {
+        use std::sync::atomic::Ordering;
+        self.spill_partitions = m.partitions.load(Ordering::Relaxed);
+        self.spill_bytes_written = m.bytes_written.load(Ordering::Relaxed);
+        self.spill_bytes_read = m.bytes_read.load(Ordering::Relaxed);
+    }
+
     /// Batch-pool hit rate in 0..=1 (0 when the operator never leased).
     pub fn batch_pool_hit_rate(&self) -> f64 {
         let total = self.batch_pool_hits + self.batch_pool_misses;
@@ -203,16 +244,14 @@ pub struct QueryProfile {
 }
 
 impl QueryProfile {
-    /// Render as an `EXPLAIN ANALYZE`-style table. Operators that probed a
-    /// hash table also report their average probe-chain length; operators
-    /// that ran compiled expression programs report program invocations
-    /// and primitive instructions executed; morsel-claiming scans report
-    /// their claim count (exchanges report total claims plus the
-    /// per-worker max/mean balance) and pooled producers their batch-pool
-    /// hit rate.
+    /// Render as an `EXPLAIN ANALYZE`-style table — one row per operator,
+    /// indented by plan depth. Every column is documented in the
+    /// [module docs](crate::profile) (meaning, source counter, and what a
+    /// suspicious value indicates); the format is covered by a golden test
+    /// so output stays interpretable without reading this source.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%\n",
+            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -247,8 +286,23 @@ impl QueryProfile {
             } else {
                 format!("{:>8}", "-")
             };
+            let spill = if p.spill_partitions > 0 {
+                // Partitions spilled plus encoded bytes out/in — the
+                // memory-governor observable (see the module docs).
+                format!(
+                    "{:>15}",
+                    format!(
+                        "{}p {}/{}",
+                        p.spill_partitions,
+                        human_bytes(p.spill_bytes_written),
+                        human_bytes(p.spill_bytes_read)
+                    )
+                )
+            } else {
+                format!("{:>15}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -259,9 +313,25 @@ impl QueryProfile {
                 shards,
                 morsels,
                 pool,
+                spill,
             ));
         }
         out
+    }
+}
+
+/// Compact byte count for the `spill` column: `999B`, `4.2K`, `1.7M`, `3.0G`.
+fn human_bytes(n: u64) -> String {
+    const K: f64 = 1024.0;
+    let f = n as f64;
+    if f < K {
+        format!("{n}B")
+    } else if f < K * K {
+        format!("{:.1}K", f / K)
+    } else if f < K * K * K {
+        format!("{:.1}M", f / (K * K))
+    } else {
+        format!("{:.1}G", f / (K * K * K))
     }
 }
 
@@ -365,6 +435,75 @@ mod tests {
         assert!(s.contains("morsels") && s.contains("pool%"), "header has the new columns");
         assert!(s.contains("60x2.00"), "per-worker totals and balance rendered: {s}");
         assert!(s.contains("75%"), "pool hit rate rendered: {s}");
+    }
+
+    #[test]
+    fn spill_counters_render_and_sync() {
+        use crate::partition::SpillMetrics;
+        let m = SpillMetrics::new();
+        m.record_partition();
+        m.record_partition();
+        m.record_write(3 * 1024 * 1024 / 2); // 1.5 MiB
+        m.record_read(512);
+        let mut p = OpProfile::new("HashJoin");
+        p.sync_spill(&m);
+        assert_eq!(p.spill_partitions, 2);
+        assert_eq!(p.spill_bytes_written, 3 * 1024 * 1024 / 2);
+        assert_eq!(p.spill_bytes_read, 512);
+        let mut q = QueryProfile::default();
+        q.operators.push((0, p));
+        let s = q.render();
+        assert!(s.contains("2p 1.5M/512B"), "spill column rendered: {s}");
+        // Sync again after more traffic: counters are set, not accumulated.
+        m.record_write(512 * 1024);
+        let mut p2 = OpProfile::new("HashJoin");
+        p2.sync_spill(&m);
+        assert_eq!(p2.spill_bytes_written, 3 * 1024 * 1024 / 2 + 512 * 1024);
+    }
+
+    #[test]
+    fn human_bytes_tiers() {
+        assert_eq!(human_bytes(0), "0B");
+        assert_eq!(human_bytes(999), "999B");
+        assert_eq!(human_bytes(4 * 1024 + 205), "4.2K");
+        assert_eq!(human_bytes(1024 * 1024 * 7 / 4), "1.8M");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0G");
+    }
+
+    /// Golden test: the full `EXPLAIN ANALYZE` table for a fixed set of
+    /// counters, byte for byte. If a column is added, renamed, or
+    /// re-justified, this test (and the module-docs column table) must be
+    /// updated in the same change — the render is a public observability
+    /// surface, not an implementation detail.
+    #[test]
+    fn render_golden() {
+        let mut join = OpProfile::new("HashJoin");
+        join.record(1000, Duration::from_millis(2));
+        join.record_probe(100, 150);
+        join.record_expr(4, 12);
+        join.record_shard_build(0, 100);
+        join.record_shard_build(1, 300);
+        join.spill_partitions = 1;
+        join.spill_bytes_written = 2048;
+        join.spill_bytes_read = 2048;
+        join.record_pool_lease(true);
+        join.record_pool_lease(true);
+        join.record_pool_lease(false);
+        join.record_pool_lease(false);
+
+        let mut scan = OpProfile::new("Scan");
+        scan.record(5000, Duration::from_millis(1));
+        scan.morsels = 7;
+
+        let mut q = QueryProfile::default();
+        q.operators.push((0, join));
+        q.operators.push((1, scan));
+        let expect = "\
+operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill
+HashJoin                              1       1000    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K
+  Scan                                1       5000    1.000ms        -        -        -        -        7        -               -
+";
+        assert_eq!(q.render(), expect);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Compiled expression programs over a pooled vector arena — the X100
 //! "compile once, run per vector" expression discipline.
 //!
-//! [`PhysExpr`](crate::expr::PhysExpr) trees describe *what* to compute;
+//! [`PhysExpr`] trees describe *what* to compute;
 //! this module turns them into **what X100 actually executes**: a flat
 //! [`ExprProgram`] — a `Vec<Instr>` of primitive invocations compiled once
 //! per query — reading and writing a register file of scratch [`Vector`]s
@@ -262,6 +262,7 @@ pub enum Opd {
 
 /// One primitive invocation. Operand lanes outside the current selection
 /// are garbage; NULL indicators are always full-width valid.
+#[derive(Clone)]
 enum Instr {
     /// Fill `dst` with `capacity` copies of a constant (NULL → all-NULL).
     ConstFill { value: Value, ty: TypeId, dst: u16 },
@@ -305,7 +306,10 @@ enum Instr {
 
 /// A compiled expression: flat instructions over a typed register file.
 /// Built once per query by [`ExprProgram::compile`]; executed once per
-/// batch by [`ExprProgram::run`].
+/// batch by [`ExprProgram::run`]. `Clone` is cheap-ish (instruction
+/// vector copy) and exists for the grace-spill path, which hands the same
+/// key programs to the recursive join over a spilled partition pair.
+#[derive(Clone)]
 pub struct ExprProgram {
     instrs: Vec<Instr>,
     reg_types: Vec<TypeId>,

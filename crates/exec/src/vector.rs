@@ -55,6 +55,13 @@ impl Vector {
         }
     }
 
+    /// Approximate heap bytes held by this vector (value buffer plus NULL
+    /// indicator) — the unit the memory governor
+    /// (`vw-exec::partition::MemBudget`) charges for staged build rows.
+    pub fn byte_size(&self) -> usize {
+        self.data.byte_size() + self.nulls.as_ref().map_or(0, |m| m.len())
+    }
+
     /// Append a [`Value`] (NULL extends the indicator).
     pub fn push(&mut self, v: &Value) -> Result<()> {
         if v.is_null() {

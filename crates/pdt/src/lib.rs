@@ -1,7 +1,7 @@
 //! # vw-pdt — Positional Delta Trees: differential updates for column stores
 //!
 //! Reproduction of *Positional update handling in column stores* (Héman,
-//! Zukowski, Nes, Sidirourgos, Boncz, SIGMOD 2010) — reference [2] of the
+//! Zukowski, Nes, Sidirourgos, Boncz, SIGMOD 2010) — reference \[2\] of the
 //! Vectorwise paper, and the basis of its transaction machinery.
 //!
 //! ## The problem

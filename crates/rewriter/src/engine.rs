@@ -1,6 +1,6 @@
 //! The "mini-Tom" rule engine: bottom-up expression rewriting to fixpoint.
 //!
-//! Vectorwise built its rewriter on the Tom pattern-matching tool [5]; the
+//! Vectorwise built its rewriter on the Tom pattern-matching tool \[5\]; the
 //! native equivalent is a trait per rule (`match + build`) and a driver
 //! that applies the rule set bottom-up until nothing changes. Rules carry a
 //! nullability context so NULL-erasure rules can consult the input schema.

@@ -49,25 +49,25 @@ pub enum Statement {
         /// IF EXISTS?
         if_exists: bool,
     },
-    /// EXPLAIN <query>.
+    /// EXPLAIN `<query>`.
     Explain(Box<Statement>),
-    /// BEGIN [TRANSACTION].
+    /// BEGIN \[TRANSACTION\].
     Begin,
     /// COMMIT.
     Commit,
     /// ROLLBACK / ABORT.
     Rollback,
-    /// CHECKPOINT [table] — propagate PDT deltas to stable storage.
+    /// CHECKPOINT \[table\] — propagate PDT deltas to stable storage.
     Checkpoint {
         /// Specific table, or all when None.
         table: Option<String>,
     },
-    /// KILL <query id> — cancel a running query.
+    /// KILL `<query id>` — cancel a running query.
     Kill {
         /// Query id from the monitoring view.
         query_id: u64,
     },
-    /// SET <knob> = <value>.
+    /// SET `<knob> = <value>`.
     Set {
         /// Knob name.
         name: String,
@@ -160,7 +160,7 @@ pub enum TableRef {
 pub enum AstJoinKind {
     /// INNER JOIN.
     Inner,
-    /// LEFT [OUTER] JOIN.
+    /// LEFT \[OUTER\] JOIN.
     Left,
 }
 

@@ -3,10 +3,10 @@
 //! The "SQL Parser", "Ingres Rewriter (slightly modified)" and "Ingres
 //! Optimizer (heavily modified)" boxes of Figure 1. As DESIGN.md records,
 //! Ingres itself is proprietary; this crate provides the equivalent
-//! pipeline stage: a hand-written SQL [lexer](lexer)/[parser](parser), a
-//! [binder](binder) that resolves names and types against a catalog and
+//! pipeline stage: a hand-written SQL [lexer]/[parser], a
+//! [binder] that resolves names and types against a catalog and
 //! produces a typed [logical plan](plan), and a histogram-driven
-//! [optimizer](optimizer) doing constant folding, predicate pushdown,
+//! [optimizer] doing constant folding, predicate pushdown,
 //! projection pruning, selectivity-ordered greedy join ordering and
 //! functional-dependency-based GROUP BY simplification — the features the
 //! paper explicitly says were added to the Ingres optimizer.

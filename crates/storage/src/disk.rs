@@ -1,6 +1,6 @@
 //! A simulated block device with configurable bandwidth and seek latency.
 //!
-//! Cooperative Scans (reference [7]) is about *scheduling policy* on a
+//! Cooperative Scans (reference \[7\]) is about *scheduling policy* on a
 //! bandwidth-limited device. Running the experiments on the page cache of
 //! the build machine would measure nothing; this simulated disk makes I/O
 //! cost explicit and deterministic:
@@ -187,6 +187,76 @@ impl SimulatedDisk {
     }
 }
 
+/// A temp spill file: an ordered run of blocks on the simulated device,
+/// owned by one operator. The grace-spilling hash operators
+/// (`vw-exec::spill`) append encoded batches during build/probe and read
+/// them back chunk-by-chunk when a spilled partition is rehydrated.
+///
+/// Dropping the file frees every block — temp space is reclaimed whether
+/// the query completes, errors, or is `KILL`ed mid-spill.
+pub struct SpillFile {
+    disk: Arc<SimulatedDisk>,
+    chunks: Vec<BlockId>,
+    bytes: u64,
+}
+
+impl SpillFile {
+    /// An empty spill file on `disk`.
+    pub fn new(disk: Arc<SimulatedDisk>) -> SpillFile {
+        SpillFile { disk, chunks: Vec::new(), bytes: 0 }
+    }
+
+    /// Append one encoded chunk; returns its size in bytes.
+    pub fn append(&mut self, data: Vec<u8>) -> usize {
+        let n = data.len();
+        self.bytes += n as u64;
+        self.chunks.push(self.disk.write_new(data));
+        n
+    }
+
+    /// Number of chunks appended so far.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True when nothing was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total bytes written (the rehydration cost estimate).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Read chunk `i` back (charges simulated I/O like any block read).
+    pub fn read_chunk(&self, i: usize) -> Result<Arc<Vec<u8>>> {
+        self.disk.read(self.chunks[i])
+    }
+
+    /// The device this file lives on.
+    pub fn disk(&self) -> &Arc<SimulatedDisk> {
+        &self.disk
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        for id in self.chunks.drain(..) {
+            self.disk.free(id);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpillFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillFile")
+            .field("chunks", &self.chunks.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +308,22 @@ mod tests {
         disk.free(id);
         assert_eq!(disk.used_bytes(), 0);
         assert!(disk.read(id).is_err());
+    }
+
+    #[test]
+    fn spill_file_appends_reads_and_frees_on_drop() {
+        let disk = SimulatedDisk::instant();
+        let mut f = SpillFile::new(disk.clone());
+        assert!(f.is_empty());
+        assert_eq!(f.append(vec![1, 2, 3]), 3);
+        assert_eq!(f.append(vec![4, 5]), 2);
+        assert_eq!(f.n_chunks(), 2);
+        assert_eq!(f.bytes_written(), 5);
+        assert_eq!(*f.read_chunk(0).unwrap(), vec![1, 2, 3]);
+        assert_eq!(*f.read_chunk(1).unwrap(), vec![4, 5]);
+        assert_eq!(disk.used_bytes(), 5);
+        drop(f);
+        assert_eq!(disk.used_bytes(), 0, "temp blocks reclaimed on drop");
     }
 
     #[test]

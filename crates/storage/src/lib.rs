@@ -2,7 +2,7 @@
 //!
 //! The "Compressed PAX/DSM storage" box of the paper's Figure 1, following
 //! *Balancing vectorized query execution with bandwidth-optimized storage*
-//! (Zukowski, 2009 — reference [6]).
+//! (Zukowski, 2009 — reference \[6\]).
 //!
 //! Architecture:
 //!
@@ -28,7 +28,7 @@ pub mod stats;
 pub mod table;
 
 pub use buffer::BufferPool;
-pub use disk::{BlockId, DiskConfig, DiskStats, SimulatedDisk};
-pub use pack::{decode_chunk, encode_chunk};
+pub use disk::{BlockId, DiskConfig, DiskStats, SimulatedDisk, SpillFile};
+pub use pack::{decode_chunk, decode_spill_batch, encode_chunk, encode_spill_batch};
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use table::{Layout, PackMeta, ScanRange, TableStorage};

@@ -174,6 +174,60 @@ pub fn decode_chunk(bytes: &[u8], ty: TypeId, n: usize) -> Result<(ColData, Opti
     Ok((data, nulls))
 }
 
+/// Serialize one multi-column spill batch: a row-count header followed by
+/// one [`encode_chunk`]-format chunk per column. This is the on-disk unit
+/// of the grace-spilling hash operators (`vw-exec::spill`) — the same
+/// compressed block format the pack writer uses, so spilled build/probe
+/// rows ride the existing codecs.
+///
+/// All columns must have the same length.
+pub fn encode_spill_batch(cols: &[(&ColData, Option<&[bool]>)]) -> Vec<u8> {
+    let rows = cols.first().map_or(0, |(d, _)| d.len());
+    debug_assert!(cols.iter().all(|(d, _)| d.len() == rows));
+    // The chunk format carries u32 lengths; a silent wrap would corrupt
+    // the spill run, so oversized chunks fail loudly instead. (Spilled
+    // runs are bounded by the memory budget per flush, so hitting this
+    // means a >4 GiB single flush — re-chunk at the caller.)
+    assert!(rows <= u32::MAX as usize, "spill batch exceeds u32 rows");
+    let mut w = ByteWriter::new();
+    w.put_u32(cols.len() as u32);
+    w.put_u32(rows as u32);
+    for (data, nulls) in cols {
+        let chunk = encode_chunk(data, *nulls);
+        assert!(
+            chunk.len() <= u32::MAX as usize,
+            "spill column chunk exceeds the 4 GiB block format limit"
+        );
+        w.put_u32(chunk.len() as u32);
+        w.put_bytes(&chunk);
+    }
+    w.into_bytes()
+}
+
+/// Deserialize a spill batch produced by [`encode_spill_batch`]. `types`
+/// must match the encoded column count and types.
+pub fn decode_spill_batch(
+    bytes: &[u8],
+    types: &[TypeId],
+) -> Result<Vec<(ColData, Option<Vec<bool>>)>> {
+    let mut r = ByteReader::new(bytes);
+    let ncols = r.get_u32()? as usize;
+    if ncols != types.len() {
+        return Err(VwError::Corruption(format!(
+            "spill batch has {ncols} columns, expected {}",
+            types.len()
+        )));
+    }
+    let rows = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(ncols);
+    for &ty in types {
+        let nbytes = r.get_u32()? as usize;
+        let chunk = r.get_bytes(nbytes)?;
+        out.push(decode_chunk(chunk, ty, rows)?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +311,33 @@ mod tests {
         let data = ColData::I32((0..50).collect());
         let bytes = encode_chunk(&data, None);
         assert!(decode_chunk(&bytes, TypeId::I32, 51).is_err());
+    }
+
+    #[test]
+    fn spill_batch_roundtrips_multiple_columns() {
+        let a = ColData::I64((0..100).collect());
+        let b = ColData::Str((0..100).map(|i| format!("s{}", i % 7)).collect());
+        let b_nulls: Vec<bool> = (0..100).map(|i| i % 9 == 0).collect();
+        let bytes = encode_spill_batch(&[(&a, None), (&b, Some(&b_nulls))]);
+        let cols = decode_spill_batch(&bytes, &[TypeId::I64, TypeId::Str]).unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0, a);
+        assert!(cols[0].1.is_none());
+        assert_eq!(cols[1].0, b);
+        assert_eq!(cols[1].1.as_deref(), Some(&b_nulls[..]));
+    }
+
+    #[test]
+    fn spill_batch_empty_and_corrupt() {
+        let a = ColData::new(TypeId::I64);
+        let bytes = encode_spill_batch(&[(&a, None)]);
+        let cols = decode_spill_batch(&bytes, &[TypeId::I64]).unwrap();
+        assert_eq!(cols[0].0.len(), 0);
+        // Wrong arity is detected, not misread.
+        assert!(decode_spill_batch(&bytes, &[TypeId::I64, TypeId::I64]).is_err());
+        let mut broken = encode_spill_batch(&[(&ColData::I64(vec![1, 2, 3]), None)]);
+        broken.truncate(broken.len() / 2);
+        assert!(decode_spill_batch(&broken, &[TypeId::I64]).is_err());
     }
 
     #[test]

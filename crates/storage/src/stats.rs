@@ -64,7 +64,7 @@ impl Histogram {
         Some(Histogram { bounds, total })
     }
 
-    /// Estimated selectivity of `column < x` (fraction in [0,1]).
+    /// Estimated selectivity of `column < x` (fraction in \[0,1\]).
     pub fn sel_lt(&self, x: f64) -> f64 {
         let k = (self.bounds.len() - 1) as f64;
         if x <= self.bounds[0] {

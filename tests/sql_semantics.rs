@@ -1233,3 +1233,204 @@ mod morsel_differential {
         drop(x); // join must not deadlock while the sibling still claims
     }
 }
+
+mod spill_differential {
+    //! The memory governor under randomized SQL: a budget several times
+    //! smaller than the hash build state forces grace spilling through
+    //! joins and GROUP BYs, whose answers must match the unbounded run and
+    //! the volcano reference exactly — plus a mid-spill KILL that must
+    //! surface `Cancelled` and reclaim every temp spill block.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use vectorwise::common::{ColData, Field, Schema, TypeId, Value, VwError};
+    use vectorwise::core::{bulk_load, Database};
+    use vectorwise::volcano::{
+        collect_rows, TupleAgg, TupleAggregate, TupleHashJoin, TupleJoinKind, TupleValues,
+    };
+
+    fn sort_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows
+    }
+
+    fn kv_schema() -> Schema {
+        Schema::new(vec![Field::nullable("k", TypeId::I64), Field::nullable("v", TypeId::I64)])
+            .unwrap()
+    }
+
+    /// Random (k, v) rows with ~10% NULL keys over a key domain wide
+    /// enough that the join build and the group state dwarf a small
+    /// budget.
+    fn gen_rows(rng: &mut SmallRng, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|_| {
+                let k = if rng.gen_range(0..100) < 10 {
+                    Value::Null
+                } else {
+                    Value::I64(rng.gen_range(0..200i64))
+                };
+                vec![k, Value::I64(rng.gen_range(0..1000i64))]
+            })
+            .collect()
+    }
+
+    fn load_db(rows: &[Vec<Value>], dop: usize, mem_budget: usize) -> Arc<Database> {
+        let db = Database::open_in_memory();
+        db.execute("CREATE TABLE t (k BIGINT, v BIGINT)").unwrap();
+        let lits: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let k = match &r[0] {
+                    Value::Null => "NULL".to_string(),
+                    Value::I64(k) => k.to_string(),
+                    other => panic!("{other:?}"),
+                };
+                let v = match &r[1] {
+                    Value::I64(v) => v.to_string(),
+                    other => panic!("{other:?}"),
+                };
+                format!("({k}, {v})")
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", lits.join(", "))).unwrap();
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        db.execute(&format!("SET mem_budget = {mem_budget}")).unwrap();
+        db
+    }
+
+    #[test]
+    fn spilled_sql_agrees_with_unbounded_and_volcano() {
+        let queries = [
+            "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t GROUP BY k",
+            "SELECT COUNT(*) FROM t a JOIN t b ON a.k = b.k",
+            "SELECT a.k, COUNT(*), SUM(b.v) FROM t a JOIN t b ON a.k = b.k GROUP BY a.k",
+            "SELECT COUNT(*) FROM t WHERE k NOT IN (SELECT k FROM t WHERE v > 990)",
+        ];
+        for seed in 0..2u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5b111 + seed);
+            let rows = gen_rows(&mut rng, 800);
+
+            // Volcano references for the first two query shapes.
+            let vol_group = {
+                let mut agg = TupleAggregate::new(
+                    Box::new(TupleValues::new(kv_schema(), rows.clone())),
+                    vec![0],
+                    vec![TupleAgg::CountStar, TupleAgg::Sum(1)],
+                    Schema::unchecked(vec![
+                        Field::nullable("k", TypeId::I64),
+                        Field::not_null("cnt", TypeId::I64),
+                        Field::nullable("sum", TypeId::I64),
+                    ]),
+                );
+                sort_rows(collect_rows(&mut agg).unwrap())
+            };
+            let vol_join_count = {
+                let l = Box::new(TupleValues::new(kv_schema(), rows.clone()));
+                let r = Box::new(TupleValues::new(kv_schema(), rows.clone()));
+                let mut j = TupleHashJoin::with_kind(l, r, 0, 0, TupleJoinKind::Inner);
+                collect_rows(&mut j).unwrap().len() as i64
+            };
+
+            // The unbounded engine is the primary reference.
+            let unbounded = load_db(&rows, 1, 0);
+            let expected: Vec<Vec<Vec<Value>>> = queries
+                .iter()
+                .map(|q| sort_rows(unbounded.execute(q).unwrap().rows().to_vec()))
+                .collect();
+            {
+                let group = sort_rows(
+                    unbounded
+                        .execute("SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k")
+                        .unwrap()
+                        .rows()
+                        .to_vec(),
+                );
+                assert_eq!(group, vol_group, "unbounded GROUP BY diverged from volcano");
+            }
+            assert_eq!(
+                expected[1],
+                vec![vec![Value::I64(vol_join_count)]],
+                "unbounded join count diverged from volcano (seed {seed})"
+            );
+
+            // A build of ~800 rows × 2 BIGINT columns is tens of KB of
+            // staged state: a 2 KB budget forces deep spilling, a 16 KB
+            // one partial spilling.
+            for dop in [1usize, 4] {
+                for budget in [2 * 1024usize, 16 * 1024] {
+                    let db = load_db(&rows, dop, budget);
+                    for (q, expect) in queries.iter().zip(&expected) {
+                        let got = sort_rows(db.execute(q).unwrap().rows().to_vec());
+                        assert_eq!(
+                            &got, expect,
+                            "spilled run diverged (seed {seed}, dop {dop}, budget {budget}): {q}"
+                        );
+                    }
+                    // Only table blocks remain: every temp spill file must
+                    // be gone once the queries finish. The unbounded db is
+                    // an identically loaded instance that never spilled,
+                    // so its disk usage is the table baseline.
+                    assert_eq!(
+                        db.disk().used_bytes(),
+                        unbounded.disk().used_bytes(),
+                        "spill blocks leaked (seed {seed}, dop {dop}, budget {budget})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_spill_kill_cancels_and_reclaims_temp_space() {
+        // A self-join whose build is far over a tiny budget, killed while
+        // it spills: the query must surface Cancelled and every temp spill
+        // block must be freed (tables stay).
+        let db = Database::open_in_memory();
+        db.execute("CREATE TABLE big (k BIGINT NOT NULL, v BIGINT NOT NULL)").unwrap();
+        let n = 200_000i64;
+        let k = ColData::I64((0..n).map(|i| i % 5000).collect());
+        let v = ColData::I64((0..n).collect());
+        bulk_load(&db, "big", &[k, v], &[None, None]).unwrap();
+        db.execute("SET mem_budget = 8192").unwrap();
+        let baseline = db.disk().used_bytes();
+
+        let db2 = db.clone();
+        let handle = std::thread::spawn(move || {
+            db2.execute("SELECT COUNT(*) FROM big a JOIN big b ON a.k = b.k")
+        });
+        // Bounded poll: the join takes seconds under this budget, but if
+        // the spill path ever gets fast enough to finish first, fail with
+        // a message instead of spinning forever.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let qid = loop {
+            let running: Vec<_> = db
+                .monitor
+                .list_queries()
+                .into_iter()
+                .filter(|q| q.state == vectorwise::core::monitor::QueryState::Running)
+                .collect();
+            if let Some(q) = running.first() {
+                break q.id;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "query never observed Running; grow the input so the kill lands mid-spill"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        db.kill(qid).unwrap();
+        let result = handle.join().unwrap();
+        assert!(
+            matches!(result, Err(VwError::Cancelled)),
+            "killed spilling query must report cancellation, got {result:?}"
+        );
+        assert_eq!(
+            db.disk().used_bytes(),
+            baseline,
+            "temp spill blocks must be reclaimed when the killed query unwinds"
+        );
+    }
+}
