@@ -5,7 +5,7 @@
 //! skewed scan→filter→agg at DOP 1 and 4, plus a memory-governed
 //! `spill_join` whose build runs ~4× over its budget at DOP 1; fixed
 //! seed) and writes the rows/sec numbers to a JSON file CI uploads —
-//! `BENCH_pr5.json` by default —
+//! `BENCH_pr6.json` by default —
 //! so every PR from here on appends a point to the benchmark series.
 //!
 //! Usage: `cargo run --release -p vw-bench --bin perf_smoke [-- out.json [rows]]`
@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr6.json".to_string());
     let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
     let reps = 3;
 
@@ -26,7 +26,7 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline image): flat and stable so
     // the artifact series stays trivially diffable across PRs.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"harness\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"reps\": {reps},");

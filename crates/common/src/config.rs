@@ -33,6 +33,86 @@ pub enum NullMode {
     Branchy,
 }
 
+/// Deterministic fault-injection knobs for the simulated block device
+/// (`vw-storage::disk`). All-zero (the default) means **no machinery is
+/// constructed at all**: the disk carries one relaxed atomic-bool gate and
+/// nothing else, so the fault-free hot path is unchanged.
+///
+/// Probabilities are per-operation in `0.0..=1.0`; the injector is seeded,
+/// so a given (seed, operation sequence) always produces the same faults.
+/// Env overrides (read by [`EngineConfig::default`], like `VW_DOP`):
+///
+/// * `VW_FAULT_SEED` — injector seed (default `0xF0A17`),
+/// * `VW_FAULT_IO_ERR` — sets both `read_err` and `write_err`,
+/// * `VW_FAULT_CORRUPT` — bit-flip/truncation probability on read,
+/// * `VW_FAULT_LATENCY_US` — extra device latency per faulted operation,
+/// * `VW_FAULT_NTH_WRITE` — fail the Nth write terminally (1-based).
+///
+/// See ARCHITECTURE.md ("Failure model") for the retry policy these faults
+/// are surfaced through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the injector's deterministic RNG.
+    pub seed: u64,
+    /// Probability a read fails with a transient [`VwError::Io`].
+    ///
+    /// [`VwError::Io`]: crate::VwError::Io
+    pub read_err: f64,
+    /// Probability a write fails with a transient [`VwError::Io`].
+    ///
+    /// [`VwError::Io`]: crate::VwError::Io
+    pub write_err: f64,
+    /// Probability a read returns corrupted bytes (a flipped bit or a
+    /// truncated payload) instead of failing. Detected by block
+    /// verification in the buffer pool / spill reader and retried.
+    pub corrupt: f64,
+    /// Extra latency charged on every operation while faults are armed
+    /// (models a degrading device).
+    pub latency_us: u64,
+    /// Fail the Nth write (1-based, counted across the device lifetime)
+    /// with a *terminal* [`VwError::Io`] that no retry absorbs.
+    ///
+    /// [`VwError::Io`]: crate::VwError::Io
+    pub fail_nth_write: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xF0A17,
+            read_err: 0.0,
+            write_err: 0.0,
+            corrupt: 0.0,
+            latency_us: 0,
+            fail_nth_write: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when any fault is configured; an inactive config arms nothing.
+    pub fn is_active(&self) -> bool {
+        self.read_err > 0.0
+            || self.write_err > 0.0
+            || self.corrupt > 0.0
+            || self.latency_us > 0
+            || self.fail_nth_write.is_some()
+    }
+
+    /// Read the `VW_FAULT_*` env overrides (all unset = inactive).
+    fn from_env() -> FaultConfig {
+        let io_err = env_f64("VW_FAULT_IO_ERR").unwrap_or(0.0).clamp(0.0, 1.0);
+        FaultConfig {
+            seed: env_u64("VW_FAULT_SEED").unwrap_or(0xF0A17),
+            read_err: io_err,
+            write_err: io_err,
+            corrupt: env_f64("VW_FAULT_CORRUPT").unwrap_or(0.0).clamp(0.0, 1.0),
+            latency_us: env_u64("VW_FAULT_LATENCY_US").unwrap_or(0),
+            fail_nth_write: env_u64("VW_FAULT_NTH_WRITE"),
+        }
+    }
+}
+
 /// Tuning knobs for one engine instance.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -88,6 +168,20 @@ pub struct EngineConfig {
     pub pack_size: usize,
     /// Enable per-operator profiling counters.
     pub profiling: bool,
+    /// Per-query statement timeout in milliseconds; `0` disables timeouts
+    /// and constructs none of the deadline machinery (no watchdog thread,
+    /// no clock reads in `CancelToken::check`). When non-zero, every query
+    /// carries a deadline in its cancel token and a monitor watchdog fires
+    /// `Cancelled` at expiry (registry shows `TimedOut`). SET-able
+    /// (`SET statement_timeout = ms`).
+    pub statement_timeout_ms: u64,
+    /// Ring-buffer capacity of the monitor's event log (oldest events drop
+    /// at capacity, so long-lived sessions cannot grow it without bound).
+    /// SET-able (`SET event_log_capacity = n`, applied immediately).
+    pub event_log_capacity: usize,
+    /// Deterministic fault injection for the simulated device (inactive by
+    /// default; see [`FaultConfig`] for the `VW_FAULT_*` env overrides).
+    pub faults: FaultConfig,
 }
 
 impl Default for EngineConfig {
@@ -112,11 +206,22 @@ impl Default for EngineConfig {
             cooperative_scans: false,
             pack_size: 16 * 1024,
             profiling: true,
+            statement_timeout_ms: 0,
+            event_log_capacity: 1024,
+            faults: FaultConfig::from_env(),
         }
     }
 }
 
 fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+fn env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
 }
 
@@ -151,6 +256,18 @@ impl EngineConfig {
     /// Override the per-query memory budget (builder style; 0 = unlimited).
     pub fn with_mem_budget(mut self, bytes: usize) -> Self {
         self.mem_budget_bytes = bytes;
+        self
+    }
+
+    /// Override the fault-injection config (builder style).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the statement timeout (builder style; 0 = no timeout).
+    pub fn with_statement_timeout_ms(mut self, ms: u64) -> Self {
+        self.statement_timeout_ms = ms;
         self
     }
 
@@ -211,6 +328,31 @@ mod tests {
             assert_eq!(c.mem_budget_bytes, 0);
         }
         assert_eq!(c.with_mem_budget(1 << 20).mem_budget_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn fault_config_default_is_inactive() {
+        let f = FaultConfig::default();
+        assert!(!f.is_active(), "default faults must construct no machinery");
+        assert!(FaultConfig { read_err: 0.01, ..Default::default() }.is_active());
+        assert!(FaultConfig { latency_us: 5, ..Default::default() }.is_active());
+        assert!(FaultConfig { fail_nth_write: Some(3), ..Default::default() }.is_active());
+        // Engine default is inactive unless VW_FAULT_* is exported.
+        if std::env::var("VW_FAULT_IO_ERR").is_err()
+            && std::env::var("VW_FAULT_CORRUPT").is_err()
+            && std::env::var("VW_FAULT_LATENCY_US").is_err()
+            && std::env::var("VW_FAULT_NTH_WRITE").is_err()
+        {
+            assert!(!EngineConfig::default().faults.is_active());
+        }
+    }
+
+    #[test]
+    fn timeout_and_event_log_defaults() {
+        let c = EngineConfig::default();
+        assert_eq!(c.statement_timeout_ms, 0, "no timeout by default");
+        assert_eq!(c.event_log_capacity, 1024);
+        assert_eq!(c.with_statement_timeout_ms(250).statement_timeout_ms, 250);
     }
 
     #[test]

@@ -39,6 +39,19 @@ pub enum VwError {
     Catalog(String),
     /// Storage layer failure (block out of range, corrupted header...).
     Storage(String),
+    /// A device-level I/O failure. `transient` distinguishes faults worth
+    /// retrying (a failed transfer, a checksum mismatch on an in-flight
+    /// read — the stored data is intact) from terminal ones (the device
+    /// refused the operation outright). The storage layer retries
+    /// transient faults with bounded backoff (`vw-storage::disk::retry_io`)
+    /// before surfacing this error; see ARCHITECTURE.md ("Failure model").
+    Io {
+        /// True when a bounded retry may succeed (the failure was in
+        /// flight, not in the stored state).
+        transient: bool,
+        /// Human-readable description of the failed operation.
+        msg: String,
+    },
     /// Compressed block failed validation during decode.
     Corruption(String),
     /// Transaction aborted due to a write-write conflict (PDT positional
@@ -68,6 +81,7 @@ impl VwError {
             VwError::Plan(_) => "E_PLAN",
             VwError::Catalog(_) => "E_CATALOG",
             VwError::Storage(_) => "E_STORAGE",
+            VwError::Io { .. } => "E_IO",
             VwError::Corruption(_) => "E_CORRUPTION",
             VwError::TxnConflict(_) => "E_TXN_CONFLICT",
             VwError::TxnState(_) => "E_TXN_STATE",
@@ -106,6 +120,10 @@ impl fmt::Display for VwError {
             VwError::Plan(m) => write!(f, "{}: planner error: {m}", self.code()),
             VwError::Catalog(m) => write!(f, "{}: catalog error: {m}", self.code()),
             VwError::Storage(m) => write!(f, "{}: storage error: {m}", self.code()),
+            VwError::Io { transient, msg } => {
+                let kind = if *transient { "transient" } else { "terminal" };
+                write!(f, "{}: {kind} i/o error: {msg}", self.code())
+            }
             VwError::Corruption(m) => write!(f, "{}: corrupted data: {m}", self.code()),
             VwError::TxnConflict(m) => write!(f, "{}: transaction conflict: {m}", self.code()),
             VwError::TxnState(m) => write!(f, "{}: transaction state error: {m}", self.code()),
@@ -134,6 +152,7 @@ mod tests {
             VwError::Plan("p".into()),
             VwError::Catalog("c".into()),
             VwError::Storage("s".into()),
+            VwError::Io { transient: true, msg: "i".into() },
             VwError::Corruption("c".into()),
             VwError::TxnConflict("t".into()),
             VwError::TxnState("t".into()),
@@ -143,7 +162,7 @@ mod tests {
         let mut codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 15, "every variant must map to a unique code");
+        assert_eq!(codes.len(), 16, "every variant must map to a unique code");
     }
 
     #[test]
@@ -153,6 +172,16 @@ mod tests {
         assert!(!VwError::Cancelled.is_user_error());
         assert!(!VwError::Storage("x".into()).is_user_error());
         assert!(!VwError::TxnConflict("x".into()).is_user_error());
+        assert!(!VwError::Io { transient: true, msg: "x".into() }.is_user_error());
+    }
+
+    #[test]
+    fn io_display_carries_transience() {
+        let e = VwError::Io { transient: true, msg: "injected read fault".into() };
+        assert!(e.to_string().contains("E_IO"));
+        assert!(e.to_string().contains("transient"));
+        let e = VwError::Io { transient: false, msg: "device gone".into() };
+        assert!(e.to_string().contains("terminal"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod sel;
 pub mod types;
 
 pub use coldata::ColData;
-pub use config::EngineConfig;
+pub use config::{EngineConfig, FaultConfig};
 pub use error::{Result, VwError};
 pub use schema::{Field, Schema};
 pub use sel::SelVec;

@@ -75,6 +75,7 @@ pub fn encode_for(values: &[i64], w: &mut ByteWriter) {
     if values.is_empty() {
         return;
     }
+    // Infallible: the empty frame returned above, so min()/max() see >= 1.
     let base = *values.iter().min().unwrap();
     // Residuals are computed in wrapping u64 space so i64::MIN..=i64::MAX
     // frames work; the max residual determines the width.

@@ -96,12 +96,14 @@ impl<'a> ByteReader<'a> {
     /// Read a little-endian u32.
     #[inline]
     pub fn get_u32(&mut self) -> Result<u32> {
+        // Infallible: take(4) is exactly 4 bytes or a Corruption error.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Read a little-endian u64.
     #[inline]
     pub fn get_u64(&mut self) -> Result<u64> {
+        // Infallible: take(8) is exactly 8 bytes or a Corruption error.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

@@ -123,6 +123,8 @@ pub fn decode_pfor(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<(
     let exc_pos = r.get_bytes(n_exc * 4)?;
     let exc_val = r.get_bytes(n_exc * 8)?;
     for i in 0..n_exc {
+        // Infallible: get_bytes(n_exc * 4/8) above guarantees both slices
+        // are exactly that long, so every 4/8-byte window exists.
         let p = u32::from_le_bytes(exc_pos[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
         let v = u64::from_le_bytes(exc_val[i * 8..i * 8 + 8].try_into().unwrap());
         if p >= n {

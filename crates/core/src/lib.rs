@@ -98,16 +98,22 @@ impl Database {
         Database::open_with(EngineConfig::default(), SimulatedDisk::instant())
     }
 
-    /// Open with explicit configuration and device.
+    /// Open with explicit configuration and device. An active
+    /// `config.faults` arms the device's fault injector (an inactive one
+    /// constructs none of that machinery).
     pub fn open_with(config: EngineConfig, disk: Arc<SimulatedDisk>) -> Arc<Database> {
+        if config.faults.is_active() {
+            disk.arm_faults(config.faults.clone());
+        }
         let pool = BufferPool::new(disk.clone(), config.buffer_pool_bytes);
+        let monitor = Monitor::with_capacity(config.event_log_capacity);
         Arc::new(Database {
             disk,
             pool,
             catalog: RwLock::new(Catalog::default()),
             config: RwLock::new(config),
             commit_lock: Mutex::new(()),
-            monitor: Monitor::new(),
+            monitor,
         })
     }
 
@@ -272,6 +278,27 @@ impl Database {
                 };
             }
             "profiling" => cfg.profiling = value.as_i64()? != 0,
+            "statement_timeout" | "statement_timeout_ms" => {
+                let v = value.as_i64()?;
+                if v < 0 {
+                    return Err(VwError::InvalidParameter(
+                        "statement_timeout must be >= 0 (0 = disabled)".into(),
+                    ));
+                }
+                cfg.statement_timeout_ms = v as u64;
+            }
+            "event_log_capacity" => {
+                let v = value.as_i64()?;
+                if v < 1 {
+                    return Err(VwError::InvalidParameter(
+                        "event_log_capacity must be >= 1".into(),
+                    ));
+                }
+                cfg.event_log_capacity = v as usize;
+                // Applies to the live monitor immediately (shrink drops
+                // the oldest events).
+                self.monitor.set_event_capacity(v as usize);
+            }
             other => return Err(VwError::InvalidParameter(format!("unknown setting '{other}'"))),
         }
         Ok(())
@@ -412,9 +439,18 @@ impl Session {
         sql_label: Option<&str>,
     ) -> Result<QueryResult> {
         let db = self.db.clone();
-        let cancel = CancelToken::new();
-        let qid = db.monitor.register_query(sql_label.unwrap_or("<query>"), cancel.clone());
         let config = db.config();
+        // A configured statement timeout puts a deadline on the token and
+        // spawns a watchdog; without one neither exists.
+        let timeout = (config.statement_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(config.statement_timeout_ms));
+        let cancel = match timeout {
+            Some(t) => CancelToken::with_deadline(std::time::Instant::now() + t),
+            None => CancelToken::new(),
+        };
+        let qid =
+            db.monitor.register_query_with(sql_label.unwrap_or("<query>"), cancel.clone(), timeout);
+        let _watchdog = vw_exec::TimeoutGuard::spawn(&cancel);
         let result = (|| -> Result<QueryResult> {
             let mut op = compile::build_plan(&db, plan, &config, &cancel, self.txn.as_ref())?;
             let batch = drain(op.as_mut())?;
@@ -422,6 +458,9 @@ impl Session {
             let rows = (0..batch.rows()).map(|i| batch.row_values(i)).collect();
             Ok(QueryResult { schema, rows, affected: 0, text: None })
         })();
+        // Drop the plan (and with it any worker threads / spill files)
+        // before the registry update, then record the outcome: the
+        // watchdog is joined by `_watchdog`'s drop at return.
         match &result {
             Ok(r) => db.monitor.finish_query(qid, r.rows.len() as u64),
             Err(e) => db.monitor.fail_query(qid, e),
@@ -537,6 +576,15 @@ mod tests {
         assert!(db.execute("SET morsel_rows = 0").is_err());
         assert!(db.execute("SET vector_size = 0").is_err());
         assert!(db.execute("SET nonsense = 1").is_err());
+        db.execute("SET statement_timeout = 500").unwrap();
+        assert_eq!(db.config().statement_timeout_ms, 500);
+        db.execute("SET statement_timeout = 0").unwrap();
+        assert_eq!(db.config().statement_timeout_ms, 0, "0 = disabled");
+        assert!(db.execute("SET statement_timeout = -1").is_err());
+        db.execute("SET event_log_capacity = 16").unwrap();
+        assert_eq!(db.config().event_log_capacity, 16);
+        assert_eq!(db.monitor.event_capacity(), 16, "applies to the live monitor");
+        assert!(db.execute("SET event_log_capacity = 0").is_err());
     }
 
     #[test]

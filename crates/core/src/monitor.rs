@@ -1,10 +1,16 @@
 //! System monitoring — the paper's "mundane" but mandatory work: event logging, query
 //! listing, load/resource monitoring, and the kill switch behind query
 //! cancellation.
+//!
+//! The event log is a bounded ring (capacity from
+//! `EngineConfig::event_log_capacity`, adjustable at runtime via
+//! `SET event_log_capacity`), so a long-lived session cannot grow it
+//! without limit. `KILL` semantics and timeout states follow the failure
+//! model in the repo-root ARCHITECTURE.md.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use vw_common::{Result, VwError};
 use vw_exec::CancelToken;
@@ -42,6 +48,8 @@ pub enum QueryState {
     Failed(String),
     /// Killed by `KILL`.
     Cancelled,
+    /// Cancelled by its statement timeout.
+    TimedOut,
 }
 
 /// Registry entry for one query.
@@ -57,6 +65,8 @@ pub struct QueryInfo {
     pub elapsed: Duration,
     /// Rows produced (when finished).
     pub rows: u64,
+    /// Statement timeout this query runs under, if any.
+    pub timeout: Option<Duration>,
 }
 
 struct QuerySlot {
@@ -65,13 +75,16 @@ struct QuerySlot {
     started: Instant,
 }
 
-/// Ring-buffer capacity of the event log.
-const EVENT_CAPACITY: usize = 1024;
+/// Default ring-buffer capacity of the event log
+/// (`EngineConfig::event_log_capacity` overrides it).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
 /// The monitoring subsystem: event log + query registry.
 pub struct Monitor {
     epoch: Instant,
     events: Mutex<std::collections::VecDeque<Event>>,
+    /// Ring bound; runtime-adjustable (`SET event_log_capacity`).
+    event_capacity: AtomicUsize,
     queries: Mutex<HashMap<u64, QuerySlot>>,
     next_id: AtomicU64,
     total_queries: AtomicU64,
@@ -85,11 +98,19 @@ impl Default for Monitor {
 }
 
 impl Monitor {
-    /// Fresh monitor.
+    /// Fresh monitor with the default event-log bound.
     pub fn new() -> Monitor {
+        Monitor::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Fresh monitor whose event log holds at most `event_capacity`
+    /// entries (clamped to >= 1).
+    pub fn with_capacity(event_capacity: usize) -> Monitor {
+        let cap = event_capacity.max(1);
         Monitor {
             epoch: Instant::now(),
-            events: Mutex::new(std::collections::VecDeque::with_capacity(EVENT_CAPACITY)),
+            events: Mutex::new(std::collections::VecDeque::with_capacity(cap.min(1024))),
+            event_capacity: AtomicUsize::new(cap),
             queries: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             total_queries: AtomicU64::new(0),
@@ -97,10 +118,27 @@ impl Monitor {
         }
     }
 
+    /// Change the event-log bound at runtime (`SET event_log_capacity`);
+    /// shrinking drops the oldest events immediately.
+    pub fn set_event_capacity(&self, capacity: usize) {
+        let cap = capacity.max(1);
+        self.event_capacity.store(cap, Ordering::Relaxed);
+        let mut ev = self.events.lock();
+        while ev.len() > cap {
+            ev.pop_front();
+        }
+    }
+
+    /// The current event-log bound.
+    pub fn event_capacity(&self) -> usize {
+        self.event_capacity.load(Ordering::Relaxed)
+    }
+
     /// Append an event (ring semantics: oldest dropped at capacity).
     pub fn log(&self, level: EventLevel, message: String) {
+        let cap = self.event_capacity.load(Ordering::Relaxed);
         let mut ev = self.events.lock();
-        if ev.len() == EVENT_CAPACITY {
+        while ev.len() >= cap {
             ev.pop_front();
         }
         ev.push_back(Event { level, at_ms: self.epoch.elapsed().as_millis() as u64, message });
@@ -113,6 +151,17 @@ impl Monitor {
 
     /// Register a running query; returns its id.
     pub fn register_query(&self, sql: &str, cancel: CancelToken) -> u64 {
+        self.register_query_with(sql, cancel, None)
+    }
+
+    /// Register a running query that executes under `timeout` (visible in
+    /// the registry); returns its id.
+    pub fn register_query_with(
+        &self,
+        sql: &str,
+        cancel: CancelToken,
+        timeout: Option<Duration>,
+    ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.total_queries.fetch_add(1, Ordering::Relaxed);
         self.queries.lock().insert(
@@ -124,6 +173,7 @@ impl Monitor {
                     state: QueryState::Running,
                     elapsed: Duration::ZERO,
                     rows: 0,
+                    timeout,
                 },
                 cancel,
                 started: Instant::now(),
@@ -143,28 +193,48 @@ impl Monitor {
         }
     }
 
-    /// Mark a query failed.
+    /// Mark a query failed. A `Cancelled` error maps to `Cancelled` or
+    /// `TimedOut` depending on whether the query's token was tripped by
+    /// its statement deadline.
     pub fn fail_query(&self, id: u64, err: &VwError) {
         self.total_failed.fetch_add(1, Ordering::Relaxed);
+        let mut timed_out = false;
         let mut q = self.queries.lock();
         if let Some(slot) = q.get_mut(&id) {
             slot.info.state = if matches!(err, VwError::Cancelled) {
-                QueryState::Cancelled
+                if slot.cancel.timed_out() {
+                    timed_out = true;
+                    QueryState::TimedOut
+                } else {
+                    QueryState::Cancelled
+                }
             } else {
                 QueryState::Failed(err.code().to_string())
             };
             slot.info.elapsed = slot.started.elapsed();
         }
         drop(q);
-        self.log(EventLevel::Error, format!("query {id} failed: {err}"));
+        if timed_out {
+            self.log(EventLevel::Error, format!("query {id} failed: statement timeout ({err})"));
+        } else {
+            self.log(EventLevel::Error, format!("query {id} failed: {err}"));
+        }
     }
 
-    /// Cancel a running query.
+    /// Cancel a running query. `KILL` of an unknown id or of a query that
+    /// already reached a terminal state is a clean `Exec` error — the
+    /// race between a KILL landing and the query finishing must surface
+    /// as a typed error, never a silent no-op (ISSUE 6 satellite).
     pub fn kill(&self, id: u64) -> Result<()> {
         let q = self.queries.lock();
-        let slot = q
-            .get(&id)
-            .ok_or_else(|| VwError::InvalidParameter(format!("no query with id {id}")))?;
+        let slot =
+            q.get(&id).ok_or_else(|| VwError::Exec(format!("KILL: no query with id {id}")))?;
+        if slot.info.state != QueryState::Running {
+            return Err(VwError::Exec(format!(
+                "KILL: query {id} is not running (state {:?})",
+                slot.info.state
+            )));
+        }
         slot.cancel.cancel();
         Ok(())
     }
@@ -199,12 +269,38 @@ mod tests {
     #[test]
     fn event_log_rings() {
         let m = Monitor::new();
-        for i in 0..(EVENT_CAPACITY + 10) {
+        for i in 0..(DEFAULT_EVENT_CAPACITY + 10) {
             m.log(EventLevel::Info, format!("e{i}"));
         }
         let ev = m.events();
-        assert_eq!(ev.len(), EVENT_CAPACITY);
+        assert_eq!(ev.len(), DEFAULT_EVENT_CAPACITY);
         assert_eq!(ev[0].message, "e10");
+    }
+
+    #[test]
+    fn event_log_capacity_is_configurable_and_shrinkable() {
+        let m = Monitor::with_capacity(8);
+        assert_eq!(m.event_capacity(), 8);
+        for i in 0..100 {
+            m.log(EventLevel::Info, format!("e{i}"));
+        }
+        let ev = m.events();
+        assert_eq!(ev.len(), 8, "configured bound held");
+        assert_eq!(ev[0].message, "e92");
+        // Shrinking drops the oldest immediately.
+        m.set_event_capacity(3);
+        assert_eq!(m.events().len(), 3);
+        assert_eq!(m.events()[0].message, "e97");
+        // Growing allows the ring to fill further.
+        m.set_event_capacity(5);
+        m.log(EventLevel::Info, "x1".into());
+        m.log(EventLevel::Info, "x2".into());
+        assert_eq!(m.events().len(), 5);
+        // Zero clamps to one (a disabled log would lose failure events).
+        m.set_event_capacity(0);
+        assert_eq!(m.event_capacity(), 1);
+        m.log(EventLevel::Info, "y".into());
+        assert_eq!(m.events().len(), 1);
     }
 
     #[test]
@@ -213,6 +309,7 @@ mod tests {
         let t = CancelToken::new();
         let id = m.register_query("SELECT 1", t.clone());
         assert_eq!(m.list_queries()[0].state, QueryState::Running);
+        assert_eq!(m.list_queries()[0].timeout, None);
         m.finish_query(id, 42);
         let info = &m.list_queries()[0];
         assert_eq!(info.state, QueryState::Finished);
@@ -230,6 +327,39 @@ mod tests {
         m.fail_query(id, &VwError::Cancelled);
         assert_eq!(m.list_queries()[0].state, QueryState::Cancelled);
         assert!(m.kill(999).is_err());
+    }
+
+    #[test]
+    fn kill_of_finished_or_unknown_query_is_a_clean_exec_error() {
+        let m = Monitor::new();
+        let t = CancelToken::new();
+        let id = m.register_query("SELECT 1", t.clone());
+        m.finish_query(id, 1);
+        // KILL raced with completion: typed error, state untouched, token
+        // never tripped.
+        let err = m.kill(id).unwrap_err();
+        assert!(matches!(err, VwError::Exec(_)), "finished: {err}");
+        assert_eq!(m.list_queries()[0].state, QueryState::Finished);
+        assert!(!t.is_cancelled());
+        let err = m.kill(424242).unwrap_err();
+        assert!(matches!(err, VwError::Exec(_)), "unknown: {err}");
+    }
+
+    #[test]
+    fn timeout_cancellation_maps_to_timed_out_state() {
+        use std::time::Instant;
+        let m = Monitor::new();
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_millis(5));
+        let guard = vw_exec::TimeoutGuard::spawn(&t).unwrap();
+        let id = m.register_query_with("SELECT slow", t.clone(), Some(Duration::from_millis(5)));
+        assert_eq!(m.list_queries()[0].timeout, Some(Duration::from_millis(5)));
+        while !t.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(guard);
+        m.fail_query(id, &VwError::Cancelled);
+        assert_eq!(m.list_queries()[0].state, QueryState::TimedOut);
+        assert!(m.events().iter().any(|e| e.message.contains("statement timeout")));
     }
 
     #[test]

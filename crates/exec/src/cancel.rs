@@ -1,4 +1,4 @@
-//! Cooperative query cancellation.
+//! Cooperative query cancellation and statement deadlines.
 //!
 //! The paper calls this "one of more unexpected feature requests": killing a
 //! research prototype was `Ctrl-C`; killing one query of a production
@@ -11,21 +11,47 @@
 //! produces, so cancellation latency is bounded by the cost of processing
 //! one vector per pipeline stage (benchmark C8 measures it). The token is
 //! shared across all threads of a parallel (Xchg) plan.
+//!
+//! # Statement timeouts
+//!
+//! A token built with [`CancelToken::with_deadline`] additionally carries a
+//! wall-clock deadline. Cooperative checks do *not* read the clock (that
+//! would put a syscall on the hot path); instead a [`TimeoutGuard`]
+//! watchdog thread sleeps until the deadline and fires [`CancelToken::
+//! cancel`], setting a `timed_out` marker so the monitor can distinguish
+//! `TimedOut` from a user `KILL`. A query without a timeout constructs
+//! neither the deadline state nor the watchdog thread. Timeout semantics
+//! and the surrounding error taxonomy are documented in the repo-root
+//! ARCHITECTURE.md ("Failure model").
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 use vw_common::{Result, VwError};
 
-/// Shared cancellation flag for one query execution.
+/// Shared cancellation flag (plus optional deadline) for one query
+/// execution.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Set (only ever by a [`TimeoutGuard`]) when the cancellation was a
+    /// deadline firing rather than an explicit `KILL`.
+    timed_out: Arc<AtomicBool>,
+    /// The statement deadline, if one was configured. Immutable after
+    /// construction; the cooperative check never reads it.
+    deadline: Option<Instant>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with no deadline.
     pub fn new() -> CancelToken {
         CancelToken::default()
+    }
+
+    /// A fresh token that should be cancelled at `deadline` — pair it with
+    /// a [`TimeoutGuard`] to actually enforce it.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken { deadline: Some(deadline), ..CancelToken::default() }
     }
 
     /// Request cancellation (user `kill`, session close, timeout).
@@ -37,6 +63,17 @@ impl CancelToken {
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
+    }
+
+    /// The statement deadline this token carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True when the cancellation was fired by a statement timeout (as
+    /// opposed to an explicit `KILL` or session teardown).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out.load(Ordering::Acquire)
     }
 
     /// Bail out with [`VwError::Cancelled`] if cancellation was requested.
@@ -51,9 +88,73 @@ impl CancelToken {
     }
 }
 
+/// State shared between a [`TimeoutGuard`] and its watchdog thread.
+struct GuardShared {
+    /// Set by the guard's `Drop` to wake the watchdog early (query
+    /// finished before the deadline).
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Watchdog enforcing a [`CancelToken`] deadline: one thread sleeps on a
+/// condvar until the deadline, then marks the token timed-out and cancels
+/// it. Dropping the guard (the query finished first) wakes and joins the
+/// thread immediately, so a guarded query never leaves a stray thread
+/// behind — one of the reclamation invariants in ARCHITECTURE.md
+/// ("Failure model").
+pub struct TimeoutGuard {
+    shared: Arc<GuardShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TimeoutGuard {
+    /// Spawn a watchdog for `token`. Returns `None` when the token has no
+    /// deadline — the no-timeout path constructs nothing.
+    pub fn spawn(token: &CancelToken) -> Option<TimeoutGuard> {
+        let deadline = token.deadline?;
+        let shared = Arc::new(GuardShared { done: Mutex::new(false), cv: Condvar::new() });
+        let th_shared = shared.clone();
+        let th_token = token.clone();
+        let handle = std::thread::Builder::new()
+            .name("vw-stmt-timeout".into())
+            .spawn(move || {
+                let mut done = th_shared.done.lock().expect("watchdog mutex poisoned");
+                loop {
+                    if *done {
+                        return; // query finished before the deadline
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        th_token.timed_out.store(true, Ordering::Release);
+                        th_token.cancel();
+                        return;
+                    }
+                    let (guard, _) = th_shared
+                        .cv
+                        .wait_timeout(done, deadline - now)
+                        .expect("watchdog mutex poisoned");
+                    done = guard;
+                }
+            })
+            .expect("spawn statement-timeout watchdog");
+        Some(TimeoutGuard { shared, handle: Some(handle) })
+    }
+}
+
+impl Drop for TimeoutGuard {
+    fn drop(&mut self) {
+        *self.shared.done.lock().expect("watchdog mutex poisoned") = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn starts_clear_then_trips() {
@@ -62,6 +163,7 @@ mod tests {
         t.cancel();
         assert!(matches!(t.check(), Err(VwError::Cancelled)));
         assert!(t.is_cancelled());
+        assert!(!t.timed_out(), "a plain cancel is not a timeout");
     }
 
     #[test]
@@ -85,5 +187,37 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         t.cancel();
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn no_deadline_spawns_no_guard() {
+        let t = CancelToken::new();
+        assert!(t.deadline().is_none());
+        assert!(TimeoutGuard::spawn(&t).is_none(), "no-timeout path constructs nothing");
+    }
+
+    #[test]
+    fn deadline_fires_and_marks_timeout() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_millis(30));
+        let guard = TimeoutGuard::spawn(&t).expect("deadline token spawns a guard");
+        let t0 = Instant::now();
+        while !t.is_cancelled() {
+            assert!(t0.elapsed() < Duration::from_secs(5), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t.timed_out(), "deadline cancellation is marked as a timeout");
+        assert!(t0.elapsed() >= Duration::from_millis(25), "fired no earlier than the deadline");
+        drop(guard);
+    }
+
+    #[test]
+    fn dropping_guard_before_deadline_reclaims_the_watchdog() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        let guard = TimeoutGuard::spawn(&t).unwrap();
+        let t0 = Instant::now();
+        drop(guard); // joins the watchdog — must return promptly, not at the deadline
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(!t.is_cancelled(), "early completion never cancels");
+        assert!(!t.timed_out());
     }
 }

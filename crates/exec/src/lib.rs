@@ -56,9 +56,10 @@ pub mod program;
 pub mod spill;
 pub mod vector;
 
-pub use cancel::CancelToken;
+pub use cancel::{CancelToken, TimeoutGuard};
 pub use expr::PhysExpr;
 pub use morsel::{BatchPool, MorselSource};
 pub use op::Operator;
+pub use partition::MemBudget;
 pub use program::{ExprProgram, SelectProgram, VecRef, VectorPool};
 pub use vector::{Batch, Vector};

@@ -511,7 +511,7 @@ impl AggShard {
         let mut pairs: Vec<(&ColData, Option<&[bool]>)> =
             self.group_keys.iter().map(|v| (&v.data, v.nulls.as_deref())).collect();
         pairs.extend(state_vecs.iter().map(|v| (&v.data, v.nulls.as_deref())));
-        Ok(file.append(encode_spill_batch(&pairs)))
+        file.append(encode_spill_batch(&pairs))
     }
 
     /// Fold one rehydrated partial-state chunk into this shard: resolve
@@ -832,7 +832,7 @@ impl HashAggregate {
                     cfg.metrics.record_partition();
                 }
                 let sub = slot.get_or_insert_with(|| SpillFile::new(cfg.disk.clone()));
-                let written = sub.append(encode_spill_batch(&pairs));
+                let written = sub.append(encode_spill_batch(&pairs))?;
                 cfg.metrics.record_write(written as u64);
             }
         }

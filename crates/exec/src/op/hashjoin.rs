@@ -226,11 +226,11 @@ impl GraceJoin {
     /// file (keys and hashes are recomputed from the payload at
     /// rehydration time — they are program outputs, not stored state) and
     /// its budget charge is returned.
-    fn spill_partition(&mut self, si: usize) {
+    fn spill_partition(&mut self, si: usize) -> Result<()> {
         let stage = self.stages[si].take().expect("victim is resident");
         let mut file = SpillFile::new(self.cfg.disk.clone());
         if stage.rows() > 0 {
-            let n = spill::append_vectors(&mut file, &stage.cols);
+            let n = spill::append_vectors(&mut file, &stage.cols)?;
             self.cfg.metrics.record_write(n as u64);
         }
         self.files[si] = Some(file);
@@ -238,6 +238,7 @@ impl GraceJoin {
         self.any_spilled = true;
         self.cfg.budget.uncharge(self.charged[si]);
         self.charged[si] = 0;
+        Ok(())
     }
 
     /// Return every byte still charged (normal completion zeroes the
@@ -489,7 +490,7 @@ impl HashJoin {
                                     let cols: Vec<Vector> =
                                         batch.columns.iter().map(|v| v.gather(sel)).collect();
                                     let file = g.files[si].as_mut().expect("spilled has file");
-                                    let n = spill::append_vectors(file, &cols);
+                                    let n = spill::append_vectors(file, &cols)?;
                                     g.cfg.metrics.record_write(n as u64);
                                 }
                             }
@@ -498,7 +499,7 @@ impl HashJoin {
                         // over budget, evict the largest resident partition.
                         while g.cfg.budget.over() {
                             match g.largest_resident() {
-                                Some(victim) => g.spill_partition(victim),
+                                Some(victim) => g.spill_partition(victim)?,
                                 None => break, // nothing left to evict here
                             }
                         }
@@ -1029,7 +1030,7 @@ fn divert_spilled_probes(
         }
         let cols: Vec<Vector> = batch.columns.iter().map(|v| v.gather(sel)).collect();
         let file = g.probe_files[si].get_or_insert_with(|| SpillFile::new(g.cfg.disk.clone()));
-        let written = spill::append_vectors(file, &cols);
+        let written = spill::append_vectors(file, &cols)?;
         g.cfg.metrics.record_write(written as u64);
         for p in sel.iter() {
             s.deferred_flags[p] = true;

@@ -159,7 +159,10 @@ impl VectorScan {
 
     fn load_pack(&mut self, pack_idx: usize) -> Result<()> {
         if self.cur_pack.as_ref().map(|(i, _)| *i) != Some(pack_idx) {
+            let retries_before = self.pool.disk().stats().io_retries;
             let chunks = self.table.read_pack(&self.pool, pack_idx, &self.columns)?;
+            let retries_after = self.pool.disk().stats().io_retries;
+            self.profile.record_io_retries(retries_after - retries_before);
             self.cur_pack = Some((pack_idx, chunks));
         }
         Ok(())

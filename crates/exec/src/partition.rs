@@ -300,12 +300,24 @@ pub struct MemBudget {
     used: AtomicUsize,
 }
 
+/// Process-wide mirror of every [`MemBudget`]'s charged bytes — the leak
+/// observable: with no query running it must read zero, which the chaos
+/// suite asserts after every run (ARCHITECTURE.md "Failure model").
+static GLOBAL_CHARGED: AtomicUsize = AtomicUsize::new(0);
+
 impl MemBudget {
     /// A budget of `limit` bytes (callers never construct an unlimited
     /// one — an unlimited query simply has no `MemBudget` at all, so the
     /// zero-spill path carries none of this machinery).
     pub fn new(limit: usize) -> Arc<MemBudget> {
         Arc::new(MemBudget { limit: limit.max(1), used: AtomicUsize::new(0) })
+    }
+
+    /// Bytes currently charged across *all* budgets in the process. Zero
+    /// whenever no query holds staged build state — any other resting
+    /// value is a reclamation leak.
+    pub fn global_in_use() -> usize {
+        GLOBAL_CHARGED.load(Ordering::Relaxed)
     }
 
     /// The configured ceiling in bytes.
@@ -321,12 +333,14 @@ impl MemBudget {
     /// Charge `bytes` of newly staged build state.
     pub fn charge(&self, bytes: usize) {
         self.used.fetch_add(bytes, Ordering::Relaxed);
+        GLOBAL_CHARGED.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Return `bytes` of staged state (spilled, emitted, or dropped).
     pub fn uncharge(&self, bytes: usize) {
         let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "uncharge below zero ({prev} - {bytes})");
+        GLOBAL_CHARGED.fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// Is the query over its budget right now?

@@ -23,6 +23,7 @@
 //! | `morsels` | morsel claims: scans show their claim count; exchanges show `total×balance` where balance is per-worker `max/mean` ([`OpProfile::morsel_balance`]). | balance near 1.00; toward `DOP` means one worker dragged the fragment. |
 //! | `pool%`   | batch-pool hit rate ([`OpProfile::batch_pool_hit_rate`]): output-batch leases served from the recycled free list. | steady state should sit near 100%; low means the consumer isn't recycling. |
 //! | `spill`   | grace-spill traffic as `Pp written/read` — partitions spilled (all strata) and encoded spill bytes written and read back ([`OpProfile::spill_partitions`], [`OpProfile::spill_bytes_written`], [`OpProfile::spill_bytes_read`]); `-` when the build stayed in memory. | any value at all means the query ran over `mem_budget`; read ≫ written means deep re-partitioning recursion. |
+//! | `ioretry` | transient device faults absorbed by the retry policy during this operator's reads ([`OpProfile::io_retries`]); `-` when no retries happened (always, unless faults are armed — see ARCHITECTURE.md "Failure model"). | nonzero only under fault injection; sustained growth means the injected fault rate is near the retry budget. |
 
 use std::time::{Duration, Instant};
 
@@ -86,6 +87,10 @@ pub struct OpProfile {
     /// partitions were re-partitioned (written and read again) on deeper
     /// hash-bit strata.
     pub spill_bytes_read: u64,
+    /// Transient device faults absorbed by the bounded retry policy
+    /// (`vw_storage::disk::retry_io`) during this operator's I/O. Always
+    /// zero unless fault injection is armed.
+    pub io_retries: u64,
 }
 
 impl OpProfile {
@@ -150,6 +155,15 @@ impl OpProfile {
     #[inline]
     pub fn record_morsel(&mut self) {
         self.morsels += 1;
+    }
+
+    /// Record transient-fault retries absorbed while this operator read
+    /// from the device (a delta of the disk-wide counter taken around the
+    /// read; attribution is approximate under concurrency, which is fine
+    /// for an observability counter).
+    #[inline]
+    pub fn record_io_retries(&mut self, n: u64) {
+        self.io_retries += n;
     }
 
     /// Record one output-batch lease from the pipeline's
@@ -251,7 +265,7 @@ impl QueryProfile {
     /// so output stays interpretable without reading this source.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill\n",
+            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -301,8 +315,13 @@ impl QueryProfile {
             } else {
                 format!("{:>15}", "-")
             };
+            let ioretry = if p.io_retries > 0 {
+                format!("{:>8}", p.io_retries)
+            } else {
+                format!("{:>8}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -314,6 +333,7 @@ impl QueryProfile {
                 morsels,
                 pool,
                 spill,
+                ioretry,
             ));
         }
         out
@@ -486,6 +506,7 @@ mod tests {
         join.spill_partitions = 1;
         join.spill_bytes_written = 2048;
         join.spill_bytes_read = 2048;
+        join.record_io_retries(3);
         join.record_pool_lease(true);
         join.record_pool_lease(true);
         join.record_pool_lease(false);
@@ -499,9 +520,9 @@ mod tests {
         q.operators.push((0, join));
         q.operators.push((1, scan));
         let expect = "\
-operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill
-HashJoin                              1       1000    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K
-  Scan                                1       5000    1.000ms        -        -        -        -        7        -               -
+operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry
+HashJoin                              1       1000    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3
+  Scan                                1       5000    1.000ms        -        -        -        -        7        -               -        -
 ";
         assert_eq!(q.render(), expect);
     }

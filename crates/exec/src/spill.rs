@@ -28,8 +28,10 @@ use vw_common::{Result, Schema, TypeId};
 use vw_storage::{decode_spill_batch, encode_spill_batch, SpillFile};
 
 /// Encode one run of equally-long vectors as a spill chunk and append it
-/// to `file`; returns the encoded size in bytes.
-pub fn append_vectors(file: &mut SpillFile, cols: &[Vector]) -> usize {
+/// to `file`; returns the encoded size in bytes. Transient device faults
+/// are retried inside [`SpillFile::append`]; terminal ones surface here
+/// and fail the spilling operator (its temp blocks still free on drop).
+pub fn append_vectors(file: &mut SpillFile, cols: &[Vector]) -> Result<usize> {
     let encoded: Vec<(&vw_common::ColData, Option<&[bool]>)> =
         cols.iter().map(|v| (&v.data, v.nulls.as_deref())).collect();
     file.append(encode_spill_batch(&encoded))
@@ -105,7 +107,10 @@ impl Operator for SpillScan {
             }
             let i = self.next_chunk;
             self.next_chunk += 1;
+            let retries_before = self.file.disk().stats().io_retries;
             let (columns, nbytes) = read_vectors(&self.file, i, &self.types)?;
+            let retries_after = self.file.disk().stats().io_retries;
+            self.profile.record_io_retries(retries_after - retries_before);
             self.metrics.record_read(nbytes as u64);
             let batch = Batch::new(columns);
             if batch.rows() == 0 {
@@ -142,7 +147,7 @@ mod tests {
     fn vectors_roundtrip_through_a_spill_file() {
         let mut file = SpillFile::new(SimulatedDisk::instant());
         let cols = kv(&[(Some(1), "a"), (None, "b"), (Some(3), "c")]);
-        let n = append_vectors(&mut file, &cols);
+        let n = append_vectors(&mut file, &cols).unwrap();
         assert!(n > 0);
         let (back, nbytes) = read_vectors(&file, 0, &[TypeId::I64, TypeId::Str]).unwrap();
         assert_eq!(back, cols);
@@ -153,9 +158,9 @@ mod tests {
     fn spill_scan_replays_chunks_as_batches() {
         let disk = SimulatedDisk::instant();
         let mut file = SpillFile::new(disk.clone());
-        append_vectors(&mut file, &kv(&[(Some(1), "a"), (Some(2), "b")]));
-        append_vectors(&mut file, &kv(&[]));
-        append_vectors(&mut file, &kv(&[(None, "c")]));
+        append_vectors(&mut file, &kv(&[(Some(1), "a"), (Some(2), "b")])).unwrap();
+        append_vectors(&mut file, &kv(&[])).unwrap();
+        append_vectors(&mut file, &kv(&[(None, "c")])).unwrap();
         let metrics = SpillMetrics::new();
         let mut scan = SpillScan::new(file, kv_schema(), CancelToken::new(), metrics.clone());
         let b1 = scan.next().unwrap().unwrap();
@@ -175,7 +180,7 @@ mod tests {
     #[test]
     fn spill_scan_observes_cancellation() {
         let mut file = SpillFile::new(SimulatedDisk::instant());
-        append_vectors(&mut file, &kv(&[(Some(1), "a")]));
+        append_vectors(&mut file, &kv(&[(Some(1), "a")])).unwrap();
         let cancel = CancelToken::new();
         let mut scan = SpillScan::new(file, kv_schema(), cancel.clone(), SpillMetrics::new());
         cancel.cancel();

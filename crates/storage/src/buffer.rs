@@ -5,7 +5,7 @@
 //! CLOCK approximates LRU with O(1) access bookkeeping and no list
 //! maintenance on the hit path — the standard production compromise.
 
-use crate::disk::{BlockId, SimulatedDisk};
+use crate::disk::{retry_io, BlockId, SimulatedDisk};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +57,12 @@ impl BufferPool {
     }
 
     /// Fetch a block through the cache.
+    ///
+    /// A miss reads from the device under the [`retry_io`] policy and
+    /// verifies the bytes against the stored block before they are
+    /// cached, so a transient fault or an in-flight corruption can never
+    /// poison the pool: either pristine data is inserted, or the error
+    /// surfaces and the pool state is exactly as before the call.
     pub fn get(&self, block: BlockId) -> Result<Arc<Vec<u8>>> {
         {
             let mut inner = self.inner.lock();
@@ -68,7 +74,11 @@ impl BufferPool {
         }
         // Miss: read outside the lock (the simulated read may sleep).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let data = self.disk.read(block)?;
+        let data = retry_io(&self.disk, || {
+            let d = self.disk.read(block)?;
+            self.disk.verify(block, &d)?;
+            Ok(d)
+        })?;
         let mut inner = self.inner.lock();
         // Re-check: another thread may have inserted while we slept.
         if let Some(&idx) = inner.by_block.get(&block) {
@@ -157,7 +167,7 @@ mod tests {
     ) -> (Arc<BufferPool>, Vec<BlockId>) {
         let disk = SimulatedDisk::instant();
         let ids: Vec<BlockId> =
-            (0..nblocks).map(|i| disk.write_new(vec![i as u8; block_size])).collect();
+            (0..nblocks).map(|i| disk.write_new(vec![i as u8; block_size]).unwrap()).collect();
         (BufferPool::new(disk, pool_bytes), ids)
     }
 
@@ -219,6 +229,80 @@ mod tests {
             let d = pool.get(id).unwrap();
             assert!(d.iter().all(|&b| b == i as u8));
         }
+    }
+
+    #[test]
+    fn faulted_get_leaves_no_partial_entry() {
+        use vw_common::{FaultConfig, VwError};
+        let (pool, ids) = setup(2, 64, 1000);
+        // Every read fails: get must error and cache nothing.
+        pool.disk().arm_faults(FaultConfig { seed: 9, read_err: 1.0, ..Default::default() });
+        let err = pool.get(ids[0]).unwrap_err();
+        assert!(matches!(err, VwError::Io { transient: true, .. }));
+        assert!(!pool.contains(ids[0]), "failed get must not leave a cache entry");
+        assert_eq!(pool.used_bytes(), 0);
+        let (hits, misses) = pool.hit_stats();
+        assert_eq!((hits, misses), (0, 1), "the failed fetch counts as one miss");
+        // Disarm: the same block fetches clean and caches.
+        pool.disk().disarm_faults();
+        assert!(pool.get(ids[0]).unwrap().iter().all(|&b| b == 0));
+        assert!(pool.contains(ids[0]));
+        assert_eq!(pool.hit_stats(), (0, 2));
+    }
+
+    #[test]
+    fn corruption_never_poisons_the_cache() {
+        use vw_common::FaultConfig;
+        let (pool, ids) = setup(4, 64, 1000);
+        // 40% of reads return corrupted bytes; verify-before-insert plus
+        // retry must always surface pristine data (p_fail^5 per get).
+        pool.disk().arm_faults(FaultConfig { seed: 21, corrupt: 0.4, ..Default::default() });
+        for round in 0..8 {
+            for (i, &id) in ids.iter().enumerate() {
+                let d = pool.get(id).unwrap();
+                assert!(d.iter().all(|&b| b == i as u8), "round {round}: corrupt bytes cached");
+                pool.invalidate(id); // force a fresh faulted read next round
+            }
+        }
+        assert!(pool.disk().stats().io_retries > 0, "corruption was actually injected");
+    }
+
+    #[test]
+    fn invalidate_during_concurrent_faulted_reads_is_safe() {
+        use vw_common::FaultConfig;
+        let (pool, ids) = setup(8, 128, 4096);
+        pool.disk().arm_faults(FaultConfig {
+            seed: 33,
+            read_err: 0.2,
+            corrupt: 0.2,
+            ..Default::default()
+        });
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let pool = pool.clone();
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..100 {
+                    let i = (t * 5 + round * 3) % ids.len();
+                    if t == 0 && round % 7 == 0 {
+                        pool.invalidate(ids[i]);
+                        continue;
+                    }
+                    // A get may fail (p^5 with read_err=0.2 is rare but
+                    // possible); it must never return wrong bytes.
+                    if let Ok(d) = pool.get(ids[i]) {
+                        assert!(d.iter().all(|&b| b == i as u8));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        pool.disk().disarm_faults();
+        let (hits, misses) = pool.hit_stats();
+        assert!(hits + misses > 0);
+        assert!(pool.used_bytes() <= 4096 + 128, "capacity bound held under faults");
     }
 
     #[test]

@@ -70,6 +70,7 @@ impl Histogram {
         if x <= self.bounds[0] {
             return 0.0;
         }
+        // Infallible: `build` only constructs a Histogram with >= 2 bounds.
         if x > *self.bounds.last().unwrap() {
             return 1.0;
         }

@@ -193,7 +193,7 @@ impl TableStorage {
                 for ((col, nul), bytes) in columns.iter().zip(nulls).zip(encoded) {
                     let (min, max, null_count) = minmax(col, nul.as_deref());
                     let length = bytes.len();
-                    let block = self.disk.write_new(bytes);
+                    let block = self.disk.write_new_retrying(bytes)?;
                     metas.push(ChunkMeta { block, offset: 0, length, min, max, null_count });
                 }
             }
@@ -204,7 +204,7 @@ impl TableStorage {
                     offsets.push((blob.len(), bytes.len()));
                     blob.extend_from_slice(bytes);
                 }
-                let block = self.disk.write_new(blob);
+                let block = self.disk.write_new_retrying(blob)?;
                 for ((col, nul), (offset, length)) in columns.iter().zip(nulls).zip(offsets) {
                     let (min, max, null_count) = minmax(col, nul.as_deref());
                     metas.push(ChunkMeta { block, offset, length, min, max, null_count });

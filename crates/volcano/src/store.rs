@@ -122,14 +122,14 @@ impl RowStore {
             }
             count += 1;
             if buf.len() >= PAGE_BYTES {
-                let block = self.disk.write_new(std::mem::take(&mut buf));
+                let block = self.disk.write_new_retrying(std::mem::take(&mut buf))?;
                 self.pages.push((block, count));
                 self.n_rows += count as u64;
                 count = 0;
             }
         }
         if count > 0 {
-            let block = self.disk.write_new(buf);
+            let block = self.disk.write_new_retrying(buf)?;
             self.pages.push((block, count));
             self.n_rows += count as u64;
         }

@@ -1,0 +1,362 @@
+//! Chaos differential suite — the robustness capstone.
+//!
+//! Runs hundreds of randomized statements (scans, spilling joins and
+//! aggregations, DML, checkpoints, DOP 1/4, statement timeouts) against a
+//! database whose simulated disk injects transient read/write errors and
+//! corruption, while a helper thread randomly KILLs running queries.
+//! Every execution must either return the exact fault-free answer
+//! (checked against an unfaulted mirror database running the same
+//! statement stream) or surface a *typed* `VwError` — never a panic,
+//! never a hang, never a leaked resource.
+//!
+//! After every statement the suite asserts the global memory-budget gauge
+//! is fully uncharged and (for read-only statements) that the disk holds
+//! exactly the blocks it held before — spill chunks from interrupted
+//! queries must not survive. At the end it checks the full table contents
+//! still match the mirror and that the process thread count returned to
+//! its post-warmup baseline, i.e. no worker or watchdog thread leaked.
+//!
+//! The run is deterministic per seed. Set `VW_CHAOS_SEED` to reproduce a
+//! failure; the seed in use is printed at the start of the run. The whole
+//! suite runs under a watchdog: if the statement loop wedges, the test
+//! fails within its own deadline instead of hanging CI.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vectorwise::common::{ColData, EngineConfig, FaultConfig, VwError};
+use vectorwise::core::monitor::QueryState;
+use vectorwise::core::{bulk_load, Database, QueryResult};
+use vectorwise::exec::MemBudget;
+use vectorwise::storage::SimulatedDisk;
+
+/// Total chaotic statement executions (the acceptance floor is 200).
+const ITERATIONS: usize = 220;
+/// Whole-suite deadline enforced by the harness watchdog.
+const SUITE_DEADLINE: Duration = Duration::from_secs(240);
+const DEFAULT_SEED: u64 = 0x5EED_CA05;
+
+fn chaos_seed() -> u64 {
+    match std::env::var("VW_CHAOS_SEED") {
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| panic!("bad VW_CHAOS_SEED: {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Current thread count of this process, from /proc/self/status.
+fn live_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+/// Rows of a result as a sorted multiset of debug-printed tuples, so
+/// results compare independent of output order (DOP 4 reorders rows).
+fn row_set(r: &QueryResult) -> Vec<String> {
+    let mut v: Vec<String> = r.rows().iter().map(|row| format!("{row:?}")).collect();
+    v.sort();
+    v
+}
+
+fn load_tables(db: &Arc<Database>) {
+    db.execute("CREATE TABLE t1 (k BIGINT NOT NULL, v BIGINT NOT NULL)").unwrap();
+    db.execute("CREATE TABLE t2 (k BIGINT NOT NULL, w BIGINT NOT NULL)").unwrap();
+    let n1 = 6000i64;
+    let k1 = ColData::I64((0..n1).map(|i| i % 101).collect());
+    let v1 = ColData::I64((0..n1).map(|i| (i * 37) % 1000).collect());
+    bulk_load(db, "t1", &[k1, v1], &[None, None]).unwrap();
+    let n2 = 3000i64;
+    let k2 = ColData::I64((0..n2).map(|i| i % 101).collect());
+    let w2 = ColData::I64((0..n2).map(|i| i % 10).collect());
+    bulk_load(db, "t2", &[k2, w2], &[None, None]).unwrap();
+}
+
+/// One randomized statement. `dml` marks statements that mutate `t1` and
+/// must be replayed on the mirror when (and only when) the chaotic
+/// execution succeeded; `chaos_only` marks statements (CHECKPOINT, SET)
+/// that have no answer to compare.
+struct Stmt {
+    sql: String,
+    dml: bool,
+    chaos_only: bool,
+    /// Run the statement with a racing KILL thread.
+    kill: bool,
+    /// Run the statement under a tiny statement timeout.
+    timeout: bool,
+}
+
+fn pick_statement(rng: &mut SmallRng) -> Stmt {
+    let roll = rng.gen_range(0..100u32);
+    let (sql, dml, chaos_only) = match roll {
+        0..=13 => ("SELECT COUNT(*), SUM(v) FROM t1".to_string(), false, false),
+        14..=27 => {
+            let m = rng.gen_range(3..10i64);
+            let c = rng.gen_range(0..m);
+            (format!("SELECT COUNT(*) FROM t1 WHERE v % {m} = {c}"), false, false)
+        }
+        28..=41 => {
+            ("SELECT COUNT(*), SUM(a.v) FROM t1 a JOIN t2 b ON a.k = b.k".to_string(), false, false)
+        }
+        42..=53 => ("SELECT MAX(v) FROM t1 GROUP BY k".to_string(), false, false),
+        54..=65 => {
+            let c = rng.gen_range(0..5i64);
+            (
+                format!("SELECT COUNT(*) FROM t1 a JOIN t1 b ON a.k = b.k WHERE a.v % 5 = {c}"),
+                false,
+                false,
+            )
+        }
+        66..=73 => {
+            let k = rng.gen_range(0..101i64);
+            let v = rng.gen_range(0..1000i64);
+            let k2 = rng.gen_range(0..101i64);
+            let v2 = rng.gen_range(0..1000i64);
+            (format!("INSERT INTO t1 VALUES ({k}, {v}), ({k2}, {v2})"), true, false)
+        }
+        74..=81 => {
+            let d = rng.gen_range(1..50i64);
+            let kk = rng.gen_range(0..101i64);
+            (format!("UPDATE t1 SET v = v + {d} WHERE k = {kk}"), true, false)
+        }
+        82..=89 => {
+            let c = rng.gen_range(0..53i64);
+            (format!("DELETE FROM t1 WHERE v % 53 = {c}"), true, false)
+        }
+        _ => ("CHECKPOINT t1".to_string(), false, true),
+    };
+    // Only read-only statements race a KILL or a timeout: a half-applied
+    // DML would make the differential ambiguous (KILL-vs-DML races are
+    // covered separately in tests/robustness.rs).
+    let killable = !dml && !chaos_only;
+    Stmt {
+        sql,
+        dml,
+        chaos_only,
+        kill: killable && rng.gen_bool(0.2),
+        timeout: killable && rng.gen_bool(0.1),
+    }
+}
+
+/// Execute `sql` on the chaotic database, optionally with a racing KILL
+/// issued from a helper thread. The helper is always joined before this
+/// returns, so it can never touch a later statement.
+fn run_chaotic(
+    db: &Arc<Database>,
+    sql: &str,
+    kill: bool,
+    delay_us: u64,
+) -> Result<QueryResult, VwError> {
+    let killer = kill.then(|| {
+        let kdb = db.clone();
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                if let Some(q) =
+                    kdb.monitor.list_queries().iter().find(|q| q.state == QueryState::Running)
+                {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                    // The query may have finished while we slept; a clean
+                    // Exec error ("not running") is the expected outcome.
+                    let _ = kdb.kill(q.id);
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    });
+    let out = db.execute(sql);
+    if let Some(h) = killer {
+        h.join().expect("killer thread panicked");
+    }
+    out
+}
+
+#[test]
+fn chaos_differential() {
+    let seed = chaos_seed();
+    println!("chaos seed: {seed} (set VW_CHAOS_SEED={seed} to reproduce)");
+
+    // The statement loop runs in a worker thread; the test thread is the
+    // suite watchdog. A wedged query (the one failure mode cooperative
+    // cancellation cannot survive) fails the suite instead of hanging it.
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let worker = std::thread::Builder::new()
+        .name("vw-chaos-driver".into())
+        .spawn(move || {
+            chaos_body(seed);
+            let _ = done_tx.send(());
+        })
+        .unwrap();
+    match done_rx.recv_timeout(SUITE_DEADLINE) {
+        Ok(()) => worker.join().expect("chaos worker panicked"),
+        Err(_) => {
+            // Join would hang too; abort carries the diagnostic out.
+            eprintln!("chaos suite wedged after {SUITE_DEADLINE:?} (seed {seed}) — aborting");
+            std::process::abort();
+        }
+    }
+}
+
+fn chaos_body(seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Chaotic database: transient faults on every device op, plus a tiny
+    // buffer pool so scans actually reach the faulted device instead of
+    // being absorbed by the cache. Probabilities are low enough that the
+    // bounded retry (MAX_IO_RETRIES) absorbs almost every fault; the rare
+    // exhaustion must surface as a typed Io error.
+    let faults = FaultConfig {
+        seed: seed ^ 0xD15C_FA11,
+        read_err: 0.02,
+        write_err: 0.02,
+        corrupt: 0.02,
+        ..Default::default()
+    };
+    let mut cfg = EngineConfig::default().with_faults(faults);
+    cfg.buffer_pool_bytes = 64 * 1024;
+    let chaos = Database::open_with(cfg, SimulatedDisk::instant());
+    assert!(chaos.disk().faults_armed());
+
+    // Fault-free mirror: the oracle for every answer and for the final
+    // table image.
+    let mirror = Database::open_in_memory();
+    load_tables(&chaos);
+    load_tables(&mirror);
+
+    // Warm up the parallel machinery once, then take the thread baseline:
+    // everything spawned per-query after this point must be joined again.
+    chaos.execute("SET parallelism = 4").unwrap();
+    chaos.execute("SELECT COUNT(*) FROM t1 a JOIN t2 b ON a.k = b.k").unwrap();
+    let thread_baseline = live_threads();
+
+    let (mut ok, mut cancelled, mut io_errs) = (0u32, 0u32, 0u32);
+    for iter in 0..ITERATIONS {
+        // Random execution knobs, chaos side only (the mirror's answers
+        // do not depend on DOP or spilling).
+        let dop = if rng.gen_bool(0.5) { 1 } else { 4 };
+        chaos.execute(&format!("SET parallelism = {dop}")).unwrap();
+        let budget = [65_536usize, 1 << 20, 1 << 30][rng.gen_range(0..3usize)];
+        chaos.execute(&format!("SET mem_budget = {budget}")).unwrap();
+
+        let stmt = pick_statement(&mut rng);
+        if stmt.timeout {
+            chaos.execute("SET statement_timeout = 5").unwrap();
+        }
+        let disk_before = chaos.disk().used_bytes();
+        let kill_delay = rng.gen_range(0..3000u64);
+        let res = run_chaotic(&chaos, &stmt.sql, stmt.kill, kill_delay);
+        if stmt.timeout {
+            chaos.execute("SET statement_timeout = 0").unwrap();
+        }
+
+        match res {
+            Ok(r) => {
+                ok += 1;
+                if stmt.chaos_only {
+                    // CHECKPOINT rewrites packs; no answer to compare.
+                } else {
+                    let m = mirror.execute(&stmt.sql).unwrap_or_else(|e| {
+                        panic!("mirror failed fault-free on {:?}: {e}", stmt.sql)
+                    });
+                    if stmt.dml {
+                        // DML answers are row counts; equality of effects is
+                        // checked by every later read and the final image.
+                        let _ = m;
+                    } else {
+                        assert_eq!(
+                            row_set(&r),
+                            row_set(&m),
+                            "iter {iter}: {:?} diverged from the fault-free mirror (seed {seed})",
+                            stmt.sql
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                // A failed chaotic DML must not be replayed on the mirror;
+                // the engine rolled it back, so the tables stay in sync.
+                let msg = format!("{e}");
+                assert!(
+                    !msg.to_lowercase().contains("panic"),
+                    "iter {iter}: error leaked a panic: {msg}"
+                );
+                match e {
+                    VwError::Cancelled => cancelled += 1,
+                    VwError::Io { .. } => io_errs += 1,
+                    other => panic!(
+                        "iter {iter}: {:?} surfaced unexpected error {other} (seed {seed})",
+                        stmt.sql
+                    ),
+                }
+            }
+        }
+
+        // Per-statement reclamation invariants.
+        assert_eq!(
+            MemBudget::global_in_use(),
+            0,
+            "iter {iter}: memory budget still charged after {:?} (seed {seed})",
+            stmt.sql
+        );
+        if !stmt.dml && !stmt.chaos_only {
+            assert_eq!(
+                chaos.disk().used_bytes(),
+                disk_before,
+                "iter {iter}: read-only {:?} leaked disk blocks (seed {seed})",
+                stmt.sql
+            );
+        }
+    }
+    println!(
+        "chaos: {ITERATIONS} executions — {ok} ok, {cancelled} cancelled, {io_errs} io errors"
+    );
+    assert!(ok as usize > ITERATIONS / 2, "chaos should mostly succeed: only {ok} ok");
+
+    // Final differential: the full table image survived every fault, KILL
+    // and rollback identically on both sides.
+    chaos.execute("SET parallelism = 1").unwrap();
+    chaos.execute("SET mem_budget = 0").unwrap();
+    for probe in [
+        "SELECT k, v FROM t1",
+        "SELECT COUNT(*), SUM(v) FROM t1",
+        "SELECT MAX(v) FROM t1 GROUP BY k",
+    ] {
+        let c = chaos.execute(probe).unwrap_or_else(|e| {
+            // One retry: the final probe itself can (rarely) exhaust
+            // retries on the still-faulted device.
+            if matches!(e, VwError::Io { .. }) {
+                chaos.execute(probe).expect("final probe failed twice")
+            } else {
+                panic!("final probe failed: {e}")
+            }
+        });
+        let m = mirror.execute(probe).unwrap();
+        assert_eq!(row_set(&c), row_set(&m), "final image diverged on {probe:?} (seed {seed})");
+    }
+
+    // The faulted device was genuinely exercised, and retries absorbed
+    // faults rather than queries merely never hitting the disk.
+    let stats = chaos.disk().stats();
+    assert!(stats.faults_injected > 0, "no faults fired — chaos was a no-op");
+    assert!(stats.io_retries > 0, "faults fired but nothing retried");
+
+    // No worker, exchange, killer or watchdog thread leaked.
+    let mut threads = live_threads();
+    for _ in 0..100 {
+        if threads <= thread_baseline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        threads = live_threads();
+    }
+    assert!(
+        threads <= thread_baseline,
+        "leaked threads: {threads} live vs baseline {thread_baseline} (seed {seed})"
+    );
+    assert_eq!(MemBudget::global_in_use(), 0, "memory budget charged at suite end");
+}
