@@ -4,9 +4,11 @@
 //! `vw_bench::experiments::perf_smoke` (scan→filter→agg, hash join, and a
 //! skewed scan→filter→agg at DOP 1 and 4, plus a memory-governed
 //! `spill_join` whose build runs ~4× over its budget at DOP 1; fixed
-//! seed) and writes the rows/sec numbers to a JSON file CI uploads —
-//! `BENCH_pr6.json` by default —
-//! so every PR from here on appends a point to the benchmark series.
+//! seed), then the `concurrent_mix` service scenario (4 sessions sharing
+//! one engine's worker pool under admission control, reported as
+//! aggregate rows/sec + p95 statement latency), and writes the numbers
+//! to a JSON file CI uploads — `BENCH_pr7.json` by default — so every PR
+//! from here on appends a point to the benchmark series.
 //!
 //! Usage: `cargo run --release -p vw-bench --bin perf_smoke [-- out.json [rows]]`
 //! (default 500k rows keeps the whole run around ten seconds).
@@ -15,18 +17,19 @@ use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr7.json".to_string());
     let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
     let reps = 3;
 
     let t0 = std::time::Instant::now();
     let metrics = vw_bench::experiments::perf_smoke(rows, reps);
+    let mix = vw_bench::experiments::concurrent_mix(rows, 4);
     let wall = t0.elapsed();
 
     // Hand-rolled JSON (no serde in the offline image): flat and stable so
     // the artifact series stays trivially diffable across PRs.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"pr\": 7,");
     let _ = writeln!(json, "  \"harness\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -37,7 +40,16 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {rps:.0}{comma}");
         println!("{name:<24} {rps:>14.0} rows/sec");
     }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"concurrent_mix\": {{");
+    let _ = writeln!(json, "    \"sessions\": {},", mix.sessions);
+    let _ = writeln!(json, "    \"rows_per_sec\": {:.0},", mix.rows_per_sec);
+    let _ = writeln!(json, "    \"p95_ms\": {:.2}", mix.p95_ms);
     json.push_str("  }\n}\n");
+    println!(
+        "concurrent_mix           {:>14.0} rows/sec  (p95 {:.1} ms, {} sessions)",
+        mix.rows_per_sec, mix.p95_ms, mix.sessions
+    );
 
     std::fs::write(&out_path, &json).expect("write perf-smoke artifact");
     println!("wrote {out_path} ({:.1}s total)", wall.as_secs_f64());

@@ -882,6 +882,100 @@ pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
     out
 }
 
+/// Result of the [`concurrent_mix`] service scenario: aggregate scan
+/// throughput across all sessions, the p95 statement latency, and the
+/// session count that produced them.
+pub struct ConcurrentMix {
+    /// Input rows processed per second, summed over every session.
+    pub rows_per_sec: f64,
+    /// 95th-percentile statement latency in milliseconds.
+    pub p95_ms: f64,
+    pub sessions: usize,
+}
+
+/// Multi-session service throughput: `sessions` concurrent [`vw_core::
+/// Session`]s each run the perf-smoke statement mix (scan→filter→agg,
+/// self-join, skewed agg) twice over one shared engine — fixed worker
+/// pool, admission control on — and every answer is compared against a
+/// serial reference captured before the threads start. Reports aggregate
+/// input rows/second and the p95 statement latency, the two numbers a
+/// query service trades against each other when N queries share W
+/// workers.
+pub fn concurrent_mix(rows: usize, sessions: usize) -> ConcurrentMix {
+    use vw_common::EngineConfig;
+    use vw_storage::SimulatedDisk;
+
+    const REPS_PER_SESSION: usize = 2;
+    let cfg = EngineConfig::default().with_parallelism(4).with_global_mem(256 << 20);
+    let db = Database::open_with(cfg, SimulatedDisk::instant());
+    load_lineitem(&db, rows, 1994);
+    let max_key = match db.execute("SELECT MAX(l_orderkey) FROM lineitem").unwrap().scalar() {
+        Ok(Value::I64(m)) => *m,
+        other => panic!("unexpected MAX result {other:?}"),
+    };
+    let stmts: Vec<String> = vec![
+        "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
+         FROM lineitem WHERE l_quantity < 40 GROUP BY l_returnflag"
+            .into(),
+        "SELECT COUNT(*) FROM lineitem a JOIN lineitem b \
+         ON a.l_orderkey = b.l_orderkey AND a.l_partkey = b.l_partkey"
+            .into(),
+        format!(
+            "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) \
+             FROM lineitem WHERE l_orderkey > {} GROUP BY l_returnflag",
+            max_key * 9 / 10
+        ),
+    ];
+    let canon = |rows: &[Vec<Value>]| {
+        let mut v = rows.to_vec();
+        v.sort_by_key(|r| format!("{:?}", r.first()));
+        v
+    };
+    // Serial reference answers, captured before any concurrency exists.
+    let reference: Vec<Vec<Vec<Value>>> =
+        stmts.iter().map(|s| canon(db.execute(s).unwrap().rows())).collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|_| {
+            let db = db.clone();
+            let stmts = stmts.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut session = db.session();
+                let mut latencies = Vec::with_capacity(stmts.len() * REPS_PER_SESSION);
+                for _ in 0..REPS_PER_SESSION {
+                    for (i, sql) in stmts.iter().enumerate() {
+                        let s0 = Instant::now();
+                        let r = session.execute(sql).unwrap();
+                        latencies.push(s0.elapsed());
+                        // Concurrency must never change an answer.
+                        assert!(
+                            rows_approx_eq(&reference[i], &canon(r.rows())),
+                            "concurrent_mix: session answer diverged from serial on {sql:?}"
+                        );
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("concurrent_mix session panicked"));
+    }
+    let wall = t0.elapsed();
+
+    latencies.sort_unstable();
+    let p95 = latencies[(latencies.len() * 95).div_ceil(100).saturating_sub(1)];
+    let total_input_rows = (latencies.len() * rows) as f64;
+    ConcurrentMix {
+        rows_per_sec: total_input_rows / wall.as_secs_f64(),
+        p95_ms: p95.as_secs_f64() * 1e3,
+        sessions,
+    }
+}
+
 /// Pretty-print a table.
 pub fn print_table(title: &str, t: &Table) {
     println!("\n=== {title} ===");

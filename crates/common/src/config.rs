@@ -179,6 +179,30 @@ pub struct EngineConfig {
     /// at capacity, so long-lived sessions cannot grow it without bound).
     /// SET-able (`SET event_log_capacity = n`, applied immediately).
     pub event_log_capacity: usize,
+    /// Size of the engine's **fixed global worker pool** (`vw-service`):
+    /// parallel plan fragments from *all* concurrent queries are scheduled
+    /// as tasks onto these `workers` threads, so total engine thread count
+    /// stays O(workers) instead of O(queries × DOP). `0` resolves to the
+    /// core count at `Database::open`. Fixed for the life of the engine
+    /// (the pool cannot be resized under running queries) — `VW_WORKERS`
+    /// env override, not SET-able.
+    pub workers: usize,
+    /// Global query-memory limit in bytes partitioned across admitted
+    /// queries by the admission controller (`vw-service::admission`).
+    /// `0` = no admission control at all — no controller is constructed,
+    /// queries run immediately with their per-query `mem_budget`. When
+    /// non-zero, each statement must be admitted before executing: its
+    /// grant (its `mem_budget`, or `global / workers` when unlimited) is
+    /// carved out of this limit, overflow waits in a bounded FIFO queue,
+    /// and the sum of grants never exceeds the limit. Fixed at open —
+    /// `VW_GLOBAL_MEM` env override, not SET-able.
+    pub global_mem_bytes: u64,
+    /// Bound on the admission controller's FIFO queue of *waiting*
+    /// queries; arrivals beyond it are rejected with the typed
+    /// `E_ADMISSION` error instead of queueing without bound. SET-able
+    /// (`SET admission_queue_depth = n`, applied immediately); only
+    /// meaningful when `global_mem_bytes` is non-zero.
+    pub admission_queue_depth: usize,
     /// Deterministic fault injection for the simulated device (inactive by
     /// default; see [`FaultConfig`] for the `VW_FAULT_*` env overrides).
     pub faults: FaultConfig,
@@ -193,6 +217,8 @@ impl Default for EngineConfig {
         let partition_min_rows = env_usize("VW_PARTITION_MIN_ROWS").unwrap_or(8192);
         let morsel_rows = env_usize("VW_MORSEL_ROWS").unwrap_or(16 * 1024).max(1);
         let mem_budget_bytes = env_usize("VW_MEM_BUDGET").unwrap_or(0);
+        let workers = env_usize("VW_WORKERS").unwrap_or(0);
+        let global_mem_bytes = env_u64("VW_GLOBAL_MEM").unwrap_or(0);
         EngineConfig {
             vector_size: crate::DEFAULT_VECTOR_SIZE,
             buffer_pool_bytes: 64 << 20,
@@ -208,6 +234,9 @@ impl Default for EngineConfig {
             profiling: true,
             statement_timeout_ms: 0,
             event_log_capacity: 1024,
+            workers,
+            global_mem_bytes,
+            admission_queue_depth: 16,
             faults: FaultConfig::from_env(),
         }
     }
@@ -269,6 +298,35 @@ impl EngineConfig {
     pub fn with_statement_timeout_ms(mut self, ms: u64) -> Self {
         self.statement_timeout_ms = ms;
         self
+    }
+
+    /// Override the worker-pool size (builder style; 0 = core count).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Override the global admission memory limit (builder style;
+    /// 0 = admission control off).
+    pub fn with_global_mem(mut self, bytes: u64) -> Self {
+        self.global_mem_bytes = bytes;
+        self
+    }
+
+    /// Override the admission queue depth (builder style).
+    pub fn with_admission_queue_depth(mut self, depth: usize) -> Self {
+        self.admission_queue_depth = depth;
+        self
+    }
+
+    /// The worker-pool size this config resolves to: the explicit
+    /// `workers` override, or the machine's core count.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 
     /// Number of radix partitions a partitioned hash build should use:
@@ -353,6 +411,23 @@ mod tests {
         assert_eq!(c.statement_timeout_ms, 0, "no timeout by default");
         assert_eq!(c.event_log_capacity, 1024);
         assert_eq!(c.with_statement_timeout_ms(250).statement_timeout_ms, 250);
+    }
+
+    #[test]
+    fn service_knob_defaults_and_builders() {
+        let c = EngineConfig::default();
+        if std::env::var("VW_WORKERS").is_err() {
+            assert_eq!(c.workers, 0, "default pool size derives from the core count");
+        }
+        assert!(c.resolved_workers() >= 1);
+        if std::env::var("VW_GLOBAL_MEM").is_err() {
+            assert_eq!(c.global_mem_bytes, 0, "admission control off by default");
+        }
+        assert_eq!(c.admission_queue_depth, 16);
+        let c = c.with_workers(3).with_global_mem(1 << 20).with_admission_queue_depth(2);
+        assert_eq!(c.resolved_workers(), 3);
+        assert_eq!(c.global_mem_bytes, 1 << 20);
+        assert_eq!(c.admission_queue_depth, 2);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub enum VwError {
     /// Transaction API misuse (commit of an unknown transaction, DML outside
     /// a transaction where one is required...).
     TxnState(String),
+    /// The admission controller rejected the query: the bounded FIFO queue
+    /// of waiting queries is full. A "busy, retry later" condition, not an
+    /// execution failure — the engine is governing its global memory limit
+    /// across concurrent sessions (ARCHITECTURE.md, "Life of a query").
+    Admission(String),
     /// Execution-time failure not covered by a more precise variant.
     Exec(String),
     /// Feature intentionally out of scope for this reproduction.
@@ -85,6 +90,7 @@ impl VwError {
             VwError::Corruption(_) => "E_CORRUPTION",
             VwError::TxnConflict(_) => "E_TXN_CONFLICT",
             VwError::TxnState(_) => "E_TXN_STATE",
+            VwError::Admission(_) => "E_ADMISSION",
             VwError::Exec(_) => "E_EXEC",
             VwError::Unsupported(_) => "E_UNSUPPORTED",
         }
@@ -127,6 +133,7 @@ impl fmt::Display for VwError {
             VwError::Corruption(m) => write!(f, "{}: corrupted data: {m}", self.code()),
             VwError::TxnConflict(m) => write!(f, "{}: transaction conflict: {m}", self.code()),
             VwError::TxnState(m) => write!(f, "{}: transaction state error: {m}", self.code()),
+            VwError::Admission(m) => write!(f, "{}: admission rejected: {m}", self.code()),
             VwError::Exec(m) => write!(f, "{}: execution error: {m}", self.code()),
             VwError::Unsupported(m) => write!(f, "{}: unsupported: {m}", self.code()),
         }
@@ -156,13 +163,14 @@ mod tests {
             VwError::Corruption("c".into()),
             VwError::TxnConflict("t".into()),
             VwError::TxnState("t".into()),
+            VwError::Admission("full".into()),
             VwError::Exec("e".into()),
             VwError::Unsupported("u".into()),
         ];
         let mut codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 16, "every variant must map to a unique code");
+        assert_eq!(codes.len(), 17, "every variant must map to a unique code");
     }
 
     #[test]
@@ -173,6 +181,10 @@ mod tests {
         assert!(!VwError::Storage("x".into()).is_user_error());
         assert!(!VwError::TxnConflict("x".into()).is_user_error());
         assert!(!VwError::Io { transient: true, msg: "x".into() }.is_user_error());
+        assert!(
+            !VwError::Admission("full".into()).is_user_error(),
+            "admission rejection reflects engine load, not a bad query"
+        );
     }
 
     #[test]

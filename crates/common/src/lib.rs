@@ -10,10 +10,13 @@
 //!   vectors without copying,
 //! * a fast non-cryptographic [hasher](hash) used by hash join / aggregation,
 //! * [date arithmetic](date) backing the SQL date function library,
-//! * engine-wide [configuration](config) knobs (vector size above all).
+//! * engine-wide [configuration](config) knobs (vector size above all),
+//! * the cooperative [cancellation token](cancel) shared by executors and
+//!   the query-service scheduling layer.
 //!
 //! Nothing here depends on any other crate in the workspace.
 
+pub mod cancel;
 pub mod coldata;
 pub mod config;
 pub mod date;
@@ -23,6 +26,7 @@ pub mod schema;
 pub mod sel;
 pub mod types;
 
+pub use cancel::CancelToken;
 pub use coldata::ColData;
 pub use config::{EngineConfig, FaultConfig};
 pub use error::{Result, VwError};

@@ -395,8 +395,9 @@ fn build_plan_inner(
             if let Some(qs) = spill {
                 join = join.with_spill(qs.config(db));
             } else if config.parallelism > 1 && !in_exchange {
-                join =
-                    join.with_parallel_build(config.build_partitions(), config.partition_min_rows);
+                join = join
+                    .with_parallel_build(config.build_partitions(), config.partition_min_rows)
+                    .with_task_pool(db.workers.clone());
             }
             Box::new(join.with_batch_pool(batch_pool.clone()))
         }
@@ -433,7 +434,9 @@ fn build_plan_inner(
             if let Some(qs) = spill {
                 agg = agg.with_spill(qs.config(db));
             } else if config.parallelism > 1 && !in_exchange {
-                agg = agg.with_parallel_build(config.build_partitions(), config.partition_min_rows);
+                agg = agg
+                    .with_parallel_build(config.build_partitions(), config.partition_min_rows)
+                    .with_task_pool(db.workers.clone());
             }
             Box::new(agg.with_batch_pool(batch_pool.clone()))
         }
@@ -528,7 +531,14 @@ fn build_plan_inner(
                     spill,
                 )?);
             }
-            Box::new(Xchg::spawn(parts, cancel.clone()).with_sources(shared.into_sources()))
+            // Fragments run as cooperative tasks on the engine's shared
+            // worker pool: plan-time `dop` sizes the fragment count, the
+            // pool bounds actual threads, and interleaved scheduling keeps
+            // concurrent queries from starving each other.
+            Box::new(
+                Xchg::spawn_on(&db.workers, parts, cancel.clone())
+                    .with_sources(shared.into_sources()),
+            )
         }
     })
 }

@@ -3,10 +3,10 @@
 
 use crate::catalog::{TableEntry, TableKind};
 use crate::monitor::EventLevel;
-use crate::{Database, Session};
+use crate::{Database, SessionCore};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vw_common::{ColData, Result, Schema, Value, VwError};
+use vw_common::{ColData, EngineConfig, Result, Schema, Value, VwError};
 use vw_exec::expr::ExprCtx;
 use vw_exec::op::{Operator, VectorScan};
 use vw_exec::program::{ExprProgram, SelectProgram, VectorPool};
@@ -125,14 +125,14 @@ fn lookup(db: &Arc<Database>, table: &str) -> Result<Arc<TableEntry>> {
 }
 
 /// INSERT rows; returns the row count.
-pub fn insert(
-    session: &mut Session,
+pub(crate) fn insert(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
     table: &str,
     columns: Option<&[String]>,
     rows: Vec<Vec<Value>>,
 ) -> Result<u64> {
-    let db = session.database().clone();
-    let entry = lookup(&db, table)?;
+    let entry = lookup(db, table)?;
     let coerced: Vec<Vec<Value>> =
         rows.into_iter().map(|r| coerce_row(&entry.schema, columns, r)).collect::<Result<_>>()?;
     let n = coerced.len() as u64;
@@ -141,18 +141,18 @@ pub fn insert(
             store.write().append_rows(&coerced)?;
         }
         TableKind::Vectorwise { .. } => {
-            let auto = session.txn.is_none();
+            let auto = core.txn.is_none();
             if auto {
-                session.txn = Some(OpenTxn::default());
+                core.txn = Some(OpenTxn::default());
             }
             {
-                let txn = session.txn.as_mut().unwrap().txn_for(table, &entry)?;
+                let txn = core.txn.as_mut().unwrap().txn_for(table, &entry)?;
                 for row in coerced {
                     txn.append(row)?;
                 }
             }
             if auto {
-                commit(&db, session.txn.take().unwrap())?;
+                commit(db, core.txn.take().unwrap())?;
             }
         }
     }
@@ -164,6 +164,7 @@ pub fn insert(
 #[allow(clippy::type_complexity)]
 fn matching_rows(
     db: &Arc<Database>,
+    config: &EngineConfig,
     entry: &TableEntry,
     image: vw_pdt::treap::Link,
     filter: Option<&Expr>,
@@ -174,7 +175,9 @@ fn matching_rows(
     };
     let binder_catalog = NoTables;
     let binder = Binder::new(&binder_catalog);
-    let config = db.config();
+    // The session's config, threaded explicitly: `Database::execute`
+    // holds the default-session lock for the whole statement, so DML
+    // paths must never read it back through `db.config()`.
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     // Compile once per statement; the scan loop below only runs programs.
     let predicate = match filter {
@@ -293,25 +296,25 @@ impl CatalogView for NoTables {
 }
 
 /// UPDATE; returns affected row count.
-pub fn update(
-    session: &mut Session,
+pub(crate) fn update(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
     table: &str,
     sets: &[(String, Expr)],
     filter: Option<&Expr>,
 ) -> Result<u64> {
-    let db = session.database().clone();
-    let entry = lookup(&db, table)?;
+    let entry = lookup(db, table)?;
     if matches!(entry.kind, TableKind::Heap { .. }) {
-        return heap_update_delete(&db, &entry, Some(sets), filter);
+        return heap_update_delete(db, &core.cfg, &entry, Some(sets), filter);
     }
-    let auto = session.txn.is_none();
+    let auto = core.txn.is_none();
     if auto {
-        session.txn = Some(OpenTxn::default());
+        core.txn = Some(OpenTxn::default());
     }
     let result = (|| {
-        let txn = session.txn.as_mut().unwrap().txn_for(table, &entry)?;
+        let txn = core.txn.as_mut().unwrap().txn_for(table, &entry)?;
         let image = txn.image().clone();
-        let (rids, values) = matching_rows(&db, &entry, image, filter, Some(sets))?;
+        let (rids, values) = matching_rows(db, &core.cfg, &entry, image, filter, Some(sets))?;
         for (rid, row_sets) in rids.iter().zip(values) {
             for (col, val) in row_sets {
                 txn.update_at(*rid, col, val)?;
@@ -320,29 +323,33 @@ pub fn update(
         Ok(rids.len() as u64)
     })();
     if auto {
-        let txn = session.txn.take().unwrap();
+        let txn = core.txn.take().unwrap();
         if result.is_ok() {
-            commit(&db, txn)?;
+            commit(db, txn)?;
         }
     }
     result
 }
 
 /// DELETE; returns affected row count.
-pub fn delete(session: &mut Session, table: &str, filter: Option<&Expr>) -> Result<u64> {
-    let db = session.database().clone();
-    let entry = lookup(&db, table)?;
+pub(crate) fn delete(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
+    table: &str,
+    filter: Option<&Expr>,
+) -> Result<u64> {
+    let entry = lookup(db, table)?;
     if matches!(entry.kind, TableKind::Heap { .. }) {
-        return heap_update_delete(&db, &entry, None, filter);
+        return heap_update_delete(db, &core.cfg, &entry, None, filter);
     }
-    let auto = session.txn.is_none();
+    let auto = core.txn.is_none();
     if auto {
-        session.txn = Some(OpenTxn::default());
+        core.txn = Some(OpenTxn::default());
     }
     let result = (|| {
-        let txn = session.txn.as_mut().unwrap().txn_for(table, &entry)?;
+        let txn = core.txn.as_mut().unwrap().txn_for(table, &entry)?;
         let image = txn.image().clone();
-        let (rids, _) = matching_rows(&db, &entry, image, filter, None)?;
+        let (rids, _) = matching_rows(db, &core.cfg, &entry, image, filter, None)?;
         // Descending order keeps earlier positions stable across deletes.
         for &rid in rids.iter().rev() {
             txn.delete_at(rid)?;
@@ -350,9 +357,9 @@ pub fn delete(session: &mut Session, table: &str, filter: Option<&Expr>) -> Resu
         Ok(rids.len() as u64)
     })();
     if auto {
-        let txn = session.txn.take().unwrap();
+        let txn = core.txn.take().unwrap();
         if result.is_ok() {
-            commit(&db, txn)?;
+            commit(db, txn)?;
         }
     }
     result
@@ -362,6 +369,7 @@ pub fn delete(session: &mut Session, table: &str, filter: Option<&Expr>) -> Resu
 /// the paper's transactional machinery is the PDT path).
 fn heap_update_delete(
     db: &Arc<Database>,
+    config: &EngineConfig,
     entry: &TableEntry,
     sets: Option<&[(String, Expr)]>,
     filter: Option<&Expr>,
@@ -385,9 +393,8 @@ fn heap_update_delete(
         .transpose()?;
 
     // Compile once per statement; rows only pay a one-row program run.
-    // The engine's configured checking/NULL strategy applies here exactly
-    // as on the columnar path.
-    let config = db.config();
+    // The session's configured checking/NULL strategy applies here
+    // exactly as on the columnar path.
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     let mut pred_prog = match &pred {
         Some(p) => Some(ScalarProgram::new(p, &entry.schema, &ctx)?),
@@ -503,7 +510,7 @@ pub fn commit(db: &Arc<Database>, txn: OpenTxn) -> Result<()> {
 /// CHECKPOINT: merge each table's PDT deltas into fresh stable storage and
 /// reset the delta layer ("background update propagation", run on demand).
 /// Returns the number of rows materialized.
-pub fn checkpoint(db: &Arc<Database>, table: Option<&str>) -> Result<u64> {
+pub fn checkpoint(db: &Arc<Database>, config: &EngineConfig, table: Option<&str>) -> Result<u64> {
     let names: Vec<String> = match table {
         Some(t) => vec![t.to_string()],
         None => db.catalog.read().names(),
@@ -516,7 +523,6 @@ pub fn checkpoint(db: &Arc<Database>, table: Option<&str>) -> Result<u64> {
         };
         let _guard = db.commit_lock.lock();
         let (root, _, n_rows) = pdt.snapshot();
-        let config = db.config();
         // Materialize the merged image column by column.
         let snapshot = {
             let st = storage.read();

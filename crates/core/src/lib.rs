@@ -37,11 +37,13 @@ pub mod monitor;
 use catalog::{Catalog, TableEntry, TableKind};
 use monitor::{EventLevel, Monitor};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vw_common::{ColData, EngineConfig, Result, Schema, TypeId, Value, VwError};
 use vw_exec::op::drain;
 use vw_exec::CancelToken;
-use vw_sql::ast::{InsertSource, Statement, TableType};
+use vw_service::{AdmissionController, DeadlineQueue, WorkerPool};
+use vw_sql::ast::{InsertSource, ShowKind, Statement, TableType};
 use vw_sql::binder::{Binder, CatalogView};
 use vw_sql::optimizer;
 use vw_sql::plan::LogicalPlan;
@@ -80,16 +82,36 @@ impl QueryResult {
 }
 
 /// One embedded engine instance.
+///
+/// Concurrency model (PR 7): one fixed [`WorkerPool`] of
+/// `EngineConfig::workers` threads serves *every* query's Exchange
+/// fragments and parallel hash-build shards as cooperative tasks, so N
+/// concurrent sessions cost O(workers) engine threads, not O(N × dop).
+/// When `EngineConfig::global_mem_bytes` is set, an
+/// [`AdmissionController`] partitions that global budget across admitted
+/// queries (FIFO, bounded queue, typed `E_ADMISSION` rejection). A single
+/// [`DeadlineQueue`] timer thread enforces every statement timeout.
 pub struct Database {
     pub(crate) disk: Arc<SimulatedDisk>,
     pub(crate) pool: Arc<BufferPool>,
     /// The table namespace (read access for tools/benches).
     pub catalog: RwLock<Catalog>,
-    pub(crate) config: RwLock<EngineConfig>,
     /// Serializes cross-table commit sequences (see DESIGN.md §6).
     pub(crate) commit_lock: Mutex<()>,
     /// Monitoring subsystem.
     pub monitor: Monitor,
+    /// The shared worker pool (fixed size for the engine's life).
+    pub(crate) workers: Arc<WorkerPool>,
+    /// Admission controller — `None` when no global memory limit is
+    /// configured (the machinery is not constructed at all).
+    pub(crate) admission: Option<Arc<AdmissionController>>,
+    /// One timer thread for every statement deadline.
+    pub(crate) timer: DeadlineQueue,
+    /// The engine-owned session `Database::execute` routes through, so
+    /// the Arc path and explicit [`Session`]s share one code path (SET
+    /// state and monitor attribution cannot diverge).
+    default_session: Mutex<SessionCore>,
+    closed: AtomicBool,
 }
 
 impl Database {
@@ -100,26 +122,38 @@ impl Database {
 
     /// Open with explicit configuration and device. An active
     /// `config.faults` arms the device's fault injector (an inactive one
-    /// constructs none of that machinery).
+    /// constructs none of that machinery). `config.workers` (0 = core
+    /// count) fixes the worker-pool size for the engine's life;
+    /// `config.global_mem_bytes` > 0 constructs the admission controller.
     pub fn open_with(config: EngineConfig, disk: Arc<SimulatedDisk>) -> Arc<Database> {
         if config.faults.is_active() {
             disk.arm_faults(config.faults.clone());
         }
         let pool = BufferPool::new(disk.clone(), config.buffer_pool_bytes);
         let monitor = Monitor::with_capacity(config.event_log_capacity);
+        let workers = WorkerPool::new(config.resolved_workers());
+        let admission = (config.global_mem_bytes > 0).then(|| {
+            AdmissionController::new(config.global_mem_bytes, config.admission_queue_depth)
+        });
+        let default_id = monitor.register_session();
         Arc::new(Database {
             disk,
             pool,
             catalog: RwLock::new(Catalog::default()),
-            config: RwLock::new(config),
             commit_lock: Mutex::new(()),
             monitor,
+            workers,
+            admission,
+            timer: DeadlineQueue::new(),
+            default_session: Mutex::new(SessionCore { id: default_id, cfg: config, txn: None }),
+            closed: AtomicBool::new(false),
         })
     }
 
-    /// Current engine configuration (copy).
+    /// Current engine configuration (a copy of the default session's —
+    /// explicit [`Session`]s carry their own SET state).
     pub fn config(&self) -> EngineConfig {
-        self.config.read().clone()
+        self.default_session.lock().cfg.clone()
     }
 
     /// The simulated device this engine stores blocks on (tests use it to
@@ -128,21 +162,62 @@ impl Database {
         &self.disk
     }
 
-    /// Execute one or more `;`-separated statements in auto-commit mode,
-    /// returning the last statement's result.
-    pub fn execute(self: &Arc<Self>, sql: &str) -> Result<QueryResult> {
-        let mut session = Session::new(self.clone());
-        session.execute(sql)
+    /// The shared worker pool (size is fixed at open).
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.workers
     }
 
-    /// Open a session (holds transaction state across statements).
+    /// The admission controller, when a global memory limit is configured.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
+    }
+
+    /// Execute one or more `;`-separated statements in auto-commit mode,
+    /// returning the last statement's result. Routes through the engine's
+    /// default session (one shared SET state), serialized per statement
+    /// batch; open explicit [`Database::session`]s for concurrency.
+    pub fn execute(self: &Arc<Self>, sql: &str) -> Result<QueryResult> {
+        let stmts = vw_sql::parse(sql)?;
+        if stmts.is_empty() {
+            return Ok(QueryResult::empty());
+        }
+        let mut core = self.default_session.lock();
+        let mut last = QueryResult::empty();
+        for stmt in stmts {
+            last = execute_statement(self, &mut core, &stmt, sql.trim())?;
+        }
+        Ok(last)
+    }
+
+    /// Open a session (holds transaction and SET state across
+    /// statements; the SET state starts as a snapshot of the default
+    /// session's).
     pub fn session(self: &Arc<Self>) -> Session {
         Session::new(self.clone())
     }
 
-    /// Cancel a running query by id (the `KILL` statement calls this).
+    /// Cancel a running (or admission-queued) query by id (the `KILL`
+    /// statement calls this).
     pub fn kill(&self, query_id: u64) -> Result<()> {
         self.monitor.kill(query_id)
+    }
+
+    /// Shut the engine down: cancel every in-flight and queued query,
+    /// fail admission waiters, then join the worker pool and the timer
+    /// thread. Idempotent; [`Drop`] calls it, so dropping the last
+    /// `Arc<Database>` never leaks pool threads even with queries
+    /// mid-flight (their fragments observe the cancelled tokens, push
+    /// their error, and drain).
+    pub fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.monitor.kill_all();
+        if let Some(a) = &self.admission {
+            a.close();
+        }
+        self.workers.shutdown();
+        self.timer.shutdown();
     }
 
     fn create_table(
@@ -203,8 +278,11 @@ impl Database {
         }
     }
 
-    fn apply_set(&self, name: &str, value: &Value) -> Result<()> {
-        let mut cfg = self.config.write();
+    /// Apply `SET <name> = <value>` to one session's config copy.
+    /// Engine-wide knobs (`event_log_capacity`, `admission_queue_depth`)
+    /// additionally poke the live subsystem; pool size and the global
+    /// memory limit are fixed at open and reject the SET.
+    fn apply_set(&self, cfg: &mut EngineConfig, name: &str, value: &Value) -> Result<()> {
         match name.to_ascii_lowercase().as_str() {
             "vector_size" => {
                 let v = value.as_i64()?;
@@ -299,21 +377,67 @@ impl Database {
                 // the oldest events).
                 self.monitor.set_event_capacity(v as usize);
             }
+            "admission_queue_depth" => {
+                let v = value.as_i64()?;
+                if v < 0 {
+                    return Err(VwError::InvalidParameter(
+                        "admission_queue_depth must be >= 0".into(),
+                    ));
+                }
+                cfg.admission_queue_depth = v as usize;
+                // The queue is engine-wide: the new bound applies to the
+                // live controller immediately (waiters already queued stay).
+                if let Some(a) = &self.admission {
+                    a.set_queue_depth(v as usize);
+                }
+            }
+            "workers" => {
+                return Err(VwError::InvalidParameter(
+                    "workers is fixed at engine open (VW_WORKERS / EngineConfig::workers)".into(),
+                ))
+            }
+            "global_mem" | "global_mem_bytes" => {
+                return Err(VwError::InvalidParameter(
+                    "global_mem is fixed at engine open (VW_GLOBAL_MEM / \
+                     EngineConfig::global_mem_bytes)"
+                        .into(),
+                ))
+            }
             other => return Err(VwError::InvalidParameter(format!("unknown setting '{other}'"))),
         }
         Ok(())
     }
 }
 
-/// Connection-like state: an optional open multi-statement transaction.
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The state every session carries: its monitor registration, its own
+/// SET-knob copy of the engine config, and an optional open transaction.
+/// [`Database::execute`] drives the engine-owned default core;
+/// [`Session`] wraps a private one — both run the same statement path.
+pub(crate) struct SessionCore {
+    pub(crate) id: u64,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) txn: Option<dml::OpenTxn>,
+}
+
+/// Connection-like state: session-scoped SET knobs and an optional open
+/// multi-statement transaction. Dropping the session removes it from the
+/// monitor's `SHOW SESSIONS` registry.
 pub struct Session {
     db: Arc<Database>,
-    txn: Option<dml::OpenTxn>,
+    core: SessionCore,
 }
 
 impl Session {
     fn new(db: Arc<Database>) -> Session {
-        Session { db, txn: None }
+        let id = db.monitor.register_session();
+        let cfg = db.config();
+        Session { db, core: SessionCore { id, cfg, txn: None } }
     }
 
     /// The engine behind this session.
@@ -321,9 +445,14 @@ impl Session {
         &self.db
     }
 
+    /// This session's id in the monitor registry (`SHOW SESSIONS`).
+    pub fn id(&self) -> u64 {
+        self.core.id
+    }
+
     /// True when a transaction is open.
     pub fn in_transaction(&self) -> bool {
-        self.txn.is_some()
+        self.core.txn.is_some()
     }
 
     /// Execute `;`-separated statements; returns the last result.
@@ -334,139 +463,251 @@ impl Session {
         }
         let mut last = QueryResult::empty();
         for stmt in stmts {
-            last = self.execute_statement(&stmt)?;
+            last = execute_statement(&self.db, &mut self.core, &stmt, sql.trim())?;
         }
         Ok(last)
     }
+}
 
-    fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        match stmt {
-            Statement::Select(s) => self.run_select(s, false),
-            Statement::Explain(inner) => match inner.as_ref() {
-                Statement::Select(s) => self.run_select(s, true),
-                other => {
-                    Ok(QueryResult { text: Some(format!("{other:?}")), ..QueryResult::empty() })
-                }
-            },
-            Statement::CreateTable { name, columns, table_type } => {
-                self.db.create_table(name, columns, *table_type)?;
-                Ok(QueryResult::empty())
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.db.monitor.close_session(self.core.id);
+    }
+}
+
+/// One statement, on behalf of one session core — the single execution
+/// path shared by [`Database::execute`] and [`Session::execute`].
+fn execute_statement(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
+    stmt: &Statement,
+    sql: &str,
+) -> Result<QueryResult> {
+    match stmt {
+        Statement::Select(s) => run_select(db, core, s, false, Some(sql)),
+        Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Select(s) => run_select(db, core, s, true, Some(sql)),
+            other => Ok(QueryResult { text: Some(format!("{other:?}")), ..QueryResult::empty() }),
+        },
+        Statement::CreateTable { name, columns, table_type } => {
+            db.create_table(name, columns, *table_type)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::DropTable { name, if_exists } => {
+            db.drop_table(name, *if_exists)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Insert { table, columns, source } => {
+            let rows = match source {
+                InsertSource::Values(rows) => dml::literal_rows(rows)?,
+                InsertSource::Query(q) => run_select(db, core, q, false, Some(sql))?.rows,
+            };
+            let n = dml::insert(db, core, table, columns.as_deref(), rows)?;
+            Ok(QueryResult { affected: n, ..QueryResult::empty() })
+        }
+        Statement::Update { table, sets, filter } => {
+            let n = dml::update(db, core, table, sets, filter.as_ref())?;
+            Ok(QueryResult { affected: n, ..QueryResult::empty() })
+        }
+        Statement::Delete { table, filter } => {
+            let n = dml::delete(db, core, table, filter.as_ref())?;
+            Ok(QueryResult { affected: n, ..QueryResult::empty() })
+        }
+        Statement::Begin => {
+            if core.txn.is_some() {
+                return Err(VwError::TxnState("transaction already open".into()));
             }
-            Statement::DropTable { name, if_exists } => {
-                self.db.drop_table(name, *if_exists)?;
-                Ok(QueryResult::empty())
+            core.txn = Some(dml::OpenTxn::default());
+            Ok(QueryResult::empty())
+        }
+        Statement::Commit => {
+            let txn =
+                core.txn.take().ok_or_else(|| VwError::TxnState("no open transaction".into()))?;
+            dml::commit(db, txn)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Rollback => {
+            if core.txn.take().is_none() {
+                return Err(VwError::TxnState("no open transaction".into()));
             }
-            Statement::Insert { table, columns, source } => {
-                let rows = match source {
-                    InsertSource::Values(rows) => dml::literal_rows(rows)?,
-                    InsertSource::Query(q) => self.run_select(q, false)?.rows,
-                };
-                let n = dml::insert(self, table, columns.as_deref(), rows)?;
-                Ok(QueryResult { affected: n, ..QueryResult::empty() })
-            }
-            Statement::Update { table, sets, filter } => {
-                let n = dml::update(self, table, sets, filter.as_ref())?;
-                Ok(QueryResult { affected: n, ..QueryResult::empty() })
-            }
-            Statement::Delete { table, filter } => {
-                let n = dml::delete(self, table, filter.as_ref())?;
-                Ok(QueryResult { affected: n, ..QueryResult::empty() })
-            }
-            Statement::Begin => {
-                if self.txn.is_some() {
-                    return Err(VwError::TxnState("transaction already open".into()));
-                }
-                self.txn = Some(dml::OpenTxn::default());
-                Ok(QueryResult::empty())
-            }
-            Statement::Commit => {
-                let txn = self
-                    .txn
-                    .take()
-                    .ok_or_else(|| VwError::TxnState("no open transaction".into()))?;
-                dml::commit(&self.db, txn)?;
-                Ok(QueryResult::empty())
-            }
-            Statement::Rollback => {
-                if self.txn.take().is_none() {
-                    return Err(VwError::TxnState("no open transaction".into()));
-                }
-                Ok(QueryResult::empty())
-            }
-            Statement::Checkpoint { table } => {
-                let n = dml::checkpoint(&self.db, table.as_deref())?;
-                Ok(QueryResult { affected: n, ..QueryResult::empty() })
-            }
-            Statement::Kill { query_id } => {
-                self.db.kill(*query_id)?;
-                Ok(QueryResult::empty())
-            }
-            Statement::Set { name, value } => {
-                self.db.apply_set(name, value)?;
-                Ok(QueryResult::empty())
-            }
+            Ok(QueryResult::empty())
+        }
+        Statement::Checkpoint { table } => {
+            let n = dml::checkpoint(db, &core.cfg, table.as_deref())?;
+            Ok(QueryResult { affected: n, ..QueryResult::empty() })
+        }
+        Statement::Kill { query_id } => {
+            db.kill(*query_id)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Set { name, value } => {
+            db.apply_set(&mut core.cfg, name, value)?;
+            Ok(QueryResult::empty())
+        }
+        Statement::Show { what } => Ok(run_show(db, *what)),
+    }
+}
+
+/// Render a `SHOW` monitoring view as an ordinary result set.
+fn run_show(db: &Database, what: ShowKind) -> QueryResult {
+    let field = |name: &str, ty| vw_common::Field { name: name.into(), ty, nullable: true };
+    match what {
+        ShowKind::Sessions => {
+            let schema = Schema::new(vec![
+                field("session", TypeId::I64),
+                field("state", TypeId::Str),
+                field("query", TypeId::I64),
+                field("mem_grant", TypeId::I64),
+            ])
+            .expect("static schema");
+            let rows = db
+                .monitor
+                .list_sessions()
+                .into_iter()
+                .map(|s| {
+                    vec![
+                        Value::I64(s.id as i64),
+                        Value::Str(format!("{:?}", s.state)),
+                        s.query.map_or(Value::Null, |q| Value::I64(q as i64)),
+                        Value::I64(s.mem_grant as i64),
+                    ]
+                })
+                .collect();
+            QueryResult { schema, rows, affected: 0, text: None }
+        }
+        ShowKind::Queries => {
+            let schema = Schema::new(vec![
+                field("id", TypeId::I64),
+                field("state", TypeId::Str),
+                field("sql", TypeId::Str),
+                field("elapsed_ms", TypeId::I64),
+                field("rows", TypeId::I64),
+                field("session", TypeId::I64),
+            ])
+            .expect("static schema");
+            let rows = db
+                .monitor
+                .list_queries()
+                .into_iter()
+                .map(|q| {
+                    vec![
+                        Value::I64(q.id as i64),
+                        Value::Str(format!("{:?}", q.state)),
+                        Value::Str(q.sql),
+                        Value::I64(q.elapsed.as_millis() as i64),
+                        Value::I64(q.rows as i64),
+                        if q.session == 0 { Value::Null } else { Value::I64(q.session as i64) },
+                    ]
+                })
+                .collect();
+            QueryResult { schema, rows, affected: 0, text: None }
         }
     }
+}
 
-    fn run_select(&mut self, stmt: &vw_sql::ast::SelectStmt, explain: bool) -> Result<QueryResult> {
-        let db = self.db.clone();
-        let cat_view = CatalogSnapshot { db: &db };
-        let binder = Binder::new(&cat_view);
-        let plan = binder.bind_select(stmt)?;
-        let plan = optimizer::optimize(plan, &cat_view)?;
-        let config = db.config();
-        let rw_cfg = vw_rewriter::RewriterConfig {
-            dop: config.parallelism,
-            parallel_threshold_rows: 10_000.0,
-        };
-        let plan = vw_rewriter::rewrite_plan(plan, &rw_cfg);
-        if explain {
-            return Ok(QueryResult {
-                schema: plan.schema().clone(),
-                rows: Vec::new(),
-                affected: 0,
-                text: Some(plan.explain()),
-            });
-        }
-        self.execute_plan(&plan, None)
+fn run_select(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
+    stmt: &vw_sql::ast::SelectStmt,
+    explain: bool,
+    sql_label: Option<&str>,
+) -> Result<QueryResult> {
+    let cat_view = CatalogSnapshot { db };
+    let binder = Binder::new(&cat_view);
+    let plan = binder.bind_select(stmt)?;
+    let plan = optimizer::optimize(plan, &cat_view)?;
+    let rw_cfg = vw_rewriter::RewriterConfig {
+        dop: core.cfg.parallelism,
+        parallel_threshold_rows: 10_000.0,
+    };
+    let plan = vw_rewriter::rewrite_plan(plan, &rw_cfg);
+    if explain {
+        return Ok(QueryResult {
+            schema: plan.schema().clone(),
+            rows: Vec::new(),
+            affected: 0,
+            text: Some(plan.explain()),
+        });
     }
+    execute_plan(db, core, &plan, sql_label)
+}
 
-    /// Execute an already-rewritten plan. `sql_label` names the query in
-    /// the monitoring registry.
-    pub(crate) fn execute_plan(
-        &mut self,
-        plan: &LogicalPlan,
-        sql_label: Option<&str>,
-    ) -> Result<QueryResult> {
-        let db = self.db.clone();
-        let config = db.config();
-        // A configured statement timeout puts a deadline on the token and
-        // spawns a watchdog; without one neither exists.
-        let timeout = (config.statement_timeout_ms > 0)
-            .then(|| std::time::Duration::from_millis(config.statement_timeout_ms));
-        let cancel = match timeout {
-            Some(t) => CancelToken::with_deadline(std::time::Instant::now() + t),
-            None => CancelToken::new(),
-        };
-        let qid =
-            db.monitor.register_query_with(sql_label.unwrap_or("<query>"), cancel.clone(), timeout);
-        let _watchdog = vw_exec::TimeoutGuard::spawn(&cancel);
-        let result = (|| -> Result<QueryResult> {
-            let mut op = compile::build_plan(&db, plan, &config, &cancel, self.txn.as_ref())?;
-            let batch = drain(op.as_mut())?;
-            let schema = op.schema().clone();
-            let rows = (0..batch.rows()).map(|i| batch.row_values(i)).collect();
-            Ok(QueryResult { schema, rows, affected: 0, text: None })
-        })();
-        // Drop the plan (and with it any worker threads / spill files)
-        // before the registry update, then record the outcome: the
-        // watchdog is joined by `_watchdog`'s drop at return.
-        match &result {
-            Ok(r) => db.monitor.finish_query(qid, r.rows.len() as u64),
-            Err(e) => db.monitor.fail_query(qid, e),
+/// Execute an already-rewritten plan. `sql_label` names the query in the
+/// monitoring registry.
+///
+/// Life of a query (ARCHITECTURE.md): register (Queued when admission is
+/// on, else Running) → deadline registered with the engine's timer →
+/// admission grant (FIFO; the grant clamps this query's `mem_budget`) →
+/// compile onto the shared worker pool → drain → finish/fail. The grant
+/// and timer registration are RAII guards, so every exit — completion,
+/// error, KILL, timeout, panic-as-error — releases its memory and
+/// deadline.
+pub(crate) fn execute_plan(
+    db: &Arc<Database>,
+    core: &mut SessionCore,
+    plan: &LogicalPlan,
+    sql_label: Option<&str>,
+) -> Result<QueryResult> {
+    let mut config = core.cfg.clone();
+    // A configured statement timeout puts a deadline on the token,
+    // enforced by the engine's single timer thread; without one neither
+    // exists.
+    let timeout = (config.statement_timeout_ms > 0)
+        .then(|| std::time::Duration::from_millis(config.statement_timeout_ms));
+    let cancel = match timeout {
+        Some(t) => CancelToken::with_deadline(std::time::Instant::now() + t),
+        None => CancelToken::new(),
+    };
+    let queued = db.admission.is_some();
+    let qid = db.monitor.register_query_full(
+        sql_label.unwrap_or("<query>"),
+        cancel.clone(),
+        timeout,
+        core.id,
+        queued,
+    );
+    let _deadline = db.timer.register(&cancel);
+    // Admission: FIFO for a slice of the global memory budget. A session
+    // with its own `mem_budget` requests exactly that; otherwise an even
+    // split of the global limit across the pool. The grant becomes this
+    // query's spill budget, so the sum of all admitted queries' staged
+    // bytes stays under the global limit.
+    let _grant = match &db.admission {
+        Some(ctl) => {
+            let request = if config.mem_budget_bytes > 0 {
+                config.mem_budget_bytes as u64
+            } else {
+                (ctl.limit() / db.workers.workers() as u64).max(1)
+            };
+            match ctl.admit(request, &cancel) {
+                Ok(g) => {
+                    db.monitor.admit_query(qid, g.bytes());
+                    config.mem_budget_bytes = g.bytes() as usize;
+                    Some(g)
+                }
+                Err(e) => {
+                    db.monitor.fail_query(qid, &e);
+                    return Err(e);
+                }
+            }
         }
-        result
+        None => None,
+    };
+    let result = (|| -> Result<QueryResult> {
+        let mut op = compile::build_plan(db, plan, &config, &cancel, core.txn.as_ref())?;
+        let batch = drain(op.as_mut())?;
+        let schema = op.schema().clone();
+        let rows = (0..batch.rows()).map(|i| batch.row_values(i)).collect();
+        Ok(QueryResult { schema, rows, affected: 0, text: None })
+    })();
+    // Drop the plan (and with it any pool tasks / spill files) before the
+    // registry update; the memory grant and the timer registration
+    // release when `_grant` / `_deadline` drop at return.
+    match &result {
+        Ok(r) => db.monitor.finish_query(qid, r.rows.len() as u64),
+        Err(e) => db.monitor.fail_query(qid, e),
     }
+    result
 }
 
 /// Catalog adapter implementing the planner's view.

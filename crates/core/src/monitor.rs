@@ -40,6 +40,8 @@ pub struct Event {
 /// Lifecycle state of a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryState {
+    /// Waiting in the admission queue for a memory grant.
+    Queued,
     /// Executing.
     Running,
     /// Finished successfully.
@@ -67,6 +69,34 @@ pub struct QueryInfo {
     pub rows: u64,
     /// Statement timeout this query runs under, if any.
     pub timeout: Option<Duration>,
+    /// Session the query belongs to (0 = no session attribution).
+    pub session: u64,
+    /// Admission memory grant in bytes (0 until admitted / no governor).
+    pub mem_grant: u64,
+}
+
+/// Activity state of a session, derived from its current query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// No statement in flight.
+    Idle,
+    /// Statement waiting in the admission queue.
+    Queued,
+    /// Statement executing.
+    Running,
+}
+
+/// Registry entry for one session (`SHOW SESSIONS`).
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: u64,
+    /// Current activity.
+    pub state: SessionState,
+    /// The in-flight query's id, if any.
+    pub query: Option<u64>,
+    /// The in-flight query's admission grant in bytes.
+    pub mem_grant: u64,
 }
 
 struct QuerySlot {
@@ -87,6 +117,9 @@ pub struct Monitor {
     event_capacity: AtomicUsize,
     queries: Mutex<HashMap<u64, QuerySlot>>,
     next_id: AtomicU64,
+    /// Open sessions → the id of their most recent query (None = fresh).
+    sessions: Mutex<HashMap<u64, Option<u64>>>,
+    next_session: AtomicU64,
     total_queries: AtomicU64,
     total_failed: AtomicU64,
 }
@@ -113,6 +146,8 @@ impl Monitor {
             event_capacity: AtomicUsize::new(cap),
             queries: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
             total_queries: AtomicU64::new(0),
             total_failed: AtomicU64::new(0),
         }
@@ -162,6 +197,20 @@ impl Monitor {
         cancel: CancelToken,
         timeout: Option<Duration>,
     ) -> u64 {
+        self.register_query_full(sql, cancel, timeout, 0, false)
+    }
+
+    /// Register a query with full attribution: the session it runs in
+    /// (0 = none) and whether it starts life waiting for an admission
+    /// grant (`queued`) rather than running.
+    pub fn register_query_full(
+        &self,
+        sql: &str,
+        cancel: CancelToken,
+        timeout: Option<Duration>,
+        session: u64,
+        queued: bool,
+    ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.total_queries.fetch_add(1, Ordering::Relaxed);
         self.queries.lock().insert(
@@ -170,16 +219,36 @@ impl Monitor {
                 info: QueryInfo {
                     id,
                     sql: sql.to_string(),
-                    state: QueryState::Running,
+                    state: if queued { QueryState::Queued } else { QueryState::Running },
                     elapsed: Duration::ZERO,
                     rows: 0,
                     timeout,
+                    session,
+                    mem_grant: 0,
                 },
                 cancel,
                 started: Instant::now(),
             },
         );
+        if session != 0 {
+            if let Some(slot) = self.sessions.lock().get_mut(&session) {
+                *slot = Some(id);
+            }
+        }
         id
+    }
+
+    /// Transition a queued query to running once the admission controller
+    /// hands it a memory grant of `grant` bytes. The elapsed clock
+    /// restarts so `SHOW QUERIES` reports run time, not queue time.
+    pub fn admit_query(&self, id: u64, grant: u64) {
+        if let Some(slot) = self.queries.lock().get_mut(&id) {
+            if slot.info.state == QueryState::Queued {
+                slot.info.state = QueryState::Running;
+                slot.started = Instant::now();
+            }
+            slot.info.mem_grant = grant;
+        }
     }
 
     /// Mark a query finished.
@@ -221,15 +290,16 @@ impl Monitor {
         }
     }
 
-    /// Cancel a running query. `KILL` of an unknown id or of a query that
-    /// already reached a terminal state is a clean `Exec` error — the
-    /// race between a KILL landing and the query finishing must surface
-    /// as a typed error, never a silent no-op (ISSUE 6 satellite).
+    /// Cancel a running (or admission-queued — the cancelled token makes
+    /// the waiter dequeue itself) query. `KILL` of an unknown id or of a
+    /// query that already reached a terminal state is a clean `Exec`
+    /// error — the race between a KILL landing and the query finishing
+    /// must surface as a typed error, never a silent no-op.
     pub fn kill(&self, id: u64) -> Result<()> {
         let q = self.queries.lock();
         let slot =
             q.get(&id).ok_or_else(|| VwError::Exec(format!("KILL: no query with id {id}")))?;
-        if slot.info.state != QueryState::Running {
+        if !matches!(slot.info.state, QueryState::Running | QueryState::Queued) {
             return Err(VwError::Exec(format!(
                 "KILL: query {id} is not running (state {:?})",
                 slot.info.state
@@ -237,6 +307,59 @@ impl Monitor {
         }
         slot.cancel.cancel();
         Ok(())
+    }
+
+    /// Cancel every non-terminal query (engine shutdown).
+    pub fn kill_all(&self) {
+        for slot in self.queries.lock().values() {
+            if matches!(slot.info.state, QueryState::Running | QueryState::Queued) {
+                slot.cancel.cancel();
+            }
+        }
+    }
+
+    /// Open a session slot; returns its id (never 0).
+    pub fn register_session(&self) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(id, None);
+        id
+    }
+
+    /// Close a session slot (its past queries stay in the registry).
+    pub fn close_session(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    /// List open sessions in id order — the `SHOW SESSIONS` equivalent.
+    /// Each session's activity is derived from its most recent query:
+    /// a non-terminal query makes the session `Queued`/`Running` and
+    /// carries that query's admission grant; otherwise the session is
+    /// idle.
+    pub fn list_sessions(&self) -> Vec<SessionInfo> {
+        let sessions = self.sessions.lock();
+        let queries = self.queries.lock();
+        let mut out: Vec<SessionInfo> = sessions
+            .iter()
+            .map(|(&id, &query)| {
+                let live = query.and_then(|q| queries.get(&q)).and_then(|s| match s.info.state {
+                    QueryState::Queued => Some((s.info.id, SessionState::Queued, s.info.mem_grant)),
+                    QueryState::Running => {
+                        Some((s.info.id, SessionState::Running, s.info.mem_grant))
+                    }
+                    _ => None,
+                });
+                match live {
+                    Some((q, state, grant)) => {
+                        SessionInfo { id, state, query: Some(q), mem_grant: grant }
+                    }
+                    None => {
+                        SessionInfo { id, state: SessionState::Idle, query: None, mem_grant: 0 }
+                    }
+                }
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
     }
 
     /// List queries (most recent first), the `SHOW QUERIES` equivalent.
@@ -360,6 +483,50 @@ mod tests {
         m.fail_query(id, &VwError::Cancelled);
         assert_eq!(m.list_queries()[0].state, QueryState::TimedOut);
         assert!(m.events().iter().any(|e| e.message.contains("statement timeout")));
+    }
+
+    #[test]
+    fn session_registry_derives_state_from_current_query() {
+        let m = Monitor::new();
+        let s1 = m.register_session();
+        let s2 = m.register_session();
+        assert_ne!(s1, 0, "session ids never collide with 'no session'");
+        let sessions = m.list_sessions();
+        assert_eq!(sessions.len(), 2);
+        assert!(sessions.iter().all(|s| s.state == SessionState::Idle && s.query.is_none()));
+
+        // A queued query marks its session Queued; admission flips it to
+        // Running and records the grant.
+        let t = CancelToken::new();
+        let q = m.register_query_full("SELECT 1", t, None, s1, true);
+        let info = m.list_sessions().into_iter().find(|s| s.id == s1).unwrap();
+        assert_eq!(info.state, SessionState::Queued);
+        assert_eq!(info.query, Some(q));
+        m.admit_query(q, 4096);
+        let info = m.list_sessions().into_iter().find(|s| s.id == s1).unwrap();
+        assert_eq!(info.state, SessionState::Running);
+        assert_eq!(info.mem_grant, 4096);
+        assert_eq!(m.list_queries().iter().find(|i| i.id == q).unwrap().session, s1);
+
+        // Completion returns the session to Idle; closing removes it.
+        m.finish_query(q, 1);
+        let info = m.list_sessions().into_iter().find(|s| s.id == s1).unwrap();
+        assert_eq!(info.state, SessionState::Idle);
+        assert_eq!(info.mem_grant, 0);
+        m.close_session(s2);
+        assert_eq!(m.list_sessions().len(), 1);
+    }
+
+    #[test]
+    fn kill_reaches_admission_queued_queries() {
+        let m = Monitor::new();
+        let t = CancelToken::new();
+        let id = m.register_query_full("SELECT big", t.clone(), None, 0, true);
+        assert_eq!(m.list_queries()[0].state, QueryState::Queued);
+        m.kill(id).unwrap();
+        assert!(t.is_cancelled(), "KILL must reach a query waiting for admission");
+        m.fail_query(id, &VwError::Cancelled);
+        assert_eq!(m.list_queries()[0].state, QueryState::Cancelled);
     }
 
     #[test]

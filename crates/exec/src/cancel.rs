@@ -1,92 +1,34 @@
 //! Cooperative query cancellation and statement deadlines.
 //!
-//! The paper calls this "one of more unexpected feature requests": killing a
-//! research prototype was `Ctrl-C`; killing one query of a production
-//! server must not take the process down, must interrupt long loops
-//! promptly, and must unwind cleanly through parallel operators and
-//! asynchronous I/O.
-//!
-//! The kernel's answer is *cooperative checks at vector granularity*: every
-//! operator calls [`CancelToken::check`] at least once per vector it
-//! produces, so cancellation latency is bounded by the cost of processing
-//! one vector per pipeline stage (benchmark C8 measures it). The token is
-//! shared across all threads of a parallel (Xchg) plan.
+//! The token itself lives in [`vw_common::cancel`] (re-exported here as
+//! [`CancelToken`]) so the query-service scheduling layer can share it
+//! without depending on this crate; see that module for the cooperative
+//! check contract (every operator checks at least once per vector).
 //!
 //! # Statement timeouts
 //!
-//! A token built with [`CancelToken::with_deadline`] additionally carries a
-//! wall-clock deadline. Cooperative checks do *not* read the clock (that
-//! would put a syscall on the hot path); instead a [`TimeoutGuard`]
-//! watchdog thread sleeps until the deadline and fires [`CancelToken::
-//! cancel`], setting a `timed_out` marker so the monitor can distinguish
-//! `TimedOut` from a user `KILL`. A query without a timeout constructs
-//! neither the deadline state nor the watchdog thread. Timeout semantics
-//! and the surrounding error taxonomy are documented in the repo-root
-//! ARCHITECTURE.md ("Failure model").
+//! A token built with [`CancelToken::with_deadline`] carries a wall-clock
+//! deadline. Cooperative checks do *not* read the clock (that would put a
+//! syscall on the hot path); instead deadline machinery fires
+//! [`CancelToken::cancel`] after setting the `timed_out` marker so the
+//! monitor can distinguish `TimedOut` from a user `KILL`. Two enforcers
+//! exist:
+//!
+//! * [`TimeoutGuard`] (here) — a dedicated watchdog thread per guarded
+//!   query. Simple and self-contained; used by unit tests and embedders of
+//!   the bare executor.
+//! * `vw_service::timer::DeadlineQueue` — one shared timer thread for the
+//!   whole engine, used by `vw-core` so N in-flight statements cost one
+//!   thread, not N (the thread-count budget is O(workers); see
+//!   ARCHITECTURE.md "Failure model" and "Life of a query").
+//!
+//! A query without a timeout constructs neither the deadline state nor any
+//! watchdog machinery.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-use vw_common::{Result, VwError};
 
-/// Shared cancellation flag (plus optional deadline) for one query
-/// execution.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
-    /// Set (only ever by a [`TimeoutGuard`]) when the cancellation was a
-    /// deadline firing rather than an explicit `KILL`.
-    timed_out: Arc<AtomicBool>,
-    /// The statement deadline, if one was configured. Immutable after
-    /// construction; the cooperative check never reads it.
-    deadline: Option<Instant>,
-}
-
-impl CancelToken {
-    /// A fresh, un-cancelled token with no deadline.
-    pub fn new() -> CancelToken {
-        CancelToken::default()
-    }
-
-    /// A fresh token that should be cancelled at `deadline` — pair it with
-    /// a [`TimeoutGuard`] to actually enforce it.
-    pub fn with_deadline(deadline: Instant) -> CancelToken {
-        CancelToken { deadline: Some(deadline), ..CancelToken::default() }
-    }
-
-    /// Request cancellation (user `kill`, session close, timeout).
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
-    }
-
-    /// Has cancellation been requested?
-    #[inline]
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
-    }
-
-    /// The statement deadline this token carries, if any.
-    pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
-    }
-
-    /// True when the cancellation was fired by a statement timeout (as
-    /// opposed to an explicit `KILL` or session teardown).
-    pub fn timed_out(&self) -> bool {
-        self.timed_out.load(Ordering::Acquire)
-    }
-
-    /// Bail out with [`VwError::Cancelled`] if cancellation was requested.
-    /// Called once per vector by every operator.
-    #[inline]
-    pub fn check(&self) -> Result<()> {
-        if self.is_cancelled() {
-            Err(VwError::Cancelled)
-        } else {
-            Ok(())
-        }
-    }
-}
+pub use vw_common::cancel::CancelToken;
 
 /// State shared between a [`TimeoutGuard`] and its watchdog thread.
 struct GuardShared {
@@ -111,7 +53,7 @@ impl TimeoutGuard {
     /// Spawn a watchdog for `token`. Returns `None` when the token has no
     /// deadline — the no-timeout path constructs nothing.
     pub fn spawn(token: &CancelToken) -> Option<TimeoutGuard> {
-        let deadline = token.deadline?;
+        let deadline = token.deadline()?;
         let shared = Arc::new(GuardShared { done: Mutex::new(false), cv: Condvar::new() });
         let th_shared = shared.clone();
         let th_token = token.clone();
@@ -125,7 +67,7 @@ impl TimeoutGuard {
                     }
                     let now = Instant::now();
                     if now >= deadline {
-                        th_token.timed_out.store(true, Ordering::Release);
+                        th_token.mark_timed_out();
                         th_token.cancel();
                         return;
                     }
@@ -155,39 +97,6 @@ impl Drop for TimeoutGuard {
 mod tests {
     use super::*;
     use std::time::Duration;
-
-    #[test]
-    fn starts_clear_then_trips() {
-        let t = CancelToken::new();
-        assert!(t.check().is_ok());
-        t.cancel();
-        assert!(matches!(t.check(), Err(VwError::Cancelled)));
-        assert!(t.is_cancelled());
-        assert!(!t.timed_out(), "a plain cancel is not a timeout");
-    }
-
-    #[test]
-    fn clones_share_state() {
-        let t = CancelToken::new();
-        let c = t.clone();
-        t.cancel();
-        assert!(c.is_cancelled());
-    }
-
-    #[test]
-    fn visible_across_threads() {
-        let t = CancelToken::new();
-        let c = t.clone();
-        let h = std::thread::spawn(move || {
-            while !c.is_cancelled() {
-                std::hint::spin_loop();
-            }
-            true
-        });
-        std::thread::sleep(std::time::Duration::from_millis(5));
-        t.cancel();
-        assert!(h.join().unwrap());
-    }
 
     #[test]
     fn no_deadline_spawns_no_guard() {

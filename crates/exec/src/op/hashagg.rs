@@ -32,8 +32,10 @@ use crate::partition::{
 use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
+use std::sync::Arc;
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
+use vw_service::WorkerPool;
 use vw_storage::{encode_spill_batch, SpillFile};
 
 /// Aggregate functions.
@@ -667,6 +669,9 @@ pub struct HashAggregate {
     par_shards: usize,
     /// Staged input rows below which the build stays serial.
     par_min_rows: usize,
+    /// Shared worker pool for the parallel build (None = dedicated
+    /// threads per shard, the embedder/test path).
+    task_pool: Option<Arc<WorkerPool>>,
     /// Finished groups, one entry per shard (serial builds wrap into one);
     /// emission walks the shards in partition order.
     out_shards: Vec<AggShardOut>,
@@ -712,6 +717,7 @@ impl HashAggregate {
             n_groups: 0,
             par_shards: 1,
             par_min_rows: DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+            task_pool: None,
             out_shards: Vec::new(),
             emit_shard: 0,
             emit_pos: 0,
@@ -741,6 +747,15 @@ impl HashAggregate {
     pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashAggregate {
         self.par_shards = shards.max(1).next_power_of_two();
         self.par_min_rows = min_rows;
+        self
+    }
+
+    /// Run the parallel build's shards as cooperative tasks on the
+    /// engine's shared worker pool instead of spawning a thread per shard
+    /// (see [`ShardSet::spawn_on`]). The engine always sets this; the
+    /// bare-operator path keeps dedicated threads.
+    pub fn with_task_pool(mut self, pool: Arc<WorkerPool>) -> HashAggregate {
+        self.task_pool = Some(pool);
         self
     }
 
@@ -1078,7 +1093,10 @@ impl HashAggregate {
                 let mut router = RadixRouter::new(self.par_shards);
                 let shards: Vec<AggShard> =
                     (0..router.partitions()).map(|_| self.make_shard()).collect::<Result<_>>()?;
-                let mut set = ShardSet::spawn(shards, &self.cancel);
+                let mut set = match &self.task_pool {
+                    Some(pool) => ShardSet::spawn_on(pool, shards, &self.cancel),
+                    None => ShardSet::spawn(shards, &self.cancel),
+                };
                 for pkt in staged.drain(..) {
                     scatter_agg(&mut router, &mut set, &pkt)?;
                 }

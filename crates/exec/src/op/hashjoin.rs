@@ -43,8 +43,10 @@ use crate::profile::OpProfile;
 use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::spill::{self, SpillScan};
 use crate::vector::{Batch, Vector};
+use std::sync::Arc;
 use std::time::Instant;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
+use vw_service::WorkerPool;
 use vw_storage::SpillFile;
 
 /// Join variants supported by the kernel.
@@ -294,6 +296,9 @@ pub struct HashJoin {
     /// Staged build rows below which the build stays serial (the exec-side
     /// cost gate: thread spawn + scatter only pay off past this point).
     par_min_rows: usize,
+    /// Shared worker pool for the parallel build (None = dedicated
+    /// threads per shard, the embedder/test path).
+    task_pool: Option<Arc<WorkerPool>>,
     /// Hashes of staged build rows (insert is deferred until the serial /
     /// partitioned decision is made).
     staged_hashes: Vec<u64>,
@@ -352,6 +357,7 @@ impl HashJoin {
             sharded: None,
             par_shards: 1,
             par_min_rows: DEFAULT_PARALLEL_BUILD_MIN_ROWS,
+            task_pool: None,
             staged_hashes: Vec::new(),
             build_has_null_key: false,
             built: false,
@@ -385,6 +391,15 @@ impl HashJoin {
     pub fn with_parallel_build(mut self, shards: usize, min_rows: usize) -> HashJoin {
         self.par_shards = shards.max(1).next_power_of_two();
         self.par_min_rows = min_rows;
+        self
+    }
+
+    /// Run the parallel build's shards as cooperative tasks on the
+    /// engine's shared worker pool instead of spawning a thread per shard
+    /// (see [`ShardSet::spawn_on`]). The engine always sets this; the
+    /// bare-operator path keeps dedicated threads.
+    pub fn with_task_pool(mut self, pool: Arc<WorkerPool>) -> HashJoin {
+        self.task_pool = Some(pool);
         self
     }
 
@@ -639,7 +654,10 @@ impl HashJoin {
             table: FlatTable::new(),
         };
         let workers: Vec<JoinShard> = (0..router.partitions()).map(make_shard).collect();
-        let mut set = ShardSet::spawn(workers, &self.cancel);
+        let mut set = match &self.task_pool {
+            Some(pool) => ShardSet::spawn_on(pool, workers, &self.cancel),
+            None => ShardSet::spawn(workers, &self.cancel),
+        };
         let n = self.staged_hashes.len();
         router.split(&self.staged_hashes, None, n);
         for si in 0..router.partitions() {

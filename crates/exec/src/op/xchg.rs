@@ -7,12 +7,25 @@
 //! that **share one [`MorselSource`] per scan** — workers pull
 //! `morsel_rows`-sized claims until the dispenser runs dry, so a slow
 //! worker claims fewer morsels instead of stranding a pre-assigned static
-//! row range. `Xchg` runs each clone on its own thread and merges their
-//! batch streams through a bounded channel. Cancellation propagates
-//! through the shared [`CancelToken`]; errors from any worker surface on
-//! the consumer side. When the stream completes, the per-worker morsel
-//! counts are folded into this operator's [`OpProfile`] (the
-//! scheduling-balance observable in `EXPLAIN ANALYZE`).
+//! row range. `Xchg` merges the clones' batch streams; two scheduling
+//! modes exist:
+//!
+//! * [`Xchg::spawn`] — one dedicated thread per partition (the original,
+//!   library-style gang; still used by unit tests and bare-kernel
+//!   embedders).
+//! * [`Xchg::spawn_on`] — partitions become **tasks on the engine's fixed
+//!   [`WorkerPool`]** (`vw-service`). This is what the SQL layer uses: N
+//!   concurrent queries share W pool workers, so thread count stays
+//!   O(workers). Fragment tasks never block a pool worker — a task whose
+//!   output buffer is full *parks itself* and the consumer reschedules it
+//!   when it drains — and they yield (resubmit to the queue tail) every
+//!   few batches so morsel claims from different queries interleave.
+//!
+//! Cancellation propagates through the shared [`CancelToken`]; errors
+//! from any worker surface on the consumer side. When the stream
+//! completes, the per-worker morsel counts are folded into this
+//! operator's [`OpProfile`] (the scheduling-balance observable in
+//! `EXPLAIN ANALYZE`).
 
 use super::{BoxedOp, Operator};
 use crate::cancel::CancelToken;
@@ -21,16 +34,129 @@ use crate::partition::panic_error;
 use crate::profile::OpProfile;
 use crate::vector::Batch;
 use crossbeam::channel::{bounded, Receiver};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use vw_common::{Result, Schema, VwError};
+use vw_service::WorkerPool;
+
+/// Batches a pool-mode fragment produces before voluntarily yielding its
+/// worker (resubmitting itself to the pool queue tail). Small enough that
+/// no query monopolizes a worker, large enough to amortize the requeue.
+const FRAGMENT_QUANTUM: usize = 4;
+
+/// Shared state between a pool-mode exchange consumer and its fragment
+/// tasks: a bounded deque of produced batches plus the parking lot for
+/// fragments waiting on buffer space.
+struct PoolXchgState {
+    items: VecDeque<Result<Batch>>,
+    /// Fragments parked because `items` was at capacity. Invariant: a
+    /// fragment only parks while `items.len() >= cap`, and every consumer
+    /// pop below capacity unparks, so parked tasks can never be stranded
+    /// behind an empty buffer.
+    parked: Vec<FragmentTask>,
+    /// Fragments not yet finished (running, queued, or parked).
+    live: usize,
+}
+
+struct PoolXchgShared {
+    m: Mutex<PoolXchgState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+/// One plan-fragment clone running as a pool task. Dropping it (normal
+/// completion, abandoned-in-queue after shutdown, or discarded while
+/// parked) decrements `live` and wakes the consumer — every exit path
+/// accounts the fragment exactly once.
+struct FragmentTask {
+    part: Option<BoxedOp>,
+    query_cancel: CancelToken,
+    local_cancel: CancelToken,
+    shared: Arc<PoolXchgShared>,
+    pool: Arc<WorkerPool>,
+}
+
+impl FragmentTask {
+    fn push(&self, item: Result<Batch>) {
+        let mut st = self.shared.m.lock().expect("xchg mutex poisoned");
+        st.items.push_back(item);
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    /// Drive the fragment for up to one quantum. Never blocks: a full
+    /// output buffer parks the task (the consumer resubmits it), and a
+    /// spent quantum requeues it at the pool tail — unless the pool is
+    /// closed, in which case submissions run inline and yielding would
+    /// recurse, so the task runs to completion instead.
+    fn run(mut self) {
+        let mut produced = 0;
+        loop {
+            if self.local_cancel.is_cancelled() {
+                return; // silent: the consumer initiated shutdown
+            }
+            if self.query_cancel.is_cancelled() {
+                self.push(Err(VwError::Cancelled));
+                return;
+            }
+            {
+                let shared = self.shared.clone();
+                let mut st = shared.m.lock().expect("xchg mutex poisoned");
+                if st.items.len() >= shared.cap {
+                    st.parked.push(self);
+                    return;
+                }
+            }
+            let part = self.part.as_mut().expect("fragment operator present");
+            match catch_unwind(AssertUnwindSafe(|| part.next())) {
+                Ok(Ok(Some(batch))) => {
+                    self.push(Ok(batch));
+                    produced += 1;
+                    if produced >= FRAGMENT_QUANTUM && !self.pool.is_closed() {
+                        let pool = self.pool.clone();
+                        let token = self.query_cancel.clone();
+                        pool.submit(&token, move || self.run());
+                        return;
+                    }
+                }
+                Ok(Ok(None)) => return, // fragment drained; Drop accounts it
+                Ok(Err(e)) => {
+                    self.push(Err(e));
+                    return;
+                }
+                Err(payload) => {
+                    self.push(Err(panic_error("Xchg partition", payload)));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FragmentTask {
+    fn drop(&mut self) {
+        let mut st = self.shared.m.lock().expect("xchg mutex poisoned");
+        st.live -= 1;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// The two ways an exchange drives its partitions.
+enum XchgStream {
+    /// Dedicated thread per partition, merged through a bounded channel.
+    Threads { rx: Option<Receiver<Result<Batch>>>, workers: Vec<JoinHandle<()>> },
+    /// Partitions as cooperative tasks on the shared worker pool.
+    Pool { shared: Arc<PoolXchgShared> },
+}
 
 /// Exchange operator: merges the outputs of N worker-driven partitions.
 pub struct Xchg {
     schema: Schema,
-    rx: Option<Receiver<Result<Batch>>>,
-    workers: Vec<JoinHandle<()>>,
+    stream: XchgStream,
     /// Local shutdown signal for this operator's workers only. The
     /// query-wide token is shared with every operator in the plan and must
     /// NOT be cancelled when the exchange is merely dropped after a normal
@@ -92,8 +218,51 @@ impl Xchg {
         let n_workers = workers.len();
         Xchg {
             schema,
-            rx: Some(rx),
-            workers,
+            stream: XchgStream::Threads { rx: Some(rx), workers },
+            local_cancel,
+            sources: Vec::new(),
+            n_workers,
+            profile: OpProfile::new("Xchg"),
+            done: false,
+        }
+    }
+
+    /// Schedule one cooperative task per partition on the engine's shared
+    /// worker pool instead of spawning threads. The output buffer holds at
+    /// most 2 batches per partition (same bound as the channel in
+    /// [`Xchg::spawn`]); fragments park on a full buffer and the consumer
+    /// reschedules them as it drains.
+    pub fn spawn_on(
+        pool: &Arc<WorkerPool>,
+        partitions: Vec<BoxedOp>,
+        query_cancel: CancelToken,
+    ) -> Xchg {
+        assert!(!partitions.is_empty());
+        let schema = partitions[0].schema().clone();
+        let local_cancel = CancelToken::new();
+        let n_workers = partitions.len();
+        let shared = Arc::new(PoolXchgShared {
+            m: Mutex::new(PoolXchgState {
+                items: VecDeque::new(),
+                parked: Vec::new(),
+                live: n_workers,
+            }),
+            cv: Condvar::new(),
+            cap: n_workers * 2,
+        });
+        for part in partitions {
+            let task = FragmentTask {
+                part: Some(part),
+                query_cancel: query_cancel.clone(),
+                local_cancel: local_cancel.clone(),
+                shared: shared.clone(),
+                pool: pool.clone(),
+            };
+            pool.submit(&query_cancel, move || task.run());
+        }
+        Xchg {
+            schema,
+            stream: XchgStream::Pool { shared },
             local_cancel,
             sources: Vec::new(),
             n_workers,
@@ -146,23 +315,62 @@ impl Operator for Xchg {
         if self.done {
             return Ok(None);
         }
-        let Some(rx) = &self.rx else {
-            return Ok(None);
+        let item = match &self.stream {
+            XchgStream::Threads { rx, .. } => {
+                let Some(rx) = rx else {
+                    return Ok(None);
+                };
+                // An Err means all workers are done and the channel closed.
+                rx.recv().ok()
+            }
+            XchgStream::Pool { shared } => {
+                let mut st = shared.m.lock().expect("xchg mutex poisoned");
+                loop {
+                    if let Some(item) = st.items.pop_front() {
+                        // Draining below capacity unparks waiting
+                        // fragments — resubmit them *after* releasing the
+                        // lock (a closed pool runs submissions inline, and
+                        // an inline fragment re-takes this lock).
+                        let unparked: Vec<FragmentTask> = if st.items.len() < shared.cap {
+                            st.parked.drain(..).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        drop(st);
+                        for t in unparked {
+                            let pool = t.pool.clone();
+                            let token = t.query_cancel.clone();
+                            pool.submit(&token, move || t.run());
+                        }
+                        break Some(item);
+                    }
+                    if st.live == 0 {
+                        break None; // every fragment finished and drained
+                    }
+                    // Producers notify on every push and on task drop; the
+                    // timeout only bounds staleness against lost wakeups.
+                    let (guard, _) = shared
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(5))
+                        .expect("xchg mutex poisoned");
+                    st = guard;
+                }
+            }
         };
-        match rx.recv() {
-            Ok(Ok(batch)) => {
+        match item {
+            Some(Ok(batch)) => {
                 self.profile.invocations += 1;
                 self.profile.rows_out += batch.rows() as u64;
                 Ok(Some(batch))
             }
-            Ok(Err(e)) => {
+            Some(Err(e)) => {
                 // Stop the sibling workers; the error propagates upward.
                 self.local_cancel.cancel();
                 self.done = true;
                 self.collect_worker_morsels();
                 Err(e)
             }
-            Err(_) => {
+            None => {
                 self.done = true;
                 self.collect_worker_morsels();
                 Ok(None)
@@ -173,19 +381,50 @@ impl Operator for Xchg {
 
 impl Drop for Xchg {
     fn drop(&mut self) {
-        // Stop our own workers (never the query-wide token), then *drain*
-        // the channel before dropping it: a producer blocked on a full
-        // bounded channel wakes as soon as a slot frees (or the receiver
-        // disconnects), observes the local cancel, and exits — the drain
-        // makes that independent of whether the channel implementation
-        // wakes blocked senders on receiver drop. Only then join.
+        // Stop our own workers (never the query-wide token), then reclaim
+        // them before returning — an exchange drop must leave no producer
+        // behind, whatever the scheduling mode.
         self.local_cancel.cancel();
-        if let Some(rx) = &self.rx {
-            while rx.try_recv().is_ok() {}
-        }
-        self.rx = None;
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        match &mut self.stream {
+            XchgStream::Threads { rx, workers } => {
+                // Drain the channel before dropping it: a producer blocked
+                // on a full bounded channel wakes as soon as a slot frees
+                // (or the receiver disconnects), observes the local
+                // cancel, and exits — the drain makes that independent of
+                // whether the channel implementation wakes blocked senders
+                // on receiver drop. Only then join.
+                if let Some(rx) = rx {
+                    while rx.try_recv().is_ok() {}
+                }
+                *rx = None;
+                for h in workers.drain(..) {
+                    let _ = h.join();
+                }
+            }
+            XchgStream::Pool { shared } => {
+                // Discard parked fragments (their Drop accounts them) and
+                // drain buffered output so still-scheduled fragments can
+                // push their final item; wait until every fragment has
+                // exited. A cancelled task never parks again, but one may
+                // race past the cancel into the parking lot once — hence
+                // the loop re-takes the parked list each round.
+                loop {
+                    let parked: Vec<FragmentTask> = {
+                        let mut st = shared.m.lock().expect("xchg mutex poisoned");
+                        st.items.clear();
+                        std::mem::take(&mut st.parked)
+                    };
+                    drop(parked); // decrements live; must not hold the lock
+                    let st = shared.m.lock().expect("xchg mutex poisoned");
+                    if st.live == 0 {
+                        break;
+                    }
+                    let _ = shared
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(2))
+                        .expect("xchg mutex poisoned");
+                }
+            }
         }
     }
 }
@@ -359,6 +598,151 @@ mod tests {
             t0.elapsed() < std::time::Duration::from_secs(10),
             "drop must not wait for the full streams to drain"
         );
+    }
+
+    #[test]
+    fn pool_mode_merges_all_partitions_on_one_worker() {
+        // The acid test for non-blocking fragments: a single pool worker
+        // must drive 4 fragments to completion (fragments park on a full
+        // buffer instead of blocking the only worker).
+        let pool = WorkerPool::new(1);
+        let parts = vec![
+            part(0..100, None),
+            part(100..250, None),
+            part(250..300, None),
+            part(300..1000, None),
+        ];
+        let mut x = Xchg::spawn_on(&pool, parts, CancelToken::new());
+        let out = drain(&mut x).unwrap();
+        assert_eq!(out.rows(), 1000);
+        let mut vals: Vec<i64> = (0..1000)
+            .map(|i| match out.row_values(i)[0] {
+                Value::I64(v) => v,
+                _ => panic!(),
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..1000).collect::<Vec<_>>());
+        drop(x);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_mode_error_and_panic_surface() {
+        let pool = WorkerPool::new(2);
+        let parts = vec![part(0..100_000, None), part(0..1000, Some(32))];
+        let mut x = Xchg::spawn_on(&pool, parts, CancelToken::new());
+        let mut saw_error = false;
+        loop {
+            match x.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    saw_error = true;
+                    assert!(matches!(e, VwError::Exec(_)));
+                    break;
+                }
+            }
+        }
+        assert!(saw_error);
+        drop(x);
+
+        struct Panicking {
+            schema: Schema,
+        }
+        impl Operator for Panicking {
+            fn schema(&self) -> &Schema {
+                &self.schema
+            }
+            fn name(&self) -> &'static str {
+                "Panicking"
+            }
+            fn next(&mut self) -> Result<Option<Batch>> {
+                panic!("fragment exploded");
+            }
+        }
+        let schema = Schema::new(vec![Field::not_null("v", TypeId::I64)]).unwrap();
+        let parts: Vec<BoxedOp> = vec![Box::new(Panicking { schema }), part(0..64, None)];
+        let mut x = Xchg::spawn_on(&pool, parts, CancelToken::new());
+        let mut saw_panic = false;
+        loop {
+            match x.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(VwError::Exec(msg)) => {
+                    assert!(msg.contains("panicked"), "{msg}");
+                    saw_panic = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_panic, "fragment panic must surface as VwError::Exec");
+        drop(x);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_mode_cancellation_and_drop_reclaim_fragments() {
+        let pool = WorkerPool::new(1);
+        let cancel = CancelToken::new();
+        let parts = vec![part(0..1_000_000, None), part(0..1_000_000, None)];
+        let mut x = Xchg::spawn_on(&pool, parts, cancel.clone());
+        x.next().unwrap();
+        cancel.cancel();
+        loop {
+            match x.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(VwError::Cancelled) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        drop(x);
+
+        // Drop mid-stream with a saturated buffer: fragments are parked;
+        // drop must discard them and return promptly.
+        let parts: Vec<BoxedOp> =
+            (0..4).map(|i| part(i * 1_000_000..(i + 1) * 1_000_000, None)).collect();
+        let mut x = Xchg::spawn_on(&pool, parts, CancelToken::new());
+        x.next().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        drop(x);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "drop must not wait for the full streams to drain"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_mode_interleaves_two_queries_on_one_worker() {
+        // Two "queries" (exchanges) share a 1-worker pool: both must make
+        // progress — the quantum yield prevents either from monopolizing
+        // the worker until done.
+        let pool = WorkerPool::new(1);
+        let mut a = Xchg::spawn_on(&pool, vec![part(0..100_000, None)], CancelToken::new());
+        let mut b = Xchg::spawn_on(&pool, vec![part(0..100_000, None)], CancelToken::new());
+        let mut rows_a = 0;
+        let mut rows_b = 0;
+        // Alternate consumption; both streams must finish.
+        loop {
+            let ba = a.next().unwrap();
+            let bb = b.next().unwrap();
+            if let Some(batch) = &ba {
+                rows_a += batch.rows();
+            }
+            if let Some(batch) = &bb {
+                rows_b += batch.rows();
+            }
+            if ba.is_none() && bb.is_none() {
+                break;
+            }
+        }
+        assert_eq!(rows_a, 100_000);
+        assert_eq!(rows_b, 100_000);
+        pool.shutdown();
     }
 
     #[test]

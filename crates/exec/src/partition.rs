@@ -33,11 +33,14 @@
 
 use crate::cancel::CancelToken;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use vw_common::{Result, SelVec, VwError};
+use vw_service::WorkerPool;
 use vw_storage::SimulatedDisk;
 
 /// Default staged-row cost gate: a parallel-capable hash build stays
@@ -159,14 +162,61 @@ pub trait ShardWorker: Send + 'static {
     fn finish(self) -> Result<Self::Output>;
 }
 
-/// A set of shard workers, one thread per partition, fed through bounded
-/// channels (capacity 2 keeps the scatter slightly ahead of the builders
-/// without unbounded buffering) — the `Xchg` worker/channel/cancel design,
-/// pointed at operator-internal build parallelism instead of whole plan
-/// fragments.
+/// Packets a shard cell queues ahead of its worker; matches the
+/// bounded(2) channel of the dedicated-thread mode.
+const CELL_QUEUE_CAP: usize = 2;
+
+/// Packets a pool-scheduled shard task absorbs before voluntarily
+/// requeueing itself (cross-query fairness on a small pool).
+const CELL_QUANTUM: usize = 8;
+
+/// State of one pool-scheduled shard: an actor mailbox plus the worker it
+/// protects. A task is scheduled for the cell only while there is work
+/// (`scheduled`), and the task never blocks — it parks by clearing
+/// `scheduled` and returning, and the next `send`/`finish` reschedules it.
+struct CellState<W: ShardWorker> {
+    queue: VecDeque<W::Packet>,
+    worker: Option<W>,
+    /// A pool task for this cell is queued or running.
+    scheduled: bool,
+    /// No further packets; finalize once the queue drains.
+    closed: bool,
+    /// Consumer dropped mid-build: discard everything, produce no output.
+    aborted: bool,
+    /// The shard's result (set by finalize, error, or cancellation).
+    output: Option<Result<W::Output>>,
+}
+
+struct Cell<W: ShardWorker> {
+    m: Mutex<CellState<W>>,
+    cv: Condvar,
+}
+
+/// A set of shard workers — the `Xchg` worker/cancel design pointed at
+/// operator-internal build parallelism instead of whole plan fragments.
+/// Two scheduling modes, mirroring [`crate::op::xchg::Xchg`]:
+///
+/// * [`ShardSet::spawn`] — one dedicated thread per shard, fed through
+///   bounded channels (capacity 2 keeps the scatter slightly ahead of the
+///   builders without unbounded buffering).
+/// * [`ShardSet::spawn_on`] — each shard is an actor-style `Cell` whose
+///   packets are absorbed by cooperative tasks on the engine's shared
+///   [`WorkerPool`]; thread count stays O(pool workers) no matter how
+///   many queries build concurrently.
 pub struct ShardSet<W: ShardWorker> {
-    txs: Vec<Option<Sender<W::Packet>>>,
-    handles: Vec<Option<JoinHandle<Result<W::Output>>>>,
+    inner: ShardSetInner<W>,
+}
+
+enum ShardSetInner<W: ShardWorker> {
+    Threads {
+        txs: Vec<Option<Sender<W::Packet>>>,
+        handles: Vec<Option<JoinHandle<Result<W::Output>>>>,
+    },
+    Pool {
+        cells: Vec<Arc<Cell<W>>>,
+        pool: Arc<WorkerPool>,
+        cancel: CancelToken,
+    },
 }
 
 impl<W: ShardWorker> ShardSet<W> {
@@ -182,75 +232,261 @@ impl<W: ShardWorker> ShardSet<W> {
             handles.push(Some(std::thread::spawn(move || run_shard(w, rx, cancel))));
             txs.push(Some(tx));
         }
-        ShardSet { txs, handles }
+        ShardSet { inner: ShardSetInner::Threads { txs, handles } }
+    }
+
+    /// Schedule the shards as cooperative tasks on the engine's shared
+    /// worker pool instead of spawning threads. Absorption order, error
+    /// surfacing, and cancellation semantics match [`ShardSet::spawn`].
+    pub fn spawn_on(pool: &Arc<WorkerPool>, workers: Vec<W>, cancel: &CancelToken) -> ShardSet<W> {
+        let cells = workers
+            .into_iter()
+            .map(|w| {
+                Arc::new(Cell {
+                    m: Mutex::new(CellState {
+                        queue: VecDeque::new(),
+                        worker: Some(w),
+                        scheduled: false,
+                        closed: false,
+                        aborted: false,
+                        output: None,
+                    }),
+                    cv: Condvar::new(),
+                })
+            })
+            .collect();
+        ShardSet {
+            inner: ShardSetInner::Pool { cells, pool: pool.clone(), cancel: cancel.clone() },
+        }
     }
 
     /// Number of shards.
     pub fn len(&self) -> usize {
-        self.handles.len()
+        match &self.inner {
+            ShardSetInner::Threads { handles, .. } => handles.len(),
+            ShardSetInner::Pool { cells, .. } => cells.len(),
+        }
     }
 
     /// True when no shards were spawned.
     pub fn is_empty(&self) -> bool {
-        self.handles.is_empty()
+        self.len() == 0
     }
 
-    /// Hand a packet to shard `s` (blocks while the shard's channel is
-    /// full). If the worker died, its error (or panic) is joined and
-    /// surfaced here.
+    /// Hand a packet to shard `s`. While the shard's queue is full the
+    /// caller *helps*: it runs queued pool tasks on its own thread rather
+    /// than sleeping, so a plan fragment (itself a pool task) driving this
+    /// build cannot starve the shard cells of workers. If the worker died,
+    /// its error (or panic) is surfaced here.
     pub fn send(&mut self, s: usize, pkt: W::Packet) -> Result<()> {
-        let alive = match &self.txs[s] {
-            Some(tx) => tx.send(pkt).is_ok(),
-            None => false,
-        };
-        if alive {
-            return Ok(());
-        }
-        self.txs[s] = None; // worker gone: join it to learn why
-        match self.handles[s].take() {
-            Some(h) => match h.join() {
-                Ok(Ok(_)) => Err(VwError::Exec("shard worker exited early".into())),
-                Ok(Err(e)) => Err(e),
-                Err(p) => Err(panic_error("hash build shard", p)),
-            },
-            None => Err(VwError::Exec("shard worker already joined".into())),
-        }
-    }
-
-    /// Close all channels, join every worker, and collect the shard
-    /// outputs in partition order. The first worker error (or panic)
-    /// aborts the collection.
-    pub fn finish(mut self) -> Result<Vec<W::Output>> {
-        self.txs.clear(); // senders drop → workers drain and finalize
-        let mut outs = Vec::with_capacity(self.handles.len());
-        let mut first_err = None;
-        for h in &mut self.handles {
-            let Some(h) = h.take() else { continue };
-            match h.join() {
-                Ok(Ok(out)) => outs.push(out),
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
+        match &mut self.inner {
+            ShardSetInner::Threads { txs, handles } => {
+                let alive = match &txs[s] {
+                    Some(tx) => tx.send(pkt).is_ok(),
+                    None => false,
+                };
+                if alive {
+                    return Ok(());
                 }
-                Err(p) => {
-                    first_err.get_or_insert(panic_error("hash build shard", p));
+                txs[s] = None; // worker gone: join it to learn why
+                match handles[s].take() {
+                    Some(h) => match h.join() {
+                        Ok(Ok(_)) => Err(VwError::Exec("shard worker exited early".into())),
+                        Ok(Err(e)) => Err(e),
+                        Err(p) => Err(panic_error("hash build shard", p)),
+                    },
+                    None => Err(VwError::Exec("shard worker already joined".into())),
+                }
+            }
+            ShardSetInner::Pool { cells, pool, cancel } => {
+                let cell = &cells[s];
+                let mut st = cell.m.lock().expect("shard cell poisoned");
+                loop {
+                    if let Some(out) = st.output.take() {
+                        // The shard terminated early (error/panic/cancel);
+                        // surface its reason once, like the joining path.
+                        return match out {
+                            Ok(_) => Err(VwError::Exec("shard worker exited early".into())),
+                            Err(e) => Err(e),
+                        };
+                    }
+                    if st.worker.is_none() && !st.scheduled {
+                        return Err(VwError::Exec("shard worker already joined".into()));
+                    }
+                    if st.queue.len() < CELL_QUEUE_CAP {
+                        st.queue.push_back(pkt);
+                        let schedule = !st.scheduled;
+                        if schedule {
+                            st.scheduled = true;
+                        }
+                        drop(st);
+                        if schedule {
+                            // Submit outside the lock: a closed pool runs
+                            // the task inline, and the task re-takes it.
+                            let (c, p, t) = (cell.clone(), pool.clone(), cancel.clone());
+                            pool.submit(cancel, move || run_cell(&c, &p, &t));
+                        }
+                        return Ok(());
+                    }
+                    if cancel.is_cancelled() {
+                        return Err(VwError::Cancelled);
+                    }
+                    // Queue full. The caller may *itself* be a pool task (a
+                    // plan fragment driving this build), so sleeping here
+                    // could starve the cell task of the very worker it
+                    // needs — donate this thread to the pool instead.
+                    drop(st);
+                    if !pool.help_run_one() {
+                        // Pool tasks notify on every dequeue; the timeout
+                        // only bounds staleness against a racing cancel.
+                        let guard = cell.m.lock().expect("shard cell poisoned");
+                        let (guard, _) = cell
+                            .cv
+                            .wait_timeout(guard, Duration::from_millis(1))
+                            .expect("shard cell poisoned");
+                        st = guard;
+                    } else {
+                        st = cell.m.lock().expect("shard cell poisoned");
+                    }
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(outs),
+    }
+
+    /// Close all shards, wait for every worker, and collect the shard
+    /// outputs in partition order. The first worker error (or panic)
+    /// aborts the collection.
+    pub fn finish(mut self) -> Result<Vec<W::Output>> {
+        match &mut self.inner {
+            ShardSetInner::Threads { txs, handles } => {
+                txs.clear(); // senders drop → workers drain and finalize
+                let mut outs = Vec::with_capacity(handles.len());
+                let mut first_err = None;
+                for h in handles {
+                    let Some(h) = h.take() else { continue };
+                    match h.join() {
+                        Ok(Ok(out)) => outs.push(out),
+                        Ok(Err(e)) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Err(p) => {
+                            first_err.get_or_insert(panic_error("hash build shard", p));
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(outs),
+                }
+            }
+            ShardSetInner::Pool { cells, pool, cancel } => {
+                // Close every cell (scheduling idle ones so they finalize),
+                // then collect outputs in partition order.
+                for cell in cells.iter() {
+                    let mut st = cell.m.lock().expect("shard cell poisoned");
+                    st.closed = true;
+                    let schedule = !st.scheduled && st.output.is_none() && st.worker.is_some();
+                    if schedule {
+                        st.scheduled = true;
+                    }
+                    drop(st);
+                    if schedule {
+                        let (c, p, t) = (cell.clone(), pool.clone(), cancel.clone());
+                        pool.submit(cancel, move || run_cell(&c, &p, &t));
+                    }
+                }
+                let mut outs = Vec::with_capacity(cells.len());
+                let mut first_err = None;
+                for cell in cells.iter() {
+                    let mut st = cell.m.lock().expect("shard cell poisoned");
+                    let out = loop {
+                        if let Some(out) = st.output.take() {
+                            break out;
+                        }
+                        if st.worker.is_none() && !st.scheduled {
+                            break Err(VwError::Exec("shard worker already joined".into()));
+                        }
+                        // Same helping rule as `send`: the barrier may be
+                        // waiting on tasks only this thread can run.
+                        drop(st);
+                        if !pool.help_run_one() {
+                            let guard = cell.m.lock().expect("shard cell poisoned");
+                            let (guard, _) = cell
+                                .cv
+                                .wait_timeout(guard, Duration::from_millis(1))
+                                .expect("shard cell poisoned");
+                            st = guard;
+                        } else {
+                            st = cell.m.lock().expect("shard cell poisoned");
+                        }
+                    };
+                    match out {
+                        Ok(o) => outs.push(o),
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(outs),
+                }
+            }
         }
     }
 }
 
 impl<W: ShardWorker> Drop for ShardSet<W> {
     fn drop(&mut self) {
-        // Error path: close the channels and join so no worker outlives
-        // the query (their outputs are discarded).
-        self.txs.clear();
-        for h in &mut self.handles {
-            if let Some(h) = h.take() {
-                let _ = h.join();
+        match &mut self.inner {
+            ShardSetInner::Threads { txs, handles } => {
+                // Error path: close the channels and join so no worker
+                // outlives the query (their outputs are discarded).
+                txs.clear();
+                for h in handles {
+                    if let Some(h) = h.take() {
+                        let _ = h.join();
+                    }
+                }
+            }
+            ShardSetInner::Pool { cells, pool, .. } => {
+                // Abort every cell, then wait until no task references it
+                // before discarding worker state — the memory the workers
+                // staged must be released (and uncharged from any
+                // MemBudget) before drop returns, because callers assert
+                // `MemBudget::global_in_use() == 0` right after a query
+                // unwinds.
+                for cell in cells.iter() {
+                    let mut st = cell.m.lock().expect("shard cell poisoned");
+                    st.aborted = true;
+                    st.queue.clear();
+                    drop(st);
+                    cell.cv.notify_all();
+                }
+                for cell in cells.iter() {
+                    let mut st = cell.m.lock().expect("shard cell poisoned");
+                    while st.scheduled {
+                        // Helping again: the unwind path can run on a pool
+                        // worker (a fragment dropping its operators), and
+                        // the cell's final task may be queued behind us.
+                        drop(st);
+                        if !pool.help_run_one() {
+                            let guard = cell.m.lock().expect("shard cell poisoned");
+                            let (guard, _) = cell
+                                .cv
+                                .wait_timeout(guard, Duration::from_millis(1))
+                                .expect("shard cell poisoned");
+                            st = guard;
+                        } else {
+                            st = cell.m.lock().expect("shard cell poisoned");
+                        }
+                    }
+                    let worker = st.worker.take();
+                    let output = st.output.take();
+                    drop(st);
+                    drop(worker);
+                    drop(output);
+                }
             }
         }
     }
@@ -274,6 +510,95 @@ fn run_shard<W: ShardWorker>(
         }
     }))
     .unwrap_or_else(|p| Err(panic_error("hash build shard", p)))
+}
+
+/// Drive one pool-scheduled shard cell for up to a quantum of packets.
+/// Exit paths: parked (queue empty, not closed — `scheduled` cleared),
+/// yielded (quantum spent — resubmitted, `scheduled` stays set),
+/// finalized, errored, cancelled, or aborted. All but the yield clear
+/// `scheduled`; every exit notifies the cell's condvar.
+fn run_cell<W: ShardWorker>(cell: &Arc<Cell<W>>, pool: &Arc<WorkerPool>, cancel: &CancelToken) {
+    let mut absorbed = 0;
+    loop {
+        let mut st = cell.m.lock().expect("shard cell poisoned");
+        if st.aborted {
+            st.queue.clear();
+            st.scheduled = false;
+            drop(st);
+            cell.cv.notify_all();
+            return;
+        }
+        if cancel.is_cancelled() {
+            if st.output.is_none() {
+                st.output = Some(Err(VwError::Cancelled));
+            }
+            st.queue.clear();
+            st.worker = None;
+            st.scheduled = false;
+            drop(st);
+            cell.cv.notify_all();
+            return;
+        }
+        if let Some(pkt) = st.queue.pop_front() {
+            let Some(mut w) = st.worker.take() else {
+                st.scheduled = false;
+                drop(st);
+                cell.cv.notify_all();
+                return;
+            };
+            drop(st);
+            cell.cv.notify_all(); // queue space freed: wake a blocked send
+            let res = catch_unwind(AssertUnwindSafe(|| w.absorb(pkt)));
+            let mut st = cell.m.lock().expect("shard cell poisoned");
+            match res {
+                Ok(Ok(())) => {
+                    st.worker = Some(w);
+                    absorbed += 1;
+                    if absorbed >= CELL_QUANTUM && !pool.is_closed() {
+                        drop(st); // stay scheduled; requeue at the tail
+                        let (c, p, t) = (cell.clone(), pool.clone(), cancel.clone());
+                        pool.submit(cancel, move || run_cell(&c, &p, &t));
+                        return;
+                    }
+                    drop(st);
+                    continue;
+                }
+                Ok(Err(e)) => {
+                    st.output = Some(Err(e));
+                }
+                Err(p) => {
+                    st.output = Some(Err(panic_error("hash build shard", p)));
+                }
+            }
+            st.queue.clear();
+            st.scheduled = false;
+            drop(st);
+            cell.cv.notify_all();
+            return;
+        }
+        if st.closed {
+            let Some(w) = st.worker.take() else {
+                st.scheduled = false;
+                drop(st);
+                cell.cv.notify_all();
+                return;
+            };
+            drop(st);
+            let res = catch_unwind(AssertUnwindSafe(|| w.finish()))
+                .unwrap_or_else(|p| Err(panic_error("hash build shard", p)));
+            let mut st = cell.m.lock().expect("shard cell poisoned");
+            st.output = Some(res);
+            st.scheduled = false;
+            drop(st);
+            cell.cv.notify_all();
+            return;
+        }
+        // Idle: park until the next send/finish reschedules the cell.
+        st.scheduled = false;
+        drop(st);
+        cell.cv.notify_all();
+        return;
+    }
 }
 
 /// The per-query memory governor: a shared byte counter every memory-
@@ -678,5 +1003,74 @@ mod tests {
             Err(VwError::Cancelled) | Ok(_) => {}
             Err(e) => panic!("unexpected error {e:?}"),
         }
+    }
+
+    #[test]
+    fn pool_shards_collect_outputs_in_order_on_one_worker() {
+        // Four shards on a single-worker pool: the cells must absorb
+        // cooperatively without a dedicated thread each (and without
+        // deadlocking the lone worker).
+        let pool = WorkerPool::new(1);
+        let cancel = CancelToken::new();
+        let workers: Vec<_> = (0..4).map(|_| shard(None, None)).collect();
+        let mut set = ShardSet::spawn_on(&pool, workers, &cancel);
+        assert_eq!(set.len(), 4);
+        let mut expect = [0u64; 4];
+        for i in 0..200u64 {
+            let s = (i % 4) as usize;
+            expect[s] += i;
+            set.send(s, vec![i]).unwrap();
+        }
+        let outs = set.finish().unwrap();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn pool_shard_error_and_panic_surface() {
+        let pool = WorkerPool::new(2);
+        let cancel = CancelToken::new();
+        for (w, needle) in
+            [(shard(Some(5), None), "shard boom"), (shard(None, Some(3)), "panicked")]
+        {
+            let mut set = ShardSet::spawn_on(&pool, vec![w], &cancel);
+            let mut send_err = None;
+            for i in 0..1000u64 {
+                if let Err(e) = set.send(0, vec![i]) {
+                    send_err = Some(e);
+                    break;
+                }
+            }
+            let err = match send_err {
+                Some(e) => e,
+                None => set.finish().unwrap_err(),
+            };
+            match err {
+                VwError::Exec(msg) => assert!(msg.contains(needle), "{msg}"),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_shard_cancellation_and_drop_reclaim_cells() {
+        let pool = WorkerPool::new(1);
+        let cancel = CancelToken::new();
+        let mut set = ShardSet::spawn_on(&pool, vec![shard(None, None)], &cancel);
+        set.send(0, vec![1]).unwrap();
+        cancel.cancel();
+        match set.finish() {
+            Err(VwError::Cancelled) | Ok(_) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        // Drop path: a consumer that bails mid-build must not leave tasks
+        // or packets behind on the shared pool.
+        let cancel = CancelToken::new();
+        let mut set =
+            ShardSet::spawn_on(&pool, vec![shard(None, None), shard(None, None)], &cancel);
+        for i in 0..20u64 {
+            set.send((i % 2) as usize, vec![i]).unwrap();
+        }
+        drop(set);
+        assert_eq!(pool.queued(), 0, "abandoned cells must drain off the pool");
     }
 }

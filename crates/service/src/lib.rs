@@ -1,0 +1,34 @@
+//! # vw-service — the query-service scheduling layer
+//!
+//! The paper's Vectorwise chapter is about what it takes to turn an
+//! X100-style kernel into a *product that serves many concurrent users*.
+//! This crate hosts the pieces of that story that sit between the SQL
+//! facade (`vw-core`) and the execution kernel (`vw-exec`):
+//!
+//! * [`pool::WorkerPool`] — one fixed gang of worker threads per engine.
+//!   Parallel plan fragments (`Xchg` partitions, `ShardSet` build shards)
+//!   are *tasks* scheduled onto this pool instead of per-query thread
+//!   gangs, so N concurrent queries cost O(workers) threads, not
+//!   O(queries × DOP). Tasks yield cooperatively (requeue after a quantum)
+//!   so one query cannot starve the rest.
+//! * [`admission::AdmissionController`] — partitions the engine's global
+//!   memory limit across admitted queries; overflow waits in a bounded
+//!   FIFO queue or is rejected with the typed `E_ADMISSION` error.
+//!   `KILL` and statement timeouts dequeue waiting queries promptly.
+//! * [`timer::DeadlineQueue`] — one shared timer thread enforcing every
+//!   in-flight statement deadline (replacing a watchdog thread per query).
+//!
+//! Everything here speaks [`vw_common::cancel::CancelToken`] and nothing
+//! here knows about SQL, plans, or operators — the dependency points
+//! strictly downward (`vw-core` → `vw-exec` → `vw-service` → `vw-common`).
+//! The session/admission life cycle (queued → admitted → running →
+//! done/killed/timed-out) is documented in ARCHITECTURE.md ("Life of a
+//! query").
+
+pub mod admission;
+pub mod pool;
+pub mod timer;
+
+pub use admission::{AdmissionController, AdmissionGrant};
+pub use pool::WorkerPool;
+pub use timer::{DeadlineQueue, TimerGuard};

@@ -1,0 +1,295 @@
+//! The fixed global worker pool.
+//!
+//! One [`WorkerPool`] per engine, sized by `EngineConfig::workers`
+//! (`VW_WORKERS`, default = core count). Parallel plan fragments are
+//! submitted as *tasks*; a task is an ordinary closure that must follow
+//! two rules, both enforced by the exec-side task implementations rather
+//! than by the pool:
+//!
+//! 1. **Never block on progress owed by another pool task.** A task that
+//!    cannot make progress (its output queue is full, its input is empty)
+//!    parks itself in its own operator state and *returns*; whoever
+//!    removes the obstacle reschedules it. This is what makes a 1-worker
+//!    pool able to drive a DOP-4 plan without deadlock.
+//! 2. **Yield after a bounded quantum.** Long-running tasks resubmit
+//!    themselves to the queue tail every few vectors, interleaving morsel
+//!    claims across queries so no query starves the rest.
+//!
+//! Shutdown (on `Database` drop or explicit close) cancels the tokens of
+//! every queued and running task, then *runs* the remaining queue to
+//! completion — tasks observe their cancelled token and unwind fast — and
+//! joins all worker threads. Submissions that race past shutdown run
+//! inline on the caller; combined with tasks checking [`WorkerPool::
+//! is_closed`] before yielding, work submitted to a closed pool still
+//! finishes (without unbounded inline recursion).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use vw_common::cancel::CancelToken;
+
+/// A unit of work: the query's cancel token (so shutdown can interrupt it)
+/// plus the closure to run.
+struct Job {
+    token: CancelToken,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    /// Token of the job each worker is currently running, by worker index.
+    running: Vec<Option<CancelToken>>,
+    closed: bool,
+}
+
+struct PoolInner {
+    m: Mutex<PoolState>,
+    cv: Condvar,
+    /// Mirror of `PoolState::closed` readable without the lock — tasks
+    /// consult it on their yield path.
+    closed: AtomicBool,
+}
+
+/// Fixed-size worker pool executing plan-fragment tasks.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (`workers == 0` is promoted to 1).
+    /// Threads are named `vw-worker-<i>`.
+    pub fn new(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            m: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                running: vec![None; workers],
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("vw-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(WorkerPool { inner, workers, handles: Mutex::new(handles) })
+    }
+
+    /// The fixed worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True once [`WorkerPool::shutdown`] has begun. Tasks check this on
+    /// their yield path: a closed pool runs submissions inline, so instead
+    /// of resubmitting (which would recurse) a task on a closed pool keeps
+    /// going until done.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Enqueue a task. `token` is the owning query's cancel token; shutdown
+    /// cancels it so queued work drains fast. If the pool is already
+    /// closed, the task runs inline on the caller.
+    pub fn submit(&self, token: &CancelToken, f: impl FnOnce() + Send + 'static) {
+        let job = Job { token: token.clone(), run: Box::new(f) };
+        {
+            let mut st = self.inner.m.lock().expect("pool mutex poisoned");
+            if !st.closed {
+                st.jobs.push_back(job);
+                drop(st);
+                self.inner.cv.notify_one();
+                return;
+            }
+        }
+        (job.run)();
+    }
+
+    /// How many tasks are queued but not yet claimed by a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.m.lock().expect("pool mutex poisoned").jobs.len()
+    }
+
+    /// Pop one queued task and run it inline on the calling thread.
+    /// Returns false if the queue was empty.
+    ///
+    /// This is the *helping* half of rule 1 in the module docs: code that
+    /// must wait for progress owed by pool tasks (a shard barrier, a full
+    /// shard queue) donates its own thread instead of sleeping. Without
+    /// this, a task blocking on another task deadlocks a 1-worker pool —
+    /// the waiter occupies the only worker the awaited task needs.
+    pub fn help_run_one(&self) -> bool {
+        let job = {
+            let mut st = self.inner.m.lock().expect("pool mutex poisoned");
+            st.jobs.pop_front()
+        };
+        match job {
+            Some(job) => {
+                // Same outer net as the worker loop: task panics are routed
+                // into query errors by the task itself.
+                let _ = catch_unwind(AssertUnwindSafe(job.run));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Close the pool: cancel every queued and running task's token, run
+    /// the queue dry, and join all worker threads. Idempotent; called from
+    /// `Database` teardown (ARCHITECTURE.md "Failure model" — no stray
+    /// threads, even with queries mid-flight).
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.m.lock().expect("pool mutex poisoned");
+            if !st.closed {
+                st.closed = true;
+                self.inner.closed.store(true, Ordering::Release);
+                for j in &st.jobs {
+                    j.token.cancel();
+                }
+                for t in st.running.iter().flatten() {
+                    t.cancel();
+                }
+            }
+        }
+        self.inner.cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &PoolInner, me: usize) {
+    loop {
+        let job = {
+            let mut st = inner.m.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(j) = st.jobs.pop_front() {
+                    st.running[me] = Some(j.token.clone());
+                    break Some(j);
+                }
+                if st.closed {
+                    break None;
+                }
+                st = inner.cv.wait(st).expect("pool mutex poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        // Tasks carry their own catch_unwind and route panics into query
+        // errors; this outer net only keeps the *pool* alive if that ever
+        // fails, so a buggy task cannot take a worker thread down with it.
+        let _ = catch_unwind(AssertUnwindSafe(job.run));
+        inner.m.lock().expect("pool mutex poisoned").running[me] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_many_tasks_on_few_workers() {
+        let pool = WorkerPool::new(2);
+        let n = Arc::new(AtomicUsize::new(0));
+        let tok = CancelToken::new();
+        for _ in 0..64 {
+            let n = n.clone();
+            pool.submit(&tok, move || {
+                n.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        while n.load(Ordering::SeqCst) < 64 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "pool stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_and_drains_queued_tasks() {
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let tok = CancelToken::new();
+        // Occupy the single worker until the gate opens.
+        let g = gate.clone();
+        pool.submit(&tok, move || {
+            let (m, cv) = &*g;
+            let mut open = m.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        // Queue a task behind it; its token must be cancelled by shutdown,
+        // and the task must still run (drain, not drop).
+        let queued_tok = CancelToken::new();
+        let saw_cancel = Arc::new(AtomicBool::new(false));
+        let ran = Arc::new(AtomicBool::new(false));
+        let (sc, r, qt) = (saw_cancel.clone(), ran.clone(), queued_tok.clone());
+        pool.submit(&queued_tok, move || {
+            sc.store(qt.is_cancelled(), Ordering::SeqCst);
+            r.store(true, Ordering::SeqCst);
+        });
+        // Open the gate from a helper thread after shutdown begins; the
+        // running task's token is cancelled by shutdown too.
+        let g2 = gate.clone();
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let (m, cv) = &*g2;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        pool.shutdown();
+        opener.join().unwrap();
+        assert!(ran.load(Ordering::SeqCst), "queued task drained, not dropped");
+        assert!(saw_cancel.load(Ordering::SeqCst), "queued task saw its token cancelled");
+        assert!(tok.is_cancelled(), "running task's token cancelled");
+    }
+
+    #[test]
+    fn submit_after_shutdown_runs_inline() {
+        let pool = WorkerPool::new(1);
+        pool.shutdown();
+        assert!(pool.is_closed());
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        pool.submit(&CancelToken::new(), move || r.store(true, Ordering::SeqCst));
+        assert!(ran.load(Ordering::SeqCst), "post-shutdown submit completes inline");
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn task_panic_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        let tok = CancelToken::new();
+        pool.submit(&tok, || panic!("task bug"));
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        pool.submit(&tok, move || r.store(true, Ordering::SeqCst));
+        let t0 = std::time::Instant::now();
+        while !ran.load(Ordering::SeqCst) {
+            assert!(t0.elapsed() < Duration::from_secs(10), "worker died after panic");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+}

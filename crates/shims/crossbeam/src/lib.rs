@@ -18,6 +18,14 @@ pub mod channel {
     /// Error returned when the receiving side has disconnected.
     pub use std::sync::mpsc::{RecvError, SendError};
 
+    /// Error returned by [`Sender::try_send`], matching crossbeam's shape.
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value comes back to the caller.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             Sender(self.0.clone())
@@ -28,6 +36,16 @@ pub mod channel {
         /// Block until the value is enqueued or the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: enqueue if there is capacity, hand the value
+        /// back otherwise. Pool-scheduled producers use this so a full
+        /// channel parks the *task* instead of blocking a pool worker.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -57,7 +75,18 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::bounded;
+    use super::channel::{bounded, TrySendError};
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
 
     #[test]
     fn bounded_multi_producer() {

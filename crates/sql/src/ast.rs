@@ -74,6 +74,20 @@ pub enum Statement {
         /// Value literal.
         value: Value,
     },
+    /// SHOW `<view>` — monitoring views (sessions, queries).
+    Show {
+        /// Which view to render.
+        what: ShowKind,
+    },
+}
+
+/// Monitoring view selected by `SHOW`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowKind {
+    /// Open sessions: id, state, current query, admission grant.
+    Sessions,
+    /// The query registry: id, state, statement, elapsed, rows.
+    Queries,
 }
 
 /// Storage engine choice in CREATE TABLE (Figure 1's two table kinds).

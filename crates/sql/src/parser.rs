@@ -235,6 +235,14 @@ impl Parser {
                 other => return Err(perr(format!("expected query id, found {other:?}"))),
             }
         }
+        if self.eat_kw("SHOW") {
+            let what = self.ident()?;
+            return match what.to_ascii_uppercase().as_str() {
+                "SESSIONS" => Ok(Statement::Show { what: ShowKind::Sessions }),
+                "QUERIES" => Ok(Statement::Show { what: ShowKind::Queries }),
+                other => Err(perr(format!("unknown SHOW view '{other}'"))),
+            };
+        }
         if self.eat_kw("SET") {
             let name = self.ident()?;
             self.expect_sym("=")?;

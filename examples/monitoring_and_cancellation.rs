@@ -11,16 +11,19 @@ use vw_bench::tpch;
 
 fn main() {
     let db = Database::open_in_memory();
-    tpch::load_lineitem(&db, 60_000, 7);
+    tpch::load_lineitem(&db, 250_000, 7);
 
     // A few quick queries to populate the registry.
     db.execute("SELECT COUNT(*) FROM lineitem").unwrap();
     let _ = db.execute("SELECT 1 / 0"); // fails — and is logged
 
-    // Launch an expensive self-join on another thread...
-    let db2 = db.clone();
+    // Launch an expensive self-join on another thread, in its own session —
+    // `Database::execute` serializes through the shared default session, so
+    // concurrent statements (like the KILL below) need their own `Session`.
+    let mut session = db.session();
     let worker = std::thread::spawn(move || {
-        db2.execute("SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_partkey = b.l_partkey")
+        session
+            .execute("SELECT COUNT(*) FROM lineitem a JOIN lineitem b ON a.l_partkey = b.l_partkey")
     });
 
     // ...find it in the query list...
@@ -32,8 +35,8 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(1));
     };
-    println!("found running query #{qid}; letting it burn 50ms, then KILL");
-    std::thread::sleep(Duration::from_millis(50));
+    println!("found running query #{qid}; letting it burn 20ms, then KILL");
+    std::thread::sleep(Duration::from_millis(20));
 
     // ...and kill it. Cancellation is cooperative at vector granularity, so
     // the latency is bounded by one vector's work per pipeline stage.
