@@ -882,6 +882,51 @@ pub fn perf_smoke(rows: usize, reps: usize) -> Vec<SmokeMetric> {
     out
 }
 
+/// PR 8 multi-join scenario: a 3-table TPC-H-ish join
+/// (lineitem ⋈ orders ⋈ customer, 4:1 and 40:1 key fan-in) with a
+/// selective customer predicate, measured with the cost-based optimizer
+/// on (`multi_join_dop*`) and off (`multi_join_noopt_dop*`) at DOP 1
+/// and 4. The syntactic plan joins the two big tables first and filters
+/// last; the cost-based plan pushes `c_nation = 3` into the customer
+/// scan, joins smallest-first and probes with lineitem — the gap between
+/// the two metric pairs is the optimizer's measured win. Answers from
+/// every configuration are cross-checked.
+pub fn multi_join(rows: usize, reps: usize) -> Vec<SmokeMetric> {
+    let sql = "SELECT c_nation, COUNT(*), SUM(l_quantity) FROM lineitem \
+               JOIN orders ON l_orderkey = o_orderkey \
+               JOIN customer ON o_custkey = c_custkey \
+               WHERE c_nation = 3 AND l_quantity < 40 GROUP BY c_nation";
+    let db = Database::open_in_memory();
+    load_lineitem(&db, rows, 1994);
+    crate::tpch::load_orders_customer(&db, rows, 1994);
+    let mut out = Vec::new();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for dop in [1usize, 4] {
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        for optimizer in [1i64, 0] {
+            db.execute(&format!("SET optimizer = {optimizer}")).unwrap();
+            let warm = db.execute(sql).unwrap().rows().to_vec();
+            match &reference {
+                None => reference = Some(warm),
+                Some(expect) => assert!(
+                    rows_approx_eq(expect, &warm),
+                    "multi_join: optimizer={optimizer} dop={dop} changed the answer"
+                ),
+            }
+            let mut best = Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                std::hint::black_box(db.execute(sql).unwrap());
+                best = best.min(t0.elapsed());
+            }
+            let tag = if optimizer == 1 { "" } else { "_noopt" };
+            out.push((format!("multi_join{tag}_dop{dop}"), rows as f64 / best.as_secs_f64()));
+        }
+    }
+    db.execute("SET optimizer = 1").unwrap();
+    out
+}
+
 /// Result of the [`concurrent_mix`] service scenario: aggregate scan
 /// throughput across all sessions, the p95 statement latency, and the
 /// session count that produced them.

@@ -130,6 +130,59 @@ pub fn gen_lineitem(n: usize, seed: u64) -> LineitemColumns {
     }
 }
 
+/// The orders DDL used by the multi-join experiments.
+pub const ORDERS_DDL: &str = "CREATE TABLE orders (\
+    o_orderkey BIGINT NOT NULL, \
+    o_custkey BIGINT NOT NULL, \
+    o_totalprice DOUBLE NOT NULL)";
+
+/// The customer DDL used by the multi-join experiments.
+pub const CUSTOMER_DDL: &str = "CREATE TABLE customer (\
+    c_custkey BIGINT NOT NULL, \
+    c_nation BIGINT NOT NULL, \
+    c_acctbal DOUBLE NOT NULL)";
+
+/// Generate the orders side of [`gen_lineitem`]'s key space: one row per
+/// distinct `l_orderkey` (`n_lineitem / 4` orders, clustered ascending),
+/// each owned by a uniform customer out of `n_customers`.
+pub fn gen_orders(n_lineitem: usize, n_customers: usize, seed: u64) -> Vec<ColData> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x08de8);
+    let n = (n_lineitem / 4).max(1);
+    let orderkey: Vec<i64> = (1..=n as i64).collect();
+    let custkey: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=n_customers.max(1) as i64)).collect();
+    let total: Vec<f64> = (0..n).map(|_| rng.gen_range(1000.0..=100_000.0)).collect();
+    vec![ColData::I64(orderkey), ColData::I64(custkey), ColData::F64(total)]
+}
+
+/// Generate `n` customers over 25 nations (TPC-H's nation count), uniform.
+pub fn gen_customer(n: usize, seed: u64) -> Vec<ColData> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc057);
+    let custkey: Vec<i64> = (1..=n as i64).collect();
+    let nation: Vec<i64> = (0..n).map(|_| rng.gen_range(0..25i64)).collect();
+    let acctbal: Vec<f64> = (0..n).map(|_| rng.gen_range(-999.0..=9999.0)).collect();
+    vec![ColData::I64(custkey), ColData::I64(nation), ColData::F64(acctbal)]
+}
+
+/// Create + bulk-load the orders and customer tables sized to match a
+/// `n_lineitem`-row lineitem (1:4 orders, 1:40 customers — enough key
+/// skew that join order matters). Bulk load builds fresh statistics, so
+/// the cost-based optimizer sees real cardinalities.
+pub fn load_orders_customer(
+    db: &std::sync::Arc<vw_core::Database>,
+    n_lineitem: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let n_customers = (n_lineitem / 40).max(1);
+    db.execute(ORDERS_DDL).expect("orders ddl");
+    db.execute(CUSTOMER_DDL).expect("customer ddl");
+    let ocols = gen_orders(n_lineitem, n_customers, seed);
+    let ccols = gen_customer(n_customers, seed);
+    let on = vw_core::bulk_load(db, "orders", &ocols, &vec![None; ocols.len()]).expect("orders");
+    let cn =
+        vw_core::bulk_load(db, "customer", &ccols, &vec![None; ccols.len()]).expect("customer");
+    (on, cn)
+}
+
 /// Row-wise view for the Volcano baseline.
 pub fn gen_lineitem_rows(n: usize, seed: u64) -> Vec<Vec<Value>> {
     let cols = gen_lineitem(n, seed).into_columns();

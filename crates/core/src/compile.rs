@@ -195,6 +195,33 @@ fn build_plan_inner(
     batch_pool: &BatchPool,
     spill: Option<&QuerySpill>,
 ) -> Result<BoxedOp> {
+    let mut op =
+        build_plan_node(db, plan, config, cancel, txn, partition, in_exchange, batch_pool, spill)?;
+    // Stamp the cost model's row estimate onto the operator's profile so
+    // EXPLAIN ANALYZE-style renderings can show estimated vs. actual
+    // rows. Rule-only planning (SET optimizer = 0) leaves it unset.
+    if config.optimizer {
+        if let Some(prof) = op.profile_mut() {
+            let cat = crate::CatalogSnapshot { db };
+            let est = vw_sql::optimizer::Estimator::new(&cat);
+            prof.est_rows = Some(est.rows(plan).round() as u64);
+        }
+    }
+    Ok(op)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_plan_node(
+    db: &Arc<Database>,
+    plan: &LogicalPlan,
+    config: &EngineConfig,
+    cancel: &CancelToken,
+    txn: Option<&OpenTxn>,
+    partition: Option<&mut Partition<'_>>,
+    in_exchange: bool,
+    batch_pool: &BatchPool,
+    spill: Option<&QuerySpill>,
+) -> Result<BoxedOp> {
     let ctx = ExprCtx { check: config.check_mode, null_mode: config.null_mode };
     let vs = config.vector_size;
     Ok(match plan {

@@ -328,6 +328,12 @@ pub(crate) fn update(
             commit(db, txn)?;
         }
     }
+    // Updated rows invalidate the distinct/histogram snapshot: mark it
+    // stale so the cost model stops planning against dead numbers until
+    // CHECKPOINT rebuilds it.
+    if matches!(result, Ok(n) if n > 0) {
+        entry.stats.write().mark_stale();
+    }
     result
 }
 
@@ -361,6 +367,11 @@ pub(crate) fn delete(
         if result.is_ok() {
             commit(db, txn)?;
         }
+    }
+    // Deleted rows invalidate the distinct/histogram snapshot (see
+    // `update`): stale until the next CHECKPOINT rebuild.
+    if matches!(result, Ok(n) if n > 0) {
+        entry.stats.write().mark_stale();
     }
     result
 }
@@ -444,6 +455,11 @@ fn heap_update_delete(
     let mut fresh = vw_volcano::RowStore::new(db.disk.clone(), entry.schema.clone());
     fresh.append_rows(&kept)?;
     *st = fresh;
+    if affected > 0 {
+        // Same staleness contract as the PDT path: the heap rewrite just
+        // changed or removed rows the statistics still describe.
+        entry.stats.write().mark_stale();
+    }
     Ok(affected)
 }
 

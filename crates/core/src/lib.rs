@@ -356,6 +356,7 @@ impl Database {
                 };
             }
             "profiling" => cfg.profiling = value.as_i64()? != 0,
+            "optimizer" => cfg.optimizer = value.as_i64()? != 0,
             "statement_timeout" | "statement_timeout_ms" => {
                 let v = value.as_i64()?;
                 if v < 0 {
@@ -615,18 +616,27 @@ fn run_select(
     let cat_view = CatalogSnapshot { db };
     let binder = Binder::new(&cat_view);
     let plan = binder.bind_select(stmt)?;
-    let plan = optimizer::optimize(plan, &cat_view)?;
+    let cost_based = core.cfg.optimizer;
+    let plan = optimizer::optimize_with(plan, &cat_view, cost_based)?;
     let rw_cfg = vw_rewriter::RewriterConfig {
         dop: core.cfg.parallelism,
         parallel_threshold_rows: 10_000.0,
     };
     let plan = vw_rewriter::rewrite_plan(plan, &rw_cfg);
     if explain {
+        // The cost-based pipeline annotates EXPLAIN with its estimates
+        // (documented contract in sql::optimizer); the rule-only path
+        // keeps the original unannotated rendering.
+        let text = if cost_based {
+            optimizer::explain_with_estimates(&plan, &cat_view)
+        } else {
+            plan.explain()
+        };
         return Ok(QueryResult {
             schema: plan.schema().clone(),
             rows: Vec::new(),
             affected: 0,
-            text: Some(plan.explain()),
+            text: Some(text),
         });
     }
     execute_plan(db, core, &plan, sql_label)
@@ -711,8 +721,8 @@ pub(crate) fn execute_plan(
 }
 
 /// Catalog adapter implementing the planner's view.
-struct CatalogSnapshot<'a> {
-    db: &'a Arc<Database>,
+pub(crate) struct CatalogSnapshot<'a> {
+    pub(crate) db: &'a Arc<Database>,
 }
 
 impl CatalogView for CatalogSnapshot<'_> {
@@ -727,6 +737,50 @@ impl CatalogView for CatalogSnapshot<'_> {
             TableKind::Vectorwise { pdt, .. } => pdt.visible_rows(),
             TableKind::Heap { store } => store.read().n_rows(),
         })
+    }
+
+    // Statistics come from the snapshot built at bulk load / CHECKPOINT.
+    // A stale snapshot (DML since the build) answers `None` for everything
+    // so the cost model falls back to structural defaults instead of
+    // planning against dead distinct counts.
+
+    fn column_distinct(&self, table: &str, col: usize) -> Option<u64> {
+        let cat = self.db.catalog.read();
+        let stats = cat.get(table)?.stats.clone();
+        let stats = stats.read();
+        if stats.stale {
+            return None;
+        }
+        let c = stats.columns.get(col)?;
+        (c.n_distinct > 0).then_some(c.n_distinct)
+    }
+
+    fn column_range_selectivity(
+        &self,
+        table: &str,
+        col: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<f64> {
+        let cat = self.db.catalog.read();
+        let stats = cat.get(table)?.stats.clone();
+        let stats = stats.read();
+        if stats.stale {
+            return None;
+        }
+        let c = stats.columns.get(col)?;
+        let h = c.histogram.as_ref()?;
+        let lo = match lo {
+            Some(v) => Some(vw_storage::stats::project(v)?),
+            None => None,
+        };
+        let hi = match hi {
+            Some(v) => Some(vw_storage::stats::project(v)?),
+            None => None,
+        };
+        // `sel_lt` is strict; nudge the upper bound so `hi` stays
+        // inclusive under interpolation (matches the hint semantics).
+        Some(h.sel_range(lo, hi.map(|v| v + 1e-9)))
     }
 }
 

@@ -1356,6 +1356,10 @@ impl Operator for HashAggregate {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         self.cancel.check()?;
         if !self.built {

@@ -1092,6 +1092,10 @@ impl Operator for HashJoin {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         if !self.built {
             let t0 = Instant::now();

@@ -36,6 +36,13 @@ pub trait Operator: Send {
     fn profile(&self) -> Option<&OpProfile> {
         None
     }
+    /// Mutable access to the same counters, for compile-time annotations
+    /// (the planner stamps its estimated output rows into
+    /// [`OpProfile::est_rows`]). `None` exactly when
+    /// [`profile`](Operator::profile) is `None`.
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        None
+    }
 }
 
 /// Owned boxed operator.

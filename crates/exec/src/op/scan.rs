@@ -210,6 +210,10 @@ impl Operator for VectorScan {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         self.cancel.check()?;
         if !self.ensure_morsel() {

@@ -108,6 +108,10 @@ impl Operator for Select {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             self.cancel.check()?;
@@ -198,6 +202,10 @@ impl Operator for Project {
 
     fn profile(&self) -> Option<&OpProfile> {
         Some(&self.profile)
+    }
+
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {

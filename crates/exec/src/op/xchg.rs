@@ -311,6 +311,10 @@ impl Operator for Xchg {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         if self.done {
             return Ok(None);

@@ -15,6 +15,7 @@
 //! |-----------|---------|----------------------|
 //! | `calls`   | `next()` invocations that returned a batch ([`OpProfile::invocations`]). | ≈ `rows / vector_size`; far higher means many empty probe batches. |
 //! | `rows`    | live rows across all returned batches ([`OpProfile::rows_out`]). | — |
+//! | `est`     | the optimizer's estimated output rows for this operator ([`OpProfile::est_rows`]), filled at compile time from the statistics-driven cost model; `-` when the cost-based optimizer was off (`SET optimizer = 0`) or the operator has no plan-node counterpart. | compare with `rows`: a large ratio either way marks the estimate that misled join ordering or build-side choice — rebuild statistics (CHECKPOINT) if DML left them stale. |
 //! | `time`    | wall time inside this operator's `next()` plus internal phases like hash build ([`OpProfile::time`]); children measured separately. | — |
 //! | `chain`   | average hash-chain entries visited per probed key ([`OpProfile::avg_chain_len`]); `-` for operators without a probe phase. | near 1.00 is healthy; growth signals a clustered hash or under-sized directory. |
 //! | `progs`   | compiled expression programs executed, one per expression per batch ([`OpProfile::expr_programs`]). | — |
@@ -36,6 +37,12 @@ pub struct OpProfile {
     pub invocations: u64,
     /// Rows produced (live rows across all returned batches).
     pub rows_out: u64,
+    /// The optimizer's estimated output rows, stamped at compile time by
+    /// the cost-based planner (`None` when planning ran rule-only or the
+    /// operator has no logical-plan counterpart). Comparing against
+    /// [`rows_out`](OpProfile::rows_out) is the estimate-quality
+    /// observable.
+    pub est_rows: Option<u64>,
     /// Wall time spent inside this operator's `next()` (excluding children
     /// when wrapped individually).
     pub time: Duration,
@@ -265,10 +272,14 @@ impl QueryProfile {
     /// so output stays interpretable without reading this source.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry\n",
+            "operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
+            let est = match p.est_rows {
+                Some(n) => format!("{n:>10}"),
+                None => format!("{:>10}", "-"),
+            };
             let chain = if p.probe_rows > 0 {
                 format!("{:>8.2}", p.avg_chain_len())
             } else {
@@ -321,10 +332,11 @@ impl QueryProfile {
                 format!("{:>8}", "-")
             };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {:>8.3}ms {} {} {} {} {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {} {:>8.3}ms {} {} {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
+                est,
                 p.time.as_secs_f64() * 1e3,
                 chain,
                 progs,
@@ -499,6 +511,7 @@ mod tests {
     fn render_golden() {
         let mut join = OpProfile::new("HashJoin");
         join.record(1000, Duration::from_millis(2));
+        join.est_rows = Some(900);
         join.record_probe(100, 150);
         join.record_expr(4, 12);
         join.record_shard_build(0, 100);
@@ -520,9 +533,9 @@ mod tests {
         q.operators.push((0, join));
         q.operators.push((1, scan));
         let expect = "\
-operator                          calls       rows     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry
-HashJoin                              1       1000    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3
-  Scan                                1       5000    1.000ms        -        -        -        -        7        -               -        -
+operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry
+HashJoin                              1       1000        900    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3
+  Scan                                1       5000          -    1.000ms        -        -        -        -        7        -               -        -
 ";
         assert_eq!(q.render(), expect);
     }

@@ -99,6 +99,10 @@ impl Operator for SpillScan {
         Some(&self.profile)
     }
 
+    fn profile_mut(&mut self) -> Option<&mut OpProfile> {
+        Some(&mut self.profile)
+    }
+
     fn next(&mut self) -> Result<Option<Batch>> {
         loop {
             self.cancel.check()?;

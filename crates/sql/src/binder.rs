@@ -12,12 +12,41 @@ use crate::plan::{AggCall, AggFunc, JoinKind, LogicalPlan};
 use vw_common::date::DateField;
 use vw_common::{Field, Result, Schema, TypeId, Value, VwError};
 
-/// Read-only view of the catalog the binder needs.
+/// Read-only view of the catalog the binder and optimizer need.
+///
+/// The two schema/row methods are required (the binder cannot work without
+/// them); the statistics methods have conservative `None` defaults so
+/// lightweight implementers (mock catalogs, the DML helper views) keep
+/// compiling while the engine's catalog adapter serves real numbers from
+/// `vw_storage::stats`. Returning `None` from a statistics method makes
+/// the cost model fall back to its structural defaults — implementers
+/// should also return `None` when their statistics are stale (DML since
+/// the last rebuild), so the planner never consumes dead numbers.
 pub trait CatalogView {
     /// Schema of `name`, if the table exists.
     fn table_schema(&self, name: &str) -> Option<Schema>;
     /// Row-count estimate for the optimizer.
     fn table_rows(&self, name: &str) -> Option<u64>;
+
+    /// Distinct-value estimate for base-table column `col` of `table`
+    /// (`None` = unknown or stale). Feeds equality selectivities
+    /// (`1/n_distinct`) and the join-cardinality formula.
+    fn column_distinct(&self, _table: &str, _col: usize) -> Option<u64> {
+        None
+    }
+
+    /// Histogram selectivity estimate for `lo <= col <= hi` over `table`
+    /// (bounds inclusive; a missing bound leaves that side open). `None`
+    /// when no fresh histogram exists for the column.
+    fn column_range_selectivity(
+        &self,
+        _table: &str,
+        _col: usize,
+        _lo: Option<&Value>,
+        _hi: Option<&Value>,
+    ) -> Option<f64> {
+        None
+    }
 }
 
 fn berr(msg: impl Into<String>) -> VwError {

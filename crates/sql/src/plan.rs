@@ -159,7 +159,13 @@ impl LogicalPlan {
         }
     }
 
-    /// Render an indented EXPLAIN tree.
+    /// Render an indented EXPLAIN tree (the rule-only plan format, no
+    /// cardinality annotations). The cost-based pipeline renders through
+    /// [`optimizer::explain_with_estimates`](crate::optimizer::explain_with_estimates)
+    /// instead, which appends ` est~N` to every line and labels join
+    /// children `probe:`/`build:` — the byte-exact contract both formats
+    /// obey is pinned by `tests/architecture.rs` and documented in
+    /// ARCHITECTURE.md ("The optimizer").
     pub fn explain(&self) -> String {
         let mut out = String::new();
         self.explain_into(0, &mut out);

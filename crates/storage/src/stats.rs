@@ -124,12 +124,22 @@ impl ColumnStats {
 }
 
 /// Statistics of a whole table.
+///
+/// Built at bulk load and at CHECKPOINT (the only points where the full
+/// stable column image is in hand); UPDATE/DELETE mark the snapshot
+/// [stale](TableStats::stale) instead of rebuilding, and the cost model
+/// falls back to structural defaults until the next rebuild clears it.
 #[derive(Debug, Clone)]
 pub struct TableStats {
     /// Row count.
     pub n_rows: u64,
     /// Per-column stats, schema order.
     pub columns: Vec<ColumnStats>,
+    /// `true` after DML has mutated the table since these statistics were
+    /// built: distinct counts and histograms may describe deleted or
+    /// overwritten rows, so estimators must not trust them. Cleared by
+    /// [`TableStats::build`] (CHECKPOINT / bulk load rebuild stats).
+    pub stale: bool,
 }
 
 /// Maximum values sampled per column when building statistics.
@@ -172,7 +182,7 @@ impl TableStats {
                 }
             })
             .collect();
-        TableStats { n_rows, columns: cols }
+        TableStats { n_rows, columns: cols, stale: false }
     }
 
     /// Empty-table statistics with the right arity.
@@ -183,7 +193,15 @@ impl TableStats {
                 .iter()
                 .map(|&ty| ColumnStats { ty, n_distinct: 0, null_count: 0, histogram: None })
                 .collect(),
+            stale: false,
         }
+    }
+
+    /// Mark the snapshot stale after DML (UPDATE/DELETE): the distinct
+    /// counts and histograms may now describe dead rows, so the planner
+    /// must stop consuming them until the next rebuild.
+    pub fn mark_stale(&mut self) {
+        self.stale = true;
     }
 }
 
@@ -254,5 +272,17 @@ mod tests {
         assert_eq!(s.n_rows, 0);
         assert_eq!(s.columns.len(), 2);
         assert_eq!(s.columns[0].sel_eq(), 0.0);
+    }
+
+    #[test]
+    fn staleness_set_by_dml_cleared_by_rebuild() {
+        let col = ColData::I32((0..100).collect());
+        let mut s = TableStats::build(std::slice::from_ref(&col), &[None], 8);
+        assert!(!s.stale, "fresh build starts trusted");
+        s.mark_stale();
+        assert!(s.stale);
+        // A rebuild (the CHECKPOINT path) produces a trusted snapshot again.
+        let s = TableStats::build(&[col], &[None], 8);
+        assert!(!s.stale);
     }
 }

@@ -145,3 +145,96 @@ fn cancellation_is_prompt_and_clean() {
     let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(r.scalar().unwrap(), &Value::I64(60_000));
 }
+
+/// PR 8 EXPLAIN contract, end to end through the SQL surface: with real
+/// statistics (CHECKPOINT), the cost-based pipeline reorders the join chain
+/// smallest-first, pushes error-free predicates into pack-skipping scan
+/// hints, prunes unused columns, and annotates every line with `est~N`.
+/// Byte-exact on purpose — the plan text IS the documented contract (see
+/// ARCHITECTURE.md, "The optimizer"); change it deliberately or not at all.
+#[test]
+fn explain_golden_cost_based_and_rule_only() {
+    let db = Database::open_in_memory();
+    db.execute(
+        "CREATE TABLE lineitem (l_orderkey BIGINT NOT NULL, l_partkey BIGINT NOT NULL, \
+         l_quantity BIGINT)",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE orders (o_orderkey BIGINT NOT NULL, o_custkey BIGINT NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE customer (c_custkey BIGINT NOT NULL, c_nation BIGINT)").unwrap();
+    let li: Vec<String> =
+        (0..1000).map(|i| format!("({}, {}, {})", i % 200, i % 50, i % 7)).collect();
+    let os: Vec<String> = (0..200).map(|i| format!("({i}, {})", i % 25)).collect();
+    let cs: Vec<String> = (0..25).map(|i| format!("({i}, {})", i % 5)).collect();
+    db.execute(&format!("INSERT INTO lineitem VALUES {}", li.join(", "))).unwrap();
+    db.execute(&format!("INSERT INTO orders VALUES {}", os.join(", "))).unwrap();
+    db.execute(&format!("INSERT INTO customer VALUES {}", cs.join(", "))).unwrap();
+    db.execute("CHECKPOINT").unwrap();
+    // Pin the plan-shaping knobs: this golden must not drift with the
+    // VW_OPTIMIZER / VW_DOP env lanes the suite happens to run under.
+    db.execute("SET optimizer = 1").unwrap();
+    db.execute("SET parallelism = 1").unwrap();
+    let q = "EXPLAIN SELECT c.c_nation, SUM(l.l_quantity) FROM lineitem l \
+             JOIN orders o ON l.l_orderkey = o.o_orderkey \
+             JOIN customer c ON o.o_custkey = c.c_custkey \
+             WHERE c.c_nation = 3 AND l.l_quantity < 5 GROUP BY c.c_nation";
+
+    let cost_based = db.execute(q).unwrap().text.unwrap();
+    assert_eq!(
+        cost_based,
+        "Project [2 exprs] est~5\n\
+         \u{20} Aggr groups=1 aggs=1 est~5\n\
+         \u{20}   Project [2 exprs] est~169\n\
+         \u{20}     Project [6 exprs] est~169\n\
+         \u{20}       HashJoin Inner on 1 key(s) est~169\n\
+         \u{20}         probe: Select est~844\n\
+         \u{20}           Scan lineitem cols=[0, 2]/3 hints=1 [c2<=5] est~1000\n\
+         \u{20}         build: HashJoin Inner on 1 key(s) est~40\n\
+         \u{20}           probe: Scan orders cols=[0, 1]/2 hints=0 est~200\n\
+         \u{20}           build: Select est~5\n\
+         \u{20}             Scan customer cols=[0, 1]/2 hints=1 [c1=3] est~25\n",
+        "cost-based EXPLAIN drifted from the documented contract:\n{cost_based}"
+    );
+
+    // `SET optimizer = 0` restores the rule-only pipeline AND its plan
+    // format: syntactic join order, no estimates, no pushed hints.
+    db.execute("SET optimizer = 0").unwrap();
+    let rule_only = db.execute(q).unwrap().text.unwrap();
+    assert_eq!(
+        rule_only,
+        "Project [2 exprs]\n\
+         \u{20} Aggr groups=1 aggs=1\n\
+         \u{20}   Select\n\
+         \u{20}     HashJoin Inner on 1 key(s)\n\
+         \u{20}       HashJoin Inner on 1 key(s)\n\
+         \u{20}         Scan lineitem cols=[0, 1, 2]\n\
+         \u{20}         Scan orders cols=[0, 1]\n\
+         \u{20}       Scan customer cols=[0, 1]\n",
+        "rule-only EXPLAIN drifted:\n{rule_only}"
+    );
+    assert!(!rule_only.contains("est~"), "rule-only plans must not carry estimates");
+}
+
+/// PR 8: UPDATE and DELETE mark table statistics stale so the cost model
+/// stops trusting dead numbers; CHECKPOINT rebuilds and re-arms them.
+#[test]
+fn dml_marks_statistics_stale_until_checkpoint_rebuild() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t (k BIGINT NOT NULL, v BIGINT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)").unwrap();
+    db.execute("CHECKPOINT").unwrap();
+    let stale =
+        |db: &std::sync::Arc<Database>| db.catalog.read().get("t").unwrap().stats.read().stale;
+    assert!(!stale(&db), "CHECKPOINT builds trusted statistics");
+
+    db.execute("UPDATE t SET v = 99 WHERE k = 2").unwrap();
+    assert!(stale(&db), "UPDATE must mark statistics stale");
+    db.execute("CHECKPOINT").unwrap();
+    assert!(!stale(&db), "CHECKPOINT rebuild clears staleness");
+
+    db.execute("DELETE FROM t WHERE k = 1").unwrap();
+    assert!(stale(&db), "DELETE must mark statistics stale");
+    db.execute("CHECKPOINT").unwrap();
+    assert!(!stale(&db), "CHECKPOINT rebuild clears staleness again");
+}
