@@ -6,12 +6,15 @@
 //! `spill_join` whose build runs ~4× over its budget at DOP 1; fixed
 //! seed), the PR 8 `multi_join` scenario (lineitem ⋈ orders ⋈ customer
 //! with a selective customer filter, cost-based optimizer on vs off at
-//! DOP 1 and 4 — the on/off gap is the optimizer's measured win), then
-//! the `concurrent_mix` service scenario (4 sessions sharing one
-//! engine's worker pool under admission control, reported as aggregate
-//! rows/sec + p95 statement latency), and writes the numbers to a JSON
-//! file CI uploads — `BENCH_pr8.json` by default — so every PR from
-//! here on appends a point to the benchmark series.
+//! DOP 1 and 4 — the on/off gap is the optimizer's measured win), the
+//! PR 9 `dict_scan_filter_agg` scenario (low-cardinality string
+//! filter + GROUP BY with `compressed_exec` on vs off at DOP 1 and 4 —
+//! the on/off gap is compressed execution's measured win), then the
+//! `concurrent_mix` service scenario (4 sessions sharing one engine's
+//! worker pool under admission control, reported as aggregate rows/sec
+//! plus p95 statement latency), and writes the numbers to a JSON file
+//! CI uploads — `BENCH_pr9.json` by default — so every PR from here on
+//! appends a point to the benchmark series.
 //!
 //! Usage: `cargo run --release -p vw-bench --bin perf_smoke [-- out.json [rows]]`
 //! (default 500k rows keeps the whole run around ten seconds).
@@ -20,20 +23,21 @@ use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_pr9.json".to_string());
     let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500_000);
     let reps = 3;
 
     let t0 = std::time::Instant::now();
     let mut metrics = vw_bench::experiments::perf_smoke(rows, reps);
     metrics.extend(vw_bench::experiments::multi_join(rows, reps));
+    metrics.extend(vw_bench::experiments::dict_scan_filter_agg(rows, reps));
     let mix = vw_bench::experiments::concurrent_mix(rows, 4);
     let wall = t0.elapsed();
 
     // Hand-rolled JSON (no serde in the offline image): flat and stable so
     // the artifact series stays trivially diffable across PRs.
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"harness\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"rows\": {rows},");
     let _ = writeln!(json, "  \"reps\": {reps},");

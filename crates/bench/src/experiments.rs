@@ -927,6 +927,58 @@ pub fn multi_join(rows: usize, reps: usize) -> Vec<SmokeMetric> {
     out
 }
 
+/// PR 9 compressed-execution scenario: scan a 25-value returnflag-style
+/// string column, range-filter it, and GROUP BY it with a SUM — the
+/// query shape the encoded path is built for (dict codes flow from the
+/// pack reader through Select and HashAggregate; strings materialize
+/// only at the 25-group emit boundary). Measured with `compressed_exec`
+/// on (`dict_scan_filter_agg_dop*`) and off
+/// (`dict_scan_filter_agg_flat_dop*` — inflate-at-scan, today's
+/// baseline) at DOP 1 and 4; the gap between the pairs is compressed
+/// execution's measured win. Answers from every configuration are
+/// cross-checked.
+pub fn dict_scan_filter_agg(rows: usize, reps: usize) -> Vec<SmokeMetric> {
+    let sql = "SELECT f_flag, COUNT(*), SUM(f_qty) FROM flags \
+               WHERE f_flag >= 'FLAG_05' GROUP BY f_flag";
+    let canon = |rows: &[Vec<Value>]| {
+        let mut v = rows.to_vec();
+        v.sort_by_key(|r| format!("{:?}", r.first()));
+        v
+    };
+    let db = Database::open_in_memory();
+    crate::tpch::load_flags(&db, rows, 1994);
+    let mut out = Vec::new();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for dop in [1usize, 4] {
+        db.execute(&format!("SET parallelism = {dop}")).unwrap();
+        for compressed in [1i64, 0] {
+            db.execute(&format!("SET compressed_exec = {compressed}")).unwrap();
+            let warm = canon(db.execute(sql).unwrap().rows());
+            match &reference {
+                None => reference = Some(warm),
+                Some(expect) => assert!(
+                    rows_approx_eq(expect, &warm),
+                    "dict_scan_filter_agg: compressed_exec={compressed} dop={dop} \
+                     changed the answer"
+                ),
+            }
+            let mut best = Duration::MAX;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                std::hint::black_box(db.execute(sql).unwrap());
+                best = best.min(t0.elapsed());
+            }
+            let tag = if compressed == 1 { "" } else { "_flat" };
+            out.push((
+                format!("dict_scan_filter_agg{tag}_dop{dop}"),
+                rows as f64 / best.as_secs_f64(),
+            ));
+        }
+    }
+    db.execute("SET compressed_exec = 1").unwrap();
+    out
+}
+
 /// Result of the [`concurrent_mix`] service scenario: aggregate scan
 /// throughput across all sessions, the p95 statement latency, and the
 /// session count that produced them.

@@ -183,6 +183,32 @@ pub fn load_orders_customer(
     (on, cn)
 }
 
+/// The flags DDL used by the compressed-execution experiments: a
+/// returnflag-style low-cardinality string column next to a quantity.
+pub const FLAGS_DDL: &str = "CREATE TABLE flags (\
+    f_flag VARCHAR NOT NULL, \
+    f_qty BIGINT NOT NULL)";
+
+/// Generate `n` flag rows: `f_flag` drawn uniformly from a 25-value
+/// enumerated domain (`FLAG_00`..`FLAG_24` — TPC-H nation-count sized, so
+/// stable storage dictionary-codes the column in every pack) and a
+/// uniform `f_qty` in 1..=100.
+pub fn gen_flags(n: usize, seed: u64) -> Vec<ColData> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xf1a6);
+    let domain: Vec<String> = (0..25).map(|i| format!("FLAG_{i:02}")).collect();
+    let flag: Vec<String> =
+        (0..n).map(|_| domain[rng.gen_range(0..domain.len())].clone()).collect();
+    let qty: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=100i64)).collect();
+    vec![ColData::Str(flag), ColData::I64(qty)]
+}
+
+/// Create + bulk-load the flags table into a database.
+pub fn load_flags(db: &std::sync::Arc<vw_core::Database>, n: usize, seed: u64) -> u64 {
+    db.execute(FLAGS_DDL).expect("flags ddl");
+    let cols = gen_flags(n, seed);
+    vw_core::bulk_load(db, "flags", &cols, &vec![None; cols.len()]).expect("flags load")
+}
+
 /// Row-wise view for the Volcano baseline.
 pub fn gen_lineitem_rows(n: usize, seed: u64) -> Vec<Vec<Value>> {
     let cols = gen_lineitem(n, seed).into_columns();

@@ -215,6 +215,13 @@ pub struct EngineConfig {
     /// the whole suite against the unoptimized plans). See ARCHITECTURE.md
     /// ("The optimizer") for what each pass does.
     pub optimizer: bool,
+    /// Run kernels directly on encoded column data (dictionary codes, RLE
+    /// run sidecars) and late-materialize at emit, instead of inflating
+    /// every pack chunk at the scan boundary. `false` restores the
+    /// inflate-at-scan behavior byte-for-byte. SET-able
+    /// (`SET compressed_exec = 0/1`), `VW_COMPRESSED_EXEC` env override.
+    /// See ARCHITECTURE.md ("Compressed execution").
+    pub compressed_exec: bool,
 }
 
 impl Default for EngineConfig {
@@ -229,6 +236,7 @@ impl Default for EngineConfig {
         let workers = env_usize("VW_WORKERS").unwrap_or(0);
         let global_mem_bytes = env_u64("VW_GLOBAL_MEM").unwrap_or(0);
         let optimizer = env_usize("VW_OPTIMIZER").is_none_or(|v| v != 0);
+        let compressed_exec = env_usize("VW_COMPRESSED_EXEC").is_none_or(|v| v != 0);
         EngineConfig {
             vector_size: crate::DEFAULT_VECTOR_SIZE,
             buffer_pool_bytes: 64 << 20,
@@ -249,6 +257,7 @@ impl Default for EngineConfig {
             admission_queue_depth: 16,
             faults: FaultConfig::from_env(),
             optimizer,
+            compressed_exec,
         }
     }
 }
@@ -334,6 +343,13 @@ impl EngineConfig {
     /// `false` = original rule-only pipeline).
     pub fn with_optimizer(mut self, on: bool) -> Self {
         self.optimizer = on;
+        self
+    }
+
+    /// Enable or disable compressed execution (builder style; `false` =
+    /// inflate every pack chunk at the scan boundary, the pre-PR 9 path).
+    pub fn with_compressed_exec(mut self, on: bool) -> Self {
+        self.compressed_exec = on;
         self
     }
 
@@ -455,6 +471,15 @@ mod tests {
             assert!(c.optimizer, "cost-based planning is the default");
         }
         assert!(!c.with_optimizer(false).optimizer);
+    }
+
+    #[test]
+    fn compressed_exec_defaults_on_and_overrides() {
+        let c = EngineConfig::default();
+        if std::env::var("VW_COMPRESSED_EXEC").is_err() {
+            assert!(c.compressed_exec, "compressed execution is the default");
+        }
+        assert!(!c.with_compressed_exec(false).compressed_exec);
     }
 
     #[test]

@@ -113,8 +113,29 @@ pub fn encode_strings(values: &[String]) -> StringDict {
     StringDict { dict, bytes: w.into_bytes(), len: values.len() }
 }
 
-/// Decode a string dictionary block into owned strings.
+/// Decode a string dictionary block into owned strings, reusing the
+/// caller's buffer as a string arena: `out`'s existing `String`
+/// allocations are overwritten in place (`clone_into`), so a scan that
+/// hands the same buffer back pack after pack is allocation-free in
+/// steady state (no fresh `String` per value per pack).
 pub fn decode_strings(sd: &StringDict, out: &mut Vec<String>) -> Result<()> {
+    if sd.len == 0 {
+        out.clear();
+        return Ok(());
+    }
+    if sd.dict.is_empty() {
+        return Err(VwError::Corruption("empty string dictionary".into()));
+    }
+    let mut codes = Vec::with_capacity(sd.len);
+    decode_codes(sd, &mut codes)?;
+    materialize_codes(&codes, &sd.dict, out);
+    Ok(())
+}
+
+/// Unpack only the codes of a string dictionary block — the compressed
+/// execution entry: the scan keeps the codes + shared dictionary and never
+/// inflates the strings. Codes are validated against the dictionary.
+pub fn decode_codes(sd: &StringDict, out: &mut Vec<u32>) -> Result<()> {
     out.clear();
     if sd.len == 0 {
         return Ok(());
@@ -124,15 +145,29 @@ pub fn decode_strings(sd: &StringDict, out: &mut Vec<String>) -> Result<()> {
     }
     let bits = code_bits(sd.dict.len());
     let mut r = ByteReader::new(&sd.bytes);
-    let mut codes = Vec::with_capacity(sd.len);
-    bitpack::unpack(&mut r, sd.len, bits, &mut codes)?;
-    for c in codes {
-        let s = sd.dict.get(c as usize).ok_or_else(|| {
-            VwError::Corruption(format!("string code {c} out of range {}", sd.dict.len()))
-        })?;
-        out.push(s.clone());
+    let mut wide = Vec::with_capacity(sd.len);
+    bitpack::unpack(&mut r, sd.len, bits, &mut wide)?;
+    let dict_len = sd.dict.len() as u64;
+    out.reserve(sd.len);
+    for c in wide {
+        if c >= dict_len {
+            return Err(VwError::Corruption(format!("string code {c} out of range {dict_len}")));
+        }
+        out.push(c as u32);
     }
     Ok(())
+}
+
+/// Materialize dictionary codes into `out`, reusing its existing `String`
+/// allocations (arena-style). `codes` must already be validated against
+/// `dict` — both decode entries above guarantee that.
+pub fn materialize_codes(codes: &[u32], dict: &[String], out: &mut Vec<String>) {
+    let reuse = out.len().min(codes.len());
+    for (slot, &c) in out[..reuse].iter_mut().zip(codes) {
+        dict[c as usize].clone_into(slot);
+    }
+    out.truncate(codes.len());
+    out.extend(codes[reuse..].iter().map(|&c| dict[c as usize].clone()));
 }
 
 #[cfg(test)]
@@ -196,6 +231,35 @@ mod tests {
         let sd = encode_strings(&values);
         decode_strings(&sd, &mut out).unwrap();
         assert_eq!(out, values);
+    }
+
+    #[test]
+    fn decode_codes_matches_decode_strings() {
+        let flags = ["A", "N", "R"];
+        let values: Vec<String> = (0..500).map(|i| flags[i % 3].to_string()).collect();
+        let sd = encode_strings(&values);
+        let mut codes = Vec::new();
+        decode_codes(&sd, &mut codes).unwrap();
+        assert_eq!(codes.len(), values.len());
+        let decoded: Vec<String> = codes.iter().map(|&c| sd.dict[c as usize].clone()).collect();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn decode_strings_reuses_arena() {
+        let values: Vec<String> = (0..64).map(|i| format!("value-{:02}", i % 7)).collect();
+        let sd = encode_strings(&values);
+        // Pre-fill the arena with strings of ample capacity, then record
+        // their buffer addresses: a second decode must write into the same
+        // allocations instead of replacing them.
+        let mut out = Vec::new();
+        decode_strings(&sd, &mut out).unwrap();
+        assert_eq!(out, values);
+        let addrs: Vec<*const u8> = out.iter().map(|s| s.as_ptr()).collect();
+        decode_strings(&sd, &mut out).unwrap();
+        assert_eq!(out, values);
+        let addrs2: Vec<*const u8> = out.iter().map(|s| s.as_ptr()).collect();
+        assert_eq!(addrs, addrs2);
     }
 
     #[test]

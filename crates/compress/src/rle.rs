@@ -49,6 +49,26 @@ pub fn decode(r: &mut ByteReader, n: usize, out: &mut Vec<i64>) -> Result<()> {
     Ok(())
 }
 
+/// Decode the run list itself — `(value, run_len)` pairs summing to at most
+/// `n` — without expanding it. The compressed execution path keeps the runs
+/// as a predicate sidecar (accept/reject whole runs) next to the expanded
+/// column.
+pub fn decode_runs(r: &mut ByteReader, n: usize) -> Result<Vec<(i64, u32)>> {
+    let n_runs = r.get_u32()? as usize;
+    let mut runs = Vec::with_capacity(n_runs.min(n));
+    let mut total = 0usize;
+    for _ in 0..n_runs {
+        let v = r.get_u64()? as i64;
+        let l = r.get_u32()?;
+        total += l as usize;
+        if total > n {
+            return Err(VwError::Corruption(format!("rle runs decode to more than {n} values")));
+        }
+        runs.push((v, l));
+    }
+    Ok(runs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +109,22 @@ mod tests {
     #[test]
     fn empty() {
         assert_eq!(roundtrip(&[]), 4);
+    }
+
+    #[test]
+    fn decode_runs_matches_expansion() {
+        let mut values = Vec::new();
+        for v in 0..5i64 {
+            values.extend(std::iter::repeat_n(v, 17));
+        }
+        let mut w = ByteWriter::new();
+        encode(&values, &mut w);
+        let bytes = w.into_bytes();
+        let runs = decode_runs(&mut ByteReader::new(&bytes), values.len()).unwrap();
+        assert_eq!(runs.len(), 5);
+        let expanded: Vec<i64> =
+            runs.iter().flat_map(|&(v, l)| std::iter::repeat_n(v, l as usize)).collect();
+        assert_eq!(expanded, values);
     }
 
     #[test]

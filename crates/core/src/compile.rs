@@ -300,7 +300,8 @@ fn build_plan_node(
                             vs,
                             cancel.clone(),
                         )
-                        .with_batch_pool(batch_pool.clone()),
+                        .with_batch_pool(batch_pool.clone())
+                        .with_compressed_exec(config.compressed_exec),
                     )
                 }
                 TableKind::Heap { store } => {

@@ -357,6 +357,7 @@ impl Database {
             }
             "profiling" => cfg.profiling = value.as_i64()? != 0,
             "optimizer" => cfg.optimizer = value.as_i64()? != 0,
+            "compressed_exec" => cfg.compressed_exec = value.as_i64()? != 0,
             "statement_timeout" | "statement_timeout_ms" => {
                 let v = value.as_i64()?;
                 if v < 0 {
@@ -880,6 +881,10 @@ mod tests {
         assert_eq!(db.config().event_log_capacity, 16);
         assert_eq!(db.monitor.event_capacity(), 16, "applies to the live monitor");
         assert!(db.execute("SET event_log_capacity = 0").is_err());
+        db.execute("SET compressed_exec = 0").unwrap();
+        assert!(!db.config().compressed_exec);
+        db.execute("SET compressed_exec = 1").unwrap();
+        assert!(db.config().compressed_exec);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub const EMPTY: u32 = u32::MAX;
 /// Lane value hashed in place of NULL keys when NULLs form their own group
 /// (GROUP BY semantics). Collisions with real data are resolved by the
 /// NULL-aware key comparison, so this only affects chain length.
-const NULL_KEY_LANE: u64 = 0x6b43_1293_9e1f_75adu64;
+pub(crate) const NULL_KEY_LANE: u64 = 0x6b43_1293_9e1f_75adu64;
 
 /// One chain entry: the row's full hash and its bucket successor, packed
 /// together so a chain step costs a single cache line instead of one miss
@@ -916,6 +916,23 @@ fn prefetch<T>(p: *const T) {
 /// cheap identity projection and strings hash their bytes).
 fn project_lanes(v: &Vector, nulls_as_group: bool, out: &mut Vec<u64>) {
     out.clear();
+    if let Some((codes, dict)) = v.dict_parts() {
+        // Dictionary-coded keys: hash each distinct value once, then
+        // project rows through the code. Must match the `Str` arm below
+        // byte-for-byte so coded and flat sides of a join agree.
+        let per_code: Vec<u64> = dict.iter().map(|s| hash_bytes(s.as_bytes())).collect();
+        out.extend(codes.iter().map(|&c| per_code[c as usize]));
+        if nulls_as_group {
+            if let Some(m) = &v.nulls {
+                for (lane, &is_null) in m.iter().enumerate() {
+                    if is_null {
+                        out[lane] = NULL_KEY_LANE;
+                    }
+                }
+            }
+        }
+        return;
+    }
     match &v.data {
         ColData::Bool(d) => out.extend(d.iter().map(|&x| x as u64)),
         ColData::I8(d) => out.extend(d.iter().map(|&x| x as u64)),
@@ -1032,6 +1049,46 @@ fn filter_col_eq(
                 ),
             }
         }};
+    }
+    match (probe.dict_parts(), build.dict_parts()) {
+        // Same shared dictionary on both sides: keys match iff codes match.
+        (Some((pa, pd)), Some((ba, bd))) if std::sync::Arc::ptr_eq(pd, bd) => {
+            return typed!(pa, ba, |x: &u32, y: &u32| x == y);
+        }
+        // One or both sides coded (different dictionaries): remap through
+        // the string values — `str_at` reads dict entries without inflating.
+        (Some(_), _) | (_, Some(_))
+            if probe.type_id() == vw_common::TypeId::Str
+                && build.type_id() == vw_common::TypeId::Str =>
+        {
+            return sel.retain_from(
+                |p| {
+                    let b = cand[p] as usize;
+                    match (probe.is_null(p), build.is_null(b)) {
+                        (false, false) => probe.str_at(p) == build.str_at(b),
+                        (true, true) => null_eq,
+                        _ => false,
+                    }
+                },
+                out,
+            );
+        }
+        // Coded against a non-string column (type-mismatched plan keys):
+        // structural Value equality, like the mixed-type fallback below.
+        (Some(_), _) | (_, Some(_)) => {
+            return sel.retain_from(
+                |p| {
+                    let b = cand[p] as usize;
+                    match (probe.is_null(p), build.is_null(b)) {
+                        (false, false) => probe.get(p) == build.get(b),
+                        (true, true) => null_eq,
+                        _ => false,
+                    }
+                },
+                out,
+            );
+        }
+        (None, None) => {}
     }
     match (&probe.data, &build.data) {
         (ColData::Bool(pa), ColData::Bool(ba)) => typed!(pa, ba, |x: &bool, y: &bool| x == y),

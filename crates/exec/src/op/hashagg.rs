@@ -34,7 +34,8 @@ use crate::program::{ExprProgram, VecRef, VectorPool};
 use crate::vector::{Batch, Vector};
 use std::sync::Arc;
 use std::time::Instant;
-use vw_common::{ColData, Result, Schema, SelVec, TypeId, VwError};
+use vw_common::hash::{hash_bytes, hash_u64};
+use vw_common::{ColData, Result, Schema, SelVec, TypeId, Value, VwError};
 use vw_service::WorkerPool;
 use vw_storage::{encode_spill_batch, SpillFile};
 
@@ -468,6 +469,12 @@ struct AggScratch {
     tmp: SelVec,
     /// Resolved group id per lane (EMPTY = not yet resolved).
     gidx: Vec<u32>,
+    /// Dict fast path: group id per dictionary code for the current batch
+    /// (EMPTY = code not yet probed this batch).
+    code_groups: Vec<u32>,
+    /// Rows resolved through the per-code cache instead of per-row
+    /// hash+probe (drained into `OpProfile::enc_skipped`).
+    enc_skipped: u64,
     /// Staged-probe buffers for the fused fast path.
     buf: hashtable::ProbeBuf,
     /// Group-key program results for the current batch (pool refs).
@@ -686,6 +693,10 @@ pub struct HashAggregate {
     /// Spilled partitions' partial-state files, re-aggregated lazily at
     /// emit time (one partition's merged groups in memory at a time).
     pending: Vec<SpillFile>,
+    /// Input columns that must be flattened before programs/accumulators
+    /// run (see `new`); bare-column group keys are excluded so they can
+    /// stay dictionary-coded.
+    flat_cols: Vec<usize>,
     profile: OpProfile,
 }
 
@@ -703,10 +714,26 @@ impl HashAggregate {
         let states = aggs.iter().map(AggState::new).collect::<Result<_>>()?;
         let group_keys =
             group_exprs.iter().map(|e| Vector::new(ColData::new(e.type_id()))).collect();
+        // Accumulator folds and non-trivial programs read typed data
+        // slices, so their input columns must be flat. Bare-column group
+        // keys stay encoded — resolve_groups probes dict codes directly.
+        let mut flat_cols: Vec<usize> = group_exprs
+            .iter()
+            .filter(|p| !p.is_bare_col())
+            .flat_map(|p| p.cols_used().iter().copied())
+            .chain(
+                aggs.iter()
+                    .filter_map(|a| a.input.as_ref())
+                    .flat_map(|p| p.cols_used().iter().copied()),
+            )
+            .collect();
+        flat_cols.sort_unstable();
+        flat_cols.dedup();
         Ok(HashAggregate {
             input: Some(input),
             group_exprs,
             aggs,
+            flat_cols,
             schema,
             pool: VectorPool::new(),
             cancel,
@@ -906,9 +933,13 @@ impl HashAggregate {
         let mut workers: Option<(RadixRouter, ShardSet<AggShard>)> = None;
         let mut staged: Vec<AggPacket> = Vec::new();
         let mut staged_rows = 0usize;
-        while let Some(batch) = input.next()? {
+        while let Some(mut batch) = input.next()? {
             self.cancel.check()?;
             let t0 = Instant::now();
+            self.profile.record_enc_batch(batch.columns.iter().any(|c| c.is_encoded()));
+            for &c in &self.flat_cols {
+                batch.columns[c].ensure_flat();
+            }
             // Run the compiled group-key and aggregate-input programs;
             // results stay leased in the pool for the rest of the batch.
             self.scratch.refs.clear();
@@ -1174,6 +1205,7 @@ impl HashAggregate {
                 });
             }
         }
+        self.profile.record_enc_skipped(std::mem::take(&mut self.scratch.enc_skipped));
         self.built = true;
         Ok(())
     }
@@ -1223,6 +1255,74 @@ fn resolve_groups(
         s.gidx.resize(n, EMPTY);
     }
     let mut chain_steps = 0u64;
+    // Dictionary-coded single key (the low-cardinality GROUP BY shape):
+    // one hash + chain probe per distinct code present in the batch;
+    // every other lane resolves with a per-code table lookup. Probing a
+    // code hashes its dictionary entry exactly like `hash_keys` would
+    // hash the inflated string, so groups unify with flat-keyed batches.
+    if keys.len() == 1 {
+        if let Some((codes, dict)) = keys[0].dict_parts() {
+            let nulls = keys[0].nulls.as_deref();
+            if s.code_groups.len() < dict.len() {
+                s.code_groups.resize(dict.len(), EMPTY);
+            }
+            s.code_groups[..dict.len()].fill(EMPTY);
+            let mut null_group = EMPTY;
+            let mut probes = 0u64;
+            for p in s.live.iter() {
+                if nulls.is_some_and(|m| m[p]) {
+                    if null_group == EMPTY {
+                        probes += 1;
+                        let h = hash_u64(hashtable::NULL_KEY_LANE);
+                        null_group =
+                            match table.find_chain(h, |row| group_keys[0].is_null(row as usize)) {
+                                Some(g) => g,
+                                None => {
+                                    let g = table.insert(h);
+                                    debug_assert_eq!(g as usize, *n_groups);
+                                    *n_groups += 1;
+                                    group_keys[0].push(&Value::Null)?;
+                                    for st in states.iter_mut() {
+                                        st.push_group();
+                                    }
+                                    g
+                                }
+                            };
+                    }
+                    s.gidx[p] = null_group;
+                    continue;
+                }
+                let c = codes[p] as usize;
+                let mut g = s.code_groups[c];
+                if g == EMPTY {
+                    probes += 1;
+                    let val = dict[c].as_str();
+                    let h = hash_u64(hash_bytes(val.as_bytes()));
+                    let gk = &group_keys[0];
+                    g = match table.find_chain(h, |row| {
+                        let row = row as usize;
+                        !gk.is_null(row) && gk.data.as_str()[row] == val
+                    }) {
+                        Some(g) => g,
+                        None => {
+                            let g = table.insert(h);
+                            debug_assert_eq!(g as usize, *n_groups);
+                            *n_groups += 1;
+                            group_keys[0].push(&Value::Str(val.to_string()))?;
+                            for st in states.iter_mut() {
+                                st.push_group();
+                            }
+                            g
+                        }
+                    };
+                    s.code_groups[c] = g;
+                }
+                s.gidx[p] = g;
+            }
+            s.enc_skipped += (s.live.len() as u64).saturating_sub(probes);
+            return Ok(chain_steps);
+        }
+    }
     // Fast path: a single NULL-free key column resolves through the
     // fused, type-monomorphized kernel — hash, chain walk, and key
     // compare in one staged pass (the miss lanes fall to the scalar
@@ -1334,11 +1434,19 @@ fn insert_misses(
 }
 
 /// Scalar key comparison for the new-group insert path (grouping
-/// semantics: NULL equals NULL).
+/// semantics: NULL equals NULL). Probe keys may be dict-coded (their flat
+/// data is the empty placeholder), so string columns compare through the
+/// encoding-aware `str_at`; stored group keys are always flat.
 fn keys_equal_row(probe: &[&Vector], p: usize, stored: &[Vector], row: usize) -> bool {
     probe.iter().zip(stored).all(|(pk, sk)| match (pk.is_null(p), sk.is_null(row)) {
         (true, true) => true,
-        (false, false) => pk.data.get_value(p) == sk.data.get_value(row),
+        (false, false) => {
+            if pk.type_id() == TypeId::Str && sk.type_id() == TypeId::Str {
+                pk.str_at(p) == sk.str_at(row)
+            } else {
+                pk.data.get_value(p) == sk.data.get_value(row)
+            }
+        }
         _ => false,
     })
 }

@@ -264,6 +264,11 @@ impl Drop for GraceJoin {
 /// result without materializing it first).
 fn gathered_bytes(v: &Vector, sel: &SelVec) -> usize {
     let null_bytes = if v.nulls.is_some() { sel.len() } else { 0 };
+    if v.dict_parts().is_some() {
+        // Dict-coded gathers stay coded: 4 bytes of code per lane (the
+        // shared dictionary is not copied).
+        return sel.len() * 4 + null_bytes;
+    }
     let data_bytes = match &v.data {
         ColData::Bool(_) | ColData::I8(_) => sel.len(),
         ColData::I16(_) => sel.len() * 2,
@@ -321,7 +326,25 @@ pub struct HashJoin {
     inner: Option<Box<HashJoin>>,
     /// Has the probe input been exhausted (deferred phase reached)?
     probe_done: bool,
+    /// Probe/build input columns read by non-trivial key programs:
+    /// encoded vectors are flattened before the programs run. Bare-column
+    /// keys stay coded (hash/compare paths handle dict codes).
+    flat_cols_probe: Vec<usize>,
+    flat_cols_build: Vec<usize>,
     profile: OpProfile,
+}
+
+/// Columns read by the non-bare programs of `progs` (sorted, deduped);
+/// bare column references pass encoded vectors through untouched.
+fn nontrivial_cols(progs: &[ExprProgram]) -> Vec<usize> {
+    let mut out: Vec<usize> = progs
+        .iter()
+        .filter(|p| !p.is_bare_col())
+        .flat_map(|p| p.cols_used().iter().copied())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 impl HashJoin {
@@ -342,6 +365,8 @@ impl HashJoin {
         let out_types = schema.fields.iter().map(|f| f.ty).collect();
         let probe_schema = left.schema().clone();
         let build_schema = right.schema().clone();
+        let flat_cols_probe = nontrivial_cols(&left_keys);
+        let flat_cols_build = nontrivial_cols(&right_keys);
         HashJoin {
             left,
             right: Some(right),
@@ -371,6 +396,8 @@ impl HashJoin {
             deferred: Vec::new(),
             inner: None,
             probe_done: false,
+            flat_cols_probe,
+            flat_cols_build,
             profile: OpProfile::new("HashJoin"),
         }
     }
@@ -431,8 +458,11 @@ impl HashJoin {
         // count clears the cost gate (never combined with a governed
         // build — grace owns the shard lifecycle).
         let mut workers: Option<(RadixRouter, ShardSet<JoinShard>)> = None;
-        while let Some(batch) = right.next()? {
+        while let Some(mut batch) = right.next()? {
             self.cancel.check()?;
+            for &c in &self.flat_cols_build {
+                batch.columns[c].ensure_flat();
+            }
             // Run the compiled key programs; results live in the pool
             // until `recycle` at the end of this batch.
             self.scratch.refs.clear();
@@ -909,7 +939,10 @@ fn probe_one(
     // NULL probe lanes are outside the selection, so a plain data compare
     // is exact. A full selection (no NULLs, dense batch) drops the
     // selection indirection entirely.
-    if keys.len() == 1 {
+    // Encoded keys (dict codes) skip the fused kernel: the general path
+    // hashes codes through the per-code projection and compares codes /
+    // dict entries in `keys_match_sel` without inflating.
+    if keys.len() == 1 && !keys[0].is_encoded() && !build_keys[0].is_encoded() {
         let sel = match sel {
             Some(sub) => Some(sub),
             None if s.nonnull.len() == n => None,
@@ -1107,13 +1140,17 @@ impl Operator for HashJoin {
         }
         loop {
             self.cancel.check()?;
-            let Some(batch) = self.left.next()? else {
+            let Some(mut batch) = self.left.next()? else {
                 if self.grace.is_some() {
                     return self.next_deferred();
                 }
                 return Ok(None);
             };
             let t0 = Instant::now();
+            self.profile.record_enc_batch(batch.columns.iter().any(|c| c.is_encoded()));
+            for &c in &self.flat_cols_probe {
+                batch.columns[c].ensure_flat();
+            }
             self.scratch.refs.clear();
             for prog in &self.left_keys {
                 let r = prog.run(&mut self.pool, &batch)?;

@@ -25,12 +25,17 @@ use crate::profile::OpProfile;
 use crate::vector::Batch;
 use std::sync::Arc;
 use std::time::Instant;
-use vw_common::{ColData, Result, Schema, TypeId, Value, VwError};
+use vw_common::{Result, Schema, TypeId, Value, VwError};
 use vw_pdt::MergeItem;
+use vw_storage::pack::EncodedChunk;
 use vw_storage::{BufferPool, ScanRange, TableStorage};
 
-/// Decoded chunks of one pack, in projected-column order.
-type DecodedPack = Vec<(ColData, Option<Vec<bool>>)>;
+/// Decoded chunks of one pack, in projected-column order. With
+/// `compressed_exec` on, PDICT/RLE chunks keep their encoding
+/// ([`EncodedChunk`]) and flow into batches still coded; off, every chunk
+/// is [`EncodedChunk::Flat`] and the emit path is byte-identical to the
+/// pre-compressed-execution scan.
+type DecodedPack = Vec<EncodedChunk>;
 
 /// Scan of one table image, pulling work from a morsel dispenser.
 pub struct VectorScan {
@@ -48,6 +53,7 @@ pub struct VectorScan {
     cur_pack: Option<(usize, DecodedPack)>,
     vector_size: usize,
     batch_pool: Option<BatchPool>,
+    compressed_exec: bool,
     profile: OpProfile,
     cancel: CancelToken,
 }
@@ -95,6 +101,7 @@ impl VectorScan {
             cur_pack: None,
             vector_size,
             batch_pool: None,
+            compressed_exec: false,
             profile: OpProfile::new("Scan"),
             cancel,
         }
@@ -103,6 +110,14 @@ impl VectorScan {
     /// Lease output batches from (and let consumers recycle into) `pool`.
     pub fn with_batch_pool(mut self, pool: BatchPool) -> VectorScan {
         self.batch_pool = Some(pool);
+        self
+    }
+
+    /// Hand encoded chunks (dict codes, RLE run sidecars) straight into
+    /// output batches instead of inflating at the scan boundary
+    /// (`SET compressed_exec`).
+    pub fn with_compressed_exec(mut self, on: bool) -> VectorScan {
+        self.compressed_exec = on;
         self
     }
 
@@ -160,7 +175,15 @@ impl VectorScan {
     fn load_pack(&mut self, pack_idx: usize) -> Result<()> {
         if self.cur_pack.as_ref().map(|(i, _)| *i) != Some(pack_idx) {
             let retries_before = self.pool.disk().stats().io_retries;
-            let chunks = self.table.read_pack(&self.pool, pack_idx, &self.columns)?;
+            let chunks = if self.compressed_exec {
+                self.table.read_pack_encoded(&self.pool, pack_idx, &self.columns)?
+            } else {
+                self.table
+                    .read_pack(&self.pool, pack_idx, &self.columns)?
+                    .into_iter()
+                    .map(|(data, nulls)| EncodedChunk::Flat(data, nulls))
+                    .collect()
+            };
             let retries_after = self.pool.disk().stats().io_retries;
             self.profile.record_io_retries(retries_after - retries_before);
             self.cur_pack = Some((pack_idx, chunks));
@@ -172,25 +195,38 @@ impl VectorScan {
     ///
     /// Extends straight out of the decoded pack chunks — no intermediate
     /// clone of the pack columns (a delta-heavy image visits this once per
-    /// merge item, so a per-call pack clone would be quadratic).
+    /// merge item, so a per-call pack clone would be quadratic). Encoded
+    /// chunks stay encoded when the destination vector can absorb them
+    /// (see `Vector::extend_dict_range` / `Vector::extend_rle_range`).
     fn emit_stable(&mut self, sid: u64, take: usize, out: &mut Batch) -> Result<()> {
         let (pack_idx, off) = self.pack_of_sid(sid)?;
         self.load_pack(pack_idx)?;
         let (_, chunks) = self.cur_pack.as_ref().expect("just loaded");
-        for (o, (data, nulls)) in out.columns.iter_mut().zip(chunks) {
-            let before = o.data.len();
-            o.data.extend_from_range(data, off, off + take);
-            match (&mut o.nulls, nulls) {
-                (Some(m), Some(src)) => m.extend_from_slice(&src[off..off + take]),
-                (Some(m), None) => m.extend(std::iter::repeat_n(false, take)),
-                (None, Some(src)) => {
-                    if src[off..off + take].iter().any(|&b| b) {
-                        let mut m = vec![false; before];
-                        m.extend_from_slice(&src[off..off + take]);
-                        o.nulls = Some(m);
+        for (o, chunk) in out.columns.iter_mut().zip(chunks) {
+            match chunk {
+                EncodedChunk::Flat(data, nulls) => {
+                    o.ensure_flat(); // previous pack may have left this coded
+                    let before = o.data.len();
+                    o.data.extend_from_range(data, off, off + take);
+                    match (&mut o.nulls, nulls) {
+                        (Some(m), Some(src)) => m.extend_from_slice(&src[off..off + take]),
+                        (Some(m), None) => m.extend(std::iter::repeat_n(false, take)),
+                        (None, Some(src)) => {
+                            if src[off..off + take].iter().any(|&b| b) {
+                                let mut m = vec![false; before];
+                                m.extend_from_slice(&src[off..off + take]);
+                                o.nulls = Some(m);
+                            }
+                        }
+                        (None, None) => {}
                     }
                 }
-                (None, None) => {}
+                EncodedChunk::Dict { codes, dict, nulls } => {
+                    o.extend_dict_range(codes, dict, nulls.as_deref(), off, off + take);
+                }
+                EncodedChunk::Rle { data, runs, nulls } => {
+                    o.extend_rle_range(data, runs, nulls.as_deref(), off, off + take);
+                }
             }
         }
         Ok(())
@@ -277,6 +313,7 @@ impl Operator for VectorScan {
             return Ok(None);
         }
         self.profile.record(filled, t0.elapsed());
+        self.profile.record_enc_batch(out.columns.iter().any(|c| c.is_encoded()));
         Ok(Some(out))
     }
 }
@@ -286,7 +323,7 @@ mod tests {
     use super::*;
     use crate::op::drain;
     use std::sync::Arc;
-    use vw_common::{Field, TypeId};
+    use vw_common::{ColData, Field, TypeId};
     use vw_storage::{Layout, SimulatedDisk};
 
     fn setup(n: usize, pack: usize) -> (Arc<TableStorage>, Arc<BufferPool>) {
@@ -454,6 +491,50 @@ mod tests {
         let out = drain(&mut s).unwrap();
         assert_eq!(out.rows(), 200, "two packs survive pruning");
         assert_eq!(out.row_values(0)[0], Value::I64(300));
+    }
+
+    #[test]
+    fn compressed_scan_emits_dict_vectors_and_matches_flat() {
+        // Low-cardinality strings come back dictionary-coded when the knob is
+        // on, byte-identical to the inflated scan when it is off.
+        let disk = SimulatedDisk::instant();
+        let pool = BufferPool::new(disk.clone(), 16 << 20);
+        let schema = Schema::new(vec![
+            Field::not_null("id", TypeId::I64),
+            Field::nullable("flag", TypeId::Str),
+        ])
+        .unwrap();
+        let mut t = TableStorage::new(disk, schema, Layout::Dsm);
+        let n = 700;
+        let ids = ColData::I64((0..n as i64).collect());
+        let flags = ColData::Str((0..n).map(|i| format!("F{:02}", i % 9)).collect());
+        let nulls: Vec<bool> = (0..n).map(|i| i % 11 == 0).collect();
+        t.append_columns(&[ids, flags], &[None, Some(nulls)], 256).unwrap();
+        let t = Arc::new(t);
+
+        let mut enc_scan = scan(&t, &pool, vec![0, 1], VectorScan::stable_items(n as u64), 100)
+            .with_compressed_exec(true);
+        let mut saw_encoded = false;
+        let mut enc_rows = Vec::new();
+        while let Some(b) = enc_scan.next().unwrap() {
+            saw_encoded |= b.columns[1].is_encoded();
+            for i in 0..b.rows() {
+                enc_rows.push(b.row_values(i));
+            }
+        }
+        assert!(saw_encoded, "string column should arrive dictionary-coded");
+        let p = Operator::profile(&enc_scan).unwrap();
+        assert!(p.enc_batches > 0, "profile counts encoded batches: {p:?}");
+
+        let mut flat_scan = scan(&t, &pool, vec![0, 1], VectorScan::stable_items(n as u64), 100);
+        let flat = drain(&mut flat_scan).unwrap();
+        assert_eq!(enc_rows.len(), flat.rows());
+        for (i, row) in enc_rows.iter().enumerate() {
+            assert_eq!(*row, flat.row_values(i), "row {i}");
+        }
+        let p = Operator::profile(&flat_scan).unwrap();
+        assert_eq!(p.enc_batches, 0);
+        assert!(p.flat_batches > 0);
     }
 
     #[test]

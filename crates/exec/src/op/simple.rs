@@ -67,6 +67,10 @@ impl Operator for Values {
 pub struct Select {
     input: BoxedOp,
     predicate: SelectProgram,
+    /// Columns the predicate's boolean sub-programs read: encoded inputs
+    /// are flattened here before the run. Typed compare / LIKE steps are
+    /// encoding-aware and keep their columns coded.
+    flat_cols: Vec<usize>,
     pool: VectorPool,
     batch_pool: Option<BatchPool>,
     profile: OpProfile,
@@ -76,9 +80,11 @@ pub struct Select {
 impl Select {
     /// Filter `input` by the compiled `predicate`.
     pub fn new(input: BoxedOp, predicate: SelectProgram, cancel: CancelToken) -> Select {
+        let flat_cols = predicate.flat_cols();
         Select {
             input,
             predicate,
+            flat_cols,
             pool: VectorPool::new(),
             batch_pool: None,
             profile: OpProfile::new("Select"),
@@ -126,10 +132,15 @@ impl Operator for Select {
                     self.pool.put_sel(s);
                 }
             }
+            self.profile.record_enc_batch(batch.columns.iter().any(|c| c.is_encoded()));
+            for &c in &self.flat_cols {
+                batch.columns[c].ensure_flat();
+            }
             let sel = self.predicate.run(&mut self.pool, &batch)?;
             self.pool.recycle();
             let (runs, instrs) = self.pool.take_counters();
             self.profile.record_expr(runs, instrs);
+            self.profile.record_enc_skipped(self.pool.take_enc_skipped());
             if sel.is_empty() {
                 self.pool.put_sel(sel);
                 if let Some(bp) = &self.batch_pool {
@@ -153,6 +164,10 @@ pub struct Project {
     programs: Vec<ExprProgram>,
     schema: Schema,
     out_types: Vec<TypeId>,
+    /// Columns read by non-trivial programs: encoded inputs are flattened
+    /// before evaluation. Bare column references pass encoded vectors
+    /// through untouched (gather/detach are encoding-aware).
+    flat_cols: Vec<usize>,
     pool: VectorPool,
     batch_pool: Option<BatchPool>,
     profile: OpProfile,
@@ -170,11 +185,19 @@ impl Project {
     ) -> Project {
         debug_assert_eq!(programs.len(), schema.len());
         let out_types = programs.iter().map(|p| p.type_id()).collect();
+        let mut flat_cols: Vec<usize> = programs
+            .iter()
+            .filter(|p| !p.is_bare_col())
+            .flat_map(|p| p.cols_used().iter().copied())
+            .collect();
+        flat_cols.sort_unstable();
+        flat_cols.dedup();
         Project {
             input,
             programs,
             schema,
             out_types,
+            flat_cols,
             pool: VectorPool::new(),
             batch_pool: None,
             profile: OpProfile::new("Project"),
@@ -210,10 +233,14 @@ impl Operator for Project {
 
     fn next(&mut self) -> Result<Option<Batch>> {
         self.cancel.check()?;
-        let Some(batch) = self.input.next()? else {
+        let Some(mut batch) = self.input.next()? else {
             return Ok(None);
         };
         let t0 = Instant::now();
+        self.profile.record_enc_batch(batch.columns.iter().any(|c| c.is_encoded()));
+        for &c in &self.flat_cols {
+            batch.columns[c].ensure_flat();
+        }
         // Lease the output batch: recycled buffers feed the expression
         // pool's slots through `detach_into`, so steady-state projection
         // allocates nothing even though ownership moves downstream.

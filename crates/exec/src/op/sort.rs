@@ -94,7 +94,11 @@ impl Operator for Sort {
         self.cancel.check()?;
         if self.sorted.is_none() {
             let mut input = self.input.take().expect("sort builds once");
-            let all = drain(input.as_mut())?;
+            let mut all = drain(input.as_mut())?;
+            // Sort is a late-materialization boundary: inflate coded
+            // columns once up front so row comparisons read values
+            // directly instead of cloning dictionary entries per compare.
+            all.ensure_flat();
             let mut perm: Vec<u32> = (0..all.rows() as u32).collect();
             perm.sort_by(|&a, &b| cmp_rows(&all, &self.keys, a as usize, b as usize));
             // Gather through the permutation (not a SelVec: unsorted order).

@@ -25,6 +25,7 @@
 //! | `pool%`   | batch-pool hit rate ([`OpProfile::batch_pool_hit_rate`]): output-batch leases served from the recycled free list. | steady state should sit near 100%; low means the consumer isn't recycling. |
 //! | `spill`   | grace-spill traffic as `Pp written/read` — partitions spilled (all strata) and encoded spill bytes written and read back ([`OpProfile::spill_partitions`], [`OpProfile::spill_bytes_written`], [`OpProfile::spill_bytes_read`]); `-` when the build stayed in memory. | any value at all means the query ran over `mem_budget`; read ≫ written means deep re-partitioning recursion. |
 //! | `ioretry` | transient device faults absorbed by the retry policy during this operator's reads ([`OpProfile::io_retries`]); `-` when no retries happened (always, unless faults are armed — see ARCHITECTURE.md "Failure model"). | nonzero only under fault injection; sustained growth means the injected fault rate is near the retry budget. |
+//! | `enc`     | compressed execution: batches processed still carrying encoded columns vs fully inflated, as `E/F` ([`OpProfile::enc_batches`], [`OpProfile::flat_batches`]), plus `+N` rows decided wholesale at the run/dictionary-code level without per-row work ([`OpProfile::enc_skipped`]); `-` when the operator never saw a batch (or `SET compressed_exec = 0`). | `0/F` on a dictionary scan means the encoded path fell back — check for per-pack dictionary mismatches or an operator that forces early materialization. |
 
 use std::time::{Duration, Instant};
 
@@ -98,6 +99,16 @@ pub struct OpProfile {
     /// (`vw_storage::disk::retry_io`) during this operator's I/O. Always
     /// zero unless fault injection is armed.
     pub io_retries: u64,
+    /// Compressed execution: batches this operator processed that still
+    /// carried at least one encoded column (dict codes / RLE sidecar).
+    pub enc_batches: u64,
+    /// Batches processed fully inflated. `enc + flat` is the operator's
+    /// batch traffic on the compressed-execution observable.
+    pub flat_batches: u64,
+    /// Rows decided wholesale at the encoding level — whole RLE runs
+    /// accepted/rejected and dictionary-code lanes resolved through the
+    /// per-dictionary qualifying bitmap — instead of per-row value work.
+    pub enc_skipped: u64,
 }
 
 impl OpProfile {
@@ -171,6 +182,24 @@ impl OpProfile {
     #[inline]
     pub fn record_io_retries(&mut self, n: u64) {
         self.io_retries += n;
+    }
+
+    /// Record one batch on the compressed-execution observable: `encoded`
+    /// when it still carried at least one encoded column.
+    #[inline]
+    pub fn record_enc_batch(&mut self, encoded: bool) {
+        if encoded {
+            self.enc_batches += 1;
+        } else {
+            self.flat_batches += 1;
+        }
+    }
+
+    /// Record `n` rows decided wholesale at the encoding level (whole RLE
+    /// runs, dictionary-code bitmap lanes) instead of per-row value work.
+    #[inline]
+    pub fn record_enc_skipped(&mut self, n: u64) {
+        self.enc_skipped += n;
     }
 
     /// Record one output-batch lease from the pipeline's
@@ -272,7 +301,7 @@ impl QueryProfile {
     /// so output stays interpretable without reading this source.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry\n",
+            "operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -331,8 +360,22 @@ impl QueryProfile {
             } else {
                 format!("{:>8}", "-")
             };
+            let enc = if p.enc_batches + p.flat_batches > 0 {
+                // Encoded vs inflated batch traffic, plus rows decided
+                // wholesale at the encoding level (runs/code bitmap).
+                if p.enc_skipped > 0 {
+                    format!(
+                        "{:>12}",
+                        format!("{}/{}+{}", p.enc_batches, p.flat_batches, p.enc_skipped)
+                    )
+                } else {
+                    format!("{:>12}", format!("{}/{}", p.enc_batches, p.flat_batches))
+                }
+            } else {
+                format!("{:>12}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {} {:>8.3}ms {} {} {} {} {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {} {:>8.3}ms {} {} {} {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -346,6 +389,7 @@ impl QueryProfile {
                 pool,
                 spill,
                 ioretry,
+                enc,
             ));
         }
         out
@@ -528,14 +572,20 @@ mod tests {
         let mut scan = OpProfile::new("Scan");
         scan.record(5000, Duration::from_millis(1));
         scan.morsels = 7;
+        scan.record_enc_batch(true);
+        scan.record_enc_batch(true);
+        scan.record_enc_batch(true);
+        scan.record_enc_batch(true);
+        scan.record_enc_batch(false);
+        scan.record_enc_skipped(2048);
 
         let mut q = QueryProfile::default();
         q.operators.push((0, join));
         q.operators.push((1, scan));
         let expect = "\
-operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry
-HashJoin                              1       1000        900    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3
-  Scan                                1       5000          -    1.000ms        -        -        -        -        7        -               -        -
+operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc
+HashJoin                              1       1000        900    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3            -
+  Scan                                1       5000          -    1.000ms        -        -        -        -        7        -               -        -     4/1+2048
 ";
         assert_eq!(q.render(), expect);
     }

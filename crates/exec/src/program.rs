@@ -31,6 +31,17 @@
 //! use the typed select kernels directly, and only irreducible boolean
 //! expressions materialize a boolean vector.
 //!
+//! **Encoded inputs** (ARCHITECTURE.md, "Compressed execution"): select
+//! steps answer `col <op> const` and `col LIKE pat` at the encoding
+//! level when the column arrives dictionary-coded (one comparison per
+//! distinct value builds a code-qualifying bitmap) or RLE-coded (one
+//! comparison accepts/rejects a whole run); rows decided this way are
+//! counted in [`VectorPool::take_enc_skipped`]. Everything else reads
+//! typed data slices, which are *empty placeholders* on dict vectors —
+//! operators must `ensure_flat()` the columns in
+//! [`ExprProgram::cols_used`] before running a non-bare program
+//! ([`ExprProgram::is_bare_col`] passes encoded vectors through).
+//!
 //! # `VectorPool` ownership rules
 //!
 //! The pool is an epoch-recycled arena owned by one operator (it is not
@@ -103,6 +114,10 @@ pub struct VectorPool {
     pub programs_run: u64,
     /// Instructions executed since the last `take_counters`.
     pub instrs_run: u64,
+    /// Rows decided at the encoding level (dict-code bitmap, RLE run
+    /// accept/reject) instead of per-row value comparisons, since the
+    /// last `take_enc_skipped`. Feeds `OpProfile::enc_skipped`.
+    pub enc_skipped: u64,
 }
 
 impl VectorPool {
@@ -194,6 +209,11 @@ impl VectorPool {
     /// Drain the profiling counters (program runs, instructions executed).
     pub fn take_counters(&mut self) -> (u64, u64) {
         (std::mem::take(&mut self.programs_run), std::mem::take(&mut self.instrs_run))
+    }
+
+    /// Drain the rows-decided-at-encoding-level counter.
+    pub fn take_enc_skipped(&mut self) -> u64 {
+        std::mem::take(&mut self.enc_skipped)
     }
 
     /// Borrow a recycled [`SelVec`] (cleared). Selection results returned
@@ -316,6 +336,10 @@ pub struct ExprProgram {
     result: Opd,
     ty: TypeId,
     check: ArithCheck,
+    /// Input columns the instruction stream reads through typed slices
+    /// (sorted, deduplicated). Encoded columns must be flattened before
+    /// the program runs — see ARCHITECTURE.md "Compressed execution".
+    cols_used: Vec<usize>,
 }
 
 impl ExprProgram {
@@ -337,13 +361,33 @@ impl ExprProgram {
         c.assign_ids(expr);
         c.count_uses(expr);
         let result = c.emit(expr);
+        let mut cols_used = Vec::new();
+        collect_cols(expr, &mut cols_used);
+        cols_used.sort_unstable();
+        cols_used.dedup();
         ExprProgram {
             instrs: c.instrs,
             reg_types: c.reg_types,
             result,
             ty: expr.type_id(),
             check: ctx.check,
+            cols_used,
         }
+    }
+
+    /// Input columns the program reads (sorted, deduplicated). Callers
+    /// running the program over a batch with encoded columns must
+    /// [`Vector::ensure_flat`] these first: instructions read typed data
+    /// slices, which are empty placeholders on dictionary-coded vectors.
+    pub fn cols_used(&self) -> &[usize] {
+        &self.cols_used
+    }
+
+    /// True when the program is a bare column reference: the result is the
+    /// input column itself, untouched — encoded vectors can pass through
+    /// without flattening (gather/detach are encoding-aware).
+    pub fn is_bare_col(&self) -> bool {
+        self.instrs.is_empty() && matches!(self.result, Opd::Col(_))
     }
 
     /// The program's result type.
@@ -458,6 +502,18 @@ fn node_desc(e: &PhysExpr) -> String {
         }
         PhysExpr::FuncCall { func, ty, .. } => format!("F{func:?}:{ty:?}"),
         PhysExpr::Like { pattern, negated, .. } => format!("L{negated}:{pattern}"),
+    }
+}
+
+/// Collect every column referenced anywhere in `e` (duplicates included;
+/// callers sort/dedup).
+fn collect_cols(e: &PhysExpr, out: &mut Vec<usize>) {
+    if let PhysExpr::ColRef(i, _) = e {
+        out.push(*i);
+        return;
+    }
+    for ch in children(e) {
+        collect_cols(ch, out);
     }
 }
 
@@ -1477,7 +1533,13 @@ enum SelNode {
     /// Union of branch selections, each under the incoming selection.
     Disj(Vec<SelNode>),
     /// Typed `col <op> const` select kernel (no boolean intermediate).
+    /// Dictionary-coded string columns are decided with one comparison
+    /// per distinct value (qualifying-code bitmap); RLE-sidecar integer
+    /// columns accept/reject whole runs.
     CmpColConst { op: CmpOp, col: usize, val: Value },
+    /// `col LIKE pattern` with the pattern compiled once. On a
+    /// dictionary-coded column the matcher runs once per distinct value.
+    LikeCol { col: usize, matcher: LikeMatcher, negated: bool },
     /// Constant predicate (TRUE keeps the incoming selection).
     ConstBool(bool),
     /// Irreducible boolean expression: evaluate, then keep TRUE non-NULLs.
@@ -1516,6 +1578,25 @@ impl SelectProgram {
     /// surviving positions.
     pub fn run(&self, pool: &mut VectorPool, batch: &Batch) -> Result<SelVec> {
         run_sel(&self.node, pool, batch, batch.sel.as_ref())
+    }
+
+    /// Columns that must be flat before [`run`](Self::run): everything
+    /// read by irreducible boolean sub-programs. Columns touched only by
+    /// the typed compare / LIKE steps stay encoded — those kernels work
+    /// on dict codes and RLE runs directly.
+    pub fn flat_cols(&self) -> Vec<usize> {
+        fn walk(n: &SelNode, out: &mut Vec<usize>) {
+            match n {
+                SelNode::Conj(v) | SelNode::Disj(v) => v.iter().for_each(|p| walk(p, out)),
+                SelNode::Bool(p) => out.extend_from_slice(p.cols_used()),
+                SelNode::CmpColConst { .. } | SelNode::LikeCol { .. } | SelNode::ConstBool(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.node, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -1582,6 +1663,16 @@ fn compile_sel(pred: &PhysExpr, ctx: &ExprCtx, consts: &HashMap<*const PhysExpr,
             }
             SelNode::Bool(ExprProgram::compile(pred, ctx))
         }
+        PhysExpr::Like { input, pattern, negated } => {
+            if let PhysExpr::ColRef(ci, TypeId::Str) = input.as_ref() {
+                return SelNode::LikeCol {
+                    col: *ci,
+                    matcher: LikeMatcher::new(pattern),
+                    negated: *negated,
+                };
+            }
+            SelNode::Bool(ExprProgram::compile(pred, ctx))
+        }
         _ => SelNode::Bool(ExprProgram::compile(pred, ctx)),
     }
 }
@@ -1641,7 +1732,37 @@ fn run_sel(
         SelNode::CmpColConst { op, col, val } => {
             let colv = &batch.columns[*col];
             let mut out = pool.take_sel();
-            select_col_const(*op, colv, val, n, sel, &mut out);
+            pool.enc_skipped += select_col_const(*op, colv, val, n, sel, &mut out);
+            Ok(out)
+        }
+        SelNode::LikeCol { col, matcher, negated } => {
+            let colv = &batch.columns[*col];
+            let mut out = pool.take_sel();
+            if let Some((codes, dict)) = colv.dict_parts() {
+                // One matcher run per distinct value; rows reduce to a
+                // bitmap lookup on their code.
+                let mut ok = vec![false; dict.len()];
+                for (d, slot) in dict.iter().zip(ok.iter_mut()) {
+                    *slot = matcher.matches(d) != *negated;
+                }
+                match &colv.nulls {
+                    None => primitives::select_by(n, sel, &mut out, |i| ok[codes[i] as usize]),
+                    Some(m) => {
+                        primitives::select_by(n, sel, &mut out, |i| !m[i] && ok[codes[i] as usize])
+                    }
+                }
+                pool.enc_skipped += sel.map_or(n, |s| s.len()) as u64;
+            } else {
+                let vals = colv.data.as_str();
+                match &colv.nulls {
+                    None => primitives::select_by(n, sel, &mut out, |i| {
+                        matcher.matches(&vals[i]) != *negated
+                    }),
+                    Some(m) => primitives::select_by(n, sel, &mut out, |i| {
+                        !m[i] && matcher.matches(&vals[i]) != *negated
+                    }),
+                }
+            }
             Ok(out)
         }
         SelNode::Bool(prog) => {
@@ -1656,7 +1777,9 @@ fn run_sel(
 }
 
 /// Typed `col <op> const` selection — the X100 `select_*` kernels, ported
-/// from the interpreter's `fast_select_cmp`.
+/// from the interpreter's `fast_select_cmp`. Returns the number of rows
+/// decided at the encoding level (dict-code bitmap or RLE run test)
+/// rather than by per-row value comparison.
 fn select_col_const(
     op: CmpOp,
     col: &Vector,
@@ -1664,7 +1787,45 @@ fn select_col_const(
     n: usize,
     sel: Option<&SelVec>,
     out: &mut SelVec,
-) {
+) -> u64 {
+    // Dictionary-coded strings: one comparison per distinct value builds
+    // a qualifying-code bitmap; rows reduce to a code lookup.
+    if let (Some((codes, dict)), Value::Str(k)) = (col.dict_parts(), k) {
+        let mut ok = vec![false; dict.len()];
+        for (d, slot) in dict.iter().zip(ok.iter_mut()) {
+            *slot = op.holds(d.as_str().cmp(k.as_str()));
+        }
+        match &col.nulls {
+            None => primitives::select_by(n, sel, out, |i| ok[codes[i] as usize]),
+            Some(m) => primitives::select_by(n, sel, out, |i| !m[i] && ok[codes[i] as usize]),
+        }
+        return sel.map_or(n, |s| s.len()) as u64;
+    }
+    // RLE runs over a dense, NULL-free integer column: one comparison
+    // accepts or rejects the whole run.
+    if sel.is_none() && col.nulls.is_none() {
+        if let Some(runs) = col.rle_runs() {
+            let kk = match k {
+                Value::I64(v) => Some(*v),
+                Value::I32(v) => Some(*v as i64),
+                Value::Date(d) => Some(d.0 as i64),
+                _ => None,
+            };
+            if let Some(kk) = kk {
+                out.clear();
+                let mut pos = 0u32;
+                for &(v, len) in runs {
+                    if op.holds(v.cmp(&kk)) {
+                        for i in pos..pos + len {
+                            out.push(i);
+                        }
+                    }
+                    pos += len;
+                }
+                return n as u64;
+            }
+        }
+    }
     macro_rules! run {
         ($vals:expr, $k:expr) => {{
             let vals = $vals;
@@ -1698,6 +1859,7 @@ fn select_col_const(
         },
         _ => unreachable!("compile_sel only emits CmpColConst for matching types"),
     }
+    0
 }
 
 /// Merge two sorted selections into `out` (cleared first). Also backs the

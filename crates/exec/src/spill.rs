@@ -32,8 +32,27 @@ use vw_storage::{decode_spill_batch, encode_spill_batch, SpillFile};
 /// are retried inside [`SpillFile::append`]; terminal ones surface here
 /// and fail the spilling operator (its temp blocks still free on drop).
 pub fn append_vectors(file: &mut SpillFile, cols: &[Vector]) -> Result<usize> {
-    let encoded: Vec<(&vw_common::ColData, Option<&[bool]>)> =
-        cols.iter().map(|v| (&v.data, v.nulls.as_deref())).collect();
+    // Spill chunks hold flat values — the pack codecs re-derive their own
+    // per-column encoding. Dict-coded vectors inflate into a scratch copy
+    // here (a late-materialization boundary, like Sort and emit).
+    let flat: Vec<Option<Vector>> = cols
+        .iter()
+        .map(|v| {
+            v.is_encoded().then(|| {
+                let mut c = v.clone();
+                c.ensure_flat();
+                c
+            })
+        })
+        .collect();
+    let encoded: Vec<(&vw_common::ColData, Option<&[bool]>)> = cols
+        .iter()
+        .zip(&flat)
+        .map(|(v, f)| {
+            let v = f.as_ref().unwrap_or(v);
+            (&v.data, v.nulls.as_deref())
+        })
+        .collect();
     file.append(encode_spill_batch(&encoded))
 }
 

@@ -1,38 +1,126 @@
 //! Vectors and batches — the unit of data flow between operators.
+//!
+//! Since PR 9 a vector can also carry an **encoded form** ([`Enc`])
+//! alongside (or instead of) its flat values, so kernels run on compressed
+//! representations and only materialize what survives — see
+//! ARCHITECTURE.md ("Compressed execution") for the encoded vector forms,
+//! the per-encoding instruction table, and the late-materialization
+//! boundaries.
 
+use std::sync::Arc;
 use vw_common::{ColData, Result, Schema, SelVec, TypeId, Value, VwError};
+
+/// An encoded vector form riding on a [`Vector`] (`SET compressed_exec`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Enc {
+    /// Dictionary-coded strings: one `u32` code per position into a shared
+    /// dictionary (the pack's PDICT dictionary, one `Arc` per pack). While
+    /// this form is present, `data` is an **empty** `ColData::Str`
+    /// placeholder that only carries the type — `len()`/`get()` and every
+    /// gather/extend consult the codes. Two vectors sharing the same `Arc`
+    /// compare by code; different dictionaries fall back to comparing the
+    /// dictionary entries themselves (the code-remap-free fallback).
+    Dict {
+        /// One code per position (`codes[i] < dict.len()`).
+        codes: Vec<u32>,
+        /// The shared dictionary, sorted (PDICT), so code order = value
+        /// order and range predicates translate to code predicates.
+        dict: Arc<Vec<String>>,
+    },
+    /// Run-length sidecar for an integer column: `(value, run_len)` pairs
+    /// covering exactly this vector's rows, **in addition to** fully
+    /// materialized `data` (the win is per-run predicate evaluation, not
+    /// storage). Any mutation drops the sidecar; `data` stays the truth.
+    Rle {
+        /// The runs, in position order, summing to `data.len()`.
+        runs: Vec<(i64, u32)>,
+    },
+}
 
 /// A typed value vector with the Vectorwise two-column NULL representation:
 /// `data` always holds a well-typed ("safe") value at every position, and
 /// `nulls`, when present, flags the positions that are SQL NULL.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Vector {
-    /// The values.
+    /// The values. Empty placeholder while `enc` is [`Enc::Dict`].
     pub data: ColData,
     /// NULL indicator; `None` means "no NULLs in this vector".
     pub nulls: Option<Vec<bool>>,
+    /// Encoded form, when the compressed execution path kept one.
+    pub enc: Option<Enc>,
 }
 
 impl Vector {
     /// A non-nullable vector.
     pub fn new(data: ColData) -> Vector {
-        Vector { data, nulls: None }
+        Vector { data, nulls: None, enc: None }
     }
 
     /// A vector with an explicit indicator (normalized: all-false → None).
     pub fn with_nulls(data: ColData, nulls: Option<Vec<bool>>) -> Vector {
         let nulls = nulls.filter(|m| m.iter().any(|&b| b));
-        Vector { data, nulls }
+        Vector { data, nulls, enc: None }
+    }
+
+    /// A dictionary-coded string vector (data stays an empty placeholder).
+    pub fn from_dict(codes: Vec<u32>, dict: Arc<Vec<String>>, nulls: Option<Vec<bool>>) -> Vector {
+        let nulls = nulls.filter(|m| m.iter().any(|&b| b));
+        Vector { data: ColData::new(TypeId::Str), nulls, enc: Some(Enc::Dict { codes, dict }) }
+    }
+
+    /// The dictionary codes + dictionary, when this vector is dict-coded.
+    #[inline]
+    pub fn dict_parts(&self) -> Option<(&[u32], &Arc<Vec<String>>)> {
+        match &self.enc {
+            Some(Enc::Dict { codes, dict }) => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// The RLE run sidecar, when present.
+    #[inline]
+    pub fn rle_runs(&self) -> Option<&[(i64, u32)]> {
+        match &self.enc {
+            Some(Enc::Rle { runs }) => Some(runs),
+            _ => None,
+        }
+    }
+
+    /// True when an encoded form is present (profiling's `enc` column).
+    #[inline]
+    pub fn is_encoded(&self) -> bool {
+        self.enc.is_some()
     }
 
     /// Number of values.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.enc {
+            Some(Enc::Dict { codes, .. }) => codes.len(),
+            _ => self.data.len(),
+        }
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.data.len() == 0
+        self.len() == 0
+    }
+
+    /// Decode the encoded form into flat `data` and drop it — the
+    /// late-materialization boundary (emit / Sort / TopN / spill / any
+    /// kernel that has no encoded instruction variant). A no-op for flat
+    /// vectors, so calling it defensively costs one branch.
+    pub fn ensure_flat(&mut self) {
+        match self.enc.take() {
+            None => {}
+            Some(Enc::Rle { .. }) => {} // data is already materialized
+            Some(Enc::Dict { codes, dict }) => {
+                debug_assert_eq!(self.data.len(), 0, "dict placeholder must stay empty");
+                let ColData::Str(out) = &mut self.data else {
+                    unreachable!("dict enc on non-string column")
+                };
+                vw_compress::dict::materialize_codes(&codes, &dict, out);
+            }
+        }
     }
 
     /// The type.
@@ -50,20 +138,45 @@ impl Vector {
     pub fn get(&self, i: usize) -> Value {
         if self.is_null(i) {
             Value::Null
+        } else if let Some((codes, dict)) = self.dict_parts() {
+            Value::Str(dict[codes[i] as usize].clone())
         } else {
             self.data.get_value(i)
+        }
+    }
+
+    /// The string at position `i` without cloning (dict-aware; `i` must
+    /// name a string column and is *not* NULL-checked — callers holding a
+    /// non-null position use this in hash/compare loops).
+    #[inline]
+    pub fn str_at(&self, i: usize) -> &str {
+        if let Some((codes, dict)) = self.dict_parts() {
+            &dict[codes[i] as usize]
+        } else {
+            match &self.data {
+                ColData::Str(s) => &s[i],
+                _ => unreachable!("str_at on non-string column"),
+            }
         }
     }
 
     /// Approximate heap bytes held by this vector (value buffer plus NULL
     /// indicator) — the unit the memory governor
     /// (`vw-exec::partition::MemBudget`) charges for staged build rows.
+    /// Dict-coded vectors charge their codes (the dictionary is shared,
+    /// pack-owned storage).
     pub fn byte_size(&self) -> usize {
-        self.data.byte_size() + self.nulls.as_ref().map_or(0, |m| m.len())
+        let enc = match &self.enc {
+            Some(Enc::Dict { codes, .. }) => codes.len() * 4,
+            Some(Enc::Rle { runs }) => runs.len() * 12,
+            None => 0,
+        };
+        self.data.byte_size() + enc + self.nulls.as_ref().map_or(0, |m| m.len())
     }
 
     /// Append a [`Value`] (NULL extends the indicator).
     pub fn push(&mut self, v: &Value) -> Result<()> {
+        self.ensure_flat();
         if v.is_null() {
             let n = self.len();
             self.nulls.get_or_insert_with(|| vec![false; n]).push(true);
@@ -79,6 +192,7 @@ impl Vector {
 
     /// Overwrite position `i` (PDT modification overlay during scans).
     pub fn set(&mut self, i: usize, v: &Value) -> Result<()> {
+        self.ensure_flat();
         if v.is_null() {
             let n = self.len();
             self.nulls.get_or_insert_with(|| vec![false; n])[i] = true;
@@ -92,8 +206,14 @@ impl Vector {
         Ok(())
     }
 
-    /// Gather `positions` into a new vector.
+    /// Gather `positions` into a new vector (dict codes stay coded).
     pub fn gather(&self, positions: &SelVec) -> Vector {
+        if let Some((codes, dict)) = self.dict_parts() {
+            let out: Vec<u32> = positions.iter().map(|p| codes[p]).collect();
+            let nulls =
+                self.nulls.as_ref().map(|m| positions.iter().map(|p| m[p]).collect::<Vec<bool>>());
+            return Vector::from_dict(out, dict.clone(), nulls);
+        }
         let mut data = ColData::with_capacity(self.type_id(), positions.len());
         data.extend_gather(&self.data, positions.iter());
         let nulls =
@@ -106,6 +226,14 @@ impl Vector {
     /// output assembler uses this: one probe row matching N build rows
     /// repeats its index N times.
     pub fn gather_indices(&self, idx: &[u32]) -> Vector {
+        if let Some((codes, dict)) = self.dict_parts() {
+            let out: Vec<u32> = idx.iter().map(|&i| codes[i as usize]).collect();
+            let nulls = self
+                .nulls
+                .as_ref()
+                .map(|m| idx.iter().map(|&i| m[i as usize]).collect::<Vec<bool>>());
+            return Vector::from_dict(out, dict.clone(), nulls);
+        }
         let mut data = ColData::with_capacity(self.type_id(), idx.len());
         data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
         let nulls =
@@ -115,7 +243,16 @@ impl Vector {
 
     /// Like [`Vector::gather_indices`], but lanes equal to `sentinel`
     /// produce SQL NULL (left-outer-join padding for unmatched probe rows).
+    /// A dict source stays coded: padded lanes take code 0 as the safe
+    /// value under their NULL flag.
     pub fn gather_indices_padded(&self, idx: &[u32], sentinel: u32) -> Vector {
+        if let Some((codes, dict)) = self.dict_parts() {
+            let out: Vec<u32> =
+                idx.iter().map(|&i| if i == sentinel { 0 } else { codes[i as usize] }).collect();
+            let nulls: Vec<bool> =
+                idx.iter().map(|&i| i == sentinel || self.is_null(i as usize)).collect();
+            return Vector::from_dict(out, dict.clone(), Some(nulls));
+        }
         let mut data = ColData::with_capacity(self.type_id(), idx.len());
         data.extend_gather_padded(&self.data, idx, sentinel);
         let nulls: Vec<bool> =
@@ -123,22 +260,86 @@ impl Vector {
         Vector::with_nulls(data, Some(nulls))
     }
 
+    /// Can `self` absorb `src`'s representation without materializing?
+    /// True when `self` is (still) empty — it adopts `src`'s dictionary —
+    /// or both sides are dict-coded over the *same* `Arc`.
+    fn adopts_dict_of(&self, src: &Vector) -> bool {
+        match (&self.enc, &src.enc) {
+            (_, Some(Enc::Dict { .. })) if self.is_empty() => true,
+            (Some(Enc::Dict { dict: a, .. }), Some(Enc::Dict { dict: b, .. })) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Normalize representations before an append: if the append cannot
+    /// stay coded (dictionary mismatch, or mixing flat and coded), flatten
+    /// whichever side this vector owns. Returns a flat copy of `src` when
+    /// *it* was the coded side, else `None` (append straight from `src`).
+    fn flatten_for_append(&mut self, src: &Vector) -> Option<Vector> {
+        if self.adopts_dict_of(src) {
+            return None;
+        }
+        if self.enc.is_some() {
+            self.ensure_flat();
+        }
+        if src.enc.is_some() {
+            let mut flat = src.clone();
+            flat.ensure_flat();
+            Some(flat)
+        } else {
+            None
+        }
+    }
+
     /// Append the lanes of `src` selected by `sel` (vectorized hash-build
     /// append: batch rows flow into the contiguous build-side vectors).
+    /// Dict-coded lanes stay coded while the dictionaries match (one pack
+    /// feeding one build); a mismatch materializes both sides.
     pub fn extend_gather_sel(&mut self, src: &Vector, sel: &SelVec) {
+        if self.adopts_dict_of(src) {
+            let Some((src_codes, src_dict)) = src.dict_parts() else { unreachable!() };
+            let src_dict = src_dict.clone();
+            self.extend_nulls_gather(src, sel);
+            match &mut self.enc {
+                Some(Enc::Dict { codes, dict }) => {
+                    if !Arc::ptr_eq(dict, &src_dict) {
+                        *dict = src_dict; // empty dst with a stale recycled dict
+                    }
+                    codes.extend(sel.iter().map(|p| src_codes[p]));
+                }
+                e @ None => {
+                    *e = Some(Enc::Dict {
+                        codes: sel.iter().map(|p| src_codes[p]).collect(),
+                        dict: src_dict,
+                    })
+                }
+                _ => unreachable!(),
+            }
+            return;
+        }
+        if let Some(flat) = self.flatten_for_append(src) {
+            return self.extend_gather_sel(&flat, sel);
+        }
+        self.enc = None; // a grown RLE sidecar no longer matches `data`
+        self.extend_nulls_gather(src, sel);
+        self.data.extend_gather(&src.data, sel.iter());
+    }
+
+    /// The NULL-indicator half of [`Vector::extend_gather_sel`].
+    fn extend_nulls_gather(&mut self, src: &Vector, sel: &SelVec) {
+        let before = self.len();
         match (&mut self.nulls, &src.nulls) {
             (Some(a), Some(b)) => a.extend(sel.iter().map(|p| b[p])),
             (Some(a), None) => a.extend(std::iter::repeat_n(false, sel.len())),
             (None, Some(b)) => {
                 if sel.iter().any(|p| b[p]) {
-                    let mut m = vec![false; self.len()];
+                    let mut m = vec![false; before];
                     m.extend(sel.iter().map(|p| b[p]));
                     self.nulls = Some(m);
                 }
             }
             (None, None) => {}
         }
-        self.data.extend_gather(&src.data, sel.iter());
     }
 
     /// Clear values in place, keeping the data buffer's capacity — the
@@ -150,14 +351,27 @@ impl Vector {
     pub fn clear_keep_capacity(&mut self) {
         self.data.clear();
         self.nulls = None;
+        match &mut self.enc {
+            // Keep the Dict variant (codes capacity survives recycling; the
+            // next extend either reuses the same Arc or, because the vector
+            // is empty, adopts a new representation wholesale).
+            Some(Enc::Dict { codes, .. }) => codes.clear(),
+            Some(Enc::Rle { .. }) => self.enc = None,
+            None => {}
+        }
     }
 
     /// [`Vector::gather`] into a caller-owned vector (cleared first),
     /// reusing its buffers — the pooled-output variant.
     pub fn gather_into(&self, positions: &SelVec, dst: &mut Vector) {
         debug_assert_eq!(self.type_id(), dst.type_id());
-        dst.data.clear();
-        dst.data.extend_gather(&self.data, positions.iter());
+        dst.clear_keep_capacity();
+        if let Some((codes, dict)) = self.dict_parts() {
+            dst.set_dict_gather(dict, positions.iter().map(|p| codes[p]));
+        } else {
+            dst.enc = None;
+            dst.data.extend_gather(&self.data, positions.iter());
+        }
         fill_gathered_nulls(&mut dst.nulls, self.nulls.as_deref(), positions.iter());
     }
 
@@ -165,8 +379,13 @@ impl Vector {
     /// first), reusing its buffers.
     pub fn gather_indices_into(&self, idx: &[u32], dst: &mut Vector) {
         debug_assert_eq!(self.type_id(), dst.type_id());
-        dst.data.clear();
-        dst.data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
+        dst.clear_keep_capacity();
+        if let Some((codes, dict)) = self.dict_parts() {
+            dst.set_dict_gather(dict, idx.iter().map(|&i| codes[i as usize]));
+        } else {
+            dst.enc = None;
+            dst.data.extend_gather(&self.data, idx.iter().map(|&i| i as usize));
+        }
         fill_gathered_nulls(&mut dst.nulls, self.nulls.as_deref(), idx.iter().map(|&i| i as usize));
     }
 
@@ -177,8 +396,16 @@ impl Vector {
     /// downstream NULL-free fast paths keep firing.
     pub fn gather_indices_padded_into(&self, idx: &[u32], sentinel: u32, dst: &mut Vector) {
         debug_assert_eq!(self.type_id(), dst.type_id());
-        dst.data.clear();
-        dst.data.extend_gather_padded(&self.data, idx, sentinel);
+        dst.clear_keep_capacity();
+        if let Some((codes, dict)) = self.dict_parts() {
+            dst.set_dict_gather(
+                dict,
+                idx.iter().map(|&i| if i == sentinel { 0 } else { codes[i as usize] }),
+            );
+        } else {
+            dst.enc = None;
+            dst.data.extend_gather_padded(&self.data, idx, sentinel);
+        }
         if self.nulls.is_none() && !idx.contains(&sentinel) {
             dst.nulls = None;
             return;
@@ -186,6 +413,22 @@ impl Vector {
         let m = dst.nulls.get_or_insert_with(Vec::new);
         m.clear();
         m.extend(idx.iter().map(|&i| i == sentinel || self.is_null(i as usize)));
+    }
+
+    /// Rebuild this (cleared) vector as dict-coded over `dict`, filling
+    /// its codes from `src_codes` and reusing the codes buffer if the
+    /// vector was already dict-coded before recycling.
+    fn set_dict_gather(&mut self, dict: &Arc<Vec<String>>, src_codes: impl Iterator<Item = u32>) {
+        debug_assert!(self.is_empty() && self.data.is_empty());
+        match &mut self.enc {
+            Some(Enc::Dict { codes, dict: d }) => {
+                if !Arc::ptr_eq(d, dict) {
+                    *d = dict.clone();
+                }
+                codes.extend(src_codes);
+            }
+            e => *e = Some(Enc::Dict { codes: src_codes.collect(), dict: dict.clone() }),
+        }
     }
 
     /// Copy `src` wholesale into this vector (cleared first), reusing the
@@ -196,21 +439,177 @@ impl Vector {
         self.extend_range(src, 0, src.len());
     }
 
-    /// Concatenate `other[start..end]` onto this vector.
+    /// Concatenate `other[start..end]` onto this vector. Dict-coded
+    /// sources stay coded while the dictionaries match (see
+    /// [`Vector::extend_gather_sel`]); any other mix materializes.
     pub fn extend_range(&mut self, other: &Vector, start: usize, end: usize) {
+        if self.adopts_dict_of(other) {
+            let Some((src_codes, src_dict)) = other.dict_parts() else { unreachable!() };
+            let src_dict = src_dict.clone();
+            self.extend_nulls_range(other, start, end);
+            match &mut self.enc {
+                Some(Enc::Dict { codes, dict }) => {
+                    if !Arc::ptr_eq(dict, &src_dict) {
+                        *dict = src_dict; // empty dst with a stale recycled dict
+                    }
+                    codes.extend_from_slice(&src_codes[start..end]);
+                }
+                e @ None => {
+                    *e = Some(Enc::Dict { codes: src_codes[start..end].to_vec(), dict: src_dict })
+                }
+                _ => unreachable!(),
+            }
+            return;
+        }
+        if self.enc.is_some() || other.enc.is_some() {
+            if let Some(flat) = self.flatten_for_append(other) {
+                return self.extend_range(&flat, start, end);
+            }
+            self.enc = None; // drop a no-longer-covering RLE sidecar
+        }
+        self.extend_nulls_range(other, start, end);
+        self.data.extend_from_range(&other.data, start, end);
+    }
+
+    /// The NULL-indicator half of [`Vector::extend_range`].
+    fn extend_nulls_range(&mut self, other: &Vector, start: usize, end: usize) {
+        let before = self.len();
         match (&mut self.nulls, &other.nulls) {
             (Some(a), Some(b)) => a.extend_from_slice(&b[start..end]),
             (Some(a), None) => a.extend(std::iter::repeat_n(false, end - start)),
             (None, Some(b)) => {
                 if b[start..end].iter().any(|&x| x) {
-                    let mut m = vec![false; self.len()];
+                    let mut m = vec![false; before];
                     m.extend_from_slice(&b[start..end]);
                     self.nulls = Some(m);
                 }
             }
             (None, None) => {}
         }
-        self.data.extend_from_range(&other.data, start, end);
+    }
+
+    /// Scan-facing append of a dict-coded pack slice: extend this vector
+    /// with `codes[start..end]` over `dict`, staying coded when possible
+    /// (empty vector, or same `Arc`), else materializing the slice.
+    pub fn extend_dict_range(
+        &mut self,
+        codes: &[u32],
+        dict: &Arc<Vec<String>>,
+        nulls: Option<&[bool]>,
+        start: usize,
+        end: usize,
+    ) {
+        let stays_coded = match &self.enc {
+            _ if self.is_empty() => true,
+            Some(Enc::Dict { dict: d, .. }) => Arc::ptr_eq(d, dict),
+            _ => false,
+        };
+        // NULL indicator first (self.len() must be the pre-append length).
+        let before = self.len();
+        match (&mut self.nulls, nulls) {
+            (Some(a), Some(b)) => a.extend_from_slice(&b[start..end]),
+            (Some(a), None) => a.extend(std::iter::repeat_n(false, end - start)),
+            (None, Some(b)) => {
+                if b[start..end].iter().any(|&x| x) {
+                    let mut m = vec![false; before];
+                    m.extend_from_slice(&b[start..end]);
+                    self.nulls = Some(m);
+                }
+            }
+            (None, None) => {}
+        }
+        if stays_coded {
+            match &mut self.enc {
+                Some(Enc::Dict { codes: c, dict: d }) => {
+                    if !Arc::ptr_eq(d, dict) {
+                        *d = dict.clone();
+                    }
+                    c.extend_from_slice(&codes[start..end]);
+                }
+                e => *e = Some(Enc::Dict { codes: codes[start..end].to_vec(), dict: dict.clone() }),
+            }
+        } else {
+            self.ensure_flat();
+            let ColData::Str(out) = &mut self.data else {
+                unreachable!("dict append on non-string column")
+            };
+            out.extend(codes[start..end].iter().map(|&c| dict[c as usize].clone()));
+        }
+    }
+
+    /// Attach an RLE run sidecar covering exactly `data` (the scan sets
+    /// this right after filling a fresh vector). Ignored unless the runs
+    /// sum to the vector's length — a partial sidecar would lie.
+    pub fn set_rle_runs(&mut self, runs: Vec<(i64, u32)>) {
+        debug_assert!(self.enc.is_none());
+        let covered: usize = runs.iter().map(|&(_, n)| n as usize).sum();
+        if covered == self.len() && self.enc.is_none() {
+            self.enc = Some(Enc::Rle { runs });
+        }
+    }
+
+    /// Scan-facing append of an RLE pack slice: extend with
+    /// `data[start..end]` (flat, like [`Vector::extend_range`]) while
+    /// maintaining a run sidecar clipped to the appended range. The sidecar
+    /// survives only while every append keeps it covering — an append onto
+    /// a flat non-empty vector drops it.
+    pub fn extend_rle_range(
+        &mut self,
+        data: &ColData,
+        runs: &[(i64, u32)],
+        nulls: Option<&[bool]>,
+        start: usize,
+        end: usize,
+    ) {
+        let keep_runs = self.is_empty() || matches!(self.enc, Some(Enc::Rle { .. }));
+        let before = self.len();
+        match (&mut self.nulls, nulls) {
+            (Some(a), Some(b)) => a.extend_from_slice(&b[start..end]),
+            (Some(a), None) => a.extend(std::iter::repeat_n(false, end - start)),
+            (None, Some(b)) => {
+                if b[start..end].iter().any(|&x| x) {
+                    let mut m = vec![false; before];
+                    m.extend_from_slice(&b[start..end]);
+                    self.nulls = Some(m);
+                }
+            }
+            (None, None) => {}
+        }
+        self.data.extend_from_range(data, start, end);
+        if keep_runs {
+            let dst = match &mut self.enc {
+                Some(Enc::Rle { runs }) => runs,
+                e => {
+                    *e = Some(Enc::Rle { runs: Vec::new() });
+                    let Some(Enc::Rle { runs }) = e else { unreachable!() };
+                    runs
+                }
+            };
+            clip_runs(runs, start, end, dst);
+        } else {
+            self.enc = None;
+        }
+    }
+}
+
+/// Append the sub-runs of `runs` overlapping `[start, end)` onto `out`,
+/// merging with `out`'s trailing run when the values match.
+fn clip_runs(runs: &[(i64, u32)], start: usize, end: usize, out: &mut Vec<(i64, u32)>) {
+    let mut pos = 0usize;
+    for &(v, l) in runs {
+        let (rs, re) = (pos, pos + l as usize);
+        pos = re;
+        if re <= start {
+            continue;
+        }
+        if rs >= end {
+            break;
+        }
+        let take = (re.min(end) - rs.max(start)) as u32;
+        match out.last_mut() {
+            Some(last) if last.0 == v => last.1 += take,
+            _ => out.push((v, take)),
+        }
     }
 }
 
@@ -305,6 +704,14 @@ impl Batch {
         let mut out = Vec::with_capacity(self.width());
         self.row_values_into(live_idx, &mut out);
         out
+    }
+
+    /// Late-materialize every encoded column in place — the batch-level
+    /// boundary call (Sort/TopN input, spill, volcano bridge).
+    pub fn ensure_flat(&mut self) {
+        for c in &mut self.columns {
+            c.ensure_flat();
+        }
     }
 
     /// Fill `out` (cleared first) with row `i`'s values, reusing the
@@ -433,5 +840,105 @@ mod tests {
         let v = vector_from_values(TypeId::I32, &[Value::I32(5), Value::Null]).unwrap();
         assert_eq!(v.len(), 2);
         assert!(vector_from_values(TypeId::I32, &[Value::I64(5)]).is_err());
+    }
+
+    fn test_dict() -> Arc<Vec<String>> {
+        Arc::new(vec!["apple".to_string(), "kiwi".to_string(), "pear".to_string()])
+    }
+
+    #[test]
+    fn dict_vector_reads_like_flat() {
+        let v =
+            Vector::from_dict(vec![2, 0, 1, 0], test_dict(), Some(vec![false, false, true, false]));
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(0), Value::Str("pear".into()));
+        assert_eq!(v.get(2), Value::Null);
+        assert_eq!(v.str_at(3), "apple");
+        let mut flat = v.clone();
+        flat.ensure_flat();
+        assert!(flat.enc.is_none());
+        for i in 0..4 {
+            assert_eq!(flat.get(i), v.get(i));
+        }
+    }
+
+    #[test]
+    fn dict_gathers_stay_coded() {
+        let v = Vector::from_dict(vec![2, 0, 1, 0], test_dict(), None);
+        let g = v.gather(&SelVec::from_positions(vec![0, 2]));
+        assert!(g.is_encoded());
+        assert_eq!(g.get(1), Value::Str("kiwi".into()));
+        let gi = v.gather_indices(&[3, 3, 0]);
+        assert!(gi.is_encoded());
+        assert_eq!(gi.get(0), Value::Str("apple".into()));
+        assert_eq!(gi.get(2), Value::Str("pear".into()));
+        let gp = v.gather_indices_padded(&[1, u32::MAX], u32::MAX);
+        assert!(gp.is_encoded());
+        assert_eq!(gp.get(0), Value::Str("apple".into()));
+        assert_eq!(gp.get(1), Value::Null);
+    }
+
+    #[test]
+    fn extend_same_dict_stays_coded_mismatch_materializes() {
+        let d = test_dict();
+        let a = Vector::from_dict(vec![0, 1], d.clone(), None);
+        let mut dst = Vector::new(ColData::new(TypeId::Str));
+        dst.extend_range(&a, 0, 2); // empty dst adopts the dict
+        assert!(dst.is_encoded());
+        dst.extend_range(&a, 1, 2); // same Arc → extends codes
+        assert!(dst.is_encoded());
+        assert_eq!(dst.len(), 3);
+        let other = Vector::from_dict(vec![2], test_dict(), None); // different Arc
+        dst.extend_range(&other, 0, 1);
+        assert!(!dst.is_encoded());
+        assert_eq!(
+            dst.data,
+            ColData::Str(vec!["apple".into(), "kiwi".into(), "kiwi".into(), "pear".into()])
+        );
+    }
+
+    #[test]
+    fn recycled_dict_vector_adopts_new_dict() {
+        let mut v = Vector::from_dict(vec![0, 1], test_dict(), Some(vec![false, true]));
+        v.clear_keep_capacity();
+        assert_eq!(v.len(), 0);
+        assert!(v.nulls.is_none());
+        let fresh = Arc::new(vec!["zig".to_string()]);
+        let src = Vector::from_dict(vec![0, 0], fresh.clone(), None);
+        v.extend_range(&src, 0, 2);
+        let (codes, dict) = v.dict_parts().expect("stays coded");
+        assert_eq!(codes, &[0, 0]);
+        assert!(Arc::ptr_eq(dict, &fresh));
+    }
+
+    #[test]
+    fn rle_sidecar_drops_on_mutation() {
+        let mut v = Vector::new(ColData::I64(vec![7, 7, 7, 9]));
+        v.set_rle_runs(vec![(7, 3), (9, 1)]);
+        assert_eq!(v.rle_runs(), Some(&[(7i64, 3u32), (9, 1)][..]));
+        v.push(&Value::I64(5)).unwrap();
+        assert!(v.enc.is_none());
+        assert_eq!(v.get(4), Value::I64(5));
+    }
+
+    #[test]
+    fn dict_extend_gather_sel_and_into_paths() {
+        let d = test_dict();
+        let src = Vector::from_dict(vec![2, 1, 0, 1], d.clone(), None);
+        let mut build = Vector::new(ColData::new(TypeId::Str));
+        build.extend_gather_sel(&src, &SelVec::from_positions(vec![0, 3]));
+        assert!(build.is_encoded());
+        assert_eq!(build.get(0), Value::Str("pear".into()));
+        assert_eq!(build.get(1), Value::Str("kiwi".into()));
+
+        let mut dst = Vector::new(ColData::new(TypeId::Str));
+        src.gather_indices_into(&[1, 1, 2], &mut dst);
+        assert!(dst.is_encoded());
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.get(2), Value::Str("apple".into()));
+        src.gather_indices_padded_into(&[0, u32::MAX], u32::MAX, &mut dst);
+        assert_eq!(dst.len(), 2);
+        assert_eq!(dst.get(0), Value::Str("pear".into()));
+        assert_eq!(dst.get(1), Value::Null);
     }
 }

@@ -16,10 +16,11 @@
 //! [`vw_compress::compress_auto`]; strings pick PDICT when the dictionary
 //! pays for itself (ratio heuristic), raw otherwise.
 
+use std::sync::Arc;
 use vw_common::{ColData, Result, TypeId, VwError};
-use vw_compress::dict::{decode_strings, encode_strings, StringDict};
+use vw_compress::dict::{decode_codes, decode_strings, encode_strings, StringDict};
 use vw_compress::io::{ByteReader, ByteWriter};
-use vw_compress::{compress_auto, decompress_into, Compressed, Encoding};
+use vw_compress::{compress_auto, decompress_into, rle, Compressed, Encoding};
 
 fn put_ints(c: &Compressed, w: &mut ByteWriter) {
     w.put_u8(c.encoding.tag());
@@ -172,6 +173,125 @@ pub fn decode_chunk(bytes: &[u8], ty: TypeId, n: usize) -> Result<(ColData, Opti
         t => return Err(VwError::Corruption(format!("unknown value part tag {t}"))),
     };
     Ok((data, nulls))
+}
+
+/// One column chunk decoded *preserving its on-disk encoding* where the
+/// execution engine has a kernel for it — the compressed execution entry
+/// point (`SET compressed_exec`). Chunks whose encoding has no encoded
+/// kernel come back [`EncodedChunk::Flat`], identical to [`decode_chunk`].
+#[derive(Debug, Clone)]
+pub enum EncodedChunk {
+    /// Fully inflated values (the only form `compressed_exec = 0` produces).
+    Flat(ColData, Option<Vec<bool>>),
+    /// PDICT strings kept as codes over a shared dictionary. The dictionary
+    /// is decoded once per pack and shared by `Arc` with every batch sliced
+    /// from it.
+    Dict { codes: Vec<u32>, dict: Arc<Vec<String>>, nulls: Option<Vec<bool>> },
+    /// RLE integers: fully inflated values *plus* the run list, so
+    /// predicates can accept/reject whole runs while everything downstream
+    /// still sees flat data.
+    Rle { data: ColData, runs: Vec<(i64, u32)>, nulls: Option<Vec<bool>> },
+}
+
+impl EncodedChunk {
+    /// Inflate to the flat `(data, nulls)` pair [`decode_chunk`] returns.
+    pub fn into_flat(self) -> Result<(ColData, Option<Vec<bool>>)> {
+        match self {
+            EncodedChunk::Flat(data, nulls) => Ok((data, nulls)),
+            EncodedChunk::Rle { data, nulls, .. } => Ok((data, nulls)),
+            EncodedChunk::Dict { codes, dict, nulls } => {
+                let mut out = Vec::with_capacity(codes.len());
+                vw_compress::dict::materialize_codes(&codes, &dict, &mut out);
+                Ok((ColData::Str(out), nulls))
+            }
+        }
+    }
+}
+
+/// Like [`decode_chunk`], but PDICT string blocks come back as codes over a
+/// shared dictionary and RLE integer blocks carry their run list. Decoding
+/// the same bytes through [`decode_chunk`] yields exactly
+/// `EncodedChunk::into_flat` — the two paths are differential-tested.
+pub fn decode_chunk_encoded(bytes: &[u8], ty: TypeId, n: usize) -> Result<EncodedChunk> {
+    let mut r = ByteReader::new(bytes);
+    let nulls = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let c = get_ints(&mut r)?;
+            if c.len != n {
+                return Err(VwError::Corruption(format!(
+                    "null indicator has {} rows, expected {n}",
+                    c.len
+                )));
+            }
+            let mut ints = Vec::new();
+            decompress_into(&c, &mut ints)?;
+            Some(ints.into_iter().map(|v| v != 0).collect())
+        }
+        t => return Err(VwError::Corruption(format!("unknown null part tag {t}"))),
+    };
+    match r.get_u8()? {
+        0 => {
+            let c = get_ints(&mut r)?;
+            if c.len != n {
+                return Err(VwError::Corruption(format!(
+                    "value block has {} rows, expected {n}",
+                    c.len
+                )));
+            }
+            let mut ints = Vec::new();
+            decompress_into(&c, &mut ints)?;
+            let data = ColData::from_i64s(ty, &ints)?;
+            // Per-run predicate evaluation compares the widened i64 run
+            // value, so any integer-like type qualifies; the run list only
+            // pays off when runs are long, so thin run lists are dropped.
+            if c.encoding == Encoding::Rle {
+                let runs = rle::decode_runs(&mut ByteReader::new(&c.bytes), c.len)?;
+                if runs.len() * 4 <= n {
+                    return Ok(EncodedChunk::Rle { data, runs, nulls });
+                }
+            }
+            Ok(EncodedChunk::Flat(data, nulls))
+        }
+        1 => {
+            if ty != TypeId::Str {
+                return Err(VwError::Corruption(format!(
+                    "string block for {} column",
+                    ty.sql_name()
+                )));
+            }
+            match r.get_u8()? {
+                1 => {
+                    let dict_len = r.get_u32()? as usize;
+                    let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
+                    for _ in 0..dict_len {
+                        dict.push(get_string(&mut r)?);
+                    }
+                    let nbytes = r.get_u32()? as usize;
+                    let sd_bytes = r.get_bytes(nbytes)?.to_vec();
+                    let sd = StringDict { dict, bytes: sd_bytes, len: n };
+                    let mut codes = Vec::with_capacity(n);
+                    decode_codes(&sd, &mut codes)?;
+                    Ok(EncodedChunk::Dict { codes, dict: Arc::new(sd.dict), nulls })
+                }
+                2 => {
+                    let cnt = r.get_u32()? as usize;
+                    if cnt != n {
+                        return Err(VwError::Corruption(format!(
+                            "raw string block has {cnt} values, expected {n}"
+                        )));
+                    }
+                    let mut out = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        out.push(get_string(&mut r)?);
+                    }
+                    Ok(EncodedChunk::Flat(ColData::Str(out), nulls))
+                }
+                t => Err(VwError::Corruption(format!("unknown string block tag {t}"))),
+            }
+        }
+        t => Err(VwError::Corruption(format!("unknown value part tag {t}"))),
+    }
 }
 
 /// Serialize one multi-column spill batch: a row-count header followed by
@@ -338,6 +458,61 @@ mod tests {
         let mut broken = encode_spill_batch(&[(&ColData::I64(vec![1, 2, 3]), None)]);
         broken.truncate(broken.len() / 2);
         assert!(decode_spill_batch(&broken, &[TypeId::I64]).is_err());
+    }
+
+    #[test]
+    fn encoded_decode_matches_flat_decode() {
+        // Dict strings, raw strings, RLE ints, plain ints, with and
+        // without NULLs: the encoded path must inflate to byte-identical
+        // flat data.
+        let cases: Vec<(ColData, Option<Vec<bool>>)> = vec![
+            (ColData::Str((0..1000).map(|i| ["A", "N", "R"][i % 3].into()).collect()), None),
+            (
+                ColData::Str((0..300).map(|i| ["X", "Y"][i % 2].into()).collect()),
+                Some((0..300).map(|i| i % 11 == 0).collect()),
+            ),
+            (ColData::Str((0..200).map(|i| format!("cust#{i:06}")).collect()), None),
+            (ColData::I64(vec![7; 2000]), None),
+            (ColData::I64((0..500).collect()), Some((0..500).map(|i| i % 13 == 0).collect())),
+            (ColData::I32((0..100).map(|i| i / 25).collect()), None),
+        ];
+        for (data, nulls) in cases {
+            let bytes = encode_chunk(&data, nulls.as_deref());
+            let flat = decode_chunk(&bytes, data.type_id(), data.len()).unwrap();
+            let enc = decode_chunk_encoded(&bytes, data.type_id(), data.len()).unwrap();
+            assert_eq!(enc.into_flat().unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn encoded_decode_preserves_encodings() {
+        let dict_strs = ColData::Str((0..1000).map(|i| ["A", "N", "R"][i % 3].into()).collect());
+        let bytes = encode_chunk(&dict_strs, None);
+        match decode_chunk_encoded(&bytes, TypeId::Str, 1000).unwrap() {
+            EncodedChunk::Dict { codes, dict, nulls } => {
+                assert_eq!(codes.len(), 1000);
+                assert_eq!(dict.as_slice(), ["A".to_string(), "N".into(), "R".into()]);
+                assert!(nulls.is_none());
+            }
+            other => panic!("expected dict chunk, got {other:?}"),
+        }
+        // Long runs of wide, non-monotonic values: PFOR needs ~40 bits per
+        // value and PFOR-DELTA's sorted gate fails, so the chooser picks RLE.
+        let mut vals = Vec::new();
+        for i in 0..20i64 {
+            let v = if i % 2 == 0 { 1_000_000_000_000 + i } else { i };
+            vals.extend(std::iter::repeat_n(v, 250));
+        }
+        let rle_ints = ColData::I64(vals);
+        let bytes = encode_chunk(&rle_ints, None);
+        match decode_chunk_encoded(&bytes, TypeId::I64, 5000).unwrap() {
+            EncodedChunk::Rle { data, runs, .. } => {
+                assert_eq!(data.len(), 5000);
+                assert_eq!(runs.len(), 20);
+                assert_eq!(runs[0], (1_000_000_000_000, 250));
+            }
+            other => panic!("expected rle chunk, got {other:?}"),
+        }
     }
 
     #[test]

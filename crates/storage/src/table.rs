@@ -271,6 +271,39 @@ impl TableStorage {
         Ok(out)
     }
 
+    /// [`TableStorage::read_pack`], but preserving on-disk encodings the
+    /// engine can execute on directly (`SET compressed_exec = 1`): PDICT
+    /// string chunks come back as codes + shared dictionary, RLE integer
+    /// chunks carry their run list. Same block fetch path (and therefore
+    /// the same retry/fault accounting) as the flat reader.
+    pub fn read_pack_encoded(
+        &self,
+        pool: &BufferPool,
+        pack_idx: usize,
+        col_indices: &[usize],
+    ) -> Result<Vec<crate::pack::EncodedChunk>> {
+        let pack = self
+            .packs
+            .get(pack_idx)
+            .ok_or_else(|| VwError::Storage(format!("pack {pack_idx} out of range")))?;
+        let mut out = Vec::with_capacity(col_indices.len());
+        for &ci in col_indices {
+            let meta = pack.columns.get(ci).ok_or_else(|| {
+                VwError::Storage(format!("column {ci} out of range in pack {pack_idx}"))
+            })?;
+            let block = pool.get(meta.block)?;
+            let bytes = block
+                .get(meta.offset..meta.offset + meta.length)
+                .ok_or_else(|| VwError::Corruption("chunk extent outside block".into()))?;
+            out.push(crate::pack::decode_chunk_encoded(
+                bytes,
+                self.schema.field(ci).ty,
+                pack.n_rows,
+            )?);
+        }
+        Ok(out)
+    }
+
     /// Pack indices whose MinMax ranges may satisfy
     /// `lo <= column <= hi` (either bound optional). NULL-only chunks are
     /// pruned when a bound is present (NULL never satisfies a comparison).
