@@ -26,14 +26,14 @@ use vw_common::{EngineConfig, Result, Value, VwError};
 use vw_exec::expr::{ExprCtx, PhysExpr};
 use vw_exec::morsel::{BatchPool, MorselSource};
 use vw_exec::op::{
-    AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, Sort, SortKey,
-    TopN, Values, VectorScan, Xchg,
+    AggSpec, BoxedOp, HashAggregate, HashJoin, JoinType, Limit, Project, Select, SetOp, SetOpMode,
+    Sort, SortKey, TopN, UnionAll, Values, VectorScan, Xchg,
 };
 use vw_exec::partition::{MemBudget, SpillConfig};
 use vw_exec::program::{ExprProgram, SelectProgram};
 use vw_exec::CancelToken;
 use vw_pdt::store::items;
-use vw_sql::plan::{JoinKind, LogicalPlan};
+use vw_sql::plan::{JoinKind, LogicalPlan, SetOpKind};
 use vw_sql::SqlExpr;
 
 /// Lower a bound+rewritten expression to a kernel expression.
@@ -532,6 +532,57 @@ fn build_plan_node(
         }
         LogicalPlan::Values { schema, rows } => {
             Box::new(Values::new(schema.clone(), rows.clone(), vs, cancel.clone()))
+        }
+        LogicalPlan::SetOp { op, inputs, .. } => {
+            // Inputs compile unpartitioned (like join build sides): the
+            // dedup state is per-operator, so partitioned inputs would
+            // let workers double-count rows.
+            let mut compiled: Vec<BoxedOp> = Vec::with_capacity(inputs.len());
+            for child in inputs {
+                compiled.push(build_plan_inner(
+                    db,
+                    child,
+                    config,
+                    cancel,
+                    txn,
+                    None,
+                    in_exchange,
+                    batch_pool,
+                    spill,
+                )?);
+            }
+            match op {
+                SetOpKind::UnionAll => Box::new(UnionAll::new(compiled, cancel.clone())),
+                SetOpKind::Union => {
+                    let input = if compiled.len() == 1 {
+                        compiled.pop().unwrap()
+                    } else {
+                        Box::new(UnionAll::new(compiled, cancel.clone())) as BoxedOp
+                    };
+                    Box::new(SetOp::new(SetOpMode::Union, input, None, cancel.clone()))
+                }
+                SetOpKind::Intersect | SetOpKind::Except => {
+                    if compiled.len() != 2 {
+                        return Err(VwError::Plan(format!(
+                            "{op:?} expects exactly 2 inputs, got {}",
+                            compiled.len()
+                        )));
+                    }
+                    let right = compiled.pop().unwrap();
+                    let left = compiled.pop().unwrap();
+                    let mode = if *op == SetOpKind::Intersect {
+                        SetOpMode::Intersect
+                    } else {
+                        SetOpMode::Except
+                    };
+                    Box::new(SetOp::new(mode, left, Some(right), cancel.clone()))
+                }
+            }
+        }
+        LogicalPlan::Apply { kind, .. } => {
+            return Err(VwError::Plan(format!(
+                "Apply {kind:?} survived decorrelation (optimizer did not run?)"
+            )))
         }
         LogicalPlan::Exchange { input, dop } => {
             if in_exchange {

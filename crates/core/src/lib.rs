@@ -486,10 +486,14 @@ fn execute_statement(
     sql: &str,
 ) -> Result<QueryResult> {
     match stmt {
-        Statement::Select(s) => run_select(db, core, s, false, Some(sql)),
+        Statement::Select(s) => run_select(db, core, s, ExplainMode::Off, Some(sql)),
         Statement::Explain(inner) => match inner.as_ref() {
-            Statement::Select(s) => run_select(db, core, s, true, Some(sql)),
+            Statement::Select(s) => run_select(db, core, s, ExplainMode::Plan, Some(sql)),
             other => Ok(QueryResult { text: Some(format!("{other:?}")), ..QueryResult::empty() }),
+        },
+        Statement::ExplainAnalyze(inner) => match inner.as_ref() {
+            Statement::Select(s) => run_select(db, core, s, ExplainMode::Analyze, Some(sql)),
+            _ => Err(VwError::Unsupported("EXPLAIN ANALYZE of a non-SELECT statement".into())),
         },
         Statement::CreateTable { name, columns, table_type } => {
             db.create_table(name, columns, *table_type)?;
@@ -502,7 +506,9 @@ fn execute_statement(
         Statement::Insert { table, columns, source } => {
             let rows = match source {
                 InsertSource::Values(rows) => dml::literal_rows(rows)?,
-                InsertSource::Query(q) => run_select(db, core, q, false, Some(sql))?.rows,
+                InsertSource::Query(q) => {
+                    run_select(db, core, q, ExplainMode::Off, Some(sql))?.rows
+                }
             };
             let n = dml::insert(db, core, table, columns.as_deref(), rows)?;
             Ok(QueryResult { affected: n, ..QueryResult::empty() })
@@ -607,11 +613,23 @@ fn run_show(db: &Database, what: ShowKind) -> QueryResult {
     }
 }
 
+/// How much of the plan / execution a SELECT should surface.
+#[derive(Clone, Copy, PartialEq)]
+enum ExplainMode {
+    /// Plain execution: rows only.
+    Off,
+    /// `EXPLAIN`: plan text only, nothing runs.
+    Plan,
+    /// `EXPLAIN ANALYZE`: run it, return the rows plus the plan text with
+    /// an `actual: N rows` footer.
+    Analyze,
+}
+
 fn run_select(
     db: &Arc<Database>,
     core: &mut SessionCore,
     stmt: &vw_sql::ast::SelectStmt,
-    explain: bool,
+    explain: ExplainMode,
     sql_label: Option<&str>,
 ) -> Result<QueryResult> {
     let cat_view = CatalogSnapshot { db };
@@ -624,7 +642,7 @@ fn run_select(
         parallel_threshold_rows: 10_000.0,
     };
     let plan = vw_rewriter::rewrite_plan(plan, &rw_cfg);
-    if explain {
+    if explain != ExplainMode::Off {
         // The cost-based pipeline annotates EXPLAIN with its estimates
         // (documented contract in sql::optimizer); the rule-only path
         // keeps the original unannotated rendering.
@@ -633,12 +651,17 @@ fn run_select(
         } else {
             plan.explain()
         };
-        return Ok(QueryResult {
-            schema: plan.schema().clone(),
-            rows: Vec::new(),
-            affected: 0,
-            text: Some(text),
-        });
+        if explain == ExplainMode::Plan {
+            return Ok(QueryResult {
+                schema: plan.schema().clone(),
+                rows: Vec::new(),
+                affected: 0,
+                text: Some(text),
+            });
+        }
+        let mut result = execute_plan(db, core, &plan, sql_label)?;
+        result.text = Some(format!("{text}actual: {} rows\n", result.rows.len()));
+        return Ok(result);
     }
     execute_plan(db, core, &plan, sql_label)
 }

@@ -127,6 +127,9 @@ pub enum Func {
     Extract,
     /// `DATE_ADD_DAYS(d, n)`
     DateAddDays,
+    /// `DATE_ADD_MONTHS(d, n)` — month arithmetic with end-of-month
+    /// clamping (`INTERVAL 'n' MONTH/YEAR` lowers here)
+    DateAddMonths,
     /// `DATE_DIFF_DAYS(a, b)`
     DateDiffDays,
 }
@@ -911,6 +914,23 @@ fn eval_func(
                 if live(i) {
                     let v = days[i] as i64 + delta[i];
                     out[i] = i32::try_from(v).map_err(|_| VwError::Overflow("DATE + days"))?;
+                }
+                Ok(())
+            };
+            for_live!(f);
+            ColData::Date(out)
+        }
+        Func::DateAddMonths => {
+            let ColData::Date(days) = &vs[0].data else {
+                return Err(arg_err(func, "first argument must be DATE"));
+            };
+            let delta = vs[1].data.as_i64();
+            let mut out = vec![0i32; n];
+            let mut f = |i: usize| -> Result<()> {
+                if live(i) {
+                    let m =
+                        i32::try_from(delta[i]).map_err(|_| VwError::Overflow("DATE + months"))?;
+                    out[i] = vw_common::date::add_months(days[i], m)?;
                 }
                 Ok(())
             };

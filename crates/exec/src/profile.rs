@@ -26,6 +26,7 @@
 //! | `spill`   | grace-spill traffic as `Pp written/read` — partitions spilled (all strata) and encoded spill bytes written and read back ([`OpProfile::spill_partitions`], [`OpProfile::spill_bytes_written`], [`OpProfile::spill_bytes_read`]); `-` when the build stayed in memory. | any value at all means the query ran over `mem_budget`; read ≫ written means deep re-partitioning recursion. |
 //! | `ioretry` | transient device faults absorbed by the retry policy during this operator's reads ([`OpProfile::io_retries`]); `-` when no retries happened (always, unless faults are armed — see ARCHITECTURE.md "Failure model"). | nonzero only under fault injection; sustained growth means the injected fault rate is near the retry budget. |
 //! | `enc`     | compressed execution: batches processed still carrying encoded columns vs fully inflated, as `E/F` ([`OpProfile::enc_batches`], [`OpProfile::flat_batches`]), plus `+N` rows decided wholesale at the run/dictionary-code level without per-row work ([`OpProfile::enc_skipped`]); `-` when the operator never saw a batch (or `SET compressed_exec = 0`). | `0/F` on a dictionary scan means the encoded path fell back — check for per-pack dictionary mismatches or an operator that forces early materialization. |
+//! | `dedup`   | set-operation rows eliminated by the hash pass ([`OpProfile::setop_dropped`]): duplicates removed by UNION/INTERSECT, or rows subtracted by EXCEPT; `-` for operators that never deduplicate. | `rows + dedup` is the operator's input traffic; `dedup ≫ rows` means the query is mostly duplicate elimination — consider UNION ALL if duplicates are acceptable. |
 
 use std::time::{Duration, Instant};
 
@@ -109,6 +110,11 @@ pub struct OpProfile {
     /// accepted/rejected and dictionary-code lanes resolved through the
     /// per-dictionary qualifying bitmap — instead of per-row value work.
     pub enc_skipped: u64,
+    /// Set-operation rows eliminated by the hash pass: duplicates removed
+    /// by UNION/INTERSECT dedup or rows subtracted by EXCEPT. Together
+    /// with [`rows_out`](OpProfile::rows_out) this reconstructs the
+    /// operator's probe-side input traffic.
+    pub setop_dropped: u64,
 }
 
 impl OpProfile {
@@ -200,6 +206,13 @@ impl OpProfile {
     #[inline]
     pub fn record_enc_skipped(&mut self, n: u64) {
         self.enc_skipped += n;
+    }
+
+    /// Record `n` rows eliminated by a set operation's hash pass (UNION /
+    /// INTERSECT dedup, EXCEPT subtraction).
+    #[inline]
+    pub fn record_setop_dropped(&mut self, n: u64) {
+        self.setop_dropped += n;
     }
 
     /// Record one output-batch lease from the pipeline's
@@ -301,7 +314,7 @@ impl QueryProfile {
     /// so output stays interpretable without reading this source.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc\n",
+            "operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc    dedup\n",
         );
         for (depth, p) in &self.operators {
             let name = format!("{}{}", "  ".repeat(*depth), p.name);
@@ -374,8 +387,13 @@ impl QueryProfile {
             } else {
                 format!("{:>12}", "-")
             };
+            let dedup = if p.setop_dropped > 0 {
+                format!("{:>8}", p.setop_dropped)
+            } else {
+                format!("{:>8}", "-")
+            };
             out.push_str(&format!(
-                "{:<32} {:>6} {:>10} {} {:>8.3}ms {} {} {} {} {} {} {} {} {}\n",
+                "{:<32} {:>6} {:>10} {} {:>8.3}ms {} {} {} {} {} {} {} {} {} {}\n",
                 name,
                 p.invocations,
                 p.rows_out,
@@ -390,6 +408,7 @@ impl QueryProfile {
                 spill,
                 ioretry,
                 enc,
+                dedup,
             ));
         }
         out
@@ -583,11 +602,26 @@ mod tests {
         q.operators.push((0, join));
         q.operators.push((1, scan));
         let expect = "\
-operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc
-HashJoin                              1       1000        900    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3            -
-  Scan                                1       5000          -    1.000ms        -        -        -        -        7        -               -        -     4/1+2048
+operator                          calls       rows        est     time    chain    progs    prims   shards  morsels    pool%           spill  ioretry          enc    dedup
+HashJoin                              1       1000        900    2.000ms     1.50        4       12  2x1.50        -      50%    1p 2.0K/2.0K        3            -        -
+  Scan                                1       5000          -    1.000ms        -        -        -        -        7        -               -        -     4/1+2048        -
 ";
         assert_eq!(q.render(), expect);
+    }
+
+    /// The `dedup` column carries the set-operation elimination counter
+    /// and renders a dash everywhere else.
+    #[test]
+    fn setop_dedup_renders() {
+        let mut p = OpProfile::new("SetOp");
+        p.record(10, Duration::from_millis(1));
+        p.record_setop_dropped(37);
+        assert_eq!(p.setop_dropped, 37);
+        let mut q = QueryProfile::default();
+        q.operators.push((0, p));
+        let s = q.render();
+        let row = s.lines().nth(1).unwrap();
+        assert!(row.trim_end().ends_with("37"), "dedup counter rendered: {s}");
     }
 
     #[test]

@@ -1485,6 +1485,22 @@ fn exec_func(
             };
             for_live!(f);
         }
+        Func::DateAddMonths => {
+            let ColData::Date(days) = &vs[0].data else {
+                return Err(arg_err(func, "first argument must be DATE"));
+            };
+            let delta = vs[1].data.as_i64();
+            let o = fresh!(as_date_mut(&mut out.data), 0i32);
+            let mut f = |i: usize| -> Result<()> {
+                if live(i) {
+                    let m =
+                        i32::try_from(delta[i]).map_err(|_| VwError::Overflow("DATE + months"))?;
+                    o[i] = vw_common::date::add_months(days[i], m)?;
+                }
+                Ok(())
+            };
+            for_live!(f);
+        }
         Func::DateDiffDays => {
             let (ColData::Date(a), ColData::Date(b)) = (&vs[0].data, &vs[1].data) else {
                 return Err(arg_err(func, "arguments must be DATE"));

@@ -123,6 +123,23 @@ fn map_plan_exprs(
         P::Exchange { input, dop } => {
             P::Exchange { input: Box::new(map_plan_exprs(*input, f)), dop }
         }
+        P::SetOp { op, inputs, schema } => P::SetOp {
+            op,
+            inputs: inputs.into_iter().map(|i| map_plan_exprs(i, f)).collect(),
+            schema,
+        },
+        P::Apply { input, subquery, kind, keys, schema } => {
+            let input = map_plan_exprs(*input, f);
+            let subquery = map_plan_exprs(*subquery, f);
+            let nulls = nullability(&input);
+            P::Apply {
+                keys: keys.into_iter().map(|(e, i)| (f(e, &nulls), i)).collect(),
+                input: Box::new(input),
+                subquery: Box::new(subquery),
+                kind,
+                schema,
+            }
+        }
         other => other,
     }
 }

@@ -99,6 +99,13 @@ fn rewrite(plan: LogicalPlan, config: &RewriterConfig, order_ok: bool) -> Logica
         LogicalPlan::Limit { input, offset, limit } => {
             LogicalPlan::Limit { input: Box::new(rewrite(*input, config, false)), offset, limit }
         }
+        LogicalPlan::SetOp { op, inputs, schema } => LogicalPlan::SetOp {
+            op,
+            // Deduplicating modes emit rows in first-occurrence (input)
+            // order, so the consumer's order sensitivity flows through.
+            inputs: inputs.into_iter().map(|i| rewrite(i, config, order_ok)).collect(),
+            schema,
+        },
         other => other,
     }
 }

@@ -51,6 +51,9 @@ pub enum Statement {
     },
     /// EXPLAIN `<query>`.
     Explain(Box<Statement>),
+    /// EXPLAIN ANALYZE `<query>` — run it, return rows plus the plan text
+    /// with an `actual: N rows` footer.
+    ExplainAnalyze(Box<Statement>),
     /// BEGIN \[TRANSACTION\].
     Begin,
     /// COMMIT.
@@ -110,8 +113,20 @@ pub enum InsertSource {
 }
 
 /// A SELECT statement.
+///
+/// A set-operation chain `A UNION B EXCEPT C` is stored on its head: `A`
+/// with [`set_ops`](SelectStmt::set_ops) = `[(Union, B), (Except, C)]`,
+/// applied left to right (SQL's left associativity). The
+/// higher-binding INTERSECT is nested by the parser into the operand's
+/// own `set_ops`. When the chain is non-empty, `order_by` / `limit` /
+/// `offset` apply to the chain's result, per the standard.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectStmt {
+    /// `WITH name AS (...)` common table expressions, in scope for the
+    /// whole statement (and usable by later CTEs in the same list).
+    pub with: Vec<(String, SelectStmt)>,
+    /// SELECT DISTINCT?
+    pub distinct: bool,
     /// Projection list.
     pub items: Vec<SelectItem>,
     /// FROM clause (None = one-row dual).
@@ -122,12 +137,27 @@ pub struct SelectStmt {
     pub group_by: Vec<Expr>,
     /// HAVING predicate.
     pub having: Option<Expr>,
+    /// Trailing set-operation operands, applied left to right.
+    pub set_ops: Vec<(SetOpKind, SelectStmt)>,
     /// ORDER BY (expr, ascending, nulls_first).
     pub order_by: Vec<(Expr, bool, bool)>,
     /// LIMIT row count.
     pub limit: Option<u64>,
     /// OFFSET row count.
     pub offset: Option<u64>,
+}
+
+/// Set operations between SELECT bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// `UNION` — distinct rows of both sides.
+    Union,
+    /// `UNION ALL` — concatenation.
+    UnionAll,
+    /// `INTERSECT` — distinct common rows.
+    Intersect,
+    /// `EXCEPT` — distinct left rows not on the right.
+    Except,
 }
 
 /// One projection item.
@@ -164,6 +194,13 @@ pub enum TableRef {
         kind: AstJoinKind,
         /// ON condition.
         on: Expr,
+    },
+    /// Derived table: `FROM (SELECT ...) alias`.
+    Derived {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// Mandatory alias naming the derived relation.
+        alias: String,
     },
     /// Comma-separated cross product (joined by WHERE predicates).
     Cross(Vec<TableRef>),
@@ -311,4 +348,25 @@ pub enum Expr {
         /// Input.
         expr: Box<Expr>,
     },
+    /// Scalar subquery `(SELECT ...)` used as a value.
+    Scalar(Box<SelectStmt>),
+    /// `INTERVAL 'n' DAY/MONTH/YEAR` literal (only meaningful next to a
+    /// date; the binder lowers `date ± interval` to date arithmetic).
+    Interval {
+        /// Signed magnitude.
+        n: i64,
+        /// Calendar unit.
+        unit: IntervalUnit,
+    },
+}
+
+/// Calendar unit of an INTERVAL literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    /// Days.
+    Day,
+    /// Months (end-of-month clamped arithmetic).
+    Month,
+    /// Years (12 months).
+    Year,
 }

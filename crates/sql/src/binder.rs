@@ -1,16 +1,32 @@
 //! The binder: resolves names against a catalog, types every expression,
 //! and produces a [`LogicalPlan`].
 //!
-//! Subqueries bind to joins (the anti-join NULL intricacies the paper warns
-//! about are decided *here*): `IN` → semi join, `EXISTS` → semi join on a
-//! constant key, `NOT EXISTS` → anti join, `NOT IN` → NULL-aware anti join.
+//! Uncorrelated subqueries bind to joins directly (the anti-join NULL
+//! intricacies the paper warns about are decided *here*): `IN` → semi
+//! join, `EXISTS` → semi join on a constant key, `NOT EXISTS` → anti
+//! join, `NOT IN` → NULL-aware anti join. Correlated subqueries and
+//! scalar subqueries bind to [`LogicalPlan::Apply`] nodes instead:
+//! outer columns resolve through the scope chain at `OUTER_BASE + i`,
+//! correlated equality conjuncts are extracted as Apply keys, and the
+//! optimizer's decorrelation pass lowers every Apply to a hash join.
+//!
+//! The supported SQL surface (set operations, CTEs, derived tables,
+//! comma-FROM, INTERVAL arithmetic) and each construct's lowering are
+//! catalogued in ARCHITECTURE.md ("SQL surface").
 
-use crate::ast::{self, AstJoinKind, Expr, SelectItem, SelectStmt, TableRef};
+use crate::ast::{self, AstJoinKind, Expr, IntervalUnit, SelectItem, SelectStmt, TableRef};
 use crate::expr::{BinOp, CmpOp, KernelFunc, SqlExpr};
 use crate::functions::{self, FuncImpl};
-use crate::plan::{AggCall, AggFunc, JoinKind, LogicalPlan};
-use vw_common::date::DateField;
-use vw_common::{Field, Result, Schema, TypeId, Value, VwError};
+use crate::plan::{AggCall, AggFunc, ApplyKind, JoinKind, LogicalPlan, SetOpKind};
+use std::cell::RefCell;
+use vw_common::date::{add_months, DateField};
+use vw_common::{Date, Field, Result, Schema, TypeId, Value, VwError};
+
+/// Column indices at or above this base refer to the *outer* query's
+/// scope during subquery binding (one correlation level). The binder
+/// strips the base back off when it turns correlated equality conjuncts
+/// into Apply keys, so no plan ever ships an `OUTER_BASE` coordinate.
+const OUTER_BASE: usize = 1 << 24;
 
 /// Read-only view of the catalog the binder and optimizer need.
 ///
@@ -53,6 +69,10 @@ fn berr(msg: impl Into<String>) -> VwError {
     VwError::Bind(msg.into())
 }
 
+fn unsup(msg: impl Into<String>) -> VwError {
+    VwError::Unsupported(msg.into())
+}
+
 /// One visible column during binding.
 #[derive(Debug, Clone)]
 struct ScopeCol {
@@ -62,10 +82,15 @@ struct ScopeCol {
     nullable: bool,
 }
 
-/// The set of columns visible to expressions.
+/// The set of columns visible to expressions, with an optional link to
+/// the enclosing query's scope (one correlation level).
 #[derive(Debug, Clone, Default)]
 struct Scope {
     cols: Vec<ScopeCol>,
+    /// The outer query's scope during subquery binding. Lookup never
+    /// recurses past one level: a reference two queries up stays an
+    /// unknown column.
+    outer: Option<Box<Scope>>,
 }
 
 impl Scope {
@@ -81,6 +106,7 @@ impl Scope {
                     nullable: f.nullable,
                 })
                 .collect(),
+            outer: None,
         }
     }
 
@@ -89,7 +115,9 @@ impl Scope {
         self
     }
 
-    fn resolve(&self, parts: &[String]) -> Result<(usize, TypeId)> {
+    /// Resolve against this scope's own columns only. `Ok(None)` = not
+    /// found (an ambiguity is still an error, never a fallthrough).
+    fn resolve_local(&self, parts: &[String]) -> Result<Option<(usize, TypeId)>> {
         let (qual, name) = match parts {
             [n] => (None, n.as_str()),
             [q, n] => (Some(q.as_str()), n.as_str()),
@@ -109,7 +137,21 @@ impl Scope {
                 found = Some((i, c.ty));
             }
         }
-        found.ok_or_else(|| berr(format!("unknown column '{}'", parts.join("."))))
+        Ok(found)
+    }
+
+    /// Resolve locally, then one level up (outer hits come back at
+    /// `OUTER_BASE + i`).
+    fn resolve(&self, parts: &[String]) -> Result<(usize, TypeId)> {
+        if let Some(hit) = self.resolve_local(parts)? {
+            return Ok(hit);
+        }
+        if let Some(outer) = &self.outer {
+            if let Some((i, ty)) = outer.resolve_local(parts)? {
+                return Ok((OUTER_BASE + i, ty));
+            }
+        }
+        Err(berr(format!("unknown column '{}'", parts.join("."))))
     }
 
     fn to_schema(&self) -> Schema {
@@ -122,9 +164,18 @@ impl Scope {
     }
 }
 
+/// A bound SELECT core: the plan, its visible (user-facing) column
+/// count, and the correlation exports — `(outer key expression, export
+/// column index)` pairs the enclosing Apply will join on.
+type BoundCore = (LogicalPlan, usize, Vec<(SqlExpr, usize)>);
+
 /// The binder.
 pub struct Binder<'a> {
     catalog: &'a dyn CatalogView,
+    /// In-scope CTE bindings, innermost last. Pushed when a `WITH` list
+    /// binds, popped when its statement finishes; name lookup shadows
+    /// base tables and outer CTEs of the same name.
+    ctes: RefCell<Vec<(String, LogicalPlan)>>,
 }
 
 const AGG_NAMES: [&str; 5] = ["COUNT", "SUM", "MIN", "MAX", "AVG"];
@@ -150,31 +201,316 @@ fn contains_agg(e: &Expr) -> bool {
     }
 }
 
+/// Does `e` contain a scalar subquery? (Does not look inside IN/EXISTS
+/// subquery bodies — those bind their own scalars.)
+fn contains_scalar(e: &Expr) -> bool {
+    match e {
+        Expr::Scalar(_) => true,
+        Expr::Binary { left, right, .. } => contains_scalar(left) || contains_scalar(right),
+        Expr::Neg(x) | Expr::Not(x) | Expr::Cast { expr: x, .. } => contains_scalar(x),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } | Expr::Extract { expr, .. } => {
+            contains_scalar(expr)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            contains_scalar(expr) || contains_scalar(low) || contains_scalar(high)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_scalar(expr) || list.iter().any(contains_scalar)
+        }
+        Expr::Case { branches, else_expr } => {
+            branches.iter().any(|(c, v)| contains_scalar(c) || contains_scalar(v))
+                || else_expr.as_deref().is_some_and(contains_scalar)
+        }
+        Expr::Func { args, .. } => args.iter().any(contains_scalar),
+        _ => false,
+    }
+}
+
+/// Rebuild `e` with every scalar subquery replaced by whatever `f`
+/// returns for it (a marker identifier pointing at an Apply output).
+fn rewrite_scalars(e: &Expr, f: &mut dyn FnMut(&SelectStmt) -> Result<Expr>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Scalar(sub) => f(sub)?,
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_scalars(left, f)?),
+            right: Box::new(rewrite_scalars(right, f)?),
+        },
+        Expr::Neg(x) => Expr::Neg(Box::new(rewrite_scalars(x, f)?)),
+        Expr::Not(x) => Expr::Not(Box::new(rewrite_scalars(x, f)?)),
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(rewrite_scalars(expr, f)?), ty: *ty }
+        }
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(rewrite_scalars(expr, f)?), negated: *negated }
+        }
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_scalars(expr, f)?),
+            low: Box::new(rewrite_scalars(low, f)?),
+            high: Box::new(rewrite_scalars(high, f)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_scalars(expr, f)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_scalars(expr, f)?),
+            list: list.iter().map(|x| rewrite_scalars(x, f)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { branches, else_expr } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((rewrite_scalars(c, f)?, rewrite_scalars(v, f)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(x) => Some(Box::new(rewrite_scalars(x, f)?)),
+                None => None,
+            },
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|x| rewrite_scalars(x, f)).collect::<Result<_>>()?,
+        },
+        Expr::Extract { field, expr } => {
+            Expr::Extract { field: field.clone(), expr: Box::new(rewrite_scalars(expr, f)?) }
+        }
+        other => other.clone(),
+    })
+}
+
+/// Does this bound expression reference the outer query?
+fn has_outer_ref(e: &SqlExpr) -> bool {
+    let mut cols = Vec::new();
+    e.collect_cols(&mut cols);
+    cols.iter().any(|&c| c >= OUTER_BASE)
+}
+
+fn ensure_no_outer(e: &SqlExpr, what: &str) -> Result<()> {
+    if has_outer_ref(e) {
+        return Err(unsup(format!(
+            "correlated {what} (outer references are only supported in WHERE equality conjuncts)"
+        )));
+    }
+    Ok(())
+}
+
+/// Which query a bound expression's columns belong to (no columns at
+/// all counts as inner: a constant compares against the other side).
+enum ExprSide {
+    Inner,
+    Outer,
+    Mixed,
+}
+
+fn expr_side(e: &SqlExpr) -> ExprSide {
+    let mut cols = Vec::new();
+    e.collect_cols(&mut cols);
+    if cols.is_empty() {
+        return ExprSide::Inner;
+    }
+    let outer = cols.iter().filter(|&&c| c >= OUTER_BASE).count();
+    if outer == 0 {
+        ExprSide::Inner
+    } else if outer == cols.len() {
+        ExprSide::Outer
+    } else {
+        ExprSide::Mixed
+    }
+}
+
+/// Split a correlated conjunct into `(outer expression, inner
+/// expression)`. Only `outer = inner` equalities decorrelate; anything
+/// else (Q21's `l2.l_suppkey <> l1.l_suppkey`, range correlation, ...)
+/// is a typed E_UNSUPPORTED.
+fn correlation_pair(bound: SqlExpr) -> Result<(SqlExpr, SqlExpr)> {
+    let SqlExpr::Cmp { op: CmpOp::Eq, l, r } = bound else {
+        return Err(unsup(
+            "correlated predicate that is not an equality (only `outer = inner` \
+             correlation decorrelates to a hash join)",
+        ));
+    };
+    match (expr_side(&l), expr_side(&r)) {
+        (ExprSide::Outer, ExprSide::Inner) => Ok((strip_outer(*l)?, *r)),
+        (ExprSide::Inner, ExprSide::Outer) => Ok((strip_outer(*r)?, *l)),
+        _ => Err(unsup("correlated predicate mixing outer and inner columns on one side")),
+    }
+}
+
+fn strip_outer(e: SqlExpr) -> Result<SqlExpr> {
+    e.remap_cols(&|i| Some(i - OUTER_BASE))
+}
+
+/// Can this plan provably return at most one row? (Gate for
+/// uncorrelated scalar subqueries.)
+fn at_most_one_row(p: &LogicalPlan) -> bool {
+    match p {
+        LogicalPlan::Aggregate { group, .. } => group.is_empty(),
+        LogicalPlan::Limit { input, limit, .. } => *limit <= 1 || at_most_one_row(input),
+        LogicalPlan::Values { rows, .. } => rows.len() <= 1,
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. } => at_most_one_row(input),
+        _ => false,
+    }
+}
+
+/// A correlated scalar subquery must produce one value per correlation
+/// key: structurally, an aggregate grouped by exactly the correlation
+/// columns (possibly under projections/filters).
+fn corr_scalar_unique(p: &LogicalPlan, ncorr: usize) -> bool {
+    match p {
+        LogicalPlan::Project { input, .. } | LogicalPlan::Filter { input, .. } => {
+            corr_scalar_unique(input, ncorr)
+        }
+        LogicalPlan::Aggregate { group, .. } => group.len() == ncorr,
+        _ => false,
+    }
+}
+
+/// Build one Apply key: the outer expression joined against subquery
+/// output column `col`. The inner side is a bare column reference, so
+/// any promotion cast must land on the outer side.
+fn apply_key(outer: SqlExpr, sub: &Schema, col: usize) -> Result<(SqlExpr, usize)> {
+    let ity = sub.field(col).ty;
+    let ty = TypeId::promote(outer.type_id(), ity).ok_or_else(|| {
+        berr(format!("correlated key types {} and {} are incompatible", outer.type_id(), ity))
+    })?;
+    if ty != ity {
+        return Err(unsup(format!(
+            "correlated key that would need a cast on the subquery side ({} vs {})",
+            outer.type_id(),
+            ity
+        )));
+    }
+    Ok((cast_to(outer, ty), col))
+}
+
 impl<'a> Binder<'a> {
     /// A binder over `catalog`.
     pub fn new(catalog: &'a dyn CatalogView) -> Binder<'a> {
-        Binder { catalog }
+        Binder { catalog, ctes: RefCell::new(Vec::new()) }
     }
 
     /// Bind a full SELECT into a logical plan.
     pub fn bind_select(&self, stmt: &SelectStmt) -> Result<LogicalPlan> {
-        // FROM.
-        let (mut plan, scope) = match &stmt.from {
-            Some(tr) => self.bind_table_ref(tr)?,
+        let (plan, corr) = self.bind_query(stmt, None)?;
+        debug_assert!(corr.is_empty(), "top-level query cannot be correlated");
+        Ok(plan)
+    }
+
+    /// Bind a (sub)query: push its CTEs, bind the body (set-operation
+    /// chain included), pop the CTEs. Returns the plan plus the
+    /// correlation exports `(outer expression, output column)` the
+    /// enclosing query must turn into Apply keys.
+    fn bind_query(
+        &self,
+        stmt: &SelectStmt,
+        outer: Option<&Scope>,
+    ) -> Result<(LogicalPlan, Vec<(SqlExpr, usize)>)> {
+        let cte_base = self.ctes.borrow().len();
+        for (name, q) in &stmt.with {
+            // CTEs bind uncorrelated, and may use earlier CTEs of the
+            // same WITH list (already pushed).
+            let (p, _) = self.bind_query(q, None)?;
+            self.ctes.borrow_mut().push((name.clone(), p));
+        }
+        let out = self.bind_query_inner(stmt, outer);
+        self.ctes.borrow_mut().truncate(cte_base);
+        out
+    }
+
+    fn bind_query_inner(
+        &self,
+        stmt: &SelectStmt,
+        outer: Option<&Scope>,
+    ) -> Result<(LogicalPlan, Vec<(SqlExpr, usize)>)> {
+        let (mut plan, mut items_len, corr) = self.bind_core(stmt, outer)?;
+
+        if !stmt.set_ops.is_empty() {
+            if !corr.is_empty() {
+                return Err(unsup("correlated set-operation operand"));
+            }
+            for (kind, rhs) in &stmt.set_ops {
+                let (rp, rcorr) = self.bind_query(rhs, outer)?;
+                if !rcorr.is_empty() {
+                    return Err(unsup("correlated set-operation operand"));
+                }
+                plan = make_setop(*kind, plan, rp)?;
+            }
+            items_len = plan.schema().len();
+        }
+
+        // ORDER BY over the visible output columns (correlation exports
+        // ride behind them and are not addressable).
+        if !stmt.order_by.is_empty() {
+            let out = Schema::unchecked(plan.schema().fields[..items_len].to_vec());
+            let mut keys = Vec::new();
+            for (e, asc, nulls_first) in &stmt.order_by {
+                let idx = self.resolve_order_key(e, &out)?;
+                keys.push((idx, *asc, *nulls_first));
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+
+        if stmt.limit.is_some() || stmt.offset.is_some() {
+            if !corr.is_empty() {
+                return Err(unsup(
+                    "LIMIT/OFFSET in a correlated subquery (per-group limits do not decorrelate)",
+                ));
+            }
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                offset: stmt.offset.unwrap_or(0),
+                limit: stmt.limit.unwrap_or(u64::MAX),
+            };
+        }
+        Ok((plan, corr))
+    }
+
+    /// Bind one SELECT core (FROM/WHERE/GROUP BY/HAVING/items/DISTINCT).
+    /// Returns the plan, the visible item count, and correlation exports.
+    fn bind_core(&self, stmt: &SelectStmt, outer: Option<&Scope>) -> Result<BoundCore> {
+        // FROM: one part, or a comma-list the WHERE equalities will join.
+        let (parts, mut scope) = match &stmt.from {
             None => {
                 // One-row dual for FROM-less SELECT.
                 let schema = Schema::unchecked(vec![Field::not_null("__dual", TypeId::I64)]);
-                (
-                    LogicalPlan::Values { schema: schema.clone(), rows: vec![vec![Value::I64(0)]] },
-                    Scope::from_schema(None, &schema),
-                )
+                let plan =
+                    LogicalPlan::Values { schema: schema.clone(), rows: vec![vec![Value::I64(0)]] };
+                (vec![(plan, 1usize)], Scope::from_schema(None, &schema))
+            }
+            Some(TableRef::Cross(items)) => {
+                let mut parts = Vec::new();
+                let mut scope = Scope::default();
+                for it in items {
+                    let (p, s) = self.bind_table_ref(it)?;
+                    parts.push((p, s.cols.len()));
+                    scope = scope.concat(s);
+                }
+                (parts, scope)
+            }
+            Some(tr) => {
+                let (p, s) = self.bind_table_ref(tr)?;
+                let w = s.cols.len();
+                (vec![(p, w)], s)
             }
         };
+        scope.outer = outer.cloned().map(Box::new);
 
-        // WHERE: ordinary conjuncts filter; subquery conjuncts become joins.
+        // WHERE: classify conjuncts. Subquery conjuncts join later,
+        // scalar-subquery conjuncts apply later, correlated equalities
+        // become exports, plain equalities may glue comma-FROM parts,
+        // everything else filters.
+        let mut subq: Vec<(&Expr, bool)> = Vec::new();
+        let mut scalarc: Vec<&Expr> = Vec::new();
+        let mut cands: Vec<(usize, SqlExpr)> = Vec::new();
+        let mut filters: Vec<(usize, SqlExpr)> = Vec::new();
+        let mut corr_raw: Vec<(SqlExpr, SqlExpr)> = Vec::new();
         if let Some(w) = &stmt.where_clause {
-            let mut plain: Vec<SqlExpr> = Vec::new();
-            for conjunct in split_conjuncts(w) {
+            for (ci, conjunct) in split_conjuncts(w).into_iter().enumerate() {
                 // `NOT EXISTS` / `NOT (x IN (...))` arrive wrapped in Not.
                 let (conjunct, flip) = match conjunct {
                     Expr::Not(inner)
@@ -188,22 +524,124 @@ impl<'a> Binder<'a> {
                     other => (other, false),
                 };
                 match conjunct {
-                    Expr::InSubquery { expr, subquery, negated } => {
-                        plan =
-                            self.bind_in_subquery(plan, &scope, expr, subquery, *negated != flip)?;
+                    Expr::InSubquery { .. } | Expr::Exists { .. } => subq.push((conjunct, flip)),
+                    other if contains_scalar(other) => scalarc.push(other),
+                    other => {
+                        let bound = self.bind_expr(other, &scope)?;
+                        if has_outer_ref(&bound) {
+                            corr_raw.push(correlation_pair(bound)?);
+                        } else if parts.len() > 1
+                            && matches!(bound, SqlExpr::Cmp { op: CmpOp::Eq, .. })
+                        {
+                            cands.push((ci, bound));
+                        } else {
+                            filters.push((ci, bound));
+                        }
                     }
-                    Expr::Exists { subquery, negated } => {
-                        plan = self.bind_exists(plan, subquery, *negated != flip)?;
-                    }
-                    other => plain.push(self.bind_expr(other, &scope)?),
                 }
             }
-            for p in plain {
-                if p.type_id() != TypeId::Bool {
-                    return Err(berr("WHERE predicate must be boolean"));
+        }
+
+        // Join the comma-FROM parts left to right, consuming equality
+        // candidates that link the placed prefix to the next part. A
+        // part no equality reaches joins on a constant key (a hash
+        // cross product) — the filters above it still apply.
+        let mut parts_iter = parts.into_iter();
+        let (mut plan, mut prefix_w) = parts_iter.next().expect("FROM has at least one part");
+        let mut used = vec![false; cands.len()];
+        for (p, w) in parts_iter {
+            let mut keys = Vec::new();
+            for (k, (_, cand)) in cands.iter().enumerate() {
+                if used[k] {
+                    continue;
                 }
-                plan = LogicalPlan::Filter { input: Box::new(plan), predicate: p };
+                let SqlExpr::Cmp { op: CmpOp::Eq, l, r } = cand else { continue };
+                let within = |e: &SqlExpr, lo: usize, hi: usize| {
+                    let mut cols = Vec::new();
+                    e.collect_cols(&mut cols);
+                    !cols.is_empty() && cols.iter().all(|&c| c >= lo && c < hi)
+                };
+                let pair = if within(l, 0, prefix_w) && within(r, prefix_w, prefix_w + w) {
+                    Some((l.as_ref().clone(), r.as_ref().clone()))
+                } else if within(r, 0, prefix_w) && within(l, prefix_w, prefix_w + w) {
+                    Some((r.as_ref().clone(), l.as_ref().clone()))
+                } else {
+                    None
+                };
+                if let Some((le, re)) = pair {
+                    let re = re.remap_cols(&|i| Some(i - prefix_w))?;
+                    let (le, re) = unify_key_types(le, re)?;
+                    keys.push((le, re));
+                    used[k] = true;
+                }
             }
+            if keys.is_empty() {
+                let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
+                keys.push((one.clone(), one));
+            }
+            prefix_w += w;
+            let schema = Schema::unchecked(
+                scope.cols[..prefix_w]
+                    .iter()
+                    .map(|c| Field { name: c.name.clone(), ty: c.ty, nullable: c.nullable })
+                    .collect(),
+            );
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(p),
+                kind: JoinKind::Inner,
+                keys,
+                schema,
+            };
+        }
+        // Equality candidates no join step consumed are ordinary filters.
+        for (k, (ci, cand)) in cands.into_iter().enumerate() {
+            if !used[k] {
+                filters.push((ci, cand));
+            }
+        }
+        filters.sort_by_key(|(ci, _)| *ci);
+
+        // IN/EXISTS subquery conjuncts: direct joins (uncorrelated) or
+        // Apply nodes (correlated).
+        for (conjunct, flip) in subq {
+            match conjunct {
+                Expr::InSubquery { expr, subquery, negated } => {
+                    plan = self.bind_in_subquery(plan, &scope, expr, subquery, *negated != flip)?;
+                }
+                Expr::Exists { subquery, negated } => {
+                    plan = self.bind_exists(plan, &scope, subquery, *negated != flip)?;
+                }
+                _ => unreachable!("subq holds only IN/EXISTS conjuncts"),
+            }
+        }
+
+        // Scalar-subquery conjuncts: each scalar becomes an Apply whose
+        // value column extends the scope, then the conjunct binds
+        // normally against the marker.
+        let visible = scope.cols.len();
+        let mut nscalar = 0usize;
+        let mut scalar_filters = Vec::new();
+        for c in scalarc {
+            let replaced = rewrite_scalars(c, &mut |sub| {
+                self.apply_scalar(sub, &mut plan, &mut scope, &mut nscalar)
+            })?;
+            let bound = self.bind_expr(&replaced, &scope)?;
+            ensure_no_outer(&bound, "predicate combined with a scalar subquery")?;
+            if bound.type_id() != TypeId::Bool {
+                return Err(berr("WHERE predicate must be boolean"));
+            }
+            scalar_filters.push(bound);
+        }
+
+        for (_, p) in filters {
+            if p.type_id() != TypeId::Bool {
+                return Err(berr("WHERE predicate must be boolean"));
+            }
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: p };
+        }
+        for p in scalar_filters {
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: p };
         }
 
         // Aggregation?
@@ -214,30 +652,20 @@ impl<'a> Binder<'a> {
             })
             || stmt.having.as_ref().is_some_and(contains_agg);
 
-        let (mut plan, out_schema) = if has_agg {
-            self.bind_aggregate_query(plan, scope, stmt)?
+        let (mut plan, items_len, corr_out) = if has_agg {
+            self.bind_aggregate_query(plan, &scope, stmt, &corr_raw)?
         } else {
-            self.bind_plain_projection(plan, &scope, stmt)?
+            self.bind_plain_projection(plan, &scope, stmt, visible, &corr_raw)?
         };
 
-        // ORDER BY over the output schema.
-        if !stmt.order_by.is_empty() {
-            let mut keys = Vec::new();
-            for (e, asc, nulls_first) in &stmt.order_by {
-                let idx = self.resolve_order_key(e, &out_schema)?;
-                keys.push((idx, *asc, *nulls_first));
-            }
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
-        }
-
-        if stmt.limit.is_some() || stmt.offset.is_some() {
-            plan = LogicalPlan::Limit {
-                input: Box::new(plan),
-                offset: stmt.offset.unwrap_or(0),
-                limit: stmt.limit.unwrap_or(u64::MAX),
+        if stmt.distinct {
+            plan = LogicalPlan::SetOp {
+                op: SetOpKind::Union,
+                schema: plan.schema().clone(),
+                inputs: vec![plan],
             };
         }
-        Ok(plan)
+        Ok((plan, items_len, corr_out))
     }
 
     fn resolve_order_key(&self, e: &Expr, out: &Schema) -> Result<usize> {
@@ -259,53 +687,86 @@ impl<'a> Binder<'a> {
         }
     }
 
+    /// Bind the projection of a non-aggregate query. `visible` caps how
+    /// many scope columns `*` expands (scalar-subquery markers ride
+    /// behind and are not user-visible); `corr` inner expressions are
+    /// appended as extra output columns for the enclosing Apply.
     fn bind_plain_projection(
         &self,
         plan: LogicalPlan,
         scope: &Scope,
         stmt: &SelectStmt,
-    ) -> Result<(LogicalPlan, Schema)> {
+        visible: usize,
+        corr: &[(SqlExpr, SqlExpr)],
+    ) -> Result<BoundCore> {
         let mut exprs = Vec::new();
         let mut fields = Vec::new();
         for item in &stmt.items {
             match item {
                 SelectItem::Wildcard => {
-                    for (i, c) in scope.cols.iter().enumerate() {
+                    for (i, c) in scope.cols.iter().take(visible).enumerate() {
                         exprs.push(SqlExpr::Col(i, c.ty));
                         fields.push(Field { name: c.name.clone(), ty: c.ty, nullable: c.nullable });
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_expr(expr, scope)?;
+                    ensure_no_outer(&bound, "SELECT item")?;
                     let name = alias.clone().unwrap_or_else(|| display_name(expr));
                     fields.push(Field { name, ty: bound.type_id(), nullable: true });
                     exprs.push(bound);
                 }
             }
         }
+        let items_len = exprs.len();
+        let mut corr_out = Vec::new();
+        for (k, (oe, ie)) in corr.iter().enumerate() {
+            fields.push(Field { name: format!("__corr{k}"), ty: ie.type_id(), nullable: true });
+            exprs.push(ie.clone());
+            corr_out.push((oe.clone(), items_len + k));
+        }
         let schema = Schema::unchecked(fields);
-        Ok((LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() }, schema))
+        let plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema };
+        Ok((plan, items_len, corr_out))
     }
 
+    /// Bind an aggregating query. Correlation inner expressions join the
+    /// GROUP BY list (that is what decorrelates Q2/Q17-style "aggregate
+    /// per outer key" subqueries) and re-emerge behind the items in the
+    /// final projection.
     fn bind_aggregate_query(
         &self,
         plan: LogicalPlan,
-        scope: Scope,
+        scope: &Scope,
         stmt: &SelectStmt,
-    ) -> Result<(LogicalPlan, Schema)> {
-        // 1. Group expressions.
+        corr: &[(SqlExpr, SqlExpr)],
+    ) -> Result<BoundCore> {
+        // 1. Group expressions: user groups, then correlation columns.
         let mut group: Vec<SqlExpr> = Vec::new();
         let mut group_names: Vec<String> = Vec::new();
         for g in &stmt.group_by {
-            let bound = self.bind_expr(g, &scope)?;
+            let bound = self.bind_expr(g, scope)?;
+            ensure_no_outer(&bound, "GROUP BY expression")?;
             if !group.contains(&bound) {
                 group.push(bound);
                 group_names.push(display_name(g));
             }
         }
+        let mut corr_group_idx = Vec::new();
+        for (k, (_, ie)) in corr.iter().enumerate() {
+            let idx = match group.iter().position(|g| g == ie) {
+                Some(i) => i,
+                None => {
+                    group.push(ie.clone());
+                    group_names.push(format!("__corr{k}"));
+                    group.len() - 1
+                }
+            };
+            corr_group_idx.push(idx);
+        }
         // 2. Collect aggregate calls from items and HAVING.
         let mut aggs: Vec<AggCall> = Vec::new();
-        let mut collect = |e: &Expr| -> Result<()> { self.collect_aggs(e, &scope, &mut aggs) };
+        let mut collect = |e: &Expr| -> Result<()> { self.collect_aggs(e, scope, &mut aggs) };
         for item in &stmt.items {
             if let SelectItem::Expr { expr, .. } = item {
                 collect(expr)?;
@@ -315,6 +776,15 @@ impl<'a> Binder<'a> {
         }
         if let Some(h) = &stmt.having {
             collect(h)?;
+        }
+        if !corr.is_empty()
+            && aggs.iter().any(|a| matches!(a.func, AggFunc::Count | AggFunc::CountStar))
+        {
+            // COUNT over an outer key with no matching rows must yield 0,
+            // but the decorrelated left join yields NULL: no group exists.
+            return Err(unsup(
+                "correlated COUNT subquery (an empty group's count cannot decorrelate to a join)",
+            ));
         }
         // 3. Aggregate output schema.
         let mut agg_fields: Vec<Field> = Vec::new();
@@ -335,26 +805,48 @@ impl<'a> Binder<'a> {
             aggs: aggs.clone(),
             schema: agg_schema.clone(),
         };
-        // 4. HAVING over the aggregate output.
-        if let Some(h) = &stmt.having {
-            let bound = self.bind_post_agg(h, &scope, &stmt.group_by, &group, &aggs)?;
+        // 4. HAVING over the aggregate output. Scalar subqueries in
+        // HAVING (Q11's threshold) become Apply nodes above the
+        // aggregate; their value columns resolve through `extra`.
+        let mut extra: Vec<(String, TypeId, usize)> = Vec::new();
+        let having = match &stmt.having {
+            Some(h) if contains_scalar(h) => {
+                let agg_w = group.len() + aggs.len();
+                Some(rewrite_scalars(h, &mut |sub| {
+                    self.apply_having_scalar(sub, &mut plan, &mut extra, agg_w)
+                })?)
+            }
+            Some(h) => Some(h.clone()),
+            None => None,
+        };
+        if let Some(h) = &having {
+            let bound = self.bind_post_agg(h, scope, &stmt.group_by, &group, &aggs, &extra)?;
             if bound.type_id() != TypeId::Bool {
                 return Err(berr("HAVING must be boolean"));
             }
             plan = LogicalPlan::Filter { input: Box::new(plan), predicate: bound };
         }
-        // 5. Final projection.
+        // 5. Final projection: items, then correlation group columns.
         let mut exprs = Vec::new();
         let mut fields = Vec::new();
         for item in &stmt.items {
             let SelectItem::Expr { expr, alias } = item else { unreachable!() };
-            let bound = self.bind_post_agg(expr, &scope, &stmt.group_by, &group, &aggs)?;
+            let bound = self.bind_post_agg(expr, scope, &stmt.group_by, &group, &aggs, &extra)?;
             let name = alias.clone().unwrap_or_else(|| display_name(expr));
             fields.push(Field { name, ty: bound.type_id(), nullable: true });
             exprs.push(bound);
         }
+        let items_len = exprs.len();
+        let mut corr_out = Vec::new();
+        for (k, ((oe, _), gidx)) in corr.iter().zip(&corr_group_idx).enumerate() {
+            let ty = group[*gidx].type_id();
+            fields.push(Field { name: format!("__corr{k}"), ty, nullable: true });
+            exprs.push(SqlExpr::Col(*gidx, ty));
+            corr_out.push((oe.clone(), items_len + k));
+        }
         let schema = Schema::unchecked(fields);
-        Ok((LogicalPlan::Project { input: Box::new(plan), exprs, schema: schema.clone() }, schema))
+        let plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema };
+        Ok((plan, items_len, corr_out))
     }
 
     /// Bind one aggregate AST call to an [`AggCall`], registering it.
@@ -431,6 +923,7 @@ impl<'a> Binder<'a> {
             return Err(berr(format!("{name} takes exactly one argument")));
         }
         let input = self.bind_expr(&args[0], scope)?;
+        ensure_no_outer(&input, "aggregate argument")?;
         let ity = input.type_id();
         let (input, out_ty) = match func {
             AggFunc::Count => (input, TypeId::I64),
@@ -456,7 +949,8 @@ impl<'a> Binder<'a> {
     }
 
     /// Bind an expression in post-aggregation context: aggregate calls and
-    /// group expressions become references into the aggregate output.
+    /// group expressions become references into the aggregate output;
+    /// `extra` maps HAVING scalar-subquery markers to Apply value columns.
     fn bind_post_agg(
         &self,
         e: &Expr,
@@ -464,7 +958,16 @@ impl<'a> Binder<'a> {
         group_asts: &[Expr],
         group: &[SqlExpr],
         aggs: &[AggCall],
+        extra: &[(String, TypeId, usize)],
     ) -> Result<SqlExpr> {
+        // HAVING scalar-subquery marker → its Apply output column.
+        if let Expr::Ident(parts) = e {
+            if let [name] = &parts[..] {
+                if let Some((_, ty, idx)) = extra.iter().find(|(n, _, _)| n == name) {
+                    return Ok(SqlExpr::Col(*idx, *ty));
+                }
+            }
+        }
         // Aggregate call → its output column.
         if let Expr::Func { name, args } = e {
             if AGG_NAMES.contains(&name.as_str()) {
@@ -495,34 +998,34 @@ impl<'a> Binder<'a> {
                 .bind_expr(e, scope)
                 .or_else(|_| Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64)))),
             Expr::Binary { op, left, right } => {
-                let l = self.bind_post_agg(left, scope, group_asts, group, aggs)?;
-                let r = self.bind_post_agg(right, scope, group_asts, group, aggs)?;
+                let l = self.bind_post_agg(left, scope, group_asts, group, aggs, extra)?;
+                let r = self.bind_post_agg(right, scope, group_asts, group, aggs, extra)?;
                 combine_binary(*op, l, r)
             }
             Expr::Neg(x) => {
-                let b = self.bind_post_agg(x, scope, group_asts, group, aggs)?;
+                let b = self.bind_post_agg(x, scope, group_asts, group, aggs, extra)?;
                 negate(b)
             }
             Expr::Not(x) => {
-                let b = self.bind_post_agg(x, scope, group_asts, group, aggs)?;
+                let b = self.bind_post_agg(x, scope, group_asts, group, aggs, extra)?;
                 Ok(SqlExpr::Not(Box::new(b)))
             }
             Expr::Cast { expr, ty } => {
-                let b = self.bind_post_agg(expr, scope, group_asts, group, aggs)?;
+                let b = self.bind_post_agg(expr, scope, group_asts, group, aggs, extra)?;
                 Ok(cast_to(b, *ty))
             }
             Expr::Case { branches, else_expr } => {
                 let mut bs = Vec::new();
                 for (c, v) in branches {
                     bs.push((
-                        self.bind_post_agg(c, scope, group_asts, group, aggs)?,
-                        self.bind_post_agg(v, scope, group_asts, group, aggs)?,
+                        self.bind_post_agg(c, scope, group_asts, group, aggs, extra)?,
+                        self.bind_post_agg(v, scope, group_asts, group, aggs, extra)?,
                     ));
                 }
                 let el = match else_expr {
-                    Some(x) => {
-                        Some(Box::new(self.bind_post_agg(x, scope, group_asts, group, aggs)?))
-                    }
+                    Some(x) => Some(Box::new(
+                        self.bind_post_agg(x, scope, group_asts, group, aggs, extra)?,
+                    )),
                     None => None,
                 };
                 build_case(bs, el)
@@ -530,7 +1033,7 @@ impl<'a> Binder<'a> {
             Expr::Func { name, args } => {
                 let bound_args: Vec<SqlExpr> = args
                     .iter()
-                    .map(|a| self.bind_post_agg(a, scope, group_asts, group, aggs))
+                    .map(|a| self.bind_post_agg(a, scope, group_asts, group, aggs, extra))
                     .collect::<Result<_>>()?;
                 bind_function(name, bound_args)
             }
@@ -541,6 +1044,19 @@ impl<'a> Binder<'a> {
     fn bind_table_ref(&self, tr: &TableRef) -> Result<(LogicalPlan, Scope)> {
         match tr {
             TableRef::Named { name, alias } => {
+                // CTEs shadow base tables; innermost WITH wins.
+                let cte = self
+                    .ctes
+                    .borrow()
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                    .map(|(_, p)| p.clone());
+                if let Some(p) = cte {
+                    let qual = alias.clone().unwrap_or_else(|| name.clone());
+                    let scope = Scope::from_schema(Some(&qual), p.schema());
+                    return Ok((p, scope));
+                }
                 let schema = self
                     .catalog
                     .table_schema(name)
@@ -554,6 +1070,12 @@ impl<'a> Binder<'a> {
                     hints: vec![],
                 };
                 Ok((plan, scope))
+            }
+            TableRef::Derived { query, alias } => {
+                // Derived tables bind uncorrelated (no LATERAL).
+                let (p, _) = self.bind_query(query, None)?;
+                let scope = Scope::from_schema(Some(alias), p.schema());
+                Ok((p, scope))
             }
             TableRef::Join { left, right, kind, on } => {
                 let (lp, ls) = self.bind_table_ref(left)?;
@@ -596,22 +1118,10 @@ impl<'a> Binder<'a> {
                 }
                 Ok((plan, out_scope))
             }
-            TableRef::Cross(parts) => {
-                // Comma-join: the optimizer later orders these using the
-                // WHERE equi-predicates; the binder emits a left-deep chain
-                // requiring WHERE to provide keys, so here we produce scans
-                // and let `bind_select` connect them via predicates. For
-                // simplicity we require explicit JOIN syntax for >2 tables
-                // unless the WHERE clause links them; the common TPC-H-ish
-                // pattern `FROM a, b WHERE a.k = b.k` is handled by the
-                // optimizer converting Filter-over-CrossJoin. We bind a
-                // nested-loop-free representation: chain of Inner joins on
-                // constant TRUE is not supported by the hash kernel, so we
-                // reject unlinked cross products up front.
-                Err(berr(format!(
-                    "comma-separated FROM with {} tables: use explicit JOIN ... ON syntax",
-                    parts.len()
-                )))
+            TableRef::Cross(_) => {
+                // Comma-lists only occur at the top of a FROM clause and
+                // are joined by `bind_core` using the WHERE equalities.
+                Err(berr("comma-joined tables outside a FROM clause (engine bug)"))
             }
         }
     }
@@ -668,46 +1178,194 @@ impl<'a> Binder<'a> {
         subquery: &SelectStmt,
         negated: bool,
     ) -> Result<LogicalPlan> {
-        let sub = self.bind_select(subquery)?;
-        if sub.schema().len() != 1 {
+        let (sub, corr) = self.bind_query(subquery, Some(scope))?;
+        if sub.schema().len() - corr.len() != 1 {
             return Err(berr("IN subquery must return exactly one column"));
         }
         let left_key = self.bind_expr(expr, scope)?;
-        let right_key = SqlExpr::Col(0, sub.schema().field(0).ty);
-        let (left_key, right_key) = unify_key_types(left_key, right_key)?;
-        let kind = if negated { JoinKind::NullAwareAnti } else { JoinKind::Semi };
-        Ok(LogicalPlan::Join {
+        ensure_no_outer(&left_key, "IN probe value")?;
+        if corr.is_empty() {
+            // Uncorrelated: direct semi / NULL-aware anti join.
+            let right_key = SqlExpr::Col(0, sub.schema().field(0).ty);
+            let (left_key, right_key) = unify_key_types(left_key, right_key)?;
+            let kind = if negated { JoinKind::NullAwareAnti } else { JoinKind::Semi };
+            return Ok(LogicalPlan::Join {
+                schema: plan.schema().clone(),
+                left: Box::new(plan),
+                right: Box::new(sub),
+                kind,
+                keys: vec![(left_key, right_key)],
+            });
+        }
+        if negated {
+            // The NULL-aware anti join would have to reason about NULLs
+            // per correlation group; rewrite the query instead.
+            return Err(unsup("correlated NOT IN subquery (rewrite as NOT EXISTS)"));
+        }
+        let mut keys = vec![apply_key(left_key, sub.schema(), 0)?];
+        for (oe, idx) in &corr {
+            keys.push(apply_key(oe.clone(), sub.schema(), *idx)?);
+        }
+        Ok(LogicalPlan::Apply {
             schema: plan.schema().clone(),
-            left: Box::new(plan),
-            right: Box::new(sub),
-            kind,
-            keys: vec![(left_key, right_key)],
+            input: Box::new(plan),
+            subquery: Box::new(sub),
+            kind: ApplyKind::In,
+            keys,
         })
     }
 
     fn bind_exists(
         &self,
         plan: LogicalPlan,
+        scope: &Scope,
         subquery: &SelectStmt,
         negated: bool,
     ) -> Result<LogicalPlan> {
-        let sub = self.bind_select(subquery)?;
-        // Uncorrelated EXISTS: semi/anti join on the constant key 1 = 1.
-        let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
-        // Project the subquery down to the constant key.
-        let sub_key = LogicalPlan::Project {
-            schema: Schema::unchecked(vec![Field::not_null("__one", TypeId::I64)]),
-            exprs: vec![one.clone()],
-            input: Box::new(sub),
-        };
-        let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
-        Ok(LogicalPlan::Join {
+        let (sub, corr) = self.bind_query(subquery, Some(scope))?;
+        if corr.is_empty() {
+            // Uncorrelated EXISTS: semi/anti join on the constant key 1 = 1.
+            let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
+            // Project the subquery down to the constant key.
+            let sub_key = LogicalPlan::Project {
+                schema: Schema::unchecked(vec![Field::not_null("__one", TypeId::I64)]),
+                exprs: vec![one.clone()],
+                input: Box::new(sub),
+            };
+            let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+            return Ok(LogicalPlan::Join {
+                schema: plan.schema().clone(),
+                left: Box::new(plan),
+                right: Box::new(sub_key),
+                kind,
+                keys: vec![(one, SqlExpr::Col(0, TypeId::I64))],
+            });
+        }
+        let keys = corr
+            .iter()
+            .map(|(oe, idx)| apply_key(oe.clone(), sub.schema(), *idx))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LogicalPlan::Apply {
             schema: plan.schema().clone(),
-            left: Box::new(plan),
-            right: Box::new(sub_key),
-            kind,
-            keys: vec![(one, SqlExpr::Col(0, TypeId::I64))],
+            input: Box::new(plan),
+            subquery: Box::new(sub),
+            kind: ApplyKind::Exists { negated },
+            keys,
         })
+    }
+
+    /// Turn one scalar subquery in a WHERE conjunct into an Apply above
+    /// `plan`, extend `scope` with the value column, and return the
+    /// marker identifier the rewritten conjunct binds against.
+    fn apply_scalar(
+        &self,
+        sub: &SelectStmt,
+        plan: &mut LogicalPlan,
+        scope: &mut Scope,
+        n: &mut usize,
+    ) -> Result<Expr> {
+        let (sub_plan, corr) = self.bind_query(sub, Some(scope))?;
+        if sub_plan.schema().len() - corr.len() != 1 {
+            return Err(berr("scalar subquery must return exactly one column"));
+        }
+        let ty = sub_plan.schema().field(0).ty;
+        let (sub_plan, keys) = if corr.is_empty() {
+            if !at_most_one_row(&sub_plan) {
+                return Err(unsup(
+                    "uncorrelated scalar subquery without a single-row guarantee \
+                     (use an aggregate without GROUP BY, or LIMIT 1)",
+                ));
+            }
+            let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
+            let proj = LogicalPlan::Project {
+                schema: Schema::unchecked(vec![
+                    Field { name: "__sval".into(), ty, nullable: true },
+                    Field::not_null("__one", TypeId::I64),
+                ]),
+                exprs: vec![SqlExpr::Col(0, ty), one.clone()],
+                input: Box::new(sub_plan),
+            };
+            (proj, vec![(one, 1)])
+        } else {
+            if !corr_scalar_unique(&sub_plan, corr.len()) {
+                return Err(unsup(
+                    "correlated scalar subquery that is not a single aggregate grouped by \
+                     its correlation keys (one value per outer row is not guaranteed)",
+                ));
+            }
+            let keys = corr
+                .iter()
+                .map(|(oe, idx)| apply_key(oe.clone(), sub_plan.schema(), *idx))
+                .collect::<Result<Vec<_>>>()?;
+            (sub_plan, keys)
+        };
+        let name = format!("__scalar{n}");
+        *n += 1;
+        let mut fields = plan.schema().fields.clone();
+        fields.push(Field { name: name.clone(), ty, nullable: true });
+        let input = std::mem::replace(
+            plan,
+            LogicalPlan::Values { schema: Schema::unchecked(vec![]), rows: vec![] },
+        );
+        *plan = LogicalPlan::Apply {
+            input: Box::new(input),
+            subquery: Box::new(sub_plan),
+            kind: ApplyKind::Scalar,
+            keys,
+            schema: Schema::unchecked(fields),
+        };
+        scope.cols.push(ScopeCol { qualifier: None, name: name.clone(), ty, nullable: true });
+        Ok(Expr::Ident(vec![name]))
+    }
+
+    /// Same as [`apply_scalar`](Binder::apply_scalar) but for HAVING:
+    /// the Apply stacks above the aggregate, and the marker resolves via
+    /// the post-aggregation `extra` table instead of the scope. HAVING
+    /// scalars must be uncorrelated (Q11's threshold is).
+    fn apply_having_scalar(
+        &self,
+        sub: &SelectStmt,
+        plan: &mut LogicalPlan,
+        extra: &mut Vec<(String, TypeId, usize)>,
+        agg_w: usize,
+    ) -> Result<Expr> {
+        let (sub_plan, _) = self.bind_query(sub, None)?;
+        if sub_plan.schema().len() != 1 {
+            return Err(berr("scalar subquery must return exactly one column"));
+        }
+        if !at_most_one_row(&sub_plan) {
+            return Err(unsup(
+                "uncorrelated scalar subquery without a single-row guarantee \
+                 (use an aggregate without GROUP BY, or LIMIT 1)",
+            ));
+        }
+        let ty = sub_plan.schema().field(0).ty;
+        let one = SqlExpr::Lit(Value::I64(1), TypeId::I64);
+        let proj = LogicalPlan::Project {
+            schema: Schema::unchecked(vec![
+                Field { name: "__sval".into(), ty, nullable: true },
+                Field::not_null("__one", TypeId::I64),
+            ]),
+            exprs: vec![SqlExpr::Col(0, ty), one.clone()],
+            input: Box::new(sub_plan),
+        };
+        let name = format!("__hscalar{}", extra.len());
+        let idx = agg_w + extra.len();
+        let mut fields = plan.schema().fields.clone();
+        fields.push(Field { name: name.clone(), ty, nullable: true });
+        let input = std::mem::replace(
+            plan,
+            LogicalPlan::Values { schema: Schema::unchecked(vec![]), rows: vec![] },
+        );
+        *plan = LogicalPlan::Apply {
+            input: Box::new(input),
+            subquery: Box::new(proj),
+            kind: ApplyKind::Scalar,
+            keys: vec![(one, 1)],
+            schema: Schema::unchecked(fields),
+        };
+        extra.push((name.clone(), ty, idx));
+        Ok(Expr::Ident(vec![name]))
     }
 
     /// Bind a scalar expression against a scope.
@@ -719,6 +1377,9 @@ impl<'a> Binder<'a> {
             }
             Expr::Lit(v) => Ok(SqlExpr::Lit(v.clone(), v.type_id().unwrap_or(TypeId::I64))),
             Expr::Binary { op, left, right } => {
+                if let Some(e) = self.try_interval_arith(*op, left, right, scope)? {
+                    return Ok(e);
+                }
                 let l = self.bind_expr(left, scope)?;
                 let r = self.bind_expr(right, scope)?;
                 combine_binary(*op, l, r)
@@ -806,7 +1467,65 @@ impl<'a> Binder<'a> {
                     ty: TypeId::I64,
                 })
             }
+            Expr::Scalar(_) => Err(unsup(
+                "scalar subquery in this position (supported in WHERE and HAVING conjuncts)",
+            )),
+            Expr::Interval { .. } => {
+                Err(berr("INTERVAL is only valid in date ± INTERVAL arithmetic"))
+            }
         }
+    }
+
+    /// Lower `date ± INTERVAL 'n' unit` (and `INTERVAL + date`) to date
+    /// arithmetic. Returns `Ok(None)` when the operands are not that shape.
+    fn try_interval_arith(
+        &self,
+        op: ast::BinaryOp,
+        left: &Expr,
+        right: &Expr,
+        scope: &Scope,
+    ) -> Result<Option<SqlExpr>> {
+        use ast::BinaryOp as B;
+        let (date_ast, n, unit) = match (left, right, op) {
+            (d, Expr::Interval { n, unit }, B::Add | B::Sub) => (d, *n, *unit),
+            (Expr::Interval { n, unit }, d, B::Add) => (d, *n, *unit),
+            _ => return Ok(None),
+        };
+        let d = self.bind_expr(date_ast, scope)?;
+        if d.type_id() != TypeId::Date {
+            return Err(berr("INTERVAL arithmetic requires a DATE operand"));
+        }
+        let n = if op == B::Sub { -n } else { n };
+        let months = match unit {
+            IntervalUnit::Day => None,
+            IntervalUnit::Month => Some(n),
+            IntervalUnit::Year => Some(n * 12),
+        };
+        // Fold literal dates at bind time so MinMax hints and goldens see
+        // plain date literals.
+        if let SqlExpr::Lit(Value::Date(dt), _) = &d {
+            let out = match months {
+                None => {
+                    let delta =
+                        i32::try_from(n).map_err(|_| berr("INTERVAL magnitude overflows"))?;
+                    dt.0.checked_add(delta).ok_or_else(|| berr("date out of range"))?
+                }
+                Some(m) => {
+                    let m = i32::try_from(m).map_err(|_| berr("INTERVAL magnitude overflows"))?;
+                    add_months(dt.0, m)?
+                }
+            };
+            return Ok(Some(SqlExpr::Lit(Value::Date(Date(out)), TypeId::Date)));
+        }
+        let (func, arg) = match months {
+            None => (KernelFunc::DateAddDays, n),
+            Some(m) => (KernelFunc::DateAddMonths, m),
+        };
+        Ok(Some(SqlExpr::Func {
+            func,
+            args: vec![d, SqlExpr::Lit(Value::I64(arg), TypeId::I64)],
+            ty: TypeId::Date,
+        }))
     }
 
     /// Bind an expression against a bare schema (UPDATE SET / DELETE WHERE).
@@ -843,6 +1562,52 @@ fn cast_to(e: SqlExpr, ty: TypeId) -> SqlExpr {
     } else {
         SqlExpr::Cast { input: Box::new(e), to: ty }
     }
+}
+
+/// Combine two set-operation operands, unifying their schemas: widths
+/// must match, column types promote pairwise (casting a side through a
+/// projection when needed), and the left operand's column names win.
+fn make_setop(kind: ast::SetOpKind, left: LogicalPlan, right: LogicalPlan) -> Result<LogicalPlan> {
+    let (lw, rw) = (left.schema().len(), right.schema().len());
+    if lw != rw {
+        return Err(berr(format!("set operation operands have {lw} vs {rw} columns")));
+    }
+    let mut fields = Vec::with_capacity(lw);
+    for (lf, rf) in left.schema().fields.iter().zip(&right.schema().fields) {
+        let ty = TypeId::promote(lf.ty, rf.ty).ok_or_else(|| {
+            berr(format!(
+                "set operation column {} has incompatible types {} and {}",
+                lf.name, lf.ty, rf.ty
+            ))
+        })?;
+        fields.push(Field { name: lf.name.clone(), ty, nullable: lf.nullable || rf.nullable });
+    }
+    let schema = Schema::unchecked(fields);
+    let left = cast_input(left, &schema);
+    let right = cast_input(right, &schema);
+    let op = match kind {
+        ast::SetOpKind::Union => SetOpKind::Union,
+        ast::SetOpKind::UnionAll => SetOpKind::UnionAll,
+        ast::SetOpKind::Intersect => SetOpKind::Intersect,
+        ast::SetOpKind::Except => SetOpKind::Except,
+    };
+    Ok(LogicalPlan::SetOp { op, inputs: vec![left, right], schema })
+}
+
+/// Wrap `input` in a casting projection when its column types differ
+/// from `target`'s (names are taken from `target` either way).
+fn cast_input(input: LogicalPlan, target: &Schema) -> LogicalPlan {
+    let same = input.schema().fields.iter().zip(&target.fields).all(|(f, t)| f.ty == t.ty);
+    if same {
+        return input;
+    }
+    let exprs: Vec<SqlExpr> = target
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, t)| cast_to(SqlExpr::Col(i, input.schema().field(i).ty), t.ty))
+        .collect();
+    LogicalPlan::Project { schema: target.clone(), exprs, input: Box::new(input) }
 }
 
 fn unify_key_types(l: SqlExpr, r: SqlExpr) -> Result<(SqlExpr, SqlExpr)> {

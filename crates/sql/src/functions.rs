@@ -43,6 +43,7 @@ pub fn resolve(name: &str) -> Option<FuncImpl> {
         "CEIL" | "CEILING" => Kernel(KernelFunc::Ceil),
         "ROUND" => Kernel(KernelFunc::Round),
         "DATE_ADD_DAYS" | "ADDDATE" => Kernel(KernelFunc::DateAddDays),
+        "DATE_ADD_MONTHS" | "ADD_MONTHS" => Kernel(KernelFunc::DateAddMonths),
         "DATE_DIFF_DAYS" | "DATEDIFF" => Kernel(KernelFunc::DateDiffDays),
         "COALESCE" => Ext(ExtFunc::Coalesce),
         "NULLIF" => Ext(ExtFunc::NullIf),
@@ -152,7 +153,7 @@ pub fn type_check(name: &str, imp: FuncImpl, args: Vec<SqlExpr>) -> Result<(Vec<
                     }
                     Ok((args, TypeId::I64))
                 }
-                DateAddDays => {
+                DateAddDays | DateAddMonths => {
                     arity(2..=2)?;
                     if args[0].type_id() != TypeId::Date {
                         return Err(err("DATE argument expected".into()));

@@ -30,8 +30,8 @@
 
 use crate::binder::CatalogView;
 use crate::expr::{CmpOp, SqlExpr};
-use crate::plan::{JoinKind, LogicalPlan, ScanHint};
-use vw_common::{Result, Schema, TypeId, Value, VwError};
+use crate::plan::{ApplyKind, JoinKind, LogicalPlan, ScanHint, SetOpKind};
+use vw_common::{Field, Result, Schema, TypeId, Value, VwError};
 
 /// Selectivity floor: a conjunction never claims to filter below this.
 const MIN_SEL: f64 = 1e-4;
@@ -59,6 +59,7 @@ pub fn optimize_with(
     catalog: &dyn CatalogView,
     cost_based: bool,
 ) -> Result<LogicalPlan> {
+    let plan = decorrelate(plan)?;
     let plan = fold_constants_plan(plan)?;
     let plan = simplify_group_by(plan);
     let plan = merge_filters(plan);
@@ -107,8 +108,83 @@ fn map_inputs(
         LogicalPlan::Exchange { input, dop } => {
             LogicalPlan::Exchange { input: Box::new(f(*input)?), dop }
         }
+        LogicalPlan::SetOp { op, inputs, schema } => LogicalPlan::SetOp {
+            op,
+            inputs: inputs.into_iter().map(&mut *f).collect::<Result<_>>()?,
+            schema,
+        },
+        LogicalPlan::Apply { input, subquery, kind, keys, schema } => LogicalPlan::Apply {
+            input: Box::new(f(*input)?),
+            subquery: Box::new(f(*subquery)?),
+            kind,
+            keys,
+            schema,
+        },
         leaf => leaf,
     })
+}
+
+// ---------------------------------------------------------------------------
+// decorrelation
+// ---------------------------------------------------------------------------
+
+/// Lower every binder-emitted [`Apply`](LogicalPlan::Apply) to a hash
+/// join — the paper's rewriter does all unnesting before the operators
+/// ever see a plan. Runs first, in *both* pipelines, so downstream
+/// passes (pushdown, reordering, pruning, build-side choice) only ever
+/// see join trees. Compile rejects any surviving Apply.
+///
+/// * `In` / `Exists` → semi join (anti for NOT EXISTS) on the Apply's
+///   `(outer expression, subquery column)` key pairs;
+/// * `Scalar` → left outer join (the subquery is guaranteed at most one
+///   row per key by the binder) + a projection appending the subquery's
+///   value column to the outer row.
+fn decorrelate(plan: LogicalPlan) -> Result<LogicalPlan> {
+    let plan = map_inputs(plan, &mut decorrelate)?;
+    let LogicalPlan::Apply { input, subquery, kind, keys, schema } = plan else {
+        return Ok(plan);
+    };
+    let keys: Vec<(SqlExpr, SqlExpr)> = keys
+        .into_iter()
+        .map(|(outer, idx)| {
+            let ty = subquery.schema().field(idx).ty;
+            (outer, SqlExpr::Col(idx, ty))
+        })
+        .collect();
+    match kind {
+        ApplyKind::In | ApplyKind::Exists { negated: false } => Ok(LogicalPlan::Join {
+            left: input,
+            right: subquery,
+            kind: JoinKind::Semi,
+            keys,
+            schema,
+        }),
+        ApplyKind::Exists { negated: true } => Ok(LogicalPlan::Join {
+            left: input,
+            right: subquery,
+            kind: JoinKind::Anti,
+            keys,
+            schema,
+        }),
+        ApplyKind::Scalar => {
+            let lw = input.schema().len();
+            let mut fields = input.schema().fields.clone();
+            for f in &subquery.schema().fields {
+                // A left join null-extends unmatched outer rows.
+                fields.push(Field { name: f.name.clone(), ty: f.ty, nullable: true });
+            }
+            let join = LogicalPlan::Join {
+                left: input,
+                right: subquery,
+                kind: JoinKind::Left,
+                keys,
+                schema: Schema::unchecked(fields),
+            };
+            let exprs: Vec<SqlExpr> =
+                (0..=lw).map(|i| SqlExpr::Col(i, join.schema().field(i).ty)).collect();
+            Ok(LogicalPlan::Project { input: Box::new(join), exprs, schema })
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -996,6 +1072,18 @@ fn estimate_rows(plan: &LogicalPlan, catalog: &dyn CatalogView) -> f64 {
         }
         LogicalPlan::Values { rows, .. } => rows.len() as f64,
         LogicalPlan::Exchange { input, .. } => estimate_rows(input, catalog),
+        LogicalPlan::SetOp { op, inputs, .. } => {
+            let vals: Vec<f64> = inputs.iter().map(|i| estimate_rows(i, catalog)).collect();
+            match op {
+                SetOpKind::Union | SetOpKind::UnionAll => vals.iter().sum(),
+                SetOpKind::Intersect => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                SetOpKind::Except => vals.first().copied().unwrap_or(1.0),
+            }
+        }
+        LogicalPlan::Apply { input, kind, .. } => match kind {
+            ApplyKind::In | ApplyKind::Exists { .. } => 0.5 * estimate_rows(input, catalog),
+            ApplyKind::Scalar => estimate_rows(input, catalog),
+        },
     }
 }
 
@@ -1074,6 +1162,18 @@ impl<'a> Estimator<'a> {
             }
             LogicalPlan::Limit { input, limit, .. } => self.rows(input).min(*limit as f64),
             LogicalPlan::Values { rows, .. } => rows.len() as f64,
+            LogicalPlan::SetOp { op, inputs, .. } => {
+                let vals: Vec<f64> = inputs.iter().map(|i| self.rows(i)).collect();
+                match op {
+                    SetOpKind::Union | SetOpKind::UnionAll => vals.iter().sum(),
+                    SetOpKind::Intersect => vals.iter().copied().fold(f64::INFINITY, f64::min),
+                    SetOpKind::Except => vals.first().copied().unwrap_or(1.0),
+                }
+            }
+            LogicalPlan::Apply { input, kind, .. } => match kind {
+                ApplyKind::In | ApplyKind::Exists { .. } => 0.5 * self.rows(input),
+                ApplyKind::Scalar => self.rows(input),
+            },
         }
     }
 
@@ -1191,7 +1291,10 @@ fn base_column(plan: &LogicalPlan, col: usize) -> Option<(&str, usize)> {
             SqlExpr::Col(c, _) => base_column(input, *c),
             _ => None,
         },
-        LogicalPlan::Values { .. } => None,
+        // SetOp columns merge several inputs; the Apply value column is
+        // computed. Apply pass-through columns come from the outer input.
+        LogicalPlan::Apply { input, .. } if col < input.schema().len() => base_column(input, col),
+        LogicalPlan::Values { .. } | LogicalPlan::SetOp { .. } | LogicalPlan::Apply { .. } => None,
     }
 }
 
@@ -1311,6 +1414,12 @@ fn explain_est_into(
         LogicalPlan::Limit { offset, limit, .. } => format!("Limit {limit} offset {offset}"),
         LogicalPlan::Values { rows, .. } => format!("Values [{} rows]", rows.len()),
         LogicalPlan::Exchange { dop, .. } => format!("Xchg dop={dop}"),
+        LogicalPlan::SetOp { op, inputs, .. } => {
+            format!("SetOp {op:?} [{} inputs]", inputs.len())
+        }
+        LogicalPlan::Apply { kind, keys, .. } => {
+            format!("Apply {kind:?} on {} key(s)", keys.len())
+        }
     };
     out.push_str(&line);
     out.push_str(&format!(" est~{:.0}\n", est.rows(plan)));

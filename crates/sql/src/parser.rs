@@ -1,4 +1,10 @@
 //! Recursive-descent SQL parser with precedence climbing for expressions.
+//!
+//! The accepted grammar (statements, set-operation associativity,
+//! subquery positions, INTERVAL literals) is catalogued in
+//! ARCHITECTURE.md ("SQL surface"); constructs the parser accepts but
+//! the engine cannot run are rejected later with a typed
+//! `E_UNSUPPORTED` naming the construct.
 
 use crate::ast::*;
 use crate::lexer::{lex, Tok};
@@ -96,10 +102,13 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement> {
-        if self.at_kw("SELECT") {
+        if self.at_kw("SELECT") || self.at_kw("WITH") || self.at_select_paren() {
             return Ok(Statement::Select(Box::new(self.select()?)));
         }
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.eat_kw("INSERT") {
@@ -260,8 +269,125 @@ impl Parser {
         Err(perr(format!("unexpected token {:?}", self.peek())))
     }
 
+    /// Is the cursor at `( SELECT` / `( WITH` (a parenthesized query)?
+    fn at_select_paren(&self) -> bool {
+        self.at_sym("(")
+            && matches!(self.toks.get(self.pos + 1),
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("SELECT")
+                    || s.eq_ignore_ascii_case("WITH"))
+    }
+
+    /// Full query: `[WITH ...] body {UNION|INTERSECT|EXCEPT body}...
+    /// [ORDER BY ...] [LIMIT ...]`. The chain is left-associative with
+    /// INTERSECT binding tighter (nested into the operand's own chain);
+    /// trailing ORDER BY / LIMIT / OFFSET apply to the chain result.
     fn select(&mut self) -> Result<SelectStmt> {
+        let mut with = Vec::new();
+        if self.eat_kw("WITH") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("AS")?;
+                self.expect_sym("(")?;
+                let q = self.select()?;
+                self.expect_sym(")")?;
+                with.push((name, q));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut head = self.set_operand()?;
+        loop {
+            if (self.at_kw("UNION") || self.at_kw("INTERSECT") || self.at_kw("EXCEPT"))
+                && (head.limit.is_some() || !head.order_by.is_empty())
+            {
+                // Only a parenthesized head can carry ORDER BY / LIMIT at
+                // this point, and the standard scopes those to the chain.
+                return Err(VwError::Unsupported(
+                    "ORDER BY / LIMIT inside a set-operation operand (wrap it in a derived table)"
+                        .into(),
+                ));
+            }
+            let op = if self.eat_kw("UNION") {
+                if self.eat_kw("ALL") {
+                    SetOpKind::UnionAll
+                } else {
+                    SetOpKind::Union
+                }
+            } else if self.eat_kw("INTERSECT") {
+                self.reject_set_all("INTERSECT")?;
+                // INTERSECT binds tighter than UNION/EXCEPT but is itself
+                // left-associative (and associative), so appending to the
+                // running chain keeps the grouping correct.
+                let rhs = self.chain_operand("INTERSECT")?;
+                head.set_ops.push((SetOpKind::Intersect, rhs));
+                continue;
+            } else if self.eat_kw("EXCEPT") {
+                self.reject_set_all("EXCEPT")?;
+                SetOpKind::Except
+            } else {
+                break;
+            };
+            // A UNION/EXCEPT operand absorbs its own INTERSECT chain
+            // first — `A UNION B INTERSECT C` is `A UNION (B ∩ C)`.
+            let mut rhs = self.chain_operand("set operation")?;
+            while self.eat_kw("INTERSECT") {
+                self.reject_set_all("INTERSECT")?;
+                let r2 = self.chain_operand("INTERSECT")?;
+                rhs.set_ops.push((SetOpKind::Intersect, r2));
+            }
+            head.set_ops.push((op, rhs));
+        }
+        self.order_limit(&mut head)?;
+        // Outer CTEs go first: a parenthesized head keeps its own WITH
+        // list, and inner names shadow outer ones in the binder's stack.
+        head.with.splice(0..0, with);
+        Ok(head)
+    }
+
+    /// Error out on `INTERSECT ALL` / `EXCEPT ALL` (bag semantics are not
+    /// implemented).
+    fn reject_set_all(&mut self, op: &str) -> Result<()> {
+        if self.at_kw("ALL") {
+            Err(VwError::Unsupported(format!("{op} ALL")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// A set-operation operand, rejecting operand-level ORDER BY / LIMIT
+    /// (only the chain result may be ordered or limited).
+    fn chain_operand(&mut self, op: &str) -> Result<SelectStmt> {
+        let rhs = self.set_operand()?;
+        if rhs.limit.is_some() || !rhs.order_by.is_empty() {
+            return Err(VwError::Unsupported(format!(
+                "ORDER BY / LIMIT inside a {op} operand (wrap it in a derived table)"
+            )));
+        }
+        Ok(rhs)
+    }
+
+    /// One set-operation operand: a parenthesized query or a bare SELECT
+    /// body (no ORDER BY / LIMIT — those belong to the chain).
+    fn set_operand(&mut self) -> Result<SelectStmt> {
+        if self.at_select_paren() {
+            self.bump(); // (
+            let q = self.select()?;
+            self.expect_sym(")")?;
+            return Ok(q);
+        }
+        self.select_core()
+    }
+
+    /// SELECT body: items, FROM, WHERE, GROUP BY, HAVING.
+    fn select_core(&mut self) -> Result<SelectStmt> {
         self.expect_kw("SELECT")?;
+        let distinct = if self.eat_kw("DISTINCT") {
+            true
+        } else {
+            self.eat_kw("ALL");
+            false
+        };
         let mut items = Vec::new();
         loop {
             if self.eat_sym("*") {
@@ -292,7 +418,20 @@ impl Parser {
             }
         }
         let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
-        let mut order_by = Vec::new();
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            ..SelectStmt::default()
+        })
+    }
+
+    /// Trailing ORDER BY / LIMIT / OFFSET, attached to `head` (which is
+    /// the whole chain when set operations are present).
+    fn order_limit(&mut self, head: &mut SelectStmt) -> Result<()> {
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
             loop {
@@ -312,27 +451,25 @@ impl Parser {
                         nulls_first = false;
                     }
                 }
-                order_by.push((e, asc, nulls_first));
+                head.order_by.push((e, asc, nulls_first));
                 if !self.eat_sym(",") {
                     break;
                 }
             }
         }
-        let mut limit = None;
-        let mut offset = None;
         if self.eat_kw("LIMIT") {
             match self.bump() {
-                Tok::Int(v) if v >= 0 => limit = Some(v as u64),
+                Tok::Int(v) if v >= 0 => head.limit = Some(v as u64),
                 other => return Err(perr(format!("bad LIMIT {other:?}"))),
             }
         }
         if self.eat_kw("OFFSET") {
             match self.bump() {
-                Tok::Int(v) if v >= 0 => offset = Some(v as u64),
+                Tok::Int(v) if v >= 0 => head.offset = Some(v as u64),
                 other => return Err(perr(format!("bad OFFSET {other:?}"))),
             }
         }
-        Ok(SelectStmt { items, from, where_clause, group_by, having, order_by, limit, offset })
+        Ok(())
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
@@ -371,6 +508,19 @@ impl Parser {
     }
 
     fn base_table(&mut self) -> Result<TableRef> {
+        if self.eat_sym("(") {
+            // Derived table: (SELECT ...) alias.
+            let q = self.select()?;
+            self.expect_sym(")")?;
+            self.eat_kw("AS");
+            let alias = match self.peek() {
+                Tok::Ident(s) if !is_clause_kw(s) && !is_join_kw(s) => self.ident()?,
+                other => {
+                    return Err(perr(format!("derived table requires an alias, found {other:?}")))
+                }
+            };
+            return Ok(TableRef::Derived { query: Box::new(q), alias });
+        }
         let name = self.ident()?;
         let alias = if self.eat_kw("AS")
             || matches!(self.peek(), Tok::Ident(s) if !is_clause_kw(s) && !is_join_kw(s))
@@ -446,7 +596,7 @@ impl Parser {
         }
         if self.eat_kw("IN") {
             self.expect_sym("(")?;
-            if self.at_kw("SELECT") {
+            if self.at_kw("SELECT") || self.at_kw("WITH") {
                 let sub = self.select()?;
                 self.expect_sym(")")?;
                 return Ok(Expr::InSubquery {
@@ -532,6 +682,12 @@ impl Parser {
             Tok::Float(v) => Ok(Expr::Lit(Value::F64(v))),
             Tok::Str(s) => Ok(Expr::Lit(Value::Str(s))),
             Tok::Sym("(") => {
+                if self.at_kw("SELECT") || self.at_kw("WITH") {
+                    // Scalar subquery used as a value.
+                    let sub = self.select()?;
+                    self.expect_sym(")")?;
+                    return Ok(Expr::Scalar(Box::new(sub)));
+                }
                 let e = self.expr()?;
                 self.expect_sym(")")?;
                 Ok(e)
@@ -609,10 +765,36 @@ impl Parser {
                 self.expect_sym(")")?;
                 return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
             }
+            "INTERVAL" => {
+                // INTERVAL 'n' DAY/MONTH/YEAR (TPC-H's date offsets).
+                if let Tok::Str(s) = self.peek().clone() {
+                    self.bump();
+                    let n: i64 = s.trim().parse().map_err(|_| {
+                        perr(format!("INTERVAL magnitude must be an integer, got '{s}'"))
+                    })?;
+                    let unit_name = self.ident()?;
+                    let unit = match unit_name.to_ascii_uppercase().as_str() {
+                        "DAY" | "DAYS" => IntervalUnit::Day,
+                        "MONTH" | "MONTHS" => IntervalUnit::Month,
+                        "YEAR" | "YEARS" => IntervalUnit::Year,
+                        other => {
+                            return Err(VwError::Unsupported(format!(
+                                "INTERVAL unit {other} (DAY, MONTH and YEAR are supported)"
+                            )))
+                        }
+                    };
+                    return Ok(Expr::Interval { n, unit });
+                }
+            }
             _ => {}
         }
         if self.eat_sym("(") {
             // Function call.
+            if self.at_kw("DISTINCT") {
+                return Err(VwError::Unsupported(format!(
+                    "DISTINCT aggregates ({upper}(DISTINCT ...))"
+                )));
+            }
             let mut args = Vec::new();
             if !self.at_sym(")") {
                 loop {
@@ -627,6 +809,9 @@ impl Parser {
                 }
             }
             self.expect_sym(")")?;
+            if self.at_kw("OVER") {
+                return Err(VwError::Unsupported(format!("window functions ({upper}(...) OVER)")));
+            }
             return Ok(Expr::Func { name: upper, args });
         }
         if self.eat_sym(".") {
@@ -648,6 +833,8 @@ fn is_clause_kw(s: &str) -> bool {
             | "LIMIT"
             | "OFFSET"
             | "UNION"
+            | "INTERSECT"
+            | "EXCEPT"
             | "ON"
             | "AND"
             | "OR"

@@ -19,6 +19,41 @@ pub enum JoinKind {
     NullAwareAnti,
 }
 
+/// Set operations at the plan level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// Distinct rows of all inputs (also `SELECT DISTINCT` with one input).
+    Union,
+    /// Concatenation, duplicates kept.
+    UnionAll,
+    /// Distinct rows present in both inputs.
+    Intersect,
+    /// Distinct left rows absent from the right input.
+    Except,
+}
+
+/// What a correlated-subquery [`Apply`](LogicalPlan::Apply) computes. The
+/// binder emits Apply nodes for correlated subqueries (and scalar
+/// subqueries); the optimizer's decorrelation pass lowers every one to a
+/// hash join before compilation — compile rejects surviving Apply nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyKind {
+    /// `x IN (SELECT v ...)` with correlation: key 0 is the IN value,
+    /// the rest are correlation equalities. Lowers to a semi join.
+    In,
+    /// `[NOT] EXISTS (SELECT ...)`: keys are correlation equalities.
+    /// Lowers to a semi (or anti) join.
+    Exists {
+        /// NOT EXISTS?
+        negated: bool,
+    },
+    /// Scalar subquery used as a value: subquery output column 0 is the
+    /// value, keys match correlation (or a constant for the uncorrelated
+    /// single-row case). Lowers to a left outer join + projection that
+    /// appends the value column to the input.
+    Scalar,
+}
+
 /// One bound aggregate call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggCall {
@@ -111,6 +146,31 @@ pub enum LogicalPlan {
         /// Max rows to return (u64::MAX = unbounded).
         limit: u64,
     },
+    /// Set operation over schema-unified inputs (one input = DISTINCT).
+    SetOp {
+        /// Which operation.
+        op: SetOpKind,
+        /// Operands (binary for INTERSECT/EXCEPT; UNION may chain).
+        inputs: Vec<LogicalPlan>,
+        /// Output schema (left operand's names, promoted types).
+        schema: Schema,
+    },
+    /// Correlated/scalar subquery awaiting decorrelation (binder-emitted,
+    /// lowered to a join by `optimizer::decorrelate`, rejected by compile).
+    Apply {
+        /// Outer input.
+        input: Box<LogicalPlan>,
+        /// Subquery plan; for [`ApplyKind::Scalar`] column 0 is the value
+        /// and the correlation columns follow, for In/Exists the value
+        /// (if any) comes first and correlation columns follow.
+        subquery: Box<LogicalPlan>,
+        /// What this Apply computes.
+        kind: ApplyKind,
+        /// (outer-side expression, subquery output column) equality pairs.
+        keys: Vec<(SqlExpr, usize)>,
+        /// Output schema: the input's (plus the value column for Scalar).
+        schema: Schema,
+    },
     /// Literal rows.
     Values {
         /// Schema.
@@ -138,6 +198,8 @@ impl LogicalPlan {
             LogicalPlan::Project { schema, .. } => schema,
             LogicalPlan::Join { schema, .. } => schema,
             LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::SetOp { schema, .. } => schema,
+            LogicalPlan::Apply { schema, .. } => schema,
             LogicalPlan::Sort { input, .. } => input.schema(),
             LogicalPlan::Limit { input, .. } => input.schema(),
             LogicalPlan::Values { schema, .. } => schema,
@@ -156,6 +218,8 @@ impl LogicalPlan {
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::Exchange { input, .. } => vec![input],
             LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::SetOp { inputs, .. } => inputs.iter().collect(),
+            LogicalPlan::Apply { input, subquery, .. } => vec![input, subquery],
         }
     }
 
@@ -190,6 +254,12 @@ impl LogicalPlan {
             }
             LogicalPlan::Aggregate { group, aggs, .. } => {
                 format!("Aggr groups={} aggs={}", group.len(), aggs.len())
+            }
+            LogicalPlan::SetOp { op, inputs, .. } => {
+                format!("SetOp {op:?} [{} inputs]", inputs.len())
+            }
+            LogicalPlan::Apply { kind, keys, .. } => {
+                format!("Apply {kind:?} on {} key(s)", keys.len())
             }
             LogicalPlan::Sort { keys, .. } => format!("Sort keys={keys:?}"),
             LogicalPlan::Limit { offset, limit, .. } => format!("Limit {limit} offset {offset}"),

@@ -216,6 +216,122 @@ fn explain_golden_cost_based_and_rule_only() {
     assert!(!rule_only.contains("est~"), "rule-only plans must not carry estimates");
 }
 
+/// SQL-surface EXPLAIN contract for the constructs this PR added: SetOp
+/// plans and decorrelated subqueries (Apply → Semi/Anti/Left join), in
+/// both optimizer pipelines, plus EXPLAIN ANALYZE's executed-rows footer.
+/// Byte-exact like `explain_golden_cost_based_and_rule_only`: the plan
+/// text is the documented contract (ARCHITECTURE.md, "SQL surface").
+#[test]
+fn explain_golden_setop_and_decorrelated_plans() {
+    let db = Database::open_in_memory();
+    db.execute("CREATE TABLE t1 (a BIGINT NOT NULL, b BIGINT)").unwrap();
+    db.execute("CREATE TABLE t2 (c BIGINT NOT NULL, d BIGINT)").unwrap();
+    let r1: Vec<String> = (0..200).map(|i| format!("({}, {})", i % 40, i % 11)).collect();
+    let r2: Vec<String> = (0..80).map(|i| format!("({}, {})", i % 25, i % 13)).collect();
+    db.execute(&format!("INSERT INTO t1 VALUES {}", r1.join(", "))).unwrap();
+    db.execute(&format!("INSERT INTO t2 VALUES {}", r2.join(", "))).unwrap();
+    db.execute("CHECKPOINT").unwrap();
+    db.execute("SET parallelism = 1").unwrap();
+
+    let explain = |db: &std::sync::Arc<Database>, q: &str| db.execute(q).unwrap().text.unwrap();
+    let setop = "EXPLAIN SELECT a FROM t1 INTERSECT SELECT c FROM t2";
+    let exists = "EXPLAIN SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE c = a AND d > 5)";
+    let scalar = "EXPLAIN SELECT a FROM t1 WHERE b < (SELECT SUM(d) FROM t2 WHERE c = a)";
+
+    db.execute("SET optimizer = 1").unwrap();
+    assert_eq!(
+        explain(&db, setop),
+        "SetOp Intersect [2 inputs] est~80\n\
+         \u{20} Project [1 exprs] est~200\n\
+         \u{20}   Scan t1 cols=[0]/2 hints=0 est~200\n\
+         \u{20} Project [1 exprs] est~80\n\
+         \u{20}   Scan t2 cols=[0]/2 hints=0 est~80\n",
+        "cost-based SetOp plan drifted"
+    );
+    // EXISTS decorrelates to a Semi join; the subquery-local `d > 5`
+    // filter stays inside the build side and becomes a scan hint.
+    assert_eq!(
+        explain(&db, exists),
+        "Project [1 exprs] est~100\n\
+         \u{20} HashJoin Semi on 1 key(s) est~100\n\
+         \u{20}   probe: Scan t1 cols=[0]/2 hints=0 est~200\n\
+         \u{20}   build: Project [1 exprs] est~48\n\
+         \u{20}     Select est~48\n\
+         \u{20}       Scan t2 cols=[0, 1]/2 hints=1 [c1>=5] est~80\n",
+        "cost-based decorrelated-EXISTS plan drifted"
+    );
+    // A correlated scalar becomes a Left join against the grouped
+    // subquery, a value projection, and the comparison as a Select.
+    assert_eq!(
+        explain(&db, scalar),
+        "Project [1 exprs] est~60\n\
+         \u{20} Project [1 exprs] est~60\n\
+         \u{20}   Select est~60\n\
+         \u{20}     HashJoin Left on 1 key(s) est~200\n\
+         \u{20}       probe: Scan t1 cols=[0, 1]/2 hints=0 est~200\n\
+         \u{20}       build: Project [2 exprs] est~25\n\
+         \u{20}         Aggr groups=1 aggs=1 est~25\n\
+         \u{20}           Scan t2 cols=[0, 1]/2 hints=0 est~80\n",
+        "cost-based decorrelated-scalar plan drifted"
+    );
+    // EXPLAIN ANALYZE runs the query: same plan text plus the footer,
+    // and the rows ride along in the same result.
+    let analyzed =
+        db.execute("EXPLAIN ANALYZE SELECT a FROM t1 INTERSECT SELECT c FROM t2").unwrap();
+    assert_eq!(
+        analyzed.text.as_deref().unwrap(),
+        "SetOp Intersect [2 inputs] est~80\n\
+         \u{20} Project [1 exprs] est~200\n\
+         \u{20}   Scan t1 cols=[0]/2 hints=0 est~200\n\
+         \u{20} Project [1 exprs] est~80\n\
+         \u{20}   Scan t2 cols=[0]/2 hints=0 est~80\n\
+         actual: 25 rows\n",
+        "cost-based EXPLAIN ANALYZE drifted"
+    );
+    assert_eq!(analyzed.rows().len(), 25, "EXPLAIN ANALYZE must return the query's rows");
+
+    // Rule-only pipeline: same shapes, no estimates, no probe/build
+    // annotations, no pushed column pruning.
+    db.execute("SET optimizer = 0").unwrap();
+    assert_eq!(
+        explain(&db, setop),
+        "SetOp Intersect [2 inputs]\n\
+         \u{20} Project [1 exprs]\n\
+         \u{20}   Scan t1 cols=[0]\n\
+         \u{20} Project [1 exprs]\n\
+         \u{20}   Scan t2 cols=[0]\n",
+        "rule-only SetOp plan drifted"
+    );
+    assert_eq!(
+        explain(&db, exists),
+        "Project [1 exprs]\n\
+         \u{20} HashJoin Semi on 1 key(s)\n\
+         \u{20}   Scan t1 cols=[0, 1]\n\
+         \u{20}   Project [2 exprs]\n\
+         \u{20}     Select\n\
+         \u{20}       Scan t2 cols=[0, 1] hints=1\n",
+        "rule-only decorrelated-EXISTS plan drifted"
+    );
+    assert_eq!(
+        explain(&db, scalar),
+        "Project [1 exprs]\n\
+         \u{20} Select\n\
+         \u{20}   Project [3 exprs]\n\
+         \u{20}     HashJoin Left on 1 key(s)\n\
+         \u{20}       Scan t1 cols=[0, 1]\n\
+         \u{20}       Project [2 exprs]\n\
+         \u{20}         Aggr groups=1 aggs=1\n\
+         \u{20}           Scan t2 cols=[0, 1]\n",
+        "rule-only decorrelated-scalar plan drifted"
+    );
+    let analyzed =
+        db.execute("EXPLAIN ANALYZE SELECT a FROM t1 INTERSECT SELECT c FROM t2").unwrap();
+    assert!(
+        analyzed.text.as_deref().unwrap().ends_with("actual: 25 rows\n"),
+        "rule-only EXPLAIN ANALYZE must carry the executed-rows footer"
+    );
+}
+
 /// PR 8: UPDATE and DELETE mark table statistics stale so the cost model
 /// stops trusting dead numbers; CHECKPOINT rebuilds and re-arms them.
 #[test]

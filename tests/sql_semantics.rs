@@ -1964,3 +1964,245 @@ mod compressed_differential {
         }
     }
 }
+
+/// Randomized differential tests for the PR's decorrelation and
+/// set-operation paths: random NULL-bearing tables, engine SQL across
+/// dop {1,4} × optimizer {0,1}, answers checked against naive Rust
+/// references that spell out the SQL three-valued semantics row by row.
+mod subquery_differential {
+    use super::db_with;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+    use vectorwise::common::Value;
+    use vectorwise::core::Database;
+
+    /// Small key domain (forced collisions), ~15% NULLs per column.
+    fn random_pairs(rng: &mut SmallRng, n: usize) -> Vec<(Option<i64>, Option<i64>)> {
+        (0..n)
+            .map(|_| {
+                let v = |rng: &mut SmallRng| {
+                    if rng.gen_range(0..100) < 15 {
+                        None
+                    } else {
+                        Some(rng.gen_range(0..8i64))
+                    }
+                };
+                (v(rng), v(rng))
+            })
+            .collect()
+    }
+
+    fn load(
+        pairs_t: &[(Option<i64>, Option<i64>)],
+        pairs_s: &[(Option<i64>, Option<i64>)],
+    ) -> Arc<Database> {
+        let lit = |v: Option<i64>| v.map_or("NULL".to_string(), |x| x.to_string());
+        let values = |pairs: &[(Option<i64>, Option<i64>)]| {
+            pairs
+                .iter()
+                .map(|&(a, b)| format!("({}, {})", lit(a), lit(b)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        db_with(
+            "CREATE TABLE t (a BIGINT, b BIGINT); CREATE TABLE s (c BIGINT, d BIGINT)",
+            &[
+                &format!("INSERT INTO t VALUES {}", values(pairs_t)),
+                &format!("INSERT INTO s VALUES {}", values(pairs_s)),
+            ],
+        )
+    }
+
+    fn pair_row(&(a, b): &(Option<i64>, Option<i64>)) -> Vec<Value> {
+        let v = |x: Option<i64>| x.map_or(Value::Null, Value::I64);
+        vec![v(a), v(b)]
+    }
+
+    fn sort_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows
+    }
+
+    /// Run `sql` at every (dop, optimizer) lane and assert each matches
+    /// the reference rows.
+    fn assert_lanes(db: &Arc<Database>, sql: &str, expect: &[Vec<Value>], ctx: &str) {
+        let expect = sort_rows(expect.to_vec());
+        for dop in [1usize, 4] {
+            for optimizer in [0, 1] {
+                db.execute(&format!("SET parallelism = {dop}")).unwrap();
+                db.execute(&format!("SET optimizer = {optimizer}")).unwrap();
+                let got = sort_rows(db.execute(sql).unwrap().rows().to_vec());
+                assert_eq!(
+                    got, expect,
+                    "{ctx} diverged from reference (dop {dop}, optimizer {optimizer}): {sql}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_in_agrees_with_naive_reference() {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0xc0_11a7 + seed);
+            let t = random_pairs(&mut rng, 163);
+            let s = random_pairs(&mut rng, 97);
+            let db = load(&t, &s);
+            // b IN (SELECT d FROM s WHERE c = a): NULLs never compare equal,
+            // so a row qualifies only with non-NULL a, b and an exact match.
+            let expect: Vec<Vec<Value>> = t
+                .iter()
+                .filter(|&&(a, b)| {
+                    s.iter().any(|&(c, d)| a.is_some() && a == c && b.is_some() && b == d)
+                })
+                .map(pair_row)
+                .collect();
+            assert_lanes(
+                &db,
+                "SELECT a, b FROM t WHERE b IN (SELECT d FROM s WHERE c = a)",
+                &expect,
+                "correlated IN",
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_exists_and_not_exists_agree_with_naive_reference() {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0xe7_1575 + seed);
+            let t = random_pairs(&mut rng, 151);
+            let s = random_pairs(&mut rng, 89);
+            let db = load(&t, &s);
+            // EXISTS (… WHERE c = a AND d > 3): NULL d makes the conjunct
+            // UNKNOWN, which EXISTS treats as no row.
+            let hit = |&(a, _): &(Option<i64>, Option<i64>)| {
+                s.iter().any(|&(c, d)| a.is_some() && a == c && d.is_some_and(|d| d > 3))
+            };
+            let expect_e: Vec<Vec<Value>> = t.iter().filter(|r| hit(r)).map(pair_row).collect();
+            let expect_ne: Vec<Vec<Value>> = t.iter().filter(|r| !hit(r)).map(pair_row).collect();
+            assert_lanes(
+                &db,
+                "SELECT a, b FROM t WHERE EXISTS (SELECT 1 FROM s WHERE c = a AND d > 3)",
+                &expect_e,
+                "correlated EXISTS",
+            );
+            assert_lanes(
+                &db,
+                "SELECT a, b FROM t WHERE NOT EXISTS (SELECT 1 FROM s WHERE c = a AND d > 3)",
+                &expect_ne,
+                "correlated NOT EXISTS",
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_scalar_agrees_with_naive_reference() {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5ca1a9 + seed);
+            let t = random_pairs(&mut rng, 127);
+            let s = random_pairs(&mut rng, 83);
+            let db = load(&t, &s);
+            // b < (SELECT SUM(d) FROM s WHERE c = a): SUM skips NULL d; a
+            // group with no rows (or only NULL d) yields NULL, and a NULL
+            // comparison filters the row out.
+            let expect: Vec<Vec<Value>> = t
+                .iter()
+                .filter(|&&(a, b)| {
+                    if a.is_none() || b.is_none() {
+                        return false;
+                    }
+                    let matched: Vec<i64> =
+                        s.iter().filter(|&&(c, _)| c == a).filter_map(|&(_, d)| d).collect();
+                    !matched.is_empty() && b.unwrap() < matched.iter().sum::<i64>()
+                })
+                .map(pair_row)
+                .collect();
+            assert_lanes(
+                &db,
+                "SELECT a, b FROM t WHERE b < (SELECT SUM(d) FROM s WHERE c = a)",
+                &expect,
+                "correlated scalar SUM",
+            );
+        }
+    }
+
+    #[test]
+    fn set_operations_agree_with_naive_reference() {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5e7_095 + seed);
+            let t = random_pairs(&mut rng, 141);
+            let s = random_pairs(&mut rng, 117);
+            let db = load(&t, &s);
+            // Set operations deduplicate with NULL treated as one value
+            // (SQL "not distinct from" grouping, unlike `=`).
+            let distinct = |rows: &[(Option<i64>, Option<i64>)], left: bool| {
+                let mut seen: Vec<Option<i64>> = Vec::new();
+                for &(a, b) in rows {
+                    let v = if left { a } else { b };
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                    }
+                }
+                seen
+            };
+            let tv = distinct(&t, true);
+            let sv = distinct(&s, false);
+            let to_rows = |vals: Vec<Option<i64>>| -> Vec<Vec<Value>> {
+                vals.into_iter().map(|v| vec![v.map_or(Value::Null, Value::I64)]).collect()
+            };
+            let mut union = tv.clone();
+            for &v in &sv {
+                if !union.contains(&v) {
+                    union.push(v);
+                }
+            }
+            let intersect: Vec<_> = tv.iter().copied().filter(|v| sv.contains(v)).collect();
+            let except: Vec<_> = tv.iter().copied().filter(|v| !sv.contains(v)).collect();
+            let union_all: Vec<Vec<Value>> = t
+                .iter()
+                .map(|&(a, _)| vec![a.map_or(Value::Null, Value::I64)])
+                .chain(s.iter().map(|&(_, d)| vec![d.map_or(Value::Null, Value::I64)]))
+                .collect();
+            assert_lanes(&db, "SELECT a FROM t UNION SELECT d FROM s", &to_rows(union), "UNION");
+            assert_lanes(&db, "SELECT a FROM t UNION ALL SELECT d FROM s", &union_all, "UNION ALL");
+            assert_lanes(
+                &db,
+                "SELECT a FROM t INTERSECT SELECT d FROM s",
+                &to_rows(intersect),
+                "INTERSECT",
+            );
+            assert_lanes(&db, "SELECT a FROM t EXCEPT SELECT d FROM s", &to_rows(except), "EXCEPT");
+        }
+    }
+
+    #[test]
+    fn interval_arithmetic_matches_manual_dates() {
+        let db = db_with("CREATE TABLE dt (d DATE)", &["INSERT INTO dt VALUES (DATE '1996-01-31'), (DATE '1996-02-29'), (DATE '1995-12-01')"]);
+        // Month arithmetic clamps to end of month; day arithmetic is exact.
+        let cases = [
+            (
+                "SELECT d + INTERVAL '30' DAY AS x FROM dt ORDER BY x",
+                vec!["1995-12-31", "1996-03-01", "1996-03-30"],
+            ),
+            (
+                "SELECT d + INTERVAL '1' MONTH AS x FROM dt ORDER BY x",
+                vec!["1996-01-01", "1996-02-29", "1996-03-29"],
+            ),
+            (
+                "SELECT d - INTERVAL '1' YEAR AS x FROM dt ORDER BY x",
+                vec!["1994-12-01", "1995-01-31", "1995-02-28"],
+            ),
+        ];
+        for (sql, expect) in cases {
+            let r = db.execute(sql).unwrap();
+            let got: Vec<String> = r.rows().iter().map(|row| row[0].to_string()).collect();
+            assert_eq!(got, expect, "{sql}");
+        }
+        // Folded at bind time: a date-literal ± interval is a plain DATE
+        // literal, eligible for scan-range hints.
+        let r = db
+            .execute("SELECT COUNT(*) FROM dt WHERE d >= DATE '1996-01-01' - INTERVAL '31' DAY")
+            .unwrap();
+        assert_eq!(r.rows()[0][0], Value::I64(3));
+    }
+}
